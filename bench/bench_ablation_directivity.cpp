@@ -1,0 +1,40 @@
+// Ablation: how much of HeadTalk's orientation signal comes from the
+// frequency-dependent directivity of human speech (Insight 2)?
+//
+// We re-render the same protocol with the head's front-back attenuation
+// scaled to 0 (omnidirectional mouth), 0.5x, 1.0x (published fit), and
+// 1.5x, and measure cross-session accuracy. With a perfectly omni source
+// the only remaining cue is geometry jitter — accuracy should collapse
+// toward chance; stronger directivity should make the task easier.
+#include "bench_common.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Directivity ablation", "Accuracy vs. head-directivity strength");
+
+  std::printf("%10s %10s %10s\n", "strength", "accuracy", "F1");
+  for (double strength : {0.0, 0.5, 1.0, 1.5}) {
+    sim::CollectorConfig cfg;
+    cfg.directivity_strength = strength;
+    sim::Collector collector(cfg);
+
+    sim::ProtocolScale scale;  // 2 sessions, 1 rep, M1/M3/M5 is enough here
+    const auto specs = sim::dataset1({sim::RoomId::kLab}, {room::DeviceId::kD2},
+                                     {speech::WakeWord::kComputer}, scale);
+    char what[48];
+    std::snprintf(what, sizeof what, "directivity x%.1f", strength);
+    const auto samples = bench::collect(collector, specs, what);
+
+    const auto results =
+        sim::cross_session_evaluate(samples, core::FacingDefinition::kDefinition4);
+    const auto mean = sim::mean_metrics(results);
+    std::printf("%9.1fx %9.2f%% %9.2f%%\n", strength, bench::pct(mean.accuracy),
+                bench::pct(mean.f1));
+  }
+  bench::print_note(
+      "expected shape: near-chance (~50%) with an omnidirectional source,\n"
+      "monotone improvement as the directivity deepens — confirming that the\n"
+      "physical mechanism named by the paper is what the classifier uses.");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation (design-choice validation, DESIGN.md): which feature groups
+// carry the orientation signal? The paper motivates two families —
+// speech reverberation (SRP-PHAT + GCC-PHAT, §III-B3) and speech
+// directivity (HLBR + banded low-band statistics). We train the same SVM
+// on each group alone and on combinations, cross-session.
+//
+// This is also the quantitative version of the §II claim that adding
+// SRP-PHAT on top of the GCC features (the DoV baseline's set) helps.
+#include "bench_common.h"
+
+#include "ml/metrics.h"
+
+using namespace headtalk;
+
+namespace {
+
+// Feature layout of OrientationFeatureExtractor for C channels / lag L:
+//   [0, 3)                      SRP top-3 peaks
+//   [3, 8)                      SRP summary stats
+//   [8, 8 + P*(2L+1))           GCC sequences        (P = C*(C-1)/2)
+//   [.., + P)                   TDoAs
+//   [.., + 5P)                  per-pair GCC stats
+//   [.., + 1)                   HLBR
+//   [.., + 60)                  banded low-band stats
+struct Layout {
+  std::size_t srp_begin = 0, srp_end = 8;
+  std::size_t gcc_begin = 8, gcc_end = 0;
+  std::size_t directivity_begin = 0, directivity_end = 0;
+
+  explicit Layout(std::size_t channels, std::size_t lag) {
+    const std::size_t pairs = channels * (channels - 1) / 2;
+    gcc_end = gcc_begin + pairs * (2 * lag + 1) + pairs + 5 * pairs;
+    directivity_begin = gcc_end;
+    directivity_end = directivity_begin + 1 + 60;
+  }
+};
+
+ml::Dataset slice(const ml::Dataset& full, std::vector<std::pair<std::size_t, std::size_t>> ranges) {
+  ml::Dataset out;
+  out.labels = full.labels;
+  for (const auto& row : full.features) {
+    ml::FeatureVector cut;
+    for (const auto& [begin, end] : ranges) {
+      cut.insert(cut.end(), row.begin() + static_cast<long>(begin),
+                 row.begin() + static_cast<long>(end));
+    }
+    out.features.push_back(std::move(cut));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Feature ablation", "SRP vs GCC vs directivity feature groups");
+  auto collector = bench::make_collector();
+
+  sim::ProtocolScale scale;
+  scale.repetitions = 2;
+  const auto specs = sim::dataset1({sim::RoomId::kLab}, {room::DeviceId::kD2},
+                                   {speech::WakeWord::kComputer}, scale);
+  const auto samples = bench::collect(collector, specs, "D2/lab/Computer");
+
+  const Layout layout(4, 13);
+  struct Group {
+    const char* name;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  };
+  const Group groups[] = {
+      {"SRP only", {{layout.srp_begin, layout.srp_end}}},
+      {"GCC only (DoV-style)", {{layout.gcc_begin, layout.gcc_end}}},
+      {"directivity only", {{layout.directivity_begin, layout.directivity_end}}},
+      {"SRP + GCC (reverberation)", {{layout.srp_begin, layout.gcc_end}}},
+      {"GCC + directivity",
+       {{layout.gcc_begin, layout.gcc_end}, {layout.directivity_begin, layout.directivity_end}}},
+      {"all (HeadTalk)", {{layout.srp_begin, layout.directivity_end}}},
+  };
+
+  std::printf("%-28s %10s %10s\n", "feature group", "accuracy", "F1");
+  for (const auto& group : groups) {
+    std::vector<double> accs, f1s;
+    for (unsigned train_session : {0u, 1u}) {
+      const auto train_full = sim::facing_dataset(
+          sim::filter(samples,
+                      [&](const sim::SampleSpec& s) { return s.session == train_session; }),
+          core::FacingDefinition::kDefinition4);
+      const auto test_full = sim::facing_dataset(
+          sim::filter(samples,
+                      [&](const sim::SampleSpec& s) { return s.session != train_session; }),
+          core::FacingDefinition::kDefinition4);
+      const auto train = slice(train_full, group.ranges);
+      const auto test = slice(test_full, group.ranges);
+      core::OrientationClassifier classifier;
+      classifier.train(train);
+      std::vector<int> y_pred;
+      for (const auto& row : test.features) y_pred.push_back(classifier.predict(row));
+      const auto m = ml::binary_metrics(test.labels, y_pred, core::kLabelFacing);
+      accs.push_back(m.accuracy());
+      f1s.push_back(m.f1());
+    }
+    std::printf("%-28s %9.2f%% %9.2f%%\n", group.name,
+                bench::pct(ml::mean_std(accs).mean), bench::pct(ml::mean_std(f1s).mean));
+  }
+  bench::print_note(
+      "design claims checked: every group alone beats chance; the full\n"
+      "HeadTalk set is at or near the top; adding SRP+directivity to the\n"
+      "GCC-only (DoV-style) set does not hurt and typically helps (§II: +3%).");
+  return 0;
+}

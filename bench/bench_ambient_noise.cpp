@@ -1,0 +1,46 @@
+// §IV-B10: impact of ambient noise at 45 dB SPL on a model trained without
+// intentional noise. Paper: white noise 89 %, TV series 83.33 % (vs. 98.08 %
+// quiet lab) — speech-like interference hurts more than white noise.
+#include "bench_common.h"
+
+#include "ml/metrics.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Ambient noise (§IV-B10)", "White vs. TV-series noise at 45 dB");
+  auto collector = bench::make_collector();
+
+  sim::ProtocolScale scale;
+  scale.repetitions = 2;
+  const auto base_specs = sim::dataset1({sim::RoomId::kLab}, {room::DeviceId::kD2},
+                                        {speech::WakeWord::kComputer}, scale);
+  const auto base = bench::collect(collector, base_specs, "quiet training corpus");
+  core::OrientationClassifier classifier;
+  classifier.train(sim::facing_dataset(base, core::FacingDefinition::kDefinition4));
+
+  std::printf("%-12s %10s %10s %10s\n", "noise", "45 dB", "55 dB", "65 dB");
+  for (auto type : {room::NoiseType::kWhite, room::NoiseType::kBabbleTv}) {
+    std::printf("%-12s", type == room::NoiseType::kWhite ? "white" : "tv-series");
+    for (double spl : {45.0, 55.0, 65.0}) {
+      const auto specs = sim::dataset4_ambient(type, {}, spl);
+      char what[48];
+      std::snprintf(what, sizeof what, "%s %.0f dB",
+                    type == room::NoiseType::kWhite ? "white" : "TV", spl);
+      const auto noisy = bench::collect(collector, specs, what);
+      const auto test = sim::facing_dataset(noisy, core::FacingDefinition::kDefinition4);
+      std::vector<int> y_pred;
+      for (const auto& row : test.features) y_pred.push_back(classifier.predict(row));
+      std::printf(" %9.2f%%", bench::pct(ml::accuracy(test.labels, y_pred)));
+    }
+    std::printf("\n");
+  }
+  bench::print_note(
+      "paper: at 45 dB, 89% under white noise and 83.33% under a TV series\n"
+      "(quiet: 98.08%). Our simulated features are more noise-robust at the\n"
+      "nominal 45 dB (the synthetic corpus lacks the real recordings'\n"
+      "variability), so the sweep extends the level until degradation\n"
+      "appears. Shape check: accuracy falls with level, and the speech-like\n"
+      "TV interference hurts more than white noise at the same level.");
+  return 0;
+}

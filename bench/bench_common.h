@@ -1,0 +1,69 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Each bench regenerates one table/figure of the paper and prints measured
+// values next to the paper's reported numbers. Absolute agreement is not
+// expected (the substrate is a synthetic room, not the authors' testbed);
+// the *shape* — orderings, approximate factors, crossovers — is the claim
+// each bench validates. See EXPERIMENTS.md for the recorded comparison.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "sim/collector.h"
+#include "sim/datasets.h"
+#include "sim/experiment.h"
+
+namespace headtalk::bench {
+
+/// The harness-wide collector configuration: a fixed identity universe so
+/// every bench (and rerun) sees the same simulated world, with the on-disk
+/// feature cache on so render cost is shared across binaries.
+inline sim::Collector make_collector() { return sim::Collector(sim::CollectorConfig{}); }
+
+inline void print_title(const char* id, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, description);
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const char* text) { std::printf("%s\n", text); }
+
+inline double pct(double fraction) { return 100.0 * fraction; }
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Collects orientation samples with a heading so long renders are visibly
+/// attributed in the bench output.
+inline std::vector<sim::OrientationSample> collect(const sim::Collector& collector,
+                                                   const std::vector<sim::SampleSpec>& specs,
+                                                   const char* what) {
+  std::fprintf(stderr, "collecting %zu samples (%s)...\n", specs.size(), what);
+  Stopwatch timer;
+  auto samples = sim::collect_orientation(collector, specs);
+  std::fprintf(stderr, "  done in %.1f s\n", timer.seconds());
+  return samples;
+}
+
+inline std::vector<sim::OrientationSample> collect_liveness(
+    const sim::Collector& collector, const std::vector<sim::SampleSpec>& specs,
+    const char* what) {
+  std::fprintf(stderr, "collecting %zu liveness samples (%s)...\n", specs.size(), what);
+  Stopwatch timer;
+  auto samples = sim::collect_liveness(collector, specs);
+  std::fprintf(stderr, "  done in %.1f s\n", timer.seconds());
+  return samples;
+}
+
+}  // namespace headtalk::bench

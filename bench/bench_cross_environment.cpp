@@ -1,0 +1,70 @@
+// §IV-B8: cross-environment performance. Train in one room, test in the
+// other: paper 77.73 % (78.20 % F1). Mixing one session from BOTH rooms
+// into training recovers ~95-97 % — the model adapts quickly to new rooms.
+#include "bench_common.h"
+
+#include "ml/metrics.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Cross-environment (§IV-B8)", "Train one room, test the other");
+  auto collector = bench::make_collector();
+
+  const auto specs = sim::dataset1({sim::RoomId::kLab, sim::RoomId::kHome},
+                                   {room::DeviceId::kD2}, speech::all_wake_words());
+  const auto samples = bench::collect(collector, specs, "D2, both rooms, 3 words");
+
+  // --- Pure cross-room transfer ("Computer" word, as in the paper) ---
+  std::vector<double> transfer_accs;
+  for (auto train_room : sim::all_rooms()) {
+    const auto train = sim::facing_dataset(
+        sim::filter(samples,
+                    [&](const sim::SampleSpec& s) {
+                      return s.room == train_room &&
+                             s.word == speech::WakeWord::kComputer;
+                    }),
+        core::FacingDefinition::kDefinition4);
+    const auto test = sim::facing_dataset(
+        sim::filter(samples,
+                    [&](const sim::SampleSpec& s) {
+                      return s.room != train_room &&
+                             s.word == speech::WakeWord::kComputer;
+                    }),
+        core::FacingDefinition::kDefinition4);
+    core::OrientationClassifier classifier;
+    classifier.train(train);
+    std::vector<int> y_pred;
+    for (const auto& row : test.features) y_pred.push_back(classifier.predict(row));
+    const double acc = ml::accuracy(test.labels, y_pred);
+    transfer_accs.push_back(acc);
+    std::printf("train %-4s -> test %-4s : %6.2f%%\n",
+                std::string(sim::room_id_name(train_room)).c_str(),
+                std::string(sim::room_id_name(train_room == sim::RoomId::kLab
+                                                  ? sim::RoomId::kHome
+                                                  : sim::RoomId::kLab))
+                    .c_str(),
+                bench::pct(acc));
+  }
+  const double transfer_mean =
+      (transfer_accs[0] + transfer_accs[1]) / 2.0;
+  std::printf("cross-room mean: %.2f%%   (paper: 77.73%%)\n\n", bench::pct(transfer_mean));
+
+  // --- Mixed-session training: one session of both rooms -> other session ---
+  std::printf("%-16s %10s %10s\n", "wake word", "accuracy", "F1");
+  for (auto word : speech::all_wake_words()) {
+    const auto word_samples = sim::filter(
+        samples, [&](const sim::SampleSpec& s) { return s.word == word; });
+    const auto results = sim::cross_session_evaluate(
+        word_samples, core::FacingDefinition::kDefinition4);
+    const auto mean = sim::mean_metrics(results);
+    std::printf("%-16s %9.2f%% %9.2f%%\n",
+                std::string(speech::wake_word_name(word)).c_str(),
+                bench::pct(mean.accuracy), bench::pct(mean.f1));
+  }
+  bench::print_note(
+      "paper: pure transfer 77.73%; training on one session of BOTH rooms\n"
+      "recovers 96.90 / 95.62 / 95.02 % per wake word. Shape check: transfer\n"
+      "markedly below the ~95% mixed-training results.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 13 (§IV-B4): F1-score per prototype device. Paper: D1 97.47 %,
+// D2 96.26 %, D3 94.99 % — larger apertures and cleaner capture win.
+#include "bench_common.h"
+
+#include "ml/metrics.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Fig. 13", "F1 per device (sessions x words x rooms)");
+  auto collector = bench::make_collector();
+
+  sim::ProtocolScale scale;
+  scale.repetitions = 2;  // cells need enough training mass (see EXPERIMENTS.md)
+  const auto specs = sim::dataset1(
+      sim::all_rooms(),
+      {room::DeviceId::kD1, room::DeviceId::kD2, room::DeviceId::kD3},
+      speech::all_wake_words(), scale);
+  const auto samples = bench::collect(collector, specs, "full Dataset-1 slice");
+
+  std::printf("%-6s %10s %10s %10s\n", "device", "mean F1", "min F1", "max F1");
+  std::vector<std::pair<room::DeviceId, double>> means;
+  for (auto device : room::all_devices()) {
+    std::vector<double> f1s;
+    for (auto word : speech::all_wake_words()) {
+      for (auto room_id : sim::all_rooms()) {
+        const auto slice = sim::filter(samples, [&](const sim::SampleSpec& s) {
+          return s.word == word && s.device == device && s.room == room_id;
+        });
+        for (const auto& r : sim::cross_session_evaluate(
+                 slice, core::FacingDefinition::kDefinition4)) {
+          f1s.push_back(r.f1);
+        }
+      }
+    }
+    const auto stats = ml::mean_std(f1s);
+    const auto [mn, mx] = std::minmax_element(f1s.begin(), f1s.end());
+    std::printf("%-6s %9.2f%% %9.2f%% %9.2f%%   (%zu values)\n",
+                std::string(room::device_name(device)).c_str(), bench::pct(stats.mean),
+                bench::pct(*mn), bench::pct(*mx), f1s.size());
+    means.emplace_back(device, stats.mean);
+  }
+  bench::print_note(
+      "paper: D1 97.47%, D2 96.26%, D3 94.99% — D1 best (largest spacing,\n"
+      "highest SNR), D3 worst (smallest aperture). Shape check: D1 >= D2 >= D3.");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Fig. 15 / §IV-B9: temporal stability. A model trained at enrollment is
+// tested against captures one week / one month later (paper: 81.25 % /
+// 83.19 %), then repaired by incremental learning — adding high-confidence
+// new samples to training (paper: ~92 % with 10 samples, ~95 % with 40).
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "ml/metrics.h"
+
+using namespace headtalk;
+
+namespace {
+
+double test_accuracy(const core::OrientationClassifier& classifier,
+                     const ml::Dataset& test) {
+  std::vector<int> y_pred;
+  for (const auto& row : test.features) y_pred.push_back(classifier.predict(row));
+  return ml::accuracy(test.labels, y_pred);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Fig. 15", "Temporal stability + incremental learning");
+  auto collector = bench::make_collector();
+
+  // Enrollment corpus (day 0).
+  sim::ProtocolScale scale;
+  scale.repetitions = 2;
+  const auto base_specs = sim::dataset1({sim::RoomId::kLab}, {room::DeviceId::kD2},
+                                        {speech::WakeWord::kComputer}, scale);
+  const auto base_samples = bench::collect(collector, base_specs, "enrollment day");
+  auto enrollment =
+      sim::facing_dataset(base_samples, core::FacingDefinition::kDefinition4);
+  core::OrientationClassifier classifier;
+  classifier.train(enrollment);
+
+  std::printf("%-10s %12s %12s %12s %12s\n", "age", "stale", "+10 samples",
+              "+20 samples", "+40 samples");
+  for (double days : {7.0, 30.0}) {
+    sim::ProtocolScale tscale;
+    tscale.repetitions = 2;
+    const auto specs = sim::dataset3_temporal(days, tscale);
+    const auto aged = bench::collect(collector, specs,
+                                     days < 10 ? "one week later" : "one month later");
+    const auto aged_all = sim::facing_dataset(aged, core::FacingDefinition::kDefinition4);
+
+    // Split the aged corpus: a pool the device could self-train on (session
+    // 0) and a held-out evaluation set (session 1).
+    const auto pool = sim::facing_dataset(
+        sim::filter(aged, [](const sim::SampleSpec& s) { return s.session == 0; }),
+        core::FacingDefinition::kDefinition4);
+    const auto held_out = sim::facing_dataset(
+        sim::filter(aged, [](const sim::SampleSpec& s) { return s.session == 1; }),
+        core::FacingDefinition::kDefinition4);
+
+    const double stale = test_accuracy(classifier, held_out);
+
+    // Incremental learning: add the N highest-confidence pool samples whose
+    // predicted label we trust (the paper reuses >=80%-confidence samples).
+    std::vector<std::pair<double, std::size_t>> confidence;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      confidence.emplace_back(std::abs(classifier.score(pool.features[i])), i);
+    }
+    std::sort(confidence.rbegin(), confidence.rend());
+
+    double acc_at[3] = {0, 0, 0};
+    int slot = 0;
+    for (std::size_t n : {10u, 20u, 40u}) {
+      ml::Dataset retrain = enrollment;
+      for (std::size_t k = 0; k < std::min<std::size_t>(n, confidence.size()); ++k) {
+        const std::size_t idx = confidence[k].second;
+        // Self-training: use the model's own (high-confidence) label.
+        const int label = classifier.is_facing(pool.features[idx])
+                              ? core::kLabelFacing
+                              : core::kLabelNonFacing;
+        retrain.add(pool.features[idx], label);
+      }
+      core::OrientationClassifier updated;
+      updated.train(retrain);
+      acc_at[slot++] = test_accuracy(updated, held_out);
+    }
+    std::printf("%-10s %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n",
+                days < 10 ? "one week" : "one month", bench::pct(stale),
+                bench::pct(acc_at[0]), bench::pct(acc_at[1]), bench::pct(acc_at[2]));
+  }
+  bench::print_note(
+      "paper: stale 81.25% (week) / 83.19% (month); ~92% after adding 10\n"
+      "high-confidence samples, ~95% after 40. Shape check: stale accuracy\n"
+      "drops vs. same-day (~97%), incremental learning recovers most of it.");
+  return 0;
+}

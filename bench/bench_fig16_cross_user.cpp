@@ -1,0 +1,80 @@
+// Fig. 16 / §IV-B14: cross-user generalization on an Ahuja-style corpus
+// (10 users, 9 locations, 8 angles, facing = {0, +/-45}). Leave-one-user-
+// out with ADASYN up-sampling of the minority (facing) class. Paper: mean
+// 88.66 % accuracy (85.09 % F1); ADASYN preferred over SMOTE.
+#include "bench_common.h"
+
+#include "ml/metrics.h"
+#include "ml/sampling.h"
+
+using namespace headtalk;
+
+namespace {
+
+bool ahuja_facing(double angle_deg) { return std::abs(angle_deg) < 46.0; }
+
+struct FoldResult {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+};
+
+FoldResult leave_one_out(const std::vector<sim::OrientationSample>& samples,
+                         unsigned held_out_user, int upsample) {
+  ml::Dataset train, test;
+  for (const auto& s : samples) {
+    const int label =
+        ahuja_facing(s.spec.angle_deg) ? core::kLabelFacing : core::kLabelNonFacing;
+    (s.spec.user_id == held_out_user ? test : train).add(s.features, label);
+  }
+  if (upsample == 1) {
+    train = ml::adasyn(train, core::kLabelFacing);
+  } else if (upsample == 2) {
+    train = ml::smote(train, core::kLabelFacing);
+  }
+  core::OrientationClassifier classifier;
+  classifier.train(train);
+  std::vector<int> y_pred;
+  for (const auto& row : test.features) y_pred.push_back(classifier.predict(row));
+  const auto m = ml::binary_metrics(test.labels, y_pred, core::kLabelFacing);
+  return {m.accuracy(), m.f1()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Fig. 16", "Cross-user leave-one-out (Ahuja-style corpus, ADASYN)");
+  auto collector = bench::make_collector();
+
+  constexpr unsigned kUsers = 10;
+  const auto specs = sim::dataset8_multi_user(kUsers, /*repetitions=*/1);
+  const auto samples = bench::collect(collector, specs, "10 users x 9 locations x 8 angles");
+
+  std::printf("class balance: 3 of 8 angles are facing (imbalanced, as in the paper)\n\n");
+  std::printf("%-6s %10s %10s\n", "user", "accuracy", "F1");
+  std::vector<double> accs, f1s;
+  for (unsigned user = 1; user <= kUsers; ++user) {
+    const auto r = leave_one_out(samples, user, /*upsample=*/1);
+    accs.push_back(r.accuracy);
+    f1s.push_back(r.f1);
+    std::printf("P%-5u %9.2f%% %9.2f%%\n", user, bench::pct(r.accuracy), bench::pct(r.f1));
+  }
+  const auto acc_stats = ml::mean_std(accs);
+  const auto f1_stats = ml::mean_std(f1s);
+  std::printf("\nmean (ADASYN): accuracy %.2f%% (+/- %.2f), F1 %.2f%%\n",
+              bench::pct(acc_stats.mean), bench::pct(acc_stats.std_dev),
+              bench::pct(f1_stats.mean));
+
+  // Ablation: ADASYN vs SMOTE vs no up-sampling (held-out user 1).
+  std::printf("\nup-sampling ablation (user P1 held out):\n");
+  const char* names[] = {"none", "ADASYN", "SMOTE"};
+  for (int mode : {0, 1, 2}) {
+    const auto r = leave_one_out(samples, 1, mode);
+    std::printf("  %-8s accuracy %.2f%%, F1 %.2f%%\n", names[mode],
+                bench::pct(r.accuracy), bench::pct(r.f1));
+  }
+  bench::print_note(
+      "paper: mean 88.66% accuracy (F1 85.09%) across participants; ADASYN\n"
+      "chosen over SMOTE. Shape check: cross-user below same-user (~97%), F1\n"
+      "below accuracy (minority facing class), up-sampling helps the F1.");
+  return 0;
+}

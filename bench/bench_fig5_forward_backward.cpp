@@ -1,0 +1,53 @@
+// Fig. 5: the utterance "Computer" spoken at the same loudness in the 0°
+// (facing) and 180° (backward) directions — signal magnitude is higher and
+// the high band stronger when facing the device.
+#include "bench_common.h"
+
+#include "audio/gain.h"
+#include "dsp/fft.h"
+#include "dsp/spectral.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Fig. 5", "Forward (0°) vs. backward (180°) capture of \"Computer\"");
+  auto collector = bench::make_collector();
+
+  sim::SampleSpec forward;
+  forward.location = {sim::GridRadial::kMiddle, 3.0};
+  forward.angle_deg = 0.0;
+  sim::SampleSpec backward = forward;
+  backward.angle_deg = 180.0;
+
+  const auto cap_f = collector.capture(forward);
+  const auto cap_b = collector.capture(backward);
+  const auto mono_f = cap_f.mixdown();
+  const auto mono_b = cap_b.mixdown();
+
+  std::printf("%-28s %10s %10s\n", "measure", "forward", "backward");
+  std::printf("%-28s %10.5f %10.5f\n", "RMS amplitude", audio::rms(mono_f.samples()),
+              audio::rms(mono_b.samples()));
+  std::printf("%-28s %10.3f %10.3f\n", "peak amplitude", audio::peak(mono_f.samples()),
+              audio::peak(mono_b.samples()));
+
+  auto band_db = [](const audio::Buffer& x, double lo, double hi) {
+    const std::size_t n = dsp::next_pow2(x.size());
+    const auto mag = dsp::magnitude_spectrum(x.samples(), n);
+    return audio::power_to_db(dsp::band_energy(mag, n, x.sample_rate(), lo, hi));
+  };
+  for (const auto [lo, hi] : {std::pair{100.0, 400.0}, {400.0, 1000.0},
+                              {1000.0, 4000.0}, {4000.0, 8000.0}}) {
+    char label[40];
+    std::snprintf(label, sizeof label, "band %0.0f-%0.0f Hz (dB)", lo, hi);
+    std::printf("%-28s %10.1f %10.1f\n", label, band_db(mono_f, lo, hi),
+                band_db(mono_b, lo, hi));
+  }
+
+  const double hf_gap = band_db(mono_f, 4000.0, 8000.0) - band_db(mono_b, 4000.0, 8000.0);
+  const double lf_gap = band_db(mono_f, 100.0, 400.0) - band_db(mono_b, 100.0, 400.0);
+  std::printf("\nforward-backward gap: high band %.1f dB, low band %.1f dB\n", hf_gap, lf_gap);
+  bench::print_note(
+      "paper (qualitative, Fig. 5): forward capture has higher magnitude and\n"
+      "the imbalance grows with frequency; shape check: hf gap > lf gap > 0.");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 6: (a) GCC-PHAT between Mic1 and Mic2 of device D3, and (b) the
+// weighted SRP sequence, for utterances spoken at 0°, 90°, and 180°.
+// Shape: the smaller the facing angle, the higher the SRP peak values, and
+// each SRP sequence shows several reverberation peaks.
+#include "bench_common.h"
+
+#include "core/preprocess.h"
+#include "dsp/srp.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Fig. 6", "GCC (Mic1-Mic2, D3) and weighted SRP at 0/90/180 degrees");
+  auto collector = bench::make_collector();
+
+  const int max_lag = dsp::srp_max_lag(0.065, 48000.0);  // D3: +/-10 samples
+  std::printf("D3 lag window: +/-%d samples (paper: 21 values)\n\n", max_lag);
+
+  std::vector<dsp::CorrelationSequence> gcc_rows, srp_rows;
+  for (double angle : {0.0, 90.0, 180.0}) {
+    sim::SampleSpec spec;
+    spec.device = room::DeviceId::kD3;
+    spec.angle_deg = angle;
+    spec.location = {sim::GridRadial::kMiddle, 3.0};
+    const auto capture = core::preprocess(collector.capture(spec));
+    const auto pairwise = dsp::pairwise_gcc_phat(capture, max_lag);
+    gcc_rows.push_back(pairwise.pairs.front().gcc);  // Mic1-Mic2
+    srp_rows.push_back(dsp::srp_phat(pairwise));
+  }
+
+  std::printf("(a) GCC-PHAT, pair Mic1-Mic2\n");
+  std::printf("%6s %10s %10s %10s\n", "lag", "0 deg", "90 deg", "180 deg");
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    std::printf("%6d %10.4f %10.4f %10.4f\n", lag, gcc_rows[0].at_lag(lag),
+                gcc_rows[1].at_lag(lag), gcc_rows[2].at_lag(lag));
+  }
+
+  std::printf("\n(b) weighted SRP (sum of all %zu pair GCCs)\n", std::size_t{6});
+  std::printf("%6s %10s %10s %10s\n", "lag", "0 deg", "90 deg", "180 deg");
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    std::printf("%6d %10.4f %10.4f %10.4f\n", lag, srp_rows[0].at_lag(lag),
+                srp_rows[1].at_lag(lag), srp_rows[2].at_lag(lag));
+  }
+
+  std::printf("\nSRP top-3 peaks:\n");
+  const char* names[3] = {"0 deg", "90 deg", "180 deg"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto peaks = dsp::top_peaks(srp_rows[i].values, 3);
+    std::printf("  %-8s %.4f %.4f %.4f\n", names[i], peaks[0], peaks[1], peaks[2]);
+  }
+  bench::print_note(
+      "paper (Fig. 6b): smaller angle -> higher SRP power; 3-4 peaks from\n"
+      "reverberation. Shape check: peak(0) > peak(90) >~ peak(180).");
+  return 0;
+}

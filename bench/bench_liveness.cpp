@@ -1,0 +1,123 @@
+// §IV-A1: human vs. mechanical speaker detection.
+//
+// The paper trains wav2vec2 on ASVspoof 2019 PA (98.5 % / EER ~3.4 %),
+// observes degradation when testing on its own Sony-replay corpus
+// (84.87 %, EER 16.50 %), then recovers via incremental learning on 20 %
+// of the new data (98.68 %, EER 2.58 %). Our substitute: a base corpus of
+// other speakers replayed through phone/TV hardware (the "ASVspoof-like"
+// domain), a target corpus of the enrolled user vs. a high-end Sony-class
+// speaker across both rooms and all distances, and the same 20:20:60
+// incremental protocol.
+#include "bench_common.h"
+
+#include "core/liveness_detector.h"
+#include "ml/metrics.h"
+
+using namespace headtalk;
+
+namespace {
+
+struct Scored {
+  std::vector<double> scores;
+  std::vector<int> labels;
+
+  [[nodiscard]] double accuracy(double threshold = 0.5) const {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      const int pred = scores[i] >= threshold ? core::kLabelLive : core::kLabelReplay;
+      if (pred == labels[i]) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(scores.size());
+  }
+  [[nodiscard]] double eer() const {
+    return ml::equal_error_rate(scores, labels, core::kLabelLive);
+  }
+};
+
+Scored score_all(const core::LivenessDetector& detector, const ml::Dataset& data) {
+  Scored out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.scores.push_back(detector.score(data.features[i]));
+    out.labels.push_back(data.labels[i]);
+  }
+  return out;
+}
+
+ml::Dataset to_dataset(const std::vector<sim::OrientationSample>& samples, int label) {
+  ml::Dataset d;
+  for (const auto& s : samples) d.add(s.features, label);
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Liveness (§IV-A1)", "Human vs. mechanical speaker, with domain shift");
+  auto collector = bench::make_collector();
+
+  // --- Base ("ASVspoof-like") domain: users 20..25, phone/TV replays ---
+  sim::SpecGrid base_live;
+  base_live.users = {20, 21, 22, 23, 24, 25};
+  base_live.angles = {0.0, 45.0, -45.0, 90.0, 180.0};
+  base_live.locations = {{sim::GridRadial::kMiddle, 1.0}, {sim::GridRadial::kMiddle, 3.0}};
+  base_live.sessions = {0};
+  base_live.repetitions = 2;
+  auto base_phone = base_live;
+  base_phone.replay = sim::ReplaySource::kSmartphone;
+  auto base_tv = base_live;
+  base_tv.replay = sim::ReplaySource::kTelevision;
+  base_tv.repetitions = 1;
+  base_tv.users = {20, 21, 22};
+
+  ml::Dataset base;
+  base.append(to_dataset(bench::collect_liveness(collector, base_live.build(), "base live"),
+                         core::kLabelLive));
+  base.append(to_dataset(bench::collect_liveness(collector, base_phone.build(), "base phone replay"),
+                         core::kLabelReplay));
+  base.append(to_dataset(bench::collect_liveness(collector, base_tv.build(), "base TV replay"),
+                         core::kLabelReplay));
+
+  std::mt19937 rng(1);
+  auto [base_train, base_eval] = ml::stratified_split(base, 0.3, rng);
+  core::LivenessDetectorConfig cfg;
+  cfg.mlp.epochs = 20;  // the paper trains the base model for 20 epochs
+  core::LivenessDetector detector(cfg);
+  detector.train(base_train);
+  const auto base_scored = score_all(detector, base_eval);
+  std::printf("base domain:        accuracy %6.2f%%, EER %5.2f%%   (paper: 98.52%%, 3.90%%)\n",
+              bench::pct(base_scored.accuracy()), bench::pct(base_scored.eer()));
+
+  // --- Target domain: enrolled user vs. Sony replay, both rooms ---
+  sim::ProtocolScale scale;
+  const auto target_live_specs = sim::dataset1(
+      {sim::RoomId::kLab, sim::RoomId::kHome}, {room::DeviceId::kD2},
+      {speech::WakeWord::kComputer, speech::WakeWord::kHeyAssistant}, scale);
+  const auto target_replay_specs = sim::dataset2_replay(scale);
+  ml::Dataset target;
+  target.append(to_dataset(
+      bench::collect_liveness(collector, target_live_specs, "target live"),
+      core::kLabelLive));
+  target.append(to_dataset(
+      bench::collect_liveness(collector, target_replay_specs, "target Sony replay"),
+      core::kLabelReplay));
+
+  const auto target_scored = score_all(detector, target);
+  std::printf("cross-domain:       accuracy %6.2f%%, EER %5.2f%%   (paper: 84.87%%, 16.50%%)\n",
+              bench::pct(target_scored.accuracy()), bench::pct(target_scored.eer()));
+
+  // --- Incremental learning: 20:20:60 split, fine-tune 10 epochs ---
+  std::mt19937 rng2(2);
+  auto [adapt, rest] = ml::stratified_split(target, 0.8, rng2);  // 20% adapt
+  auto [validation, test] = ml::stratified_split(rest, 0.75, rng2);  // 20/60
+  detector.incremental_update(adapt, /*epochs=*/10);
+  const auto val_scored = score_all(detector, validation);
+  const auto test_scored = score_all(detector, test);
+  std::printf("after incremental:  val acc %6.2f%% (EER %5.2f%%), test acc %6.2f%% (EER %5.2f%%)\n",
+              bench::pct(val_scored.accuracy()), bench::pct(val_scored.eer()),
+              bench::pct(test_scored.accuracy()), bench::pct(test_scored.eer()));
+  bench::print_note(
+      "paper: base 98.52% (EER 3.90%); unseen-domain 84.87% (EER 16.50%);\n"
+      "after retraining on 20% new data: 98.68% (EER 2.58%). Shape check:\n"
+      "cross-domain EER rises sharply, incremental learning restores it.");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// §IV-B7: impact of device placement. The model trained at location A is
+// tested on captures from locations B (coffee table, 45 cm) and C (work
+// table, 75 cm). Paper: 97.50 % at B, 91.25 % at C (vs. 96.95 % at A).
+#include "bench_common.h"
+
+#include "ml/metrics.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Placement (§IV-B7)", "Train at location A, test at B / C");
+  auto collector = bench::make_collector();
+
+  // Training corpus at location A (the default).
+  sim::ProtocolScale scale;
+  scale.repetitions = 2;
+  const auto train_specs = sim::dataset1({sim::RoomId::kLab}, {room::DeviceId::kD2},
+                                         {speech::WakeWord::kComputer}, scale);
+  const auto train_samples = bench::collect(collector, train_specs, "location A");
+  const auto train =
+      sim::facing_dataset(train_samples, core::FacingDefinition::kDefinition4);
+  core::OrientationClassifier classifier;
+  classifier.train(train);
+
+  // Baseline: cross-session accuracy at A itself.
+  const auto a_results =
+      sim::cross_session_evaluate(train_samples, core::FacingDefinition::kDefinition4);
+  std::printf("%-10s %10s\n", "placement", "accuracy");
+  std::printf("%-10s %9.2f%%   (cross-session baseline)\n", "A",
+              bench::pct(sim::mean_metrics(a_results).accuracy));
+
+  for (auto placement : {sim::PlacementId::kB, sim::PlacementId::kC}) {
+    sim::SpecGrid grid;
+    grid.placements = {placement};
+    grid.locations = sim::middle_grid_locations();
+    grid.sessions = {0, 1};
+    grid.repetitions = 2;
+    const auto test_samples = bench::collect(
+        collector, grid.build(),
+        placement == sim::PlacementId::kB ? "location B" : "location C");
+    const auto test =
+        sim::facing_dataset(test_samples, core::FacingDefinition::kDefinition4);
+    std::vector<int> y_pred;
+    for (const auto& row : test.features) y_pred.push_back(classifier.predict(row));
+    std::printf("%-10s %9.2f%%\n",
+                std::string(sim::placement_name(placement)).c_str(),
+                bench::pct(ml::accuracy(test.labels, y_pred)));
+  }
+  bench::print_note(
+      "paper: 97.50% at B and 91.25% at C with the A-trained model — some\n"
+      "drop, but >90% across placements. Shape check: both placements stay\n"
+      "well above chance, with a visible drop at one of them.");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// §IV-B15: runtime of the HeadTalk pipeline stages (google-benchmark).
+// Paper (PC, i7-2600): liveness ~42 ms, orientation ~136 ms per wake word;
+// the prototype ARM board needs 527 ms for orientation. The absolute
+// numbers depend on hardware; the shape claim is that orientation costs a
+// small multiple of liveness and both fit a VA's response budget.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/liveness_detector.h"
+#include "core/liveness_features.h"
+#include "core/orientation_classifier.h"
+#include "core/orientation_features.h"
+#include "core/preprocess.h"
+#include "sim/collector.h"
+
+using namespace headtalk;
+
+namespace {
+
+// One fixed rendered capture shared by all benchmarks.
+const audio::MultiBuffer& capture() {
+  static const audio::MultiBuffer instance = [] {
+    sim::CollectorConfig cfg;
+    cfg.cache_enabled = false;
+    sim::Collector collector(cfg);
+    sim::SampleSpec spec;
+    spec.location = {sim::GridRadial::kMiddle, 3.0};
+    return collector.capture(spec);
+  }();
+  return instance;
+}
+
+const audio::MultiBuffer& denoised() {
+  static const audio::MultiBuffer instance = core::preprocess(capture());
+  return instance;
+}
+
+core::OrientationClassifier& trained_orientation() {
+  static core::OrientationClassifier instance = [] {
+    // A small synthetic training set: runtime depends on support-vector
+    // count and feature dimension, both matched to the real pipeline.
+    core::OrientationFeatureExtractor extractor;
+    const auto dim = extractor.dimension(4);
+    std::mt19937 rng(1);
+    std::normal_distribution<double> g(0.0, 1.0);
+    ml::Dataset data;
+    for (int i = 0; i < 80; ++i) {
+      ml::FeatureVector a(dim), b(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        a[j] = g(rng) + 1.0;
+        b[j] = g(rng) - 1.0;
+      }
+      data.add(std::move(a), core::kLabelFacing);
+      data.add(std::move(b), core::kLabelNonFacing);
+    }
+    core::OrientationClassifier clf;
+    clf.train(data);
+    return clf;
+  }();
+  return instance;
+}
+
+core::LivenessDetector& trained_liveness() {
+  static core::LivenessDetector instance = [] {
+    core::LivenessFeatureExtractor extractor;
+    const auto dim = extractor.dimension();
+    std::mt19937 rng(2);
+    std::normal_distribution<double> g(0.0, 1.0);
+    ml::Dataset data;
+    for (int i = 0; i < 80; ++i) {
+      ml::FeatureVector a(dim), b(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        a[j] = g(rng) + 1.0;
+        b[j] = g(rng) - 1.0;
+      }
+      data.add(std::move(a), core::kLabelLive);
+      data.add(std::move(b), core::kLabelReplay);
+    }
+    core::LivenessDetector det;
+    det.train(data);
+    return det;
+  }();
+  return instance;
+}
+
+void BM_Preprocess(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::preprocess(capture()));
+  }
+}
+BENCHMARK(BM_Preprocess)->Unit(benchmark::kMillisecond);
+
+void BM_LivenessDetection(benchmark::State& state) {
+  // One channel -> features -> network score (the paper's 42 ms stage).
+  core::LivenessFeatureExtractor extractor;
+  auto& detector = trained_liveness();
+  for (auto _ : state) {
+    const auto features = extractor.extract(denoised().channel(0));
+    benchmark::DoNotOptimize(detector.score(features));
+  }
+}
+BENCHMARK(BM_LivenessDetection)->Unit(benchmark::kMillisecond);
+
+void BM_OrientationDetection(benchmark::State& state) {
+  // Four channels -> SRP/GCC/directivity features -> SVM (the 136 ms stage).
+  core::OrientationFeatureExtractor extractor;
+  auto& classifier = trained_orientation();
+  for (auto _ : state) {
+    const auto features = extractor.extract(denoised());
+    benchmark::DoNotOptimize(classifier.predict(features));
+  }
+}
+BENCHMARK(BM_OrientationDetection)->Unit(benchmark::kMillisecond);
+
+void BM_FullHeadTalkDecision(benchmark::State& state) {
+  // Preprocess + liveness + orientation, as process_wake_word would run.
+  core::LivenessFeatureExtractor liveness_extractor;
+  core::OrientationFeatureExtractor orientation_extractor;
+  auto& liveness = trained_liveness();
+  auto& orientation = trained_orientation();
+  for (auto _ : state) {
+    const auto clean = core::preprocess(capture());
+    const double live_score = liveness.score(liveness_extractor.extract(clean.channel(0)));
+    benchmark::DoNotOptimize(live_score);
+    benchmark::DoNotOptimize(orientation.predict(orientation_extractor.extract(clean)));
+  }
+}
+BENCHMARK(BM_FullHeadTalkDecision)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// §IV-B11: sitting vs. standing. The model is trained on standing captures
+// (mouth at 1.65 m) and tested while seated (1.25 m). Paper: 93.33 % —
+// sitting does not significantly impact detection.
+#include "bench_common.h"
+
+#include "ml/metrics.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Sitting (§IV-B11)", "Standing-trained model tested while seated");
+  auto collector = bench::make_collector();
+
+  sim::ProtocolScale scale;
+  scale.repetitions = 2;
+  const auto base_specs = sim::dataset1({sim::RoomId::kLab}, {room::DeviceId::kD2},
+                                        {speech::WakeWord::kComputer}, scale);
+  const auto base = bench::collect(collector, base_specs, "standing training corpus");
+  core::OrientationClassifier classifier;
+  classifier.train(sim::facing_dataset(base, core::FacingDefinition::kDefinition4));
+
+  const auto sitting_specs = sim::dataset5_sitting();
+  const auto sitting = bench::collect(collector, sitting_specs, "seated captures");
+  const auto test = sim::facing_dataset(sitting, core::FacingDefinition::kDefinition4);
+  std::vector<int> y_pred;
+  for (const auto& row : test.features) y_pred.push_back(classifier.predict(row));
+  const double acc = ml::accuracy(test.labels, y_pred);
+  std::printf("seated accuracy: %.2f%%\n", bench::pct(acc));
+  bench::print_note(
+      "paper: 93.33% when trained standing and tested seated. Shape check:\n"
+      "modest drop vs. same-posture (~97%), still clearly usable (>85%).");
+  return 0;
+}

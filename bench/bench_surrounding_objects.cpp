@@ -1,0 +1,51 @@
+// §IV-B13 / Fig. 17: surrounding objects. A model trained with an
+// unobstructed device is tested when the device is partially blocked,
+// fully blocked, and fully blocked but raised by 14.8 cm. Paper: 95.83 %,
+// 70 %, 95 % — occlusion makes frontal speech look backward; raising the
+// device above the clutter restores accuracy.
+#include "bench_common.h"
+
+#include "ml/metrics.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Surrounding objects (§IV-B13)", "Partial / full / raised occlusion");
+  auto collector = bench::make_collector();
+
+  sim::ProtocolScale scale;
+  scale.repetitions = 2;
+  const auto base_specs = sim::dataset1({sim::RoomId::kLab}, {room::DeviceId::kD2},
+                                        {speech::WakeWord::kComputer}, scale);
+  const auto base = bench::collect(collector, base_specs, "unobstructed training corpus");
+  core::OrientationClassifier classifier;
+  classifier.train(sim::facing_dataset(base, core::FacingDefinition::kDefinition4));
+
+  struct Setting {
+    const char* name;
+    sim::OcclusionLevel occlusion;
+    bool raised;
+  };
+  const Setting settings[] = {
+      {"partial", sim::OcclusionLevel::kPartial, false},
+      {"full", sim::OcclusionLevel::kFull, false},
+      {"full+raised", sim::OcclusionLevel::kNone, true},
+  };
+
+  std::printf("%-12s %10s\n", "setting", "accuracy");
+  for (const auto& setting : settings) {
+    // "Raised" lifts the device above the clutter: the direct path clears
+    // the obstruction, so no occlusion applies (the paper's Fig. 17c).
+    const auto specs = sim::dataset7_objects(setting.occlusion, setting.raised);
+    const auto blocked = bench::collect(collector, specs, setting.name);
+    const auto test = sim::facing_dataset(blocked, core::FacingDefinition::kDefinition4);
+    std::vector<int> y_pred;
+    for (const auto& row : test.features) y_pred.push_back(classifier.predict(row));
+    std::printf("%-12s %9.2f%%\n", setting.name,
+                bench::pct(ml::accuracy(test.labels, y_pred)));
+  }
+  bench::print_note(
+      "paper: partial 95.83%, fully blocked 70%, raised 95%. Shape check:\n"
+      "full blocking collapses accuracy; partial and raised stay near normal.");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table III: accuracy / FRR / FAR of the four facing vs. non-facing
+// training-arc definitions ("Computer", D2, lab, cross-session, with the
+// +/-75 degree verification angles collected). Paper: Definition-4 wins
+// with 96.95 % accuracy, FRR 3.33 %, FAR 2.78 %.
+#include "bench_common.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Table III", "Facing / non-facing definitions (cross-session)");
+  auto collector = bench::make_collector();
+
+  sim::ProtocolScale scale;
+  scale.repetitions = 2;
+  const auto specs = sim::dataset1_extended_angles(scale);
+  const auto samples = bench::collect(collector, specs, "D2/lab/Computer + extended angles");
+
+  std::printf("%-14s %10s %10s %10s %10s\n", "definition", "accuracy", "FRR", "FAR", "F1");
+  double best_acc = 0.0;
+  core::FacingDefinition best = core::FacingDefinition::kDefinition1;
+  for (auto def : core::all_facing_definitions()) {
+    const auto results = sim::cross_session_evaluate(samples, def);
+    const auto mean = sim::mean_metrics(results);
+    std::printf("%-14s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+                std::string(core::facing_definition_name(def)).c_str(),
+                bench::pct(mean.accuracy), bench::pct(mean.frr), bench::pct(mean.far),
+                bench::pct(mean.f1));
+    if (mean.accuracy > best_acc) {
+      best_acc = mean.accuracy;
+      best = def;
+    }
+  }
+  std::printf("\nbest: %s (%.2f%%)\n", std::string(core::facing_definition_name(best)).c_str(),
+              bench::pct(best_acc));
+  bench::print_note(
+      "paper (Table III text): Definition-4 achieves the best performance with\n"
+      "96.95% accuracy, FRR 3.33%, FAR 2.78% (per-definition cells are only in\n"
+      "the table image). Shape check: accuracy rises as the soft boundary\n"
+      "widens; Definition-4 is best.");
+  return 0;
+}

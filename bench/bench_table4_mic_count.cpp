@@ -1,0 +1,47 @@
+// Table IV (§IV-B6): impact of the number of microphones, selecting N of
+// D2's six mics by maximum pairwise spread. Paper: performance rises to a
+// peak at 5 channels (98.61 % accuracy, precision 100 %) then dips at 6.
+#include "bench_common.h"
+
+using namespace headtalk;
+
+int main() {
+  bench::print_title("Table IV", "Channel-count ablation on D2 (home)");
+
+  std::printf("%3s  %-14s %10s %10s %10s %10s\n", "N", "channels", "accuracy",
+              "precision", "recall", "F1");
+  const auto d2 = room::DeviceSpec::d2();
+  for (std::size_t n : {2u, 3u, 4u, 5u, 6u}) {
+    const auto channels = d2.spread_channels(n);
+    // A per-subset collector: the cache key includes the channel list.
+    sim::CollectorConfig cfg;
+    cfg.channels = channels;
+    sim::Collector collector(cfg);
+
+    // The home room: its denser clutter and session-to-session changes keep
+    // the task off the ceiling, so the channel count has visible headroom
+    // (in the quiet lab even two microphones saturate the simulated task).
+    sim::ProtocolScale scale;
+    scale.repetitions = 2;
+    const auto specs = sim::dataset1({sim::RoomId::kHome}, {room::DeviceId::kD2},
+                                     {speech::WakeWord::kComputer}, scale);
+    char what[64];
+    std::string ch_text;
+    for (std::size_t c : channels) ch_text += std::to_string(c + 1);  // 1-based like the paper
+    std::snprintf(what, sizeof what, "%zu channels [%s]", n, ch_text.c_str());
+    const auto samples = bench::collect(collector, specs, what);
+
+    const auto results =
+        sim::cross_session_evaluate(samples, core::FacingDefinition::kDefinition4);
+    const auto mean = sim::mean_metrics(results);
+    std::printf("%3zu  [%-12s] %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", n, ch_text.c_str(),
+                bench::pct(mean.accuracy), bench::pct(mean.precision),
+                bench::pct(mean.recall), bench::pct(mean.f1));
+  }
+  bench::print_note(
+      "paper (Table IV): 95.70 / 95.83 / 96.67 / 98.61 / 97.22 % for 2..6\n"
+      "channels — rising to a 5-channel peak, then a small dip at 6.\n"
+      "Shape check: more channels help; diminishing/slightly negative return\n"
+      "at the full array.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "audio/gain.h"
+
+#include <cmath>
+#include <limits>
+
+namespace headtalk::audio {
+
+double amplitude_to_db(double amplitude) {
+  if (amplitude <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(amplitude);
+}
+
+double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+double power_to_db(double power) {
+  if (power <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(power);
+}
+
+double rms(std::span<const Sample> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (Sample s : x) acc += s * s;
+  return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+double peak(std::span<const Sample> x) {
+  double p = 0.0;
+  for (Sample s : x) p = std::max(p, std::abs(s));
+  return p;
+}
+
+double snr_db(std::span<const Sample> signal, std::span<const Sample> noise) {
+  const double s = rms(signal);
+  const double n = rms(noise);
+  if (n <= 0.0) return std::numeric_limits<double>::infinity();
+  return amplitude_to_db(s / n);
+}
+
+void set_spl(Buffer& x, double spl_db) {
+  const double current = rms(x.samples());
+  if (current <= 0.0) return;
+  const double target = db_to_amplitude(spl_db - kFullScaleSplDb);
+  x.scale(target / current);
+}
+
+double measure_spl(const Buffer& x) {
+  return amplitude_to_db(rms(x.samples())) + kFullScaleSplDb;
+}
+
+void normalize_peak(Buffer& x, double target_peak) {
+  const double p = peak(x.samples());
+  if (p <= 0.0) return;
+  x.scale(target_peak / p);
+}
+
+}  // namespace headtalk::audio

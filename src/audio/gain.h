@@ -1,0 +1,45 @@
+// Level / loudness utilities: dB conversions, RMS, SPL calibration.
+//
+// The data-collection protocol of §IV speaks utterances at a calibrated
+// sound-pressure level (60 / 70 / 80 dB SPL); the simulator reproduces that
+// by scaling source signals against a fixed digital reference level.
+#pragma once
+
+#include "audio/sample_buffer.h"
+
+namespace headtalk::audio {
+
+/// Digital full scale (|sample| == 1.0) is mapped to this SPL at 1 m from
+/// the source. 94 dB SPL is the conventional 1 Pa calibration point.
+inline constexpr double kFullScaleSplDb = 94.0;
+
+/// Converts a linear amplitude ratio to decibels (20*log10).
+[[nodiscard]] double amplitude_to_db(double amplitude);
+
+/// Converts decibels to a linear amplitude ratio.
+[[nodiscard]] double db_to_amplitude(double db);
+
+/// Converts a power ratio to decibels (10*log10).
+[[nodiscard]] double power_to_db(double power);
+
+/// Root-mean-square of a signal (0 for an empty buffer).
+[[nodiscard]] double rms(std::span<const Sample> x);
+
+/// Peak absolute sample value.
+[[nodiscard]] double peak(std::span<const Sample> x);
+
+/// Signal-to-noise ratio in dB given separate signal and noise buffers.
+[[nodiscard]] double snr_db(std::span<const Sample> signal, std::span<const Sample> noise);
+
+/// Scales `x` in place so its RMS corresponds to `spl_db` under the
+/// kFullScaleSplDb calibration. No-op on silent input.
+void set_spl(Buffer& x, double spl_db);
+
+/// Returns the calibrated SPL of the buffer (-inf for silence).
+[[nodiscard]] double measure_spl(const Buffer& x);
+
+/// Scales `x` in place so that its peak is `target_peak` (default 1.0),
+/// matching the paper's "normalize the audio amplitude between -1 and 1".
+void normalize_peak(Buffer& x, double target_peak = 1.0);
+
+}  // namespace headtalk::audio

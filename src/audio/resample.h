@@ -1,0 +1,22 @@
+// Sample-rate conversion.
+//
+// The capture chain runs at 48 kHz; the liveness model consumes 16 kHz audio
+// (§III-A: "takes the downsampled 16 kHz speech normalized to zero mean and
+// unit variance as input"). We provide a windowed-sinc polyphase resampler
+// good enough for integer and rational ratios.
+#pragma once
+
+#include "audio/sample_buffer.h"
+
+namespace headtalk::audio {
+
+/// Resamples `input` to `target_rate` using a Kaiser-windowed-sinc kernel.
+/// Anti-alias filtering is applied when down-sampling. Returns the input
+/// unchanged if the rates already match.
+[[nodiscard]] Buffer resample(const Buffer& input, double target_rate);
+
+/// Removes the mean and scales to unit variance (the wav2vec2-style input
+/// normalization). Silent signals are left as all zeros.
+void normalize_zero_mean_unit_variance(Buffer& x);
+
+}  // namespace headtalk::audio

@@ -1,0 +1,81 @@
+#include "audio/sample_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace headtalk::audio {
+
+Buffer::Buffer(std::size_t frames, double sample_rate)
+    : samples_(frames, 0.0), sample_rate_(sample_rate) {
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("Buffer: sample rate must be positive");
+  }
+}
+
+Buffer::Buffer(std::vector<Sample> samples, double sample_rate)
+    : samples_(std::move(samples)), sample_rate_(sample_rate) {
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("Buffer: sample rate must be positive");
+  }
+}
+
+void Buffer::add(const Buffer& other) {
+  if (other.sample_rate() != sample_rate_) {
+    throw std::invalid_argument("Buffer::add: sample-rate mismatch");
+  }
+  const std::size_t n = std::min(size(), other.size());
+  for (std::size_t i = 0; i < n; ++i) samples_[i] += other.samples_[i];
+}
+
+void Buffer::scale(Sample gain) noexcept {
+  for (auto& s : samples_) s *= gain;
+}
+
+Buffer Buffer::slice(std::size_t begin, std::size_t count) const {
+  Buffer out(count, sample_rate_);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t src = begin + i;
+    out[i] = src < samples_.size() ? samples_[src] : 0.0;
+  }
+  return out;
+}
+
+MultiBuffer::MultiBuffer(std::size_t channels, std::size_t frames, double sample_rate) {
+  channels_.reserve(channels);
+  for (std::size_t c = 0; c < channels; ++c) channels_.emplace_back(frames, sample_rate);
+}
+
+MultiBuffer::MultiBuffer(std::vector<Buffer> channels) : channels_(std::move(channels)) {
+  for (const auto& ch : channels_) {
+    if (ch.size() != channels_.front().size() ||
+        ch.sample_rate() != channels_.front().sample_rate()) {
+      throw std::invalid_argument("MultiBuffer: channels must agree in length and rate");
+    }
+  }
+}
+
+MultiBuffer MultiBuffer::select_channels(std::span<const std::size_t> indices) const {
+  std::vector<Buffer> picked;
+  picked.reserve(indices.size());
+  for (std::size_t idx : indices) picked.push_back(channels_.at(idx));
+  return MultiBuffer(std::move(picked));
+}
+
+void MultiBuffer::add(const MultiBuffer& other) {
+  if (other.channel_count() != channel_count()) {
+    throw std::invalid_argument("MultiBuffer::add: channel-count mismatch");
+  }
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    channels_[c].add(other.channel(c));
+  }
+}
+
+Buffer MultiBuffer::mixdown() const {
+  if (channels_.empty()) return {};
+  Buffer out(frames(), sample_rate());
+  for (const auto& ch : channels_) out.add(ch);
+  out.scale(1.0 / static_cast<double>(channels_.size()));
+  return out;
+}
+
+}  // namespace headtalk::audio

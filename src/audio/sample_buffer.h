@@ -1,0 +1,108 @@
+// Core audio containers shared by every substrate.
+//
+// A Buffer is a mono signal plus its sample rate; a MultiBuffer is a set of
+// equal-length channels captured simultaneously (one per microphone).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace headtalk::audio {
+
+/// Sample type used throughout the library. Double keeps the DSP chain
+/// (FFT, biquads, long convolutions) numerically uncritical.
+using Sample = double;
+
+/// Default capture rate of all three prototype devices (48 kHz, §IV).
+inline constexpr double kDefaultSampleRate = 48000.0;
+
+/// Rate expected by the liveness network input (paper downsamples to 16 kHz).
+inline constexpr double kLivenessSampleRate = 16000.0;
+
+/// A mono audio signal with an associated sample rate.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// Creates a zero-filled buffer of `frames` samples at `sample_rate` Hz.
+  Buffer(std::size_t frames, double sample_rate);
+
+  /// Wraps existing samples.
+  Buffer(std::vector<Sample> samples, double sample_rate);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double sample_rate() const noexcept { return sample_rate_; }
+  [[nodiscard]] double duration_seconds() const noexcept {
+    return sample_rate_ > 0 ? static_cast<double>(samples_.size()) / sample_rate_ : 0.0;
+  }
+
+  [[nodiscard]] Sample& operator[](std::size_t i) { return samples_[i]; }
+  [[nodiscard]] Sample operator[](std::size_t i) const { return samples_[i]; }
+
+  [[nodiscard]] Sample& at(std::size_t i) { return samples_.at(i); }
+  [[nodiscard]] Sample at(std::size_t i) const { return samples_.at(i); }
+
+  [[nodiscard]] std::span<Sample> samples() noexcept { return samples_; }
+  [[nodiscard]] std::span<const Sample> samples() const noexcept { return samples_; }
+  [[nodiscard]] std::vector<Sample>& data() noexcept { return samples_; }
+  [[nodiscard]] const std::vector<Sample>& data() const noexcept { return samples_; }
+
+  void resize(std::size_t frames) { samples_.resize(frames, 0.0); }
+
+  /// Element-wise in-place addition; the other buffer may be shorter.
+  /// Throws std::invalid_argument on sample-rate mismatch.
+  void add(const Buffer& other);
+
+  /// Multiplies every sample by `gain`.
+  void scale(Sample gain) noexcept;
+
+  /// Returns a copy of samples [begin, begin+count), zero-padded past the end.
+  [[nodiscard]] Buffer slice(std::size_t begin, std::size_t count) const;
+
+ private:
+  std::vector<Sample> samples_;
+  double sample_rate_ = kDefaultSampleRate;
+};
+
+/// A synchronized multichannel capture: every channel has the same length
+/// and sample rate (one channel per microphone of an array).
+class MultiBuffer {
+ public:
+  MultiBuffer() = default;
+
+  /// `channels` zero-filled channels of `frames` samples each.
+  MultiBuffer(std::size_t channels, std::size_t frames, double sample_rate);
+
+  /// Builds from per-channel buffers; all must agree in length and rate.
+  explicit MultiBuffer(std::vector<Buffer> channels);
+
+  [[nodiscard]] std::size_t channel_count() const noexcept { return channels_.size(); }
+  [[nodiscard]] std::size_t frames() const noexcept {
+    return channels_.empty() ? 0 : channels_.front().size();
+  }
+  [[nodiscard]] double sample_rate() const noexcept {
+    return channels_.empty() ? kDefaultSampleRate : channels_.front().sample_rate();
+  }
+
+  [[nodiscard]] Buffer& channel(std::size_t c) { return channels_.at(c); }
+  [[nodiscard]] const Buffer& channel(std::size_t c) const { return channels_.at(c); }
+
+  /// Returns a new MultiBuffer containing only the requested channels,
+  /// in the given order (used for the mic-count ablation, Table IV).
+  [[nodiscard]] MultiBuffer select_channels(std::span<const std::size_t> indices) const;
+
+  /// Averages all channels into a mono buffer.
+  [[nodiscard]] Buffer mixdown() const;
+
+  /// Adds another capture channel-wise (channel counts and rates must
+  /// match; the other capture may be shorter).
+  void add(const MultiBuffer& other);
+
+ private:
+  std::vector<Buffer> channels_;
+};
+
+}  // namespace headtalk::audio

@@ -1,0 +1,33 @@
+// Minimal RIFF/WAVE reader & writer (PCM16 and IEEE float32).
+//
+// Used by the examples to export rendered captures for listening /
+// inspection, and by tests for round-trip validation. Not a general-purpose
+// WAV library: only canonical little-endian files are handled.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "audio/sample_buffer.h"
+
+namespace headtalk::audio {
+
+enum class WavEncoding {
+  kPcm16,    ///< 16-bit signed integer PCM
+  kFloat32,  ///< 32-bit IEEE float
+};
+
+/// Writes an interleaved WAV file. Samples are clipped to [-1, 1] for PCM16.
+/// Throws std::runtime_error on I/O failure.
+void write_wav(const std::filesystem::path& path, const MultiBuffer& audio,
+               WavEncoding encoding = WavEncoding::kPcm16);
+
+/// Convenience overload for mono signals.
+void write_wav(const std::filesystem::path& path, const Buffer& audio,
+               WavEncoding encoding = WavEncoding::kPcm16);
+
+/// Reads a WAV file produced by write_wav (or any canonical PCM16/float32
+/// RIFF file). Throws std::runtime_error on malformed input.
+[[nodiscard]] MultiBuffer read_wav(const std::filesystem::path& path);
+
+}  // namespace headtalk::audio

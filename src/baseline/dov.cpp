@@ -1,0 +1,65 @@
+#include "baseline/dov.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/srp.h"
+
+namespace headtalk::baseline {
+
+int DovFeatureExtractor::effective_max_lag(double sample_rate) const {
+  if (config_.max_lag > 0) return config_.max_lag;
+  return dsp::srp_max_lag(config_.max_mic_distance_m, sample_rate,
+                          config_.speed_of_sound);
+}
+
+std::size_t DovFeatureExtractor::dimension(std::size_t channels) const {
+  const std::size_t pairs = channels * (channels - 1) / 2;
+  const auto lag = static_cast<std::size_t>(effective_max_lag(audio::kDefaultSampleRate));
+  return pairs * (2 * lag + 1) + pairs;
+}
+
+ml::FeatureVector DovFeatureExtractor::extract(const audio::MultiBuffer& capture) const {
+  if (capture.channel_count() < 2) {
+    throw std::invalid_argument("DovFeatureExtractor: need >= 2 channels");
+  }
+  const int max_lag = effective_max_lag(capture.sample_rate());
+  const auto gcc = dsp::pairwise_gcc_phat(capture, max_lag);
+
+  ml::FeatureVector features;
+  features.reserve(dimension(capture.channel_count()));
+  for (const auto& pair : gcc.pairs) {
+    features.insert(features.end(), pair.gcc.values.begin(), pair.gcc.values.end());
+  }
+  for (const auto& pair : gcc.pairs) {
+    features.push_back(static_cast<double>(pair.gcc.peak_lag()));
+  }
+  return features;
+}
+
+std::string_view dov_facing_name(DovFacing definition) {
+  switch (definition) {
+    case DovFacing::kDirectlyFacing:
+      return "Directly-Facing";
+    case DovFacing::kForwardFacing:
+      return "Forward-Facing";
+    case DovFacing::kMouthLineOfSight:
+      return "Mouth-Line-of-Sight";
+  }
+  return "?";
+}
+
+bool dov_is_facing(DovFacing definition, double angle_deg) {
+  const double a = std::abs(angle_deg);
+  switch (definition) {
+    case DovFacing::kDirectlyFacing:
+      return a < 1.0;
+    case DovFacing::kForwardFacing:
+      return a < 46.0;
+    case DovFacing::kMouthLineOfSight:
+      return a < 91.0;
+  }
+  return false;
+}
+
+}  // namespace headtalk::baseline

@@ -1,0 +1,81 @@
+#include "baseline/void.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/resample.h"
+#include "dsp/fft.h"
+#include "dsp/spectral.h"
+
+namespace headtalk::baseline {
+
+ml::FeatureVector VoidFeatureExtractor::extract(const audio::Buffer& channel) const {
+  audio::Buffer x = audio::resample(channel, config_.sample_rate);
+  audio::normalize_zero_mean_unit_variance(x);
+
+  const std::size_t nfft = dsp::next_pow2(x.size());
+  const auto mag = dsp::magnitude_spectrum(x.samples(), nfft);
+  const double fs = config_.sample_rate;
+
+  ml::FeatureVector features;
+  features.reserve(dimension());
+
+  // --- Normalized cumulative power curve over [0, Nyquist) ---
+  std::vector<double> power(mag.size());
+  double total = 0.0;
+  for (std::size_t k = 0; k < mag.size(); ++k) {
+    power[k] = mag[k] * mag[k];
+    total += power[k];
+  }
+  if (total <= 0.0) total = 1.0;
+  const std::size_t segs = config_.power_segments;
+  std::vector<double> curve(segs, 0.0);
+  double running = 0.0;
+  std::size_t bin = 0;
+  for (std::size_t s = 0; s < segs; ++s) {
+    const std::size_t end = (s + 1) * mag.size() / segs;
+    for (; bin < end; ++bin) running += power[bin];
+    curve[s] = running / total;
+    features.push_back(curve[s]);
+  }
+
+  // --- Linearity of the cumulative curve (Void's "power linearity") ---
+  // Live speech concentrates power low (concave curve); replay distortion
+  // flattens it. R^2 against the straight line through (0,0)-(1,1).
+  double ss_res = 0.0, ss_tot = 0.0;
+  const double mean_curve =
+      std::accumulate(curve.begin(), curve.end(), 0.0) / static_cast<double>(segs);
+  for (std::size_t s = 0; s < segs; ++s) {
+    const double linear = (static_cast<double>(s) + 1.0) / static_cast<double>(segs);
+    ss_res += (curve[s] - linear) * (curve[s] - linear);
+    ss_tot += (curve[s] - mean_curve) * (curve[s] - mean_curve);
+  }
+  features.push_back(ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0);
+
+  // --- Low-band power peaks (< 1 kHz) ---
+  const auto low_end = static_cast<std::size_t>(1000.0 / fs * static_cast<double>(nfft));
+  std::size_t peak_count = 0;
+  double last_peak = 0.0, spacing_acc = 0.0;
+  const double threshold = *std::max_element(power.begin(), power.begin() + static_cast<long>(std::min(low_end, power.size()))) * 0.1;
+  for (std::size_t k = 1; k + 1 < std::min(low_end, power.size()); ++k) {
+    if (power[k] > threshold && power[k] >= power[k - 1] && power[k] > power[k + 1]) {
+      const double freq = dsp::bin_frequency(k, nfft, fs);
+      if (peak_count > 0) spacing_acc += freq - last_peak;
+      last_peak = freq;
+      ++peak_count;
+    }
+  }
+  features.push_back(static_cast<double>(peak_count));
+  features.push_back(peak_count > 1 ? spacing_acc / static_cast<double>(peak_count - 1)
+                                    : 0.0);
+
+  // --- High-band decay + relative power ---
+  features.push_back(dsp::spectral_slope_db_per_khz(mag, nfft, fs, 3000.0, 7500.0));
+  const double high = dsp::band_energy(mag, nfft, fs, 4000.0, 7900.0);
+  const double all = dsp::band_energy(mag, nfft, fs, 100.0, 7900.0);
+  features.push_back(all > 0.0 ? high / all : 0.0);
+
+  return features;
+}
+
+}  // namespace headtalk::baseline

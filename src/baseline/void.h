@@ -1,0 +1,41 @@
+// Baseline: Void-style voice liveness detection (Ahmed et al., USENIX
+// Security 2020 — reference [12] of the HeadTalk paper).
+//
+// Void detects replay attacks from the *shape of the spectral power
+// distribution* of a single channel: cumulative power patterns, low-band
+// power peaks, and high-band decay, fed to a lightweight classifier. We
+// implement its feature spirit (power-distribution statistics rather than
+// learned band energies) so the liveness comparison in §II has a concrete
+// competitor. The HeadTalk paper notes Void covers at most 2.6 m, whereas
+// HeadTalk's detector keeps working at 5 m.
+#pragma once
+
+#include "audio/sample_buffer.h"
+#include "ml/dataset.h"
+
+namespace headtalk::baseline {
+
+struct VoidFeatureConfig {
+  double sample_rate = 16000.0;  ///< Void operates on 16 kHz speech
+  std::size_t power_segments = 24;  ///< cumulative-power curve resolution
+};
+
+/// Spectral-power-distribution features in the style of Void:
+///  - normalized cumulative power curve over `power_segments` points,
+///  - low-band (< 1 kHz) peak count and mean spacing,
+///  - linearity (R^2) of the cumulative power curve,
+///  - high-band decay slope and relative high-band power.
+class VoidFeatureExtractor {
+ public:
+  explicit VoidFeatureExtractor(VoidFeatureConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] ml::FeatureVector extract(const audio::Buffer& channel) const;
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return config_.power_segments + 5;
+  }
+
+ private:
+  VoidFeatureConfig config_;
+};
+
+}  // namespace headtalk::baseline

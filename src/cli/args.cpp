@@ -1,0 +1,109 @@
+#include "cli/args.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace headtalk::cli {
+
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         std::optional<std::string> default_value) {
+  declarations_.emplace_back(name, Flag{help, std::move(default_value), false});
+}
+
+void ArgParser::add_switch(const std::string& name, const std::string& help) {
+  declarations_.emplace_back(name, Flag{help, std::nullopt, true});
+}
+
+const ArgParser::Flag* ArgParser::find(const std::string& name) const {
+  for (const auto& [flag_name, flag] : declarations_) {
+    if (flag_name == name) return &flag;
+  }
+  return nullptr;
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      help_requested_ = true;
+      return;
+    }
+    if (token.rfind("--", 0) != 0) {
+      throw ArgsError("unexpected positional argument '" + token + "'");
+    }
+    std::string name = token;
+    std::optional<std::string> inline_value;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      name = token.substr(0, eq);
+      inline_value = token.substr(eq + 1);
+    }
+    const Flag* flag = find(name);
+    if (flag == nullptr) throw ArgsError("unknown flag '" + name + "'");
+    if (flag->is_switch) {
+      if (inline_value) throw ArgsError("switch '" + name + "' takes no value");
+      values_[name] = "1";
+      continue;
+    }
+    if (inline_value) {
+      values_[name] = *inline_value;
+      continue;
+    }
+    if (i + 1 >= argc) throw ArgsError("flag '" + name + "' needs a value");
+    values_[name] = argv[++i];
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  if (values_.contains(name)) return true;
+  const Flag* flag = find(name);
+  return flag != nullptr && flag->default_value.has_value();
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  const Flag* flag = find(name);
+  if (flag == nullptr) throw ArgsError("flag '" + name + "' was never declared");
+  if (flag->default_value) return *flag->default_value;
+  throw ArgsError("required flag '" + name + "' missing");
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string text = get(name);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw ArgsError("flag '" + name + "' expects a number, got '" + text + "'");
+  }
+  return value;
+}
+
+long ArgParser::get_int(const std::string& name) const {
+  const std::string text = get(name);
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw ArgsError("flag '" + name + "' expects an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+bool ArgParser::get_switch(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : declarations_) {
+    out << "  " << name;
+    if (!flag.is_switch) {
+      out << " <value>";
+      if (flag.default_value) out << " (default: " << *flag.default_value << ")";
+    }
+    out << "\n      " << flag.help << "\n";
+  }
+  out << "  --help\n      show this text\n";
+  return out.str();
+}
+
+}  // namespace headtalk::cli

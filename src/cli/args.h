@@ -1,0 +1,66 @@
+// Minimal command-line flag parser for the headtalk_* tools.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name` switches,
+// with typed accessors, defaults, required flags, and an auto-generated
+// usage string. Unknown flags are an error (typos must not silently run a
+// 20-minute simulation with default settings).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace headtalk::cli {
+
+class ArgsError : public std::runtime_error {
+ public:
+  explicit ArgsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Declares a string flag. Call all declarations before parse().
+  void add_flag(const std::string& name, const std::string& help,
+                std::optional<std::string> default_value = std::nullopt);
+  /// Declares a boolean switch (false unless present).
+  void add_switch(const std::string& name, const std::string& help);
+
+  /// Parses argv. Throws ArgsError on unknown flags, missing values, or
+  /// missing required flags. `--help` sets help_requested() instead.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_requested_; }
+
+  /// Typed accessors (only valid after parse()). get() throws ArgsError if
+  /// the flag was neither given nor given a default.
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] long get_int(const std::string& name) const;
+  [[nodiscard]] bool get_switch(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Human-readable usage text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::optional<std::string> default_value;
+    bool is_switch = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Flag>> declarations_;
+  std::map<std::string, std::string> values_;
+  bool help_requested_ = false;
+
+  [[nodiscard]] const Flag* find(const std::string& name) const;
+};
+
+}  // namespace headtalk::cli

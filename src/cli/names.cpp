@@ -1,0 +1,85 @@
+#include "cli/names.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+namespace headtalk::cli {
+namespace {
+
+std::string lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+[[noreturn]] void bad(const char* what, std::string_view text) {
+  throw std::invalid_argument(std::string("unknown ") + what + " '" + std::string(text) + "'");
+}
+
+}  // namespace
+
+sim::RoomId parse_room(std::string_view text) {
+  const auto t = lower(text);
+  if (t == "lab") return sim::RoomId::kLab;
+  if (t == "home") return sim::RoomId::kHome;
+  bad("room", text);
+}
+
+room::DeviceId parse_device(std::string_view text) {
+  const auto t = lower(text);
+  if (t == "d1") return room::DeviceId::kD1;
+  if (t == "d2") return room::DeviceId::kD2;
+  if (t == "d3") return room::DeviceId::kD3;
+  bad("device", text);
+}
+
+speech::WakeWord parse_wake_word(std::string_view text) {
+  const auto t = lower(text);
+  if (t == "computer") return speech::WakeWord::kComputer;
+  if (t == "amazon") return speech::WakeWord::kAmazon;
+  if (t == "hey-assistant" || t == "heyassistant" || t == "hey_assistant") {
+    return speech::WakeWord::kHeyAssistant;
+  }
+  bad("wake word", text);
+}
+
+sim::ReplaySource parse_replay(std::string_view text) {
+  const auto t = lower(text);
+  if (t == "none" || t == "live" || t == "human") return sim::ReplaySource::kNone;
+  if (t == "sony" || t == "high-end") return sim::ReplaySource::kHighEnd;
+  if (t == "phone" || t == "smartphone") return sim::ReplaySource::kSmartphone;
+  if (t == "tv" || t == "television") return sim::ReplaySource::kTelevision;
+  bad("replay source", text);
+}
+
+sim::GridLocation parse_location(std::string_view text) {
+  if (text.size() < 2) bad("grid location", text);
+  sim::GridLocation location;
+  switch (std::toupper(static_cast<unsigned char>(text[0]))) {
+    case 'L':
+      location.radial = sim::GridRadial::kLeft;
+      break;
+    case 'M':
+      location.radial = sim::GridRadial::kMiddle;
+      break;
+    case 'R':
+      location.radial = sim::GridRadial::kRight;
+      break;
+    default:
+      bad("grid location", text);
+  }
+  try {
+    location.distance_m = std::stod(std::string(text.substr(1)));
+  } catch (const std::exception&) {
+    bad("grid location", text);
+  }
+  if (location.distance_m <= 0.0 || location.distance_m > 8.0) {
+    bad("grid location", text);
+  }
+  return location;
+}
+
+}  // namespace headtalk::cli

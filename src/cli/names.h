@@ -1,0 +1,26 @@
+// String <-> enum mappings for the headtalk_* command-line tools.
+#pragma once
+
+#include <string_view>
+
+#include "room/mic_array.h"
+#include "sim/spec.h"
+
+namespace headtalk::cli {
+
+/// "lab" / "home". Throws std::invalid_argument on anything else.
+[[nodiscard]] sim::RoomId parse_room(std::string_view text);
+
+/// "D1" / "D2" / "D3" (case-insensitive).
+[[nodiscard]] room::DeviceId parse_device(std::string_view text);
+
+/// "computer" / "amazon" / "hey-assistant".
+[[nodiscard]] speech::WakeWord parse_wake_word(std::string_view text);
+
+/// "none" / "sony" / "phone" / "tv".
+[[nodiscard]] sim::ReplaySource parse_replay(std::string_view text);
+
+/// "L" / "M" / "R" radial + distance in metres, e.g. "M3".
+[[nodiscard]] sim::GridLocation parse_location(std::string_view text);
+
+}  // namespace headtalk::cli

@@ -1,0 +1,66 @@
+#include "core/facing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace headtalk::core {
+namespace {
+
+bool angle_in(double angle_deg, std::initializer_list<double> magnitudes) {
+  const double a = std::abs(angle_deg);
+  return std::any_of(magnitudes.begin(), magnitudes.end(),
+                     [a](double m) { return std::abs(a - m) < 1.0; });
+}
+
+}  // namespace
+
+std::string_view facing_definition_name(FacingDefinition def) {
+  switch (def) {
+    case FacingDefinition::kDefinition1:
+      return "Definition-1";
+    case FacingDefinition::kDefinition2:
+      return "Definition-2";
+    case FacingDefinition::kDefinition3:
+      return "Definition-3";
+    case FacingDefinition::kDefinition4:
+      return "Definition-4";
+  }
+  return "?";
+}
+
+const std::vector<FacingDefinition>& all_facing_definitions() {
+  static const std::vector<FacingDefinition> defs{
+      FacingDefinition::kDefinition1, FacingDefinition::kDefinition2,
+      FacingDefinition::kDefinition3, FacingDefinition::kDefinition4};
+  return defs;
+}
+
+bool is_facing_ground_truth(double angle_deg) {
+  double a = std::fmod(std::abs(angle_deg), 360.0);
+  if (a > 180.0) a = 360.0 - a;
+  return a <= 30.0 + 1e-9;
+}
+
+TrainingArc training_arc(FacingDefinition def, double angle_deg) {
+  switch (def) {
+    case FacingDefinition::kDefinition1:
+      if (angle_in(angle_deg, {0.0, 15.0, 30.0, 45.0})) return TrainingArc::kFacing;
+      if (angle_in(angle_deg, {60.0, 75.0, 90.0, 135.0, 180.0})) return TrainingArc::kNonFacing;
+      return TrainingArc::kExcluded;
+    case FacingDefinition::kDefinition2:
+      if (angle_in(angle_deg, {0.0, 15.0, 30.0})) return TrainingArc::kFacing;
+      if (angle_in(angle_deg, {60.0, 75.0, 90.0, 135.0, 180.0})) return TrainingArc::kNonFacing;
+      return TrainingArc::kExcluded;
+    case FacingDefinition::kDefinition3:
+      if (angle_in(angle_deg, {0.0, 15.0, 30.0})) return TrainingArc::kFacing;
+      if (angle_in(angle_deg, {75.0, 90.0, 135.0, 180.0})) return TrainingArc::kNonFacing;
+      return TrainingArc::kExcluded;
+    case FacingDefinition::kDefinition4:
+      if (angle_in(angle_deg, {0.0, 15.0, 30.0})) return TrainingArc::kFacing;
+      if (angle_in(angle_deg, {90.0, 135.0, 180.0})) return TrainingArc::kNonFacing;
+      return TrainingArc::kExcluded;
+  }
+  return TrainingArc::kExcluded;
+}
+
+}  // namespace headtalk::core

@@ -1,0 +1,42 @@
+// Facing / non-facing orientation definitions.
+//
+// HeadTalk defines the facing zone as [-30°, +30°] aligned with the human
+// immediate field of view, and treats (30°, 90°) as a soft "blind zone"
+// (§III-B1). §IV-A2 evaluates four training-arc definitions; Definition-4
+// (train facing on {0, ±15, ±30}, non-facing on {±90, ±135, 180}, leaving
+// the borderline arc out of training) performs best and is the default.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace headtalk::core {
+
+/// Angle labels used by the data-collection protocol, degrees. A sample's
+/// angle is the speaker's head direction relative to the ray toward the
+/// device; 0 = directly facing it.
+enum class FacingDefinition {
+  kDefinition1,  ///< facing {0,±15,±30,±45}; non-facing {±60,±75,±90,±135,180}
+  kDefinition2,  ///< facing {0,±15,±30};     non-facing {±60,±75,±90,±135,180}
+  kDefinition3,  ///< facing {0,±15,±30};     non-facing {±75,±90,±135,180}
+  kDefinition4,  ///< facing {0,±15,±30};     non-facing {±90,±135,180}
+};
+
+[[nodiscard]] std::string_view facing_definition_name(FacingDefinition def);
+
+/// All four definitions (Table III sweep).
+[[nodiscard]] const std::vector<FacingDefinition>& all_facing_definitions();
+
+/// Ground truth: is |angle| within the paper's facing zone ([-30, 30])?
+[[nodiscard]] bool is_facing_ground_truth(double angle_deg);
+
+/// Training-set membership under a definition. Angles in neither arc are
+/// excluded from training (the "soft boundary").
+enum class TrainingArc { kFacing, kNonFacing, kExcluded };
+[[nodiscard]] TrainingArc training_arc(FacingDefinition def, double angle_deg);
+
+/// Class labels used by the orientation classifier.
+inline constexpr int kLabelNonFacing = 0;
+inline constexpr int kLabelFacing = 1;
+
+}  // namespace headtalk::core

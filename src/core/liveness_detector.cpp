@@ -1,0 +1,45 @@
+#include "core/liveness_detector.h"
+
+#include <stdexcept>
+
+#include "ml/serialize.h"
+
+namespace headtalk::core {
+
+LivenessDetector::LivenessDetector(LivenessDetectorConfig config)
+    : config_(config), network_(config.mlp) {}
+
+void LivenessDetector::train(const ml::Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("LivenessDetector::train: empty dataset");
+  network_ = ml::Mlp(config_.mlp);
+  network_.fit(scaler_.fit_transform(data));
+  trained_ = true;
+}
+
+void LivenessDetector::incremental_update(const ml::Dataset& data, std::size_t epochs) {
+  if (!trained_) throw std::logic_error("LivenessDetector::incremental_update: train() first");
+  network_.fine_tune(scaler_.transform(data), epochs);
+}
+
+double LivenessDetector::score(const ml::FeatureVector& features) const {
+  if (!trained_) throw std::logic_error("LivenessDetector: not trained");
+  return network_.decision_value(scaler_.transform(features));
+}
+
+void LivenessDetector::save(std::ostream& out) const {
+  if (!trained_) throw std::logic_error("LivenessDetector::save: not trained");
+  ml::io::write_f64(out, config_.threshold);
+  scaler_.save(out);
+  network_.save(out);
+}
+
+LivenessDetector LivenessDetector::load(std::istream& in) {
+  LivenessDetector detector;
+  detector.config_.threshold = ml::io::read_f64(in);
+  detector.scaler_ = ml::StandardScaler::load(in);
+  detector.network_ = ml::Mlp::load(in);
+  detector.trained_ = true;
+  return detector;
+}
+
+}  // namespace headtalk::core

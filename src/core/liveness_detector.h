@@ -1,0 +1,56 @@
+// Liveness detector: human speech vs. mechanical-speaker replay (§III-A),
+// with the paper's incremental-learning protocol for domain adaptation
+// (§IV-A1: retraining on 20 % of new-domain data recovers the EER).
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/dataset.h"
+#include "ml/mlp.h"
+#include "ml/scaler.h"
+
+namespace headtalk::core {
+
+/// Class labels for liveness features.
+inline constexpr int kLabelReplay = 0;
+inline constexpr int kLabelLive = 1;
+
+struct LivenessDetectorConfig {
+  ml::MlpConfig mlp{};
+  double threshold = 0.5;  ///< accept as live when score >= threshold
+};
+
+class LivenessDetector {
+ public:
+  explicit LivenessDetector(LivenessDetectorConfig config = {});
+
+  /// Trains from scratch on features labelled kLabelLive / kLabelReplay.
+  void train(const ml::Dataset& data);
+
+  /// Incremental learning: continues training the current network on
+  /// new-domain samples (the scaler is kept fixed so old and new features
+  /// share one space).
+  void incremental_update(const ml::Dataset& data, std::size_t epochs = 10);
+
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+  /// P(live human) in [0, 1].
+  [[nodiscard]] double score(const ml::FeatureVector& features) const;
+  [[nodiscard]] bool is_live(const ml::FeatureVector& features) const {
+    return score(features) >= config_.threshold;
+  }
+
+  [[nodiscard]] const LivenessDetectorConfig& config() const noexcept { return config_; }
+
+  /// Persists the trained detector (scaler + network + threshold).
+  void save(std::ostream& out) const;
+  static LivenessDetector load(std::istream& in);
+
+ private:
+  LivenessDetectorConfig config_;
+  ml::StandardScaler scaler_;
+  ml::Mlp network_;
+  bool trained_ = false;
+};
+
+}  // namespace headtalk::core

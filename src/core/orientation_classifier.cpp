@@ -1,0 +1,108 @@
+#include "core/orientation_classifier.h"
+
+#include <stdexcept>
+
+#include "ml/grid_search.h"
+#include "ml/serialize.h"
+
+namespace headtalk::core {
+
+std::string_view classifier_kind_name(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kSvm:
+      return "SVM";
+    case ClassifierKind::kRandomForest:
+      return "RF";
+    case ClassifierKind::kDecisionTree:
+      return "DT";
+    case ClassifierKind::kKnn:
+      return "kNN";
+  }
+  return "?";
+}
+
+OrientationClassifier::OrientationClassifier(OrientationClassifierConfig config)
+    : config_(std::move(config)) {}
+
+void OrientationClassifier::train(const ml::Dataset& data) {
+  if (data.empty()) {
+    throw std::invalid_argument("OrientationClassifier::train: empty dataset");
+  }
+  const auto scaled = scaler_.fit_transform(data);
+  switch (config_.kind) {
+    case ClassifierKind::kSvm: {
+      ml::SvmConfig svm_config = config_.svm;
+      if (config_.tune_svm) {
+        svm_config = ml::svm_grid_search(scaled).best;
+      }
+      model_ = std::make_unique<ml::Svm>(svm_config);
+      break;
+    }
+    case ClassifierKind::kRandomForest:
+      model_ = std::make_unique<ml::RandomForest>(config_.forest);
+      break;
+    case ClassifierKind::kDecisionTree:
+      model_ = std::make_unique<ml::DecisionTree>(config_.tree);
+      break;
+    case ClassifierKind::kKnn:
+      model_ = std::make_unique<ml::Knn>(config_.knn);
+      break;
+  }
+  model_->fit(scaled);
+}
+
+int OrientationClassifier::predict(const ml::FeatureVector& features) const {
+  if (!trained()) throw std::logic_error("OrientationClassifier: not trained");
+  return model_->predict(scaler_.transform(features));
+}
+
+double OrientationClassifier::score(const ml::FeatureVector& features) const {
+  if (!trained()) throw std::logic_error("OrientationClassifier: not trained");
+  return model_->decision_value(scaler_.transform(features));
+}
+
+void OrientationClassifier::save(std::ostream& out) const {
+  if (!trained()) throw std::logic_error("OrientationClassifier::save: not trained");
+  ml::io::write_u32(out, static_cast<std::uint32_t>(config_.kind));
+  scaler_.save(out);
+  switch (config_.kind) {
+    case ClassifierKind::kSvm:
+      static_cast<const ml::Svm&>(*model_).save(out);
+      break;
+    case ClassifierKind::kRandomForest:
+      static_cast<const ml::RandomForest&>(*model_).save(out);
+      break;
+    case ClassifierKind::kDecisionTree:
+      static_cast<const ml::DecisionTree&>(*model_).save(out);
+      break;
+    case ClassifierKind::kKnn:
+      static_cast<const ml::Knn&>(*model_).save(out);
+      break;
+  }
+}
+
+OrientationClassifier OrientationClassifier::load(std::istream& in) {
+  OrientationClassifier classifier;
+  const auto kind = static_cast<ClassifierKind>(ml::io::read_u32(in));
+  classifier.config_.kind = kind;
+  classifier.scaler_ = ml::StandardScaler::load(in);
+  switch (kind) {
+    case ClassifierKind::kSvm:
+      classifier.model_ = std::make_unique<ml::Svm>(ml::Svm::load(in));
+      break;
+    case ClassifierKind::kRandomForest:
+      classifier.model_ = std::make_unique<ml::RandomForest>(ml::RandomForest::load(in));
+      break;
+    case ClassifierKind::kDecisionTree:
+      classifier.model_ = std::make_unique<ml::DecisionTree>(ml::DecisionTree::load(in));
+      break;
+    case ClassifierKind::kKnn:
+      classifier.model_ = std::make_unique<ml::Knn>(ml::Knn::load(in));
+      break;
+    default:
+      throw ml::SerializationError("OrientationClassifier: unknown model kind");
+  }
+  return classifier;
+}
+
+}  // namespace headtalk::core

@@ -1,0 +1,88 @@
+#include "core/orientation_features.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+#include "dsp/spectral.h"
+#include "dsp/srp.h"
+#include "dsp/stats.h"
+
+namespace headtalk::core {
+
+int OrientationFeatureExtractor::effective_max_lag(double sample_rate) const {
+  if (config_.max_lag > 0) return config_.max_lag;
+  return dsp::srp_max_lag(config_.max_mic_distance_m, sample_rate,
+                          config_.speed_of_sound);
+}
+
+std::size_t OrientationFeatureExtractor::dimension(std::size_t channels) const {
+  const std::size_t pairs = channels * (channels - 1) / 2;
+  // Lag-window length is only known with a sample rate; assume the default
+  // capture rate, which every prototype device uses.
+  const auto lag = static_cast<std::size_t>(effective_max_lag(audio::kDefaultSampleRate));
+  const std::size_t seq_len = 2 * lag + 1;
+  return config_.srp_peaks + 5        // SRP peaks + SRP summary stats
+         + pairs * seq_len + pairs    // GCC sequences + TDoAs
+         + pairs * 5                  // per-pair GCC summary stats
+         + 1                          // HLBR
+         + 3 * config_.low_band_chunks;
+}
+
+ml::FeatureVector OrientationFeatureExtractor::extract(
+    const audio::MultiBuffer& capture) const {
+  if (capture.channel_count() < 2) {
+    throw std::invalid_argument("OrientationFeatureExtractor: need >= 2 channels");
+  }
+  const double fs = capture.sample_rate();
+  const int max_lag = effective_max_lag(fs);
+
+  ml::FeatureVector features;
+  features.reserve(dimension(capture.channel_count()));
+
+  // --- Speech reverberation: SRP-PHAT + pairwise GCC-PHAT ---
+  const auto gcc = dsp::pairwise_gcc_phat(capture, max_lag);
+  const auto srp = dsp::srp_phat(gcc);
+
+  const auto peaks = dsp::top_peaks(srp.values, config_.srp_peaks);
+  features.insert(features.end(), peaks.begin(), peaks.end());
+  const auto srp_stats = dsp::summary_statistics(srp.values);
+  features.insert(features.end(), srp_stats.begin(), srp_stats.end());
+
+  for (const auto& pair : gcc.pairs) {
+    features.insert(features.end(), pair.gcc.values.begin(), pair.gcc.values.end());
+  }
+  for (const auto& pair : gcc.pairs) {
+    features.push_back(static_cast<double>(pair.gcc.peak_lag()));
+  }
+  for (const auto& pair : gcc.pairs) {
+    const auto stats = dsp::summary_statistics(pair.gcc.values);
+    features.insert(features.end(), stats.begin(), stats.end());
+  }
+
+  // --- Speech directivity: HLBR + banded low-band statistics ---
+  // The spectrum is normalized to the speech-band mean level (as in the
+  // paper's Fig. 5, "the spectrum was normalized"): the GCC/SRP block is
+  // already scale-invariant through the PHAT weighting, and un-normalized
+  // band magnitudes would make the classifier level-dependent — a 60 dB
+  // utterance must not look like a different orientation than an 80 dB one.
+  const auto mono = capture.mixdown();
+  const std::size_t fft_size = dsp::next_pow2(mono.size());
+  auto magnitude = dsp::magnitude_spectrum(mono.samples(), fft_size);
+  const double reference = dsp::band_mean_magnitude(
+      magnitude, fft_size, fs, config_.low_band_lo, config_.high_band_hi);
+  if (reference > 0.0) {
+    for (auto& m : magnitude) m /= reference;
+  }
+  features.push_back(dsp::high_low_band_ratio(magnitude, fft_size, fs,
+                                              config_.low_band_lo, config_.low_band_hi,
+                                              config_.high_band_lo, config_.high_band_hi));
+  const auto banded =
+      dsp::banded_statistics(magnitude, fft_size, fs, config_.low_band_lo,
+                             config_.low_band_hi, config_.low_band_chunks);
+  features.insert(features.end(), banded.begin(), banded.end());
+
+  return features;
+}
+
+}  // namespace headtalk::core

@@ -1,0 +1,59 @@
+// Orientation feature extraction (§III-B3).
+//
+// From a preprocessed multichannel capture:
+//   Speech reverberation features —
+//     * weighted SRP-PHAT over the array's physical lag window: the top-3
+//       peak values (Fig. 6b shows 3-4 reverberation peaks) and the five
+//       summary statistics of the sequence;
+//     * per-microphone-pair GCC-PHAT sequences (all lags) + the TDoA of
+//       each pair (for a 4-channel array and a 13-sample window:
+//       6 x 27 + 6 = 168 values, matching the paper's count) and summary
+//       statistics of each pair's sequence.
+//   Speech directivity features —
+//     * high/low band ratio HLBR (low band 100–400 Hz, high 500–4000 Hz);
+//     * the low band split into 20 chunks with {mean, RMS, std} each.
+#pragma once
+
+#include <vector>
+
+#include "audio/sample_buffer.h"
+#include "ml/dataset.h"
+
+namespace headtalk::core {
+
+struct OrientationFeatureConfig {
+  /// Lag window half-width in samples; 0 = derive from the mic spacing as
+  /// ceil(d * fs / c) (§III-B3: ±12/13/10 samples for D1/D2/D3 at 48 kHz).
+  int max_lag = 0;
+  double max_mic_distance_m = 0.09;  ///< used when max_lag == 0
+  double speed_of_sound = 340.0;     ///< the paper's value
+  /// Directivity bands.
+  double low_band_lo = 100.0, low_band_hi = 400.0;
+  double high_band_lo = 500.0, high_band_hi = 4000.0;
+  std::size_t low_band_chunks = 20;
+  /// Number of top SRP peaks kept.
+  std::size_t srp_peaks = 3;
+};
+
+class OrientationFeatureExtractor {
+ public:
+  explicit OrientationFeatureExtractor(OrientationFeatureConfig config = {})
+      : config_(config) {}
+
+  /// Extracts the feature vector from a preprocessed capture. The feature
+  /// length depends only on the channel count and lag window, so captures
+  /// from the same device configuration are mutually consistent.
+  [[nodiscard]] ml::FeatureVector extract(const audio::MultiBuffer& capture) const;
+
+  /// Feature dimension for a given channel count.
+  [[nodiscard]] std::size_t dimension(std::size_t channels) const;
+
+  [[nodiscard]] int effective_max_lag(double sample_rate) const;
+
+  [[nodiscard]] const OrientationFeatureConfig& config() const noexcept { return config_; }
+
+ private:
+  OrientationFeatureConfig config_;
+};
+
+}  // namespace headtalk::core

@@ -1,0 +1,104 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+namespace headtalk::core {
+
+std::string_view va_mode_name(VaMode mode) {
+  switch (mode) {
+    case VaMode::kNormal:
+      return "normal";
+    case VaMode::kMute:
+      return "mute";
+    case VaMode::kHeadTalk:
+      return "headtalk";
+  }
+  return "?";
+}
+
+std::string_view decision_name(Decision decision) {
+  switch (decision) {
+    case Decision::kAccepted:
+      return "accepted";
+    case Decision::kRejectedMuted:
+      return "rejected-muted";
+    case Decision::kRejectedReplay:
+      return "rejected-replay";
+    case Decision::kRejectedNotFacing:
+      return "rejected-not-facing";
+  }
+  return "?";
+}
+
+HeadTalkPipeline::HeadTalkPipeline(OrientationClassifier orientation,
+                                   LivenessDetector liveness, PipelineConfig config)
+    : orientation_(std::move(orientation)),
+      liveness_(std::move(liveness)),
+      config_(std::move(config)),
+      orientation_extractor_(config_.orientation_features),
+      liveness_extractor_(config_.liveness_features) {
+  if (!orientation_.trained() || !liveness_.trained()) {
+    throw std::invalid_argument("HeadTalkPipeline: both detectors must be trained");
+  }
+}
+
+void HeadTalkPipeline::set_mode(VaMode mode) noexcept {
+  mode_ = mode;
+  session_active_ = false;
+}
+
+PipelineResult HeadTalkPipeline::evaluate(const audio::MultiBuffer& capture,
+                                          bool followup) {
+  PipelineResult result;
+  if (mode_ == VaMode::kMute) {
+    result.decision = Decision::kRejectedMuted;
+    return result;
+  }
+  if (mode_ == VaMode::kNormal) {
+    result.decision = Decision::kAccepted;
+    return result;
+  }
+
+  // --- HeadTalk mode ---
+  const auto denoised = preprocess(capture, config_.preprocess);
+
+  // Liveness first (Fig. 2): a replayed wake word is rejected outright,
+  // whether or not a session is open — a session belongs to a human.
+  result.liveness_checked = true;
+  result.liveness_score =
+      liveness_.score(liveness_extractor_.extract(denoised.channel(0)));
+  result.live = result.liveness_score >= liveness_.config().threshold;
+  if (!result.live) {
+    result.decision = Decision::kRejectedReplay;
+    session_active_ = false;
+    return result;
+  }
+
+  if (followup && session_active_) {
+    result.via_open_session = true;
+    result.decision = Decision::kAccepted;
+    return result;
+  }
+
+  result.orientation_checked = true;
+  const auto features = orientation_extractor_.extract(denoised);
+  result.orientation_score = orientation_.score(features);
+  result.facing = orientation_.is_facing(features);
+  if (!result.facing) {
+    result.decision = Decision::kRejectedNotFacing;
+    return result;
+  }
+  result.decision = Decision::kAccepted;
+  session_active_ = true;
+  return result;
+}
+
+PipelineResult HeadTalkPipeline::process_wake_word(const audio::MultiBuffer& capture) {
+  return evaluate(capture, /*followup=*/false);
+}
+
+PipelineResult HeadTalkPipeline::process_followup(const audio::MultiBuffer& capture) {
+  return evaluate(capture, /*followup=*/true);
+}
+
+}  // namespace headtalk::core

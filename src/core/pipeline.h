@@ -1,0 +1,97 @@
+// The HeadTalk privacy-control pipeline (Fig. 1 + Fig. 2).
+//
+// Modes:
+//   Normal   — every detected wake word is accepted (stock VA behaviour).
+//   Mute     — microphones disabled; everything rejected.
+//   HeadTalk — a wake word is accepted only if (1) the liveness detector
+//              classifies it as live human speech and (2) the orientation
+//              classifier says the speaker is facing the device. Once a
+//              session is open, follow-up commands need not face the device
+//              (§I: "the user does not need to continuously face the device
+//              for the remaining session").
+#pragma once
+
+#include <string_view>
+
+#include "audio/sample_buffer.h"
+#include "core/liveness_detector.h"
+#include "core/liveness_features.h"
+#include "core/orientation_classifier.h"
+#include "core/orientation_features.h"
+#include "core/preprocess.h"
+
+namespace headtalk::core {
+
+enum class VaMode { kNormal, kMute, kHeadTalk };
+
+[[nodiscard]] std::string_view va_mode_name(VaMode mode);
+
+enum class Decision {
+  kAccepted,           ///< wake word accepted; audio may go to the cloud
+  kRejectedMuted,      ///< device is in mute mode
+  kRejectedReplay,     ///< liveness check failed (mechanical speaker)
+  kRejectedNotFacing,  ///< live human, but not facing the device
+};
+
+[[nodiscard]] std::string_view decision_name(Decision decision);
+
+struct PipelineResult {
+  Decision decision = Decision::kRejectedMuted;
+  bool liveness_checked = false;
+  bool live = false;
+  double liveness_score = 0.0;
+  bool orientation_checked = false;
+  bool facing = false;
+  double orientation_score = 0.0;
+  /// True when the acceptance came from an already-open session.
+  bool via_open_session = false;
+};
+
+struct PipelineConfig {
+  PreprocessConfig preprocess{};
+  OrientationFeatureConfig orientation_features{};
+  LivenessFeatureConfig liveness_features{};
+};
+
+/// Owns the two trained detectors and applies the mode state machine.
+class HeadTalkPipeline {
+ public:
+  HeadTalkPipeline(OrientationClassifier orientation, LivenessDetector liveness,
+                   PipelineConfig config = {});
+
+  [[nodiscard]] VaMode mode() const noexcept { return mode_; }
+  void set_mode(VaMode mode) noexcept;
+
+  [[nodiscard]] bool session_active() const noexcept { return session_active_; }
+  /// Ends the current interaction session (e.g. VA timeout).
+  void end_session() noexcept { session_active_ = false; }
+
+  /// Processes a detected wake-word capture under the current mode. A
+  /// successful HeadTalk acceptance opens a session.
+  [[nodiscard]] PipelineResult process_wake_word(const audio::MultiBuffer& capture);
+
+  /// Processes a follow-up command within an open session (HeadTalk mode
+  /// accepts it without the orientation check; other modes behave as for a
+  /// wake word).
+  [[nodiscard]] PipelineResult process_followup(const audio::MultiBuffer& capture);
+
+  [[nodiscard]] const OrientationClassifier& orientation() const noexcept {
+    return orientation_;
+  }
+  [[nodiscard]] const LivenessDetector& liveness() const noexcept { return liveness_; }
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] PipelineResult evaluate(const audio::MultiBuffer& capture,
+                                        bool followup);
+
+  OrientationClassifier orientation_;
+  LivenessDetector liveness_;
+  PipelineConfig config_;
+  OrientationFeatureExtractor orientation_extractor_;
+  LivenessFeatureExtractor liveness_extractor_;
+  VaMode mode_ = VaMode::kNormal;
+  bool session_active_ = false;
+};
+
+}  // namespace headtalk::core

@@ -1,0 +1,31 @@
+// Wake-command preprocessing (the "Preprocessing" block of Fig. 2):
+// fifth-order Butterworth band-pass keeping 100 Hz – 16 kHz, plus
+// energy-based trimming of leading/trailing silence.
+#pragma once
+
+#include "audio/sample_buffer.h"
+
+namespace headtalk::core {
+
+struct PreprocessConfig {
+  int filter_order = 5;
+  double low_hz = 100.0;
+  double high_hz = 16000.0;
+  /// Trim threshold relative to the capture's peak RMS (dB); <= -120
+  /// disables trimming.
+  double trim_threshold_db = -35.0;
+  double trim_frame_ms = 10.0;
+  /// Padding kept around the detected utterance.
+  double trim_pad_ms = 40.0;
+};
+
+/// Returns the denoised (band-passed, trimmed) capture. All channels are
+/// trimmed to the same span so inter-channel delays are preserved.
+[[nodiscard]] audio::MultiBuffer preprocess(const audio::MultiBuffer& capture,
+                                            const PreprocessConfig& config = {});
+
+/// Mono overload (used by the liveness path, which needs one channel).
+[[nodiscard]] audio::Buffer preprocess(const audio::Buffer& capture,
+                                       const PreprocessConfig& config = {});
+
+}  // namespace headtalk::core

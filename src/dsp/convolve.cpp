@@ -1,0 +1,38 @@
+#include "dsp/convolve.h"
+
+#include <algorithm>
+
+#include "dsp/fft.h"
+
+namespace headtalk::dsp {
+
+std::vector<audio::Sample> convolve_direct(std::span<const audio::Sample> x,
+                                           std::span<const audio::Sample> h) {
+  if (x.empty() || h.empty()) return {};
+  std::vector<audio::Sample> y(x.size() + h.size() - 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const audio::Sample xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < h.size(); ++j) y[i + j] += xi * h[j];
+  }
+  return y;
+}
+
+std::vector<audio::Sample> convolve_fft(std::span<const audio::Sample> x,
+                                        std::span<const audio::Sample> h) {
+  if (x.empty() || h.empty()) return {};
+  const std::size_t out_len = x.size() + h.size() - 1;
+  const std::size_t n = std::max<std::size_t>(2, next_pow2(out_len));
+  auto xs = rfft_half(x, n);
+  xs.multiply(rfft_half(h, n));
+  return irfft_half(xs, out_len);
+}
+
+audio::Buffer convolve(const audio::Buffer& x, std::span<const audio::Sample> h,
+                       bool trim_to_input) {
+  auto y = convolve_fft(x.samples(), h);
+  if (trim_to_input) y.resize(x.size());
+  return audio::Buffer(std::move(y), x.sample_rate());
+}
+
+}  // namespace headtalk::dsp

@@ -1,0 +1,31 @@
+// Linear convolution (direct and FFT-based).
+//
+// Room simulation renders a capture as speech ⊛ RIR per microphone; RIRs are
+// thousands of taps long, so the FFT path is the workhorse.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+
+namespace headtalk::dsp {
+
+/// Direct O(N*M) convolution; output length N+M-1. Intended for short
+/// kernels and as a reference for tests.
+[[nodiscard]] std::vector<audio::Sample> convolve_direct(
+    std::span<const audio::Sample> x, std::span<const audio::Sample> h);
+
+/// FFT-based convolution; output length N+M-1. Identical (to numerical
+/// precision) to convolve_direct.
+[[nodiscard]] std::vector<audio::Sample> convolve_fft(
+    std::span<const audio::Sample> x, std::span<const audio::Sample> h);
+
+/// Convolves a buffer with an impulse response, preserving sample rate.
+/// `trim_to_input` keeps only the first x.size() samples (the usual choice
+/// when applying a room impulse response to a finite utterance).
+[[nodiscard]] audio::Buffer convolve(const audio::Buffer& x,
+                                     std::span<const audio::Sample> h,
+                                     bool trim_to_input = false);
+
+}  // namespace headtalk::dsp

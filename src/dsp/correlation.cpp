@@ -1,0 +1,92 @@
+#include "dsp/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+
+namespace headtalk::dsp {
+namespace {
+
+// Shared core: computes IFFT( W(f) * X(f) * conj(Y(f)) ) and extracts the
+// symmetric lag window. `phat` selects phase-transform weighting.
+CorrelationSequence correlate_spectra(const HalfSpectrum& xs, const HalfSpectrum& ys,
+                                      int max_lag, bool phat, double epsilon) {
+  if (max_lag < 0) throw std::invalid_argument("correlate: max_lag must be >= 0");
+  const std::size_t n = xs.fft_size;
+  HalfSpectrum cross;
+  cross.fft_size = n;
+  cross.bins.resize(xs.bins.size());
+  for (std::size_t i = 0; i < cross.bins.size(); ++i) {
+    Complex c = xs.bins[i] * std::conj(ys.bins[i]);
+    if (phat) {
+      const double mag = std::abs(c);
+      c = mag > epsilon ? c / mag : Complex{0.0, 0.0};
+    }
+    cross.bins[i] = c;
+  }
+  const auto r = irfft_half(cross);
+
+  CorrelationSequence out;
+  out.max_lag = max_lag;
+  out.values.resize(2 * static_cast<std::size_t>(max_lag) + 1);
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    // Negative lags wrap to the tail of the circular correlation.
+    const std::size_t idx = lag >= 0 ? static_cast<std::size_t>(lag)
+                                     : n - static_cast<std::size_t>(-lag);
+    out.values[static_cast<std::size_t>(lag + max_lag)] = idx < r.size() ? r[idx] : 0.0;
+  }
+  return out;
+}
+
+CorrelationSequence correlate(std::span<const audio::Sample> x,
+                              std::span<const audio::Sample> y, int max_lag,
+                              bool phat, double epsilon) {
+  if (max_lag < 0) throw std::invalid_argument("correlate: max_lag must be >= 0");
+  if (x.empty() || y.empty()) {
+    return CorrelationSequence{std::vector<double>(2 * max_lag + 1, 0.0), max_lag};
+  }
+  const std::size_t n = std::max<std::size_t>(
+      2, next_pow2(std::max(x.size(), y.size()) + static_cast<std::size_t>(max_lag) + 1));
+  return correlate_spectra(rfft_half(x, n), rfft_half(y, n), max_lag, phat, epsilon);
+}
+
+}  // namespace
+
+int CorrelationSequence::peak_lag() const {
+  if (values.empty()) return 0;
+  const auto it = std::max_element(values.begin(), values.end());
+  return static_cast<int>(std::distance(values.begin(), it)) - max_lag;
+}
+
+double CorrelationSequence::peak_value() const {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+CorrelationSequence cross_correlation(std::span<const audio::Sample> x,
+                                      std::span<const audio::Sample> y, int max_lag) {
+  return correlate(x, y, max_lag, /*phat=*/false, 0.0);
+}
+
+CorrelationSequence gcc_phat(std::span<const audio::Sample> x,
+                             std::span<const audio::Sample> y, int max_lag,
+                             double epsilon) {
+  return correlate(x, y, max_lag, /*phat=*/true, epsilon);
+}
+
+CorrelationSequence gcc_phat_from_spectra(const HalfSpectrum& x, const HalfSpectrum& y,
+                                          int max_lag, double epsilon) {
+  if (x.fft_size != y.fft_size) {
+    throw std::invalid_argument("gcc_phat_from_spectra: fft-size mismatch");
+  }
+  return correlate_spectra(x, y, max_lag, /*phat=*/true, epsilon);
+}
+
+int tdoa_samples(std::span<const audio::Sample> x, std::span<const audio::Sample> y,
+                 int max_lag) {
+  return gcc_phat(x, y, max_lag).peak_lag();
+}
+
+}  // namespace headtalk::dsp

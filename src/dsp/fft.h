@@ -1,0 +1,69 @@
+// Radix-2 iterative FFT and helpers.
+//
+// Everything downstream (GCC-PHAT, SRP-PHAT, spectra, fast convolution)
+// funnels through this module, so it is kept dependency-free and simple:
+// power-of-two complex transforms with a real-input convenience wrapper.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+
+namespace headtalk::dsp {
+
+using Complex = std::complex<double>;
+
+/// Smallest power of two >= n (returns 1 for n == 0).
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// In-place forward FFT. `x.size()` must be a power of two.
+/// Throws std::invalid_argument otherwise.
+void fft(std::vector<Complex>& x);
+
+/// In-place inverse FFT (includes the 1/N scaling).
+void ifft(std::vector<Complex>& x);
+
+/// Forward FFT of a real signal, zero-padded to `fft_size` (power of two,
+/// defaults to next_pow2(x.size())). Returns the full complex spectrum of
+/// length fft_size (conjugate-symmetric).
+[[nodiscard]] std::vector<Complex> rfft(std::span<const audio::Sample> x,
+                                        std::size_t fft_size = 0);
+
+/// Inverse of rfft: returns the real part of the inverse transform,
+/// truncated to `out_size` samples (0 = full fft length).
+[[nodiscard]] std::vector<audio::Sample> irfft(std::vector<Complex> spectrum,
+                                               std::size_t out_size = 0);
+
+/// One-sided ("half") spectrum of a real signal: bins 0..N/2 inclusive.
+/// Produced by rfft_half; multiply element-wise and invert with irfft_half.
+struct HalfSpectrum {
+  std::vector<Complex> bins;  ///< size fft_size/2 + 1
+  std::size_t fft_size = 0;
+
+  /// Element-wise product (sizes must match).
+  void multiply(const HalfSpectrum& other);
+  /// Element-wise accumulate of a*b into this.
+  void add_product(const HalfSpectrum& a, const HalfSpectrum& b);
+};
+
+/// Real-input FFT via the packed N/2 complex transform — ~2x faster than
+/// rfft for the same input. fft_size must be a power of two >= 2.
+[[nodiscard]] HalfSpectrum rfft_half(std::span<const audio::Sample> x,
+                                     std::size_t fft_size = 0);
+
+/// Inverse of rfft_half; returns `out_size` real samples (0 = fft_size).
+[[nodiscard]] std::vector<audio::Sample> irfft_half(const HalfSpectrum& spectrum,
+                                                    std::size_t out_size = 0);
+
+/// Magnitudes of the one-sided spectrum (bins 0 .. fft_size/2 inclusive).
+[[nodiscard]] std::vector<double> magnitude_spectrum(
+    std::span<const audio::Sample> x, std::size_t fft_size = 0);
+
+/// Frequency in Hz of one-sided spectrum bin `k` at the given fft size/rate.
+[[nodiscard]] double bin_frequency(std::size_t k, std::size_t fft_size,
+                                   double sample_rate) noexcept;
+
+}  // namespace headtalk::dsp

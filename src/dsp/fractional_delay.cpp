@@ -1,0 +1,50 @@
+#include "dsp/fractional_delay.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace headtalk::dsp {
+namespace {
+
+double windowed_sinc(double x, int half_width) {
+  if (std::abs(x) >= half_width) return 0.0;
+  const double px = std::numbers::pi * x;
+  const double sinc = std::abs(x) < 1e-12 ? 1.0 : std::sin(px) / px;
+  // Hann window over [-half_width, half_width].
+  const double w = 0.5 + 0.5 * std::cos(px / half_width);
+  return sinc * w;
+}
+
+}  // namespace
+
+void add_fractional_impulse(std::span<audio::Sample> target, double delay_samples,
+                            double amplitude, int half_width) {
+  const auto center = static_cast<long>(std::floor(delay_samples));
+  for (long k = center - half_width; k <= center + half_width + 1; ++k) {
+    if (k < 0 || k >= static_cast<long>(target.size())) continue;
+    const double x = static_cast<double>(k) - delay_samples;
+    target[static_cast<std::size_t>(k)] += amplitude * windowed_sinc(x, half_width);
+  }
+}
+
+std::vector<audio::Sample> fractional_delay(std::span<const audio::Sample> x,
+                                            double delay_samples, int half_width) {
+  std::vector<audio::Sample> out(x.size(), 0.0);
+  // y[n] = sum_k x[k] * h(n - k - delay)  ==  convolution with a shifted
+  // sinc; implemented output-side for clarity.
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    const double center = static_cast<double>(n) - delay_samples;
+    const auto first = static_cast<long>(std::ceil(center - half_width));
+    const auto last = static_cast<long>(std::floor(center + half_width));
+    double acc = 0.0;
+    for (long k = std::max<long>(first, 0);
+         k <= std::min<long>(last, static_cast<long>(x.size()) - 1); ++k) {
+      acc += x[static_cast<std::size_t>(k)] *
+             windowed_sinc(center - static_cast<double>(k), half_width);
+    }
+    out[n] = acc;
+  }
+  return out;
+}
+
+}  // namespace headtalk::dsp

@@ -1,0 +1,28 @@
+// Fractional-delay impulse placement.
+//
+// The image-source room model produces echo arrival times that are not
+// integer sample counts; rounding them would bias TDoA estimates by up to
+// half a sample (== several degrees of bearing at these array apertures).
+// We instead spread each impulse over a short windowed-sinc kernel centred
+// at the exact fractional delay.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+
+namespace headtalk::dsp {
+
+/// Adds `amplitude * sinc(t - delay_samples)` into `target`, windowed to
+/// `half_width` taps on each side (Hann-windowed sinc). Contributions
+/// falling outside the buffer are dropped.
+void add_fractional_impulse(std::span<audio::Sample> target, double delay_samples,
+                            double amplitude, int half_width = 32);
+
+/// Returns a signal equal to `x` delayed by `delay_samples` (may be
+/// fractional and/or negative), same length as x.
+[[nodiscard]] std::vector<audio::Sample> fractional_delay(
+    std::span<const audio::Sample> x, double delay_samples, int half_width = 32);
+
+}  // namespace headtalk::dsp

@@ -1,0 +1,90 @@
+#include "dsp/srp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace headtalk::dsp {
+
+PairwiseGcc pairwise_gcc_phat(const audio::MultiBuffer& capture, int max_lag) {
+  PairwiseGcc out;
+  out.max_lag = max_lag;
+  const std::size_t n = capture.channel_count();
+  if (n == 0) return out;
+
+  // One forward FFT per channel, shared across all pairs.
+  const std::size_t fft_size = std::max<std::size_t>(
+      2, next_pow2(capture.frames() + static_cast<std::size_t>(max_lag) + 1));
+  std::vector<HalfSpectrum> spectra;
+  spectra.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    spectra.push_back(rfft_half(capture.channel(c).samples(), fft_size));
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      out.pairs.push_back(PairwiseGcc::Pair{
+          i, j, gcc_phat_from_spectra(spectra[i], spectra[j], max_lag)});
+    }
+  }
+  return out;
+}
+
+CorrelationSequence srp_phat(const PairwiseGcc& gcc) {
+  CorrelationSequence srp;
+  srp.max_lag = gcc.max_lag;
+  srp.values.assign(2 * static_cast<std::size_t>(gcc.max_lag) + 1, 0.0);
+  for (const auto& pair : gcc.pairs) {
+    for (std::size_t k = 0; k < srp.values.size(); ++k) {
+      srp.values[k] += pair.gcc.values[k];
+    }
+  }
+  return srp;
+}
+
+CorrelationSequence srp_phat(const audio::MultiBuffer& capture, int max_lag) {
+  return srp_phat(pairwise_gcc_phat(capture, max_lag));
+}
+
+int srp_max_lag(double max_mic_distance_m, double sample_rate, double speed_of_sound) {
+  if (max_mic_distance_m <= 0.0 || sample_rate <= 0.0 || speed_of_sound <= 0.0) {
+    throw std::invalid_argument("srp_max_lag: arguments must be positive");
+  }
+  // Tolerant ceiling: d * fs / c that lands on an integer (e.g. D1's
+  // 0.085 m * 48 kHz / 340 = 12.0) must not round up from FP noise.
+  const double n = max_mic_distance_m * sample_rate / speed_of_sound;
+  return std::max(1, static_cast<int>(std::ceil(n - 1e-9)));
+}
+
+std::vector<double> top_peaks(const std::vector<double>& seq, std::size_t k,
+                              std::size_t min_separation) {
+  struct Peak {
+    std::size_t index;
+    double value;
+  };
+  std::vector<Peak> peaks;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const bool left_ok = i == 0 || seq[i] >= seq[i - 1];
+    const bool right_ok = i + 1 == seq.size() || seq[i] > seq[i + 1];
+    if (left_ok && right_ok) peaks.push_back({i, seq[i]});
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+
+  std::vector<Peak> kept;
+  for (const auto& p : peaks) {
+    const bool far_enough = std::all_of(kept.begin(), kept.end(), [&](const Peak& q) {
+      const std::size_t d = p.index > q.index ? p.index - q.index : q.index - p.index;
+      return d >= min_separation;
+    });
+    if (far_enough) kept.push_back(p);
+    if (kept.size() == k) break;
+  }
+
+  std::vector<double> out;
+  out.reserve(k);
+  for (const auto& p : kept) out.push_back(p.value);
+  while (out.size() < k) out.push_back(0.0);  // pad when fewer peaks exist
+  return out;
+}
+
+}  // namespace headtalk::dsp

@@ -1,0 +1,75 @@
+#include "dsp/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace headtalk::dsp {
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size());
+}
+
+double standard_deviation(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double skewness(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  const double sd = standard_deviation(x);
+  if (sd <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += std::pow((v - m) / sd, 3.0);
+  return acc / static_cast<double>(x.size());
+}
+
+double kurtosis(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  const double var = variance(x);
+  if (var <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += std::pow(v - m, 4.0);
+  return acc / (static_cast<double>(x.size()) * var * var) - 3.0;
+}
+
+double mean_absolute_deviation(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v - m);
+  return acc / static_cast<double>(x.size());
+}
+
+double maximum(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  return *std::max_element(x.begin(), x.end());
+}
+
+double minimum(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  return *std::min_element(x.begin(), x.end());
+}
+
+double root_mean_square(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+std::vector<double> summary_statistics(std::span<const double> x) {
+  return {kurtosis(x), skewness(x), maximum(x), mean_absolute_deviation(x),
+          standard_deviation(x)};
+}
+
+}  // namespace headtalk::dsp

@@ -1,0 +1,25 @@
+// Statistical summaries used as classifier features (§III-B3: kurtosis,
+// skewness, maximum, mean absolute deviation, standard deviation of the
+// SRP and GCC sequences).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace headtalk::dsp {
+
+[[nodiscard]] double mean(std::span<const double> x);
+[[nodiscard]] double variance(std::span<const double> x);        ///< population variance
+[[nodiscard]] double standard_deviation(std::span<const double> x);
+[[nodiscard]] double skewness(std::span<const double> x);        ///< 0 for constant input
+[[nodiscard]] double kurtosis(std::span<const double> x);        ///< excess kurtosis; 0 for constant input
+[[nodiscard]] double mean_absolute_deviation(std::span<const double> x);
+[[nodiscard]] double maximum(std::span<const double> x);         ///< 0 for empty input
+[[nodiscard]] double minimum(std::span<const double> x);         ///< 0 for empty input
+[[nodiscard]] double root_mean_square(std::span<const double> x);
+
+/// The five summary statistics the paper lists, in a fixed order:
+/// {kurtosis, skewness, maximum, MAD, std}.
+[[nodiscard]] std::vector<double> summary_statistics(std::span<const double> x);
+
+}  // namespace headtalk::dsp

@@ -1,0 +1,42 @@
+#include "dsp/stft.h"
+
+#include <stdexcept>
+
+#include "dsp/fft.h"
+
+namespace headtalk::dsp {
+
+std::vector<double> Spectrogram::mean_magnitude() const {
+  std::vector<double> mean(bin_count(), 0.0);
+  if (frames.empty()) return mean;
+  for (const auto& f : frames) {
+    for (std::size_t k = 0; k < mean.size(); ++k) mean[k] += f[k];
+  }
+  for (auto& v : mean) v /= static_cast<double>(frames.size());
+  return mean;
+}
+
+Spectrogram stft(const audio::Buffer& x, const StftConfig& config) {
+  if (config.hop_size == 0) throw std::invalid_argument("stft: hop_size must be > 0");
+  if (next_pow2(config.frame_size) != config.frame_size) {
+    throw std::invalid_argument("stft: frame_size must be a power of two");
+  }
+  Spectrogram out;
+  out.fft_size = config.frame_size;
+  out.sample_rate = x.sample_rate();
+  if (x.empty()) return out;
+
+  const auto window = make_window(config.window, config.frame_size);
+  std::vector<audio::Sample> frame(config.frame_size);
+  for (std::size_t start = 0; start < x.size(); start += config.hop_size) {
+    for (std::size_t i = 0; i < config.frame_size; ++i) {
+      const std::size_t src = start + i;
+      frame[i] = src < x.size() ? x[src] * window[i] : 0.0;
+    }
+    out.frames.push_back(magnitude_spectrum(frame, config.frame_size));
+    if (start + config.frame_size >= x.size()) break;
+  }
+  return out;
+}
+
+}  // namespace headtalk::dsp

@@ -1,0 +1,37 @@
+// Short-time Fourier transform: framing + per-frame magnitude spectra.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+#include "dsp/window.h"
+
+namespace headtalk::dsp {
+
+struct StftConfig {
+  std::size_t frame_size = 1024;   ///< analysis window length (power of two)
+  std::size_t hop_size = 512;      ///< frame advance
+  WindowType window = WindowType::kHann;
+};
+
+/// A magnitude spectrogram: frames x (frame_size/2 + 1) bins.
+struct Spectrogram {
+  std::vector<std::vector<double>> frames;  ///< magnitude per frame
+  std::size_t fft_size = 0;
+  double sample_rate = 0.0;
+
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames.size(); }
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return frames.empty() ? 0 : frames.front().size();
+  }
+
+  /// Mean magnitude per bin across all frames.
+  [[nodiscard]] std::vector<double> mean_magnitude() const;
+};
+
+/// Computes the magnitude spectrogram of `x`. The final partial frame is
+/// zero-padded. Throws on a non-power-of-two frame size or zero hop.
+[[nodiscard]] Spectrogram stft(const audio::Buffer& x, const StftConfig& config = {});
+
+}  // namespace headtalk::dsp

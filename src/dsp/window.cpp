@@ -1,0 +1,41 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace headtalk::dsp {
+
+std::vector<double> make_window(WindowType type, std::size_t length) {
+  std::vector<double> w(length, 1.0);
+  if (length == 0) return w;
+  const double n = static_cast<double>(length);
+  constexpr double tau = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < length; ++i) {
+    const double x = static_cast<double>(i) / n;
+    switch (type) {
+      case WindowType::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(tau * x);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(tau * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(tau * x) + 0.08 * std::cos(2.0 * tau * x);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(std::span<audio::Sample> frame, std::span<const double> window) {
+  if (frame.size() != window.size()) {
+    throw std::invalid_argument("apply_window: size mismatch");
+  }
+  for (std::size_t i = 0; i < frame.size(); ++i) frame[i] *= window[i];
+}
+
+}  // namespace headtalk::dsp

@@ -1,0 +1,26 @@
+// Analysis window functions for STFT / spectral feature extraction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+
+namespace headtalk::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Returns the window coefficients of the given length (periodic form,
+/// suitable for STFT analysis).
+[[nodiscard]] std::vector<double> make_window(WindowType type, std::size_t length);
+
+/// Multiplies `frame` by `window` element-wise (sizes must match).
+void apply_window(std::span<audio::Sample> frame, std::span<const double> window);
+
+}  // namespace headtalk::dsp

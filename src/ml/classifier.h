@@ -1,0 +1,33 @@
+// Common classifier interface (binary and multi-class share it; every model
+// in this library is used in binary mode by HeadTalk, but the trees/kNN are
+// label-agnostic).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace headtalk::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the dataset (replacing any previous fit).
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Predicts the label of one sample.
+  [[nodiscard]] virtual int predict(const FeatureVector& x) const = 0;
+
+  /// A continuous confidence for the positive class (higher = more
+  /// positive). Models without a natural score return the predicted label.
+  [[nodiscard]] virtual double decision_value(const FeatureVector& x) const {
+    return static_cast<double>(predict(x));
+  }
+
+  /// Predicts every row of a dataset.
+  [[nodiscard]] std::vector<int> predict_all(const Dataset& data) const;
+};
+
+}  // namespace headtalk::ml

@@ -1,0 +1,112 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace headtalk::ml {
+
+void Dataset::add(FeatureVector x, int label) {
+  if (!features.empty() && x.size() != features.front().size()) {
+    throw std::invalid_argument("Dataset::add: feature dimension mismatch");
+  }
+  features.push_back(std::move(x));
+  labels.push_back(label);
+}
+
+void Dataset::append(const Dataset& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) add(other.features[i], other.labels[i]);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.features.reserve(indices.size());
+  for (std::size_t i : indices) {
+    out.features.push_back(features.at(i));
+    out.labels.push_back(labels.at(i));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::indices_of_label(int label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Dataset::distinct_labels() const {
+  std::vector<int> out(labels);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t Dataset::count_label(int label) const {
+  return static_cast<std::size_t>(std::count(labels.begin(), labels.end(), label));
+}
+
+void Dataset::shuffle(std::mt19937& rng) {
+  for (std::size_t i = size(); i > 1; --i) {
+    const std::size_t j = std::uniform_int_distribution<std::size_t>(0, i - 1)(rng);
+    std::swap(features[i - 1], features[j]);
+    std::swap(labels[i - 1], labels[j]);
+  }
+}
+
+std::pair<Dataset, Dataset> stratified_split(const Dataset& data, double test_fraction,
+                                             std::mt19937& rng) {
+  if (test_fraction < 0.0 || test_fraction > 1.0) {
+    throw std::invalid_argument("stratified_split: fraction must be in [0, 1]");
+  }
+  std::vector<std::size_t> train_idx, test_idx;
+  for (int label : data.distinct_labels()) {
+    auto idx = data.indices_of_label(label);
+    std::shuffle(idx.begin(), idx.end(), rng);
+    std::size_t n_test = static_cast<std::size_t>(test_fraction * static_cast<double>(idx.size()) + 0.5);
+    if (idx.size() >= 2 && test_fraction > 0.0) n_test = std::max<std::size_t>(n_test, 1);
+    n_test = std::min(n_test, idx.size());
+    test_idx.insert(test_idx.end(), idx.begin(), idx.begin() + static_cast<long>(n_test));
+    train_idx.insert(train_idx.end(), idx.begin() + static_cast<long>(n_test), idx.end());
+  }
+  return {data.subset(train_idx), data.subset(test_idx)};
+}
+
+std::vector<std::pair<Dataset, Dataset>> stratified_kfold(const Dataset& data,
+                                                          std::size_t k,
+                                                          std::mt19937& rng) {
+  if (k < 2) throw std::invalid_argument("stratified_kfold: k must be >= 2");
+  // Assign each sample to a fold, round-robin within its class.
+  std::vector<std::size_t> fold_of(data.size(), 0);
+  for (int label : data.distinct_labels()) {
+    auto idx = data.indices_of_label(label);
+    std::shuffle(idx.begin(), idx.end(), rng);
+    for (std::size_t i = 0; i < idx.size(); ++i) fold_of[idx[i]] = i % k;
+  }
+  std::vector<std::pair<Dataset, Dataset>> out;
+  out.reserve(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    std::vector<std::size_t> train_idx, test_idx;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (fold_of[i] == f ? test_idx : train_idx).push_back(i);
+    }
+    out.emplace_back(data.subset(train_idx), data.subset(test_idx));
+  }
+  return out;
+}
+
+Dataset per_class_subsample(const Dataset& data, std::size_t per_class,
+                            std::mt19937& rng) {
+  std::vector<std::size_t> keep;
+  for (int label : data.distinct_labels()) {
+    auto idx = data.indices_of_label(label);
+    std::shuffle(idx.begin(), idx.end(), rng);
+    const std::size_t n = std::min(per_class, idx.size());
+    keep.insert(keep.end(), idx.begin(), idx.begin() + static_cast<long>(n));
+  }
+  std::sort(keep.begin(), keep.end());
+  return data.subset(keep);
+}
+
+}  // namespace headtalk::ml

@@ -1,0 +1,61 @@
+// Feature-matrix containers and split utilities for the classical-ML stack.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace headtalk::ml {
+
+using FeatureVector = std::vector<double>;
+
+/// A labelled dataset: one feature row per sample plus an integer label.
+struct Dataset {
+  std::vector<FeatureVector> features;
+  std::vector<int> labels;
+
+  [[nodiscard]] std::size_t size() const noexcept { return features.size(); }
+  [[nodiscard]] bool empty() const noexcept { return features.empty(); }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return features.empty() ? 0 : features.front().size();
+  }
+
+  /// Appends one sample. Throws if the dimension disagrees with existing rows.
+  void add(FeatureVector x, int label);
+
+  /// Appends all samples of another dataset.
+  void append(const Dataset& other);
+
+  /// Rows at the given indices, in order.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Indices of all samples with the given label.
+  [[nodiscard]] std::vector<std::size_t> indices_of_label(int label) const;
+
+  /// Distinct labels, ascending.
+  [[nodiscard]] std::vector<int> distinct_labels() const;
+
+  /// Count of samples with the given label.
+  [[nodiscard]] std::size_t count_label(int label) const;
+
+  /// In-place Fisher-Yates shuffle of rows.
+  void shuffle(std::mt19937& rng);
+};
+
+/// Stratified train/test split: each label contributes `test_fraction` of
+/// its samples to the test set (at least 1 when it has >= 2 samples).
+[[nodiscard]] std::pair<Dataset, Dataset> stratified_split(const Dataset& data,
+                                                           double test_fraction,
+                                                           std::mt19937& rng);
+
+/// Stratified k folds; returns (train, test) pairs covering each fold once.
+[[nodiscard]] std::vector<std::pair<Dataset, Dataset>> stratified_kfold(
+    const Dataset& data, std::size_t k, std::mt19937& rng);
+
+/// Per-class subsample: keeps at most `per_class` random samples per label.
+[[nodiscard]] Dataset per_class_subsample(const Dataset& data, std::size_t per_class,
+                                          std::mt19937& rng);
+
+}  // namespace headtalk::ml

@@ -1,0 +1,88 @@
+#include "ml/forest.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "ml/serialize.h"
+
+namespace headtalk::ml {
+namespace {
+constexpr std::uint32_t kForestMagic = 0x48544652;  // "HTFR"
+constexpr std::uint32_t kForestVersion = 1;
+}  // namespace
+
+void RandomForest::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("RandomForest::fit: empty dataset");
+  const auto classes = data.distinct_labels();
+  negative_label_ = classes.front();
+  positive_label_ = classes.back();
+
+  trees_.clear();
+  trees_.reserve(config_.tree_count);
+  std::mt19937 rng(config_.seed);
+  std::uniform_int_distribution<std::size_t> pick(0, data.size() - 1);
+
+  const std::size_t max_features =
+      config_.max_features != 0
+          ? config_.max_features
+          : std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(
+                                         static_cast<double>(data.dim()))));
+
+  for (std::size_t t = 0; t < config_.tree_count; ++t) {
+    // Bootstrap sample with replacement.
+    Dataset bag;
+    bag.features.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const std::size_t j = pick(rng);
+      bag.features.push_back(data.features[j]);
+      bag.labels.push_back(data.labels[j]);
+    }
+    TreeConfig tc;
+    tc.max_depth = config_.max_depth;
+    tc.min_samples_leaf = config_.min_samples_leaf;
+    tc.max_features = max_features;
+    tc.seed = rng();
+    DecisionTree tree(tc);
+    tree.fit(bag);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::decision_value(const FeatureVector& x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.decision_value(x);
+  return acc / static_cast<double>(trees_.size());
+}
+
+int RandomForest::predict(const FeatureVector& x) const {
+  return decision_value(x) >= 0.5 ? positive_label_ : negative_label_;
+}
+
+void RandomForest::save(std::ostream& out) const {
+  if (trees_.empty()) throw SerializationError("RandomForest::save: not fitted");
+  io::write_header(out, kForestMagic, kForestVersion);
+  io::write_i64(out, negative_label_);
+  io::write_i64(out, positive_label_);
+  io::write_u32(out, static_cast<std::uint32_t>(trees_.size()));
+  for (const auto& tree : trees_) tree.save(out);
+}
+
+RandomForest RandomForest::load(std::istream& in) {
+  io::expect_header(in, kForestMagic, kForestVersion, "RandomForest");
+  RandomForest forest;
+  forest.negative_label_ = static_cast<int>(io::read_i64(in));
+  forest.positive_label_ = static_cast<int>(io::read_i64(in));
+  const auto count = io::read_u32(in);
+  if (count == 0 || count > 100000) {
+    throw SerializationError("RandomForest: implausible tree count");
+  }
+  forest.trees_.reserve(count);
+  for (std::uint32_t t = 0; t < count; ++t) {
+    forest.trees_.push_back(DecisionTree::load(in));
+  }
+  return forest;
+}
+
+}  // namespace headtalk::ml

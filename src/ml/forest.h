@@ -1,0 +1,41 @@
+// Random forest: bagged CART trees with per-split feature subsampling
+// (the paper's RF uses bagging with 200 trees, §IV-A).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/tree.h"
+
+namespace headtalk::ml {
+
+struct ForestConfig {
+  std::size_t tree_count = 200;
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 1;
+  /// Features per split; 0 = floor(sqrt(d)).
+  std::size_t max_features = 0;
+  std::uint32_t seed = 1;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(ForestConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(const FeatureVector& x) const override;
+  /// Mean positive-leaf fraction over the ensemble.
+  [[nodiscard]] double decision_value(const FeatureVector& x) const override;
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+
+  /// Binary persistence of the fitted ensemble.
+  void save(std::ostream& out) const;
+  static RandomForest load(std::istream& in);
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  int positive_label_ = 1, negative_label_ = 0;
+};
+
+}  // namespace headtalk::ml

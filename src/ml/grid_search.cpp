@@ -1,0 +1,35 @@
+#include "ml/grid_search.h"
+
+#include "ml/metrics.h"
+
+namespace headtalk::ml {
+
+GridSearchResult svm_grid_search(const Dataset& data, const GridSearchConfig& config) {
+  GridSearchResult result;
+  std::mt19937 rng(config.seed);
+  const auto folds = stratified_kfold(data, config.folds, rng);
+  const double base_gamma = 1.0 / static_cast<double>(data.dim());
+
+  for (double c : config.c_values) {
+    for (double gscale : config.gamma_scales) {
+      SvmConfig sc;
+      sc.c = c;
+      sc.gamma = base_gamma * gscale;
+      double acc_sum = 0.0;
+      for (const auto& [train, test] : folds) {
+        Svm svm(sc);
+        svm.fit(train);
+        acc_sum += accuracy(test.labels, svm.predict_all(test));
+      }
+      const double cv_acc = acc_sum / static_cast<double>(folds.size());
+      result.trials.push_back({c, sc.gamma, cv_acc});
+      if (cv_acc > result.best_cv_accuracy) {
+        result.best_cv_accuracy = cv_acc;
+        result.best = sc;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace headtalk::ml

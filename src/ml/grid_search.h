@@ -1,0 +1,39 @@
+// Hyper-parameter selection for the SVM: k-fold cross-validated grid search
+// over (C, gamma), matching the paper's "select the best complexity
+// parameter for RBF through grid search ... with 10-fold cross validation"
+// (§IV-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/svm.h"
+
+namespace headtalk::ml {
+
+struct GridSearchConfig {
+  std::vector<double> c_values{0.5, 1.0, 4.0, 16.0};
+  /// Multipliers of the default gamma (1/dim).
+  std::vector<double> gamma_scales{0.25, 1.0, 4.0};
+  std::size_t folds = 5;
+  std::uint32_t seed = 1;
+};
+
+struct GridSearchResult {
+  SvmConfig best;
+  double best_cv_accuracy = 0.0;
+  /// All evaluated (C, gamma, accuracy) triples, in sweep order.
+  struct Trial {
+    double c = 0.0;
+    double gamma = 0.0;
+    double cv_accuracy = 0.0;
+  };
+  std::vector<Trial> trials;
+};
+
+/// Sweeps the grid with stratified k-fold CV and returns the best SvmConfig.
+[[nodiscard]] GridSearchResult svm_grid_search(const Dataset& data,
+                                               const GridSearchConfig& config = {});
+
+}  // namespace headtalk::ml

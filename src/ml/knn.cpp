@@ -1,0 +1,94 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/serialize.h"
+
+namespace headtalk::ml {
+namespace {
+constexpr std::uint32_t kKnnMagic = 0x48544b4e;  // "HTKN"
+constexpr std::uint32_t kKnnVersion = 1;
+}  // namespace
+
+void Knn::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("Knn::fit: empty dataset");
+  train_ = data;
+  positive_label_ = data.distinct_labels().back();
+}
+
+std::vector<std::size_t> Knn::neighbours(const FeatureVector& x) const {
+  if (train_.empty()) throw std::logic_error("Knn: not fitted");
+  std::vector<double> dist(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    double d2 = 0.0;
+    const auto& row = train_.features[i];
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double d = row[j] - x[j];
+      d2 += d * d;
+    }
+    dist[i] = d2;
+  }
+  std::vector<std::size_t> order(train_.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t k = std::min(config_.k, train_.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k), order.end(),
+                    [&](std::size_t a, std::size_t b) { return dist[a] < dist[b]; });
+  order.resize(k);
+  return order;
+}
+
+int Knn::predict(const FeatureVector& x) const {
+  std::map<int, std::size_t> votes;
+  for (std::size_t i : neighbours(x)) ++votes[train_.labels[i]];
+  int best = 0;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double Knn::decision_value(const FeatureVector& x) const {
+  const auto nn = neighbours(x);
+  std::size_t pos = 0;
+  for (std::size_t i : nn) {
+    if (train_.labels[i] == positive_label_) ++pos;
+  }
+  return nn.empty() ? 0.0 : static_cast<double>(pos) / static_cast<double>(nn.size());
+}
+
+void Knn::save(std::ostream& out) const {
+  if (train_.empty()) throw SerializationError("Knn::save: not fitted");
+  io::write_header(out, kKnnMagic, kKnnVersion);
+  io::write_u32(out, static_cast<std::uint32_t>(config_.k));
+  io::write_i64(out, positive_label_);
+  io::write_u32(out, static_cast<std::uint32_t>(train_.size()));
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    io::write_i64(out, train_.labels[i]);
+    io::write_f64_vector(out, train_.features[i]);
+  }
+}
+
+Knn Knn::load(std::istream& in) {
+  io::expect_header(in, kKnnMagic, kKnnVersion, "Knn");
+  Knn knn;
+  knn.config_.k = io::read_u32(in);
+  knn.positive_label_ = static_cast<int>(io::read_i64(in));
+  const auto count = io::read_u32(in);
+  if (count == 0 || count > (1u << 24)) {
+    throw SerializationError("Knn: implausible sample count");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto label = static_cast<int>(io::read_i64(in));
+    knn.train_.add(io::read_f64_vector(in), label);
+  }
+  return knn;
+}
+
+}  // namespace headtalk::ml

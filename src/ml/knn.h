@@ -1,0 +1,33 @@
+// k-nearest-neighbours classifier (Euclidean metric; the paper uses k = 3).
+#pragma once
+
+#include "ml/classifier.h"
+
+namespace headtalk::ml {
+
+struct KnnConfig {
+  std::size_t k = 3;
+};
+
+class Knn final : public Classifier {
+ public:
+  explicit Knn(KnnConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(const FeatureVector& x) const override;
+  /// Fraction of the k neighbours carrying the positive (largest) label.
+  [[nodiscard]] double decision_value(const FeatureVector& x) const override;
+
+  /// Binary persistence (stores the reference set).
+  void save(std::ostream& out) const;
+  static Knn load(std::istream& in);
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> neighbours(const FeatureVector& x) const;
+
+  KnnConfig config_;
+  Dataset train_;
+  int positive_label_ = 1;
+};
+
+}  // namespace headtalk::ml

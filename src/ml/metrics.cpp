@@ -1,0 +1,125 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace headtalk::ml {
+
+double BinaryMetrics::accuracy() const {
+  const auto n = total();
+  return n == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double BinaryMetrics::precision() const {
+  const auto d = tp + fp;
+  return d == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(d);
+}
+
+double BinaryMetrics::recall() const {
+  const auto d = tp + fn;
+  return d == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(d);
+}
+
+double BinaryMetrics::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double BinaryMetrics::far() const {
+  const auto d = fp + tn;
+  return d == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(d);
+}
+
+double BinaryMetrics::frr() const {
+  const auto d = tp + fn;
+  return d == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(d);
+}
+
+BinaryMetrics binary_metrics(std::span<const int> y_true, std::span<const int> y_pred,
+                             int positive_label) {
+  if (y_true.size() != y_pred.size()) {
+    throw std::invalid_argument("binary_metrics: size mismatch");
+  }
+  BinaryMetrics m;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const bool actual = y_true[i] == positive_label;
+    const bool predicted = y_pred[i] == positive_label;
+    if (actual && predicted) ++m.tp;
+    else if (actual && !predicted) ++m.fn;
+    else if (!actual && predicted) ++m.fp;
+    else ++m.tn;
+  }
+  return m;
+}
+
+double accuracy(std::span<const int> y_true, std::span<const int> y_pred) {
+  if (y_true.size() != y_pred.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (y_true.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(y_true.size());
+}
+
+double equal_error_rate(std::span<const double> scores, std::span<const int> labels,
+                        int positive_label) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("equal_error_rate: size mismatch");
+  }
+  std::size_t n_pos = 0, n_neg = 0;
+  for (int l : labels) (l == positive_label ? n_pos : n_neg)++;
+  if (n_pos == 0 || n_neg == 0) {
+    throw std::invalid_argument("equal_error_rate: need both classes");
+  }
+
+  // Sweep thresholds at every distinct score, descending: samples with
+  // score >= threshold are accepted as positive.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  // Before any acceptance: FRR = 1, FAR = 0.
+  double prev_far = 0.0, prev_frr = 1.0;
+  std::size_t accepted_pos = 0, accepted_neg = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (labels[order[i]] == positive_label ? accepted_pos : accepted_neg)++;
+    // Only evaluate at boundaries between distinct scores.
+    if (i + 1 < order.size() && scores[order[i + 1]] == scores[order[i]]) continue;
+    const double cur_far = static_cast<double>(accepted_neg) / static_cast<double>(n_neg);
+    const double cur_frr = 1.0 - static_cast<double>(accepted_pos) / static_cast<double>(n_pos);
+    if (cur_far >= cur_frr) {
+      // Crossed the FAR == FRR point between the previous and current
+      // threshold; interpolate linearly on the (FAR - FRR) gap.
+      const double prev_gap = prev_frr - prev_far;  // >= 0
+      const double cur_gap = cur_far - cur_frr;     // >= 0
+      const double t = prev_gap + cur_gap > 0.0 ? prev_gap / (prev_gap + cur_gap) : 0.5;
+      const double far_t = prev_far + t * (cur_far - prev_far);
+      const double frr_t = prev_frr + t * (cur_frr - prev_frr);
+      return 0.5 * (far_t + frr_t);
+    }
+    prev_far = cur_far;
+    prev_frr = cur_frr;
+  }
+  return prev_far;  // degenerate: all accepted
+}
+
+MeanStd mean_std(std::span<const double> values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  for (double v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  if (values.size() < 2) return out;
+  double acc = 0.0;
+  for (double v : values) acc += (v - out.mean) * (v - out.mean);
+  out.std_dev = std::sqrt(acc / static_cast<double>(values.size() - 1));
+  return out;
+}
+
+}  // namespace headtalk::ml

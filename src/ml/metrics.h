@@ -1,0 +1,51 @@
+// Evaluation metrics used throughout §IV: accuracy, precision/recall/F1,
+// TPR, FAR (false-acceptance), FRR (false-rejection), confusion counts,
+// and the equal error rate (EER) for score-based detectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace headtalk::ml {
+
+/// Binary confusion counts with the conventional derived rates. The
+/// "positive" class is the class of interest (facing / live-human).
+struct BinaryMetrics {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept { return tp + fp + tn + fn; }
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;  ///< == TPR
+  [[nodiscard]] double f1() const;
+  /// False-acceptance rate: negatives classified positive (FP / (FP+TN)).
+  [[nodiscard]] double far() const;
+  /// False-rejection rate: positives classified negative (FN / (TP+FN)).
+  [[nodiscard]] double frr() const;
+};
+
+/// Tallies predictions against ground truth; `positive_label` selects which
+/// label counts as positive. Sizes must match.
+[[nodiscard]] BinaryMetrics binary_metrics(std::span<const int> y_true,
+                                           std::span<const int> y_pred,
+                                           int positive_label = 1);
+
+/// Multi-class accuracy (fraction of exact matches).
+[[nodiscard]] double accuracy(std::span<const int> y_true, std::span<const int> y_pred);
+
+/// Equal error rate of a score-based detector: scores are higher for the
+/// positive class; returns the rate where FAR == FRR (linear interpolation
+/// across the threshold sweep) in [0, 1].
+[[nodiscard]] double equal_error_rate(std::span<const double> scores,
+                                      std::span<const int> labels,
+                                      int positive_label = 1);
+
+/// Mean and sample standard deviation of a set of scores (e.g. per-session
+/// F1 values reported as "95.92 +/- 1.2").
+struct MeanStd {
+  double mean = 0.0;
+  double std_dev = 0.0;
+};
+[[nodiscard]] MeanStd mean_std(std::span<const double> values);
+
+}  // namespace headtalk::ml

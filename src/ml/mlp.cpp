@@ -1,0 +1,214 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "ml/serialize.h"
+
+namespace headtalk::ml {
+namespace {
+
+constexpr std::uint32_t kMlpMagic = 0x48544d50;  // "HTMP"
+constexpr std::uint32_t kMlpVersion = 1;
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+void Mlp::initialize(std::size_t input_dim) {
+  layers_.clear();
+  std::mt19937 rng(config_.seed);
+  std::size_t in = input_dim;
+  auto make_layer = [&rng](std::size_t fan_in, std::size_t fan_out) {
+    Layer l;
+    l.in = fan_in;
+    l.out = fan_out;
+    // He initialization for the ReLU stack.
+    const double scale = std::sqrt(2.0 / static_cast<double>(fan_in));
+    std::normal_distribution<double> g(0.0, scale);
+    l.w.resize(fan_in * fan_out);
+    for (auto& v : l.w) v = g(rng);
+    l.b.assign(fan_out, 0.0);
+    l.vw.assign(fan_in * fan_out, 0.0);
+    l.vb.assign(fan_out, 0.0);
+    return l;
+  };
+  for (std::size_t h : config_.hidden_layers) {
+    layers_.push_back(make_layer(in, h));
+    in = h;
+  }
+  layers_.push_back(make_layer(in, 1));  // sigmoid logit
+}
+
+double Mlp::forward(const FeatureVector& x,
+                    std::vector<std::vector<double>>* activations) const {
+  std::vector<double> a(x.begin(), x.end());
+  if (activations != nullptr) {
+    activations->clear();
+    activations->push_back(a);
+  }
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& l = layers_[li];
+    std::vector<double> z(l.out, 0.0);
+    for (std::size_t o = 0; o < l.out; ++o) {
+      const double* row = &l.w[o * l.in];
+      double acc = l.b[o];
+      for (std::size_t i = 0; i < l.in; ++i) acc += row[i] * a[i];
+      z[o] = acc;
+    }
+    const bool last = li + 1 == layers_.size();
+    if (!last) {
+      for (auto& v : z) v = std::max(0.0, v);  // ReLU
+    }
+    a = std::move(z);
+    if (activations != nullptr) activations->push_back(a);
+  }
+  return sigmoid(a[0]);
+}
+
+void Mlp::train_epochs(const Dataset& data, std::size_t epochs,
+                       std::uint32_t shuffle_seed) {
+  std::mt19937 rng(shuffle_seed);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const double lr = config_.learning_rate;
+  const double mu = config_.momentum;
+  const std::size_t batch = std::max<std::size_t>(1, config_.batch_size);
+
+  // Gradient accumulators matching layer shapes.
+  std::vector<std::vector<double>> gw(layers_.size()), gb(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    gw[li].assign(layers_[li].w.size(), 0.0);
+    gb[li].assign(layers_[li].b.size(), 0.0);
+  }
+
+  std::vector<std::vector<double>> acts;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t end = std::min(order.size(), start + batch);
+      for (auto& g : gw) std::fill(g.begin(), g.end(), 0.0);
+      for (auto& g : gb) std::fill(g.begin(), g.end(), 0.0);
+
+      for (std::size_t s = start; s < end; ++s) {
+        const std::size_t idx = order[s];
+        const double target = data.labels[idx] == positive_label_ ? 1.0 : 0.0;
+        const double p = forward(data.features[idx], &acts);
+
+        // BCE with sigmoid output: dL/dz_out = p - target.
+        std::vector<double> delta{p - target};
+        for (std::size_t li = layers_.size(); li-- > 0;) {
+          const Layer& l = layers_[li];
+          const auto& a_in = acts[li];
+          for (std::size_t o = 0; o < l.out; ++o) {
+            gb[li][o] += delta[o];
+            double* grow = &gw[li][o * l.in];
+            for (std::size_t i = 0; i < l.in; ++i) grow[i] += delta[o] * a_in[i];
+          }
+          if (li == 0) break;
+          // Back-propagate through the ReLU of the previous layer.
+          std::vector<double> prev(l.in, 0.0);
+          for (std::size_t i = 0; i < l.in; ++i) {
+            if (acts[li][i] <= 0.0) continue;  // ReLU gate
+            double acc = 0.0;
+            for (std::size_t o = 0; o < l.out; ++o) acc += l.w[o * l.in + i] * delta[o];
+            prev[i] = acc;
+          }
+          delta = std::move(prev);
+        }
+      }
+
+      const double inv_n = 1.0 / static_cast<double>(end - start);
+      for (std::size_t li = 0; li < layers_.size(); ++li) {
+        Layer& l = layers_[li];
+        for (std::size_t k = 0; k < l.w.size(); ++k) {
+          const double grad = gw[li][k] * inv_n + config_.l2 * l.w[k];
+          l.vw[k] = mu * l.vw[k] - lr * grad;
+          l.w[k] += l.vw[k];
+        }
+        for (std::size_t k = 0; k < l.b.size(); ++k) {
+          l.vb[k] = mu * l.vb[k] - lr * gb[li][k] * inv_n;
+          l.b[k] += l.vb[k];
+        }
+      }
+    }
+  }
+}
+
+void Mlp::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("Mlp::fit: empty dataset");
+  const auto classes = data.distinct_labels();
+  if (classes.size() != 2) throw std::invalid_argument("Mlp::fit: exactly two classes required");
+  negative_label_ = classes[0];
+  positive_label_ = classes[1];
+  initialize(data.dim());
+  train_epochs(data, config_.epochs, config_.seed + 17);
+  fitted_ = true;
+}
+
+void Mlp::fine_tune(const Dataset& data, std::size_t epochs) {
+  if (!fitted_) throw std::logic_error("Mlp::fine_tune: fit() first");
+  if (data.empty()) return;
+  train_epochs(data, epochs, config_.seed + 7919);
+}
+
+double Mlp::decision_value(const FeatureVector& x) const {
+  if (!fitted_) throw std::logic_error("Mlp: not fitted");
+  return forward(x, nullptr);
+}
+
+int Mlp::predict(const FeatureVector& x) const {
+  return decision_value(x) >= 0.5 ? positive_label_ : negative_label_;
+}
+
+void Mlp::save(std::ostream& out) const {
+  if (!fitted_) throw SerializationError("Mlp::save: network not fitted");
+  io::write_header(out, kMlpMagic, kMlpVersion);
+  io::write_i64(out, negative_label_);
+  io::write_i64(out, positive_label_);
+  io::write_u32(out, static_cast<std::uint32_t>(layers_.size()));
+  for (const auto& layer : layers_) {
+    io::write_u32(out, static_cast<std::uint32_t>(layer.in));
+    io::write_u32(out, static_cast<std::uint32_t>(layer.out));
+    io::write_f64_vector(out, layer.w);
+    io::write_f64_vector(out, layer.b);
+  }
+}
+
+Mlp Mlp::load(std::istream& in) {
+  io::expect_header(in, kMlpMagic, kMlpVersion, "Mlp");
+  Mlp mlp;
+  mlp.negative_label_ = static_cast<int>(io::read_i64(in));
+  mlp.positive_label_ = static_cast<int>(io::read_i64(in));
+  const auto layer_count = io::read_u32(in);
+  if (layer_count == 0 || layer_count > 64) {
+    throw SerializationError("Mlp: implausible layer count");
+  }
+  mlp.layers_.resize(layer_count);
+  mlp.config_.hidden_layers.clear();
+  for (auto& layer : mlp.layers_) {
+    layer.in = io::read_u32(in);
+    layer.out = io::read_u32(in);
+    layer.w = io::read_f64_vector(in);
+    layer.b = io::read_f64_vector(in);
+    if (layer.w.size() != layer.in * layer.out || layer.b.size() != layer.out) {
+      throw SerializationError("Mlp: layer shape mismatch");
+    }
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.vb.assign(layer.b.size(), 0.0);
+  }
+  for (std::size_t li = 0; li + 1 < mlp.layers_.size(); ++li) {
+    mlp.config_.hidden_layers.push_back(mlp.layers_[li].out);
+  }
+  if (mlp.layers_.back().out != 1) {
+    throw SerializationError("Mlp: output layer must have one unit");
+  }
+  mlp.fitted_ = true;
+  return mlp;
+}
+
+}  // namespace headtalk::ml

@@ -1,0 +1,70 @@
+// Feed-forward neural network (ReLU hidden layers, sigmoid output, BCE
+// loss, minibatch SGD with momentum).
+//
+// Stands in for the paper's wav2vec2-based liveness network (§III-A): the
+// substitution note in DESIGN.md explains why a compact network over
+// log-spectral features preserves the experiment's behaviour. Supports the
+// paper's incremental-learning protocol (retraining on a small slice of
+// new-domain data, §IV-A1 / §IV-B9) via fine_tune().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace headtalk::ml {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden_layers{64, 32};
+  double learning_rate = 0.02;
+  double momentum = 0.9;
+  double l2 = 1e-4;
+  std::size_t epochs = 20;
+  std::size_t batch_size = 16;
+  std::uint32_t seed = 1;
+};
+
+class Mlp final : public Classifier {
+ public:
+  explicit Mlp(MlpConfig config = {}) : config_(config) {}
+
+  /// Trains from a fresh random initialization for config.epochs.
+  void fit(const Dataset& data) override;
+
+  /// Continues training the current weights on (typically new-domain) data.
+  /// Throws std::logic_error when the network has not been fitted.
+  void fine_tune(const Dataset& data, std::size_t epochs);
+
+  [[nodiscard]] int predict(const FeatureVector& x) const override;
+  /// P(positive class) in [0, 1].
+  [[nodiscard]] double decision_value(const FeatureVector& x) const override;
+
+  [[nodiscard]] const MlpConfig& config() const noexcept { return config_; }
+
+  /// Binary persistence of the trained network (weights + labels).
+  void save(std::ostream& out) const;
+  static Mlp load(std::istream& in);
+
+ private:
+  struct Layer {
+    std::size_t in = 0, out = 0;
+    std::vector<double> w;   ///< out x in, row-major
+    std::vector<double> b;
+    std::vector<double> vw;  ///< momentum buffers
+    std::vector<double> vb;
+  };
+
+  void initialize(std::size_t input_dim);
+  void train_epochs(const Dataset& data, std::size_t epochs, std::uint32_t shuffle_seed);
+  [[nodiscard]] double forward(const FeatureVector& x,
+                               std::vector<std::vector<double>>* activations) const;
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  int negative_label_ = 0, positive_label_ = 1;
+  bool fitted_ = false;
+};
+
+}  // namespace headtalk::ml

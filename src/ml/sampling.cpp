@@ -1,0 +1,138 @@
+#include "ml/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace headtalk::ml {
+namespace {
+
+double squared_distance(const FeatureVector& a, const FeatureVector& b) {
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+// Indices (into `pool`) of the k nearest pool rows to `x`, excluding an
+// optional self index.
+std::vector<std::size_t> k_nearest(const FeatureVector& x,
+                                   const std::vector<const FeatureVector*>& pool,
+                                   std::size_t k, std::size_t self_index) {
+  std::vector<std::size_t> order;
+  order.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (i != self_index) order.push_back(i);
+  }
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k), order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return squared_distance(*pool[a], x) < squared_distance(*pool[b], x);
+                    });
+  order.resize(k);
+  return order;
+}
+
+FeatureVector interpolate(const FeatureVector& a, const FeatureVector& b, double t) {
+  FeatureVector out(a.size());
+  for (std::size_t j = 0; j < a.size(); ++j) out[j] = a[j] + t * (b[j] - a[j]);
+  return out;
+}
+
+std::size_t resolve_target(const Dataset& data, int minority_label,
+                           std::size_t target_count) {
+  if (target_count != 0) return target_count;
+  std::size_t majority = 0;
+  for (int label : data.distinct_labels()) {
+    if (label != minority_label) majority = std::max(majority, data.count_label(label));
+  }
+  return majority;
+}
+
+}  // namespace
+
+Dataset smote(const Dataset& data, int minority_label, std::size_t target_count,
+              const SamplingConfig& config) {
+  const auto minority_idx = data.indices_of_label(minority_label);
+  if (minority_idx.size() < 2) {
+    throw std::invalid_argument("smote: need at least two minority samples");
+  }
+  const std::size_t target = resolve_target(data, minority_label, target_count);
+  Dataset out = data;
+  if (minority_idx.size() >= target) return out;
+
+  std::vector<const FeatureVector*> pool;
+  pool.reserve(minority_idx.size());
+  for (std::size_t i : minority_idx) pool.push_back(&data.features[i]);
+
+  std::mt19937 rng(config.seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+  std::size_t to_make = target - minority_idx.size();
+  while (to_make-- > 0) {
+    const std::size_t base = pick(rng);
+    const auto nn = k_nearest(*pool[base], pool, config.k_neighbours, base);
+    const std::size_t mate = nn[std::uniform_int_distribution<std::size_t>(0, nn.size() - 1)(rng)];
+    out.add(interpolate(*pool[base], *pool[mate], u01(rng)), minority_label);
+  }
+  return out;
+}
+
+Dataset adasyn(const Dataset& data, int minority_label, std::size_t target_count,
+               const SamplingConfig& config) {
+  const auto minority_idx = data.indices_of_label(minority_label);
+  if (minority_idx.size() < 2) {
+    throw std::invalid_argument("adasyn: need at least two minority samples");
+  }
+  const std::size_t target = resolve_target(data, minority_label, target_count);
+  Dataset out = data;
+  if (minority_idx.size() >= target) return out;
+  const std::size_t to_make = target - minority_idx.size();
+
+  // Difficulty ratio r_i: fraction of majority samples among the k nearest
+  // neighbours of each minority sample in the FULL dataset.
+  std::vector<const FeatureVector*> all;
+  all.reserve(data.size());
+  for (const auto& row : data.features) all.push_back(&row);
+
+  std::vector<double> ratio(minority_idx.size(), 0.0);
+  double ratio_sum = 0.0;
+  for (std::size_t m = 0; m < minority_idx.size(); ++m) {
+    const std::size_t i = minority_idx[m];
+    const auto nn = k_nearest(data.features[i], all, config.k_neighbours, i);
+    std::size_t majority_nn = 0;
+    for (std::size_t j : nn) {
+      if (data.labels[j] != minority_label) ++majority_nn;
+    }
+    ratio[m] = nn.empty() ? 0.0 : static_cast<double>(majority_nn) / static_cast<double>(nn.size());
+    ratio_sum += ratio[m];
+  }
+
+  std::vector<const FeatureVector*> pool;
+  pool.reserve(minority_idx.size());
+  for (std::size_t i : minority_idx) pool.push_back(&data.features[i]);
+
+  std::mt19937 rng(config.seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  for (std::size_t m = 0; m < minority_idx.size(); ++m) {
+    // Allocation proportional to difficulty (uniform when all ratios are 0,
+    // i.e. the minority class is not crowded by the majority anywhere).
+    const double weight =
+        ratio_sum > 0.0 ? ratio[m] / ratio_sum : 1.0 / static_cast<double>(minority_idx.size());
+    const auto g = static_cast<std::size_t>(std::lround(weight * static_cast<double>(to_make)));
+    if (g == 0) continue;
+    const auto nn = k_nearest(*pool[m], pool, config.k_neighbours, m);
+    if (nn.empty()) continue;
+    for (std::size_t s = 0; s < g; ++s) {
+      const std::size_t mate =
+          nn[std::uniform_int_distribution<std::size_t>(0, nn.size() - 1)(rng)];
+      out.add(interpolate(*pool[m], *pool[mate], u01(rng)), minority_label);
+    }
+  }
+  return out;
+}
+
+}  // namespace headtalk::ml

@@ -1,0 +1,32 @@
+// Imbalanced-class up-sampling: SMOTE (Chawla et al. [19]) and ADASYN
+// (He et al. [37]). The cross-user experiment (§IV-B14) has far fewer
+// facing than non-facing samples and the paper selects ADASYN.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "ml/dataset.h"
+
+namespace headtalk::ml {
+
+struct SamplingConfig {
+  std::size_t k_neighbours = 5;
+  std::uint32_t seed = 1;
+};
+
+/// SMOTE: synthesizes minority samples by interpolating between each
+/// minority sample and one of its k minority neighbours, until the minority
+/// class reaches `target_count` (defaults to the majority count when 0).
+[[nodiscard]] Dataset smote(const Dataset& data, int minority_label,
+                            std::size_t target_count = 0,
+                            const SamplingConfig& config = {});
+
+/// ADASYN: like SMOTE but allocates more synthetic samples to minority
+/// points whose neighbourhoods are dominated by the majority class
+/// (adaptive density weighting).
+[[nodiscard]] Dataset adasyn(const Dataset& data, int minority_label,
+                             std::size_t target_count = 0,
+                             const SamplingConfig& config = {});
+
+}  // namespace headtalk::ml

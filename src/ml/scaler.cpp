@@ -1,0 +1,76 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/serialize.h"
+
+namespace headtalk::ml {
+namespace {
+constexpr std::uint32_t kScalerMagic = 0x48545343;  // "HTSC"
+constexpr std::uint32_t kScalerVersion = 1;
+}  // namespace
+
+void StandardScaler::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("StandardScaler::fit: empty dataset");
+  const std::size_t d = data.dim();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (const auto& row : data.features) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  const double n = static_cast<double>(data.size());
+  for (auto& m : mean_) m /= n;
+  FeatureVector var(d, 0.0);
+  for (const auto& row : data.features) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / n);
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+FeatureVector StandardScaler::transform(const FeatureVector& x) const {
+  if (x.size() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler::transform: dimension mismatch");
+  }
+  FeatureVector out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) out[j] = (x[j] - mean_[j]) * inv_std_[j];
+  return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out;
+  out.labels = data.labels;
+  out.features.reserve(data.size());
+  for (const auto& row : data.features) out.features.push_back(transform(row));
+  return out;
+}
+
+Dataset StandardScaler::fit_transform(const Dataset& data) {
+  fit(data);
+  return transform(data);
+}
+
+void StandardScaler::save(std::ostream& out) const {
+  io::write_header(out, kScalerMagic, kScalerVersion);
+  io::write_f64_vector(out, mean_);
+  io::write_f64_vector(out, inv_std_);
+}
+
+StandardScaler StandardScaler::load(std::istream& in) {
+  io::expect_header(in, kScalerMagic, kScalerVersion, "StandardScaler");
+  StandardScaler scaler;
+  scaler.mean_ = io::read_f64_vector(in);
+  scaler.inv_std_ = io::read_f64_vector(in);
+  if (scaler.mean_.size() != scaler.inv_std_.size()) {
+    throw SerializationError("StandardScaler: inconsistent dimensions");
+  }
+  return scaler;
+}
+
+}  // namespace headtalk::ml

@@ -1,0 +1,86 @@
+#include "ml/serialize.h"
+
+#include <bit>
+#include <istream>
+#include <ostream>
+
+namespace headtalk::ml::io {
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "serialization assumes a little-endian host");
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  if (!out) throw SerializationError("serialize: write failure");
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw SerializationError("serialize: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void write_u32(std::ostream& out, std::uint32_t value) { write_pod(out, value); }
+void write_i64(std::ostream& out, std::int64_t value) { write_pod(out, value); }
+void write_f64(std::ostream& out, double value) { write_pod(out, value); }
+
+void write_f64_vector(std::ostream& out, const std::vector<double>& values) {
+  write_u32(out, static_cast<std::uint32_t>(values.size()));
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!out) throw SerializationError("serialize: write failure");
+}
+
+void write_string(std::ostream& out, const std::string& text) {
+  write_u32(out, static_cast<std::uint32_t>(text.size()));
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw SerializationError("serialize: write failure");
+}
+
+std::uint32_t read_u32(std::istream& in) { return read_pod<std::uint32_t>(in); }
+std::int64_t read_i64(std::istream& in) { return read_pod<std::int64_t>(in); }
+double read_f64(std::istream& in) { return read_pod<double>(in); }
+
+std::vector<double> read_f64_vector(std::istream& in, std::size_t max_size) {
+  const auto count = read_u32(in);
+  if (count > max_size) throw SerializationError("serialize: vector too large");
+  std::vector<double> values(count);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  if (!in) throw SerializationError("serialize: truncated stream");
+  return values;
+}
+
+std::string read_string(std::istream& in, std::size_t max_size) {
+  const auto count = read_u32(in);
+  if (count > max_size) throw SerializationError("serialize: string too large");
+  std::string text(count, '\0');
+  in.read(text.data(), static_cast<std::streamsize>(count));
+  if (!in) throw SerializationError("serialize: truncated stream");
+  return text;
+}
+
+void write_header(std::ostream& out, std::uint32_t magic, std::uint32_t version) {
+  write_u32(out, magic);
+  write_u32(out, version);
+}
+
+void expect_header(std::istream& in, std::uint32_t magic, std::uint32_t version,
+                   const char* what) {
+  const auto got_magic = read_u32(in);
+  if (got_magic != magic) {
+    throw SerializationError(std::string(what) + ": wrong magic tag");
+  }
+  const auto got_version = read_u32(in);
+  if (got_version != version) {
+    throw SerializationError(std::string(what) + ": unsupported format version");
+  }
+}
+
+}  // namespace headtalk::ml::io

@@ -1,0 +1,47 @@
+// Model persistence.
+//
+// A deployed HeadTalk device enrolls once and must survive restarts, so
+// every trained model (scaler, SVM, trees/forest, kNN, MLP) serializes to a
+// compact tagged binary stream. The format is little-endian, versioned per
+// model kind, and validated on load (a corrupt or mismatched stream throws
+// SerializationError rather than yielding a silently-broken model).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace headtalk::ml {
+
+class SerializationError : public std::runtime_error {
+ public:
+  explicit SerializationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace io {
+
+/// Low-level primitives shared by every model's save/load. All throw
+/// SerializationError on stream failure or malformed data.
+void write_u32(std::ostream& out, std::uint32_t value);
+void write_i64(std::ostream& out, std::int64_t value);
+void write_f64(std::ostream& out, double value);
+void write_f64_vector(std::ostream& out, const std::vector<double>& values);
+void write_string(std::ostream& out, const std::string& text);
+
+[[nodiscard]] std::uint32_t read_u32(std::istream& in);
+[[nodiscard]] std::int64_t read_i64(std::istream& in);
+[[nodiscard]] double read_f64(std::istream& in);
+[[nodiscard]] std::vector<double> read_f64_vector(std::istream& in,
+                                                  std::size_t max_size = 1u << 26);
+[[nodiscard]] std::string read_string(std::istream& in, std::size_t max_size = 1u << 16);
+
+/// Writes/checks a model header: magic tag + format version.
+void write_header(std::ostream& out, std::uint32_t magic, std::uint32_t version);
+void expect_header(std::istream& in, std::uint32_t magic, std::uint32_t version,
+                   const char* what);
+
+}  // namespace io
+
+}  // namespace headtalk::ml

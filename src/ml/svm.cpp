@@ -1,0 +1,169 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "ml/serialize.h"
+
+namespace headtalk::ml {
+namespace {
+constexpr std::uint32_t kSvmMagic = 0x4854534d;  // "HTSM"
+constexpr std::uint32_t kSvmVersion = 1;
+}  // namespace
+
+double Svm::kernel(const FeatureVector& a, const FeatureVector& b) const {
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    d2 += d * d;
+  }
+  return std::exp(-gamma_ * d2);
+}
+
+void Svm::fit(const Dataset& data) {
+  const auto classes = data.distinct_labels();
+  if (classes.size() != 2) {
+    throw std::invalid_argument("Svm::fit: exactly two classes required");
+  }
+  negative_label_ = classes[0];
+  positive_label_ = classes[1];
+  gamma_ = config_.gamma > 0.0 ? config_.gamma : 1.0 / static_cast<double>(data.dim());
+
+  const std::size_t n = data.size();
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = data.labels[i] == positive_label_ ? 1.0 : -1.0;
+  }
+
+  // Cache the full kernel matrix; our training sets are at most a few
+  // thousand samples, so this is the fastest simple option.
+  std::vector<std::vector<double>> k(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      k[i][j] = k[j][i] = kernel(data.features[i], data.features[j]);
+    }
+  }
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  const double c = config_.c;
+  const double tol = config_.tolerance;
+
+  auto decision = [&](std::size_t i) {
+    double f = b;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] > 0.0) f += alpha[j] * y[j] * k[i][j];
+    }
+    return f;
+  };
+
+  std::mt19937 rng(12345);
+  std::size_t passes = 0;
+  std::size_t iterations = 0;
+  while (passes < config_.max_passes && iterations < config_.max_iterations) {
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n && iterations < config_.max_iterations; ++i) {
+      ++iterations;
+      const double e_i = decision(i) - y[i];
+      const bool violates = (y[i] * e_i < -tol && alpha[i] < c) ||
+                            (y[i] * e_i > tol && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = std::uniform_int_distribution<std::size_t>(0, n - 2)(rng);
+      if (j >= i) ++j;
+      const double e_j = decision(j) - y[j];
+
+      const double ai_old = alpha[i], aj_old = alpha[j];
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - y[j] * (e_i - e_j) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-6) continue;
+      const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      const double b1 = b - e_i - y[i] * (ai - ai_old) * k[i][i] -
+                        y[j] * (aj - aj_old) * k[i][j];
+      const double b2 = b - e_j - y[i] * (ai - ai_old) * k[i][j] -
+                        y[j] * (aj - aj_old) * k[j][j];
+      if (ai > 0.0 && ai < c) b = b1;
+      else if (aj > 0.0 && aj < c) b = b2;
+      else b = 0.5 * (b1 + b2);
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  support_vectors_.clear();
+  alpha_y_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-9) {
+      support_vectors_.push_back(data.features[i]);
+      alpha_y_.push_back(alpha[i] * y[i]);
+    }
+  }
+  bias_ = b;
+}
+
+double Svm::decision_value(const FeatureVector& x) const {
+  double f = bias_;
+  for (std::size_t s = 0; s < support_vectors_.size(); ++s) {
+    f += alpha_y_[s] * kernel(support_vectors_[s], x);
+  }
+  return f;
+}
+
+int Svm::predict(const FeatureVector& x) const {
+  return decision_value(x) >= 0.0 ? positive_label_ : negative_label_;
+}
+
+void Svm::save(std::ostream& out) const {
+  io::write_header(out, kSvmMagic, kSvmVersion);
+  io::write_f64(out, config_.c);
+  io::write_f64(out, gamma_);
+  io::write_f64(out, bias_);
+  io::write_i64(out, negative_label_);
+  io::write_i64(out, positive_label_);
+  io::write_f64_vector(out, alpha_y_);
+  io::write_u32(out, static_cast<std::uint32_t>(support_vectors_.size()));
+  for (const auto& sv : support_vectors_) io::write_f64_vector(out, sv);
+}
+
+Svm Svm::load(std::istream& in) {
+  io::expect_header(in, kSvmMagic, kSvmVersion, "Svm");
+  Svm svm;
+  svm.config_.c = io::read_f64(in);
+  svm.gamma_ = io::read_f64(in);
+  svm.config_.gamma = svm.gamma_;
+  svm.bias_ = io::read_f64(in);
+  svm.negative_label_ = static_cast<int>(io::read_i64(in));
+  svm.positive_label_ = static_cast<int>(io::read_i64(in));
+  svm.alpha_y_ = io::read_f64_vector(in);
+  const auto sv_count = io::read_u32(in);
+  if (sv_count != svm.alpha_y_.size()) {
+    throw SerializationError("Svm: support-vector count mismatch");
+  }
+  svm.support_vectors_.reserve(sv_count);
+  for (std::uint32_t i = 0; i < sv_count; ++i) {
+    svm.support_vectors_.push_back(io::read_f64_vector(in));
+    if (svm.support_vectors_.back().size() != svm.support_vectors_.front().size()) {
+      throw SerializationError("Svm: inconsistent support-vector dimension");
+    }
+  }
+  return svm;
+}
+
+}  // namespace headtalk::ml

@@ -1,0 +1,52 @@
+// C-SVC with an RBF kernel, trained by SMO (Platt's sequential minimal
+// optimization with the usual working-set heuristics). The paper selects
+// SVM over RF/DT/kNN for orientation detection (§IV-A) and tunes the RBF
+// complexity parameter by grid search — see grid_search.h.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace headtalk::ml {
+
+struct SvmConfig {
+  double c = 4.0;        ///< soft-margin penalty
+  double gamma = 0.0;    ///< RBF width; <= 0 means 1/dim ("scale"-free default)
+  double tolerance = 1e-3;
+  std::size_t max_passes = 8;    ///< SMO sweeps without change before stopping
+  std::size_t max_iterations = 30000;
+};
+
+/// Binary SVM. Labels may be any two distinct integers; `predict` returns
+/// the originals and `decision_value` is positive toward the larger label.
+class Svm final : public Classifier {
+ public:
+  explicit Svm(SvmConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(const FeatureVector& x) const override;
+  [[nodiscard]] double decision_value(const FeatureVector& x) const override;
+
+  [[nodiscard]] std::size_t support_vector_count() const noexcept {
+    return support_vectors_.size();
+  }
+  [[nodiscard]] const SvmConfig& config() const noexcept { return config_; }
+
+  /// Binary persistence of the trained model. Throws SerializationError.
+  void save(std::ostream& out) const;
+  static Svm load(std::istream& in);
+
+ private:
+  [[nodiscard]] double kernel(const FeatureVector& a, const FeatureVector& b) const;
+
+  SvmConfig config_;
+  double gamma_ = 1.0;
+  std::vector<FeatureVector> support_vectors_;
+  std::vector<double> alpha_y_;  ///< alpha_i * y_i per support vector
+  double bias_ = 0.0;
+  int negative_label_ = 0, positive_label_ = 1;
+};
+
+}  // namespace headtalk::ml

@@ -1,0 +1,199 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "ml/serialize.h"
+
+namespace headtalk::ml {
+namespace {
+
+constexpr std::uint32_t kTreeMagic = 0x48544454;  // "HTDT"
+constexpr std::uint32_t kTreeVersion = 1;
+
+int majority_label(const Dataset& data, const std::vector<std::size_t>& indices) {
+  std::map<int, std::size_t> counts;
+  for (std::size_t i : indices) ++counts[data.labels[i]];
+  int best = 0;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double gini(const std::map<int, std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (const auto& [label, count] : counts) {
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("DecisionTree::fit: empty dataset");
+  nodes_.clear();
+  depth_ = 0;
+  const auto classes = data.distinct_labels();
+  positive_label_ = classes.back();
+  std::vector<std::size_t> indices(data.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  std::mt19937 rng(config_.seed);
+  build(data, indices, 0, rng);
+}
+
+std::size_t DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
+                                std::size_t depth, std::mt19937& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+
+  std::map<int, std::size_t> counts;
+  for (std::size_t i : indices) ++counts[data.labels[i]];
+  {
+    Node& node = nodes_[node_index];
+    node.label = majority_label(data, indices);
+    std::size_t pos = 0;
+    for (std::size_t i : indices) {
+      if (data.labels[i] == positive_label_) ++pos;
+    }
+    node.positive_fraction =
+        indices.empty() ? 0.0 : static_cast<double>(pos) / static_cast<double>(indices.size());
+  }
+
+  const bool pure = counts.size() <= 1;
+  if (pure || depth >= config_.max_depth || indices.size() < config_.min_samples_split) {
+    return node_index;
+  }
+
+  // Candidate feature subset (random forests sample sqrt(d) per split).
+  const std::size_t d = data.dim();
+  std::vector<std::size_t> feats(d);
+  for (std::size_t j = 0; j < d; ++j) feats[j] = j;
+  std::size_t n_feats = config_.max_features == 0 ? d : std::min(config_.max_features, d);
+  if (n_feats < d) {
+    std::shuffle(feats.begin(), feats.end(), rng);
+    feats.resize(n_feats);
+  }
+
+  const double parent_gini = gini(counts, indices.size());
+  double best_gain = 1e-9;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int>> column(indices.size());
+  for (std::size_t f : feats) {
+    for (std::size_t r = 0; r < indices.size(); ++r) {
+      column[r] = {data.features[indices[r]][f], data.labels[indices[r]]};
+    }
+    std::sort(column.begin(), column.end());
+
+    std::map<int, std::size_t> left_counts;
+    std::map<int, std::size_t> right_counts = counts;
+    for (std::size_t r = 0; r + 1 < column.size(); ++r) {
+      ++left_counts[column[r].second];
+      if (--right_counts[column[r].second] == 0) right_counts.erase(column[r].second);
+      if (column[r].first == column[r + 1].first) continue;  // no boundary here
+      const std::size_t nl = r + 1, nr = column.size() - nl;
+      if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf) continue;
+      const double w = static_cast<double>(nl) / static_cast<double>(column.size());
+      const double split_gini =
+          w * gini(left_counts, nl) + (1.0 - w) * gini(right_counts, nr);
+      const double gain = parent_gini - split_gini;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (column[r].first + column[r + 1].first);
+      }
+    }
+  }
+
+  if (best_gain <= 1e-9) return node_index;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    (data.features[i][best_feature] <= best_threshold ? left_idx : right_idx).push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_index;
+
+  indices.clear();
+  indices.shrink_to_fit();
+  const std::size_t left = build(data, left_idx, depth + 1, rng);
+  const std::size_t right = build(data, right_idx, depth + 1, rng);
+  Node& node = nodes_[node_index];
+  node.leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+const DecisionTree::Node& DecisionTree::walk(const FeatureVector& x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  std::size_t at = 0;
+  while (!nodes_[at].leaf) {
+    at = x.at(nodes_[at].feature) <= nodes_[at].threshold ? nodes_[at].left
+                                                          : nodes_[at].right;
+  }
+  return nodes_[at];
+}
+
+int DecisionTree::predict(const FeatureVector& x) const { return walk(x).label; }
+
+double DecisionTree::decision_value(const FeatureVector& x) const {
+  return walk(x).positive_fraction;
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  if (nodes_.empty()) throw SerializationError("DecisionTree::save: not fitted");
+  io::write_header(out, kTreeMagic, kTreeVersion);
+  io::write_i64(out, positive_label_);
+  io::write_u32(out, static_cast<std::uint32_t>(depth_));
+  io::write_u32(out, static_cast<std::uint32_t>(nodes_.size()));
+  for (const auto& node : nodes_) {
+    io::write_u32(out, node.leaf ? 1u : 0u);
+    io::write_i64(out, node.label);
+    io::write_f64(out, node.positive_fraction);
+    io::write_u32(out, static_cast<std::uint32_t>(node.feature));
+    io::write_f64(out, node.threshold);
+    io::write_u32(out, static_cast<std::uint32_t>(node.left));
+    io::write_u32(out, static_cast<std::uint32_t>(node.right));
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& in) {
+  io::expect_header(in, kTreeMagic, kTreeVersion, "DecisionTree");
+  DecisionTree tree;
+  tree.positive_label_ = static_cast<int>(io::read_i64(in));
+  tree.depth_ = io::read_u32(in);
+  const auto count = io::read_u32(in);
+  if (count == 0 || count > (1u << 24)) {
+    throw SerializationError("DecisionTree: implausible node count");
+  }
+  tree.nodes_.resize(count);
+  for (auto& node : tree.nodes_) {
+    node.leaf = io::read_u32(in) != 0;
+    node.label = static_cast<int>(io::read_i64(in));
+    node.positive_fraction = io::read_f64(in);
+    node.feature = io::read_u32(in);
+    node.threshold = io::read_f64(in);
+    node.left = io::read_u32(in);
+    node.right = io::read_u32(in);
+    if (!node.leaf && (node.left >= count || node.right >= count)) {
+      throw SerializationError("DecisionTree: child index out of range");
+    }
+  }
+  return tree;
+}
+
+}  // namespace headtalk::ml

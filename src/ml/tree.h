@@ -1,0 +1,61 @@
+// CART decision tree (Gini impurity, axis-aligned splits).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace headtalk::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 5;  ///< the paper caps DT at 5 splits (§IV-A)
+  std::size_t min_samples_leaf = 1;
+  std::size_t min_samples_split = 2;
+  /// Features considered per split; 0 = all (single tree), sqrt(d) is the
+  /// usual random-forest choice (see forest.h).
+  std::size_t max_features = 0;
+  std::uint32_t seed = 1;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(TreeConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(const FeatureVector& x) const override;
+  /// Fraction of training samples at the reached leaf carrying the positive
+  /// (largest) label — a crude probability.
+  [[nodiscard]] double decision_value(const FeatureVector& x) const override;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+  /// Binary persistence of the fitted tree.
+  void save(std::ostream& out) const;
+  static DecisionTree load(std::istream& in);
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int label = 0;
+    double positive_fraction = 0.0;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::size_t left = 0, right = 0;
+  };
+
+  std::size_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                    std::size_t depth, std::mt19937& rng);
+  [[nodiscard]] const Node& walk(const FeatureVector& x) const;
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+  int positive_label_ = 1;
+};
+
+}  // namespace headtalk::ml

@@ -1,0 +1,51 @@
+// Minimal 3-D vector math for the room simulator.
+#pragma once
+
+#include <cmath>
+
+namespace headtalk::room {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept { return {x * s, y * s, z * s}; }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(dot(*this)); }
+  [[nodiscard]] Vec3 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+  [[nodiscard]] double distance(const Vec3& o) const noexcept { return (*this - o).norm(); }
+};
+
+/// Unit vector in the horizontal plane at `azimuth_rad` (0 = +x axis,
+/// counter-clockwise looking down).
+[[nodiscard]] inline Vec3 azimuth_direction(double azimuth_rad) noexcept {
+  return {std::cos(azimuth_rad), std::sin(azimuth_rad), 0.0};
+}
+
+/// Angle between two vectors in [0, pi]; 0 if either is zero-length.
+[[nodiscard]] inline double angle_between(const Vec3& a, const Vec3& b) noexcept {
+  const double na = a.norm(), nb = b.norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  const double c = a.dot(b) / (na * nb);
+  return std::acos(c < -1.0 ? -1.0 : (c > 1.0 ? 1.0 : c));
+}
+
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept {
+  return deg * 3.14159265358979323846 / 180.0;
+}
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept {
+  return rad * 180.0 / 3.14159265358979323846;
+}
+
+}  // namespace headtalk::room

@@ -1,0 +1,87 @@
+#include "room/image_source.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace headtalk::room {
+namespace {
+
+// Image coordinate along one axis for image index i:
+//   even i: q = i*L + p (translated copies),
+//   odd  i: q = (i+1)*L - p (mirrored copies).
+// |i| equals the number of reflections off the two walls of that axis.
+double image_coordinate(int i, double p, double length) noexcept {
+  if (i % 2 == 0) return static_cast<double>(i) * length + p;
+  return static_cast<double>(i + 1) * length - p;
+}
+
+}  // namespace
+
+double air_absorption_db_per_m(double frequency_hz) noexcept {
+  // ~0.002 dB/m at 1 kHz rising to ~0.17 dB/m at 16 kHz (20 C, 50 % RH).
+  const double f_khz = frequency_hz / 1000.0;
+  return 0.002 * std::pow(std::max(f_khz, 0.05), 1.6);
+}
+
+std::vector<PropagationPath> compute_image_sources(const Room& room, Vec3 source_pos,
+                                                   Vec3 facing, Vec3 mic_pos,
+                                                   const speech::Directivity& directivity,
+                                                   const IsmConfig& config) {
+  if (config.max_order < 0) throw std::invalid_argument("ISM: max_order must be >= 0");
+  const auto centers = band_centers();
+
+  // Per-axis, per-band amplitude reflection coefficient of one bounce.
+  // x/y bounces hit walls; z bounces alternate floor/ceiling, approximated
+  // by the geometric mean of the two.
+  std::array<double, kBandCount> r_wall{}, r_z{};
+  for (std::size_t b = 0; b < kBandCount; ++b) {
+    r_wall[b] = std::sqrt(std::max(0.0, 1.0 - room.walls.absorption[b]));
+    const double rf = std::sqrt(std::max(0.0, 1.0 - room.floor.absorption[b]));
+    const double rc = std::sqrt(std::max(0.0, 1.0 - room.ceiling.absorption[b]));
+    r_z[b] = std::sqrt(rf * rc);
+  }
+
+  std::vector<PropagationPath> paths;
+  const int n = config.max_order;
+  paths.reserve(static_cast<std::size_t>((2 * n + 1) * (2 * n + 1)));
+
+  for (int ix = -n; ix <= n; ++ix) {
+    for (int iy = -n + std::abs(ix); iy <= n - std::abs(ix); ++iy) {
+      const int zbudget = n - std::abs(ix) - std::abs(iy);
+      for (int iz = -zbudget; iz <= zbudget; ++iz) {
+        const Vec3 img{image_coordinate(ix, source_pos.x, room.dims.x),
+                       image_coordinate(iy, source_pos.y, room.dims.y),
+                       image_coordinate(iz, source_pos.z, room.dims.z)};
+        const Vec3 to_mic = mic_pos - img;
+        const double dist = std::max(0.1, to_mic.norm());
+
+        // Mirrored facing: odd image index flips that component.
+        Vec3 mirrored = facing;
+        if (ix % 2 != 0) mirrored.x = -mirrored.x;
+        if (iy % 2 != 0) mirrored.y = -mirrored.y;
+        if (iz % 2 != 0) mirrored.z = -mirrored.z;
+        const double emission_angle = angle_between(mirrored, to_mic);
+
+        PropagationPath path;
+        path.distance_m = dist;
+        path.reflection_order = std::abs(ix) + std::abs(iy) + std::abs(iz);
+
+        const double spreading = 1.0 / dist;
+        double strongest = 0.0;
+        for (std::size_t b = 0; b < kBandCount; ++b) {
+          double g = spreading;
+          g *= std::pow(r_wall[b], std::abs(ix) + std::abs(iy));
+          g *= std::pow(r_z[b], std::abs(iz));
+          g *= std::pow(10.0, -air_absorption_db_per_m(centers[b]) * dist / 20.0);
+          g *= directivity.gain(centers[b], emission_angle);
+          path.band_gain[b] = g;
+          strongest = std::max(strongest, g);
+        }
+        if (strongest >= config.amplitude_floor) paths.push_back(path);
+      }
+    }
+  }
+  return paths;
+}
+
+}  // namespace headtalk::room

@@ -1,0 +1,51 @@
+// Image-source model (ISM) for shoebox rooms.
+//
+// Enumerates specular reflection paths up to a maximum order. Each path
+// carries its travel distance and a per-band amplitude gain combining:
+//   - spherical spreading (1/r),
+//   - the wall reflection products (sqrt(1 - alpha) per bounce, per band),
+//   - atmospheric absorption,
+//   - the *source directivity evaluated at the mirrored emission angle* —
+//     reflections leave the talker's head at different angles than the
+//     direct path, which is exactly the orientation-dependent reverberation
+//     structure HeadTalk's features measure (Insight 1, §III-B2).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "room/geometry.h"
+#include "room/room.h"
+#include "speech/directivity.h"
+
+namespace headtalk::room {
+
+/// One propagation path from source to receiver.
+struct PropagationPath {
+  double distance_m = 0.0;
+  int reflection_order = 0;
+  /// Amplitude gain per octave band (all effects folded in).
+  std::array<double, kBandCount> band_gain{};
+};
+
+struct IsmConfig {
+  int max_order = 3;
+  double speed_of_sound = 343.0;
+  /// Amplitude floor below which paths are dropped (relative to a 1 m
+  /// direct path), keeping RIR construction cheap.
+  double amplitude_floor = 1e-4;
+};
+
+/// Computes all image-source paths from a source at `source_pos` facing the
+/// horizontal direction `facing` (unit vector) to a receiver at `mic_pos`,
+/// inside `room`. The source radiates with pattern `directivity`; image
+/// sources use the correspondingly mirrored facing vector.
+[[nodiscard]] std::vector<PropagationPath> compute_image_sources(
+    const Room& room, Vec3 source_pos, Vec3 facing, Vec3 mic_pos,
+    const speech::Directivity& directivity, const IsmConfig& config = {});
+
+/// Atmospheric attenuation in dB per metre at frequency `f` (simple power-law
+/// fit adequate below 16 kHz at room conditions).
+[[nodiscard]] double air_absorption_db_per_m(double frequency_hz) noexcept;
+
+}  // namespace headtalk::room

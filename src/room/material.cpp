@@ -1,0 +1,38 @@
+#include "room/material.h"
+
+#include <cmath>
+
+namespace headtalk::room {
+
+std::array<double, kBandCount> band_centers() noexcept {
+  std::array<double, kBandCount> c{};
+  for (std::size_t b = 0; b < kBandCount; ++b) {
+    c[b] = std::sqrt(kBandEdges[b] * kBandEdges[b + 1]);
+  }
+  return c;
+}
+
+// Absorption values follow standard published tables (e.g. Everest,
+// "Master Handbook of Acoustics"), interpolated onto our band grid:
+//                         125    250   500    1k     2k     4k     8k+
+Material Material::drywall() {
+  return {{0.12, 0.10, 0.06, 0.05, 0.04, 0.05, 0.06}};
+}
+
+Material Material::carpet() {
+  return {{0.05, 0.08, 0.20, 0.35, 0.50, 0.65, 0.70}};
+}
+
+Material Material::acoustic_tile() {
+  return {{0.30, 0.45, 0.65, 0.75, 0.80, 0.80, 0.80}};
+}
+
+Material Material::gypsum_ceiling() {
+  return {{0.15, 0.11, 0.06, 0.04, 0.04, 0.05, 0.06}};
+}
+
+Material Material::soft_furnishing() {
+  return {{0.20, 0.30, 0.45, 0.55, 0.60, 0.65, 0.65}};
+}
+
+}  // namespace headtalk::room

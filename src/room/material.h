@@ -1,0 +1,37 @@
+// Frequency-dependent surface absorption and the octave-band scheme the
+// whole room simulator renders in.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace headtalk::room {
+
+/// The simulator renders in 7 octave-ish bands spanning the 100 Hz – 16 kHz
+/// range the HeadTalk preprocessor keeps (§III).
+inline constexpr std::size_t kBandCount = 7;
+
+/// Band edges in Hz: band b spans [kBandEdges[b], kBandEdges[b+1]).
+inline constexpr std::array<double, kBandCount + 1> kBandEdges{
+    100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0};
+
+/// Geometric-mean centre frequency of each band.
+[[nodiscard]] std::array<double, kBandCount> band_centers() noexcept;
+
+/// Per-band energy absorption coefficients (alpha) of one surface.
+struct Material {
+  std::array<double, kBandCount> absorption{};
+
+  /// Painted drywall / plaster walls.
+  static Material drywall();
+  /// Carpet over concrete (absorptive at high frequency).
+  static Material carpet();
+  /// Acoustic-tile dropped ceiling (the lab has one, §IV).
+  static Material acoustic_tile();
+  /// Hard ceiling (home).
+  static Material gypsum_ceiling();
+  /// Furniture / soft clutter (sofa, curtains).
+  static Material soft_furnishing();
+};
+
+}  // namespace headtalk::room

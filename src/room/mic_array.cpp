@@ -1,0 +1,140 @@
+#include "room/mic_array.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace headtalk::room {
+namespace {
+
+std::vector<Vec3> circle(std::size_t count, double radius, double phase_rad = 0.0) {
+  std::vector<Vec3> mics;
+  mics.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double a =
+        phase_rad + 2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(count);
+    mics.push_back({radius * std::cos(a), radius * std::sin(a), 0.0});
+  }
+  return mics;
+}
+
+}  // namespace
+
+double DeviceSpec::max_pair_distance(std::span<const std::size_t> channels) const {
+  std::vector<std::size_t> all;
+  if (channels.empty()) {
+    all.resize(mic_positions.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    channels = all;
+  }
+  double best = 0.0;
+  for (std::size_t a = 0; a < channels.size(); ++a) {
+    for (std::size_t b = a + 1; b < channels.size(); ++b) {
+      best = std::max(best, mic_positions.at(channels[a]).distance(mic_positions.at(channels[b])));
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> DeviceSpec::spread_channels(std::size_t count) const {
+  const std::size_t n = mic_positions.size();
+  if (count == 0 || count > n) {
+    throw std::invalid_argument("spread_channels: count out of range");
+  }
+  if (count == 1) return {0};
+
+  // Start with the farthest pair.
+  std::size_t best_a = 0, best_b = 1;
+  double best_d = -1.0;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double d = mic_positions[a].distance(mic_positions[b]);
+      if (d > best_d) {
+        best_d = d;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  std::vector<std::size_t> chosen{best_a, best_b};
+  while (chosen.size() < count) {
+    std::size_t pick = 0;
+    double pick_score = -1.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (std::find(chosen.begin(), chosen.end(), c) != chosen.end()) continue;
+      double min_d = std::numeric_limits<double>::max();
+      for (std::size_t s : chosen) min_d = std::min(min_d, mic_positions[c].distance(mic_positions[s]));
+      if (min_d > pick_score) {
+        pick_score = min_d;
+        pick = c;
+      }
+    }
+    chosen.push_back(pick);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+DeviceSpec DeviceSpec::d1() {
+  DeviceSpec d;
+  d.id = DeviceId::kD1;
+  d.name = "D1-UMA-8";
+  d.mic_positions = circle(6, 0.0425);
+  d.mic_positions.push_back({0.0, 0.0, 0.0});  // centre mic (Mic7)
+  d.self_noise_spl_db = 29.0;
+  d.default_channels = {1, 2, 4, 5};  // Mic2, Mic3, Mic5, Mic6
+  return d;
+}
+
+DeviceSpec DeviceSpec::d2() {
+  DeviceSpec d;
+  d.id = DeviceId::kD2;
+  d.name = "D2-ReSpeaker-Core";
+  d.mic_positions = circle(6, 0.045);
+  d.self_noise_spl_db = 30.0;
+  d.default_channels = {0, 1, 3, 4};  // Mic1, Mic2, Mic4, Mic5
+  return d;
+}
+
+DeviceSpec DeviceSpec::d3() {
+  DeviceSpec d;
+  d.id = DeviceId::kD3;
+  d.name = "D3-ReSpeaker-USB";
+  d.mic_positions = circle(4, 0.0325);
+  d.self_noise_spl_db = 31.5;
+  d.default_channels = {0, 1, 2, 3};
+  return d;
+}
+
+DeviceSpec DeviceSpec::get(DeviceId id) {
+  switch (id) {
+    case DeviceId::kD1:
+      return d1();
+    case DeviceId::kD2:
+      return d2();
+    case DeviceId::kD3:
+      return d3();
+  }
+  throw std::invalid_argument("DeviceSpec::get: unknown device");
+}
+
+const std::vector<DeviceId>& all_devices() {
+  static const std::vector<DeviceId> ids{DeviceId::kD1, DeviceId::kD2, DeviceId::kD3};
+  return ids;
+}
+
+std::string_view device_name(DeviceId id) {
+  switch (id) {
+    case DeviceId::kD1:
+      return "D1";
+    case DeviceId::kD2:
+      return "D2";
+    case DeviceId::kD3:
+      return "D3";
+  }
+  return "?";
+}
+
+}  // namespace headtalk::room

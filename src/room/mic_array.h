@@ -1,0 +1,54 @@
+// Prototype device geometries (Table I / Fig. 7).
+//
+// D1: miniDSP UMA-8 USB array — 7 MEMS mics (6 on a circle + centre),
+//     orthogonal spacing 8.5 cm.
+// D2: Seeed ReSpeaker Core v2.0 — 6 mics on a circle, spacing 9 cm
+//     (the default device; similar to an Amazon Echo Dot layout).
+// D3: Seeed ReSpeaker USB Mic Array — 4 mics, spacing 6.5 cm.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "room/geometry.h"
+
+namespace headtalk::room {
+
+enum class DeviceId { kD1, kD2, kD3 };
+
+/// Geometry and noise characteristics of a prototype device.
+struct DeviceSpec {
+  DeviceId id = DeviceId::kD2;
+  std::string name;
+  /// Mic positions relative to the array centre, metres, z up.
+  std::vector<Vec3> mic_positions;
+  /// Device self-noise as an equivalent SPL (dB); D1 records the cleanest
+  /// signal (paper measured SNR 25.09 dB vs 24.25 dB for D2, §IV-B4).
+  double self_noise_spl_db = 30.0;
+  /// The 4-channel subset the paper evaluates with by default (§IV-A):
+  /// D1 {Mic2,3,5,6}, D2 {Mic1,2,4,5}, D3 all four. Zero-based indices.
+  std::vector<std::size_t> default_channels;
+
+  /// Largest distance between any two mics in `channels` (or all mics when
+  /// channels is empty) — sets the SRP lag window (§III-B3).
+  [[nodiscard]] double max_pair_distance(std::span<const std::size_t> channels = {}) const;
+
+  /// Greedy channel selection maximizing pairwise spread, used by the
+  /// mic-count ablation (§IV-B6): first the farthest pair, then repeatedly
+  /// the mic with the greatest minimum distance to those already chosen.
+  [[nodiscard]] std::vector<std::size_t> spread_channels(std::size_t count) const;
+
+  static DeviceSpec d1();
+  static DeviceSpec d2();
+  static DeviceSpec d3();
+  static DeviceSpec get(DeviceId id);
+};
+
+/// All three devices, for dataset sweeps.
+[[nodiscard]] const std::vector<DeviceId>& all_devices();
+
+[[nodiscard]] std::string_view device_name(DeviceId id);
+
+}  // namespace headtalk::room

@@ -1,0 +1,94 @@
+#include "room/noise.h"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "audio/gain.h"
+#include "dsp/biquad.h"
+
+namespace headtalk::room {
+namespace {
+
+audio::Buffer white(std::size_t frames, double fs, std::mt19937& rng) {
+  audio::Buffer out(frames, fs);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  for (auto& s : out.data()) s = gauss(rng);
+  return out;
+}
+
+// Speech-shaped babble: broadband noise through a vocal-band emphasis,
+// multiplied by a slow syllabic envelope plus occasional pauses — a cheap
+// but spectrally faithful stand-in for "a TV playing a popular series".
+audio::Buffer babble(std::size_t frames, double fs, std::mt19937& rng) {
+  audio::Buffer out = white(frames, fs, rng);
+  auto speech_band = dsp::butterworth_bandpass(3, 150.0, 6000.0, fs);
+  out = speech_band.filtered(out);
+
+  // Syllabic amplitude modulation around 3-5 Hz with sentence-scale pauses.
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const double syllable_hz = 3.0 + 2.0 * uni(rng);
+  const double phase0 = 2.0 * std::numbers::pi * uni(rng);
+  double pause_gain = 1.0;
+  std::size_t next_pause_check = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i >= next_pause_check) {
+      next_pause_check = i + static_cast<std::size_t>(0.4 * fs);
+      pause_gain = uni(rng) < 0.25 ? 0.15 : 1.0;
+    }
+    const double t = static_cast<double>(i) / fs;
+    const double syllabic =
+        0.55 + 0.45 * std::sin(2.0 * std::numbers::pi * syllable_hz * t + phase0);
+    out[i] *= syllabic * pause_gain;
+  }
+  return out;
+}
+
+audio::Buffer hum(std::size_t frames, double fs, std::mt19937& rng) {
+  audio::Buffer out(frames, fs);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  // 60 Hz mains fundamental plus harmonics, with broadband rumble.
+  for (std::size_t i = 0; i < frames; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    double s = 0.0;
+    s += 1.0 * std::sin(2.0 * std::numbers::pi * 60.0 * t);
+    s += 0.5 * std::sin(2.0 * std::numbers::pi * 120.0 * t + 0.7);
+    s += 0.25 * std::sin(2.0 * std::numbers::pi * 180.0 * t + 1.9);
+    s += 0.4 * gauss(rng);
+    out[i] = s;
+  }
+  auto lp = dsp::butterworth_lowpass(2, 500.0, fs);
+  return lp.filtered(out);
+}
+
+}  // namespace
+
+audio::Buffer make_noise(NoiseType type, std::size_t frames, double sample_rate,
+                         double spl_db, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  audio::Buffer out;
+  switch (type) {
+    case NoiseType::kWhite:
+      out = white(frames, sample_rate, rng);
+      break;
+    case NoiseType::kBabbleTv:
+      out = babble(frames, sample_rate, rng);
+      break;
+    case NoiseType::kApplianceHum:
+      out = hum(frames, sample_rate, rng);
+      break;
+  }
+  audio::set_spl(out, spl_db);
+  return out;
+}
+
+void add_diffuse_noise(audio::MultiBuffer& capture, NoiseType type, double spl_db,
+                       std::uint32_t seed) {
+  for (std::size_t c = 0; c < capture.channel_count(); ++c) {
+    const auto channel_seed = static_cast<std::uint32_t>(seed + 7919 * (c + 1));
+    capture.channel(c).add(
+        make_noise(type, capture.frames(), capture.sample_rate(), spl_db, channel_seed));
+  }
+}
+
+}  // namespace headtalk::room

@@ -1,0 +1,34 @@
+// Ambient noise generators for the evaluation scenarios (§IV-B10).
+//
+// Two classes of interference exist in the paper's experiments:
+//   - diffuse background (the room's default noise floor, or injected white
+//     noise) — decorrelated across microphones;
+//   - point-source interference (a TV playing a series) — spatially
+//     coherent, which is why it hurts the array features more than white
+//     noise of the same level. Point-source noise content is produced here
+//     and rendered through the Scene like any other source.
+#pragma once
+
+#include <cstdint>
+
+#include "audio/sample_buffer.h"
+
+namespace headtalk::room {
+
+enum class NoiseType {
+  kWhite,        ///< broadband Gaussian
+  kBabbleTv,     ///< speech-shaped babble with level modulation (TV series)
+  kApplianceHum, ///< mains hum + machinery rumble (refrigerator, HVAC)
+};
+
+/// Generates `frames` samples of the given noise type with calibrated level
+/// `spl_db`. Deterministic in `seed`.
+[[nodiscard]] audio::Buffer make_noise(NoiseType type, std::size_t frames,
+                                       double sample_rate, double spl_db,
+                                       std::uint32_t seed);
+
+/// Decorrelated diffuse noise for every channel of a capture (in place).
+void add_diffuse_noise(audio::MultiBuffer& capture, NoiseType type, double spl_db,
+                       std::uint32_t seed);
+
+}  // namespace headtalk::room

@@ -1,0 +1,58 @@
+#include "room/room.h"
+
+#include <cmath>
+
+namespace headtalk::room {
+
+std::array<double, kBandCount> Room::mean_absorption() const {
+  const double wall_area = 2.0 * dims.z * (dims.x + dims.y);
+  const double floor_area = dims.x * dims.y;
+  const double total = wall_area + 2.0 * floor_area;
+  std::array<double, kBandCount> alpha{};
+  for (std::size_t b = 0; b < kBandCount; ++b) {
+    alpha[b] = (walls.absorption[b] * wall_area + floor.absorption[b] * floor_area +
+                ceiling.absorption[b] * floor_area) /
+               total;
+  }
+  return alpha;
+}
+
+std::array<double, kBandCount> Room::eyring_rt60() const {
+  const double volume = dims.x * dims.y * dims.z;
+  const double wall_area = 2.0 * dims.z * (dims.x + dims.y);
+  const double surface = wall_area + 2.0 * dims.x * dims.y;
+  const auto alpha = mean_absorption();
+  std::array<double, kBandCount> rt{};
+  for (std::size_t b = 0; b < kBandCount; ++b) {
+    const double a = std::min(alpha[b], 0.99);
+    rt[b] = 0.161 * volume / (-surface * std::log(1.0 - a));
+  }
+  return rt;
+}
+
+Room Room::lab() {
+  Room r;
+  r.name = "lab";
+  r.dims = {6.10, 4.27, 3.05};  // 20' x 14' x 10'
+  r.walls = Material::drywall();
+  r.floor = Material::carpet();
+  r.ceiling = Material::acoustic_tile();
+  r.ambient_noise_spl_db = 33.0;
+  r.scatterer_count = 6;
+  return r;
+}
+
+Room Room::home() {
+  Room r;
+  r.name = "home";
+  r.dims = {10.06, 3.05, 2.44};  // 33' x 10' x 8'
+  r.walls = Material::drywall();
+  r.floor = Material::carpet();
+  r.ceiling = Material::gypsum_ceiling();
+  r.ambient_noise_spl_db = 43.0;
+  r.scatterer_count = 14;
+  r.dynamic_clutter = true;
+  return r;
+}
+
+}  // namespace headtalk::room

@@ -1,0 +1,45 @@
+// Shoebox room descriptions for the two evaluation environments (§IV):
+// a 20'x14' lab with a 10' dropped acoustic-tile ceiling (33 dB SPL ambient)
+// and a 33'x10'x8' apartment living room (43 dB SPL ambient, more clutter).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "room/geometry.h"
+#include "room/material.h"
+
+namespace headtalk::room {
+
+struct Room {
+  std::string name = "room";
+  /// Interior dimensions, metres: x = length, y = width, z = height.
+  Vec3 dims{6.0, 4.0, 3.0};
+  Material walls = Material::drywall();
+  Material floor = Material::carpet();
+  Material ceiling = Material::gypsum_ceiling();
+  /// Default ambient noise level in dB SPL.
+  double ambient_noise_spl_db = 33.0;
+  /// Number of point scatterers modelling furniture / clutter; the home
+  /// setting has more, producing the "more intricate reverberation" the
+  /// paper observes (§IV-B5).
+  std::size_t scatterer_count = 6;
+  /// A lived-in home is not static: objects move between data-collection
+  /// sessions (chairs, doors, people), so part of the clutter is re-drawn
+  /// per session. The lab is a controlled space and stays fixed.
+  bool dynamic_clutter = false;
+
+  /// Per-band Eyring reverberation time: T = 0.161 V / (-S ln(1 - alpha)),
+  /// with alpha the surface-area-weighted mean absorption.
+  [[nodiscard]] std::array<double, kBandCount> eyring_rt60() const;
+
+  /// Surface-area-weighted mean absorption per band.
+  [[nodiscard]] std::array<double, kBandCount> mean_absorption() const;
+
+  /// The 280 sq-ft lab (20' x 14' x 10', acoustic-tile ceiling, 33 dB).
+  static Room lab();
+  /// The apartment living room (33' x 10' x 8', 43 dB, more clutter).
+  static Room home();
+};
+
+}  // namespace headtalk::room

@@ -1,0 +1,107 @@
+// Scene: a room + a microphone-array device + furniture scatterers.
+//
+// Scene::render is the simulated equivalent of "recording a wake word with
+// the prototype device": a dry source signal plus a pose and a radiation
+// pattern in, a synchronized multichannel 48 kHz capture out. The render
+// chain is band-wise convolution with image-source RIRs, first-order
+// scattering off furniture, optional occlusion of the direct path
+// (§IV-B13), diffuse ambient noise, and device self-noise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+#include "room/image_source.h"
+#include "room/mic_array.h"
+#include "room/noise.h"
+#include "room/room.h"
+#include "speech/directivity.h"
+
+namespace headtalk::room {
+
+/// Device placement: array centre in world coordinates plus yaw.
+struct ArrayPose {
+  Vec3 center{0.0, 0.0, 0.74};  // location A: study-table height (§IV)
+  double yaw_rad = 0.0;
+};
+
+/// Talker (or replay speaker) placement: mouth position plus the horizontal
+/// facing azimuth (world frame; 0 = +x).
+struct SourcePose {
+  Vec3 position{1.0, 1.0, 1.65};
+  double facing_azimuth_rad = 0.0;
+};
+
+/// Direct-path attenuation by nearby objects (§IV-B13). Attenuation in dB
+/// is interpolated across bands from `low_band_db` to `high_band_db`.
+struct Occlusion {
+  double low_band_db = 0.0;
+  double high_band_db = 0.0;
+
+  /// Device partially blocked by an object: sound diffracts around it, so
+  /// the loss is mild and mostly high-frequency (the paper's partial-block
+  /// condition costs only ~1 point of accuracy, §IV-B13).
+  static Occlusion partial() { return {0.5, 3.0}; }
+  /// Device fully surrounded/blocked: the direct path is effectively gone
+  /// and the capture is dominated by reflections (which is why the paper
+  /// sees frontal speech classified as backward, §IV-B13).
+  static Occlusion full() { return {18.0, 30.0}; }
+};
+
+struct RenderOptions {
+  IsmConfig ism{};
+  double rir_length_s = 0.12;
+  /// Ambient/diffuse noise. A negative SPL means "use the room default".
+  bool add_ambient = true;
+  NoiseType ambient_type = NoiseType::kWhite;
+  double ambient_spl_db = -1.0;
+  /// Device electronics noise floor.
+  bool add_self_noise = true;
+  std::optional<Occlusion> occlusion;
+  std::uint32_t noise_seed = 1;
+  /// Microphones to render, in order (empty = all device mics). Rendering
+  /// only the channels an experiment needs saves one FFT pipeline per
+  /// skipped microphone.
+  std::vector<std::size_t> channels;
+};
+
+class Scene {
+ public:
+  /// `scatter_seed` fixes the furniture layout; re-seeding models the room
+  /// changing between sessions (weeks apart, §IV-B9). For rooms with
+  /// `dynamic_clutter`, a non-zero `session_seed` re-draws the movable
+  /// third of the scatterers (chairs, doors, people move between sessions
+  /// in a lived-in home; large furniture stays put).
+  Scene(Room room, DeviceSpec device, ArrayPose pose, std::uint32_t scatter_seed,
+        std::uint32_t session_seed = 0);
+
+  [[nodiscard]] const Room& room() const noexcept { return room_; }
+  [[nodiscard]] const DeviceSpec& device() const noexcept { return device_; }
+  [[nodiscard]] const ArrayPose& pose() const noexcept { return pose_; }
+
+  /// World-space microphone positions (pose applied).
+  [[nodiscard]] std::vector<Vec3> mic_world_positions() const;
+
+  /// Renders `dry` emitted from `source` with radiation pattern
+  /// `directivity` into an N-channel capture (N = device mic count).
+  /// Output length = dry length + RIR length.
+  [[nodiscard]] audio::MultiBuffer render(const audio::Buffer& dry,
+                                          const SourcePose& source,
+                                          const speech::Directivity& directivity,
+                                          const RenderOptions& options = {}) const;
+
+ private:
+  struct Scatterer {
+    Vec3 position;
+    std::array<double, kBandCount> reflectivity{};
+  };
+
+  Room room_;
+  DeviceSpec device_;
+  ArrayPose pose_;
+  std::vector<Scatterer> scatterers_;
+};
+
+}  // namespace headtalk::room

@@ -1,0 +1,86 @@
+// Collector: turns a SampleSpec into a rendered capture and into
+// orientation / liveness feature vectors (the simulated equivalent of one
+// data-collection trial of §IV). All randomness is derived from the spec,
+// so results are deterministic and cacheable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+#include "core/liveness_features.h"
+#include "core/orientation_features.h"
+#include "core/preprocess.h"
+#include "ml/dataset.h"
+#include "room/scene.h"
+#include "speech/speaker_profile.h"
+#include "sim/feature_cache.h"
+#include "sim/spec.h"
+
+namespace headtalk::sim {
+
+struct CollectorConfig {
+  /// Identity universe: different base seeds produce different speakers,
+  /// rooms-states, and noise draws throughout.
+  std::uint32_t base_seed = 20230601;
+  int ism_order = 3;
+  double rir_length_s = 0.12;
+  /// Channels rendered/analyzed. Empty = the device's default 4-channel
+  /// subset (the paper's default configuration, §IV-A). The mic-count
+  /// ablation passes explicit subsets.
+  std::vector<std::size_t> channels;
+  /// Position/angle jitter modelling human placement error (§VI notes the
+  /// protocol could not hold angles exactly).
+  double position_jitter_m = 0.03;
+  double angle_jitter_deg = 2.5;
+  /// Scales the human head's frequency-dependent front-back attenuation
+  /// (1.0 = published fit). Exposed for the directivity-sensitivity
+  /// ablation: how much of HeadTalk's signal comes from this mechanism?
+  double directivity_strength = 1.0;
+  bool cache_enabled = true;
+  core::PreprocessConfig preprocess{};
+  core::LivenessFeatureConfig liveness{};
+};
+
+class Collector {
+ public:
+  explicit Collector(CollectorConfig config = {});
+
+  /// Full multichannel render of one trial (never cached; used by the
+  /// pipeline-level examples and runtime benchmarks).
+  [[nodiscard]] audio::MultiBuffer capture(const SampleSpec& spec) const;
+
+  /// Orientation feature vector (preprocess + extract; disk-cached).
+  [[nodiscard]] ml::FeatureVector orientation_features(const SampleSpec& spec) const;
+
+  /// Liveness feature vector from channel 0 (disk-cached).
+  [[nodiscard]] ml::FeatureVector liveness_features(const SampleSpec& spec) const;
+
+  /// Builds an orientation-feature extractor matched to the spec's device
+  /// (lag window from the selected channels' aperture).
+  [[nodiscard]] core::OrientationFeatureExtractor orientation_extractor(
+      const SampleSpec& spec) const;
+
+  /// Channels used for a spec's device (config override or device default).
+  [[nodiscard]] std::vector<std::size_t> channels_for(room::DeviceId device) const;
+
+  /// The exact Scene capture() would render this spec in (room, placement,
+  /// furniture state). Exposed so custom harnesses (e.g. moving-speaker
+  /// paths) stay inside the same simulated world the training corpus came
+  /// from.
+  [[nodiscard]] room::Scene scene(const SampleSpec& spec) const;
+
+  /// The voice profile of a user in this collector's identity universe.
+  [[nodiscard]] speech::SpeakerProfile speaker(unsigned user_id) const;
+
+  [[nodiscard]] const CollectorConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::string cache_key(const SampleSpec& spec, const char* kind) const;
+
+  CollectorConfig config_;
+  FeatureCache cache_;
+};
+
+}  // namespace headtalk::sim

@@ -1,0 +1,155 @@
+#include "sim/datasets.h"
+
+namespace headtalk::sim {
+
+std::vector<SampleSpec> SpecGrid::build() const {
+  std::vector<SampleSpec> out;
+  out.reserve(rooms.size() * placements.size() * devices.size() * words.size() *
+              locations.size() * angles.size() * sessions.size() * repetitions *
+              users.size());
+  for (auto room : rooms) {
+    for (auto placement : placements) {
+      for (auto device : devices) {
+        for (auto word : words) {
+          for (const auto& location : locations) {
+            for (double angle : angles) {
+              for (unsigned session : sessions) {
+                for (unsigned rep = 0; rep < repetitions; ++rep) {
+                  for (unsigned user : users) {
+                    SampleSpec spec;
+                    spec.room = room;
+                    spec.placement = placement;
+                    spec.device = device;
+                    spec.word = word;
+                    spec.location = location;
+                    spec.angle_deg = angle;
+                    spec.session = session;
+                    spec.repetition = rep;
+                    spec.user_id = user;
+                    spec.loudness_db = loudness_db;
+                    spec.mouth_height_m = mouth_height_m;
+                    spec.replay = replay;
+                    spec.ambient_type = ambient_type;
+                    spec.ambient_spl_db = ambient_spl_db;
+                    spec.occlusion = occlusion;
+                    spec.device_height_offset_m = device_height_offset_m;
+                    spec.temporal_days = temporal_days;
+                    out.push_back(spec);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ProtocolScale full_protocol() {
+  ProtocolScale s;
+  s.sessions = 2;
+  s.repetitions = 2;
+  s.all_locations = true;
+  return s;
+}
+
+namespace {
+
+SpecGrid scaled_grid(const ProtocolScale& scale) {
+  SpecGrid grid;
+  grid.sessions.clear();
+  for (unsigned s = 0; s < scale.sessions; ++s) grid.sessions.push_back(s);
+  grid.repetitions = scale.repetitions;
+  grid.locations = scale.all_locations ? all_grid_locations() : middle_grid_locations();
+  return grid;
+}
+
+}  // namespace
+
+std::vector<SampleSpec> dataset1(const std::vector<RoomId>& rooms,
+                                 const std::vector<room::DeviceId>& devices,
+                                 const std::vector<speech::WakeWord>& words,
+                                 const ProtocolScale& scale) {
+  SpecGrid grid = scaled_grid(scale);
+  grid.rooms = rooms;
+  grid.devices = devices;
+  grid.words = words;
+  return grid.build();
+}
+
+std::vector<SampleSpec> dataset1_extended_angles(const ProtocolScale& scale) {
+  SpecGrid grid = scaled_grid(scale);
+  grid.angles = extended_angles();
+  return grid.build();
+}
+
+std::vector<SampleSpec> dataset2_replay(const ProtocolScale& scale) {
+  SpecGrid grid = scaled_grid(scale);
+  grid.words = {speech::WakeWord::kComputer, speech::WakeWord::kHeyAssistant};
+  grid.replay = ReplaySource::kHighEnd;
+  grid.mouth_height_m = 1.20;  // loudspeaker on a stand
+  return grid.build();
+}
+
+std::vector<SampleSpec> dataset3_temporal(double days, const ProtocolScale& scale) {
+  SpecGrid grid = scaled_grid(scale);
+  grid.locations = middle_grid_locations();
+  grid.temporal_days = days;
+  return grid.build();
+}
+
+std::vector<SampleSpec> dataset4_ambient(room::NoiseType type,
+                                         const ProtocolScale& scale, double spl_db) {
+  SpecGrid grid = scaled_grid(scale);
+  grid.locations = middle_grid_locations();
+  grid.sessions = {0};
+  grid.repetitions = std::max(2u, scale.repetitions);
+  grid.ambient_type = type;
+  grid.ambient_spl_db = spl_db;
+  return grid.build();
+}
+
+std::vector<SampleSpec> dataset5_sitting(const ProtocolScale& scale) {
+  SpecGrid grid = scaled_grid(scale);
+  grid.locations = middle_grid_locations();
+  grid.sessions = {0};
+  grid.repetitions = std::max(2u, scale.repetitions);
+  grid.mouth_height_m = kSittingMouthHeight;
+  return grid.build();
+}
+
+std::vector<SampleSpec> dataset6_loudness(double spl_db, const ProtocolScale& scale) {
+  SpecGrid grid = scaled_grid(scale);
+  grid.locations = middle_grid_locations();
+  grid.sessions = {0};
+  grid.repetitions = std::max(2u, scale.repetitions);
+  grid.loudness_db = spl_db;
+  return grid.build();
+}
+
+std::vector<SampleSpec> dataset7_objects(OcclusionLevel occlusion, bool raised,
+                                         const ProtocolScale& scale) {
+  SpecGrid grid = scaled_grid(scale);
+  grid.locations = middle_grid_locations();
+  grid.sessions = {0};
+  grid.repetitions = std::max(2u, scale.repetitions);
+  grid.occlusion = occlusion;
+  grid.device_height_offset_m = raised ? 0.148 : 0.0;
+  return grid.build();
+}
+
+std::vector<SampleSpec> dataset8_multi_user(unsigned user_count, unsigned repetitions) {
+  SpecGrid grid;
+  grid.words = {speech::WakeWord::kHeyAssistant};  // Ahuja et al.'s phrase
+  grid.locations = all_grid_locations();
+  grid.angles = ahuja_angles();
+  grid.sessions = {0};
+  grid.repetitions = repetitions;
+  grid.users.clear();
+  for (unsigned u = 1; u <= user_count; ++u) grid.users.push_back(u);
+  return grid.build();
+}
+
+}  // namespace headtalk::sim

@@ -1,0 +1,140 @@
+#include "sim/experiment.h"
+
+#include <cstdio>
+#include <set>
+
+namespace headtalk::sim {
+namespace {
+
+std::vector<OrientationSample> collect(const Collector& collector,
+                                       std::span<const SampleSpec> specs, bool progress,
+                                       bool liveness) {
+  std::vector<OrientationSample> out;
+  out.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    out.push_back({specs[i], liveness ? collector.liveness_features(specs[i])
+                                      : collector.orientation_features(specs[i])});
+    if (progress && ((i + 1) % 25 == 0 || i + 1 == specs.size())) {
+      std::fprintf(stderr, "\r  [%zu/%zu samples]", i + 1, specs.size());
+      if (i + 1 == specs.size()) std::fprintf(stderr, "\n");
+      std::fflush(stderr);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<OrientationSample> collect_orientation(const Collector& collector,
+                                                   std::span<const SampleSpec> specs,
+                                                   bool progress) {
+  return collect(collector, specs, progress, /*liveness=*/false);
+}
+
+std::vector<OrientationSample> collect_liveness(const Collector& collector,
+                                                std::span<const SampleSpec> specs,
+                                                bool progress) {
+  return collect(collector, specs, progress, /*liveness=*/true);
+}
+
+std::vector<OrientationSample> filter(
+    std::span<const OrientationSample> samples,
+    const std::function<bool(const SampleSpec&)>& predicate) {
+  std::vector<OrientationSample> out;
+  for (const auto& s : samples) {
+    if (predicate(s.spec)) out.push_back(s);
+  }
+  return out;
+}
+
+ml::Dataset facing_dataset(std::span<const OrientationSample> samples,
+                           core::FacingDefinition definition) {
+  ml::Dataset data;
+  for (const auto& s : samples) {
+    switch (core::training_arc(definition, s.spec.angle_deg)) {
+      case core::TrainingArc::kFacing:
+        data.add(s.features, core::kLabelFacing);
+        break;
+      case core::TrainingArc::kNonFacing:
+        data.add(s.features, core::kLabelNonFacing);
+        break;
+      case core::TrainingArc::kExcluded:
+        break;
+    }
+  }
+  return data;
+}
+
+ml::Dataset ground_truth_dataset(std::span<const OrientationSample> samples) {
+  ml::Dataset data;
+  for (const auto& s : samples) {
+    data.add(s.features, core::is_facing_ground_truth(s.spec.angle_deg)
+                             ? core::kLabelFacing
+                             : core::kLabelNonFacing);
+  }
+  return data;
+}
+
+EvalMetrics evaluate_orientation(const core::OrientationClassifierConfig& config,
+                                 const ml::Dataset& train, const ml::Dataset& test) {
+  core::OrientationClassifier classifier(config);
+  classifier.train(train);
+  std::vector<int> predictions;
+  predictions.reserve(test.size());
+  for (const auto& row : test.features) predictions.push_back(classifier.predict(row));
+  const auto m = ml::binary_metrics(test.labels, predictions, core::kLabelFacing);
+  EvalMetrics out;
+  out.accuracy = m.accuracy();
+  out.precision = m.precision();
+  out.recall = m.recall();
+  out.f1 = m.f1();
+  out.far = m.far();
+  out.frr = m.frr();
+  return out;
+}
+
+std::vector<EvalMetrics> cross_session_evaluate(
+    std::span<const OrientationSample> samples, core::FacingDefinition definition,
+    const core::OrientationClassifierConfig& config) {
+  std::set<unsigned> sessions;
+  for (const auto& s : samples) sessions.insert(s.spec.session);
+
+  std::vector<EvalMetrics> results;
+  for (unsigned train_s : sessions) {
+    for (unsigned test_s : sessions) {
+      if (train_s == test_s) continue;
+      const auto train_samples =
+          filter(samples, [&](const SampleSpec& s) { return s.session == train_s; });
+      const auto test_samples =
+          filter(samples, [&](const SampleSpec& s) { return s.session == test_s; });
+      const auto train = facing_dataset(train_samples, definition);
+      const auto test = facing_dataset(test_samples, definition);
+      if (train.empty() || test.empty()) continue;
+      results.push_back(evaluate_orientation(config, train, test));
+    }
+  }
+  return results;
+}
+
+EvalMetrics mean_metrics(std::span<const EvalMetrics> metrics) {
+  EvalMetrics out;
+  if (metrics.empty()) return out;
+  for (const auto& m : metrics) {
+    out.accuracy += m.accuracy;
+    out.precision += m.precision;
+    out.recall += m.recall;
+    out.f1 += m.f1;
+    out.far += m.far;
+    out.frr += m.frr;
+  }
+  const double n = static_cast<double>(metrics.size());
+  out.accuracy /= n;
+  out.precision /= n;
+  out.recall /= n;
+  out.f1 /= n;
+  out.far /= n;
+  out.frr /= n;
+  return out;
+}
+
+}  // namespace headtalk::sim

@@ -1,0 +1,71 @@
+// Shared experiment harness: spec collection with progress reporting,
+// dataset assembly under facing definitions, and the paper's cross-session
+// evaluation protocol (§IV-A: "select one session's data as the training
+// set, use the remaining session as the test set, and report the average").
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/facing.h"
+#include "core/orientation_classifier.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "sim/collector.h"
+#include "sim/spec.h"
+
+namespace headtalk::sim {
+
+struct OrientationSample {
+  SampleSpec spec;
+  ml::FeatureVector features;
+};
+
+/// Renders/loads orientation features for every spec. Prints a progress
+/// line to stderr when `progress` (rendering is the dominant cost).
+[[nodiscard]] std::vector<OrientationSample> collect_orientation(
+    const Collector& collector, std::span<const SampleSpec> specs,
+    bool progress = true);
+
+/// Same for liveness features.
+[[nodiscard]] std::vector<OrientationSample> collect_liveness(
+    const Collector& collector, std::span<const SampleSpec> specs,
+    bool progress = true);
+
+/// Keeps the samples satisfying a predicate on the spec.
+[[nodiscard]] std::vector<OrientationSample> filter(
+    std::span<const OrientationSample> samples,
+    const std::function<bool(const SampleSpec&)>& predicate);
+
+/// Builds a labelled dataset from the samples whose angle falls in the
+/// definition's facing / non-facing training arcs (others are dropped).
+[[nodiscard]] ml::Dataset facing_dataset(std::span<const OrientationSample> samples,
+                                         core::FacingDefinition definition);
+
+/// Builds a dataset labelled by ground truth (|angle| <= 30 is facing),
+/// keeping every sample — used to test borderline angles.
+[[nodiscard]] ml::Dataset ground_truth_dataset(std::span<const OrientationSample> samples);
+
+struct EvalMetrics {
+  double accuracy = 0.0, precision = 0.0, recall = 0.0, f1 = 0.0;
+  double far = 0.0, frr = 0.0;
+};
+
+/// Trains the configured classifier on `train` and scores it on `test`
+/// (positive class = facing).
+[[nodiscard]] EvalMetrics evaluate_orientation(
+    const core::OrientationClassifierConfig& config, const ml::Dataset& train,
+    const ml::Dataset& test);
+
+/// The paper's cross-session protocol: for each ordered session pair
+/// (train_s != test_s), train on facing_dataset(train_s) and test on
+/// facing_dataset(test_s); returns the per-pair metrics.
+[[nodiscard]] std::vector<EvalMetrics> cross_session_evaluate(
+    std::span<const OrientationSample> samples, core::FacingDefinition definition,
+    const core::OrientationClassifierConfig& config = {});
+
+/// Averages metric structs.
+[[nodiscard]] EvalMetrics mean_metrics(std::span<const EvalMetrics> metrics);
+
+}  // namespace headtalk::sim

@@ -1,0 +1,81 @@
+#include "sim/feature_cache.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+
+#include "sim/spec.h"
+
+namespace headtalk::sim {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48544643;  // "HTFC"
+
+}  // namespace
+
+FeatureCache::FeatureCache(std::filesystem::path directory)
+    : directory_(std::move(directory)) {}
+
+std::filesystem::path FeatureCache::default_directory() {
+  if (const char* env = std::getenv("HEADTALK_CACHE"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return ".headtalk_cache";
+}
+
+std::filesystem::path FeatureCache::path_for(const std::string& key) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.bin",
+                static_cast<unsigned long long>(fnv1a64(key)));
+  return directory_ / name;
+}
+
+std::optional<ml::FeatureVector> FeatureCache::load(const std::string& key) const {
+  if (!enabled()) return std::nullopt;
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) return std::nullopt;
+
+  std::uint32_t magic = 0, key_len = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&key_len), sizeof key_len);
+  if (!in || magic != kMagic || key_len > 4096) return std::nullopt;
+  std::string stored_key(key_len, '\0');
+  in.read(stored_key.data(), key_len);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || stored_key != key || count > (1u << 24)) return std::nullopt;
+
+  ml::FeatureVector features(count);
+  in.read(reinterpret_cast<char*>(features.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  if (!in) return std::nullopt;
+  return features;
+}
+
+void FeatureCache::store(const std::string& key, const ml::FeatureVector& features) const {
+  if (!enabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) return;
+
+  // Write to a temp file, then rename: concurrent benches may share a cache.
+  const auto final_path = path_for(key);
+  auto tmp_path = final_path;
+  tmp_path += ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    const auto key_len = static_cast<std::uint32_t>(key.size());
+    const auto count = static_cast<std::uint64_t>(features.size());
+    out.write(reinterpret_cast<const char*>(&kMagic), sizeof kMagic);
+    out.write(reinterpret_cast<const char*>(&key_len), sizeof key_len);
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    out.write(reinterpret_cast<const char*>(&count), sizeof count);
+    out.write(reinterpret_cast<const char*>(features.data()),
+              static_cast<std::streamsize>(features.size() * sizeof(double)));
+    if (!out) return;
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+}
+
+}  // namespace headtalk::sim

@@ -1,0 +1,41 @@
+// On-disk cache of extracted feature vectors.
+//
+// Rendering a capture is by far the most expensive step of every
+// experiment; the feature vectors are tiny. Since a SampleSpec renders
+// deterministically, features can be cached across runs AND across
+// benchmark binaries — the whole harness pays each render once.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace headtalk::sim {
+
+class FeatureCache {
+ public:
+  /// `directory` is created lazily on first store. An empty directory name
+  /// disables the cache (loads miss, stores are dropped).
+  explicit FeatureCache(std::filesystem::path directory);
+
+  [[nodiscard]] bool enabled() const noexcept { return !directory_.empty(); }
+
+  /// Returns the cached vector for `key`, or nullopt on miss/corruption.
+  [[nodiscard]] std::optional<ml::FeatureVector> load(const std::string& key) const;
+
+  /// Stores a vector under `key` (best-effort; I/O failures are swallowed —
+  /// the cache is an optimization, not a correctness dependency).
+  void store(const std::string& key, const ml::FeatureVector& features) const;
+
+  /// Default cache location: $HEADTALK_CACHE or ".headtalk_cache".
+  [[nodiscard]] static std::filesystem::path default_directory();
+
+ private:
+  [[nodiscard]] std::filesystem::path path_for(const std::string& key) const;
+
+  std::filesystem::path directory_;
+};
+
+}  // namespace headtalk::sim

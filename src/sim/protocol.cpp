@@ -1,0 +1,149 @@
+#include "sim/protocol.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace headtalk::sim {
+
+const std::vector<double>& protocol_angles() {
+  static const std::vector<double> angles{0.0,   15.0,  -15.0, 30.0,  -30.0,
+                                          45.0,  -45.0, 60.0,  -60.0, 90.0,
+                                          -90.0, 135.0, -135.0, 180.0};
+  return angles;
+}
+
+const std::vector<double>& extended_angles() {
+  static const std::vector<double> angles = [] {
+    auto a = protocol_angles();
+    a.push_back(75.0);
+    a.push_back(-75.0);
+    return a;
+  }();
+  return angles;
+}
+
+const std::vector<double>& ahuja_angles() {
+  static const std::vector<double> angles{0.0,   45.0,  -45.0, 90.0,
+                                          -90.0, 135.0, -135.0, 180.0};
+  return angles;
+}
+
+std::string_view room_id_name(RoomId id) {
+  switch (id) {
+    case RoomId::kLab:
+      return "lab";
+    case RoomId::kHome:
+      return "home";
+  }
+  return "?";
+}
+
+const std::vector<RoomId>& all_rooms() {
+  static const std::vector<RoomId> rooms{RoomId::kLab, RoomId::kHome};
+  return rooms;
+}
+
+room::Room make_room(RoomId id) {
+  switch (id) {
+    case RoomId::kLab:
+      return room::Room::lab();
+    case RoomId::kHome:
+      return room::Room::home();
+  }
+  throw std::invalid_argument("make_room: unknown room");
+}
+
+std::string_view placement_name(PlacementId id) {
+  switch (id) {
+    case PlacementId::kA:
+      return "A";
+    case PlacementId::kB:
+      return "B";
+    case PlacementId::kC:
+      return "C";
+  }
+  return "?";
+}
+
+room::ArrayPose placement_pose(RoomId room_id, PlacementId placement) {
+  // The device front axis points into the room along +x in both rooms.
+  // All placements keep the full L/M/R x 1-5 m grid inside the room
+  // (the +/-15 degree radials swing +/-1.3 m laterally at 5 m).
+  if (room_id == RoomId::kLab) {
+    switch (placement) {
+      case PlacementId::kA:
+        return {{0.50, 2.10, 0.74}, 0.0};  // near-wall study table
+      case PlacementId::kB:
+        return {{0.85, 1.60, 0.45}, 0.0};  // coffee table
+      case PlacementId::kC:
+        return {{0.55, 2.80, 0.75}, 0.0};  // work table
+    }
+  } else {
+    switch (placement) {
+      case PlacementId::kA:
+        return {{0.40, 1.50, 0.83}, 0.0};  // near-window TV shelf
+      case PlacementId::kB:
+        return {{0.80, 1.40, 0.45}, 0.0};
+      case PlacementId::kC:
+        return {{0.45, 1.65, 0.75}, 0.0};
+    }
+  }
+  throw std::invalid_argument("placement_pose: unknown placement");
+}
+
+std::string GridLocation::label() const {
+  std::string out;
+  switch (radial) {
+    case GridRadial::kLeft:
+      out = "L";
+      break;
+    case GridRadial::kMiddle:
+      out = "M";
+      break;
+    case GridRadial::kRight:
+      out = "R";
+      break;
+  }
+  out += std::to_string(static_cast<int>(std::lround(distance_m)));
+  return out;
+}
+
+const std::vector<GridLocation>& all_grid_locations() {
+  static const std::vector<GridLocation> locations = [] {
+    std::vector<GridLocation> out;
+    for (auto radial : {GridRadial::kLeft, GridRadial::kMiddle, GridRadial::kRight}) {
+      for (double d : {1.0, 3.0, 5.0}) out.push_back({radial, d});
+    }
+    return out;
+  }();
+  return locations;
+}
+
+const std::vector<GridLocation>& middle_grid_locations() {
+  static const std::vector<GridLocation> locations{{GridRadial::kMiddle, 1.0},
+                                                   {GridRadial::kMiddle, 3.0},
+                                                   {GridRadial::kMiddle, 5.0}};
+  return locations;
+}
+
+room::Vec3 grid_position(RoomId room_id, PlacementId placement,
+                         const GridLocation& location, double height) {
+  const auto pose = placement_pose(room_id, placement);
+  double radial_deg = 0.0;
+  if (location.radial == GridRadial::kLeft) radial_deg = -15.0;
+  if (location.radial == GridRadial::kRight) radial_deg = 15.0;
+  // Radial directions fan out around the device's front axis (+x after yaw).
+  const double azimuth = pose.yaw_rad + room::deg_to_rad(radial_deg);
+  const auto dir = room::azimuth_direction(azimuth);
+  return {pose.center.x + dir.x * location.distance_m,
+          pose.center.y + dir.y * location.distance_m, height};
+}
+
+double facing_azimuth(const room::Vec3& position, const room::ArrayPose& device_pose,
+                      double angle_deg) {
+  const double toward_device =
+      std::atan2(device_pose.center.y - position.y, device_pose.center.x - position.x);
+  return toward_device + room::deg_to_rad(angle_deg);
+}
+
+}  // namespace headtalk::sim

@@ -1,0 +1,70 @@
+// The data-collection protocol of §IV: rooms, device placements, the
+// 3 x 3 location grid (radial directions L/M/R at 1/3/5 m), the 14-angle
+// rotation sweep, wake words, sessions, loudness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "room/room.h"
+#include "room/scene.h"
+
+namespace headtalk::sim {
+
+/// The 14 spoken angles of the protocol (degrees; 0 = facing the device).
+[[nodiscard]] const std::vector<double>& protocol_angles();
+
+/// The protocol angles plus the two verification angles +/-75 collected for
+/// the facing-definition experiment (§IV-A2) — 16 angles total.
+[[nodiscard]] const std::vector<double>& extended_angles();
+
+/// Ahuja et al.'s 8-angle grid (no +/-15 or +/-30), used by the cross-user
+/// dataset (§IV-B14).
+[[nodiscard]] const std::vector<double>& ahuja_angles();
+
+enum class RoomId { kLab, kHome };
+[[nodiscard]] std::string_view room_id_name(RoomId id);
+[[nodiscard]] const std::vector<RoomId>& all_rooms();
+[[nodiscard]] room::Room make_room(RoomId id);
+
+/// Device placements within the room (Fig. 8): A = near-wall study table
+/// (74 cm), B = coffee table (45 cm), C = work table (75 cm). The home room
+/// uses a TV-shelf placement at 83 cm for A.
+enum class PlacementId { kA, kB, kC };
+[[nodiscard]] std::string_view placement_name(PlacementId id);
+[[nodiscard]] room::ArrayPose placement_pose(RoomId room, PlacementId placement);
+
+/// Radial direction of a grid location relative to the device's front axis.
+enum class GridRadial { kLeft, kMiddle, kRight };  // -15 / 0 / +15 degrees
+
+struct GridLocation {
+  GridRadial radial = GridRadial::kMiddle;
+  double distance_m = 3.0;
+
+  [[nodiscard]] std::string label() const;  // e.g. "M3"
+};
+
+/// All nine grid locations (L/M/R x 1/3/5 m).
+[[nodiscard]] const std::vector<GridLocation>& all_grid_locations();
+/// The three middle-radial locations M1, M3, M5 (used by Datasets 3-7).
+[[nodiscard]] const std::vector<GridLocation>& middle_grid_locations();
+
+/// World position of a talker's mouth at a grid location (device placement
+/// applied; `height` is the mouth height, 1.65 m standing / 1.25 m seated).
+[[nodiscard]] room::Vec3 grid_position(RoomId room, PlacementId placement,
+                                       const GridLocation& location, double height);
+
+/// Facing azimuth (world frame) of a talker at `position` whose head is
+/// rotated `angle_deg` away from the ray toward the device.
+[[nodiscard]] double facing_azimuth(const room::Vec3& position,
+                                    const room::ArrayPose& device_pose,
+                                    double angle_deg);
+
+/// Mouth heights used by the protocol.
+inline constexpr double kStandingMouthHeight = 1.65;
+inline constexpr double kSittingMouthHeight = 1.25;
+
+/// Default speech loudness of the protocol (dB SPL at 1 m).
+inline constexpr double kDefaultLoudnessDb = 70.0;
+
+}  // namespace headtalk::sim

@@ -1,0 +1,58 @@
+#include "sim/spec.h"
+
+#include <cstdio>
+
+namespace headtalk::sim {
+
+std::string_view replay_source_name(ReplaySource source) {
+  switch (source) {
+    case ReplaySource::kNone:
+      return "live";
+    case ReplaySource::kHighEnd:
+      return "sony";
+    case ReplaySource::kSmartphone:
+      return "phone";
+    case ReplaySource::kTelevision:
+      return "tv";
+  }
+  return "?";
+}
+
+std::string_view occlusion_level_name(OcclusionLevel level) {
+  switch (level) {
+    case OcclusionLevel::kNone:
+      return "none";
+    case OcclusionLevel::kPartial:
+      return "partial";
+    case OcclusionLevel::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+std::string SampleSpec::key() const {
+  char buffer[320];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "room=%s|place=%s|dev=%s|word=%s|loc=%s|ang=%.1f|sess=%u|rep=%u|user=%u|"
+      "spl=%.1f|h=%.2f|replay=%s|amb=%d@%.1f|occ=%s|lift=%.3f|days=%.1f",
+      std::string(room_id_name(room)).c_str(), std::string(placement_name(placement)).c_str(),
+      std::string(room::device_name(device)).c_str(),
+      std::string(speech::wake_word_name(word)).c_str(), location.label().c_str(),
+      angle_deg, session, repetition, user_id, loudness_db, mouth_height_m,
+      std::string(replay_source_name(replay)).c_str(), static_cast<int>(ambient_type),
+      ambient_spl_db, std::string(occlusion_level_name(occlusion)).c_str(),
+      device_height_offset_m, temporal_days);
+  return buffer;
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace headtalk::sim

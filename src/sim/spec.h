@@ -1,0 +1,61 @@
+// SampleSpec: a complete, hashable description of one protocol capture —
+// who spoke which wake word, where, at what head angle, through what
+// hardware, in which room/session, under what interference. Every
+// stochastic element of the simulation derives its seed from this spec, so
+// a spec renders identically across processes (which makes the on-disk
+// feature cache sound).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "room/mic_array.h"
+#include "room/noise.h"
+#include "sim/protocol.h"
+#include "speech/phonemes.h"
+
+namespace headtalk::sim {
+
+enum class ReplaySource {
+  kNone,        ///< live human talker
+  kHighEnd,     ///< Sony-class loudspeaker (Dataset-2)
+  kSmartphone,  ///< phone speaker
+  kTelevision,  ///< TV speaker (accidental activation)
+};
+[[nodiscard]] std::string_view replay_source_name(ReplaySource source);
+
+enum class OcclusionLevel { kNone, kPartial, kFull };
+[[nodiscard]] std::string_view occlusion_level_name(OcclusionLevel level);
+
+struct SampleSpec {
+  RoomId room = RoomId::kLab;
+  PlacementId placement = PlacementId::kA;
+  room::DeviceId device = room::DeviceId::kD2;
+  speech::WakeWord word = speech::WakeWord::kComputer;
+  GridLocation location{GridRadial::kMiddle, 3.0};
+  /// Head angle relative to the device (degrees; 0 = facing).
+  double angle_deg = 0.0;
+  unsigned session = 0;
+  unsigned repetition = 0;
+  /// Speaker identity (0 = the default enrolled user; 1.. = other users).
+  unsigned user_id = 0;
+  double loudness_db = kDefaultLoudnessDb;
+  double mouth_height_m = kStandingMouthHeight;
+  ReplaySource replay = ReplaySource::kNone;
+  room::NoiseType ambient_type = room::NoiseType::kWhite;
+  /// Ambient level; negative = the room's default floor.
+  double ambient_spl_db = -1.0;
+  OcclusionLevel occlusion = OcclusionLevel::kNone;
+  /// Extra device elevation (the "raised" condition of §IV-B13).
+  double device_height_offset_m = 0.0;
+  /// Days since enrollment (temporal drift, §IV-B9).
+  double temporal_days = 0.0;
+
+  /// Canonical text form — the cache key and seed source.
+  [[nodiscard]] std::string key() const;
+};
+
+/// FNV-1a 64-bit hash of a string (stable across platforms/processes).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+}  // namespace headtalk::sim

@@ -1,0 +1,83 @@
+#include "speech/loudspeaker.h"
+
+#include <cmath>
+#include <random>
+
+#include "audio/gain.h"
+#include "dsp/biquad.h"
+
+namespace headtalk::speech {
+
+LoudspeakerModel LoudspeakerModel::high_end() {
+  LoudspeakerModel m;
+  m.name = "sony-srs-x5";
+  m.low_cutoff_hz = 90.0;
+  m.high_cutoff_hz = 4800.0;
+  m.high_rolloff_db_per_oct = 8.0;
+  m.drive = 1.3;
+  m.noise_floor_db = -62.0;
+  m.diaphragm_radius_m = 0.045;
+  return m;
+}
+
+LoudspeakerModel LoudspeakerModel::smartphone() {
+  LoudspeakerModel m;
+  m.name = "galaxy-s21";
+  m.low_cutoff_hz = 350.0;
+  m.high_cutoff_hz = 3800.0;
+  m.high_rolloff_db_per_oct = 11.0;
+  m.drive = 2.2;
+  m.noise_floor_db = -54.0;
+  m.diaphragm_radius_m = 0.012;
+  return m;
+}
+
+LoudspeakerModel LoudspeakerModel::television() {
+  LoudspeakerModel m;
+  m.name = "tv-speaker";
+  m.low_cutoff_hz = 180.0;
+  m.high_cutoff_hz = 4200.0;
+  m.high_rolloff_db_per_oct = 9.0;
+  m.drive = 1.8;
+  m.noise_floor_db = -56.0;
+  m.diaphragm_radius_m = 0.03;
+  return m;
+}
+
+audio::Buffer replay_through(const audio::Buffer& input, const LoudspeakerModel& model,
+                             std::uint32_t seed) {
+  const double fs = input.sample_rate();
+  const double original_peak = audio::peak(input.samples());
+  audio::Buffer out = input;
+
+  // Bass cut: 2nd-order Butterworth high-pass at the enclosure limit.
+  auto hp = dsp::butterworth_highpass(2, model.low_cutoff_hz, fs);
+  out = hp.filtered(out);
+
+  // Treble roll-off: approximate `high_rolloff_db_per_oct` with a cascade of
+  // first-order low-passes at the corner (each contributes ~6 dB/oct).
+  const int lp_stages =
+      std::max(1, static_cast<int>(std::lround(model.high_rolloff_db_per_oct / 6.0)));
+  for (int s = 0; s < lp_stages; ++s) {
+    auto lp = dsp::butterworth_lowpass(1, model.high_cutoff_hz, fs);
+    out = lp.filtered(out);
+  }
+
+  // Driver nonlinearity: odd-harmonic soft clipping. This is what fills the
+  // replayed high band with the *uniform* low-level content seen in Fig. 3 —
+  // distortion products rather than genuine speech energy.
+  const double drive = model.drive;
+  const double norm = std::tanh(drive);
+  for (auto& s : out.data()) s = std::tanh(drive * s) / norm;
+
+  // Electronic hiss at the device's noise floor.
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const double hiss = audio::db_to_amplitude(model.noise_floor_db);
+  for (auto& s : out.data()) s += hiss * gauss(rng);
+
+  if (original_peak > 0.0) audio::normalize_peak(out, original_peak);
+  return out;
+}
+
+}  // namespace headtalk::speech

@@ -1,0 +1,42 @@
+// Mechanical (replay) speaker rendering chain.
+//
+// §III-A / Fig. 3: audio replayed through a loudspeaker loses the strong
+// > 4 kHz content of live speech and gains a more uniform high-band floor,
+// plus low-frequency cut and mild nonlinear distortion. This module applies
+// that electro-acoustic signature to an utterance, turning a "live" signal
+// into what an attacker's replay device would emit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "audio/sample_buffer.h"
+
+namespace headtalk::speech {
+
+/// Electro-acoustic parameters of a replay device.
+struct LoudspeakerModel {
+  std::string name = "generic";
+  double low_cutoff_hz = 150.0;    ///< bass roll-off (driver/enclosure limit)
+  double high_cutoff_hz = 4200.0;  ///< start of treble roll-off
+  double high_rolloff_db_per_oct = 9.0;
+  double drive = 1.6;              ///< tanh soft-clip drive (harmonic distortion)
+  double noise_floor_db = -58.0;   ///< electronic hiss relative to full scale
+  double diaphragm_radius_m = 0.04;
+
+  /// Sony SRS-X5-class high-end portable speaker (Fig. 3b).
+  static LoudspeakerModel high_end();
+  /// Samsung Galaxy S21-class smartphone speaker (Fig. 3c).
+  static LoudspeakerModel smartphone();
+  /// TV-speaker-class source for accidental-activation scenarios.
+  static LoudspeakerModel television();
+};
+
+/// Renders `input` as emitted by the loudspeaker: band-limiting, soft-clip
+/// distortion, and additive hiss (seeded). Output has the same length,
+/// sample rate, and peak level as the input.
+[[nodiscard]] audio::Buffer replay_through(const audio::Buffer& input,
+                                           const LoudspeakerModel& model,
+                                           std::uint32_t seed);
+
+}  // namespace headtalk::speech

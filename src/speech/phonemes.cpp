@@ -1,0 +1,120 @@
+#include "speech/phonemes.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace headtalk::speech {
+namespace {
+
+Phoneme make(std::string symbol, PhonemeType type, std::array<double, 4> formants,
+             std::array<double, 4> bandwidths, double duration_ms, double amplitude,
+             bool voiced, double noise_center = 0.0, double noise_bw = 0.0) {
+  Phoneme p;
+  p.symbol = std::move(symbol);
+  p.type = type;
+  p.formants = formants;
+  p.bandwidths = bandwidths;
+  p.duration_ms = duration_ms;
+  p.amplitude = amplitude;
+  p.voiced = voiced;
+  p.noise_center_hz = noise_center;
+  p.noise_bandwidth_hz = noise_bw;
+  return p;
+}
+
+const std::map<std::string, Phoneme, std::less<>>& table() {
+  static const std::map<std::string, Phoneme, std::less<>> t = [] {
+    std::map<std::string, Phoneme, std::less<>> m;
+    auto add = [&m](Phoneme p) { m.emplace(p.symbol, std::move(p)); };
+
+    // --- Vowels (F1..F4 Hz / bandwidths Hz) ---
+    add(make("AA", PhonemeType::kVowel, {730, 1090, 2440, 3400}, {80, 90, 120, 170}, 110, 1.0, true));   // f(a)ther
+    add(make("AE", PhonemeType::kVowel, {660, 1720, 2410, 3400}, {80, 90, 120, 170}, 110, 1.0, true));   // c(a)t
+    add(make("AH", PhonemeType::kVowel, {640, 1190, 2390, 3400}, {80, 90, 120, 170}, 80, 0.9, true));    // b(u)t / schwa-ish
+    add(make("AX", PhonemeType::kVowel, {500, 1500, 2500, 3400}, {90, 110, 140, 180}, 55, 0.75, true));  // schwa
+    add(make("AO", PhonemeType::kVowel, {570, 840, 2410, 3300}, {80, 90, 120, 170}, 105, 1.0, true));    // am(a)zon final-ish
+    add(make("EY", PhonemeType::kVowel, {480, 1980, 2550, 3450}, {70, 90, 120, 170}, 130, 1.0, true));   // h(ey)
+    add(make("IH", PhonemeType::kVowel, {390, 1990, 2550, 3500}, {70, 90, 120, 170}, 75, 0.9, true));    // b(i)t
+    add(make("IY", PhonemeType::kVowel, {270, 2290, 3010, 3600}, {60, 90, 130, 180}, 95, 0.95, true));   // b(ee)t
+    add(make("UW", PhonemeType::kVowel, {300, 870, 2240, 3300}, {70, 90, 120, 170}, 100, 0.95, true));   // b(oo)t
+    add(make("ER", PhonemeType::kVowel, {490, 1350, 1690, 3300}, {80, 90, 120, 170}, 100, 0.9, true));   // comput(er)
+
+    // --- Nasals ---
+    add(make("M", PhonemeType::kNasal, {280, 1100, 2100, 3200}, {60, 150, 200, 250}, 70, 0.5, true));
+    add(make("N", PhonemeType::kNasal, {280, 1500, 2400, 3300}, {60, 150, 200, 250}, 65, 0.5, true));
+
+    // --- Approximants / glides ---
+    add(make("Y", PhonemeType::kApproximant, {280, 2200, 2950, 3600}, {70, 100, 140, 190}, 45, 0.7, true));
+    add(make("W", PhonemeType::kApproximant, {300, 700, 2200, 3200}, {70, 100, 140, 190}, 50, 0.7, true));
+
+    // --- Fricatives (frication band dominates) ---
+    add(make("S", PhonemeType::kVoicelessFricative, {300, 1400, 2500, 3500}, {200, 250, 300, 350}, 95, 0.55, false, 6500, 5000));
+    add(make("SH", PhonemeType::kVoicelessFricative, {300, 1400, 2300, 3300}, {200, 250, 300, 350}, 95, 0.55, false, 4200, 3500));
+    add(make("F", PhonemeType::kVoicelessFricative, {300, 1400, 2500, 3500}, {200, 250, 300, 350}, 80, 0.35, false, 5500, 6500));
+    add(make("H", PhonemeType::kVoicelessFricative, {500, 1500, 2500, 3500}, {300, 300, 350, 400}, 60, 0.3, false, 1800, 2600));
+    add(make("Z", PhonemeType::kVoicedFricative, {300, 1400, 2500, 3500}, {150, 200, 250, 300}, 85, 0.5, true, 6000, 5000));
+    add(make("V", PhonemeType::kVoicedFricative, {300, 1200, 2300, 3300}, {150, 200, 250, 300}, 70, 0.4, true, 4500, 5000));
+
+    // --- Stops ---
+    add(make("P", PhonemeType::kPlosive, {400, 1100, 2300, 3300}, {200, 250, 300, 350}, 85, 0.6, false, 1200, 2200));
+    add(make("T", PhonemeType::kPlosive, {400, 1600, 2600, 3500}, {200, 250, 300, 350}, 85, 0.65, false, 4500, 4500));
+    add(make("K", PhonemeType::kPlosive, {400, 1800, 2200, 3300}, {200, 250, 300, 350}, 90, 0.65, false, 2500, 2800));
+    add(make("B", PhonemeType::kVoicedPlosive, {400, 1100, 2300, 3300}, {150, 200, 250, 300}, 70, 0.6, true, 900, 1500));
+    add(make("D", PhonemeType::kVoicedPlosive, {400, 1600, 2600, 3500}, {150, 200, 250, 300}, 70, 0.6, true, 3500, 3500));
+
+    // --- Silence / pause ---
+    add(make("SIL", PhonemeType::kSilence, {0, 0, 0, 0}, {0, 0, 0, 0}, 60, 0.0, false));
+
+    return m;
+  }();
+  return t;
+}
+
+}  // namespace
+
+const Phoneme& phoneme(std::string_view symbol) {
+  const auto& t = table();
+  const auto it = t.find(symbol);
+  if (it == t.end()) {
+    throw std::out_of_range("phoneme: unknown symbol '" + std::string(symbol) + "'");
+  }
+  return it->second;
+}
+
+std::string_view wake_word_name(WakeWord word) {
+  switch (word) {
+    case WakeWord::kComputer:
+      return "Computer";
+    case WakeWord::kAmazon:
+      return "Amazon";
+    case WakeWord::kHeyAssistant:
+      return "Hey Assistant!";
+  }
+  return "?";
+}
+
+const std::vector<WakeWord>& all_wake_words() {
+  static const std::vector<WakeWord> words{WakeWord::kComputer, WakeWord::kAmazon,
+                                           WakeWord::kHeyAssistant};
+  return words;
+}
+
+std::vector<Phoneme> wake_word_script(WakeWord word) {
+  auto seq = [](std::initializer_list<std::string_view> symbols) {
+    std::vector<Phoneme> out;
+    out.reserve(symbols.size());
+    for (auto s : symbols) out.push_back(phoneme(s));
+    return out;
+  };
+  switch (word) {
+    case WakeWord::kComputer:  // k-ah-m-P-Y-UW-T-ER
+      return seq({"K", "AX", "M", "P", "Y", "UW", "T", "ER"});
+    case WakeWord::kAmazon:  // AE-M-AX-Z-AA-N
+      return seq({"AE", "M", "AX", "Z", "AA", "N"});
+    case WakeWord::kHeyAssistant:  // H-EY (pause) AX-S-IH-S-T-AX-N-T
+      return seq({"H", "EY", "SIL", "AX", "S", "IH", "S", "T", "AX", "N", "T"});
+  }
+  throw std::invalid_argument("wake_word_script: unknown wake word");
+}
+
+}  // namespace headtalk::speech

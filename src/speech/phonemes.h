@@ -1,0 +1,63 @@
+// Phoneme inventory and wake-word scripts.
+//
+// The synthesizer is a classic source-filter (formant) design; a phoneme is
+// a target configuration — formant frequencies/bandwidths for the vocal
+// tract, a noise band for frication, voicing and timing. Values follow
+// standard American-English formant tables (Peterson & Barney style),
+// rounded; exact phonetic fidelity is not required, broadband speech-like
+// structure is.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace headtalk::speech {
+
+enum class PhonemeType {
+  kVowel,
+  kNasal,
+  kApproximant,
+  kVoicelessFricative,
+  kVoicedFricative,
+  kPlosive,        ///< voiceless stop: closure silence then burst + aspiration
+  kVoicedPlosive,  ///< voiced stop: short closure then voiced release
+  kSilence,
+};
+
+struct Phoneme {
+  std::string symbol;
+  PhonemeType type = PhonemeType::kSilence;
+  /// First four formant frequencies (Hz); ignored for pure noise segments.
+  std::array<double, 4> formants{500.0, 1500.0, 2500.0, 3500.0};
+  /// Formant bandwidths (Hz).
+  std::array<double, 4> bandwidths{60.0, 90.0, 120.0, 160.0};
+  /// Frication noise band (Hz); used by fricatives and plosive bursts.
+  double noise_center_hz = 0.0;
+  double noise_bandwidth_hz = 0.0;
+  bool voiced = false;
+  double duration_ms = 80.0;
+  double amplitude = 1.0;
+};
+
+/// Looks up a phoneme prototype by symbol (e.g. "AA", "S", "T").
+/// Throws std::out_of_range for unknown symbols.
+[[nodiscard]] const Phoneme& phoneme(std::string_view symbol);
+
+/// The wake words used throughout the paper (§IV "Data Collection").
+enum class WakeWord {
+  kComputer,      ///< "Computer"
+  kAmazon,        ///< "Amazon"
+  kHeyAssistant,  ///< "Hey Assistant!"
+};
+
+[[nodiscard]] std::string_view wake_word_name(WakeWord word);
+
+/// All three wake words, for dataset sweeps.
+[[nodiscard]] const std::vector<WakeWord>& all_wake_words();
+
+/// Phoneme sequence for a wake word.
+[[nodiscard]] std::vector<Phoneme> wake_word_script(WakeWord word);
+
+}  // namespace headtalk::speech

@@ -1,0 +1,44 @@
+#include "speech/speaker_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace headtalk::speech {
+
+SpeakerProfile SpeakerProfile::random(std::mt19937& rng) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  SpeakerProfile p;
+  if (coin(rng) < 0.5) {
+    // Male-range voice.
+    p.f0_hz = std::uniform_real_distribution<double>(95.0, 140.0)(rng);
+    p.formant_scale = std::uniform_real_distribution<double>(0.95, 1.08)(rng);
+  } else {
+    // Female-range voice.
+    p.f0_hz = std::uniform_real_distribution<double>(170.0, 240.0)(rng);
+    p.formant_scale = std::uniform_real_distribution<double>(0.82, 0.95)(rng);
+  }
+  p.f0_declination = std::uniform_real_distribution<double>(0.08, 0.22)(rng);
+  p.rate_scale = std::uniform_real_distribution<double>(0.85, 1.15)(rng);
+  p.jitter = std::uniform_real_distribution<double>(0.005, 0.02)(rng);
+  p.shimmer = std::uniform_real_distribution<double>(0.03, 0.08)(rng);
+  p.breathiness = std::uniform_real_distribution<double>(0.04, 0.12)(rng);
+  p.fricative_gain = std::uniform_real_distribution<double>(0.8, 1.25)(rng);
+  return p;
+}
+
+SpeakerProfile SpeakerProfile::drifted(double days, std::mt19937& rng) const {
+  SpeakerProfile p = *this;
+  // Day-to-day voice variation saturates: a month sounds different from
+  // this morning, but not 30x more different than tomorrow does.
+  const double scale = std::min(1.0, 0.3 + 0.2 * std::log1p(days));
+  std::normal_distribution<double> g(0.0, 1.0);
+  p.f0_hz *= 1.0 + 0.04 * scale * g(rng);
+  p.formant_scale *= 1.0 + 0.015 * scale * g(rng);
+  p.rate_scale *= 1.0 + 0.06 * scale * g(rng);
+  p.breathiness = std::clamp(p.breathiness * (1.0 + 0.25 * scale * g(rng)), 0.01, 0.3);
+  p.fricative_gain =
+      std::clamp(p.fricative_gain * (1.0 + 0.12 * scale * g(rng)), 0.5, 1.6);
+  return p;
+}
+
+}  // namespace headtalk::speech

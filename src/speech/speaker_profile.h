@@ -1,0 +1,33 @@
+// Per-speaker voice parameters.
+//
+// The paper's corpus comes from human speakers across many sessions; the
+// synthetic substrate models the axes along which real voices (and the same
+// voice across days — §IV-B9 temporal drift) vary: pitch, formant scaling,
+// speaking rate, breathiness, and micro-instabilities (jitter/shimmer).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace headtalk::speech {
+
+struct SpeakerProfile {
+  double f0_hz = 120.0;          ///< base pitch
+  double f0_declination = 0.15;  ///< fractional pitch drop across an utterance
+  double formant_scale = 1.0;    ///< vocal-tract length factor (~0.85 female, ~1.0 male)
+  double rate_scale = 1.0;       ///< speaking-rate multiplier (>1 = faster)
+  double jitter = 0.01;          ///< cycle-to-cycle F0 perturbation (fraction)
+  double shimmer = 0.05;         ///< cycle-to-cycle amplitude perturbation
+  double breathiness = 0.08;     ///< aspiration-noise mix into the voiced source
+  double fricative_gain = 1.0;   ///< relative strength of fricative noise (HF energy)
+
+  /// Draws a plausible adult voice. Deterministic in the generator state.
+  static SpeakerProfile random(std::mt19937& rng);
+
+  /// Returns this voice after `days` of natural drift (slight pitch/formant/
+  /// rate movement), used by the temporal-stability experiments. Drift is
+  /// deterministic in the rng state and grows sub-linearly with time.
+  [[nodiscard]] SpeakerProfile drifted(double days, std::mt19937& rng) const;
+};
+
+}  // namespace headtalk::speech

@@ -1,0 +1,224 @@
+#include "speech/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "audio/gain.h"
+#include "dsp/biquad.h"
+
+namespace headtalk::speech {
+namespace {
+
+// Klatt-style two-pole resonator with unity DC gain; coefficients are
+// re-derived when formant targets move.
+class Resonator {
+ public:
+  void set(double freq_hz, double bandwidth_hz, double sample_rate) {
+    const double c = -std::exp(-2.0 * std::numbers::pi * bandwidth_hz / sample_rate);
+    const double b = 2.0 * std::exp(-std::numbers::pi * bandwidth_hz / sample_rate) *
+                     std::cos(2.0 * std::numbers::pi * freq_hz / sample_rate);
+    c_ = c;
+    b_ = b;
+    a_ = 1.0 - b - c;
+  }
+
+  [[nodiscard]] double process(double x) noexcept {
+    const double y = a_ * x + b_ * y1_ + c_ * y2_;
+    y2_ = y1_;
+    y1_ = y;
+    return y;
+  }
+
+ private:
+  double a_ = 1.0, b_ = 0.0, c_ = 0.0;
+  double y1_ = 0.0, y2_ = 0.0;
+};
+
+// Rosenberg glottal flow derivative over one normalized period.
+// `phase` in [0,1); opening fraction 0.4, closing 0.16.
+double glottal_derivative(double phase) {
+  constexpr double open = 0.40;
+  constexpr double close = 0.16;
+  if (phase < open) {
+    // Rising half-cosine flow -> derivative is a positive sine arch.
+    return 0.5 * (std::numbers::pi / open) * std::sin(std::numbers::pi * phase / open);
+  }
+  if (phase < open + close) {
+    // Sharp closing phase: the dominant negative spike of voiced excitation.
+    const double u = (phase - open) / close;
+    return -(std::numbers::pi / (2.0 * close)) * std::sin(std::numbers::pi * u);
+  }
+  return 0.0;  // closed phase
+}
+
+struct Segment {
+  Phoneme phoneme;
+  std::size_t start = 0;  // samples
+  std::size_t length = 0;
+};
+
+}  // namespace
+
+audio::Buffer synthesize(const std::vector<Phoneme>& script,
+                         const SpeakerProfile& profile, std::uint32_t seed,
+                         const SynthesisConfig& config) {
+  const double fs = config.sample_rate;
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+
+  // --- Lay out segments on the sample timeline ---
+  std::vector<Segment> segments;
+  std::size_t cursor = 0;
+  for (const auto& ph : script) {
+    Segment seg;
+    seg.phoneme = ph;
+    const double dur_ms = ph.duration_ms / profile.rate_scale *
+                          (1.0 + 0.06 * gauss(rng));  // natural timing variation
+    seg.length = static_cast<std::size_t>(std::max(16.0, dur_ms * fs / 1000.0));
+    seg.start = cursor;
+    cursor += seg.length;
+    segments.push_back(seg);
+  }
+  const std::size_t pad = static_cast<std::size_t>(0.02 * fs);  // leading/trailing room
+  const std::size_t total = cursor + 2 * pad;
+  audio::Buffer out(total, fs);
+  if (segments.empty()) return out;
+
+  // --- Per-sample synthesis state ---
+  std::array<Resonator, 4> tract;
+  dsp::Biquad fric_filter;  // band-pass for frication noise
+  double fric_center = 0.0, fric_bw = 0.0;
+
+  double phase = 0.0;              // glottal phase in [0,1)
+  double period_f0 = profile.f0_hz;  // F0 of the current glottal cycle
+  double period_amp = 1.0;           // shimmer of the current cycle
+
+  const auto transition_samples =
+      static_cast<double>(std::max(1.0, config.transition_ms * fs / 1000.0));
+  const int block = static_cast<int>(fs / 1000.0);  // coefficient update cadence: 1 ms
+  int block_countdown = 0;
+
+  const double utter_len = static_cast<double>(cursor);
+
+  for (std::size_t si = 0; si < segments.size(); ++si) {
+    const Segment& seg = segments[si];
+    const Phoneme& ph = seg.phoneme;
+    const Phoneme* prev = si > 0 ? &segments[si - 1].phoneme : nullptr;
+
+    const bool is_stop =
+        ph.type == PhonemeType::kPlosive || ph.type == PhonemeType::kVoicedPlosive;
+    // Stop layout: closure silence, then a burst, then aspiration/voicing.
+    const std::size_t closure =
+        is_stop ? static_cast<std::size_t>(0.45 * static_cast<double>(seg.length)) : 0;
+    const std::size_t burst_len = is_stop ? static_cast<std::size_t>(0.010 * fs) : 0;
+
+    for (std::size_t i = 0; i < seg.length; ++i) {
+      const std::size_t n = pad + seg.start + i;
+      const double t_in_utterance = static_cast<double>(seg.start + i) / utter_len;
+
+      // --- Formant interpolation across the boundary ---
+      double alpha = 1.0;
+      if (prev != nullptr && prev->type != PhonemeType::kSilence &&
+          static_cast<double>(i) < transition_samples) {
+        alpha = static_cast<double>(i) / transition_samples;
+      }
+      if (block_countdown-- <= 0) {
+        block_countdown = block;
+        for (std::size_t f = 0; f < 4; ++f) {
+          const double from = prev != nullptr ? prev->formants[f] : ph.formants[f];
+          const double to = ph.formants[f];
+          const double freq =
+              (from + (to - from) * alpha) * profile.formant_scale;
+          const double from_bw = prev != nullptr ? prev->bandwidths[f] : ph.bandwidths[f];
+          const double bw = std::max(40.0, from_bw + (ph.bandwidths[f] - from_bw) * alpha);
+          tract[f].set(std::max(80.0, freq), bw, fs);
+        }
+        if (ph.noise_center_hz > 0.0 &&
+            (ph.noise_center_hz != fric_center || ph.noise_bandwidth_hz != fric_bw)) {
+          fric_center = ph.noise_center_hz;
+          fric_bw = ph.noise_bandwidth_hz;
+          // RBJ constant-peak band-pass.
+          const double w0 = 2.0 * std::numbers::pi * fric_center / fs;
+          const double q = std::max(0.3, fric_center / std::max(100.0, fric_bw));
+          const double alpha_f = std::sin(w0) / (2.0 * q);
+          const double a0 = 1.0 + alpha_f;
+          fric_filter.b0 = alpha_f / a0;
+          fric_filter.b1 = 0.0;
+          fric_filter.b2 = -alpha_f / a0;
+          fric_filter.a1 = -2.0 * std::cos(w0) / a0;
+          fric_filter.a2 = (1.0 - alpha_f) / a0;
+        }
+      }
+
+      // --- Amplitude envelope (attack / release around each segment) ---
+      const double edge = 0.008 * fs;
+      double env = 1.0;
+      env = std::min(env, static_cast<double>(i) / edge);
+      env = std::min(env, static_cast<double>(seg.length - i) / edge);
+      env = std::clamp(env, 0.0, 1.0) * ph.amplitude;
+
+      double sample = 0.0;
+
+      // --- Voiced source through the vocal tract ---
+      const bool voiced_now = ph.voiced && (!is_stop || i >= closure + burst_len);
+      if (voiced_now) {
+        // Advance the glottal cycle; pick new F0/amplitude at each closure.
+        const double f0 = period_f0 * (1.0 - profile.f0_declination * t_in_utterance);
+        phase += f0 / fs;
+        if (phase >= 1.0) {
+          phase -= 1.0;
+          period_f0 = profile.f0_hz * (1.0 + profile.jitter * gauss(rng));
+          period_amp = 1.0 + profile.shimmer * gauss(rng);
+        }
+        double source = glottal_derivative(phase) * period_amp;
+        source += profile.breathiness * gauss(rng);  // aspiration
+        double v = source;
+        for (auto& r : tract) v = r.process(v);
+        sample += v * env;
+      }
+
+      // --- Frication / bursts ---
+      double noise_gain = 0.0;
+      if (ph.type == PhonemeType::kVoicelessFricative ||
+          ph.type == PhonemeType::kVoicedFricative) {
+        noise_gain = 1.0;
+      } else if (is_stop) {
+        if (i >= closure && i < closure + burst_len) {
+          noise_gain = 2.5;  // release burst
+        } else if (i >= closure + burst_len &&
+                   i < closure + burst_len + static_cast<std::size_t>(0.02 * fs) &&
+                   ph.type == PhonemeType::kPlosive) {
+          noise_gain = 0.6;  // aspiration tail of voiceless stops
+        }
+      }
+      if (noise_gain > 0.0 && ph.noise_center_hz > 0.0) {
+        const double n_in = uni(rng);
+        sample += fric_filter.process(n_in) * noise_gain * env *
+                  profile.fricative_gain * 2.0;
+      }
+
+      out[n] += sample;
+    }
+  }
+
+  // --- Lip radiation: first difference (+6 dB/oct) ---
+  double prev_sample = 0.0;
+  for (auto& s : out.data()) {
+    const double cur = s;
+    s = cur - 0.95 * prev_sample;
+    prev_sample = cur;
+  }
+
+  audio::normalize_peak(out, config.peak);
+  return out;
+}
+
+audio::Buffer synthesize_wake_word(WakeWord word, const SpeakerProfile& profile,
+                                   std::uint32_t seed, const SynthesisConfig& config) {
+  return synthesize(wake_word_script(word), profile, seed, config);
+}
+
+}  // namespace headtalk::speech

@@ -1,0 +1,42 @@
+// Formant (source-filter) speech synthesizer.
+//
+// Produces the wake-word utterances the data-collection protocol needs.
+// Voiced segments drive a cascade of four time-varying formant resonators
+// with a Rosenberg-style glottal source (jitter/shimmer/aspiration per the
+// speaker profile); fricatives and stop bursts inject band-passed noise —
+// this supplies the > 4 kHz energy that distinguishes live speech from
+// loudspeaker replay (Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+#include "speech/phonemes.h"
+#include "speech/speaker_profile.h"
+
+namespace headtalk::speech {
+
+struct SynthesisConfig {
+  double sample_rate = audio::kDefaultSampleRate;
+  /// Formant-target interpolation time at phoneme boundaries.
+  double transition_ms = 25.0;
+  /// Peak normalization target of the rendered utterance.
+  double peak = 0.9;
+};
+
+/// Renders a phoneme script as audio. `seed` drives every stochastic
+/// element (jitter, shimmer, noise), so identical inputs render identical
+/// audio; vary the seed for repetition-to-repetition diversity.
+[[nodiscard]] audio::Buffer synthesize(const std::vector<Phoneme>& script,
+                                       const SpeakerProfile& profile,
+                                       std::uint32_t seed,
+                                       const SynthesisConfig& config = {});
+
+/// Convenience: renders one of the paper's wake words.
+[[nodiscard]] audio::Buffer synthesize_wake_word(WakeWord word,
+                                                 const SpeakerProfile& profile,
+                                                 std::uint32_t seed,
+                                                 const SynthesisConfig& config = {});
+
+}  // namespace headtalk::speech

@@ -1,0 +1,74 @@
+#include "audio/gain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace headtalk::audio {
+namespace {
+
+TEST(Gain, DbConversionsRoundTrip) {
+  EXPECT_NEAR(amplitude_to_db(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(amplitude_to_db(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(db_to_amplitude(20.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_amplitude(amplitude_to_db(0.37)), 0.37, 1e-12);
+  EXPECT_NEAR(power_to_db(100.0), 20.0, 1e-12);
+}
+
+TEST(Gain, SilenceIsMinusInfinity) {
+  EXPECT_EQ(amplitude_to_db(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(power_to_db(-1.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Gain, RmsOfKnownSignals) {
+  const std::vector<Sample> dc{0.5, 0.5, 0.5, 0.5};
+  EXPECT_NEAR(rms(dc), 0.5, 1e-12);
+  const std::vector<Sample> alt{1.0, -1.0, 1.0, -1.0};
+  EXPECT_NEAR(rms(alt), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rms(std::span<const Sample>{}), 0.0);
+}
+
+TEST(Gain, PeakFindsLargestMagnitude) {
+  const std::vector<Sample> x{0.1, -0.8, 0.3};
+  EXPECT_DOUBLE_EQ(peak(x), 0.8);
+}
+
+TEST(Gain, SnrOfEqualPowersIsZeroDb) {
+  const std::vector<Sample> s{1.0, -1.0, 1.0, -1.0};
+  EXPECT_NEAR(snr_db(s, s), 0.0, 1e-12);
+}
+
+TEST(Gain, SetSplReachesTarget) {
+  Buffer x(4800, 48000.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * 3.14159265358979 * 440.0 * static_cast<double>(i) / 48000.0);
+  }
+  set_spl(x, 70.0);
+  EXPECT_NEAR(measure_spl(x), 70.0, 1e-9);
+  set_spl(x, 55.0);
+  EXPECT_NEAR(measure_spl(x), 55.0, 1e-9);
+}
+
+TEST(Gain, SetSplIgnoresSilence) {
+  Buffer x(100, 48000.0);
+  set_spl(x, 70.0);  // must not divide by zero
+  for (Sample s : x.samples()) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(Gain, NormalizePeak) {
+  Buffer x({0.2, -0.5, 0.1}, 48000.0);
+  normalize_peak(x);
+  EXPECT_NEAR(peak(x.samples()), 1.0, 1e-12);
+  normalize_peak(x, 0.25);
+  EXPECT_NEAR(peak(x.samples()), 0.25, 1e-12);
+}
+
+TEST(Gain, FullScaleCalibrationConstant) {
+  // A full-scale DC signal has RMS 1.0 -> SPL equals the calibration point.
+  Buffer x({1.0, 1.0, 1.0, 1.0}, 48000.0);
+  EXPECT_NEAR(measure_spl(x), kFullScaleSplDb, 1e-12);
+}
+
+}  // namespace
+}  // namespace headtalk::audio

@@ -1,0 +1,102 @@
+#include "audio/resample.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "audio/gain.h"
+
+namespace headtalk::audio {
+namespace {
+
+Buffer make_tone(double freq, double fs, double seconds) {
+  Buffer b(static_cast<std::size_t>(fs * seconds), fs);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = std::sin(2.0 * std::numbers::pi * freq * static_cast<double>(i) / fs);
+  }
+  return b;
+}
+
+TEST(Resample, IdentityWhenRatesMatch) {
+  const auto x = make_tone(440.0, 48000.0, 0.01);
+  const auto y = resample(x, 48000.0);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Resample, DownsamplePreservesToneFrequency) {
+  // 1 kHz tone, 48 kHz -> 16 kHz: zero crossings per second must match.
+  const auto x = make_tone(1000.0, 48000.0, 0.1);
+  const auto y = resample(x, 16000.0);
+  EXPECT_NEAR(static_cast<double>(y.size()), 1600.0, 2.0);
+  EXPECT_DOUBLE_EQ(y.sample_rate(), 16000.0);
+
+  std::size_t crossings = 0;
+  for (std::size_t i = 201; i < y.size() - 200; ++i) {  // skip filter edges
+    if ((y[i - 1] < 0.0) != (y[i] < 0.0)) ++crossings;
+  }
+  const double measured_freq =
+      static_cast<double>(crossings) / 2.0 /
+      (static_cast<double>(y.size() - 400) / 16000.0);
+  EXPECT_NEAR(measured_freq, 1000.0, 20.0);
+}
+
+TEST(Resample, DownsamplePreservesAmplitude) {
+  const auto x = make_tone(1000.0, 48000.0, 0.1);
+  const auto y = resample(x, 16000.0);
+  // Compare RMS over the interior region.
+  const auto interior = y.slice(200, y.size() - 400);
+  EXPECT_NEAR(rms(interior.samples()), 1.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(Resample, DownsampleRemovesAliasedContent) {
+  // 10 kHz tone is above the 8 kHz Nyquist of 16 kHz output: the
+  // anti-alias filter must knock it down by >25 dB.
+  const auto x = make_tone(10000.0, 48000.0, 0.05);
+  const auto y = resample(x, 16000.0);
+  EXPECT_LT(rms(y.samples()), 0.04);
+}
+
+TEST(Resample, NonIntegerRatioStillWorks) {
+  // 48 kHz -> 22.05 kHz exercises the general windowed-sinc path.
+  const auto x = make_tone(1000.0, 48000.0, 0.05);
+  const auto y = resample(x, 22050.0);
+  EXPECT_DOUBLE_EQ(y.sample_rate(), 22050.0);
+  const auto interior = y.slice(300, y.size() - 600);
+  EXPECT_NEAR(rms(interior.samples()), 1.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(Resample, UpsamplePreservesTone) {
+  const auto x = make_tone(440.0, 16000.0, 0.05);
+  const auto y = resample(x, 48000.0);
+  EXPECT_DOUBLE_EQ(y.sample_rate(), 48000.0);
+  const auto interior = y.slice(600, y.size() - 1200);
+  EXPECT_NEAR(rms(interior.samples()), 1.0 / std::sqrt(2.0), 0.05);
+}
+
+TEST(Resample, RejectsBadRate) {
+  const auto x = make_tone(440.0, 48000.0, 0.01);
+  EXPECT_THROW((void)resample(x, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)resample(x, -1.0), std::invalid_argument);
+}
+
+TEST(Normalize, ZeroMeanUnitVariance) {
+  Buffer x({1.0, 2.0, 3.0, 4.0, 5.0}, 48000.0);
+  normalize_zero_mean_unit_variance(x);
+  double mean = 0.0;
+  for (Sample s : x.samples()) mean += s;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  double var = 0.0;
+  for (Sample s : x.samples()) var += s * s;
+  EXPECT_NEAR(var / static_cast<double>(x.size()), 1.0, 1e-12);
+}
+
+TEST(Normalize, SilenceBecomesZeros) {
+  Buffer x({0.5, 0.5, 0.5}, 48000.0);  // zero variance
+  normalize_zero_mean_unit_variance(x);
+  for (Sample s : x.samples()) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+}  // namespace
+}  // namespace headtalk::audio

@@ -1,0 +1,130 @@
+#include "audio/sample_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace headtalk::audio {
+namespace {
+
+TEST(Buffer, DefaultIsEmpty) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_DOUBLE_EQ(b.duration_seconds(), 0.0);
+}
+
+TEST(Buffer, ZeroFilledConstruction) {
+  Buffer b(480, 48000.0);
+  EXPECT_EQ(b.size(), 480u);
+  EXPECT_DOUBLE_EQ(b.sample_rate(), 48000.0);
+  EXPECT_DOUBLE_EQ(b.duration_seconds(), 0.01);
+  for (Sample s : b.samples()) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(Buffer, RejectsNonPositiveSampleRate) {
+  EXPECT_THROW(Buffer(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(Buffer(10, -48000.0), std::invalid_argument);
+  EXPECT_THROW(Buffer(std::vector<Sample>{1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Buffer, WrapsExistingSamples) {
+  Buffer b({1.0, -2.0, 3.0}, 16000.0);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b[1], -2.0);
+  b[1] = 5.0;
+  EXPECT_DOUBLE_EQ(b[1], 5.0);
+}
+
+TEST(Buffer, AddSumsElementwiseUpToShorterLength) {
+  Buffer a({1.0, 2.0, 3.0}, 48000.0);
+  Buffer b({10.0, 20.0}, 48000.0);
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a[0], 11.0);
+  EXPECT_DOUBLE_EQ(a[1], 22.0);
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+}
+
+TEST(Buffer, AddRejectsRateMismatch) {
+  Buffer a(4, 48000.0);
+  Buffer b(4, 16000.0);
+  EXPECT_THROW(a.add(b), std::invalid_argument);
+}
+
+TEST(Buffer, ScaleMultipliesEverySample) {
+  Buffer a({1.0, -2.0}, 48000.0);
+  a.scale(0.5);
+  EXPECT_DOUBLE_EQ(a[0], 0.5);
+  EXPECT_DOUBLE_EQ(a[1], -1.0);
+}
+
+TEST(Buffer, SliceZeroPadsPastEnd) {
+  Buffer a({1.0, 2.0, 3.0}, 48000.0);
+  Buffer s = a.slice(2, 3);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+  EXPECT_DOUBLE_EQ(s.sample_rate(), 48000.0);
+}
+
+TEST(MultiBuffer, ConstructionAndShape) {
+  MultiBuffer m(4, 100, 48000.0);
+  EXPECT_EQ(m.channel_count(), 4u);
+  EXPECT_EQ(m.frames(), 100u);
+  EXPECT_DOUBLE_EQ(m.sample_rate(), 48000.0);
+}
+
+TEST(MultiBuffer, RejectsMismatchedChannels) {
+  std::vector<Buffer> channels;
+  channels.emplace_back(10, 48000.0);
+  channels.emplace_back(11, 48000.0);
+  EXPECT_THROW(MultiBuffer{std::move(channels)}, std::invalid_argument);
+}
+
+TEST(MultiBuffer, SelectChannelsPreservesOrder) {
+  MultiBuffer m(3, 4, 48000.0);
+  m.channel(0)[0] = 1.0;
+  m.channel(1)[0] = 2.0;
+  m.channel(2)[0] = 3.0;
+  const std::vector<std::size_t> pick{2, 0};
+  const auto sel = m.select_channels(pick);
+  ASSERT_EQ(sel.channel_count(), 2u);
+  EXPECT_DOUBLE_EQ(sel.channel(0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(sel.channel(1)[0], 1.0);
+}
+
+TEST(MultiBuffer, SelectChannelsThrowsOutOfRange) {
+  MultiBuffer m(2, 4, 48000.0);
+  const std::vector<std::size_t> pick{5};
+  EXPECT_THROW((void)m.select_channels(pick), std::out_of_range);
+}
+
+TEST(MultiBuffer, MixdownAverages) {
+  MultiBuffer m(2, 2, 48000.0);
+  m.channel(0)[0] = 1.0;
+  m.channel(1)[0] = 3.0;
+  const auto mono = m.mixdown();
+  ASSERT_EQ(mono.size(), 2u);
+  EXPECT_DOUBLE_EQ(mono[0], 2.0);
+}
+
+TEST(MultiBuffer, AddAccumulatesChannelwise) {
+  MultiBuffer a(2, 3, 48000.0);
+  MultiBuffer b(2, 3, 48000.0);
+  a.channel(0)[1] = 1.0;
+  b.channel(0)[1] = 2.0;
+  b.channel(1)[2] = 4.0;
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a.channel(0)[1], 3.0);
+  EXPECT_DOUBLE_EQ(a.channel(1)[2], 4.0);
+}
+
+TEST(MultiBuffer, AddRejectsChannelCountMismatch) {
+  MultiBuffer a(2, 3, 48000.0);
+  MultiBuffer b(3, 3, 48000.0);
+  EXPECT_THROW(a.add(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headtalk::audio

@@ -1,0 +1,98 @@
+#include "audio/wav_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+namespace headtalk::audio {
+namespace {
+
+class WavIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("headtalk_wav_test_" + std::to_string(::getpid()) + ".wav");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::filesystem::path path_;
+};
+
+MultiBuffer make_test_signal(std::size_t channels, std::size_t frames) {
+  MultiBuffer m(channels, frames, 48000.0);
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t i = 0; i < frames; ++i) {
+      m.channel(c)[i] =
+          0.5 * std::sin(2.0 * 3.14159265 * (440.0 + 100.0 * static_cast<double>(c)) *
+                         static_cast<double>(i) / 48000.0);
+    }
+  }
+  return m;
+}
+
+TEST_F(WavIoTest, Pcm16RoundTripMono) {
+  const auto original = make_test_signal(1, 480);
+  write_wav(path_, original, WavEncoding::kPcm16);
+  const auto loaded = read_wav(path_);
+  ASSERT_EQ(loaded.channel_count(), 1u);
+  ASSERT_EQ(loaded.frames(), 480u);
+  EXPECT_DOUBLE_EQ(loaded.sample_rate(), 48000.0);
+  for (std::size_t i = 0; i < 480; ++i) {
+    EXPECT_NEAR(loaded.channel(0)[i], original.channel(0)[i], 1.0 / 32767.0);
+  }
+}
+
+TEST_F(WavIoTest, Float32RoundTripMultichannel) {
+  const auto original = make_test_signal(4, 256);
+  write_wav(path_, original, WavEncoding::kFloat32);
+  const auto loaded = read_wav(path_);
+  ASSERT_EQ(loaded.channel_count(), 4u);
+  ASSERT_EQ(loaded.frames(), 256u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t i = 0; i < 256; ++i) {
+      EXPECT_NEAR(loaded.channel(c)[i], original.channel(c)[i], 1e-6);
+    }
+  }
+}
+
+TEST_F(WavIoTest, Pcm16ClipsOutOfRangeSamples) {
+  MultiBuffer m(1, 3, 48000.0);
+  m.channel(0)[0] = 2.0;
+  m.channel(0)[1] = -2.0;
+  m.channel(0)[2] = 0.0;
+  write_wav(path_, m, WavEncoding::kPcm16);
+  const auto loaded = read_wav(path_);
+  EXPECT_NEAR(loaded.channel(0)[0], 1.0, 1e-4);
+  EXPECT_NEAR(loaded.channel(0)[1], -1.0, 1e-4);
+}
+
+TEST_F(WavIoTest, MonoBufferOverload) {
+  Buffer b({0.1, -0.2, 0.3}, 16000.0);
+  write_wav(path_, b);
+  const auto loaded = read_wav(path_);
+  EXPECT_EQ(loaded.channel_count(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.sample_rate(), 16000.0);
+}
+
+TEST_F(WavIoTest, ThrowsOnMissingFile) {
+  EXPECT_THROW((void)read_wav("/nonexistent/dir/file.wav"), std::runtime_error);
+}
+
+TEST_F(WavIoTest, ThrowsOnGarbageFile) {
+  std::ofstream(path_) << "this is not a wav file at all";
+  EXPECT_THROW((void)read_wav(path_), std::runtime_error);
+}
+
+TEST_F(WavIoTest, ThrowsOnZeroChannels) {
+  MultiBuffer empty;
+  EXPECT_THROW(write_wav(path_, empty), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace headtalk::audio

@@ -1,0 +1,85 @@
+#include "baseline/dov.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/orientation_features.h"
+#include "dsp/fractional_delay.h"
+
+namespace headtalk::baseline {
+namespace {
+
+audio::MultiBuffer random_capture(std::size_t channels, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-0.5, 0.5);
+  audio::MultiBuffer m(channels, 4096, 48000.0);
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (auto& v : m.channel(c).data()) v = u(rng);
+  }
+  return m;
+}
+
+TEST(Dov, LagWindowMatchesHeadTalk) {
+  DovFeatureConfig cfg;
+  cfg.max_mic_distance_m = 0.09;
+  DovFeatureExtractor e(cfg);
+  EXPECT_EQ(e.effective_max_lag(48000.0), 13);
+}
+
+TEST(Dov, DimensionIsGccOnly) {
+  // 4 channels, lag 13: 6 pairs x 27 values + 6 TDoAs = 168 — the GCC block
+  // alone, without HeadTalk's SRP/stat/directivity features.
+  DovFeatureConfig cfg;
+  cfg.max_mic_distance_m = 0.09;
+  DovFeatureExtractor e(cfg);
+  EXPECT_EQ(e.dimension(4), 168u);
+  core::OrientationFeatureConfig ht_cfg;
+  ht_cfg.max_mic_distance_m = 0.09;
+  EXPECT_LT(e.dimension(4), core::OrientationFeatureExtractor(ht_cfg).dimension(4));
+}
+
+TEST(Dov, ExtractMatchesDimension) {
+  DovFeatureExtractor e;
+  const auto capture = random_capture(4, 1);
+  EXPECT_EQ(e.extract(capture).size(), e.dimension(4));
+}
+
+TEST(Dov, RequiresTwoChannels) {
+  DovFeatureExtractor e;
+  const auto mono = random_capture(1, 2);
+  EXPECT_THROW((void)e.extract(mono), std::invalid_argument);
+}
+
+TEST(Dov, TdoaTailReflectsDelays) {
+  const auto base = random_capture(1, 3).channel(0);
+  std::vector<audio::Buffer> channels{
+      base, audio::Buffer(dsp::fractional_delay(base.samples(), 4.0), 48000.0)};
+  const audio::MultiBuffer capture(std::move(channels));
+  DovFeatureConfig cfg;
+  cfg.max_lag = 8;
+  DovFeatureExtractor e(cfg);
+  const auto f = e.extract(capture);
+  ASSERT_EQ(f.size(), 17u + 1u);  // one pair: 17 GCC values + 1 TDoA
+  EXPECT_DOUBLE_EQ(f.back(), -4.0);
+}
+
+TEST(DovFacing, DefinitionsMatchAhujaPaper) {
+  EXPECT_TRUE(dov_is_facing(DovFacing::kDirectlyFacing, 0.0));
+  EXPECT_FALSE(dov_is_facing(DovFacing::kDirectlyFacing, 15.0));
+
+  EXPECT_TRUE(dov_is_facing(DovFacing::kForwardFacing, 45.0));
+  EXPECT_TRUE(dov_is_facing(DovFacing::kForwardFacing, -45.0));
+  EXPECT_FALSE(dov_is_facing(DovFacing::kForwardFacing, 90.0));
+
+  EXPECT_TRUE(dov_is_facing(DovFacing::kMouthLineOfSight, 90.0));
+  EXPECT_FALSE(dov_is_facing(DovFacing::kMouthLineOfSight, 135.0));
+}
+
+TEST(DovFacing, Names) {
+  EXPECT_EQ(dov_facing_name(DovFacing::kForwardFacing), "Forward-Facing");
+  EXPECT_EQ(dov_facing_name(DovFacing::kMouthLineOfSight), "Mouth-Line-of-Sight");
+}
+
+}  // namespace
+}  // namespace headtalk::baseline

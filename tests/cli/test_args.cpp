@@ -1,0 +1,98 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace headtalk::cli {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("tool", "test tool");
+  parser.add_flag("--name", "a string");
+  parser.add_flag("--count", "an int", "3");
+  parser.add_flag("--rate", "a double", "1.5");
+  parser.add_switch("--verbose", "a switch");
+  return parser;
+}
+
+void parse(ArgParser& parser, std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"tool"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  auto parser = make_parser();
+  parse(parser, {"--name", "hello", "--count", "7"});
+  EXPECT_EQ(parser.get("--name"), "hello");
+  EXPECT_EQ(parser.get_int("--count"), 7);
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  auto parser = make_parser();
+  parse(parser, {"--name=world", "--rate=2.25"});
+  EXPECT_EQ(parser.get("--name"), "world");
+  EXPECT_DOUBLE_EQ(parser.get_double("--rate"), 2.25);
+}
+
+TEST(ArgParser, DefaultsApply) {
+  auto parser = make_parser();
+  parse(parser, {"--name", "x"});
+  EXPECT_EQ(parser.get_int("--count"), 3);
+  EXPECT_DOUBLE_EQ(parser.get_double("--rate"), 1.5);
+  EXPECT_FALSE(parser.get_switch("--verbose"));
+}
+
+TEST(ArgParser, SwitchPresence) {
+  auto parser = make_parser();
+  parse(parser, {"--name", "x", "--verbose"});
+  EXPECT_TRUE(parser.get_switch("--verbose"));
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  auto parser = make_parser();
+  parse(parser, {"--help"});
+  EXPECT_TRUE(parser.help_requested());
+  EXPECT_NE(parser.usage().find("--count"), std::string::npos);
+}
+
+TEST(ArgParser, Errors) {
+  {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"--unknown", "x"}), ArgsError);
+  }
+  {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"--name"}), ArgsError);  // missing value
+  }
+  {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"positional"}), ArgsError);
+  }
+  {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"--verbose=1"}), ArgsError);  // switch w/ value
+  }
+  {
+    auto parser = make_parser();
+    parse(parser, {});
+    EXPECT_THROW((void)parser.get("--name"), ArgsError);  // required missing
+    EXPECT_THROW((void)parser.get("--never-declared"), ArgsError);
+  }
+  {
+    auto parser = make_parser();
+    parse(parser, {"--count", "seven"});
+    EXPECT_THROW((void)parser.get_int("--count"), ArgsError);
+    EXPECT_THROW((void)parser.get_double("--count"), ArgsError);
+  }
+}
+
+TEST(ArgParser, HasReflectsDefaultsAndValues) {
+  auto parser = make_parser();
+  parse(parser, {"--name", "x"});
+  EXPECT_TRUE(parser.has("--name"));
+  EXPECT_TRUE(parser.has("--count"));       // via default
+  EXPECT_FALSE(parser.has("--verbose"));    // switch not given, no default
+}
+
+}  // namespace
+}  // namespace headtalk::cli

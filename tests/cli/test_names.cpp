@@ -1,0 +1,67 @@
+#include "cli/names.h"
+
+#include <gtest/gtest.h>
+
+namespace headtalk::cli {
+namespace {
+
+TEST(Names, Rooms) {
+  EXPECT_EQ(parse_room("lab"), sim::RoomId::kLab);
+  EXPECT_EQ(parse_room("HOME"), sim::RoomId::kHome);
+  EXPECT_THROW((void)parse_room("garage"), std::invalid_argument);
+}
+
+TEST(Names, Devices) {
+  EXPECT_EQ(parse_device("D1"), room::DeviceId::kD1);
+  EXPECT_EQ(parse_device("d2"), room::DeviceId::kD2);
+  EXPECT_EQ(parse_device("D3"), room::DeviceId::kD3);
+  EXPECT_THROW((void)parse_device("D4"), std::invalid_argument);
+}
+
+TEST(Names, WakeWords) {
+  EXPECT_EQ(parse_wake_word("computer"), speech::WakeWord::kComputer);
+  EXPECT_EQ(parse_wake_word("Amazon"), speech::WakeWord::kAmazon);
+  EXPECT_EQ(parse_wake_word("hey-assistant"), speech::WakeWord::kHeyAssistant);
+  EXPECT_EQ(parse_wake_word("hey_assistant"), speech::WakeWord::kHeyAssistant);
+  EXPECT_THROW((void)parse_wake_word("alexa"), std::invalid_argument);
+}
+
+TEST(Names, ReplaySources) {
+  EXPECT_EQ(parse_replay("none"), sim::ReplaySource::kNone);
+  EXPECT_EQ(parse_replay("live"), sim::ReplaySource::kNone);
+  EXPECT_EQ(parse_replay("sony"), sim::ReplaySource::kHighEnd);
+  EXPECT_EQ(parse_replay("PHONE"), sim::ReplaySource::kSmartphone);
+  EXPECT_EQ(parse_replay("tv"), sim::ReplaySource::kTelevision);
+  EXPECT_THROW((void)parse_replay("boombox"), std::invalid_argument);
+}
+
+TEST(Names, GridLocations) {
+  const auto m3 = parse_location("M3");
+  EXPECT_EQ(m3.radial, sim::GridRadial::kMiddle);
+  EXPECT_DOUBLE_EQ(m3.distance_m, 3.0);
+  const auto l1 = parse_location("l1");
+  EXPECT_EQ(l1.radial, sim::GridRadial::kLeft);
+  const auto r5 = parse_location("R5");
+  EXPECT_EQ(r5.radial, sim::GridRadial::kRight);
+  EXPECT_DOUBLE_EQ(r5.distance_m, 5.0);
+  EXPECT_DOUBLE_EQ(parse_location("M2.5").distance_m, 2.5);
+
+  EXPECT_THROW((void)parse_location("X3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_location("M"), std::invalid_argument);
+  EXPECT_THROW((void)parse_location("Mfoo"), std::invalid_argument);
+  EXPECT_THROW((void)parse_location("M99"), std::invalid_argument);
+  EXPECT_THROW((void)parse_location("M-1"), std::invalid_argument);
+}
+
+TEST(Names, RoundTripWithDisplayNames) {
+  // parse(display-name) == id for every enum value the tools print.
+  for (auto room_id : sim::all_rooms()) {
+    EXPECT_EQ(parse_room(sim::room_id_name(room_id)), room_id);
+  }
+  for (auto device : room::all_devices()) {
+    EXPECT_EQ(parse_device(room::device_name(device)), device);
+  }
+}
+
+}  // namespace
+}  // namespace headtalk::cli

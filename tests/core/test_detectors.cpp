@@ -1,0 +1,221 @@
+// OrientationClassifier + LivenessDetector on synthetic feature data.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/liveness_detector.h"
+#include "core/orientation_classifier.h"
+
+namespace headtalk::core {
+namespace {
+
+// Synthetic "orientation features": facing samples cluster at +2, others -2.
+ml::Dataset orientation_blobs(std::size_t per_class, unsigned seed,
+                              double separation = 4.0) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({g(rng) + separation / 2.0, g(rng)}, kLabelFacing);
+    d.add({g(rng) - separation / 2.0, g(rng)}, kLabelNonFacing);
+  }
+  return d;
+}
+
+class OrientationKindTest : public ::testing::TestWithParam<ClassifierKind> {};
+
+TEST_P(OrientationKindTest, EveryModelFamilyLearnsTheTask) {
+  OrientationClassifierConfig cfg;
+  cfg.kind = GetParam();
+  cfg.forest.tree_count = 30;  // keep the test fast
+  OrientationClassifier clf(cfg);
+  clf.train(orientation_blobs(60, 1, 5.0));
+  const auto test = orientation_blobs(30, 2, 5.0);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (clf.predict(test.features[i]) == test.labels[i]) ++hits;
+  }
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(test.size()), 0.92)
+      << classifier_kind_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, OrientationKindTest,
+                         ::testing::Values(ClassifierKind::kSvm,
+                                           ClassifierKind::kRandomForest,
+                                           ClassifierKind::kDecisionTree,
+                                           ClassifierKind::kKnn));
+
+TEST(OrientationClassifier, IsFacingMatchesPredict) {
+  OrientationClassifier clf;
+  clf.train(orientation_blobs(40, 3));
+  EXPECT_TRUE(clf.is_facing({3.0, 0.0}));
+  EXPECT_FALSE(clf.is_facing({-3.0, 0.0}));
+}
+
+TEST(OrientationClassifier, ScoreOrdersByConfidence) {
+  OrientationClassifier clf;
+  clf.train(orientation_blobs(40, 4));
+  EXPECT_GT(clf.score({3.0, 0.0}), clf.score({0.3, 0.0}));
+  EXPECT_GT(clf.score({0.3, 0.0}), clf.score({-3.0, 0.0}));
+}
+
+TEST(OrientationClassifier, ErrorsBeforeTraining) {
+  OrientationClassifier clf;
+  EXPECT_FALSE(clf.trained());
+  EXPECT_THROW((void)clf.predict({1.0, 2.0}), std::logic_error);
+  EXPECT_THROW(clf.train(ml::Dataset{}), std::invalid_argument);
+}
+
+TEST(OrientationClassifier, InternalScalingHandlesWildFeatureRanges) {
+  // One dimension in [0, 1e6], another in [0, 1e-6]: without standardization
+  // the SVM RBF would collapse; with it, the task stays solvable.
+  std::mt19937 rng(5);
+  std::normal_distribution<double> g(0.0, 1.0);
+  ml::Dataset d;
+  for (int i = 0; i < 60; ++i) {
+    d.add({1e6 + 1e5 * g(rng), 1e-6 * g(rng)}, kLabelFacing);
+    d.add({-1e6 + 1e5 * g(rng), 1e-6 * g(rng)}, kLabelNonFacing);
+  }
+  OrientationClassifier clf;
+  clf.train(d);
+  EXPECT_EQ(clf.predict({1e6, 0.0}), kLabelFacing);
+  EXPECT_EQ(clf.predict({-1e6, 0.0}), kLabelNonFacing);
+}
+
+// --- Liveness detector ---
+
+ml::Dataset liveness_blobs(std::size_t per_class, unsigned seed, double shift = 0.0) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({g(rng) + 2.0 + shift, g(rng) + shift}, kLabelLive);
+    d.add({g(rng) - 2.0 + shift, g(rng) + shift}, kLabelReplay);
+  }
+  return d;
+}
+
+TEST(LivenessDetector, LearnsAndScores) {
+  LivenessDetector det;
+  det.train(liveness_blobs(80, 1));
+  EXPECT_TRUE(det.trained());
+  EXPECT_GT(det.score({2.5, 0.0}), 0.9);
+  EXPECT_LT(det.score({-2.5, 0.0}), 0.1);
+  EXPECT_TRUE(det.is_live({2.5, 0.0}));
+  EXPECT_FALSE(det.is_live({-2.5, 0.0}));
+}
+
+TEST(LivenessDetector, ThresholdIsConfigurable) {
+  LivenessDetectorConfig cfg;
+  cfg.threshold = 0.99;
+  LivenessDetector strict(cfg);
+  strict.train(liveness_blobs(80, 2));
+  // A mild positive that passes at 0.5 can fail at 0.99.
+  const double s = strict.score({0.4, 0.0});
+  EXPECT_EQ(strict.is_live({0.4, 0.0}), s >= 0.99);
+}
+
+TEST(LivenessDetector, IncrementalUpdateImprovesNewDomain) {
+  LivenessDetector det;
+  det.train(liveness_blobs(80, 3));
+  // New domain: same task, features shifted by +6 in both dims.
+  const auto shifted = liveness_blobs(60, 4, 6.0);
+  std::size_t before = 0;
+  for (std::size_t i = 0; i < shifted.size(); ++i) {
+    if ((det.score(shifted.features[i]) >= 0.5 ? kLabelLive : kLabelReplay) ==
+        shifted.labels[i]) {
+      ++before;
+    }
+  }
+  det.incremental_update(shifted, 30);
+  std::size_t after = 0;
+  for (std::size_t i = 0; i < shifted.size(); ++i) {
+    if ((det.score(shifted.features[i]) >= 0.5 ? kLabelLive : kLabelReplay) ==
+        shifted.labels[i]) {
+      ++after;
+    }
+  }
+  EXPECT_GE(after, before);
+  EXPECT_GE(static_cast<double>(after) / static_cast<double>(shifted.size()), 0.9);
+}
+
+TEST(OrientationClassifier, SaveLoadRoundTrip) {
+  OrientationClassifier clf;
+  clf.train(orientation_blobs(40, 6));
+  std::stringstream stream;
+  clf.save(stream);
+  const auto loaded = OrientationClassifier::load(stream);
+  const auto test = orientation_blobs(20, 7);
+  for (const auto& row : test.features) {
+    ASSERT_EQ(loaded.predict(row), clf.predict(row));
+    ASSERT_DOUBLE_EQ(loaded.score(row), clf.score(row));
+  }
+}
+
+class OrientationSaveLoadTest : public ::testing::TestWithParam<ClassifierKind> {};
+
+TEST_P(OrientationSaveLoadTest, EveryBackendRoundTrips) {
+  OrientationClassifierConfig cfg;
+  cfg.kind = GetParam();
+  cfg.forest.tree_count = 20;
+  OrientationClassifier clf(cfg);
+  clf.train(orientation_blobs(30, 8, 5.0));
+  std::stringstream stream;
+  clf.save(stream);
+  const auto loaded = OrientationClassifier::load(stream);
+  EXPECT_EQ(loaded.config().kind, GetParam());
+  const auto test = orientation_blobs(15, 9, 5.0);
+  for (const auto& row : test.features) {
+    ASSERT_EQ(loaded.predict(row), clf.predict(row))
+        << classifier_kind_name(GetParam());
+    ASSERT_DOUBLE_EQ(loaded.score(row), clf.score(row));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, OrientationSaveLoadTest,
+                         ::testing::Values(ClassifierKind::kSvm,
+                                           ClassifierKind::kRandomForest,
+                                           ClassifierKind::kDecisionTree,
+                                           ClassifierKind::kKnn));
+
+TEST(OrientationClassifier, SaveRejectsUntrained) {
+  OrientationClassifier clf;
+  std::stringstream stream;
+  EXPECT_THROW(clf.save(stream), std::logic_error);
+}
+
+TEST(LivenessDetector, SaveLoadRoundTrip) {
+  LivenessDetectorConfig cfg;
+  cfg.threshold = 0.6;
+  LivenessDetector det(cfg);
+  det.train(liveness_blobs(60, 9));
+  std::stringstream stream;
+  det.save(stream);
+  const auto loaded = LivenessDetector::load(stream);
+  EXPECT_DOUBLE_EQ(loaded.config().threshold, 0.6);
+  const auto test = liveness_blobs(20, 10);
+  for (const auto& row : test.features) {
+    ASSERT_DOUBLE_EQ(loaded.score(row), det.score(row));
+    ASSERT_EQ(loaded.is_live(row), det.is_live(row));
+  }
+}
+
+TEST(LivenessDetector, LoadedDetectorSupportsIncrementalUpdate) {
+  LivenessDetector det;
+  det.train(liveness_blobs(60, 11));
+  std::stringstream stream;
+  det.save(stream);
+  auto loaded = LivenessDetector::load(stream);
+  EXPECT_NO_THROW(loaded.incremental_update(liveness_blobs(20, 12), 5));
+}
+
+TEST(LivenessDetector, ErrorsOnMisuse) {
+  LivenessDetector det;
+  EXPECT_THROW((void)det.score({1.0}), std::logic_error);
+  EXPECT_THROW(det.incremental_update(liveness_blobs(5, 1), 5), std::logic_error);
+  EXPECT_THROW(det.train(ml::Dataset{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headtalk::core

@@ -1,0 +1,73 @@
+#include "core/facing.h"
+
+#include <gtest/gtest.h>
+
+namespace headtalk::core {
+namespace {
+
+TEST(Facing, GroundTruthZone) {
+  // The paper's facing zone is [-30, +30].
+  for (double a : {0.0, 15.0, -15.0, 30.0, -30.0}) {
+    EXPECT_TRUE(is_facing_ground_truth(a)) << a;
+  }
+  for (double a : {45.0, -45.0, 60.0, 75.0, 90.0, 135.0, 180.0, -180.0}) {
+    EXPECT_FALSE(is_facing_ground_truth(a)) << a;
+  }
+}
+
+TEST(Facing, GroundTruthWrapsAngles) {
+  EXPECT_TRUE(is_facing_ground_truth(360.0));
+  EXPECT_TRUE(is_facing_ground_truth(-345.0));  // == +15
+  EXPECT_FALSE(is_facing_ground_truth(270.0));  // == -90
+}
+
+TEST(Facing, Definition1Arcs) {
+  const auto def = FacingDefinition::kDefinition1;
+  for (double a : {0.0, 15.0, -15.0, 30.0, -30.0, 45.0, -45.0}) {
+    EXPECT_EQ(training_arc(def, a), TrainingArc::kFacing) << a;
+  }
+  for (double a : {60.0, 75.0, 90.0, 135.0, 180.0, -60.0}) {
+    EXPECT_EQ(training_arc(def, a), TrainingArc::kNonFacing) << a;
+  }
+}
+
+TEST(Facing, Definition2MovesBoundary) {
+  const auto def = FacingDefinition::kDefinition2;
+  EXPECT_EQ(training_arc(def, 45.0), TrainingArc::kExcluded);
+  EXPECT_EQ(training_arc(def, 30.0), TrainingArc::kFacing);
+  EXPECT_EQ(training_arc(def, 60.0), TrainingArc::kNonFacing);
+}
+
+TEST(Facing, Definition3ExcludesSixty) {
+  const auto def = FacingDefinition::kDefinition3;
+  EXPECT_EQ(training_arc(def, 60.0), TrainingArc::kExcluded);
+  EXPECT_EQ(training_arc(def, 75.0), TrainingArc::kNonFacing);
+}
+
+TEST(Facing, Definition4HasWidestSoftBoundary) {
+  const auto def = FacingDefinition::kDefinition4;
+  for (double a : {0.0, 15.0, -15.0, 30.0, -30.0}) {
+    EXPECT_EQ(training_arc(def, a), TrainingArc::kFacing) << a;
+  }
+  for (double a : {45.0, -45.0, 60.0, -60.0, 75.0, -75.0}) {
+    EXPECT_EQ(training_arc(def, a), TrainingArc::kExcluded) << a;
+  }
+  for (double a : {90.0, -90.0, 135.0, -135.0, 180.0}) {
+    EXPECT_EQ(training_arc(def, a), TrainingArc::kNonFacing) << a;
+  }
+}
+
+TEST(Facing, DefinitionsToleratePlacementError) {
+  // Angles are matched with a +/-1 degree tolerance (human error, §VI).
+  EXPECT_EQ(training_arc(FacingDefinition::kDefinition4, 30.4), TrainingArc::kFacing);
+  EXPECT_EQ(training_arc(FacingDefinition::kDefinition4, 89.2), TrainingArc::kNonFacing);
+}
+
+TEST(Facing, NamesAndEnumeration) {
+  EXPECT_EQ(all_facing_definitions().size(), 4u);
+  EXPECT_EQ(facing_definition_name(FacingDefinition::kDefinition4), "Definition-4");
+  EXPECT_NE(kLabelFacing, kLabelNonFacing);
+}
+
+}  // namespace
+}  // namespace headtalk::core

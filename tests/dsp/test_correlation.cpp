@@ -1,0 +1,121 @@
+#include "dsp/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "dsp/fractional_delay.h"
+
+namespace headtalk::dsp {
+namespace {
+
+std::vector<audio::Sample> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<audio::Sample> x(n);
+  for (auto& v : x) v = u(rng);
+  return x;
+}
+
+// y is x delayed by `delay` integer samples.
+std::vector<audio::Sample> delayed(const std::vector<audio::Sample>& x, int delay) {
+  std::vector<audio::Sample> y(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const long j = static_cast<long>(i) + delay;
+    if (j >= 0 && j < static_cast<long>(x.size())) y[static_cast<std::size_t>(j)] = x[i];
+  }
+  return y;
+}
+
+TEST(CorrelationSequence, AtLagIndexing) {
+  CorrelationSequence seq{{1.0, 2.0, 5.0, 3.0, 0.5}, 2};
+  EXPECT_DOUBLE_EQ(seq.at_lag(-2), 1.0);
+  EXPECT_DOUBLE_EQ(seq.at_lag(0), 5.0);
+  EXPECT_DOUBLE_EQ(seq.at_lag(2), 0.5);
+  EXPECT_EQ(seq.peak_lag(), 0);
+  EXPECT_DOUBLE_EQ(seq.peak_value(), 5.0);
+  EXPECT_THROW((void)seq.at_lag(3), std::out_of_range);
+}
+
+TEST(CrossCorrelation, ZeroLagPeakForIdenticalSignals) {
+  const auto x = random_signal(512, 1);
+  const auto r = cross_correlation(x, x, 10);
+  EXPECT_EQ(r.peak_lag(), 0);
+  ASSERT_EQ(r.size(), 21u);
+  // Zero-lag value equals the signal energy.
+  double energy = 0.0;
+  for (double v : x) energy += v * v;
+  EXPECT_NEAR(r.at_lag(0), energy, 1e-6);
+}
+
+class GccDelayTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GccDelayTest, RecoversIntegerDelay) {
+  const int delay = GetParam();
+  const auto x = random_signal(2048, 2);
+  const auto y = delayed(x, delay);
+  // gcc_phat(y, x): y lags x by `delay` -> peak at +delay.
+  const auto r = gcc_phat(y, x, 16);
+  EXPECT_EQ(r.peak_lag(), delay);
+  EXPECT_EQ(tdoa_samples(y, x, 16), delay);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, GccDelayTest, ::testing::Values(-12, -5, -1, 0, 1, 7, 13));
+
+TEST(GccPhat, RobustToLevelDifferences) {
+  auto x = random_signal(2048, 3);
+  auto y = delayed(x, 4);
+  for (auto& v : y) v *= 0.05;  // 26 dB quieter
+  const auto r = gcc_phat(y, x, 8);
+  EXPECT_EQ(r.peak_lag(), 4);
+}
+
+TEST(GccPhat, PhatPeakIsSharp) {
+  // The whitened correlation should concentrate at the true lag: the peak
+  // should dominate the mean absolute level.
+  const auto x = random_signal(4096, 4);
+  const auto y = delayed(x, 3);
+  const auto r = gcc_phat(y, x, 20);
+  double mean_abs = 0.0;
+  for (double v : r.values) mean_abs += std::abs(v);
+  mean_abs /= static_cast<double>(r.values.size());
+  EXPECT_GT(r.peak_value(), 6.0 * mean_abs);
+}
+
+TEST(GccPhat, FractionalDelayRoundsToNearest) {
+  const auto x = random_signal(4096, 5);
+  const auto y = fractional_delay(x, 6.4);
+  EXPECT_EQ(gcc_phat(y, x, 16).peak_lag(), 6);
+  const auto y2 = fractional_delay(x, 6.6);
+  EXPECT_EQ(gcc_phat(y2, x, 16).peak_lag(), 7);
+}
+
+TEST(GccPhat, FromSpectraMatchesDirect) {
+  const auto x = random_signal(1024, 6);
+  const auto y = delayed(x, -2);
+  const std::size_t n = next_pow2(1024 + 8 + 1);
+  const auto xs = rfft_half(x, n);
+  const auto ys = rfft_half(y, n);
+  const auto direct = gcc_phat(x, y, 8);
+  const auto shared = gcc_phat_from_spectra(xs, ys, 8);
+  ASSERT_EQ(direct.size(), shared.size());
+  for (std::size_t i = 0; i < direct.values.size(); ++i) {
+    EXPECT_NEAR(direct.values[i], shared.values[i], 1e-9);
+  }
+}
+
+TEST(GccPhat, RejectsNegativeMaxLag) {
+  const auto x = random_signal(64, 7);
+  EXPECT_THROW((void)gcc_phat(x, x, -1), std::invalid_argument);
+}
+
+TEST(GccPhat, EmptyInputGivesZeros) {
+  const auto r = gcc_phat({}, {}, 5);
+  ASSERT_EQ(r.size(), 11u);
+  for (double v : r.values) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace headtalk::dsp

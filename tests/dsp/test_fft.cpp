@@ -1,0 +1,148 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace headtalk::dsp {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(12);
+  EXPECT_THROW(fft(x), std::invalid_argument);
+}
+
+TEST(Fft, DeltaHasFlatSpectrum) {
+  std::vector<Complex> x(16, Complex{});
+  x[0] = Complex(1.0, 0.0);
+  fft(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SinglePureToneBin) {
+  // A k=3 complex exponential concentrates in bin 3.
+  const std::size_t n = 64;
+  std::vector<Complex> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * std::numbers::pi * 3.0 * static_cast<double>(i) / static_cast<double>(n);
+    x[i] = Complex(std::cos(phase), std::sin(phase));
+  }
+  fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(x[k]), k == 3 ? static_cast<double>(n) : 0.0, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<Complex> x(256);
+  for (auto& v : x) v = Complex(u(rng), u(rng));
+  const auto original = x;
+  fft(x);
+  ifft(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<Complex> x(128);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = Complex(u(rng), 0.0);
+    time_energy += std::norm(v);
+  }
+  fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy, 1e-9);
+}
+
+TEST(Rfft, MatchesConjugateSymmetry) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<audio::Sample> x(100);
+  for (auto& v : x) v = u(rng);
+  const auto spec = rfft(x, 128);
+  for (std::size_t k = 1; k < 64; ++k) {
+    EXPECT_NEAR(spec[k].real(), spec[128 - k].real(), 1e-10);
+    EXPECT_NEAR(spec[k].imag(), -spec[128 - k].imag(), 1e-10);
+  }
+}
+
+TEST(Rfft, RejectsTooSmallFftSize) {
+  std::vector<audio::Sample> x(100);
+  EXPECT_THROW((void)rfft(x, 64), std::invalid_argument);
+  EXPECT_THROW((void)rfft(x, 100), std::invalid_argument);  // not pow2
+}
+
+TEST(RfftHalf, MatchesFullRfft) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<audio::Sample> x(300);
+  for (auto& v : x) v = u(rng);
+  const auto full = rfft(x, 512);
+  const auto half = rfft_half(x, 512);
+  ASSERT_EQ(half.bins.size(), 257u);
+  for (std::size_t k = 0; k <= 256; ++k) {
+    EXPECT_NEAR(std::abs(full[k] - half.bins[k]), 0.0, 1e-10) << "bin " << k;
+  }
+}
+
+TEST(RfftHalf, InverseRoundTrip) {
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<audio::Sample> x(777);
+  for (auto& v : x) v = u(rng);
+  const auto spec = rfft_half(x, 1024);
+  const auto back = irfft_half(spec, x.size());
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST(HalfSpectrum, MultiplyRejectsSizeMismatch) {
+  std::vector<audio::Sample> x(10);
+  auto a = rfft_half(x, 16);
+  auto b = rfft_half(x, 32);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(Fft, MagnitudeSpectrumOfRealTone) {
+  const std::size_t n = 1024;
+  std::vector<audio::Sample> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 8.0 * static_cast<double>(i) / static_cast<double>(n));
+  }
+  const auto mag = magnitude_spectrum(x, n);
+  ASSERT_EQ(mag.size(), n / 2 + 1);
+  // Bin 8 carries (almost) all the energy: N/2 for a real sine.
+  EXPECT_NEAR(mag[8], static_cast<double>(n) / 2.0, 1e-6);
+  EXPECT_LT(mag[100], 1e-6);
+}
+
+TEST(Fft, BinFrequency) {
+  EXPECT_DOUBLE_EQ(bin_frequency(0, 1024, 48000.0), 0.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(512, 1024, 48000.0), 24000.0);
+  EXPECT_NEAR(bin_frequency(10, 2048, 48000.0), 234.375, 1e-9);
+}
+
+}  // namespace
+}  // namespace headtalk::dsp

@@ -1,0 +1,71 @@
+#include "dsp/fractional_delay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace headtalk::dsp {
+namespace {
+
+TEST(FractionalImpulse, IntegerDelayIsNearDelta) {
+  std::vector<audio::Sample> target(128, 0.0);
+  add_fractional_impulse(target, 64.0, 1.0);
+  EXPECT_NEAR(target[64], 1.0, 1e-9);
+  // Off-center taps of a sinc at integer shift are ~0.
+  EXPECT_NEAR(target[63], 0.0, 1e-9);
+  EXPECT_NEAR(target[65], 0.0, 1e-9);
+}
+
+TEST(FractionalImpulse, EnergyPreservedAtHalfSample) {
+  std::vector<audio::Sample> target(256, 0.0);
+  add_fractional_impulse(target, 100.5, 1.0);
+  const double sum = std::accumulate(target.begin(), target.end(), 0.0);
+  // A band-limited impulse sums to ~1 (DC gain of the sinc kernel).
+  EXPECT_NEAR(sum, 1.0, 0.01);
+  // Symmetric around 100.5.
+  EXPECT_NEAR(target[100], target[101], 1e-9);
+}
+
+TEST(FractionalImpulse, OutOfRangeContributionsDropped) {
+  std::vector<audio::Sample> target(16, 0.0);
+  add_fractional_impulse(target, -100.0, 1.0);  // entirely before buffer
+  for (double v : target) EXPECT_DOUBLE_EQ(v, 0.0);
+  add_fractional_impulse(target, 1000.0, 1.0);  // entirely after
+  for (double v : target) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FractionalImpulse, ScalesByAmplitude) {
+  std::vector<audio::Sample> target(64, 0.0);
+  add_fractional_impulse(target, 32.0, -0.5);
+  EXPECT_NEAR(target[32], -0.5, 1e-9);
+}
+
+TEST(FractionalDelay, DelaysToneWithCorrectPhase) {
+  const double fs = 48000.0;
+  const double freq = 1000.0;
+  std::vector<audio::Sample> x(4800);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * freq * static_cast<double>(i) / fs);
+  }
+  const double delay = 10.25;
+  const auto y = fractional_delay(x, delay);
+  ASSERT_EQ(y.size(), x.size());
+  // Compare against an analytically delayed tone in the interior.
+  for (std::size_t i = 100; i < x.size() - 100; ++i) {
+    const double expected = std::sin(2.0 * std::numbers::pi * freq *
+                                     (static_cast<double>(i) - delay) / fs);
+    ASSERT_NEAR(y[i], expected, 5e-3) << "sample " << i;
+  }
+}
+
+TEST(FractionalDelay, ZeroDelayIsNearIdentity) {
+  std::vector<audio::Sample> x(512);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::sin(0.05 * static_cast<double>(i));
+  const auto y = fractional_delay(x, 0.0);
+  for (std::size_t i = 64; i < x.size() - 64; ++i) EXPECT_NEAR(y[i], x[i], 1e-6);
+}
+
+}  // namespace
+}  // namespace headtalk::dsp

@@ -1,0 +1,86 @@
+#include "dsp/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace headtalk::dsp {
+namespace {
+
+TEST(Stats, MeanVarianceStd) {
+  const std::vector<double> x{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(x), 5.0);
+  EXPECT_DOUBLE_EQ(variance(x), 4.0);
+  EXPECT_DOUBLE_EQ(standard_deviation(x), 2.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::span<const double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(skewness(empty), 0.0);
+  EXPECT_DOUBLE_EQ(kurtosis(empty), 0.0);
+  EXPECT_DOUBLE_EQ(mean_absolute_deviation(empty), 0.0);
+  EXPECT_DOUBLE_EQ(maximum(empty), 0.0);
+  EXPECT_DOUBLE_EQ(minimum(empty), 0.0);
+  EXPECT_DOUBLE_EQ(root_mean_square(empty), 0.0);
+}
+
+TEST(Stats, ConstantInputHasZeroHigherMoments) {
+  const std::vector<double> x{3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(skewness(x), 0.0);
+  EXPECT_DOUBLE_EQ(kurtosis(x), 0.0);
+  EXPECT_DOUBLE_EQ(mean_absolute_deviation(x), 0.0);
+}
+
+TEST(Stats, SymmetricDataHasZeroSkewness) {
+  const std::vector<double> x{-2.0, -1.0, 0.0, 1.0, 2.0};
+  EXPECT_NEAR(skewness(x), 0.0, 1e-12);
+}
+
+TEST(Stats, RightTailGivesPositiveSkewness) {
+  const std::vector<double> x{1.0, 1.0, 1.0, 1.0, 10.0};
+  EXPECT_GT(skewness(x), 1.0);
+}
+
+TEST(Stats, GaussianExcessKurtosisNearZero) {
+  std::mt19937 rng(42);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<double> x(200000);
+  for (auto& v : x) v = g(rng);
+  EXPECT_NEAR(kurtosis(x), 0.0, 0.08);
+}
+
+TEST(Stats, UniformKurtosisNegative) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<double> x(100000);
+  for (auto& v : x) v = u(rng);
+  EXPECT_NEAR(kurtosis(x), -1.2, 0.05);  // theoretical -6/5
+}
+
+TEST(Stats, MadOfKnownData) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};  // mean 2.5
+  EXPECT_DOUBLE_EQ(mean_absolute_deviation(x), 1.0);
+}
+
+TEST(Stats, MinMaxRms) {
+  const std::vector<double> x{-3.0, 4.0};
+  EXPECT_DOUBLE_EQ(maximum(x), 4.0);
+  EXPECT_DOUBLE_EQ(minimum(x), -3.0);
+  EXPECT_DOUBLE_EQ(root_mean_square(x), std::sqrt(12.5));
+}
+
+TEST(Stats, SummaryStatisticsLayout) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 100.0};
+  const auto s = summary_statistics(x);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s[0], kurtosis(x));
+  EXPECT_DOUBLE_EQ(s[1], skewness(x));
+  EXPECT_DOUBLE_EQ(s[2], maximum(x));
+  EXPECT_DOUBLE_EQ(s[3], mean_absolute_deviation(x));
+  EXPECT_DOUBLE_EQ(s[4], standard_deviation(x));
+}
+
+}  // namespace
+}  // namespace headtalk::dsp

@@ -1,0 +1,80 @@
+#include "dsp/stft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace headtalk::dsp {
+namespace {
+
+TEST(Stft, FrameCountAndBins) {
+  audio::Buffer x(4096, 48000.0);
+  StftConfig cfg;
+  cfg.frame_size = 1024;
+  cfg.hop_size = 512;
+  const auto spec = stft(x, cfg);
+  EXPECT_EQ(spec.fft_size, 1024u);
+  EXPECT_EQ(spec.bin_count(), 513u);
+  // Frames start at 0, 512, ..., up to covering the final samples.
+  EXPECT_EQ(spec.frame_count(), 7u);
+  EXPECT_DOUBLE_EQ(spec.sample_rate, 48000.0);
+}
+
+TEST(Stft, EmptyInput) {
+  audio::Buffer x;
+  const auto spec = stft(x);
+  EXPECT_EQ(spec.frame_count(), 0u);
+  EXPECT_TRUE(spec.mean_magnitude().empty());
+}
+
+TEST(Stft, RejectsBadConfig) {
+  audio::Buffer x(100, 48000.0);
+  StftConfig bad_hop;
+  bad_hop.hop_size = 0;
+  EXPECT_THROW((void)stft(x, bad_hop), std::invalid_argument);
+  StftConfig bad_frame;
+  bad_frame.frame_size = 1000;  // not a power of two
+  EXPECT_THROW((void)stft(x, bad_frame), std::invalid_argument);
+}
+
+TEST(Stft, ToneConcentratesInCorrectBin) {
+  const double fs = 16000.0;
+  const double freq = 1000.0;
+  audio::Buffer x(8000, fs);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * freq * static_cast<double>(i) / fs);
+  }
+  StftConfig cfg;
+  cfg.frame_size = 512;
+  cfg.hop_size = 256;
+  const auto spec = stft(x, cfg);
+  const auto mean = spec.mean_magnitude();
+  const auto expected_bin = static_cast<std::size_t>(freq / fs * 512.0);
+  std::size_t argmax = 0;
+  for (std::size_t k = 1; k < mean.size(); ++k) {
+    if (mean[k] > mean[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, expected_bin);
+}
+
+TEST(Stft, MeanMagnitudeAveragesFrames) {
+  // Constant-amplitude tone: per-frame magnitudes equal the mean magnitude.
+  const double fs = 16000.0;
+  audio::Buffer x(2048, fs);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 500.0 * static_cast<double>(i) / fs);
+  }
+  StftConfig cfg;
+  cfg.frame_size = 512;
+  cfg.hop_size = 512;
+  const auto spec = stft(x, cfg);
+  const auto mean = spec.mean_magnitude();
+  for (const auto& frame : spec.frames) {
+    const auto peak_bin = static_cast<std::size_t>(500.0 / fs * 512.0);
+    EXPECT_NEAR(frame[peak_bin], mean[peak_bin], 0.05 * mean[peak_bin] + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace headtalk::dsp

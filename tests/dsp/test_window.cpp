@@ -1,0 +1,67 @@
+#include "dsp/window.h"
+
+#include <gtest/gtest.h>
+
+namespace headtalk::dsp {
+namespace {
+
+class WindowTypeTest : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowTypeTest, ValuesWithinUnitRange) {
+  const auto w = make_window(GetParam(), 128);
+  ASSERT_EQ(w.size(), 128u);
+  for (double v : w) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(WindowTypeTest, SymmetricAroundCenter) {
+  // Periodic windows satisfy w[i] == w[N - i] for i >= 1.
+  const auto w = make_window(GetParam(), 64);
+  for (std::size_t i = 1; i < 32; ++i) {
+    EXPECT_NEAR(w[i], w[64 - i], 1e-12) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowTypeTest,
+                         ::testing::Values(WindowType::kRectangular, WindowType::kHann,
+                                           WindowType::kHamming, WindowType::kBlackman));
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowType::kRectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannStartsAtZero) {
+  const auto w = make_window(WindowType::kHann, 64);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);  // periodic Hann peaks at N/2
+}
+
+TEST(Window, HammingEndpoints) {
+  const auto w = make_window(WindowType::kHamming, 64);
+  EXPECT_NEAR(w[0], 0.08, 1e-12);
+}
+
+TEST(Window, ZeroLength) {
+  EXPECT_TRUE(make_window(WindowType::kHann, 0).empty());
+}
+
+TEST(Window, ApplyMultipliesInPlace) {
+  std::vector<audio::Sample> frame{2.0, 2.0, 2.0, 2.0};
+  const std::vector<double> w{0.0, 0.5, 1.0, 0.5};
+  apply_window(frame, w);
+  EXPECT_DOUBLE_EQ(frame[0], 0.0);
+  EXPECT_DOUBLE_EQ(frame[1], 1.0);
+  EXPECT_DOUBLE_EQ(frame[2], 2.0);
+}
+
+TEST(Window, ApplyRejectsSizeMismatch) {
+  std::vector<audio::Sample> frame(4);
+  const std::vector<double> w(5);
+  EXPECT_THROW(apply_window(frame, w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headtalk::dsp

@@ -1,0 +1,138 @@
+// End-to-end integration: render a miniature version of the paper's
+// protocol through the full stack (synthesis -> room -> preprocessing ->
+// features -> classifier) and verify HeadTalk's headline behaviours.
+#include <gtest/gtest.h>
+
+#include "core/facing.h"
+#include "core/liveness_detector.h"
+#include "ml/metrics.h"
+#include "sim/datasets.h"
+#include "sim/experiment.h"
+
+namespace headtalk {
+namespace {
+
+// One shared miniature corpus: lab, D2, "Computer", facing/non-facing
+// core angles only, 2 sessions. ~40 renders, a few seconds of work.
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static const std::vector<sim::OrientationSample>& corpus() {
+    static const auto samples = [] {
+      sim::CollectorConfig cfg;
+      cfg.cache_enabled = false;
+      sim::Collector collector(cfg);
+      sim::SpecGrid grid;
+      grid.locations = {{sim::GridRadial::kMiddle, 1.0}, {sim::GridRadial::kMiddle, 3.0}};
+      grid.angles = {0.0, 15.0, -15.0, 30.0, 90.0, -90.0, 135.0, -135.0, 180.0};
+      grid.sessions = {0, 1};
+      return sim::collect_orientation(collector, grid.build(), /*progress=*/false);
+    }();
+    return samples;
+  }
+};
+
+TEST_F(EndToEndTest, CrossSessionOrientationAccuracyIsHigh) {
+  const auto results = sim::cross_session_evaluate(
+      corpus(), core::FacingDefinition::kDefinition4);
+  ASSERT_EQ(results.size(), 2u);
+  const auto mean = sim::mean_metrics(results);
+  // The paper reports ~97%; the miniature corpus should comfortably clear
+  // a conservative bar.
+  EXPECT_GT(mean.accuracy, 0.85);
+  EXPECT_GT(mean.f1, 0.85);
+}
+
+TEST_F(EndToEndTest, FacingScoresExceedNonFacingScores) {
+  const auto train = sim::facing_dataset(
+      sim::filter(corpus(), [](const sim::SampleSpec& s) { return s.session == 0; }),
+      core::FacingDefinition::kDefinition4);
+  core::OrientationClassifier clf;
+  clf.train(train);
+  double facing_score = 0.0, backward_score = 0.0;
+  std::size_t nf = 0, nb = 0;
+  for (const auto& s : corpus()) {
+    if (s.spec.session != 1) continue;
+    if (s.spec.angle_deg == 0.0) {
+      facing_score += clf.score(s.features);
+      ++nf;
+    } else if (s.spec.angle_deg == 180.0) {
+      backward_score += clf.score(s.features);
+      ++nb;
+    }
+  }
+  ASSERT_GT(nf, 0u);
+  ASSERT_GT(nb, 0u);
+  EXPECT_GT(facing_score / static_cast<double>(nf),
+            backward_score / static_cast<double>(nb));
+}
+
+TEST_F(EndToEndTest, LivenessSeparatesHumanFromReplay) {
+  sim::CollectorConfig cfg;
+  cfg.cache_enabled = false;
+  sim::Collector collector(cfg);
+  sim::SpecGrid live_grid;
+  live_grid.locations = {{sim::GridRadial::kMiddle, 3.0}};
+  live_grid.angles = {0.0, 90.0, 180.0};
+  live_grid.sessions = {0, 1};
+  live_grid.repetitions = 2;
+  auto replay_grid = live_grid;
+  replay_grid.replay = sim::ReplaySource::kHighEnd;
+
+  const auto live = sim::collect_liveness(collector, live_grid.build(), false);
+  const auto replay = sim::collect_liveness(collector, replay_grid.build(), false);
+
+  ml::Dataset train, test;
+  for (const auto& s : live) {
+    (s.spec.session == 0 ? train : test).add(s.features, core::kLabelLive);
+  }
+  for (const auto& s : replay) {
+    (s.spec.session == 0 ? train : test).add(s.features, core::kLabelReplay);
+  }
+  core::LivenessDetector detector;
+  detector.train(train);
+  std::vector<int> predictions;
+  for (const auto& f : test.features) {
+    predictions.push_back(detector.is_live(f) ? core::kLabelLive : core::kLabelReplay);
+  }
+  EXPECT_GE(ml::accuracy(test.labels, predictions), 0.9);
+}
+
+TEST_F(EndToEndTest, BorderlineAnglesAreHarderThanCoreAngles) {
+  // Render a few borderline (+/-60) samples and compare the classifier's
+  // confidence against core facing (0) / non-facing (180) samples.
+  sim::CollectorConfig cfg;
+  cfg.cache_enabled = false;
+  sim::Collector collector(cfg);
+  sim::SpecGrid grid;
+  grid.locations = {{sim::GridRadial::kMiddle, 3.0}};
+  grid.angles = {60.0, -60.0};
+  grid.sessions = {1};
+  grid.repetitions = 2;
+  const auto borderline = sim::collect_orientation(collector, grid.build(), false);
+
+  const auto train = sim::facing_dataset(
+      sim::filter(corpus(), [](const sim::SampleSpec& s) { return s.session == 0; }),
+      core::FacingDefinition::kDefinition4);
+  core::OrientationClassifier clf;
+  clf.train(train);
+
+  double mean_abs_border = 0.0;
+  for (const auto& s : borderline) mean_abs_border += std::abs(clf.score(s.features));
+  mean_abs_border /= static_cast<double>(borderline.size());
+
+  double mean_abs_core = 0.0;
+  std::size_t n_core = 0;
+  for (const auto& s : corpus()) {
+    if (s.spec.session != 1) continue;
+    if (s.spec.angle_deg == 0.0 || s.spec.angle_deg == 180.0) {
+      mean_abs_core += std::abs(clf.score(s.features));
+      ++n_core;
+    }
+  }
+  mean_abs_core /= static_cast<double>(n_core);
+  // Borderline samples sit nearer the decision boundary on average.
+  EXPECT_LT(mean_abs_border, mean_abs_core);
+}
+
+}  // namespace
+}  // namespace headtalk

@@ -1,0 +1,131 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace headtalk::ml {
+namespace {
+
+Dataset small_dataset() {
+  Dataset d;
+  d.add({1.0, 0.0}, 0);
+  d.add({2.0, 0.0}, 0);
+  d.add({3.0, 0.0}, 1);
+  d.add({4.0, 0.0}, 1);
+  d.add({5.0, 0.0}, 1);
+  return d;
+}
+
+TEST(Dataset, AddAndShape) {
+  const auto d = small_dataset();
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_FALSE(d.empty());
+}
+
+TEST(Dataset, AddRejectsDimensionMismatch) {
+  auto d = small_dataset();
+  EXPECT_THROW(d.add({1.0, 2.0, 3.0}, 0), std::invalid_argument);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  auto a = small_dataset();
+  const auto b = small_dataset();
+  a.append(b);
+  EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(Dataset, SubsetByIndices) {
+  const auto d = small_dataset();
+  const std::vector<std::size_t> idx{4, 0};
+  const auto s = d.subset(idx);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.features[0][0], 5.0);
+  EXPECT_EQ(s.labels[1], 0);
+}
+
+TEST(Dataset, LabelQueries) {
+  const auto d = small_dataset();
+  EXPECT_EQ(d.indices_of_label(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(d.distinct_labels(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(d.count_label(1), 3u);
+  EXPECT_EQ(d.count_label(99), 0u);
+}
+
+TEST(Dataset, ShuffleKeepsPairing) {
+  auto d = small_dataset();
+  std::mt19937 rng(1);
+  d.shuffle(rng);
+  EXPECT_EQ(d.size(), 5u);
+  // Feature value x encodes the original row: rows 3,4,5 were label 1.
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.labels[i], d.features[i][0] >= 3.0 ? 1 : 0);
+  }
+}
+
+TEST(StratifiedSplit, PreservesClassRatios) {
+  Dataset d;
+  for (int i = 0; i < 40; ++i) d.add({static_cast<double>(i)}, 0);
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(100 + i)}, 1);
+  std::mt19937 rng(5);
+  const auto [train, test] = stratified_split(d, 0.25, rng);
+  EXPECT_EQ(test.count_label(0), 10u);
+  EXPECT_EQ(test.count_label(1), 5u);
+  EXPECT_EQ(train.size() + test.size(), d.size());
+}
+
+TEST(StratifiedSplit, NoSampleAppearsTwice) {
+  Dataset d;
+  for (int i = 0; i < 30; ++i) d.add({static_cast<double>(i)}, i % 2);
+  std::mt19937 rng(6);
+  const auto [train, test] = stratified_split(d, 0.3, rng);
+  std::set<double> seen;
+  for (const auto& row : train.features) seen.insert(row[0]);
+  for (const auto& row : test.features) {
+    EXPECT_FALSE(seen.contains(row[0]));
+  }
+}
+
+TEST(StratifiedSplit, RejectsBadFraction) {
+  const auto d = small_dataset();
+  std::mt19937 rng(1);
+  EXPECT_THROW((void)stratified_split(d, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)stratified_split(d, 1.5, rng), std::invalid_argument);
+}
+
+TEST(StratifiedKfold, CoversEachSampleOnceAsTest) {
+  Dataset d;
+  for (int i = 0; i < 24; ++i) d.add({static_cast<double>(i)}, i % 2);
+  std::mt19937 rng(7);
+  const auto folds = stratified_kfold(d, 4, rng);
+  ASSERT_EQ(folds.size(), 4u);
+  std::multiset<double> test_rows;
+  for (const auto& [train, test] : folds) {
+    EXPECT_EQ(train.size() + test.size(), d.size());
+    EXPECT_EQ(test.size(), 6u);
+    // Stratification: equal class counts in each test fold.
+    EXPECT_EQ(test.count_label(0), 3u);
+    for (const auto& row : test.features) test_rows.insert(row[0]);
+  }
+  EXPECT_EQ(test_rows.size(), 24u);
+}
+
+TEST(StratifiedKfold, RejectsKBelow2) {
+  const auto d = small_dataset();
+  std::mt19937 rng(1);
+  EXPECT_THROW((void)stratified_kfold(d, 1, rng), std::invalid_argument);
+}
+
+TEST(PerClassSubsample, CapsEachClass) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) d.add({static_cast<double>(i)}, 0);
+  for (int i = 0; i < 5; ++i) d.add({static_cast<double>(100 + i)}, 1);
+  std::mt19937 rng(3);
+  const auto s = per_class_subsample(d, 10, rng);
+  EXPECT_EQ(s.count_label(0), 10u);
+  EXPECT_EQ(s.count_label(1), 5u);  // fewer available than the cap
+}
+
+}  // namespace
+}  // namespace headtalk::ml

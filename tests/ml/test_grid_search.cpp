@@ -1,0 +1,82 @@
+#include "ml/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ml/metrics.h"
+
+namespace headtalk::ml {
+namespace {
+
+Dataset ring_data(std::size_t n, unsigned seed) {
+  // Class 1 inside a radius-1 disc, class 0 in a ring around it — the RBF
+  // gamma matters here, so grid search has signal to find.
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> angle(0.0, 6.283);
+  std::uniform_real_distribution<double> r_in(0.0, 0.8);
+  std::uniform_real_distribution<double> r_out(1.3, 2.0);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a1 = angle(rng), r1 = r_in(rng);
+    d.add({r1 * std::cos(a1), r1 * std::sin(a1)}, 1);
+    const double a0 = angle(rng), r0 = r_out(rng);
+    d.add({r0 * std::cos(a0), r0 * std::sin(a0)}, 0);
+  }
+  return d;
+}
+
+TEST(GridSearch, SweepsFullGrid) {
+  const auto d = ring_data(40, 1);
+  GridSearchConfig cfg;
+  cfg.c_values = {1.0, 4.0};
+  cfg.gamma_scales = {0.5, 2.0};
+  cfg.folds = 3;
+  const auto result = svm_grid_search(d, cfg);
+  EXPECT_EQ(result.trials.size(), 4u);
+  EXPECT_GT(result.best_cv_accuracy, 0.9);
+}
+
+TEST(GridSearch, BestConfigIsFromGrid) {
+  const auto d = ring_data(40, 2);
+  GridSearchConfig cfg;
+  cfg.c_values = {0.5, 8.0};
+  cfg.gamma_scales = {1.0};
+  cfg.folds = 3;
+  const auto result = svm_grid_search(d, cfg);
+  EXPECT_TRUE(result.best.c == 0.5 || result.best.c == 8.0);
+  EXPECT_NEAR(result.best.gamma, 1.0 / 2.0, 1e-12);  // gamma_scale / dim(=2)
+}
+
+TEST(GridSearch, BestAccuracyIsMaxOfTrials) {
+  const auto d = ring_data(30, 3);
+  const auto result = svm_grid_search(d);
+  double max_trial = 0.0;
+  for (const auto& t : result.trials) max_trial = std::max(max_trial, t.cv_accuracy);
+  EXPECT_DOUBLE_EQ(result.best_cv_accuracy, max_trial);
+}
+
+TEST(GridSearch, TrainedWithBestBeatsWorstOnHeldOut) {
+  const auto train = ring_data(50, 4);
+  const auto test = ring_data(30, 5);
+  const auto result = svm_grid_search(train);
+  // Find the worst trial.
+  auto worst = result.trials.front();
+  for (const auto& t : result.trials) {
+    if (t.cv_accuracy < worst.cv_accuracy) worst = t;
+  }
+  Svm best_svm(result.best);
+  best_svm.fit(train);
+  SvmConfig worst_cfg;
+  worst_cfg.c = worst.c;
+  worst_cfg.gamma = worst.gamma;
+  Svm worst_svm(worst_cfg);
+  worst_svm.fit(train);
+  const double best_acc = accuracy(test.labels, best_svm.predict_all(test));
+  const double worst_acc = accuracy(test.labels, worst_svm.predict_all(test));
+  EXPECT_GE(best_acc, worst_acc - 0.05);  // allow CV noise, never much worse
+}
+
+}  // namespace
+}  // namespace headtalk::ml

@@ -1,0 +1,70 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/metrics.h"
+
+namespace headtalk::ml {
+namespace {
+
+TEST(Knn, NearestNeighbourVoting) {
+  Dataset d;
+  d.add({0.0, 0.0}, 0);
+  d.add({0.1, 0.0}, 0);
+  d.add({0.0, 0.1}, 0);
+  d.add({5.0, 5.0}, 1);
+  d.add({5.1, 5.0}, 1);
+  d.add({5.0, 5.1}, 1);
+  Knn knn;
+  knn.fit(d);
+  EXPECT_EQ(knn.predict({0.05, 0.05}), 0);
+  EXPECT_EQ(knn.predict({5.05, 5.05}), 1);
+}
+
+TEST(Knn, DecisionValueIsNeighbourFraction) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({1.0}, 0);
+  d.add({2.0}, 1);
+  Knn knn(KnnConfig{.k = 3});
+  knn.fit(d);
+  EXPECT_NEAR(knn.decision_value({0.5}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Knn, KLargerThanDatasetClamps) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({1.0}, 1);
+  Knn knn(KnnConfig{.k = 50});
+  knn.fit(d);
+  EXPECT_NO_THROW((void)knn.predict({0.4}));
+  EXPECT_NEAR(knn.decision_value({0.0}), 0.5, 1e-12);
+}
+
+TEST(Knn, SeparatesBlobs) {
+  std::mt19937 rng(1);
+  std::normal_distribution<double> g(0.0, 0.5);
+  Dataset train, test;
+  for (int i = 0; i < 80; ++i) {
+    train.add({g(rng) - 2.0, g(rng)}, 0);
+    train.add({g(rng) + 2.0, g(rng)}, 1);
+  }
+  for (int i = 0; i < 40; ++i) {
+    test.add({g(rng) - 2.0, g(rng)}, 0);
+    test.add({g(rng) + 2.0, g(rng)}, 1);
+  }
+  Knn knn;  // paper's k = 3
+  knn.fit(train);
+  EXPECT_GE(accuracy(test.labels, knn.predict_all(test)), 0.95);
+}
+
+TEST(Knn, ErrorsOnMisuse) {
+  Knn knn;
+  EXPECT_THROW(knn.fit(Dataset{}), std::invalid_argument);
+  EXPECT_THROW((void)knn.predict({1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace headtalk::ml

@@ -1,0 +1,106 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace headtalk::ml {
+namespace {
+
+TEST(BinaryMetrics, CountsAndRates) {
+  //            truth:  1  1  1  1  0  0  0  0
+  //            pred :  1  1  1  0  0  0  1  0
+  const std::vector<int> y_true{1, 1, 1, 1, 0, 0, 0, 0};
+  const std::vector<int> y_pred{1, 1, 1, 0, 0, 0, 1, 0};
+  const auto m = binary_metrics(y_true, y_pred, 1);
+  EXPECT_EQ(m.tp, 3u);
+  EXPECT_EQ(m.fn, 1u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.tn, 3u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.75);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.75);
+  EXPECT_DOUBLE_EQ(m.far(), 0.25);
+  EXPECT_DOUBLE_EQ(m.frr(), 0.25);
+}
+
+TEST(BinaryMetrics, PositiveLabelSelection) {
+  const std::vector<int> y_true{1, 0};
+  const std::vector<int> y_pred{1, 1};
+  const auto m0 = binary_metrics(y_true, y_pred, 0);
+  EXPECT_EQ(m0.tp, 0u);
+  EXPECT_EQ(m0.fn, 1u);
+}
+
+TEST(BinaryMetrics, DegenerateDenominatorsGiveZero) {
+  const std::vector<int> all_neg_true{0, 0};
+  const std::vector<int> all_neg_pred{0, 0};
+  const auto m = binary_metrics(all_neg_true, all_neg_pred, 1);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.frr(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+}
+
+TEST(BinaryMetrics, SizeMismatchThrows) {
+  const std::vector<int> a{1};
+  const std::vector<int> b{1, 0};
+  EXPECT_THROW((void)binary_metrics(a, b), std::invalid_argument);
+  EXPECT_THROW((void)accuracy(a, b), std::invalid_argument);
+}
+
+TEST(Accuracy, MultiClass) {
+  const std::vector<int> y_true{0, 1, 2, 2};
+  const std::vector<int> y_pred{0, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(accuracy(y_true, y_pred), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+TEST(Eer, PerfectSeparationIsZero) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_NEAR(equal_error_rate(scores, labels), 0.0, 1e-9);
+}
+
+TEST(Eer, TotalOverlapIsHalf) {
+  // Scores identical across classes: chance-level detector.
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels{1, 0, 1, 0};
+  EXPECT_NEAR(equal_error_rate(scores, labels), 0.5, 0.1);
+}
+
+TEST(Eer, OneMistakeQuartile) {
+  // One negative scoring above all positives except one.
+  const std::vector<double> scores{0.95, 0.9, 0.7, 0.6, 0.3, 0.2, 0.1, 0.05};
+  const std::vector<int> labels{1, 0, 1, 1, 1, 0, 0, 0};
+  const double eer = equal_error_rate(scores, labels);
+  EXPECT_GT(eer, 0.05);
+  EXPECT_LT(eer, 0.4);
+}
+
+TEST(Eer, InvertedScoresGiveHighEer) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_GT(equal_error_rate(scores, labels), 0.6);
+}
+
+TEST(Eer, RequiresBothClasses) {
+  const std::vector<double> scores{0.5, 0.6};
+  const std::vector<int> labels{1, 1};
+  EXPECT_THROW((void)equal_error_rate(scores, labels), std::invalid_argument);
+}
+
+TEST(MeanStd, KnownValues) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto ms = mean_std(v);
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_NEAR(ms.std_dev, 2.138, 0.001);  // sample std (n-1)
+  const auto empty = mean_std({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.std_dev, 0.0);
+}
+
+}  // namespace
+}  // namespace headtalk::ml

@@ -1,0 +1,136 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/metrics.h"
+
+namespace headtalk::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, double separation, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  Dataset d;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({g(rng) - separation / 2.0, g(rng)}, 0);
+    d.add({g(rng) + separation / 2.0, g(rng)}, 1);
+  }
+  return d;
+}
+
+Dataset xor_data(std::size_t per_quadrant, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.2, 1.0);
+  Dataset d;
+  for (std::size_t i = 0; i < per_quadrant; ++i) {
+    d.add({u(rng), u(rng)}, 1);
+    d.add({-u(rng), -u(rng)}, 1);
+    d.add({-u(rng), u(rng)}, 0);
+    d.add({u(rng), -u(rng)}, 0);
+  }
+  return d;
+}
+
+TEST(Mlp, SeparatesBlobs) {
+  const auto train = blobs(80, 5.0, 1);
+  const auto test = blobs(40, 5.0, 2);
+  MlpConfig cfg;
+  cfg.epochs = 30;
+  Mlp mlp(cfg);
+  mlp.fit(train);
+  EXPECT_GE(accuracy(test.labels, mlp.predict_all(test)), 0.95);
+}
+
+TEST(Mlp, SolvesXor) {
+  const auto train = xor_data(80, 3);
+  const auto test = xor_data(40, 4);
+  MlpConfig cfg;
+  cfg.hidden_layers = {16, 8};
+  cfg.epochs = 150;
+  cfg.learning_rate = 0.05;
+  Mlp mlp(cfg);
+  mlp.fit(train);
+  EXPECT_GE(accuracy(test.labels, mlp.predict_all(test)), 0.92);
+}
+
+TEST(Mlp, DecisionValueIsProbability) {
+  const auto train = blobs(60, 6.0, 5);
+  MlpConfig cfg;
+  cfg.epochs = 40;
+  Mlp mlp(cfg);
+  mlp.fit(train);
+  for (const auto& row : train.features) {
+    const double p = mlp.decision_value(row);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_GT(mlp.decision_value({4.0, 0.0}), 0.9);
+  EXPECT_LT(mlp.decision_value({-4.0, 0.0}), 0.1);
+}
+
+TEST(Mlp, DeterministicInSeed) {
+  const auto train = blobs(40, 4.0, 6);
+  MlpConfig cfg;
+  cfg.epochs = 10;
+  cfg.seed = 77;
+  Mlp a(cfg), b(cfg);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_DOUBLE_EQ(a.decision_value({1.0, 1.0}), b.decision_value({1.0, 1.0}));
+}
+
+TEST(Mlp, FineTuneAdaptsToShiftedDomain) {
+  // Train on blobs separated along x; new domain flips the sign (labels
+  // swap sides). A small fine-tune must move accuracy on the new domain up.
+  const auto train = blobs(80, 5.0, 7);
+  MlpConfig cfg;
+  cfg.epochs = 30;
+  Mlp mlp(cfg);
+  mlp.fit(train);
+
+  std::mt19937 rng(8);
+  std::normal_distribution<double> g(0.0, 1.0);
+  Dataset shifted;
+  for (int i = 0; i < 60; ++i) {
+    // The new domain lives far away in feature space at (x, y+8).
+    shifted.add({g(rng) - 6.0, g(rng) + 8.0}, 1);
+    shifted.add({g(rng) + 6.0, g(rng) + 8.0}, 0);
+  }
+  const double before = accuracy(shifted.labels, mlp.predict_all(shifted));
+  mlp.fine_tune(shifted, 40);
+  const double after = accuracy(shifted.labels, mlp.predict_all(shifted));
+  EXPECT_GT(after, before);
+  EXPECT_GE(after, 0.9);
+}
+
+TEST(Mlp, ErrorsOnMisuse) {
+  Mlp mlp;
+  EXPECT_THROW(mlp.fit(Dataset{}), std::invalid_argument);
+  EXPECT_THROW((void)mlp.predict({1.0}), std::logic_error);
+  Dataset d;
+  d.add({1.0}, 0);
+  d.add({2.0}, 0);
+  EXPECT_THROW(mlp.fit(d), std::invalid_argument);  // one class
+  EXPECT_THROW(mlp.fine_tune(d, 5), std::logic_error);  // not fitted
+}
+
+TEST(Mlp, PreservesOriginalLabels) {
+  std::mt19937 rng(9);
+  std::normal_distribution<double> g(0.0, 0.3);
+  Dataset d;
+  for (int i = 0; i < 40; ++i) {
+    d.add({g(rng) - 2.0}, 10);
+    d.add({g(rng) + 2.0}, 20);
+  }
+  MlpConfig cfg;
+  cfg.epochs = 30;
+  Mlp mlp(cfg);
+  mlp.fit(d);
+  EXPECT_EQ(mlp.predict({-2.0}), 10);
+  EXPECT_EQ(mlp.predict({2.0}), 20);
+}
+
+}  // namespace
+}  // namespace headtalk::ml

@@ -1,0 +1,125 @@
+#include "ml/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace headtalk::ml {
+namespace {
+
+// Imbalanced 2-D data: minority class 1 clustered near (5, 5).
+Dataset imbalanced(std::size_t majority, std::size_t minority, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> g(0.0, 0.5);
+  Dataset d;
+  for (std::size_t i = 0; i < majority; ++i) d.add({g(rng), g(rng)}, 0);
+  for (std::size_t i = 0; i < minority; ++i) d.add({5.0 + g(rng), 5.0 + g(rng)}, 1);
+  return d;
+}
+
+TEST(Smote, BalancesToMajorityCountByDefault) {
+  const auto d = imbalanced(60, 10, 1);
+  const auto up = smote(d, 1);
+  EXPECT_EQ(up.count_label(1), 60u);
+  EXPECT_EQ(up.count_label(0), 60u);
+}
+
+TEST(Smote, ExplicitTargetCount) {
+  const auto d = imbalanced(60, 10, 2);
+  const auto up = smote(d, 1, 25);
+  EXPECT_EQ(up.count_label(1), 25u);
+}
+
+TEST(Smote, NoOpWhenAlreadyAtTarget) {
+  const auto d = imbalanced(20, 30, 3);
+  const auto up = smote(d, 1, 30);
+  EXPECT_EQ(up.size(), d.size());
+}
+
+TEST(Smote, SyntheticSamplesLieWithinMinorityHull) {
+  const auto d = imbalanced(80, 8, 4);
+  const auto up = smote(d, 1);
+  // All minority samples (original and synthetic) stay near (5, 5) —
+  // interpolation cannot leave the cluster.
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    if (up.labels[i] != 1) continue;
+    EXPECT_GT(up.features[i][0], 2.0);
+    EXPECT_GT(up.features[i][1], 2.0);
+  }
+}
+
+TEST(Smote, OriginalRowsPreserved) {
+  const auto d = imbalanced(30, 5, 5);
+  const auto up = smote(d, 1);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(up.features[i], d.features[i]);
+    EXPECT_EQ(up.labels[i], d.labels[i]);
+  }
+}
+
+TEST(Smote, RequiresTwoMinoritySamples) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({1.0}, 0);
+  d.add({5.0}, 1);
+  EXPECT_THROW((void)smote(d, 1), std::invalid_argument);
+}
+
+TEST(Smote, DeterministicInSeed) {
+  const auto d = imbalanced(40, 6, 6);
+  SamplingConfig cfg;
+  cfg.seed = 9;
+  const auto a = smote(d, 1, 0, cfg);
+  const auto b = smote(d, 1, 0, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.features[i], b.features[i]);
+}
+
+TEST(Adasyn, ReachesApproximateBalance) {
+  const auto d = imbalanced(60, 12, 7);
+  const auto up = adasyn(d, 1);
+  // ADASYN's per-point rounding makes the result approximate.
+  EXPECT_GE(up.count_label(1), 48u);
+  EXPECT_LE(up.count_label(1), 72u);
+}
+
+TEST(Adasyn, FocusesOnBorderlinePoints) {
+  // Minority cluster plus one borderline minority point inside the majority
+  // region: ADASYN must allocate most synthetic mass near the border point.
+  std::mt19937 rng(8);
+  std::normal_distribution<double> g(0.0, 0.3);
+  Dataset d;
+  for (int i = 0; i < 50; ++i) d.add({g(rng), g(rng)}, 0);
+  for (int i = 0; i < 9; ++i) d.add({8.0 + g(rng), 8.0 + g(rng)}, 1);
+  d.add({0.5, 0.5}, 1);  // borderline minority sample
+
+  const auto up = adasyn(d, 1);
+  std::size_t near_border = 0, synthetic = 0;
+  for (std::size_t i = d.size(); i < up.size(); ++i) {
+    ++synthetic;
+    // Synthetic points interpolated toward the border sample lie off the
+    // far cluster.
+    if (up.features[i][0] < 7.0) ++near_border;
+  }
+  ASSERT_GT(synthetic, 0u);
+  EXPECT_GT(static_cast<double>(near_border) / static_cast<double>(synthetic), 0.3);
+}
+
+TEST(Adasyn, UniformAllocationWhenNoMajorityNeighbours) {
+  // Minority far from majority: all difficulty ratios are 0 -> uniform
+  // allocation still produces synthetic samples.
+  const auto d = imbalanced(40, 10, 9);
+  const auto up = adasyn(d, 1);
+  EXPECT_GT(up.count_label(1), 10u);
+}
+
+TEST(Adasyn, RequiresTwoMinoritySamples) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({5.0}, 1);
+  EXPECT_THROW((void)adasyn(d, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headtalk::ml

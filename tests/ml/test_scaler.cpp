@@ -1,0 +1,66 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace headtalk::ml {
+namespace {
+
+TEST(StandardScaler, FitTransformGivesZeroMeanUnitVariance) {
+  Dataset d;
+  d.add({1.0, 10.0}, 0);
+  d.add({2.0, 20.0}, 0);
+  d.add({3.0, 30.0}, 1);
+  d.add({4.0, 40.0}, 1);
+  StandardScaler scaler;
+  const auto scaled = scaler.fit_transform(d);
+  ASSERT_EQ(scaled.size(), 4u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (const auto& row : scaled.features) mean += row[j];
+    mean /= 4.0;
+    for (const auto& row : scaled.features) var += (row[j] - mean) * (row[j] - mean);
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+  EXPECT_EQ(scaled.labels, d.labels);
+}
+
+TEST(StandardScaler, TransformUsesTrainingStatistics) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({10.0}, 1);
+  StandardScaler scaler;
+  scaler.fit(d);
+  // mean 5, std 5.
+  const auto t = scaler.transform(FeatureVector{15.0});
+  EXPECT_NEAR(t[0], 2.0, 1e-12);
+}
+
+TEST(StandardScaler, ConstantFeaturePassesThrough) {
+  Dataset d;
+  d.add({7.0, 1.0}, 0);
+  d.add({7.0, 3.0}, 1);
+  StandardScaler scaler;
+  const auto scaled = scaler.fit_transform(d);
+  // Zero-variance dim: centered but not divided (inv_std = 1).
+  EXPECT_NEAR(scaled.features[0][0], 0.0, 1e-12);
+  EXPECT_NEAR(scaled.features[1][0], 0.0, 1e-12);
+}
+
+TEST(StandardScaler, ErrorsOnMisuse) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+  EXPECT_THROW(scaler.fit(Dataset{}), std::invalid_argument);
+  Dataset d;
+  d.add({1.0, 2.0}, 0);
+  d.add({2.0, 1.0}, 1);
+  scaler.fit(d);
+  EXPECT_TRUE(scaler.fitted());
+  EXPECT_THROW((void)scaler.transform(FeatureVector{1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headtalk::ml

@@ -1,0 +1,199 @@
+#include "ml/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/scaler.h"
+#include "ml/forest.h"
+#include "ml/knn.h"
+#include "ml/svm.h"
+#include "ml/tree.h"
+
+namespace headtalk::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  Dataset d;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({g(rng) - 2.0, g(rng), g(rng)}, 0);
+    d.add({g(rng) + 2.0, g(rng), g(rng)}, 1);
+  }
+  return d;
+}
+
+TEST(SerializeIo, PrimitiveRoundTrips) {
+  std::stringstream stream;
+  io::write_u32(stream, 0xDEADBEEFu);
+  io::write_i64(stream, -1234567890123ll);
+  io::write_f64(stream, 3.14159);
+  io::write_f64_vector(stream, {1.0, -2.0, 0.5});
+  io::write_string(stream, "headtalk");
+
+  EXPECT_EQ(io::read_u32(stream), 0xDEADBEEFu);
+  EXPECT_EQ(io::read_i64(stream), -1234567890123ll);
+  EXPECT_DOUBLE_EQ(io::read_f64(stream), 3.14159);
+  EXPECT_EQ(io::read_f64_vector(stream), (std::vector<double>{1.0, -2.0, 0.5}));
+  EXPECT_EQ(io::read_string(stream), "headtalk");
+}
+
+TEST(SerializeIo, TruncatedStreamThrows) {
+  std::stringstream stream;
+  io::write_u32(stream, 7);
+  // Vector header says 7 doubles but none follow.
+  EXPECT_THROW((void)io::read_f64_vector(stream), SerializationError);
+}
+
+TEST(SerializeIo, HeaderValidation) {
+  std::stringstream stream;
+  io::write_header(stream, 0x1111, 2);
+  EXPECT_THROW(io::expect_header(stream, 0x2222, 2, "test"), SerializationError);
+  std::stringstream stream2;
+  io::write_header(stream2, 0x1111, 2);
+  EXPECT_THROW(io::expect_header(stream2, 0x1111, 3, "test"), SerializationError);
+  std::stringstream stream3;
+  io::write_header(stream3, 0x1111, 2);
+  EXPECT_NO_THROW(io::expect_header(stream3, 0x1111, 2, "test"));
+}
+
+TEST(SerializeScaler, RoundTripPreservesTransform) {
+  StandardScaler scaler;
+  scaler.fit(blobs(30, 1));
+  std::stringstream stream;
+  scaler.save(stream);
+  const auto loaded = StandardScaler::load(stream);
+  const FeatureVector x{0.7, -1.3, 2.2};
+  EXPECT_EQ(loaded.transform(x), scaler.transform(x));
+}
+
+TEST(SerializeSvm, RoundTripPreservesDecisions) {
+  const auto train = blobs(60, 2);
+  Svm svm;
+  svm.fit(train);
+  std::stringstream stream;
+  svm.save(stream);
+  const auto loaded = Svm::load(stream);
+  EXPECT_EQ(loaded.support_vector_count(), svm.support_vector_count());
+  const auto test = blobs(30, 3);
+  for (const auto& row : test.features) {
+    ASSERT_DOUBLE_EQ(loaded.decision_value(row), svm.decision_value(row));
+    ASSERT_EQ(loaded.predict(row), svm.predict(row));
+  }
+}
+
+TEST(SerializeSvm, GarbageStreamThrows) {
+  std::stringstream stream("this is definitely not a model file");
+  EXPECT_THROW((void)Svm::load(stream), SerializationError);
+}
+
+TEST(SerializeMlp, RoundTripPreservesScores) {
+  const auto train = blobs(60, 4);
+  MlpConfig cfg;
+  cfg.epochs = 15;
+  Mlp mlp(cfg);
+  mlp.fit(train);
+  std::stringstream stream;
+  mlp.save(stream);
+  auto loaded = Mlp::load(stream);
+  const auto test = blobs(20, 5);
+  for (const auto& row : test.features) {
+    ASSERT_DOUBLE_EQ(loaded.decision_value(row), mlp.decision_value(row));
+  }
+}
+
+TEST(SerializeMlp, LoadedNetworkCanFineTune) {
+  const auto train = blobs(60, 6);
+  MlpConfig cfg;
+  cfg.epochs = 15;
+  Mlp mlp(cfg);
+  mlp.fit(train);
+  std::stringstream stream;
+  mlp.save(stream);
+  auto loaded = Mlp::load(stream);
+  EXPECT_NO_THROW(loaded.fine_tune(blobs(20, 7), 5));
+  EXPECT_GE(accuracy(train.labels, loaded.predict_all(train)), 0.9);
+}
+
+TEST(SerializeMlp, UnfittedSaveThrows) {
+  Mlp mlp;
+  std::stringstream stream;
+  EXPECT_THROW(mlp.save(stream), SerializationError);
+}
+
+TEST(SerializeTree, RoundTripPreservesStructureAndDecisions) {
+  const auto train = blobs(60, 8);
+  DecisionTree tree;
+  tree.fit(train);
+  std::stringstream stream;
+  tree.save(stream);
+  const auto loaded = DecisionTree::load(stream);
+  EXPECT_EQ(loaded.node_count(), tree.node_count());
+  EXPECT_EQ(loaded.depth(), tree.depth());
+  const auto test = blobs(30, 9);
+  for (const auto& row : test.features) {
+    ASSERT_EQ(loaded.predict(row), tree.predict(row));
+    ASSERT_DOUBLE_EQ(loaded.decision_value(row), tree.decision_value(row));
+  }
+}
+
+TEST(SerializeTree, RejectsCorruptChildIndices) {
+  const auto train = blobs(40, 10);
+  DecisionTree tree;
+  tree.fit(train);
+  std::stringstream stream;
+  tree.save(stream);
+  std::string bytes = stream.str();
+  // Smash the node-count field (offset 20: header 8 + label 8 + depth 4).
+  for (std::size_t i = 20; i < 24; ++i) bytes[i] = '\xff';
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW((void)DecisionTree::load(corrupt), SerializationError);
+}
+
+TEST(SerializeForest, RoundTripPreservesEnsemble) {
+  const auto train = blobs(50, 11);
+  ForestConfig cfg;
+  cfg.tree_count = 15;
+  RandomForest forest(cfg);
+  forest.fit(train);
+  std::stringstream stream;
+  forest.save(stream);
+  const auto loaded = RandomForest::load(stream);
+  EXPECT_EQ(loaded.tree_count(), 15u);
+  const auto test = blobs(25, 12);
+  for (const auto& row : test.features) {
+    ASSERT_DOUBLE_EQ(loaded.decision_value(row), forest.decision_value(row));
+    ASSERT_EQ(loaded.predict(row), forest.predict(row));
+  }
+}
+
+TEST(SerializeKnn, RoundTripPreservesNeighbours) {
+  const auto train = blobs(40, 13);
+  Knn knn(KnnConfig{.k = 5});
+  knn.fit(train);
+  std::stringstream stream;
+  knn.save(stream);
+  const auto loaded = Knn::load(stream);
+  const auto test = blobs(20, 14);
+  for (const auto& row : test.features) {
+    ASSERT_EQ(loaded.predict(row), knn.predict(row));
+    ASSERT_DOUBLE_EQ(loaded.decision_value(row), knn.decision_value(row));
+  }
+}
+
+TEST(SerializeCrossModel, MagicTagsRejectWrongModelType) {
+  const auto train = blobs(30, 15);
+  Svm svm;
+  svm.fit(train);
+  std::stringstream stream;
+  svm.save(stream);
+  // Loading an SVM stream as a tree/forest/knn must fail cleanly.
+  EXPECT_THROW((void)DecisionTree::load(stream), SerializationError);
+}
+
+}  // namespace
+}  // namespace headtalk::ml

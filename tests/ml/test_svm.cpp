@@ -1,0 +1,124 @@
+#include "ml/svm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ml/metrics.h"
+
+namespace headtalk::ml {
+namespace {
+
+// Two well-separated Gaussian blobs.
+Dataset blobs(std::size_t per_class, double separation, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  Dataset d;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add({g(rng) - separation / 2.0, g(rng)}, 0);
+    d.add({g(rng) + separation / 2.0, g(rng)}, 1);
+  }
+  return d;
+}
+
+// XOR-style data: linearly inseparable, needs the RBF kernel.
+Dataset xor_data(std::size_t per_quadrant, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.2, 1.0);
+  Dataset d;
+  for (std::size_t i = 0; i < per_quadrant; ++i) {
+    d.add({u(rng), u(rng)}, 1);
+    d.add({-u(rng), -u(rng)}, 1);
+    d.add({-u(rng), u(rng)}, 0);
+    d.add({u(rng), -u(rng)}, 0);
+  }
+  return d;
+}
+
+TEST(Svm, SeparatesGaussianBlobs) {
+  const auto train = blobs(60, 6.0, 1);
+  const auto test = blobs(40, 6.0, 2);
+  Svm svm;
+  svm.fit(train);
+  EXPECT_GE(accuracy(test.labels, svm.predict_all(test)), 0.97);
+}
+
+TEST(Svm, SolvesXorWithRbfKernel) {
+  const auto train = xor_data(40, 3);
+  const auto test = xor_data(25, 4);
+  SvmConfig cfg;
+  cfg.c = 4.0;
+  cfg.gamma = 1.0;
+  Svm svm(cfg);
+  svm.fit(train);
+  EXPECT_GE(accuracy(test.labels, svm.predict_all(test)), 0.95);
+}
+
+TEST(Svm, DecisionValueSignMatchesPrediction) {
+  const auto train = blobs(50, 5.0, 5);
+  Svm svm;
+  svm.fit(train);
+  for (const auto& row : train.features) {
+    const double v = svm.decision_value(row);
+    EXPECT_EQ(svm.predict(row), v >= 0.0 ? 1 : 0);
+  }
+}
+
+TEST(Svm, DecisionValueMagnitudeReflectsMargin) {
+  const auto train = blobs(60, 6.0, 6);
+  Svm svm;
+  svm.fit(train);
+  // A deep class-1 point scores higher than a boundary point.
+  EXPECT_GT(svm.decision_value({5.0, 0.0}), svm.decision_value({0.2, 0.0}));
+  EXPECT_LT(svm.decision_value({-5.0, 0.0}), svm.decision_value({-0.2, 0.0}));
+}
+
+TEST(Svm, PreservesOriginalLabels) {
+  Dataset d;
+  std::mt19937 rng(7);
+  std::normal_distribution<double> g(0.0, 0.3);
+  for (int i = 0; i < 30; ++i) {
+    d.add({g(rng) - 2.0}, -5);
+    d.add({g(rng) + 2.0}, 3);
+  }
+  Svm svm;
+  svm.fit(d);
+  EXPECT_EQ(svm.predict({-2.0}), -5);
+  EXPECT_EQ(svm.predict({2.0}), 3);
+}
+
+TEST(Svm, RequiresExactlyTwoClasses) {
+  Dataset one;
+  one.add({1.0}, 0);
+  one.add({2.0}, 0);
+  Svm svm;
+  EXPECT_THROW(svm.fit(one), std::invalid_argument);
+
+  Dataset three;
+  three.add({1.0}, 0);
+  three.add({2.0}, 1);
+  three.add({3.0}, 2);
+  EXPECT_THROW(svm.fit(three), std::invalid_argument);
+}
+
+TEST(Svm, KeepsOnlySupportVectors) {
+  // Widely separated blobs: most points are not support vectors.
+  const auto train = blobs(100, 10.0, 8);
+  Svm svm;
+  svm.fit(train);
+  EXPECT_GT(svm.support_vector_count(), 0u);
+  EXPECT_LT(svm.support_vector_count(), train.size() / 2);
+}
+
+TEST(Svm, GammaDefaultsToInverseDimension) {
+  SvmConfig cfg;
+  cfg.gamma = 0.0;  // auto
+  Svm svm(cfg);
+  const auto train = blobs(30, 5.0, 9);
+  svm.fit(train);  // must not throw / degenerate
+  EXPECT_GE(accuracy(train.labels, svm.predict_all(train)), 0.95);
+}
+
+}  // namespace
+}  // namespace headtalk::ml

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/forest.h"
+#include "ml/metrics.h"
+#include "ml/tree.h"
+
+namespace headtalk::ml {
+namespace {
+
+Dataset threshold_data(std::size_t n, unsigned seed) {
+  // label = x0 > 0.5 (with a noisy second feature).
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = u(rng);
+    d.add({x, u(rng)}, x > 0.5 ? 1 : 0);
+  }
+  return d;
+}
+
+Dataset xor_data(std::size_t per_quadrant, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.2, 1.0);
+  Dataset d;
+  for (std::size_t i = 0; i < per_quadrant; ++i) {
+    d.add({u(rng), u(rng)}, 1);
+    d.add({-u(rng), -u(rng)}, 1);
+    d.add({-u(rng), u(rng)}, 0);
+    d.add({u(rng), -u(rng)}, 0);
+  }
+  return d;
+}
+
+TEST(DecisionTree, LearnsAxisThreshold) {
+  const auto train = threshold_data(200, 1);
+  const auto test = threshold_data(100, 2);
+  DecisionTree tree;
+  tree.fit(train);
+  EXPECT_GE(accuracy(test.labels, tree.predict_all(test)), 0.95);
+}
+
+TEST(DecisionTree, PureNodeIsLeaf) {
+  Dataset d;
+  d.add({1.0}, 1);
+  d.add({2.0}, 1);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict({99.0}), 1);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  const auto train = xor_data(50, 3);
+  TreeConfig cfg;
+  cfg.max_depth = 2;
+  DecisionTree tree(cfg);
+  tree.fit(train);
+  EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, SolvesXorGivenDepth) {
+  const auto train = xor_data(60, 4);
+  const auto test = xor_data(30, 5);
+  TreeConfig cfg;
+  cfg.max_depth = 5;  // the paper's DT depth
+  DecisionTree tree(cfg);
+  tree.fit(train);
+  EXPECT_GE(accuracy(test.labels, tree.predict_all(test)), 0.9);
+}
+
+TEST(DecisionTree, DecisionValueIsLeafPurity) {
+  const auto train = threshold_data(200, 6);
+  DecisionTree tree;
+  tree.fit(train);
+  EXPECT_GT(tree.decision_value({0.9, 0.5}), 0.8);
+  EXPECT_LT(tree.decision_value({0.1, 0.5}), 0.2);
+}
+
+TEST(DecisionTree, ErrorsOnMisuse) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit(Dataset{}), std::invalid_argument);
+  EXPECT_THROW((void)tree.predict({1.0}), std::logic_error);
+}
+
+TEST(RandomForest, OutperformsOrMatchesSingleTreeOnXor) {
+  const auto train = xor_data(60, 7);
+  const auto test = xor_data(40, 8);
+  ForestConfig cfg;
+  cfg.tree_count = 50;
+  RandomForest forest(cfg);
+  forest.fit(train);
+  EXPECT_GE(accuracy(test.labels, forest.predict_all(test)), 0.92);
+  EXPECT_EQ(forest.tree_count(), 50u);
+}
+
+TEST(RandomForest, DecisionValueIsEnsembleMean) {
+  const auto train = threshold_data(200, 9);
+  ForestConfig cfg;
+  cfg.tree_count = 30;
+  RandomForest forest(cfg);
+  forest.fit(train);
+  const double deep_pos = forest.decision_value({0.95, 0.5});
+  const double deep_neg = forest.decision_value({0.05, 0.5});
+  EXPECT_GT(deep_pos, 0.8);
+  EXPECT_LT(deep_neg, 0.2);
+  EXPECT_EQ(forest.predict({0.95, 0.5}), 1);
+  EXPECT_EQ(forest.predict({0.05, 0.5}), 0);
+}
+
+TEST(RandomForest, DeterministicInSeed) {
+  const auto train = threshold_data(100, 10);
+  ForestConfig cfg;
+  cfg.tree_count = 10;
+  cfg.seed = 42;
+  RandomForest a(cfg), b(cfg);
+  a.fit(train);
+  b.fit(train);
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    EXPECT_DOUBLE_EQ(a.decision_value({x, 0.5}), b.decision_value({x, 0.5}));
+  }
+}
+
+TEST(RandomForest, ErrorsOnMisuse) {
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(Dataset{}), std::invalid_argument);
+  EXPECT_THROW((void)forest.predict({1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace headtalk::ml

@@ -1,0 +1,72 @@
+#include "room/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace headtalk::room {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -2.0, 1.0};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 5.0);
+  EXPECT_DOUBLE_EQ(sum.y, 0.0);
+  EXPECT_DOUBLE_EQ(sum.z, 4.0);
+  const Vec3 diff = a - b;
+  EXPECT_DOUBLE_EQ(diff.x, -3.0);
+  const Vec3 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.y, 4.0);
+}
+
+TEST(Vec3, DotNormDistance) {
+  const Vec3 a{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance({0.0, 0.0, 0.0}), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+}
+
+TEST(Vec3, NormalizedUnitLength) {
+  const Vec3 a{0.0, 0.0, 7.0};
+  const auto n = a.normalized();
+  EXPECT_DOUBLE_EQ(n.z, 1.0);
+  const Vec3 zero{};
+  const auto nz = zero.normalized();
+  EXPECT_DOUBLE_EQ(nz.norm(), 0.0);  // zero stays zero, no NaN
+}
+
+TEST(Geometry, AzimuthDirection) {
+  const auto east = azimuth_direction(0.0);
+  EXPECT_NEAR(east.x, 1.0, 1e-12);
+  EXPECT_NEAR(east.y, 0.0, 1e-12);
+  const auto north = azimuth_direction(std::numbers::pi / 2.0);
+  EXPECT_NEAR(north.x, 0.0, 1e-12);
+  EXPECT_NEAR(north.y, 1.0, 1e-12);
+}
+
+TEST(Geometry, AngleBetween) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_NEAR(angle_between(x, y), std::numbers::pi / 2.0, 1e-12);
+  EXPECT_NEAR(angle_between(x, x), 0.0, 1e-6);
+  EXPECT_NEAR(angle_between(x, x * -1.0), std::numbers::pi, 1e-6);
+  EXPECT_DOUBLE_EQ(angle_between(x, Vec3{}), 0.0);  // degenerate input
+}
+
+TEST(Geometry, AngleBetweenClampsRoundoff) {
+  // Nearly parallel vectors must not produce NaN from acos(>1).
+  const Vec3 a{1.0, 1e-9, 0.0};
+  const Vec3 b{1.0, 0.0, 0.0};
+  EXPECT_TRUE(std::isfinite(angle_between(a, b)));
+}
+
+TEST(Geometry, DegRadConversions) {
+  EXPECT_NEAR(deg_to_rad(180.0), std::numbers::pi, 1e-12);
+  EXPECT_NEAR(rad_to_deg(std::numbers::pi / 2.0), 90.0, 1e-12);
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(37.5)), 37.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace headtalk::room

@@ -1,0 +1,158 @@
+#include "room/image_source.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numbers>
+
+#include "speech/directivity.h"
+
+namespace headtalk::room {
+namespace {
+
+Room test_room() {
+  Room r;
+  r.dims = {6.0, 4.0, 3.0};
+  return r;
+}
+
+TEST(AirAbsorption, GrowsWithFrequency) {
+  EXPECT_LT(air_absorption_db_per_m(500.0), air_absorption_db_per_m(4000.0));
+  EXPECT_LT(air_absorption_db_per_m(4000.0), air_absorption_db_per_m(16000.0));
+  EXPECT_LT(air_absorption_db_per_m(16000.0), 0.5);  // still small per metre
+}
+
+TEST(ImageSource, OrderZeroIsDirectPathOnly) {
+  speech::OmnidirectionalDirectivity omni;
+  IsmConfig cfg;
+  cfg.max_order = 0;
+  const Vec3 src{2.0, 2.0, 1.5};
+  const Vec3 mic{4.0, 2.0, 1.5};
+  const auto paths = compute_image_sources(test_room(), src, {1, 0, 0}, mic, omni, cfg);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].reflection_order, 0);
+  EXPECT_NEAR(paths[0].distance_m, 2.0, 1e-9);
+  // Omni source, 2 m: gain = 1/r * air (tiny).
+  EXPECT_NEAR(paths[0].band_gain[0], 0.5, 0.01);
+}
+
+TEST(ImageSource, PathCountGrowsWithOrder) {
+  speech::OmnidirectionalDirectivity omni;
+  const Vec3 src{2.0, 2.0, 1.5};
+  const Vec3 mic{4.0, 2.5, 1.2};
+  std::size_t prev = 0;
+  for (int order : {0, 1, 2, 3}) {
+    IsmConfig cfg;
+    cfg.max_order = order;
+    cfg.amplitude_floor = 0.0;
+    const auto paths =
+        compute_image_sources(test_room(), src, {1, 0, 0}, mic, omni, cfg);
+    EXPECT_GT(paths.size(), prev);
+    prev = paths.size();
+    // |ix|+|iy|+|iz| <= order constraint.
+    for (const auto& p : paths) EXPECT_LE(p.reflection_order, order);
+  }
+  // Order 1 has exactly 7 paths (direct + 6 first reflections).
+  IsmConfig cfg1;
+  cfg1.max_order = 1;
+  cfg1.amplitude_floor = 0.0;
+  EXPECT_EQ(compute_image_sources(test_room(), src, {1, 0, 0}, mic, omni, cfg1).size(), 7u);
+}
+
+TEST(ImageSource, ReflectionsAreLongerAndWeaker) {
+  speech::OmnidirectionalDirectivity omni;
+  IsmConfig cfg;
+  cfg.max_order = 1;
+  const Vec3 src{3.0, 2.0, 1.5};
+  const Vec3 mic{4.0, 2.0, 1.5};
+  const auto paths = compute_image_sources(test_room(), src, {1, 0, 0}, mic, omni, cfg);
+  const auto direct = std::find_if(paths.begin(), paths.end(),
+                                   [](const auto& p) { return p.reflection_order == 0; });
+  ASSERT_NE(direct, paths.end());
+  for (const auto& p : paths) {
+    if (p.reflection_order == 0) continue;
+    EXPECT_GT(p.distance_m, direct->distance_m);
+    for (std::size_t b = 0; b < kBandCount; ++b) {
+      EXPECT_LT(p.band_gain[b], direct->band_gain[b]);
+    }
+  }
+}
+
+TEST(ImageSource, DirectivityShapesDirectPath) {
+  // Facing away from the mic: the direct path's high band collapses, and
+  // (crucially for HeadTalk) some reflected path becomes competitive.
+  speech::HumanSpeechDirectivity human;
+  IsmConfig cfg;
+  cfg.max_order = 1;
+  const Vec3 src{3.0, 2.0, 1.5};
+  const Vec3 mic{4.5, 2.0, 1.5};
+  const auto facing =
+      compute_image_sources(test_room(), src, {1, 0, 0}, mic, human, cfg);
+  const auto away =
+      compute_image_sources(test_room(), src, {-1, 0, 0}, mic, human, cfg);
+  auto direct_gain = [](const std::vector<PropagationPath>& paths, std::size_t band) {
+    for (const auto& p : paths) {
+      if (p.reflection_order == 0) return p.band_gain[band];
+    }
+    return 0.0;
+  };
+  // High band (last) attenuates far more than low band (first).
+  const double hf_ratio = direct_gain(away, kBandCount - 1) / direct_gain(facing, kBandCount - 1);
+  const double lf_ratio = direct_gain(away, 0) / direct_gain(facing, 0);
+  EXPECT_LT(hf_ratio, 0.25);
+  EXPECT_GT(lf_ratio, hf_ratio);
+}
+
+TEST(ImageSource, MirroredFacingBoostsRearWallReflection) {
+  // When facing away from the mic, the reflection off the wall behind the
+  // talker (which the head now points toward) carries relatively more
+  // energy than when facing the mic.
+  speech::HumanSpeechDirectivity human;
+  IsmConfig cfg;
+  cfg.max_order = 1;
+  cfg.amplitude_floor = 0.0;
+  const Vec3 src{3.0, 2.0, 1.5};
+  const Vec3 mic{4.5, 2.0, 1.5};
+  auto rear_wall_over_direct = [&](const Vec3& facing_dir) {
+    const auto paths =
+        compute_image_sources(test_room(), src, facing_dir, mic, human, cfg);
+    double direct = 0.0, rear = 0.0;
+    for (const auto& p : paths) {
+      if (p.reflection_order == 0) direct = p.band_gain[kBandCount - 1];
+      // The x=0 wall image: distance ~ src.x*2 + (mic - src) path.
+      if (p.reflection_order == 1 && std::abs(p.distance_m - 7.5) < 0.1) {
+        rear = p.band_gain[kBandCount - 1];
+      }
+    }
+    return rear / direct;
+  };
+  EXPECT_GT(rear_wall_over_direct({-1, 0, 0}), 3.0 * rear_wall_over_direct({1, 0, 0}));
+}
+
+TEST(ImageSource, AmplitudeFloorPrunesPaths) {
+  speech::OmnidirectionalDirectivity omni;
+  const Vec3 src{2.0, 2.0, 1.5};
+  const Vec3 mic{4.0, 2.5, 1.2};
+  IsmConfig no_floor;
+  no_floor.max_order = 3;
+  no_floor.amplitude_floor = 0.0;
+  IsmConfig harsh;
+  harsh.max_order = 3;
+  harsh.amplitude_floor = 0.2;
+  const auto all = compute_image_sources(test_room(), src, {1, 0, 0}, mic, omni, no_floor);
+  const auto pruned = compute_image_sources(test_room(), src, {1, 0, 0}, mic, omni, harsh);
+  EXPECT_LT(pruned.size(), all.size());
+  EXPECT_GE(pruned.size(), 1u);  // direct survives
+}
+
+TEST(ImageSource, RejectsNegativeOrder) {
+  speech::OmnidirectionalDirectivity omni;
+  IsmConfig cfg;
+  cfg.max_order = -1;
+  EXPECT_THROW((void)compute_image_sources(test_room(), {1, 1, 1}, {1, 0, 0},
+                                           {2, 2, 1}, omni, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace headtalk::room

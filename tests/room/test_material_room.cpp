@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "room/material.h"
+#include "room/room.h"
+
+namespace headtalk::room {
+namespace {
+
+TEST(Material, BandSchemeSpansSpeechRange) {
+  ASSERT_EQ(kBandEdges.size(), kBandCount + 1);
+  EXPECT_DOUBLE_EQ(kBandEdges.front(), 100.0);
+  EXPECT_DOUBLE_EQ(kBandEdges.back(), 16000.0);
+  for (std::size_t b = 0; b < kBandCount; ++b) {
+    EXPECT_LT(kBandEdges[b], kBandEdges[b + 1]);
+  }
+}
+
+TEST(Material, BandCentersAreGeometricMeans) {
+  const auto centers = band_centers();
+  for (std::size_t b = 0; b < kBandCount; ++b) {
+    EXPECT_GT(centers[b], kBandEdges[b]);
+    EXPECT_LT(centers[b], kBandEdges[b + 1]);
+    EXPECT_NEAR(centers[b] * centers[b], kBandEdges[b] * kBandEdges[b + 1],
+                1e-6 * centers[b] * centers[b]);
+  }
+}
+
+TEST(Material, AbsorptionCoefficientsValid) {
+  for (const auto& m : {Material::drywall(), Material::carpet(),
+                        Material::acoustic_tile(), Material::gypsum_ceiling(),
+                        Material::soft_furnishing()}) {
+    for (double a : m.absorption) {
+      EXPECT_GT(a, 0.0);
+      EXPECT_LT(a, 1.0);
+    }
+  }
+}
+
+TEST(Material, CarpetAbsorbsMoreHighsThanLows) {
+  const auto carpet = Material::carpet();
+  EXPECT_GT(carpet.absorption.back(), 3.0 * carpet.absorption.front());
+}
+
+TEST(Room, FactoryDimensionsMatchPaper) {
+  const auto lab = Room::lab();
+  // 20' x 14' x 10'.
+  EXPECT_NEAR(lab.dims.x, 6.10, 0.01);
+  EXPECT_NEAR(lab.dims.y, 4.27, 0.01);
+  EXPECT_NEAR(lab.dims.z, 3.05, 0.01);
+  EXPECT_DOUBLE_EQ(lab.ambient_noise_spl_db, 33.0);
+
+  const auto home = Room::home();
+  // 33' x 10' x 8'.
+  EXPECT_NEAR(home.dims.x, 10.06, 0.01);
+  EXPECT_NEAR(home.dims.y, 3.05, 0.01);
+  EXPECT_NEAR(home.dims.z, 2.44, 0.01);
+  EXPECT_DOUBLE_EQ(home.ambient_noise_spl_db, 43.0);
+  EXPECT_GT(home.scatterer_count, lab.scatterer_count);
+}
+
+TEST(Room, MeanAbsorptionIsAreaWeighted) {
+  Room r;
+  r.dims = {4.0, 3.0, 2.5};
+  const auto alpha = r.mean_absorption();
+  for (std::size_t b = 0; b < kBandCount; ++b) {
+    EXPECT_GT(alpha[b], 0.0);
+    EXPECT_LT(alpha[b], 1.0);
+    // Bounded by the min/max of the three surfaces.
+    const double lo = std::min({r.walls.absorption[b], r.floor.absorption[b],
+                                r.ceiling.absorption[b]});
+    const double hi = std::max({r.walls.absorption[b], r.floor.absorption[b],
+                                r.ceiling.absorption[b]});
+    EXPECT_GE(alpha[b], lo - 1e-12);
+    EXPECT_LE(alpha[b], hi + 1e-12);
+  }
+}
+
+TEST(Room, EyringRtIsPlausibleForSmallRooms) {
+  // Typical furnished small rooms: RT60 roughly 0.2 - 1.5 s at mid band.
+  for (const auto& r : {Room::lab(), Room::home()}) {
+    const auto rt = r.eyring_rt60();
+    for (double t : rt) {
+      EXPECT_GT(t, 0.05) << r.name;
+      EXPECT_LT(t, 3.0) << r.name;
+    }
+  }
+}
+
+TEST(Room, MoreAbsorptionShortensReverb) {
+  Room dead = Room::lab();      // acoustic tile ceiling
+  Room live_room = Room::lab();
+  live_room.ceiling = Material::gypsum_ceiling();
+  const auto rt_dead = dead.eyring_rt60();
+  const auto rt_live = live_room.eyring_rt60();
+  for (std::size_t b = 1; b < kBandCount; ++b) {
+    EXPECT_LT(rt_dead[b], rt_live[b]) << "band " << b;
+  }
+}
+
+}  // namespace
+}  // namespace headtalk::room

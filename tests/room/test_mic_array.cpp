@@ -1,0 +1,80 @@
+#include "room/mic_array.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace headtalk::room {
+namespace {
+
+TEST(DeviceSpec, ChannelCountsMatchTable1) {
+  EXPECT_EQ(DeviceSpec::d1().mic_positions.size(), 7u);
+  EXPECT_EQ(DeviceSpec::d2().mic_positions.size(), 6u);
+  EXPECT_EQ(DeviceSpec::d3().mic_positions.size(), 4u);
+}
+
+TEST(DeviceSpec, AperturesMatchPaper) {
+  // §III-B3: orthogonal spacing 8.5 / 9 / 6.5 cm for D1 / D2 / D3.
+  EXPECT_NEAR(DeviceSpec::d1().max_pair_distance(), 0.085, 1e-9);
+  EXPECT_NEAR(DeviceSpec::d2().max_pair_distance(), 0.090, 1e-9);
+  EXPECT_NEAR(DeviceSpec::d3().max_pair_distance(), 0.065, 1e-9);
+}
+
+TEST(DeviceSpec, DefaultChannelsMatchPaper) {
+  // §IV-A: D1 uses {Mic2,3,5,6}, D2 uses {Mic1,2,4,5} (zero-based here).
+  EXPECT_EQ(DeviceSpec::d1().default_channels, (std::vector<std::size_t>{1, 2, 4, 5}));
+  EXPECT_EQ(DeviceSpec::d2().default_channels, (std::vector<std::size_t>{0, 1, 3, 4}));
+  EXPECT_EQ(DeviceSpec::d3().default_channels, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(DeviceSpec, DefaultSubsetsKeepFullAperture) {
+  // The chosen 4-mic subsets preserve (close to) the array's full spread.
+  for (auto id : all_devices()) {
+    const auto d = DeviceSpec::get(id);
+    const double sub = d.max_pair_distance(d.default_channels);
+    EXPECT_GE(sub, 0.9 * d.max_pair_distance()) << d.name;
+  }
+}
+
+TEST(DeviceSpec, SelfNoiseOrderingD1Best) {
+  // §IV-B4 explains D1's higher SNR; our noise floors encode that.
+  EXPECT_LT(DeviceSpec::d1().self_noise_spl_db, DeviceSpec::d2().self_noise_spl_db);
+  EXPECT_LT(DeviceSpec::d2().self_noise_spl_db, DeviceSpec::d3().self_noise_spl_db);
+}
+
+TEST(DeviceSpec, SpreadChannelsGrowsMonotonically) {
+  const auto d2 = DeviceSpec::d2();
+  for (std::size_t n = 2; n <= 6; ++n) {
+    const auto ch = d2.spread_channels(n);
+    EXPECT_EQ(ch.size(), n);
+    // Sorted and unique.
+    EXPECT_TRUE(std::is_sorted(ch.begin(), ch.end()));
+    EXPECT_EQ(std::adjacent_find(ch.begin(), ch.end()), ch.end());
+    // First pick is always a diametric pair on a circular array.
+    EXPECT_NEAR(d2.max_pair_distance(ch), d2.max_pair_distance(), 1e-9);
+  }
+}
+
+TEST(DeviceSpec, SpreadChannelsRejectsBadCounts) {
+  const auto d3 = DeviceSpec::d3();
+  EXPECT_THROW((void)d3.spread_channels(0), std::invalid_argument);
+  EXPECT_THROW((void)d3.spread_channels(5), std::invalid_argument);
+}
+
+TEST(DeviceSpec, GetByIdMatchesFactories) {
+  EXPECT_EQ(DeviceSpec::get(DeviceId::kD1).name, DeviceSpec::d1().name);
+  EXPECT_EQ(DeviceSpec::get(DeviceId::kD3).mic_positions.size(), 4u);
+  EXPECT_EQ(all_devices().size(), 3u);
+  EXPECT_EQ(device_name(DeviceId::kD2), "D2");
+}
+
+TEST(DeviceSpec, MicsLieInArrayPlane) {
+  for (auto id : all_devices()) {
+    for (const auto& m : DeviceSpec::get(id).mic_positions) {
+      EXPECT_DOUBLE_EQ(m.z, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace headtalk::room

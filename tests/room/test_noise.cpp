@@ -1,0 +1,100 @@
+#include "room/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/gain.h"
+#include "dsp/fft.h"
+#include "dsp/spectral.h"
+
+namespace headtalk::room {
+namespace {
+
+constexpr double kFs = 48000.0;
+
+class NoiseTypeTest : public ::testing::TestWithParam<NoiseType> {};
+
+TEST_P(NoiseTypeTest, CalibratedLevel) {
+  const auto n = make_noise(GetParam(), 48000, kFs, 43.0, 1);
+  EXPECT_EQ(n.size(), 48000u);
+  EXPECT_NEAR(audio::measure_spl(n), 43.0, 0.1);
+}
+
+TEST_P(NoiseTypeTest, DeterministicInSeed) {
+  const auto a = make_noise(GetParam(), 4800, kFs, 40.0, 7);
+  const auto b = make_noise(GetParam(), 4800, kFs, 40.0, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+  const auto c = make_noise(GetParam(), 4800, kFs, 40.0, 8);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - c[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, NoiseTypeTest,
+                         ::testing::Values(NoiseType::kWhite, NoiseType::kBabbleTv,
+                                           NoiseType::kApplianceHum));
+
+TEST(Noise, WhiteIsSpectrallyFlat) {
+  const auto n = make_noise(NoiseType::kWhite, 65536, kFs, 60.0, 3);
+  const auto mag = dsp::magnitude_spectrum(n.samples(), 65536);
+  const double flat = dsp::spectral_flatness(mag, 65536, kFs, 500.0, 16000.0);
+  EXPECT_GT(flat, 0.5);
+}
+
+TEST(Noise, BabbleConcentratesInSpeechBand) {
+  const auto n = make_noise(NoiseType::kBabbleTv, 65536, kFs, 60.0, 3);
+  const auto mag = dsp::magnitude_spectrum(n.samples(), 65536);
+  const double speech = dsp::band_energy(mag, 65536, kFs, 150.0, 6000.0);
+  const double above = dsp::band_energy(mag, 65536, kFs, 8000.0, 20000.0);
+  EXPECT_GT(speech, 20.0 * above);
+}
+
+TEST(Noise, BabbleIsAmplitudeModulated) {
+  // Syllabic modulation: the per-100 ms RMS envelope varies far more than
+  // white noise's does.
+  auto envelope_cv = [](const audio::Buffer& x) {
+    std::vector<double> env;
+    const std::size_t frame = 4800;
+    for (std::size_t s = 0; s + frame <= x.size(); s += frame) {
+      double acc = 0.0;
+      for (std::size_t i = s; i < s + frame; ++i) acc += x[i] * x[i];
+      env.push_back(std::sqrt(acc / frame));
+    }
+    double m = 0.0;
+    for (double v : env) m += v;
+    m /= static_cast<double>(env.size());
+    double var = 0.0;
+    for (double v : env) var += (v - m) * (v - m);
+    return std::sqrt(var / static_cast<double>(env.size())) / m;
+  };
+  const auto babble = make_noise(NoiseType::kBabbleTv, 144000, kFs, 60.0, 5);
+  const auto white = make_noise(NoiseType::kWhite, 144000, kFs, 60.0, 5);
+  EXPECT_GT(envelope_cv(babble), 3.0 * envelope_cv(white));
+}
+
+TEST(Noise, HumHasMainsFundamental) {
+  const auto n = make_noise(NoiseType::kApplianceHum, 65536, kFs, 60.0, 3);
+  const auto mag = dsp::magnitude_spectrum(n.samples(), 65536);
+  const double mains = dsp::band_energy(mag, 65536, kFs, 55.0, 65.0);
+  const double nearby = dsp::band_energy(mag, 65536, kFs, 80.0, 110.0);
+  EXPECT_GT(mains, 5.0 * nearby);
+}
+
+TEST(Noise, DiffuseNoiseIsDecorrelatedAcrossChannels) {
+  audio::MultiBuffer capture(3, 48000, kFs);
+  add_diffuse_noise(capture, NoiseType::kWhite, 50.0, 9);
+  // Normalized cross-correlation at lag 0 between channels ~ 0.
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a + 1; b < 3; ++b) {
+      double dot = 0.0, ea = 0.0, eb = 0.0;
+      for (std::size_t i = 0; i < capture.frames(); ++i) {
+        dot += capture.channel(a)[i] * capture.channel(b)[i];
+        ea += capture.channel(a)[i] * capture.channel(a)[i];
+        eb += capture.channel(b)[i] * capture.channel(b)[i];
+      }
+      EXPECT_LT(std::abs(dot) / std::sqrt(ea * eb), 0.05);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace headtalk::room

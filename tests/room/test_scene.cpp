@@ -1,0 +1,220 @@
+#include "room/scene.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "audio/gain.h"
+#include "dsp/correlation.h"
+#include "dsp/fft.h"
+#include "dsp/spectral.h"
+#include "speech/directivity.h"
+
+namespace headtalk::room {
+namespace {
+
+constexpr double kFs = 48000.0;
+
+// A short broadband test signal (noise burst) is enough to probe the render.
+audio::Buffer test_burst() {
+  audio::Buffer x(4800, kFs);
+  std::uint32_t state = 99;
+  for (auto& v : x.data()) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<double>(state) / 4294967295.0 - 0.5;
+  }
+  audio::set_spl(x, 70.0);
+  return x;
+}
+
+Scene lab_scene() {
+  return Scene(Room::lab(), DeviceSpec::d2(), ArrayPose{{0.5, 2.1, 0.74}, 0.0}, 11);
+}
+
+RenderOptions quiet_options() {
+  RenderOptions opt;
+  opt.add_ambient = false;
+  opt.add_self_noise = false;
+  return opt;
+}
+
+TEST(Scene, OutputShape) {
+  auto scene = lab_scene();
+  speech::HumanSpeechDirectivity dir;
+  SourcePose src{{3.5, 2.1, 1.65}, std::numbers::pi};
+  const auto cap = scene.render(test_burst(), src, dir, quiet_options());
+  EXPECT_EQ(cap.channel_count(), 6u);
+  EXPECT_EQ(cap.frames(), 4800u + static_cast<std::size_t>(0.12 * kFs));
+  EXPECT_DOUBLE_EQ(cap.sample_rate(), kFs);
+  for (std::size_t c = 0; c < cap.channel_count(); ++c) {
+    EXPECT_GT(audio::rms(cap.channel(c).samples()), 0.0);
+  }
+}
+
+TEST(Scene, ChannelSubsetRendering) {
+  auto scene = lab_scene();
+  speech::HumanSpeechDirectivity dir;
+  SourcePose src{{3.5, 2.1, 1.65}, std::numbers::pi};
+  auto opt = quiet_options();
+  opt.channels = {0, 3};
+  const auto cap = scene.render(test_burst(), src, dir, opt);
+  EXPECT_EQ(cap.channel_count(), 2u);
+
+  // Must equal the corresponding channels of a full render.
+  const auto full = scene.render(test_burst(), src, dir, quiet_options());
+  for (std::size_t i = 0; i < cap.frames(); ++i) {
+    ASSERT_NEAR(cap.channel(0)[i], full.channel(0)[i], 1e-12);
+    ASSERT_NEAR(cap.channel(1)[i], full.channel(3)[i], 1e-12);
+  }
+}
+
+TEST(Scene, DeterministicRender) {
+  auto scene = lab_scene();
+  speech::HumanSpeechDirectivity dir;
+  SourcePose src{{3.5, 2.1, 1.65}, std::numbers::pi};
+  RenderOptions opt;  // with noise, seeded
+  const auto a = scene.render(test_burst(), src, dir, opt);
+  const auto b = scene.render(test_burst(), src, dir, opt);
+  for (std::size_t i = 0; i < a.frames(); ++i) {
+    ASSERT_DOUBLE_EQ(a.channel(0)[i], b.channel(0)[i]);
+  }
+}
+
+TEST(Scene, CloserSourceIsLouder) {
+  auto scene = lab_scene();
+  speech::OmnidirectionalDirectivity dir;
+  const auto near_cap = scene.render(
+      test_burst(), {{1.5, 2.1, 1.65}, std::numbers::pi}, dir, quiet_options());
+  const auto far_cap = scene.render(
+      test_burst(), {{5.5, 2.1, 1.65}, std::numbers::pi}, dir, quiet_options());
+  // Reverberant energy is distance-independent, so the RMS ratio is well
+  // below the free-field 1/r factor — but proximity must still win clearly.
+  EXPECT_GT(audio::rms(near_cap.channel(0).samples()),
+            1.3 * audio::rms(far_cap.channel(0).samples()));
+}
+
+TEST(Scene, TdoaMatchesGeometry) {
+  // Source on the array's +x side: the far mic hears it later. With D2's
+  // 9 cm aperture the extreme delay is ~12-13 samples at 48 kHz.
+  auto scene = lab_scene();
+  speech::OmnidirectionalDirectivity dir;
+  const auto cap = scene.render(test_burst(), {{3.5, 2.1, 1.65}, std::numbers::pi},
+                                dir, quiet_options());
+  // D2 mics 0 and 3 are diametrically opposite along x (phase 0 circle).
+  const int lag = dsp::tdoa_samples(cap.channel(0).samples(), cap.channel(3).samples(), 15);
+  // Mic0 at +x (closer to source at x=3.5): signal arrives EARLIER on mic0,
+  // so gcc_phat(ch0, ch3) peaks at a negative lag of ~ -(0.09 m / c * fs).
+  EXPECT_LT(lag, -9);
+  EXPECT_GT(lag, -15);
+}
+
+TEST(Scene, FacingRaisesHighBandAtDevice) {
+  auto scene = lab_scene();
+  speech::HumanSpeechDirectivity dir;
+  const Vec3 pos{3.5, 2.1, 1.65};
+  const auto facing = scene.render(test_burst(), {pos, std::numbers::pi}, dir,
+                                   quiet_options());
+  const auto away = scene.render(test_burst(), {pos, 0.0}, dir, quiet_options());
+  auto hf = [](const audio::MultiBuffer& cap) {
+    const auto mono = cap.mixdown();
+    const std::size_t n = dsp::next_pow2(mono.size());
+    const auto mag = dsp::magnitude_spectrum(mono.samples(), n);
+    return dsp::band_energy(mag, n, kFs, 2000.0, 8000.0);
+  };
+  EXPECT_GT(hf(facing), 1.5 * hf(away));
+}
+
+TEST(Scene, OcclusionAttenuatesCapture) {
+  auto scene = lab_scene();
+  speech::HumanSpeechDirectivity dir;
+  SourcePose src{{3.5, 2.1, 1.65}, std::numbers::pi};
+  auto open_opt = quiet_options();
+  auto partial_opt = quiet_options();
+  partial_opt.occlusion = Occlusion::partial();
+  auto full_opt = quiet_options();
+  full_opt.occlusion = Occlusion::full();
+  const double open_rms =
+      audio::rms(scene.render(test_burst(), src, dir, open_opt).channel(0).samples());
+  const double partial_rms =
+      audio::rms(scene.render(test_burst(), src, dir, partial_opt).channel(0).samples());
+  const double full_rms =
+      audio::rms(scene.render(test_burst(), src, dir, full_opt).channel(0).samples());
+  EXPECT_GT(open_rms, partial_rms);
+  EXPECT_GT(partial_rms, full_rms);
+}
+
+TEST(Scene, AmbientNoiseRaisesFloor) {
+  auto scene = lab_scene();
+  speech::HumanSpeechDirectivity dir;
+  SourcePose src{{3.5, 2.1, 1.65}, std::numbers::pi};
+  RenderOptions noisy;
+  noisy.ambient_spl_db = 60.0;
+  const auto with_noise = scene.render(test_burst(), src, dir, noisy);
+  const auto without = scene.render(test_burst(), src, dir, quiet_options());
+  EXPECT_GT(audio::rms(with_noise.channel(0).samples()),
+            1.5 * audio::rms(without.channel(0).samples()));
+}
+
+TEST(Scene, DifferentScatterSeedsChangeRoomFingerprint) {
+  Scene a(Room::lab(), DeviceSpec::d2(), ArrayPose{{0.5, 2.1, 0.74}, 0.0}, 1);
+  Scene b(Room::lab(), DeviceSpec::d2(), ArrayPose{{0.5, 2.1, 0.74}, 0.0}, 2);
+  speech::HumanSpeechDirectivity dir;
+  SourcePose src{{3.5, 2.1, 1.65}, std::numbers::pi};
+  const auto ca = a.render(test_burst(), src, dir, quiet_options());
+  const auto cb = b.render(test_burst(), src, dir, quiet_options());
+  double diff = 0.0;
+  for (std::size_t i = 0; i < ca.frames(); ++i) {
+    diff += std::abs(ca.channel(0)[i] - cb.channel(0)[i]);
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(Scene, SessionSeedIsNoOpInStaticRooms) {
+  // The lab has dynamic_clutter == false: session state must not matter.
+  Room lab = Room::lab();
+  ASSERT_FALSE(lab.dynamic_clutter);
+  Scene a(lab, DeviceSpec::d2(), ArrayPose{{0.5, 2.1, 0.74}, 0.0}, 3, 0);
+  Scene b(lab, DeviceSpec::d2(), ArrayPose{{0.5, 2.1, 0.74}, 0.0}, 3, 999);
+  speech::HumanSpeechDirectivity dir;
+  SourcePose src{{3.5, 2.1, 1.65}, std::numbers::pi};
+  const auto ca = a.render(test_burst(), src, dir, quiet_options());
+  const auto cb = b.render(test_burst(), src, dir, quiet_options());
+  for (std::size_t i = 0; i < ca.frames(); ++i) {
+    ASSERT_DOUBLE_EQ(ca.channel(0)[i], cb.channel(0)[i]);
+  }
+}
+
+TEST(Scene, DynamicClutterChangesWithSessionButKeepsBaseFurniture) {
+  Room home = Room::home();
+  ASSERT_TRUE(home.dynamic_clutter);
+  ArrayPose pose{{0.4, 1.5, 0.83}, 0.0};
+  Scene s1(home, DeviceSpec::d2(), pose, 3, 100);
+  Scene s2(home, DeviceSpec::d2(), pose, 3, 200);
+  speech::HumanSpeechDirectivity dir;
+  SourcePose src{{3.4, 1.5, 1.65}, std::numbers::pi};
+  const auto c1 = s1.render(test_burst(), src, dir, quiet_options());
+  const auto c2 = s2.render(test_burst(), src, dir, quiet_options());
+  // Sessions differ (movable clutter re-drawn)...
+  double diff = 0.0, energy = 0.0;
+  for (std::size_t i = 0; i < c1.frames(); ++i) {
+    diff += std::abs(c1.channel(0)[i] - c2.channel(0)[i]);
+    energy += std::abs(c1.channel(0)[i]);
+  }
+  EXPECT_GT(diff, 0.0);
+  // ...but only mildly: the direct path and base furniture are shared, so
+  // the captures stay strongly similar.
+  EXPECT_LT(diff, 0.5 * energy);
+}
+
+TEST(Scene, MicWorldPositionsApplyYaw) {
+  Scene scene(Room::lab(), DeviceSpec::d3(), ArrayPose{{1.0, 1.0, 0.5}, std::numbers::pi / 2.0}, 1);
+  const auto mics = scene.mic_world_positions();
+  ASSERT_EQ(mics.size(), 4u);
+  // D3 mic 0 sits at (r, 0, 0) locally; yaw 90 degrees moves it to +y.
+  EXPECT_NEAR(mics[0].x, 1.0, 1e-9);
+  EXPECT_NEAR(mics[0].y, 1.0 + 0.0325, 1e-9);
+  EXPECT_NEAR(mics[0].z, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace headtalk::room

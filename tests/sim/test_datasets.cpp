@@ -1,0 +1,137 @@
+#include "sim/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace headtalk::sim {
+namespace {
+
+TEST(SpecGrid, CartesianProductCount) {
+  SpecGrid grid;
+  grid.rooms = {RoomId::kLab, RoomId::kHome};
+  grid.devices = {room::DeviceId::kD1, room::DeviceId::kD2};
+  grid.words = {speech::WakeWord::kComputer};
+  grid.locations = middle_grid_locations();
+  grid.angles = {0.0, 90.0};
+  grid.sessions = {0, 1};
+  grid.repetitions = 2;
+  const auto specs = grid.build();
+  EXPECT_EQ(specs.size(), 2u * 2u * 1u * 3u * 2u * 2u * 2u);
+}
+
+TEST(SpecGrid, ModifiersApplyToEverySpec) {
+  SpecGrid grid;
+  grid.loudness_db = 60.0;
+  grid.replay = ReplaySource::kHighEnd;
+  grid.temporal_days = 7.0;
+  for (const auto& s : grid.build()) {
+    EXPECT_DOUBLE_EQ(s.loudness_db, 60.0);
+    EXPECT_EQ(s.replay, ReplaySource::kHighEnd);
+    EXPECT_DOUBLE_EQ(s.temporal_days, 7.0);
+  }
+}
+
+TEST(Datasets, FullProtocolMatchesTable2Count) {
+  // Dataset-1 full protocol: 2 rooms x 3 devices x 3 words x 9 locations x
+  // 14 angles x 2 reps x 2 sessions = 9072 (Table II).
+  const auto specs =
+      dataset1(all_rooms(),
+               {room::DeviceId::kD1, room::DeviceId::kD2, room::DeviceId::kD3},
+               speech::all_wake_words(), full_protocol());
+  EXPECT_EQ(specs.size(), 9072u);
+}
+
+TEST(Datasets, Dataset2FullMatchesTable2) {
+  // Sony replay: 2 words x 9 locations x 14 angles x 2 reps x 2 sessions =
+  // 1008 (Table II; lab room).
+  const auto specs = dataset2_replay(full_protocol());
+  EXPECT_EQ(specs.size(), 1008u);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.replay, ReplaySource::kHighEnd);
+    EXPECT_NE(s.word, speech::WakeWord::kAmazon);  // only 2 words in Dataset-2
+  }
+}
+
+TEST(Datasets, Dataset3TemporalShape) {
+  // "Computer", 3 locations, 14 angles, 2 sessions, 2 reps per time frame:
+  // 168 specs per `days` value (336 total for week+month, Table II).
+  const auto week = dataset3_temporal(7.0, full_protocol());
+  EXPECT_EQ(week.size(), 168u);
+  for (const auto& s : week) {
+    EXPECT_DOUBLE_EQ(s.temporal_days, 7.0);
+    EXPECT_EQ(s.word, speech::WakeWord::kComputer);
+    EXPECT_EQ(s.location.radial, GridRadial::kMiddle);
+  }
+}
+
+TEST(Datasets, Dataset4AmbientMatchesTable2) {
+  // Per noise type: 3 distances x 14 angles x 1 session x 2 reps = 84
+  // (168 across both types, Table II).
+  const auto white = dataset4_ambient(room::NoiseType::kWhite);
+  EXPECT_EQ(white.size(), 84u);
+  for (const auto& s : white) {
+    EXPECT_DOUBLE_EQ(s.ambient_spl_db, 45.0);
+    EXPECT_EQ(s.session, 0u);
+  }
+}
+
+TEST(Datasets, Dataset5SittingMatchesTable2) {
+  const auto specs = dataset5_sitting();
+  EXPECT_EQ(specs.size(), 84u);
+  for (const auto& s : specs) {
+    EXPECT_DOUBLE_EQ(s.mouth_height_m, kSittingMouthHeight);
+  }
+}
+
+TEST(Datasets, Dataset6LoudnessMatchesTable2) {
+  // Per loudness: 84; two levels = 168 (Table II).
+  const auto quiet = dataset6_loudness(60.0);
+  EXPECT_EQ(quiet.size(), 84u);
+  for (const auto& s : quiet) EXPECT_DOUBLE_EQ(s.loudness_db, 60.0);
+}
+
+TEST(Datasets, Dataset7ObjectsMatchesTable2) {
+  // Per setting: 84; three settings = 252 (Table II).
+  const auto partial = dataset7_objects(OcclusionLevel::kPartial, false);
+  EXPECT_EQ(partial.size(), 84u);
+  const auto raised = dataset7_objects(OcclusionLevel::kFull, true);
+  for (const auto& s : raised) {
+    EXPECT_EQ(s.occlusion, OcclusionLevel::kFull);
+    EXPECT_NEAR(s.device_height_offset_m, 0.148, 1e-9);
+  }
+}
+
+TEST(Datasets, Dataset8MatchesTable2) {
+  // 10 users x 9 locations x 8 angles x 2 reps = 1440 (Table II).
+  const auto specs = dataset8_multi_user();
+  EXPECT_EQ(specs.size(), 1440u);
+  std::set<unsigned> users;
+  for (const auto& s : specs) {
+    users.insert(s.user_id);
+    EXPECT_EQ(s.word, speech::WakeWord::kHeyAssistant);
+  }
+  EXPECT_EQ(users.size(), 10u);
+  EXPECT_FALSE(users.contains(0u));  // user 0 is the enrolled default user
+}
+
+TEST(Datasets, ScaledDefaultsAreSmaller) {
+  const auto scaled = dataset1({RoomId::kLab}, {room::DeviceId::kD2},
+                               {speech::WakeWord::kComputer});
+  const auto full = dataset1({RoomId::kLab}, {room::DeviceId::kD2},
+                             {speech::WakeWord::kComputer}, full_protocol());
+  EXPECT_LT(scaled.size(), full.size());
+  EXPECT_EQ(scaled.size(), 84u);   // 3 locs x 14 angles x 2 sessions x 1 rep
+  EXPECT_EQ(full.size(), 504u);    // 9 locs x 14 angles x 2 sessions x 2 reps
+}
+
+TEST(Datasets, ExtendedAnglesIncludeSeventyFive) {
+  const auto specs = dataset1_extended_angles();
+  bool has75 = false;
+  for (const auto& s : specs) has75 |= s.angle_deg == 75.0;
+  EXPECT_TRUE(has75);
+  EXPECT_EQ(specs.size(), 96u);  // 3 locs x 16 angles x 2 sessions
+}
+
+}  // namespace
+}  // namespace headtalk::sim

@@ -1,0 +1,106 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace headtalk::sim {
+namespace {
+
+// Synthetic OrientationSamples with hand-built features so experiment
+// plumbing can be tested without rendering audio.
+std::vector<OrientationSample> synthetic_samples() {
+  std::vector<OrientationSample> out;
+  unsigned counter = 0;
+  for (unsigned session : {0u, 1u}) {
+    for (double angle : protocol_angles()) {
+      for (unsigned rep = 0; rep < 3; ++rep) {
+        SampleSpec spec;
+        spec.angle_deg = angle;
+        spec.session = session;
+        spec.repetition = rep;
+        // Feature = cos(angle) + small deterministic wiggle: facing samples
+        // land near +1, backward near -1 -> learnable.
+        const double wiggle = 0.02 * static_cast<double>(counter % 7);
+        ++counter;
+        out.push_back(
+            {spec, {std::cos(room::deg_to_rad(angle)) + wiggle, wiggle}});
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Experiment, FilterByPredicate) {
+  const auto samples = synthetic_samples();
+  const auto session0 =
+      filter(samples, [](const SampleSpec& s) { return s.session == 0; });
+  EXPECT_EQ(session0.size(), samples.size() / 2);
+}
+
+TEST(Experiment, FacingDatasetDropsExcludedArcs) {
+  const auto samples = synthetic_samples();
+  const auto d4 = facing_dataset(samples, core::FacingDefinition::kDefinition4);
+  // Def-4 uses 5 facing + 5 non-facing of the 14 protocol angles.
+  EXPECT_EQ(d4.size(), samples.size() * 10 / 14);
+  EXPECT_EQ(d4.count_label(core::kLabelFacing), samples.size() * 5 / 14);
+
+  const auto d1 = facing_dataset(samples, core::FacingDefinition::kDefinition1);
+  // Def-1 trains on 7 facing + 7 non-facing angles: every protocol angle.
+  EXPECT_EQ(d1.size(), samples.size());
+  EXPECT_EQ(d1.count_label(core::kLabelFacing), samples.size() * 7 / 14);
+}
+
+TEST(Experiment, GroundTruthDatasetKeepsEverything) {
+  const auto samples = synthetic_samples();
+  const auto d = ground_truth_dataset(samples);
+  EXPECT_EQ(d.size(), samples.size());
+  // 5 of 14 protocol angles are within the +/-30 facing zone.
+  EXPECT_EQ(d.count_label(core::kLabelFacing), samples.size() * 5 / 14);
+}
+
+TEST(Experiment, EvaluateOrientationOnSeparableData) {
+  const auto samples = synthetic_samples();
+  const auto train = facing_dataset(
+      filter(samples, [](const SampleSpec& s) { return s.session == 0; }),
+      core::FacingDefinition::kDefinition4);
+  const auto test = facing_dataset(
+      filter(samples, [](const SampleSpec& s) { return s.session == 1; }),
+      core::FacingDefinition::kDefinition4);
+  const auto metrics = evaluate_orientation({}, train, test);
+  EXPECT_GT(metrics.accuracy, 0.95);
+  EXPECT_GT(metrics.f1, 0.95);
+  EXPECT_LT(metrics.far, 0.05);
+}
+
+TEST(Experiment, CrossSessionProducesOnePairPerOrderedSessionPair) {
+  const auto samples = synthetic_samples();
+  const auto results =
+      cross_session_evaluate(samples, core::FacingDefinition::kDefinition4);
+  EXPECT_EQ(results.size(), 2u);  // (0->1) and (1->0)
+  for (const auto& r : results) EXPECT_GT(r.accuracy, 0.9);
+}
+
+TEST(Experiment, MeanMetricsAverages) {
+  std::vector<EvalMetrics> ms(2);
+  ms[0].accuracy = 0.9;
+  ms[1].accuracy = 0.7;
+  ms[0].f1 = 1.0;
+  ms[1].f1 = 0.0;
+  const auto mean = mean_metrics(ms);
+  EXPECT_DOUBLE_EQ(mean.accuracy, 0.8);
+  EXPECT_DOUBLE_EQ(mean.f1, 0.5);
+  EXPECT_DOUBLE_EQ(mean_metrics({}).accuracy, 0.0);
+}
+
+TEST(Experiment, CollectOrientationUsesCollector) {
+  CollectorConfig cfg;
+  cfg.cache_enabled = false;
+  Collector collector(cfg);
+  SampleSpec spec;
+  const std::vector<SampleSpec> specs{spec};
+  const auto samples = collect_orientation(collector, specs, /*progress=*/false);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].features, collector.orientation_features(spec));
+}
+
+}  // namespace
+}  // namespace headtalk::sim

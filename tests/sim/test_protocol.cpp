@@ -1,0 +1,114 @@
+#include "sim/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace headtalk::sim {
+namespace {
+
+TEST(Protocol, AngleGridsMatchPaper) {
+  EXPECT_EQ(protocol_angles().size(), 14u);   // §IV datasets
+  EXPECT_EQ(extended_angles().size(), 16u);   // + the +/-75 verification pair
+  EXPECT_EQ(ahuja_angles().size(), 8u);       // DoV dataset grid
+  // The protocol grid contains no +/-75; the extended grid does.
+  auto contains = [](const std::vector<double>& v, double x) {
+    return std::any_of(v.begin(), v.end(), [x](double a) { return a == x; });
+  };
+  EXPECT_FALSE(contains(protocol_angles(), 75.0));
+  EXPECT_TRUE(contains(extended_angles(), 75.0));
+  EXPECT_TRUE(contains(extended_angles(), -75.0));
+  // Ahuja's grid lacks +/-15 and +/-30.
+  EXPECT_FALSE(contains(ahuja_angles(), 15.0));
+  EXPECT_FALSE(contains(ahuja_angles(), 30.0));
+  EXPECT_TRUE(contains(ahuja_angles(), 45.0));
+}
+
+TEST(Protocol, GridLocations) {
+  EXPECT_EQ(all_grid_locations().size(), 9u);
+  EXPECT_EQ(middle_grid_locations().size(), 3u);
+  std::set<std::string> labels;
+  for (const auto& loc : all_grid_locations()) labels.insert(loc.label());
+  EXPECT_EQ(labels.size(), 9u);
+  EXPECT_TRUE(labels.contains("M3"));
+  EXPECT_TRUE(labels.contains("L1"));
+  EXPECT_TRUE(labels.contains("R5"));
+}
+
+TEST(Protocol, RoomFactories) {
+  EXPECT_EQ(make_room(RoomId::kLab).name, "lab");
+  EXPECT_EQ(make_room(RoomId::kHome).name, "home");
+  EXPECT_EQ(all_rooms().size(), 2u);
+  EXPECT_EQ(room_id_name(RoomId::kHome), "home");
+}
+
+TEST(Protocol, PlacementHeightsMatchPaper) {
+  // Lab A: study table 74 cm; B: coffee table 45 cm; C: work table 75 cm;
+  // home A: TV shelf 83 cm (§IV).
+  EXPECT_NEAR(placement_pose(RoomId::kLab, PlacementId::kA).center.z, 0.74, 1e-9);
+  EXPECT_NEAR(placement_pose(RoomId::kLab, PlacementId::kB).center.z, 0.45, 1e-9);
+  EXPECT_NEAR(placement_pose(RoomId::kLab, PlacementId::kC).center.z, 0.75, 1e-9);
+  EXPECT_NEAR(placement_pose(RoomId::kHome, PlacementId::kA).center.z, 0.83, 1e-9);
+}
+
+TEST(Protocol, GridPositionsStayInsideRooms) {
+  for (RoomId room_id : all_rooms()) {
+    const auto dims = make_room(room_id).dims;
+    for (PlacementId placement : {PlacementId::kA, PlacementId::kB, PlacementId::kC}) {
+      for (const auto& loc : all_grid_locations()) {
+        const auto p = grid_position(room_id, placement, loc, kStandingMouthHeight);
+        EXPECT_GT(p.x, 0.0) << loc.label();
+        EXPECT_LT(p.x, dims.x) << loc.label();
+        EXPECT_GT(p.y, 0.0) << loc.label();
+        EXPECT_LT(p.y, dims.y) << loc.label();
+        EXPECT_DOUBLE_EQ(p.z, kStandingMouthHeight);
+      }
+    }
+  }
+}
+
+TEST(Protocol, GridDistancesAreRespected) {
+  const auto pose = placement_pose(RoomId::kLab, PlacementId::kA);
+  for (const auto& loc : all_grid_locations()) {
+    const auto p = grid_position(RoomId::kLab, PlacementId::kA, loc, 1.65);
+    const double horizontal = std::hypot(p.x - pose.center.x, p.y - pose.center.y);
+    EXPECT_NEAR(horizontal, loc.distance_m, 1e-9) << loc.label();
+  }
+}
+
+TEST(Protocol, FacingAzimuthPointsAtDeviceForZeroAngle) {
+  const auto pose = placement_pose(RoomId::kLab, PlacementId::kA);
+  const auto p = grid_position(RoomId::kLab, PlacementId::kA, {GridRadial::kMiddle, 3.0},
+                               1.65);
+  const double az = facing_azimuth(p, pose, 0.0);
+  const auto dir = room::azimuth_direction(az);
+  // Walking along `dir` from p must approach the device.
+  const room::Vec3 step{p.x + dir.x, p.y + dir.y, p.z};
+  EXPECT_LT(std::hypot(step.x - pose.center.x, step.y - pose.center.y),
+            std::hypot(p.x - pose.center.x, p.y - pose.center.y));
+}
+
+TEST(Protocol, FacingAzimuthOffsetsBySpokenAngle) {
+  const auto pose = placement_pose(RoomId::kLab, PlacementId::kA);
+  const auto p = grid_position(RoomId::kLab, PlacementId::kA, {GridRadial::kMiddle, 3.0},
+                               1.65);
+  const double az0 = facing_azimuth(p, pose, 0.0);
+  const double az90 = facing_azimuth(p, pose, 90.0);
+  EXPECT_NEAR(az90 - az0, room::deg_to_rad(90.0), 1e-12);
+}
+
+TEST(Protocol, RadialDirectionsFanOut) {
+  const auto left = grid_position(RoomId::kLab, PlacementId::kA,
+                                  {GridRadial::kLeft, 3.0}, 1.65);
+  const auto mid = grid_position(RoomId::kLab, PlacementId::kA,
+                                 {GridRadial::kMiddle, 3.0}, 1.65);
+  const auto right = grid_position(RoomId::kLab, PlacementId::kA,
+                                   {GridRadial::kRight, 3.0}, 1.65);
+  EXPECT_LT(left.y, mid.y);
+  EXPECT_GT(right.y, mid.y);
+  EXPECT_NEAR(mid.y - left.y, right.y - mid.y, 1e-9);
+}
+
+}  // namespace
+}  // namespace headtalk::sim

@@ -1,0 +1,103 @@
+#include "speech/directivity.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace headtalk::speech {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(HumanDirectivity, UnityGainOnAxis) {
+  HumanSpeechDirectivity d;
+  for (double f : {125.0, 1000.0, 8000.0}) {
+    EXPECT_DOUBLE_EQ(d.gain(f, 0.0), 1.0) << f;
+  }
+}
+
+TEST(HumanDirectivity, GainDecreasesMonotonicallyWithAngle) {
+  HumanSpeechDirectivity d;
+  for (double f : {250.0, 1000.0, 4000.0, 8000.0}) {
+    double prev = 1.1;
+    for (double a = 0.0; a <= kPi + 1e-9; a += kPi / 12.0) {
+      const double g = d.gain(f, a);
+      EXPECT_LE(g, prev + 1e-12) << "f=" << f << " angle=" << a;
+      prev = g;
+    }
+  }
+}
+
+TEST(HumanDirectivity, HighFrequencyIsMoreDirectional) {
+  // Insight 2: the rear attenuation grows with frequency.
+  HumanSpeechDirectivity d;
+  const double back_low = d.gain(160.0, kPi);
+  const double back_mid = d.gain(1000.0, kPi);
+  const double back_high = d.gain(8000.0, kPi);
+  EXPECT_GT(back_low, back_mid);
+  EXPECT_GT(back_mid, back_high);
+}
+
+TEST(HumanDirectivity, FrontBackDepthMatchesPublishedFit) {
+  HumanSpeechDirectivity d;
+  // ~5 dB at 160 Hz, ~20 dB at 8 kHz (Monson et al. style numbers).
+  EXPECT_NEAR(-20.0 * std::log10(d.gain(160.0, kPi)), 5.0, 1.0);
+  EXPECT_NEAR(-20.0 * std::log10(d.gain(8000.0, kPi)), 20.0, 2.0);
+}
+
+TEST(HumanDirectivity, FacingConeIsNearlyFlat) {
+  // Within the +/-30 degree facing zone the gain stays within ~2.5 dB even
+  // at high frequency -- the zone the classifier treats as one class.
+  HumanSpeechDirectivity d;
+  const double g30 = d.gain(8000.0, kPi / 6.0);
+  EXPECT_GT(g30, std::pow(10.0, -2.5 / 20.0));
+}
+
+TEST(HumanDirectivity, SymmetricInAngleSign) {
+  HumanSpeechDirectivity d;
+  EXPECT_DOUBLE_EQ(d.gain(2000.0, 0.7), d.gain(2000.0, -0.7));
+}
+
+TEST(HumanDirectivity, StrengthParameterScalesAttenuation) {
+  HumanSpeechDirectivity weak(0.5), strong(2.0);
+  EXPECT_GT(weak.gain(4000.0, kPi), strong.gain(4000.0, kPi));
+}
+
+TEST(LoudspeakerDirectivity, OmniAtLowFrequencyBeamsAtHigh) {
+  LoudspeakerDirectivity d(0.04);
+  // 100 Hz: ka << 1, nearly omni at 90 degrees.
+  EXPECT_GT(d.gain(100.0, kPi / 2.0), 0.9);
+  // 8 kHz: strong beaming off-axis.
+  EXPECT_LT(d.gain(8000.0, kPi / 2.0), 0.5);
+}
+
+TEST(LoudspeakerDirectivity, FlooredSoReflectionsSurvive) {
+  LoudspeakerDirectivity d(0.06);
+  for (double f : {1000.0, 4000.0, 12000.0}) {
+    for (double a = 0.0; a <= kPi; a += kPi / 7.0) {
+      EXPECT_GE(d.gain(f, a), 0.05);
+      EXPECT_LE(d.gain(f, a), 1.0);
+    }
+  }
+}
+
+TEST(Omnidirectional, AlwaysUnity) {
+  OmnidirectionalDirectivity d;
+  EXPECT_DOUBLE_EQ(d.gain(100.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.gain(16000.0, kPi), 1.0);
+}
+
+TEST(Directivity, BandGainsHelper) {
+  HumanSpeechDirectivity d;
+  const std::array<double, 3> centers{250.0, 1000.0, 4000.0};
+  const auto gains = d.band_gains(centers, kPi / 2.0);
+  ASSERT_EQ(gains.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(gains[i], d.gain(centers[i], kPi / 2.0));
+  }
+}
+
+}  // namespace
+}  // namespace headtalk::speech

@@ -1,0 +1,99 @@
+#include "speech/loudspeaker.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/gain.h"
+#include "dsp/fft.h"
+#include "dsp/spectral.h"
+#include "speech/synthesizer.h"
+
+namespace headtalk::speech {
+namespace {
+
+audio::Buffer live_utterance() {
+  std::mt19937 rng(42);
+  const auto profile = SpeakerProfile::random(rng);
+  return synthesize_wake_word(WakeWord::kComputer, profile, 1);
+}
+
+double high_band_fraction(const audio::Buffer& x) {
+  const std::size_t n = dsp::next_pow2(x.size());
+  const auto mag = dsp::magnitude_spectrum(x.samples(), n);
+  const double high = dsp::band_energy(mag, n, x.sample_rate(), 4000.0, 12000.0);
+  const double total = dsp::band_energy(mag, n, x.sample_rate(), 100.0, 12000.0);
+  return high / total;
+}
+
+TEST(LoudspeakerModel, FactoryParametersAreOrdered) {
+  const auto sony = LoudspeakerModel::high_end();
+  const auto phone = LoudspeakerModel::smartphone();
+  // A phone speaker is smaller, more band-limited, and more distorted.
+  EXPECT_GT(phone.low_cutoff_hz, sony.low_cutoff_hz);
+  EXPECT_LT(phone.high_cutoff_hz, sony.high_cutoff_hz);
+  EXPECT_GT(phone.drive, sony.drive);
+  EXPECT_LT(phone.diaphragm_radius_m, sony.diaphragm_radius_m);
+}
+
+TEST(Replay, PreservesLengthRateAndPeak) {
+  const auto live = live_utterance();
+  const auto replayed = replay_through(live, LoudspeakerModel::high_end(), 3);
+  EXPECT_EQ(replayed.size(), live.size());
+  EXPECT_DOUBLE_EQ(replayed.sample_rate(), live.sample_rate());
+  EXPECT_NEAR(audio::peak(replayed.samples()), audio::peak(live.samples()), 1e-9);
+}
+
+TEST(Replay, RemovesHighBandEnergy) {
+  // The Fig. 3 signature: replay attenuates the genuine > 4 kHz content.
+  const auto live = live_utterance();
+  const double live_hf = high_band_fraction(live);
+  for (const auto& model : {LoudspeakerModel::high_end(), LoudspeakerModel::smartphone(),
+                            LoudspeakerModel::television()}) {
+    const auto replayed = replay_through(live, model, 3);
+    EXPECT_LT(high_band_fraction(replayed), 0.6 * live_hf) << model.name;
+  }
+}
+
+TEST(Replay, SmartphoneCutsBassMoreThanHighEnd) {
+  const auto live = live_utterance();
+  const auto sony = replay_through(live, LoudspeakerModel::high_end(), 3);
+  const auto phone = replay_through(live, LoudspeakerModel::smartphone(), 3);
+  auto low_fraction = [](const audio::Buffer& x) {
+    const std::size_t n = dsp::next_pow2(x.size());
+    const auto mag = dsp::magnitude_spectrum(x.samples(), n);
+    return dsp::band_energy(mag, n, 48000.0, 100.0, 300.0) /
+           dsp::band_energy(mag, n, 48000.0, 100.0, 12000.0);
+  };
+  EXPECT_LT(low_fraction(phone), low_fraction(sony));
+}
+
+TEST(Replay, HighBandDecaysFasterThanLive) {
+  // Fig. 3: live speech keeps genuine energy into the high band while the
+  // replayed spectrum collapses past the speaker's treble corner, so the
+  // replayed 4-12 kHz slope is distinctly more negative.
+  const auto live = live_utterance();
+  const auto replayed = replay_through(live, LoudspeakerModel::smartphone(), 3);
+  const std::size_t nl = dsp::next_pow2(live.size());
+  const std::size_t nr = dsp::next_pow2(replayed.size());
+  const auto ml = dsp::magnitude_spectrum(live.samples(), nl);
+  const auto mr = dsp::magnitude_spectrum(replayed.samples(), nr);
+  const double slope_live = dsp::spectral_slope_db_per_khz(ml, nl, 48000.0, 4000.0, 12000.0);
+  const double slope_replay = dsp::spectral_slope_db_per_khz(mr, nr, 48000.0, 4000.0, 12000.0);
+  EXPECT_LT(slope_replay, slope_live - 0.5);
+}
+
+TEST(Replay, DeterministicInSeed) {
+  const auto live = live_utterance();
+  const auto a = replay_through(live, LoudspeakerModel::television(), 9);
+  const auto b = replay_through(live, LoudspeakerModel::television(), 9);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Replay, SilentInputStaysQuiet) {
+  audio::Buffer silent(4800, 48000.0);
+  const auto replayed = replay_through(silent, LoudspeakerModel::high_end(), 1);
+  // Only the noise floor remains; original peak was 0 so no renormalization.
+  EXPECT_LT(audio::rms(replayed.samples()), 0.01);
+}
+
+}  // namespace
+}  // namespace headtalk::speech

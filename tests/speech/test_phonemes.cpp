@@ -1,0 +1,78 @@
+#include "speech/phonemes.h"
+
+#include <gtest/gtest.h>
+
+namespace headtalk::speech {
+namespace {
+
+TEST(Phonemes, LookupKnownSymbols) {
+  EXPECT_EQ(phoneme("AA").type, PhonemeType::kVowel);
+  EXPECT_TRUE(phoneme("AA").voiced);
+  EXPECT_EQ(phoneme("S").type, PhonemeType::kVoicelessFricative);
+  EXPECT_FALSE(phoneme("S").voiced);
+  EXPECT_EQ(phoneme("Z").type, PhonemeType::kVoicedFricative);
+  EXPECT_TRUE(phoneme("Z").voiced);
+  EXPECT_EQ(phoneme("T").type, PhonemeType::kPlosive);
+  EXPECT_EQ(phoneme("M").type, PhonemeType::kNasal);
+  EXPECT_EQ(phoneme("SIL").type, PhonemeType::kSilence);
+}
+
+TEST(Phonemes, UnknownSymbolThrows) {
+  EXPECT_THROW((void)phoneme("XX"), std::out_of_range);
+  EXPECT_THROW((void)phoneme(""), std::out_of_range);
+}
+
+TEST(Phonemes, VowelFormantsAscend) {
+  for (const char* v : {"AA", "AE", "IY", "UW", "EY", "ER"}) {
+    const auto& p = phoneme(v);
+    EXPECT_LT(p.formants[0], p.formants[1]) << v;
+    EXPECT_LT(p.formants[1], p.formants[2]) << v;
+    EXPECT_LT(p.formants[2], p.formants[3]) << v;
+  }
+}
+
+TEST(Phonemes, SibilantsHaveHighFrequencyNoise) {
+  // /s/ and /z/ carry the > 4 kHz energy central to liveness detection.
+  EXPECT_GT(phoneme("S").noise_center_hz, 4000.0);
+  EXPECT_GT(phoneme("Z").noise_center_hz, 4000.0);
+}
+
+TEST(WakeWords, NamesMatchPaper) {
+  EXPECT_EQ(wake_word_name(WakeWord::kComputer), "Computer");
+  EXPECT_EQ(wake_word_name(WakeWord::kAmazon), "Amazon");
+  EXPECT_EQ(wake_word_name(WakeWord::kHeyAssistant), "Hey Assistant!");
+  EXPECT_EQ(all_wake_words().size(), 3u);
+}
+
+TEST(WakeWords, ScriptsAreNonTrivial) {
+  for (WakeWord w : all_wake_words()) {
+    const auto script = wake_word_script(w);
+    EXPECT_GE(script.size(), 6u) << wake_word_name(w);
+    bool has_voiced = false;
+    for (const auto& p : script) has_voiced |= p.voiced;
+    EXPECT_TRUE(has_voiced) << wake_word_name(w);
+  }
+}
+
+TEST(WakeWords, EveryWakeWordHasHighFrequencyContent) {
+  // Each word needs at least one fricative or stop burst above 2 kHz so
+  // that live utterances carry the Fig. 3 high-band signature.
+  for (WakeWord w : all_wake_words()) {
+    const auto script = wake_word_script(w);
+    bool has_hf = false;
+    for (const auto& p : script) has_hf |= p.noise_center_hz > 2000.0;
+    EXPECT_TRUE(has_hf) << wake_word_name(w);
+  }
+}
+
+TEST(WakeWords, HeyAssistantIsLongest) {
+  // "Hey Assistant!" is a two-word phrase; its script must be the longest.
+  const auto computer = wake_word_script(WakeWord::kComputer).size();
+  const auto amazon = wake_word_script(WakeWord::kAmazon).size();
+  const auto hey = wake_word_script(WakeWord::kHeyAssistant).size();
+  EXPECT_GT(hey, computer);
+  EXPECT_GT(hey, amazon);
+}
+
+}  // namespace
+}  // namespace headtalk::speech

@@ -1,0 +1,77 @@
+#include "speech/speaker_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace headtalk::speech {
+namespace {
+
+TEST(SpeakerProfile, RandomIsDeterministicInRngState) {
+  std::mt19937 a(123), b(123);
+  const auto pa = SpeakerProfile::random(a);
+  const auto pb = SpeakerProfile::random(b);
+  EXPECT_DOUBLE_EQ(pa.f0_hz, pb.f0_hz);
+  EXPECT_DOUBLE_EQ(pa.formant_scale, pb.formant_scale);
+  EXPECT_DOUBLE_EQ(pa.rate_scale, pb.rate_scale);
+}
+
+TEST(SpeakerProfile, DifferentSeedsDiffer) {
+  std::mt19937 a(1), b(2);
+  const auto pa = SpeakerProfile::random(a);
+  const auto pb = SpeakerProfile::random(b);
+  EXPECT_NE(pa.f0_hz, pb.f0_hz);
+}
+
+TEST(SpeakerProfile, RandomStaysInPlausibleAdultRanges) {
+  std::mt19937 rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = SpeakerProfile::random(rng);
+    EXPECT_GE(p.f0_hz, 90.0);
+    EXPECT_LE(p.f0_hz, 245.0);
+    EXPECT_GE(p.formant_scale, 0.8);
+    EXPECT_LE(p.formant_scale, 1.1);
+    EXPECT_GT(p.rate_scale, 0.8);
+    EXPECT_LT(p.rate_scale, 1.2);
+    EXPECT_GT(p.jitter, 0.0);
+    EXPECT_GT(p.shimmer, 0.0);
+  }
+}
+
+TEST(SpeakerProfile, DriftIsSmallForOneDay) {
+  std::mt19937 rng(5);
+  const auto base = SpeakerProfile::random(rng);
+  std::mt19937 drift_rng(6);
+  const auto day = base.drifted(1.0, drift_rng);
+  EXPECT_NEAR(day.f0_hz, base.f0_hz, base.f0_hz * 0.15);
+  EXPECT_NEAR(day.formant_scale, base.formant_scale, base.formant_scale * 0.06);
+}
+
+TEST(SpeakerProfile, DriftGrowsSubLinearly) {
+  // The drift scale at 30 days must be < 5x the scale at 1 day (log growth),
+  // checked statistically over many draws.
+  std::mt19937 rng(7);
+  const auto base = SpeakerProfile::random(rng);
+  double acc_day = 0.0, acc_month = 0.0;
+  for (unsigned i = 0; i < 300; ++i) {
+    std::mt19937 r1(100 + i), r30(100 + i);
+    acc_day += std::abs(base.drifted(1.0, r1).f0_hz - base.f0_hz);
+    acc_month += std::abs(base.drifted(30.0, r30).f0_hz - base.f0_hz);
+  }
+  EXPECT_GT(acc_month, acc_day);          // more drift after a month...
+  EXPECT_LT(acc_month, 5.0 * acc_day);    // ...but far from linear growth
+}
+
+TEST(SpeakerProfile, DriftKeepsParametersBounded) {
+  std::mt19937 rng(8);
+  const auto base = SpeakerProfile::random(rng);
+  for (unsigned i = 0; i < 100; ++i) {
+    std::mt19937 r(i);
+    const auto d = base.drifted(30.0, r);
+    EXPECT_GE(d.breathiness, 0.01);
+    EXPECT_LE(d.breathiness, 0.3);
+    EXPECT_GE(d.fricative_gain, 0.5);
+    EXPECT_LE(d.fricative_gain, 1.6);
+  }
+}
+
+}  // namespace
+}  // namespace headtalk::speech

@@ -1,0 +1,125 @@
+#include "speech/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/gain.h"
+#include "dsp/fft.h"
+#include "dsp/spectral.h"
+
+namespace headtalk::speech {
+namespace {
+
+SpeakerProfile test_profile() {
+  std::mt19937 rng(42);
+  return SpeakerProfile::random(rng);
+}
+
+TEST(Synthesizer, ProducesNonSilentAudioAtConfiguredRate) {
+  const auto x = synthesize_wake_word(WakeWord::kComputer, test_profile(), 1);
+  EXPECT_GT(x.size(), 10000u);
+  EXPECT_DOUBLE_EQ(x.sample_rate(), audio::kDefaultSampleRate);
+  EXPECT_GT(audio::rms(x.samples()), 0.01);
+}
+
+TEST(Synthesizer, PeakNormalized) {
+  SynthesisConfig cfg;
+  cfg.peak = 0.9;
+  const auto x = synthesize_wake_word(WakeWord::kAmazon, test_profile(), 1, cfg);
+  EXPECT_NEAR(audio::peak(x.samples()), 0.9, 1e-9);
+}
+
+TEST(Synthesizer, DeterministicInSeed) {
+  const auto a = synthesize_wake_word(WakeWord::kComputer, test_profile(), 7);
+  const auto b = synthesize_wake_word(WakeWord::kComputer, test_profile(), 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Synthesizer, DifferentSeedsGiveDifferentRenditions) {
+  const auto a = synthesize_wake_word(WakeWord::kComputer, test_profile(), 1);
+  const auto b = synthesize_wake_word(WakeWord::kComputer, test_profile(), 2);
+  // Durations jitter, so sizes usually differ; if not, samples must.
+  if (a.size() == b.size()) {
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+    EXPECT_GT(diff, 1.0);
+  } else {
+    SUCCEED();
+  }
+}
+
+TEST(Synthesizer, EmptyScriptGivesShortSilence) {
+  const auto x = synthesize({}, test_profile(), 1);
+  EXPECT_GT(x.size(), 0u);  // padding only
+  EXPECT_DOUBLE_EQ(audio::rms(x.samples()), 0.0);
+}
+
+TEST(Synthesizer, SpeechBandDominates) {
+  // Most energy must lie in the usable voice band (100 Hz - 4 kHz).
+  const auto x = synthesize_wake_word(WakeWord::kComputer, test_profile(), 3);
+  const std::size_t n = dsp::next_pow2(x.size());
+  const auto mag = dsp::magnitude_spectrum(x.samples(), n);
+  const double voice = dsp::band_energy(mag, n, 48000.0, 100.0, 4000.0);
+  const double above = dsp::band_energy(mag, n, 48000.0, 4000.0, 20000.0);
+  const double below = dsp::band_energy(mag, n, 48000.0, 10.0, 100.0);
+  EXPECT_GT(voice, above);
+  EXPECT_GT(voice, 10.0 * below);
+}
+
+TEST(Synthesizer, LiveSpeechHasGenuineHighBandContent) {
+  // The Fig. 3 signature: live human speech carries real > 4 kHz energy
+  // (fricatives, stop bursts) -- a meaningful fraction of the total.
+  const auto x = synthesize_wake_word(WakeWord::kComputer, test_profile(), 4);
+  const std::size_t n = dsp::next_pow2(x.size());
+  const auto mag = dsp::magnitude_spectrum(x.samples(), n);
+  const double high = dsp::band_energy(mag, n, 48000.0, 4000.0, 12000.0);
+  const double total = dsp::band_energy(mag, n, 48000.0, 100.0, 12000.0);
+  EXPECT_GT(high / total, 0.005);
+}
+
+TEST(Synthesizer, FasterRateShortensUtterance) {
+  auto slow_profile = test_profile();
+  auto fast_profile = slow_profile;
+  slow_profile.rate_scale = 0.85;
+  fast_profile.rate_scale = 1.15;
+  const auto slow = synthesize_wake_word(WakeWord::kComputer, slow_profile, 5);
+  const auto fast = synthesize_wake_word(WakeWord::kComputer, fast_profile, 5);
+  EXPECT_GT(slow.size(), fast.size());
+}
+
+TEST(Synthesizer, HigherPitchRaisesF0Band) {
+  auto low = test_profile();
+  low.f0_hz = 100.0;
+  auto high = low;
+  high.f0_hz = 220.0;
+  const auto xl = synthesize_wake_word(WakeWord::kAmazon, low, 6);
+  const auto xh = synthesize_wake_word(WakeWord::kAmazon, high, 6);
+  const std::size_t nl = dsp::next_pow2(xl.size());
+  const std::size_t nh = dsp::next_pow2(xh.size());
+  const auto ml = dsp::magnitude_spectrum(xl.samples(), nl);
+  const auto mh = dsp::magnitude_spectrum(xh.samples(), nh);
+  // Energy near 100 Hz relative to near 220 Hz flips between the voices.
+  const double l_ratio = dsp::band_energy(ml, nl, 48000.0, 85.0, 130.0) /
+                         (dsp::band_energy(ml, nl, 48000.0, 190.0, 260.0) + 1e-12);
+  const double h_ratio = dsp::band_energy(mh, nh, 48000.0, 85.0, 130.0) /
+                         (dsp::band_energy(mh, nh, 48000.0, 190.0, 260.0) + 1e-12);
+  EXPECT_GT(l_ratio, h_ratio);
+}
+
+class WakeWordRenderTest : public ::testing::TestWithParam<WakeWord> {};
+
+TEST_P(WakeWordRenderTest, EveryWakeWordRendersCleanly) {
+  const auto x = synthesize_wake_word(GetParam(), test_profile(), 11);
+  EXPECT_GT(audio::rms(x.samples()), 0.005);
+  for (audio::Sample s : x.samples()) {
+    ASSERT_TRUE(std::isfinite(s));
+    ASSERT_LE(std::abs(s), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWords, WakeWordRenderTest,
+                         ::testing::Values(WakeWord::kComputer, WakeWord::kAmazon,
+                                           WakeWord::kHeyAssistant));
+
+}  // namespace
+}  // namespace headtalk::speech

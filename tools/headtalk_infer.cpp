@@ -1,0 +1,77 @@
+// headtalk_infer — runs trained HeadTalk models on a WAV capture.
+//
+//   headtalk_infer --models models --wav corpus/lab_D2_live_M3_a+000_s0_r0_u0.wav
+//
+// Prints the liveness score, the orientation verdict, and the decision the
+// pipeline would take in HeadTalk mode.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "audio/wav_io.h"
+#include "cli/args.h"
+#include "cli/names.h"
+#include "core/liveness_detector.h"
+#include "core/liveness_features.h"
+#include "core/orientation_classifier.h"
+#include "core/orientation_features.h"
+#include "core/preprocess.h"
+
+using namespace headtalk;
+
+int main(int argc, char** argv) {
+  cli::ArgParser args("headtalk_infer", "classify a wake-word WAV with trained models");
+  args.add_flag("--models", "directory containing orientation.htm / liveness.htm");
+  args.add_flag("--wav", "multichannel capture to classify");
+  args.add_flag("--device", "device the capture came from (aperture): D1|D2|D3", "D2");
+
+  try {
+    args.parse(argc, argv);
+    if (args.help_requested()) {
+      std::fputs(args.usage().c_str(), stdout);
+      return 0;
+    }
+
+    const std::filesystem::path model_dir = args.get("--models");
+    core::OrientationClassifier orientation = [&] {
+      std::ifstream in(model_dir / "orientation.htm", std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open orientation.htm");
+      return core::OrientationClassifier::load(in);
+    }();
+    core::LivenessDetector liveness = [&] {
+      std::ifstream in(model_dir / "liveness.htm", std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open liveness.htm");
+      return core::LivenessDetector::load(in);
+    }();
+
+    const auto raw = audio::read_wav(args.get("--wav"));
+    const auto clean = core::preprocess(raw);
+    std::printf("capture: %zu channels, %.0f ms after trimming\n", clean.channel_count(),
+                1000.0 * static_cast<double>(clean.frames()) / clean.sample_rate());
+
+    core::LivenessFeatureExtractor liveness_features;
+    const double live_score = liveness.score(liveness_features.extract(clean.channel(0)));
+    const bool live = live_score >= liveness.config().threshold;
+    std::printf("liveness:    score %.3f -> %s\n", live_score,
+                live ? "live human" : "mechanical speaker");
+
+    const auto device = room::DeviceSpec::get(cli::parse_device(args.get("--device")));
+    core::OrientationFeatureConfig config;
+    config.max_mic_distance_m = device.max_pair_distance(device.default_channels);
+    const core::OrientationFeatureExtractor extractor(config);
+    const auto features = extractor.extract(clean);
+    const double orient_score = orientation.score(features);
+    const bool facing = orientation.is_facing(features);
+    std::printf("orientation: score %+.3f -> %s\n", orient_score,
+                facing ? "facing" : "not facing");
+
+    const char* decision = !live          ? "rejected-replay"
+                           : facing       ? "ACCEPTED"
+                                          : "rejected-not-facing";
+    std::printf("headtalk decision: %s\n", decision);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.what(), args.usage().c_str());
+    return 1;
+  }
+}
