@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_directivity"
+  "../bench/bench_ablation_directivity.pdb"
+  "CMakeFiles/bench_ablation_directivity.dir/bench_ablation_directivity.cpp.o"
+  "CMakeFiles/bench_ablation_directivity.dir/bench_ablation_directivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_directivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

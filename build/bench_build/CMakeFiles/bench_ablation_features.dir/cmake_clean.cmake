@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_features"
+  "../bench/bench_ablation_features.pdb"
+  "CMakeFiles/bench_ablation_features.dir/bench_ablation_features.cpp.o"
+  "CMakeFiles/bench_ablation_features.dir/bench_ablation_features.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

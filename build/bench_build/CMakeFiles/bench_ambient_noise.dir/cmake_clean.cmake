@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ambient_noise"
+  "../bench/bench_ambient_noise.pdb"
+  "CMakeFiles/bench_ambient_noise.dir/bench_ambient_noise.cpp.o"
+  "CMakeFiles/bench_ambient_noise.dir/bench_ambient_noise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ambient_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cross_environment"
+  "../bench/bench_cross_environment.pdb"
+  "CMakeFiles/bench_cross_environment.dir/bench_cross_environment.cpp.o"
+  "CMakeFiles/bench_cross_environment.dir/bench_cross_environment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cross_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_per_angle"
+  "../bench/bench_fig10_per_angle.pdb"
+  "CMakeFiles/bench_fig10_per_angle.dir/bench_fig10_per_angle.cpp.o"
+  "CMakeFiles/bench_fig10_per_angle.dir/bench_fig10_per_angle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_per_angle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

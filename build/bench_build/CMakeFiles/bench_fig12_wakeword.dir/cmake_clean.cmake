@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_wakeword"
+  "../bench/bench_fig12_wakeword.pdb"
+  "CMakeFiles/bench_fig12_wakeword.dir/bench_fig12_wakeword.cpp.o"
+  "CMakeFiles/bench_fig12_wakeword.dir/bench_fig12_wakeword.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_wakeword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

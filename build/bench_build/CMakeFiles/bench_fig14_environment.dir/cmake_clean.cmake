@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_environment"
+  "../bench/bench_fig14_environment.pdb"
+  "CMakeFiles/bench_fig14_environment.dir/bench_fig14_environment.cpp.o"
+  "CMakeFiles/bench_fig14_environment.dir/bench_fig14_environment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_cross_user"
+  "../bench/bench_fig16_cross_user.pdb"
+  "CMakeFiles/bench_fig16_cross_user.dir/bench_fig16_cross_user.cpp.o"
+  "CMakeFiles/bench_fig16_cross_user.dir/bench_fig16_cross_user.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cross_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_spectra"
+  "../bench/bench_fig3_spectra.pdb"
+  "CMakeFiles/bench_fig3_spectra.dir/bench_fig3_spectra.cpp.o"
+  "CMakeFiles/bench_fig3_spectra.dir/bench_fig3_spectra.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_forward_backward"
+  "../bench/bench_fig5_forward_backward.pdb"
+  "CMakeFiles/bench_fig5_forward_backward.dir/bench_fig5_forward_backward.cpp.o"
+  "CMakeFiles/bench_fig5_forward_backward.dir/bench_fig5_forward_backward.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_forward_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_gcc_srp"
+  "../bench/bench_fig6_gcc_srp.pdb"
+  "CMakeFiles/bench_fig6_gcc_srp.dir/bench_fig6_gcc_srp.cpp.o"
+  "CMakeFiles/bench_fig6_gcc_srp.dir/bench_fig6_gcc_srp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gcc_srp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

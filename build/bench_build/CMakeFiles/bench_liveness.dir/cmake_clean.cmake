@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_liveness"
+  "../bench/bench_liveness.pdb"
+  "CMakeFiles/bench_liveness.dir/bench_liveness.cpp.o"
+  "CMakeFiles/bench_liveness.dir/bench_liveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

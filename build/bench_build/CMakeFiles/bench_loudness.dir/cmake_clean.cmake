@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_loudness"
+  "../bench/bench_loudness.pdb"
+  "CMakeFiles/bench_loudness.dir/bench_loudness.cpp.o"
+  "CMakeFiles/bench_loudness.dir/bench_loudness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loudness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

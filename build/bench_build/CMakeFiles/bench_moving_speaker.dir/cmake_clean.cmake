@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_moving_speaker"
+  "../bench/bench_moving_speaker.pdb"
+  "CMakeFiles/bench_moving_speaker.dir/bench_moving_speaker.cpp.o"
+  "CMakeFiles/bench_moving_speaker.dir/bench_moving_speaker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moving_speaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

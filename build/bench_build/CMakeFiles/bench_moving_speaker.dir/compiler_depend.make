@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_moving_speaker.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sitting"
+  "../bench/bench_sitting.pdb"
+  "CMakeFiles/bench_sitting.dir/bench_sitting.cpp.o"
+  "CMakeFiles/bench_sitting.dir/bench_sitting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_surrounding_objects"
+  "../bench/bench_surrounding_objects.pdb"
+  "CMakeFiles/bench_surrounding_objects.dir/bench_surrounding_objects.cpp.o"
+  "CMakeFiles/bench_surrounding_objects.dir/bench_surrounding_objects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_surrounding_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_definitions"
+  "../bench/bench_table3_definitions.pdb"
+  "CMakeFiles/bench_table3_definitions.dir/bench_table3_definitions.cpp.o"
+  "CMakeFiles/bench_table3_definitions.dir/bench_table3_definitions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_definitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

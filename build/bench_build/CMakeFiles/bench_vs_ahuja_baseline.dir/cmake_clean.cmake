@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vs_ahuja_baseline"
+  "../bench/bench_vs_ahuja_baseline.pdb"
+  "CMakeFiles/bench_vs_ahuja_baseline.dir/bench_vs_ahuja_baseline.cpp.o"
+  "CMakeFiles/bench_vs_ahuja_baseline.dir/bench_vs_ahuja_baseline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_ahuja_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

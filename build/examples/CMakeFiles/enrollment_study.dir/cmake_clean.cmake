@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enrollment_study.dir/enrollment_study.cpp.o"
+  "CMakeFiles/enrollment_study.dir/enrollment_study.cpp.o.d"
+  "enrollment_study"
+  "enrollment_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enrollment_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

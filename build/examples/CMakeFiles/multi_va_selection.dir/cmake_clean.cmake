@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_va_selection.dir/multi_va_selection.cpp.o"
+  "CMakeFiles/multi_va_selection.dir/multi_va_selection.cpp.o.d"
+  "multi_va_selection"
+  "multi_va_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_va_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

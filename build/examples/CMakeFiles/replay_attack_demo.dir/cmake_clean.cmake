@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_attack_demo.dir/replay_attack_demo.cpp.o"
+  "CMakeFiles/replay_attack_demo.dir/replay_attack_demo.cpp.o.d"
+  "replay_attack_demo"
+  "replay_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

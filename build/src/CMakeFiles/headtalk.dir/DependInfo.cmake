@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/gain.cpp" "src/CMakeFiles/headtalk.dir/audio/gain.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/audio/gain.cpp.o.d"
+  "/root/repo/src/audio/resample.cpp" "src/CMakeFiles/headtalk.dir/audio/resample.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/audio/resample.cpp.o.d"
+  "/root/repo/src/audio/sample_buffer.cpp" "src/CMakeFiles/headtalk.dir/audio/sample_buffer.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/audio/sample_buffer.cpp.o.d"
+  "/root/repo/src/audio/wav_io.cpp" "src/CMakeFiles/headtalk.dir/audio/wav_io.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/audio/wav_io.cpp.o.d"
+  "/root/repo/src/baseline/dov.cpp" "src/CMakeFiles/headtalk.dir/baseline/dov.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/baseline/dov.cpp.o.d"
+  "/root/repo/src/baseline/void.cpp" "src/CMakeFiles/headtalk.dir/baseline/void.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/baseline/void.cpp.o.d"
+  "/root/repo/src/cli/args.cpp" "src/CMakeFiles/headtalk.dir/cli/args.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/cli/args.cpp.o.d"
+  "/root/repo/src/cli/names.cpp" "src/CMakeFiles/headtalk.dir/cli/names.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/cli/names.cpp.o.d"
+  "/root/repo/src/core/facing.cpp" "src/CMakeFiles/headtalk.dir/core/facing.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/core/facing.cpp.o.d"
+  "/root/repo/src/core/liveness_detector.cpp" "src/CMakeFiles/headtalk.dir/core/liveness_detector.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/core/liveness_detector.cpp.o.d"
+  "/root/repo/src/core/liveness_features.cpp" "src/CMakeFiles/headtalk.dir/core/liveness_features.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/core/liveness_features.cpp.o.d"
+  "/root/repo/src/core/orientation_classifier.cpp" "src/CMakeFiles/headtalk.dir/core/orientation_classifier.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/core/orientation_classifier.cpp.o.d"
+  "/root/repo/src/core/orientation_features.cpp" "src/CMakeFiles/headtalk.dir/core/orientation_features.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/core/orientation_features.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/headtalk.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/CMakeFiles/headtalk.dir/core/preprocess.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/core/preprocess.cpp.o.d"
+  "/root/repo/src/dsp/biquad.cpp" "src/CMakeFiles/headtalk.dir/dsp/biquad.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/dsp/biquad.cpp.o.d"
+  "/root/repo/src/dsp/convolve.cpp" "src/CMakeFiles/headtalk.dir/dsp/convolve.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/dsp/convolve.cpp.o.d"
+  "/root/repo/src/dsp/correlation.cpp" "src/CMakeFiles/headtalk.dir/dsp/correlation.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/dsp/correlation.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/headtalk.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/fractional_delay.cpp" "src/CMakeFiles/headtalk.dir/dsp/fractional_delay.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/dsp/fractional_delay.cpp.o.d"
+  "/root/repo/src/dsp/spectral.cpp" "src/CMakeFiles/headtalk.dir/dsp/spectral.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/dsp/spectral.cpp.o.d"
+  "/root/repo/src/dsp/srp.cpp" "src/CMakeFiles/headtalk.dir/dsp/srp.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/dsp/srp.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/CMakeFiles/headtalk.dir/dsp/stats.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/dsp/stats.cpp.o.d"
+  "/root/repo/src/dsp/stft.cpp" "src/CMakeFiles/headtalk.dir/dsp/stft.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/dsp/stft.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/CMakeFiles/headtalk.dir/dsp/window.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/dsp/window.cpp.o.d"
+  "/root/repo/src/ml/classifier.cpp" "src/CMakeFiles/headtalk.dir/ml/classifier.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/classifier.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/headtalk.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/CMakeFiles/headtalk.dir/ml/forest.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/forest.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/CMakeFiles/headtalk.dir/ml/grid_search.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/grid_search.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/headtalk.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/headtalk.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/CMakeFiles/headtalk.dir/ml/mlp.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/sampling.cpp" "src/CMakeFiles/headtalk.dir/ml/sampling.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/sampling.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/CMakeFiles/headtalk.dir/ml/scaler.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/scaler.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/CMakeFiles/headtalk.dir/ml/serialize.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/serialize.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/CMakeFiles/headtalk.dir/ml/svm.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/svm.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/CMakeFiles/headtalk.dir/ml/tree.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/ml/tree.cpp.o.d"
+  "/root/repo/src/room/image_source.cpp" "src/CMakeFiles/headtalk.dir/room/image_source.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/room/image_source.cpp.o.d"
+  "/root/repo/src/room/material.cpp" "src/CMakeFiles/headtalk.dir/room/material.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/room/material.cpp.o.d"
+  "/root/repo/src/room/mic_array.cpp" "src/CMakeFiles/headtalk.dir/room/mic_array.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/room/mic_array.cpp.o.d"
+  "/root/repo/src/room/noise.cpp" "src/CMakeFiles/headtalk.dir/room/noise.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/room/noise.cpp.o.d"
+  "/root/repo/src/room/room.cpp" "src/CMakeFiles/headtalk.dir/room/room.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/room/room.cpp.o.d"
+  "/root/repo/src/room/scene.cpp" "src/CMakeFiles/headtalk.dir/room/scene.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/room/scene.cpp.o.d"
+  "/root/repo/src/sim/collector.cpp" "src/CMakeFiles/headtalk.dir/sim/collector.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/sim/collector.cpp.o.d"
+  "/root/repo/src/sim/datasets.cpp" "src/CMakeFiles/headtalk.dir/sim/datasets.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/sim/datasets.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/headtalk.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/feature_cache.cpp" "src/CMakeFiles/headtalk.dir/sim/feature_cache.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/sim/feature_cache.cpp.o.d"
+  "/root/repo/src/sim/protocol.cpp" "src/CMakeFiles/headtalk.dir/sim/protocol.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/sim/protocol.cpp.o.d"
+  "/root/repo/src/sim/spec.cpp" "src/CMakeFiles/headtalk.dir/sim/spec.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/sim/spec.cpp.o.d"
+  "/root/repo/src/speech/directivity.cpp" "src/CMakeFiles/headtalk.dir/speech/directivity.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/speech/directivity.cpp.o.d"
+  "/root/repo/src/speech/loudspeaker.cpp" "src/CMakeFiles/headtalk.dir/speech/loudspeaker.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/speech/loudspeaker.cpp.o.d"
+  "/root/repo/src/speech/phonemes.cpp" "src/CMakeFiles/headtalk.dir/speech/phonemes.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/speech/phonemes.cpp.o.d"
+  "/root/repo/src/speech/speaker_profile.cpp" "src/CMakeFiles/headtalk.dir/speech/speaker_profile.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/speech/speaker_profile.cpp.o.d"
+  "/root/repo/src/speech/synthesizer.cpp" "src/CMakeFiles/headtalk.dir/speech/synthesizer.cpp.o" "gcc" "src/CMakeFiles/headtalk.dir/speech/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("audio")
+subdirs("dsp")
+subdirs("speech")
+subdirs("room")
+subdirs("ml")
+subdirs("core")
+subdirs("sim")
+subdirs("baseline")
+subdirs("cli")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/audio/test_gain.cpp" "tests/CMakeFiles/tests_audio.dir/audio/test_gain.cpp.o" "gcc" "tests/CMakeFiles/tests_audio.dir/audio/test_gain.cpp.o.d"
+  "/root/repo/tests/audio/test_resample.cpp" "tests/CMakeFiles/tests_audio.dir/audio/test_resample.cpp.o" "gcc" "tests/CMakeFiles/tests_audio.dir/audio/test_resample.cpp.o.d"
+  "/root/repo/tests/audio/test_sample_buffer.cpp" "tests/CMakeFiles/tests_audio.dir/audio/test_sample_buffer.cpp.o" "gcc" "tests/CMakeFiles/tests_audio.dir/audio/test_sample_buffer.cpp.o.d"
+  "/root/repo/tests/audio/test_wav_io.cpp" "tests/CMakeFiles/tests_audio.dir/audio/test_wav_io.cpp.o" "gcc" "tests/CMakeFiles/tests_audio.dir/audio/test_wav_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/headtalk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_audio.dir/audio/test_gain.cpp.o"
+  "CMakeFiles/tests_audio.dir/audio/test_gain.cpp.o.d"
+  "CMakeFiles/tests_audio.dir/audio/test_resample.cpp.o"
+  "CMakeFiles/tests_audio.dir/audio/test_resample.cpp.o.d"
+  "CMakeFiles/tests_audio.dir/audio/test_sample_buffer.cpp.o"
+  "CMakeFiles/tests_audio.dir/audio/test_sample_buffer.cpp.o.d"
+  "CMakeFiles/tests_audio.dir/audio/test_wav_io.cpp.o"
+  "CMakeFiles/tests_audio.dir/audio/test_wav_io.cpp.o.d"
+  "tests_audio"
+  "tests_audio.pdb"
+  "tests_audio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_baseline.dir/baseline/test_dov.cpp.o"
+  "CMakeFiles/tests_baseline.dir/baseline/test_dov.cpp.o.d"
+  "CMakeFiles/tests_baseline.dir/baseline/test_void.cpp.o"
+  "CMakeFiles/tests_baseline.dir/baseline/test_void.cpp.o.d"
+  "tests_baseline"
+  "tests_baseline.pdb"
+  "tests_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cli.dir/cli/test_args.cpp.o"
+  "CMakeFiles/tests_cli.dir/cli/test_args.cpp.o.d"
+  "CMakeFiles/tests_cli.dir/cli/test_names.cpp.o"
+  "CMakeFiles/tests_cli.dir/cli/test_names.cpp.o.d"
+  "tests_cli"
+  "tests_cli.pdb"
+  "tests_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_detectors.cpp" "tests/CMakeFiles/tests_core.dir/core/test_detectors.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_detectors.cpp.o.d"
+  "/root/repo/tests/core/test_facing.cpp" "tests/CMakeFiles/tests_core.dir/core/test_facing.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_facing.cpp.o.d"
+  "/root/repo/tests/core/test_liveness_features.cpp" "tests/CMakeFiles/tests_core.dir/core/test_liveness_features.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_liveness_features.cpp.o.d"
+  "/root/repo/tests/core/test_orientation_features.cpp" "tests/CMakeFiles/tests_core.dir/core/test_orientation_features.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_orientation_features.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline.cpp" "tests/CMakeFiles/tests_core.dir/core/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_preprocess.cpp" "tests/CMakeFiles/tests_core.dir/core/test_preprocess.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/test_preprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/headtalk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

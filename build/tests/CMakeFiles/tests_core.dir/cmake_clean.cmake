@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/test_detectors.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_detectors.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_facing.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_facing.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_liveness_features.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_liveness_features.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_orientation_features.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_orientation_features.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_pipeline.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_pipeline.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_preprocess.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_preprocess.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

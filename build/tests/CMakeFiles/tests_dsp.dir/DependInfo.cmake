@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsp/test_biquad.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_biquad.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_biquad.cpp.o.d"
+  "/root/repo/tests/dsp/test_convolve.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_convolve.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_convolve.cpp.o.d"
+  "/root/repo/tests/dsp/test_correlation.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_correlation.cpp.o.d"
+  "/root/repo/tests/dsp/test_fft.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_fft.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_fft.cpp.o.d"
+  "/root/repo/tests/dsp/test_fractional_delay.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_fractional_delay.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_fractional_delay.cpp.o.d"
+  "/root/repo/tests/dsp/test_properties.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_properties.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_properties.cpp.o.d"
+  "/root/repo/tests/dsp/test_spectral.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_spectral.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_spectral.cpp.o.d"
+  "/root/repo/tests/dsp/test_srp.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_srp.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_srp.cpp.o.d"
+  "/root/repo/tests/dsp/test_stats.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_stats.cpp.o.d"
+  "/root/repo/tests/dsp/test_stft.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_stft.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_stft.cpp.o.d"
+  "/root/repo/tests/dsp/test_window.cpp" "tests/CMakeFiles/tests_dsp.dir/dsp/test_window.cpp.o" "gcc" "tests/CMakeFiles/tests_dsp.dir/dsp/test_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/headtalk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_dsp.dir/dsp/test_biquad.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_biquad.cpp.o.d"
+  "CMakeFiles/tests_dsp.dir/dsp/test_convolve.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_convolve.cpp.o.d"
+  "CMakeFiles/tests_dsp.dir/dsp/test_correlation.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_correlation.cpp.o.d"
+  "CMakeFiles/tests_dsp.dir/dsp/test_fft.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_fft.cpp.o.d"
+  "CMakeFiles/tests_dsp.dir/dsp/test_fractional_delay.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_fractional_delay.cpp.o.d"
+  "CMakeFiles/tests_dsp.dir/dsp/test_properties.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_properties.cpp.o.d"
+  "CMakeFiles/tests_dsp.dir/dsp/test_spectral.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_spectral.cpp.o.d"
+  "CMakeFiles/tests_dsp.dir/dsp/test_srp.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_srp.cpp.o.d"
+  "CMakeFiles/tests_dsp.dir/dsp/test_stats.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_stats.cpp.o.d"
+  "CMakeFiles/tests_dsp.dir/dsp/test_stft.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_stft.cpp.o.d"
+  "CMakeFiles/tests_dsp.dir/dsp/test_window.cpp.o"
+  "CMakeFiles/tests_dsp.dir/dsp/test_window.cpp.o.d"
+  "tests_dsp"
+  "tests_dsp.pdb"
+  "tests_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_dataset.cpp" "tests/CMakeFiles/tests_ml.dir/ml/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/test_dataset.cpp.o.d"
+  "/root/repo/tests/ml/test_grid_search.cpp" "tests/CMakeFiles/tests_ml.dir/ml/test_grid_search.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/test_grid_search.cpp.o.d"
+  "/root/repo/tests/ml/test_knn.cpp" "tests/CMakeFiles/tests_ml.dir/ml/test_knn.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/test_knn.cpp.o.d"
+  "/root/repo/tests/ml/test_metrics.cpp" "tests/CMakeFiles/tests_ml.dir/ml/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/test_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_mlp.cpp" "tests/CMakeFiles/tests_ml.dir/ml/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/test_mlp.cpp.o.d"
+  "/root/repo/tests/ml/test_sampling.cpp" "tests/CMakeFiles/tests_ml.dir/ml/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/test_sampling.cpp.o.d"
+  "/root/repo/tests/ml/test_scaler.cpp" "tests/CMakeFiles/tests_ml.dir/ml/test_scaler.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/test_scaler.cpp.o.d"
+  "/root/repo/tests/ml/test_serialize.cpp" "tests/CMakeFiles/tests_ml.dir/ml/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/test_serialize.cpp.o.d"
+  "/root/repo/tests/ml/test_svm.cpp" "tests/CMakeFiles/tests_ml.dir/ml/test_svm.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/test_svm.cpp.o.d"
+  "/root/repo/tests/ml/test_tree_forest.cpp" "tests/CMakeFiles/tests_ml.dir/ml/test_tree_forest.cpp.o" "gcc" "tests/CMakeFiles/tests_ml.dir/ml/test_tree_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/headtalk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ml.dir/ml/test_dataset.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/test_dataset.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/test_grid_search.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/test_grid_search.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/test_knn.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/test_knn.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/test_metrics.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/test_metrics.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/test_mlp.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/test_mlp.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/test_sampling.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/test_sampling.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/test_scaler.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/test_scaler.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/test_serialize.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/test_serialize.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/test_svm.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/test_svm.cpp.o.d"
+  "CMakeFiles/tests_ml.dir/ml/test_tree_forest.cpp.o"
+  "CMakeFiles/tests_ml.dir/ml/test_tree_forest.cpp.o.d"
+  "tests_ml"
+  "tests_ml.pdb"
+  "tests_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

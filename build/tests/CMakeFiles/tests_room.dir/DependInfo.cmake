@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/room/test_geometry.cpp" "tests/CMakeFiles/tests_room.dir/room/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/tests_room.dir/room/test_geometry.cpp.o.d"
+  "/root/repo/tests/room/test_image_source.cpp" "tests/CMakeFiles/tests_room.dir/room/test_image_source.cpp.o" "gcc" "tests/CMakeFiles/tests_room.dir/room/test_image_source.cpp.o.d"
+  "/root/repo/tests/room/test_material_room.cpp" "tests/CMakeFiles/tests_room.dir/room/test_material_room.cpp.o" "gcc" "tests/CMakeFiles/tests_room.dir/room/test_material_room.cpp.o.d"
+  "/root/repo/tests/room/test_mic_array.cpp" "tests/CMakeFiles/tests_room.dir/room/test_mic_array.cpp.o" "gcc" "tests/CMakeFiles/tests_room.dir/room/test_mic_array.cpp.o.d"
+  "/root/repo/tests/room/test_noise.cpp" "tests/CMakeFiles/tests_room.dir/room/test_noise.cpp.o" "gcc" "tests/CMakeFiles/tests_room.dir/room/test_noise.cpp.o.d"
+  "/root/repo/tests/room/test_scene.cpp" "tests/CMakeFiles/tests_room.dir/room/test_scene.cpp.o" "gcc" "tests/CMakeFiles/tests_room.dir/room/test_scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/headtalk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

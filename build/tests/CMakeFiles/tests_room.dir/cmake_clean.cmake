@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_room.dir/room/test_geometry.cpp.o"
+  "CMakeFiles/tests_room.dir/room/test_geometry.cpp.o.d"
+  "CMakeFiles/tests_room.dir/room/test_image_source.cpp.o"
+  "CMakeFiles/tests_room.dir/room/test_image_source.cpp.o.d"
+  "CMakeFiles/tests_room.dir/room/test_material_room.cpp.o"
+  "CMakeFiles/tests_room.dir/room/test_material_room.cpp.o.d"
+  "CMakeFiles/tests_room.dir/room/test_mic_array.cpp.o"
+  "CMakeFiles/tests_room.dir/room/test_mic_array.cpp.o.d"
+  "CMakeFiles/tests_room.dir/room/test_noise.cpp.o"
+  "CMakeFiles/tests_room.dir/room/test_noise.cpp.o.d"
+  "CMakeFiles/tests_room.dir/room/test_scene.cpp.o"
+  "CMakeFiles/tests_room.dir/room/test_scene.cpp.o.d"
+  "tests_room"
+  "tests_room.pdb"
+  "tests_room[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_collector.cpp" "tests/CMakeFiles/tests_sim.dir/sim/test_collector.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/test_collector.cpp.o.d"
+  "/root/repo/tests/sim/test_datasets.cpp" "tests/CMakeFiles/tests_sim.dir/sim/test_datasets.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/test_datasets.cpp.o.d"
+  "/root/repo/tests/sim/test_experiment.cpp" "tests/CMakeFiles/tests_sim.dir/sim/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/test_experiment.cpp.o.d"
+  "/root/repo/tests/sim/test_protocol.cpp" "tests/CMakeFiles/tests_sim.dir/sim/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/test_protocol.cpp.o.d"
+  "/root/repo/tests/sim/test_spec_cache.cpp" "tests/CMakeFiles/tests_sim.dir/sim/test_spec_cache.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/test_spec_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/headtalk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/sim/test_collector.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_collector.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_datasets.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_datasets.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_experiment.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_experiment.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_protocol.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_protocol.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_spec_cache.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_spec_cache.cpp.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/speech/test_directivity.cpp" "tests/CMakeFiles/tests_speech.dir/speech/test_directivity.cpp.o" "gcc" "tests/CMakeFiles/tests_speech.dir/speech/test_directivity.cpp.o.d"
+  "/root/repo/tests/speech/test_loudspeaker.cpp" "tests/CMakeFiles/tests_speech.dir/speech/test_loudspeaker.cpp.o" "gcc" "tests/CMakeFiles/tests_speech.dir/speech/test_loudspeaker.cpp.o.d"
+  "/root/repo/tests/speech/test_phonemes.cpp" "tests/CMakeFiles/tests_speech.dir/speech/test_phonemes.cpp.o" "gcc" "tests/CMakeFiles/tests_speech.dir/speech/test_phonemes.cpp.o.d"
+  "/root/repo/tests/speech/test_speaker_profile.cpp" "tests/CMakeFiles/tests_speech.dir/speech/test_speaker_profile.cpp.o" "gcc" "tests/CMakeFiles/tests_speech.dir/speech/test_speaker_profile.cpp.o.d"
+  "/root/repo/tests/speech/test_synthesizer.cpp" "tests/CMakeFiles/tests_speech.dir/speech/test_synthesizer.cpp.o" "gcc" "tests/CMakeFiles/tests_speech.dir/speech/test_synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/headtalk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_speech.dir/speech/test_directivity.cpp.o"
+  "CMakeFiles/tests_speech.dir/speech/test_directivity.cpp.o.d"
+  "CMakeFiles/tests_speech.dir/speech/test_loudspeaker.cpp.o"
+  "CMakeFiles/tests_speech.dir/speech/test_loudspeaker.cpp.o.d"
+  "CMakeFiles/tests_speech.dir/speech/test_phonemes.cpp.o"
+  "CMakeFiles/tests_speech.dir/speech/test_phonemes.cpp.o.d"
+  "CMakeFiles/tests_speech.dir/speech/test_speaker_profile.cpp.o"
+  "CMakeFiles/tests_speech.dir/speech/test_speaker_profile.cpp.o.d"
+  "CMakeFiles/tests_speech.dir/speech/test_synthesizer.cpp.o"
+  "CMakeFiles/tests_speech.dir/speech/test_synthesizer.cpp.o.d"
+  "tests_speech"
+  "tests_speech.pdb"
+  "tests_speech[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

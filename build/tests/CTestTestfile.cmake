@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_audio[1]_include.cmake")
+include("/root/repo/build/tests/tests_dsp[1]_include.cmake")
+include("/root/repo/build/tests/tests_speech[1]_include.cmake")
+include("/root/repo/build/tests/tests_room[1]_include.cmake")
+include("/root/repo/build/tests/tests_ml[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_cli[1]_include.cmake")
+include("/root/repo/build/tests/tests_baseline[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")

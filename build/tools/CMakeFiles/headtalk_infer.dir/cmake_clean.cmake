@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headtalk_infer.dir/headtalk_infer.cpp.o"
+  "CMakeFiles/headtalk_infer.dir/headtalk_infer.cpp.o.d"
+  "headtalk_infer"
+  "headtalk_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headtalk_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

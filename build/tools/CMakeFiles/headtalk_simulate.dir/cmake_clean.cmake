@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headtalk_simulate.dir/headtalk_simulate.cpp.o"
+  "CMakeFiles/headtalk_simulate.dir/headtalk_simulate.cpp.o.d"
+  "headtalk_simulate"
+  "headtalk_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headtalk_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

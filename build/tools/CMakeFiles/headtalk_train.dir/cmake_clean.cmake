@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headtalk_train.dir/headtalk_train.cpp.o"
+  "CMakeFiles/headtalk_train.dir/headtalk_train.cpp.o.d"
+  "headtalk_train"
+  "headtalk_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headtalk_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
