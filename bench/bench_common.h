@@ -14,6 +14,7 @@
 #include "sim/collector.h"
 #include "sim/datasets.h"
 #include "sim/experiment.h"
+#include "util/thread_pool.h"
 
 namespace headtalk::bench {
 
@@ -45,11 +46,14 @@ class Stopwatch {
 };
 
 /// Collects orientation samples with a heading so long renders are visibly
-/// attributed in the bench output.
+/// attributed in the bench output. Renders fan out across all available
+/// workers ($HEADTALK_JOBS overrides); the sample order and values are
+/// bit-identical to a serial collection, so bench numbers are unaffected.
 inline std::vector<sim::OrientationSample> collect(const sim::Collector& collector,
                                                    const std::vector<sim::SampleSpec>& specs,
                                                    const char* what) {
-  std::fprintf(stderr, "collecting %zu samples (%s)...\n", specs.size(), what);
+  std::fprintf(stderr, "collecting %zu samples (%s) on %u workers...\n", specs.size(),
+               what, util::default_jobs());
   Stopwatch timer;
   auto samples = sim::collect_orientation(collector, specs);
   std::fprintf(stderr, "  done in %.1f s\n", timer.seconds());
@@ -59,7 +63,8 @@ inline std::vector<sim::OrientationSample> collect(const sim::Collector& collect
 inline std::vector<sim::OrientationSample> collect_liveness(
     const sim::Collector& collector, const std::vector<sim::SampleSpec>& specs,
     const char* what) {
-  std::fprintf(stderr, "collecting %zu liveness samples (%s)...\n", specs.size(), what);
+  std::fprintf(stderr, "collecting %zu liveness samples (%s) on %u workers...\n",
+               specs.size(), what, util::default_jobs());
   Stopwatch timer;
   auto samples = sim::collect_liveness(collector, specs);
   std::fprintf(stderr, "  done in %.1f s\n", timer.seconds());

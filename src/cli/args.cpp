@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "util/thread_pool.h"
+
 namespace headtalk::cli {
 
 void ArgParser::add_flag(const std::string& name, const std::string& help,
@@ -104,6 +106,16 @@ std::string ArgParser::usage() const {
   }
   out << "  --help\n      show this text\n";
   return out.str();
+}
+
+void add_jobs_flag(ArgParser& args) {
+  args.add_flag("--jobs", "worker threads (0 = auto: $HEADTALK_JOBS or all cores)", "0");
+}
+
+unsigned jobs_from(const ArgParser& args) {
+  const long requested = args.get_int("--jobs");
+  if (requested < 0) throw ArgsError("--jobs must be >= 0");
+  return util::resolve_jobs(static_cast<unsigned>(requested));
 }
 
 }  // namespace headtalk::cli

@@ -63,4 +63,13 @@ class ArgParser {
   [[nodiscard]] const Flag* find(const std::string& name) const;
 };
 
+/// Declares the shared `--jobs` flag (default "0" = auto: $HEADTALK_JOBS,
+/// else all hardware threads). Used by every tool that renders or extracts
+/// features in bulk.
+void add_jobs_flag(ArgParser& args);
+
+/// Resolves a declared `--jobs` flag to a concrete worker count (>= 1).
+/// Throws ArgsError on negative values.
+[[nodiscard]] unsigned jobs_from(const ArgParser& args);
+
 }  // namespace headtalk::cli

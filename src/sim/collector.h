@@ -2,6 +2,12 @@
 // orientation / liveness feature vectors (the simulated equivalent of one
 // data-collection trial of §IV). All randomness is derived from the spec,
 // so results are deterministic and cacheable.
+//
+// Thread safety: every method is const and keeps its state (RNGs, scene,
+// buffers) on the stack, so one Collector may serve concurrent
+// *_features() / capture() calls from the parallel collection engine. The
+// only cross-thread rendezvous is FeatureCache::store/load, which is safe
+// by construction (unique temp file + atomic rename).
 #pragma once
 
 #include <cstdint>

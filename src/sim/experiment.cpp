@@ -1,25 +1,32 @@
 #include "sim/experiment.h"
 
+#include <atomic>
 #include <cstdio>
 #include <set>
+
+#include "util/thread_pool.h"
 
 namespace headtalk::sim {
 namespace {
 
 std::vector<OrientationSample> collect(const Collector& collector,
                                        std::span<const SampleSpec> specs, bool progress,
-                                       bool liveness) {
-  std::vector<OrientationSample> out;
-  out.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    out.push_back({specs[i], liveness ? collector.liveness_features(specs[i])
-                                      : collector.orientation_features(specs[i])});
-    if (progress && ((i + 1) % 25 == 0 || i + 1 == specs.size())) {
-      std::fprintf(stderr, "\r  [%zu/%zu samples]", i + 1, specs.size());
-      if (i + 1 == specs.size()) std::fprintf(stderr, "\n");
+                                       bool liveness, unsigned jobs) {
+  // Pre-sized slots: worker i writes out[i] only, so the result is
+  // bit-identical to the serial loop no matter how renders interleave.
+  std::vector<OrientationSample> out(specs.size());
+  std::atomic<std::size_t> done{0};
+  util::parallel_for(specs.size(), util::resolve_jobs(jobs), [&](std::size_t i) {
+    out[i].spec = specs[i];
+    out[i].features = liveness ? collector.liveness_features(specs[i])
+                               : collector.orientation_features(specs[i]);
+    const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (progress && (finished % 25 == 0 || finished == specs.size())) {
+      std::fprintf(stderr, "\r  [%zu/%zu samples]%s", finished, specs.size(),
+                   finished == specs.size() ? "\n" : "");
       std::fflush(stderr);
     }
-  }
+  });
   return out;
 }
 
@@ -27,14 +34,14 @@ std::vector<OrientationSample> collect(const Collector& collector,
 
 std::vector<OrientationSample> collect_orientation(const Collector& collector,
                                                    std::span<const SampleSpec> specs,
-                                                   bool progress) {
-  return collect(collector, specs, progress, /*liveness=*/false);
+                                                   bool progress, unsigned jobs) {
+  return collect(collector, specs, progress, /*liveness=*/false, jobs);
 }
 
 std::vector<OrientationSample> collect_liveness(const Collector& collector,
                                                 std::span<const SampleSpec> specs,
-                                                bool progress) {
-  return collect(collector, specs, progress, /*liveness=*/true);
+                                                bool progress, unsigned jobs) {
+  return collect(collector, specs, progress, /*liveness=*/true, jobs);
 }
 
 std::vector<OrientationSample> filter(

@@ -24,14 +24,20 @@ struct OrientationSample {
 
 /// Renders/loads orientation features for every spec. Prints a progress
 /// line to stderr when `progress` (rendering is the dominant cost).
+///
+/// `jobs` workers render concurrently (0 = auto: $HEADTALK_JOBS, else all
+/// hardware threads). Each spec renders deterministically and writes into
+/// its own pre-sized slot, so the returned vector — order and values — is
+/// bit-identical for every jobs count, and downstream train/test splits
+/// are unaffected by parallelism.
 [[nodiscard]] std::vector<OrientationSample> collect_orientation(
     const Collector& collector, std::span<const SampleSpec> specs,
-    bool progress = true);
+    bool progress = true, unsigned jobs = 0);
 
 /// Same for liveness features.
 [[nodiscard]] std::vector<OrientationSample> collect_liveness(
     const Collector& collector, std::span<const SampleSpec> specs,
-    bool progress = true);
+    bool progress = true, unsigned jobs = 0);
 
 /// Keeps the samples satisfying a predicate on the spec.
 [[nodiscard]] std::vector<OrientationSample> filter(

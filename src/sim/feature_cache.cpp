@@ -1,8 +1,12 @@
 #include "sim/feature_cache.h"
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
+
+#include <unistd.h>
 
 #include "sim/spec.h"
 
@@ -58,10 +62,21 @@ void FeatureCache::store(const std::string& key, const ml::FeatureVector& featur
   std::filesystem::create_directories(directory_, ec);
   if (ec) return;
 
-  // Write to a temp file, then rename: concurrent benches may share a cache.
+  // Write to a temp file, then rename: concurrent benches — and, since the
+  // parallel collection engine, concurrent threads of one process — share a
+  // cache. The temp name must be unique per writer: with a fixed
+  // "<hash>.bin.tmp", two writers of the same key interleave their writes
+  // and a corrupt file wins the rename.
   const auto final_path = path_for(key);
+  static std::atomic<std::uint64_t> store_counter{0};
+  char suffix[96];
+  std::snprintf(suffix, sizeof suffix, ".%ld.%zx.%llu.tmp",
+                static_cast<long>(::getpid()),
+                std::hash<std::thread::id>{}(std::this_thread::get_id()),
+                static_cast<unsigned long long>(
+                    store_counter.fetch_add(1, std::memory_order_relaxed)));
   auto tmp_path = final_path;
-  tmp_path += ".tmp";
+  tmp_path += suffix;
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) return;
@@ -73,9 +88,13 @@ void FeatureCache::store(const std::string& key, const ml::FeatureVector& featur
     out.write(reinterpret_cast<const char*>(&count), sizeof count);
     out.write(reinterpret_cast<const char*>(features.data()),
               static_cast<std::streamsize>(features.size() * sizeof(double)));
-    if (!out) return;
+    if (!out) {
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
   }
   std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) std::filesystem::remove(tmp_path, ec);
 }
 
 }  // namespace headtalk::sim

@@ -23,10 +23,15 @@ class FeatureCache {
   [[nodiscard]] bool enabled() const noexcept { return !directory_.empty(); }
 
   /// Returns the cached vector for `key`, or nullopt on miss/corruption.
+  /// Safe to call from any number of threads concurrently with store().
   [[nodiscard]] std::optional<ml::FeatureVector> load(const std::string& key) const;
 
   /// Stores a vector under `key` (best-effort; I/O failures are swallowed —
-  /// the cache is an optimization, not a correctness dependency).
+  /// the cache is an optimization, not a correctness dependency). Writes go
+  /// to a per-writer unique temp file followed by an atomic rename, so
+  /// concurrent stores of the same key — from threads of one process or
+  /// from separate bench processes — never corrupt the entry; one complete
+  /// file wins.
   void store(const std::string& key, const ml::FeatureVector& features) const;
 
   /// Default cache location: $HEADTALK_CACHE or ".headtalk_cache".

@@ -1,0 +1,67 @@
+// Small fixed-size thread pool plus a parallel_for helper.
+//
+// The sample-collection stage renders trials that are independent and
+// deterministic, so it parallelizes cleanly: workers pull indices from an
+// atomic cursor and write into pre-sized output slots, which keeps result
+// ordering (and therefore every downstream train/test split) bit-identical
+// to the serial path regardless of scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace headtalk::util {
+
+/// Harness-wide default worker count: $HEADTALK_JOBS if it parses as a
+/// positive integer, else std::thread::hardware_concurrency(), else 1.
+[[nodiscard]] unsigned default_jobs();
+
+/// Maps a user-supplied jobs value to a concrete worker count:
+/// 0 means "auto" (default_jobs()); anything else is used as given.
+[[nodiscard]] unsigned resolve_jobs(unsigned requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(unsigned threads = default_jobs());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; wrap anything that can (see
+  /// parallel_for for the capture-and-rethrow pattern).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for every i in [0, count) across `jobs` workers (serially
+/// when jobs <= 1 or count <= 1). Blocks until all iterations finish; the
+/// first exception thrown by any iteration is rethrown in the caller after
+/// the remaining workers drain.
+void parallel_for(std::size_t count, unsigned jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace headtalk::util

@@ -102,5 +102,36 @@ TEST(Experiment, CollectOrientationUsesCollector) {
   EXPECT_EQ(samples[0].features, collector.orientation_features(spec));
 }
 
+TEST(Experiment, ParallelCollectionIsBitIdenticalToSerial) {
+  // The determinism contract of the parallel engine: jobs=4 must return
+  // the same specs in the same order with bit-identical feature vectors as
+  // jobs=1, so every downstream train/test split is unaffected. Cache off:
+  // both runs really render.
+  CollectorConfig cfg;
+  cfg.cache_enabled = false;
+  Collector collector(cfg);
+
+  std::vector<SampleSpec> specs;
+  for (double angle : {0.0, 90.0}) {
+    for (unsigned rep = 0; rep < 2; ++rep) {
+      SampleSpec spec;
+      spec.angle_deg = angle;
+      spec.repetition = rep;
+      specs.push_back(spec);
+    }
+  }
+
+  const auto serial = collect_orientation(collector, specs, /*progress=*/false,
+                                          /*jobs=*/1);
+  const auto parallel = collect_orientation(collector, specs, /*progress=*/false,
+                                            /*jobs=*/4);
+  ASSERT_EQ(serial.size(), specs.size());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].spec.key(), serial[i].spec.key()) << i;
+    EXPECT_EQ(parallel[i].features, serial[i].features) << i;  // exact doubles
+  }
+}
+
 }  // namespace
 }  // namespace headtalk::sim

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "sim/feature_cache.h"
 #include "sim/spec.h"
+#include "util/thread_pool.h"
 
 namespace headtalk::sim {
 namespace {
@@ -139,6 +143,52 @@ TEST_F(FeatureCacheTest, CorruptFileIsTreatedAsMiss) {
     std::filesystem::resize_file(entry.path(), 6);
   }
   EXPECT_FALSE(cache.load("k").has_value());
+}
+
+TEST_F(FeatureCacheTest, ConcurrentOverlappingStoresAndLoadsRoundTrip) {
+  // N threads hammer one cache with overlapping keys: every thread stores
+  // and loads every key (each key always maps to the same value, as in the
+  // real cache, where a key renders deterministically). A load may miss —
+  // the cache is best-effort — but a hit must round-trip exactly; a torn
+  // temp-file write would surface here as a corrupt (missing/short/
+  // mismatched) vector winning the rename.
+  constexpr unsigned kThreads = 8;
+  constexpr int kKeys = 12;
+  constexpr int kRounds = 30;
+
+  const auto value_for = [](int key) {
+    ml::FeatureVector v;
+    for (int j = 0; j <= key % 5 + 3; ++j) v.push_back(1000.0 * key + j + 0.25);
+    return v;
+  };
+
+  FeatureCache cache(dir_);
+  std::vector<std::string> failures(kThreads);
+  util::parallel_for(kThreads, kThreads, [&](std::size_t t) {
+    for (int round = 0; round < kRounds; ++round) {
+      for (int key = 0; key < kKeys; ++key) {
+        const std::string name = "shared-key-" + std::to_string(key);
+        cache.store(name, value_for(key));
+        if (const auto loaded = cache.load(name);
+            loaded.has_value() && *loaded != value_for(key)) {
+          failures[t] = "corrupt round-trip for " + name;
+          return;
+        }
+      }
+    }
+  });
+  for (const auto& failure : failures) EXPECT_TRUE(failure.empty()) << failure;
+
+  // After the storm settles every key must be present and exact.
+  for (int key = 0; key < kKeys; ++key) {
+    const auto loaded = cache.load("shared-key-" + std::to_string(key));
+    ASSERT_TRUE(loaded.has_value()) << key;
+    EXPECT_EQ(*loaded, value_for(key)) << key;
+  }
+  // No temp files may be left behind.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".bin") << entry.path();
+  }
 }
 
 TEST_F(FeatureCacheTest, EmptyVectorRoundTrips) {

@@ -1,0 +1,105 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace headtalk::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // must not deadlock
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallel_for(kCount, 8, [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, SerialWhenOneJob) {
+  // With jobs=1 iterations run in order on the calling thread.
+  std::vector<std::size_t> order;
+  parallel_for(10, 1, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  parallel_for(0, 4, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, RethrowsFirstException) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Jobs, ResolveZeroMeansAuto) {
+  EXPECT_EQ(resolve_jobs(0), default_jobs());
+  EXPECT_EQ(resolve_jobs(3), 3u);
+}
+
+TEST(Jobs, DefaultJobsHonorsEnv) {
+  const char* saved = std::getenv("HEADTALK_JOBS");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ::setenv("HEADTALK_JOBS", "5", 1);
+  EXPECT_EQ(default_jobs(), 5u);
+  ::setenv("HEADTALK_JOBS", "not-a-number", 1);
+  EXPECT_GE(default_jobs(), 1u);  // garbage falls back to hardware threads
+  ::setenv("HEADTALK_JOBS", "0", 1);
+  EXPECT_GE(default_jobs(), 1u);  // zero is never a valid worker count
+
+  if (saved != nullptr) {
+    ::setenv("HEADTALK_JOBS", restore.c_str(), 1);
+  } else {
+    ::unsetenv("HEADTALK_JOBS");
+  }
+}
+
+}  // namespace
+}  // namespace headtalk::util

@@ -1,12 +1,15 @@
-// headtalk_infer — runs trained HeadTalk models on a WAV capture.
+// headtalk_infer — runs trained HeadTalk models on WAV captures.
 //
 //   headtalk_infer --models models --wav corpus/lab_D2_live_M3_a+000_s0_r0_u0.wav
+//   headtalk_infer --models models --wav a.wav,b.wav,c.wav --jobs 4
 //
-// Prints the liveness score, the orientation verdict, and the decision the
-// pipeline would take in HeadTalk mode.
+// Prints, per capture, the liveness score, the orientation verdict, and the
+// decision the pipeline would take in HeadTalk mode. Multiple captures
+// (comma-separated) are scored in parallel and reported in input order.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "audio/wav_io.h"
 #include "cli/args.h"
@@ -16,14 +19,31 @@
 #include "core/orientation_classifier.h"
 #include "core/orientation_features.h"
 #include "core/preprocess.h"
+#include "util/thread_pool.h"
 
 using namespace headtalk;
 
+namespace {
+
+std::vector<std::filesystem::path> parse_wavs(const std::string& text) {
+  std::vector<std::filesystem::path> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.emplace_back(item);
+  }
+  if (out.empty()) throw cli::ArgsError("--wav: no capture given");
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  cli::ArgParser args("headtalk_infer", "classify a wake-word WAV with trained models");
+  cli::ArgParser args("headtalk_infer", "classify wake-word WAVs with trained models");
   args.add_flag("--models", "directory containing orientation.htm / liveness.htm");
-  args.add_flag("--wav", "multichannel capture to classify");
+  args.add_flag("--wav", "capture(s) to classify (comma-separated for a batch)");
   args.add_flag("--device", "device the capture came from (aperture): D1|D2|D3", "D2");
+  cli::add_jobs_flag(args);
 
   try {
     args.parse(argc, argv);
@@ -33,42 +53,59 @@ int main(int argc, char** argv) {
     }
 
     const std::filesystem::path model_dir = args.get("--models");
-    core::OrientationClassifier orientation = [&] {
+    const core::OrientationClassifier orientation = [&] {
       std::ifstream in(model_dir / "orientation.htm", std::ios::binary);
       if (!in) throw std::runtime_error("cannot open orientation.htm");
       return core::OrientationClassifier::load(in);
     }();
-    core::LivenessDetector liveness = [&] {
+    const core::LivenessDetector liveness = [&] {
       std::ifstream in(model_dir / "liveness.htm", std::ios::binary);
       if (!in) throw std::runtime_error("cannot open liveness.htm");
       return core::LivenessDetector::load(in);
     }();
 
-    const auto raw = audio::read_wav(args.get("--wav"));
-    const auto clean = core::preprocess(raw);
-    std::printf("capture: %zu channels, %.0f ms after trimming\n", clean.channel_count(),
-                1000.0 * static_cast<double>(clean.frames()) / clean.sample_rate());
-
-    core::LivenessFeatureExtractor liveness_features;
-    const double live_score = liveness.score(liveness_features.extract(clean.channel(0)));
-    const bool live = live_score >= liveness.config().threshold;
-    std::printf("liveness:    score %.3f -> %s\n", live_score,
-                live ? "live human" : "mechanical speaker");
-
+    const auto wavs = parse_wavs(args.get("--wav"));
     const auto device = room::DeviceSpec::get(cli::parse_device(args.get("--device")));
     core::OrientationFeatureConfig config;
     config.max_mic_distance_m = device.max_pair_distance(device.default_channels);
     const core::OrientationFeatureExtractor extractor(config);
-    const auto features = extractor.extract(clean);
-    const double orient_score = orientation.score(features);
-    const bool facing = orientation.is_facing(features);
-    std::printf("orientation: score %+.3f -> %s\n", orient_score,
-                facing ? "facing" : "not facing");
+    const core::LivenessFeatureExtractor liveness_features;
 
-    const char* decision = !live          ? "rejected-replay"
-                           : facing       ? "ACCEPTED"
-                                          : "rejected-not-facing";
-    std::printf("headtalk decision: %s\n", decision);
+    // Scoring a capture is independent work against const models; batches
+    // fan out across --jobs workers and reports print in input order.
+    std::vector<std::string> reports(wavs.size());
+    util::parallel_for(wavs.size(), cli::jobs_from(args), [&](std::size_t i) {
+      const auto raw = audio::read_wav(wavs[i]);
+      const auto clean = core::preprocess(raw);
+
+      const double live_score = liveness.score(liveness_features.extract(clean.channel(0)));
+      const bool live = live_score >= liveness.config().threshold;
+
+      const auto features = extractor.extract(clean);
+      const double orient_score = orientation.score(features);
+      const bool facing = orientation.is_facing(features);
+
+      const char* decision = !live    ? "rejected-replay"
+                             : facing ? "ACCEPTED"
+                                      : "rejected-not-facing";
+      char text[512];
+      std::snprintf(text, sizeof text,
+                    "capture: %zu channels, %.0f ms after trimming\n"
+                    "liveness:    score %.3f -> %s\n"
+                    "orientation: score %+.3f -> %s\n"
+                    "headtalk decision: %s\n",
+                    clean.channel_count(),
+                    1000.0 * static_cast<double>(clean.frames()) / clean.sample_rate(),
+                    live_score, live ? "live human" : "mechanical speaker",
+                    orient_score, facing ? "facing" : "not facing", decision);
+      reports[i] = text;
+    });
+
+    for (std::size_t i = 0; i < wavs.size(); ++i) {
+      if (wavs.size() > 1) std::printf("%s\n", wavs[i].string().c_str());
+      std::fputs(reports[i].c_str(), stdout);
+      if (wavs.size() > 1 && i + 1 < wavs.size()) std::printf("\n");
+    }
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n\n%s", error.what(), args.usage().c_str());

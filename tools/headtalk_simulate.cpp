@@ -8,6 +8,7 @@
 //   headtalk_simulate --out corpus --replay phone --angles 0,90 --reps 2
 //   headtalk_train    --data corpus --out models
 //   headtalk_infer    --models models --wav corpus/<some>.wav
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -17,6 +18,7 @@
 #include "cli/args.h"
 #include "cli/names.h"
 #include "sim/collector.h"
+#include "util/thread_pool.h"
 
 using namespace headtalk;
 
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   args.add_flag("--reps", "repetitions per angle per session", "1");
   args.add_flag("--loudness", "speech level, dB SPL", "70");
   args.add_flag("--user", "speaker identity (0 = enrolled user)", "0");
+  cli::add_jobs_flag(args);
 
   try {
     args.parse(argc, argv);
@@ -78,7 +81,11 @@ int main(int argc, char** argv) {
     const auto sessions = static_cast<unsigned>(args.get_int("--sessions"));
     const auto reps = static_cast<unsigned>(args.get_int("--reps"));
 
-    std::size_t written = 0;
+    // Enumerate every capture first, render in parallel (each trial is an
+    // independent deterministic render writing its own WAV), then append
+    // the manifest serially in enumeration order so reruns diff cleanly.
+    std::vector<sim::SampleSpec> specs;
+    std::vector<std::string> names;
     for (unsigned session = 0; session < sessions; ++session) {
       for (double angle : angles) {
         for (unsigned rep = 0; rep < reps; ++rep) {
@@ -94,17 +101,26 @@ int main(int argc, char** argv) {
                         std::string(sim::replay_source_name(spec.replay)).c_str(),
                         spec.location.label().c_str(), static_cast<int>(angle),
                         session, rep, spec.user_id);
-          const auto capture = collector.capture(spec);
-          audio::write_wav(out_dir / name, capture, audio::WavEncoding::kFloat32);
-          manifest << name << '\t' << sim::replay_source_name(spec.replay) << '\t'
-                   << angle << '\t' << room::device_name(spec.device) << '\n';
-          ++written;
-          std::fprintf(stderr, "\r  %zu captures written", written);
+          specs.push_back(spec);
+          names.emplace_back(name);
         }
       }
     }
+
+    std::atomic<std::size_t> written{0};
+    util::parallel_for(specs.size(), cli::jobs_from(args), [&](std::size_t i) {
+      const auto capture = collector.capture(specs[i]);
+      audio::write_wav(out_dir / names[i], capture, audio::WavEncoding::kFloat32);
+      std::fprintf(stderr, "\r  %zu captures written",
+                   written.fetch_add(1, std::memory_order_relaxed) + 1);
+    });
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      manifest << names[i] << '\t' << sim::replay_source_name(specs[i].replay) << '\t'
+               << specs[i].angle_deg << '\t' << room::device_name(specs[i].device)
+               << '\n';
+    }
     std::fprintf(stderr, "\n");
-    std::printf("wrote %zu captures + manifest.tsv to %s\n", written,
+    std::printf("wrote %zu captures + manifest.tsv to %s\n", specs.size(),
                 out_dir.string().c_str());
     return 0;
   } catch (const std::exception& error) {

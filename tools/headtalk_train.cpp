@@ -5,9 +5,11 @@
 // hand-recorded corpora can use the same format), extracts features, trains
 // the orientation SVM (Definition-4 facing arcs) and the liveness network,
 // and saves both models to the output directory.
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "audio/wav_io.h"
@@ -18,6 +20,7 @@
 #include "core/orientation_classifier.h"
 #include "core/orientation_features.h"
 #include "core/preprocess.h"
+#include "util/thread_pool.h"
 
 using namespace headtalk;
 
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
   args.add_flag("--data", "corpus directory containing manifest.tsv");
   args.add_flag("--out", "directory to write orientation.htm / liveness.htm");
   args.add_switch("--tune-svm", "grid-search the SVM (C, gamma) as in the paper");
+  cli::add_jobs_flag(args);
 
   try {
     args.parse(argc, argv);
@@ -72,16 +76,27 @@ int main(int argc, char** argv) {
     const auto entries = read_manifest(data_dir);
     std::printf("corpus: %zu captures\n", entries.size());
 
-    core::LivenessFeatureExtractor liveness_features;
-    ml::Dataset orientation_data, liveness_data;
-    std::size_t processed = 0;
-    for (const auto& entry : entries) {
+    // Read/preprocess/extract per capture in parallel (the dominant cost),
+    // then assemble the datasets serially in manifest order so the trained
+    // models do not depend on worker scheduling.
+    struct Extracted {
+      ml::FeatureVector liveness;
+      int liveness_label = core::kLabelLive;
+      std::optional<ml::FeatureVector> orientation;
+      int orientation_label = core::kLabelFacing;
+    };
+    std::vector<Extracted> extracted(entries.size());
+    const core::LivenessFeatureExtractor liveness_features;
+    std::atomic<std::size_t> processed{0};
+    util::parallel_for(entries.size(), cli::jobs_from(args), [&](std::size_t i) {
+      const auto& entry = entries[i];
       const auto raw = audio::read_wav(entry.file);
       const auto clean = core::preprocess(raw);
 
-      liveness_data.add(liveness_features.extract(clean.channel(0)),
-                        entry.source == sim::ReplaySource::kNone ? core::kLabelLive
-                                                                 : core::kLabelReplay);
+      auto& out = extracted[i];
+      out.liveness = liveness_features.extract(clean.channel(0));
+      out.liveness_label = entry.source == sim::ReplaySource::kNone ? core::kLabelLive
+                                                                    : core::kLabelReplay;
       if (entry.source == sim::ReplaySource::kNone) {
         const auto device = room::DeviceSpec::get(entry.device);
         core::OrientationFeatureConfig config;
@@ -89,18 +104,28 @@ int main(int argc, char** argv) {
         const core::OrientationFeatureExtractor extractor(config);
         switch (core::training_arc(core::FacingDefinition::kDefinition4, entry.angle_deg)) {
           case core::TrainingArc::kFacing:
-            orientation_data.add(extractor.extract(clean), core::kLabelFacing);
+            out.orientation = extractor.extract(clean);
+            out.orientation_label = core::kLabelFacing;
             break;
           case core::TrainingArc::kNonFacing:
-            orientation_data.add(extractor.extract(clean), core::kLabelNonFacing);
+            out.orientation = extractor.extract(clean);
+            out.orientation_label = core::kLabelNonFacing;
             break;
           case core::TrainingArc::kExcluded:
             break;  // borderline angle — not used for training (§IV-A2)
         }
       }
-      std::fprintf(stderr, "\r  %zu/%zu processed", ++processed, entries.size());
-    }
+      std::fprintf(stderr, "\r  %zu/%zu processed",
+                   processed.fetch_add(1, std::memory_order_relaxed) + 1,
+                   entries.size());
+    });
     std::fprintf(stderr, "\n");
+
+    ml::Dataset orientation_data, liveness_data;
+    for (auto& e : extracted) {
+      liveness_data.add(std::move(e.liveness), e.liveness_label);
+      if (e.orientation) orientation_data.add(std::move(*e.orientation), e.orientation_label);
+    }
 
     std::printf("orientation: %zu facing, %zu non-facing | liveness: %zu live, %zu replay\n",
                 orientation_data.count_label(core::kLabelFacing),

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the suite with ThreadSanitizer and runs the concurrency-relevant
+# tests (thread pool, sim harness incl. the FeatureCache stress test, and
+# the integration pipeline), so the parallel collection engine stays
+# race-clean. Usage:
+#
+#   tools/run_tsan_tests.sh [build-dir]     # default: build-tsan
+#
+# Pass HEADTALK_SANITIZE=address the same way for an ASan sweep:
+#   cmake -B build-asan -S . -DHEADTALK_SANITIZE=address
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build-tsan}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DHEADTALK_SANITIZE=thread \
+  -DHEADTALK_BUILD_BENCHES=OFF \
+  -DHEADTALK_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target tests_util tests_sim tests_integration
+
+# halt_on_error: a single data race fails the run instead of scrolling by.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|Experiment\.|Collector|EndToEnd|WavPipeline'
+
+echo "TSan test subset passed with zero reported races."
