@@ -5,15 +5,28 @@
 // expected (the substrate is a synthetic room, not the authors' testbed);
 // the *shape* — orderings, approximate factors, crossovers — is the claim
 // each bench validates. See EXPERIMENTS.md for the recorded comparison.
+//
+// Every bench also appends a machine-readable perf record (wall time,
+// samples collected, cache counters, worker count) to
+// $HEADTALK_BENCH_OUT/BENCH_<id>.json — one JSON object per line, one
+// file per bench id — so CI can track bench cost without scraping the
+// human output. Both views come from the same obs timers; there is no
+// separately-measured "printed" number that can drift from the record.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "sim/collector.h"
 #include "sim/datasets.h"
 #include "sim/experiment.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace headtalk::bench {
@@ -23,7 +36,102 @@ namespace headtalk::bench {
 /// feature cache on so render cost is shared across binaries.
 inline sim::Collector make_collector() { return sim::Collector(sim::CollectorConfig{}); }
 
+/// Records one perf record per bench process, written at exit.
+///
+/// print_title() starts the record (bench id + wall clock), the collect
+/// helpers accumulate the sample count, and the destructor of the
+/// function-local singleton appends the finished record as one JSON line
+/// to $HEADTALK_BENCH_OUT/BENCH_<id>.json (default out dir: bench/out).
+class PerfRecorder {
+ public:
+  static PerfRecorder& instance() {
+    static PerfRecorder recorder;
+    return recorder;
+  }
+
+  void begin(const char* id, const char* description) {
+    if (started_) return;  // first title wins; later sections share the record
+    started_ = true;
+    id_ = sanitize_id(id);
+    title_ = id;
+    (void)description;  // shown by print_title; the record keys on the id
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  void add_samples(std::size_t n) { samples_ += n; }
+
+  ~PerfRecorder() {
+    if (!started_) return;
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    const std::filesystem::path out_dir = [] {
+      if (const char* env = std::getenv("HEADTALK_BENCH_OUT"); env && *env) {
+        return std::filesystem::path(env);
+      }
+      return std::filesystem::path("bench") / "out";
+    }();
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    const auto path = out_dir / ("BENCH_" + id_ + ".json");
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+      obs::log_warn("bench.record.write_failed", {{"path", path.string()}});
+      return;
+    }
+    char line[1024];
+    std::snprintf(line, sizeof line,
+                  "{\"bench\":\"%s\",\"title\":\"%s\",\"wall_seconds\":%.6f,"
+                  "\"samples\":%zu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+                  "\"cache_stores\":%llu,\"jobs\":%u}",
+                  util::json_escape(id_).c_str(), util::json_escape(title_).c_str(),
+                  wall_seconds, samples_,
+                  static_cast<unsigned long long>(cache_hits_->value()),
+                  static_cast<unsigned long long>(cache_misses_->value()),
+                  static_cast<unsigned long long>(cache_stores_->value()),
+                  util::default_jobs());
+    out << line << '\n';
+    obs::log_info("bench.record.written", {{"path", path.string()}});
+  }
+
+  PerfRecorder(const PerfRecorder&) = delete;
+  PerfRecorder& operator=(const PerfRecorder&) = delete;
+
+ private:
+  // Grabbing the registry references here forces Registry::global() to be
+  // constructed before this singleton, hence destroyed after it — the
+  // destructor above may safely read the counters at static teardown.
+  PerfRecorder()
+      : cache_hits_(&obs::Registry::global().counter("sim.cache.hit")),
+        cache_misses_(&obs::Registry::global().counter("sim.cache.miss")),
+        cache_stores_(&obs::Registry::global().counter("sim.cache.store")) {}
+
+  /// "Fig. 5" -> "fig5", "Liveness (§IV-A1)" -> "livenessiva1".
+  static std::string sanitize_id(const char* id) {
+    std::string out;
+    for (const char* p = id; *p != '\0'; ++p) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+        out.push_back(static_cast<char>(c));
+      } else if (c >= 'A' && c <= 'Z') {
+        out.push_back(static_cast<char>(c - 'A' + 'a'));
+      }
+    }
+    return out.empty() ? "bench" : out;
+  }
+
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* cache_stores_;
+  bool started_ = false;
+  std::string id_;
+  std::string title_;
+  std::size_t samples_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
 inline void print_title(const char* id, const char* description) {
+  PerfRecorder::instance().begin(id, description);
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id, description);
   std::printf("================================================================\n");
@@ -33,30 +141,23 @@ inline void print_note(const char* text) { std::printf("%s\n", text); }
 
 inline double pct(double fraction) { return 100.0 * fraction; }
 
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
 /// Collects orientation samples with a heading so long renders are visibly
 /// attributed in the bench output. Renders fan out across all available
 /// workers ($HEADTALK_JOBS overrides); the sample order and values are
 /// bit-identical to a serial collection, so bench numbers are unaffected.
+/// The printed duration and the bench.collect_seconds histogram read the
+/// same timer, so the human output cannot drift from the metrics dump.
 inline std::vector<sim::OrientationSample> collect(const sim::Collector& collector,
                                                    const std::vector<sim::SampleSpec>& specs,
                                                    const char* what) {
   std::fprintf(stderr, "collecting %zu samples (%s) on %u workers...\n", specs.size(),
                what, util::default_jobs());
-  Stopwatch timer;
+  static obs::Histogram& collect_seconds =
+      obs::Registry::global().histogram("bench.collect_seconds");
+  obs::Timer timer(&collect_seconds);
   auto samples = sim::collect_orientation(collector, specs);
-  std::fprintf(stderr, "  done in %.1f s\n", timer.seconds());
+  std::fprintf(stderr, "  done in %.1f s\n", timer.stop());
+  PerfRecorder::instance().add_samples(samples.size());
   return samples;
 }
 
@@ -65,9 +166,12 @@ inline std::vector<sim::OrientationSample> collect_liveness(
     const char* what) {
   std::fprintf(stderr, "collecting %zu liveness samples (%s) on %u workers...\n",
                specs.size(), what, util::default_jobs());
-  Stopwatch timer;
+  static obs::Histogram& collect_seconds =
+      obs::Registry::global().histogram("bench.collect_seconds");
+  obs::Timer timer(&collect_seconds);
   auto samples = sim::collect_liveness(collector, specs);
-  std::fprintf(stderr, "  done in %.1f s\n", timer.seconds());
+  std::fprintf(stderr, "  done in %.1f s\n", timer.stop());
+  PerfRecorder::instance().add_samples(samples.size());
   return samples;
 }
 

@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace headtalk::cli {
@@ -116,6 +119,35 @@ unsigned jobs_from(const ArgParser& args) {
   const long requested = args.get_int("--jobs");
   if (requested < 0) throw ArgsError("--jobs must be >= 0");
   return util::resolve_jobs(static_cast<unsigned>(requested));
+}
+
+void add_obs_flags(ArgParser& args) {
+  args.add_flag("--metrics-out", "write a JSON metrics dump to this file on exit", "");
+  args.add_flag("--trace-out",
+                "record spans and write Chrome trace-event JSON to this file on exit",
+                "");
+}
+
+ObsSession::ObsSession(const ArgParser& args)
+    : metrics_path_(args.get("--metrics-out")), trace_path_(args.get("--trace-out")) {
+  if (!trace_path_.empty()) obs::set_tracing_enabled(true);
+}
+
+ObsSession::~ObsSession() {
+  if (!trace_path_.empty()) {
+    obs::set_tracing_enabled(false);
+    if (obs::Tracer::global().write_chrome_trace_file(trace_path_)) {
+      obs::log_info("obs.trace.written",
+                    {{"path", trace_path_},
+                     {"spans", obs::Tracer::global().span_count()},
+                     {"dropped", obs::Tracer::global().dropped_count()}});
+    }
+  }
+  if (!metrics_path_.empty()) {
+    if (obs::Registry::global().write_json_file(metrics_path_)) {
+      obs::log_info("obs.metrics.written", {{"path", metrics_path_}});
+    }
+  }
 }
 
 }  // namespace headtalk::cli

@@ -72,4 +72,24 @@ void add_jobs_flag(ArgParser& args);
 /// Throws ArgsError on negative values.
 [[nodiscard]] unsigned jobs_from(const ArgParser& args);
 
+/// Declares the shared observability flags: `--metrics-out FILE` (JSON
+/// metrics dump on exit) and `--trace-out FILE` (enables span recording
+/// and writes Chrome trace-event JSON on exit).
+void add_obs_flags(ArgParser& args);
+
+/// Applies the observability flags declared by add_obs_flags(). Construct
+/// one after parse(); the constructor turns tracing on when `--trace-out`
+/// was given, and the destructor writes the requested dump files.
+class ObsSession {
+ public:
+  explicit ObsSession(const ArgParser& args);
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+  ~ObsSession();
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
 }  // namespace headtalk::cli

@@ -2,7 +2,40 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace headtalk::core {
+namespace {
+
+// Registry lookups happen once; the references stay valid for the process
+// lifetime (the registry never destroys instruments).
+void count_decision(Decision decision) {
+  static obs::Counter& accepted =
+      obs::Registry::global().counter("pipeline.decision.accepted");
+  static obs::Counter& muted =
+      obs::Registry::global().counter("pipeline.decision.rejected_muted");
+  static obs::Counter& replay =
+      obs::Registry::global().counter("pipeline.decision.rejected_replay");
+  static obs::Counter& not_facing =
+      obs::Registry::global().counter("pipeline.decision.rejected_not_facing");
+  switch (decision) {
+    case Decision::kAccepted:
+      accepted.increment();
+      break;
+    case Decision::kRejectedMuted:
+      muted.increment();
+      break;
+    case Decision::kRejectedReplay:
+      replay.increment();
+      break;
+    case Decision::kRejectedNotFacing:
+      not_facing.increment();
+      break;
+  }
+}
+
+}  // namespace
 
 std::string_view va_mode_name(VaMode mode) {
   switch (mode) {
@@ -49,6 +82,17 @@ void HeadTalkPipeline::set_mode(VaMode mode) noexcept {
 
 PipelineResult HeadTalkPipeline::evaluate(const audio::MultiBuffer& capture,
                                           bool followup) {
+  obs::ScopedSpan span("pipeline.evaluate");
+  static obs::Histogram& evaluate_seconds =
+      obs::Registry::global().histogram("pipeline.evaluate_seconds");
+  obs::Timer timer(&evaluate_seconds);
+  const PipelineResult result = evaluate_stages(capture, followup);
+  count_decision(result.decision);
+  return result;
+}
+
+PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& capture,
+                                                 bool followup) {
   PipelineResult result;
   if (mode_ == VaMode::kMute) {
     result.decision = Decision::kRejectedMuted;
@@ -60,13 +104,22 @@ PipelineResult HeadTalkPipeline::evaluate(const audio::MultiBuffer& capture,
   }
 
   // --- HeadTalk mode ---
-  const auto denoised = preprocess(capture, config_.preprocess);
+  const auto denoised = [&] {
+    obs::ScopedSpan stage("pipeline.preprocess");
+    return preprocess(capture, config_.preprocess);
+  }();
 
   // Liveness first (Fig. 2): a replayed wake word is rejected outright,
   // whether or not a session is open — a session belongs to a human.
   result.liveness_checked = true;
-  result.liveness_score =
-      liveness_.score(liveness_extractor_.extract(denoised.channel(0)));
+  const auto liveness_features = [&] {
+    obs::ScopedSpan stage("pipeline.liveness_features");
+    return liveness_extractor_.extract(denoised.channel(0));
+  }();
+  {
+    obs::ScopedSpan stage("pipeline.liveness_score");
+    result.liveness_score = liveness_.score(liveness_features);
+  }
   result.live = result.liveness_score >= liveness_.config().threshold;
   if (!result.live) {
     result.decision = Decision::kRejectedReplay;
@@ -81,9 +134,15 @@ PipelineResult HeadTalkPipeline::evaluate(const audio::MultiBuffer& capture,
   }
 
   result.orientation_checked = true;
-  const auto features = orientation_extractor_.extract(denoised);
-  result.orientation_score = orientation_.score(features);
-  result.facing = orientation_.is_facing(features);
+  const auto features = [&] {
+    obs::ScopedSpan stage("pipeline.orientation_features");
+    return orientation_extractor_.extract(denoised);
+  }();
+  {
+    obs::ScopedSpan stage("pipeline.orientation_score");
+    result.orientation_score = orientation_.score(features);
+    result.facing = orientation_.is_facing(features);
+  }
   if (!result.facing) {
     result.decision = Decision::kRejectedNotFacing;
     return result;

@@ -84,6 +84,8 @@ class HeadTalkPipeline {
  private:
   [[nodiscard]] PipelineResult evaluate(const audio::MultiBuffer& capture,
                                         bool followup);
+  [[nodiscard]] PipelineResult evaluate_stages(const audio::MultiBuffer& capture,
+                                               bool followup);
 
   OrientationClassifier orientation_;
   LivenessDetector liveness_;

@@ -1,0 +1,131 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace headtalk::obs {
+namespace {
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{[] {
+    const char* env = std::getenv("HEADTALK_LOG");
+    const LogLevel parsed =
+        env == nullptr ? LogLevel::kInfo : parse_log_level(env, LogLevel::kInfo);
+    return static_cast<int>(parsed);
+  }()};
+  return level;
+}
+
+std::mutex& write_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+bool needs_quoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\t' || c == '\n') return true;
+  }
+  return false;
+}
+
+void append_value(std::string& out, const std::string& value) {
+  if (!needs_quoting(value)) {
+    out += value;
+    return;
+  }
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off" || text == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_store().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= level_store().load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
+
+std::string LogField::format_number(double v) {
+  char text[32];
+  std::snprintf(text, sizeof text, "%.6g", v);
+  return text;
+}
+
+std::string format_log_line(LogLevel level, std::string_view event,
+                            std::initializer_list<LogField> fields) {
+  std::string line;
+  line.reserve(64);
+  line += '[';
+  line += log_level_name(level);
+  line += "] ";
+  line += event;
+  for (const auto& field : fields) {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    append_value(line, field.value);
+  }
+  return line;
+}
+
+void log(LogLevel level, std::string_view event, std::initializer_list<LogField> fields) {
+  if (!log_enabled(level)) return;
+  const std::string line = format_log_line(level, event, fields);
+  std::lock_guard lock(write_mutex());
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace headtalk::obs

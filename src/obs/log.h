@@ -1,0 +1,82 @@
+// Leveled, structured logging: one line per event, `key=value` fields.
+//
+//   obs::log_info("sim.collect", {{"done", n}, {"total", specs.size()}});
+//     -> [info] sim.collect done=25 total=100
+//
+// The threshold comes from $HEADTALK_LOG (debug|info|warn|error|off;
+// default info), parsed once on first use; set_log_level() overrides it at
+// runtime. Lines go to stderr under a mutex so concurrent workers never
+// interleave. A disabled level costs one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace headtalk::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view log_level_name(LogLevel level) noexcept;
+/// Case-sensitive names as documented above; unknown text -> `fallback`.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text, LogLevel fallback) noexcept;
+
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+/// One `key=value` pair. Values containing spaces, '=' or quotes are
+/// double-quoted with minimal escaping so lines stay machine-splittable.
+struct LogField {
+  std::string_view key;
+  std::string value;
+
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v == nullptr ? "" : v) {}
+  LogField(std::string_view k, const std::string& v) : key(k), value(v) {}
+  LogField(std::string_view k, bool v) : key(k), value(v ? "true" : "false") {}
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  LogField(std::string_view k, T v) : key(k), value(format_number(v)) {}
+
+ private:
+  static std::string format_number(double v);
+  static std::string format_number(std::uint64_t v) { return std::to_string(v); }
+  static std::string format_number(std::int64_t v) { return std::to_string(v); }
+  template <typename T>
+  static std::string format_number(T v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      return format_number(static_cast<double>(v));
+    } else if constexpr (std::is_signed_v<T>) {
+      return format_number(static_cast<std::int64_t>(v));
+    } else {
+      return format_number(static_cast<std::uint64_t>(v));
+    }
+  }
+};
+
+/// The full line (without trailing newline) exactly as log() writes it;
+/// exposed so tests can pin the format.
+[[nodiscard]] std::string format_log_line(LogLevel level, std::string_view event,
+                                          std::initializer_list<LogField> fields);
+
+/// Writes one line to stderr when `level` passes the threshold.
+void log(LogLevel level, std::string_view event,
+         std::initializer_list<LogField> fields = {});
+
+inline void log_debug(std::string_view event, std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kDebug, event, fields);
+}
+inline void log_info(std::string_view event, std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kInfo, event, fields);
+}
+inline void log_warn(std::string_view event, std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kWarn, event, fields);
+}
+inline void log_error(std::string_view event, std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kError, event, fields);
+}
+
+}  // namespace headtalk::obs

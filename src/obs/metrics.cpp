@@ -1,0 +1,207 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/log.h"
+#include "util/json.h"
+
+namespace headtalk::obs {
+namespace {
+
+// CAS loop instead of std::atomic<double>::fetch_add: the member form is
+// C++20 library-optional and this path is never hot enough to matter.
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::add(double delta) noexcept { atomic_add(value_, delta); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty and ascending");
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+double Histogram::sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double fraction = in_bucket == 0.0 ? 1.0 : (rank - cumulative) / in_bucket;
+    return lower + fraction * (upper - lower);
+  }
+  return bounds_.back();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::default_seconds_bounds() {
+  std::vector<double> bounds;
+  for (double edge = 1e-5; edge < 100.0; edge *= 3.0) bounds.push_back(edge);
+  return bounds;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> upper_bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) upper_bounds = Histogram::default_seconds_bounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::write_text(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    out << "counter " << name << ' ' << counter->value() << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "gauge " << name << ' ' << gauge->value() << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << "histogram " << name << " count=" << histogram->count()
+        << " sum=" << histogram->sum() << " p50=" << histogram->quantile(0.50)
+        << " p95=" << histogram->quantile(0.95) << " p99=" << histogram->quantile(0.99)
+        << '\n';
+  }
+}
+
+void Registry::write_json(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "" : ",") << '"' << util::json_escape(name)
+        << "\":" << counter->value();
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "" : ",") << '"' << util::json_escape(name)
+        << "\":" << gauge->value();
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "" : ",") << '"' << util::json_escape(name) << "\":{"
+        << "\"count\":" << histogram->count() << ",\"sum\":" << histogram->sum()
+        << ",\"p50\":" << histogram->quantile(0.50)
+        << ",\"p95\":" << histogram->quantile(0.95)
+        << ",\"p99\":" << histogram->quantile(0.99) << ",\"buckets\":[";
+    const auto& bounds = histogram->bounds();
+    const auto counts = histogram->bucket_counts();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      out << (i == 0 ? "" : ",") << '[' << bounds[i] << ',' << counts[i] << ']';
+    }
+    out << "],\"overflow\":" << counts.back() << '}';
+    first = false;
+  }
+  out << "}}";
+}
+
+bool Registry::write_json_file(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (out) {
+    write_json(out);
+    out << '\n';
+  }
+  if (!out) {
+    log_warn("obs.metrics.write_failed", {{"path", path.string()}});
+    return false;
+  }
+  return true;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+double Timer::stop() noexcept {
+  if (!stopped_) {
+    stopped_ = true;
+    seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    if (sink_ != nullptr) sink_->observe(seconds_);
+  }
+  return seconds_;
+}
+
+}  // namespace headtalk::obs

@@ -1,0 +1,143 @@
+// Process-wide metrics: monotonic counters, gauges, and fixed-bucket
+// histograms with quantile estimates, held in a named registry.
+//
+// Everything here is dependency-free and thread-safe: counters and
+// histogram buckets are relaxed atomics (an increment is one fetch_add),
+// and the registry's name lookup takes a mutex only on first access — hot
+// paths cache the returned reference in a function-local static. Objects
+// returned by the registry live until process exit, so cached references
+// never dangle (reset() zeroes values in place, it does not destroy them).
+//
+// The registry dumps to human-readable text or to JSON; the headtalk_*
+// tools expose the JSON dump via `--metrics-out FILE` (cli::ObsSession).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace headtalk::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  void increment() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram for non-negative observations (typically
+/// seconds). Bucket i covers (bounds[i-1], bounds[i]] with an implicit
+/// first edge at 0 and an overflow bucket past bounds.back(). Quantiles
+/// interpolate linearly inside the bucket containing the target rank;
+/// ranks landing in the overflow bucket report bounds.back().
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept;
+  /// q in [0, 1]; returns 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+  /// Default bounds for latency histograms: 10 µs .. ~84 s, ×3 per bucket.
+  [[nodiscard]] static std::vector<double> default_seconds_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1 (overflow)
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named instrument registry. Use Registry::global() in production code;
+/// tests may construct private registries.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Empty `upper_bounds` selects Histogram::default_seconds_bounds().
+  /// Bounds are fixed by the first call for a given name.
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds = {});
+
+  /// One instrument per line: `counter <name> <value>` etc.
+  void write_text(std::ostream& out) const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  void write_json(std::ostream& out) const;
+  /// Returns false (after logging a warning) when the file cannot be written.
+  bool write_json_file(const std::filesystem::path& path) const;
+
+  /// Zeroes every registered instrument in place (references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Elapsed-seconds timer that reports into a histogram exactly once, on
+/// stop() or destruction, and hands the measured value back so callers
+/// print the same number that was recorded (no printed-vs-recorded drift).
+class Timer {
+ public:
+  explicit Timer(Histogram* sink = nullptr) noexcept
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { (void)stop(); }
+
+  /// Seconds since construction; records into the sink on the first call.
+  double stop() noexcept;
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+  double seconds_ = 0.0;
+};
+
+}  // namespace headtalk::obs

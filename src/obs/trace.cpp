@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/log.h"
+#include "util/json.h"
+
+namespace headtalk::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kRingCapacity = 4096;
+
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+};
+
+struct ThreadRing {
+  std::array<SpanRecord, kRingCapacity> records;
+  // Total spans ever written; the release store publishes the record to
+  // the exporting thread (which loads with acquire). Slots older than
+  // `written - kRingCapacity` are overwritten, i.e. dropped.
+  std::atomic<std::uint64_t> written{0};
+  std::uint32_t lane = 0;
+};
+
+struct RingDirectory {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::vector<ThreadRing*> free_rings;
+
+  ThreadRing* acquire() {
+    std::lock_guard lock(mutex);
+    if (!free_rings.empty()) {
+      ThreadRing* ring = free_rings.back();
+      free_rings.pop_back();
+      return ring;
+    }
+    rings.push_back(std::make_unique<ThreadRing>());
+    rings.back()->lane = static_cast<std::uint32_t>(rings.size());
+    return rings.back().get();
+  }
+
+  void release(ThreadRing* ring) {
+    std::lock_guard lock(mutex);
+    free_rings.push_back(ring);
+  }
+};
+
+RingDirectory& directory() {
+  static RingDirectory* dir = new RingDirectory;  // never destroyed: worker
+  return *dir;  // threads may outlive static teardown of a plain local
+}
+
+// Leases a ring for the lifetime of the thread and returns it to the free
+// list on thread exit, so lanes are recycled across short-lived pools.
+struct RingLease {
+  ThreadRing* ring = directory().acquire();
+  ~RingLease() { directory().release(ring); }
+};
+
+ThreadRing& thread_ring() {
+  thread_local RingLease lease;
+  return *lease.ring;
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool enabled) noexcept {
+  detail::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t now_micros() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::record(const char* name, std::uint64_t start_us, std::uint64_t duration_us) {
+  ThreadRing& ring = thread_ring();
+  const std::uint64_t index = ring.written.load(std::memory_order_relaxed);
+  ring.records[index % kRingCapacity] = SpanRecord{name, start_us, duration_us};
+  ring.written.store(index + 1, std::memory_order_release);
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  auto& dir = directory();
+  std::lock_guard lock(dir.mutex);
+  const auto pid = static_cast<long>(::getpid());
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ring : dir.rings) {
+    const std::uint64_t written = ring->written.load(std::memory_order_acquire);
+    const std::uint64_t held = std::min<std::uint64_t>(written, kRingCapacity);
+    for (std::uint64_t i = written - held; i < written; ++i) {
+      const SpanRecord& record = ring->records[i % kRingCapacity];
+      out << (first ? "" : ",") << "{\"name\":\"" << util::json_escape(record.name)
+          << "\",\"cat\":\"headtalk\",\"ph\":\"X\",\"ts\":" << record.start_us
+          << ",\"dur\":" << record.duration_us << ",\"pid\":" << pid
+          << ",\"tid\":" << ring->lane << '}';
+      first = false;
+    }
+  }
+  out << "]}";
+}
+
+bool Tracer::write_chrome_trace_file(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (out) {
+    write_chrome_trace(out);
+    out << '\n';
+  }
+  if (!out) {
+    log_warn("obs.trace.write_failed", {{"path", path.string()}});
+    return false;
+  }
+  return true;
+}
+
+std::size_t Tracer::span_count() const {
+  auto& dir = directory();
+  std::lock_guard lock(dir.mutex);
+  std::size_t total = 0;
+  for (const auto& ring : dir.rings) {
+    total += static_cast<std::size_t>(
+        std::min<std::uint64_t>(ring->written.load(std::memory_order_acquire), kRingCapacity));
+  }
+  return total;
+}
+
+std::size_t Tracer::dropped_count() const {
+  auto& dir = directory();
+  std::lock_guard lock(dir.mutex);
+  std::size_t total = 0;
+  for (const auto& ring : dir.rings) {
+    const std::uint64_t written = ring->written.load(std::memory_order_acquire);
+    if (written > kRingCapacity) total += static_cast<std::size_t>(written - kRingCapacity);
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  auto& dir = directory();
+  std::lock_guard lock(dir.mutex);
+  for (const auto& ring : dir.rings) ring->written.store(0, std::memory_order_release);
+}
+
+}  // namespace headtalk::obs

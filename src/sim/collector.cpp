@@ -5,6 +5,8 @@
 #include <random>
 
 #include "audio/gain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "room/scene.h"
 #include "speech/directivity.h"
 #include "speech/loudspeaker.h"
@@ -59,6 +61,10 @@ speech::SpeakerProfile Collector::speaker(unsigned user_id) const {
 }
 
 audio::MultiBuffer Collector::capture(const SampleSpec& spec) const {
+  obs::ScopedSpan span("sim.render");
+  static obs::Histogram& render_seconds =
+      obs::Registry::global().histogram("sim.render_seconds");
+  obs::Timer timer(&render_seconds);
   const std::string key = spec.key();
 
   // --- Speaker identity (with temporal drift) ---
@@ -206,6 +212,7 @@ std::string Collector::cache_key(const SampleSpec& spec, const char* kind) const
 }
 
 ml::FeatureVector Collector::orientation_features(const SampleSpec& spec) const {
+  obs::ScopedSpan span("sim.orientation_features");
   const auto key = cache_key(spec, "orient2");
   if (auto hit = cache_.load(key)) return *hit;
   const auto raw = capture(spec);
@@ -216,6 +223,7 @@ ml::FeatureVector Collector::orientation_features(const SampleSpec& spec) const 
 }
 
 ml::FeatureVector Collector::liveness_features(const SampleSpec& spec) const {
+  obs::ScopedSpan span("sim.liveness_features");
   const auto key = cache_key(spec, "live");
   if (auto hit = cache_.load(key)) return *hit;
   const auto raw = capture(spec);

@@ -82,6 +82,10 @@ class Collector {
 
   [[nodiscard]] const CollectorConfig& config() const noexcept { return config_; }
 
+  /// The on-disk feature cache (possibly disabled); exposes hit/miss/store
+  /// accounting for `--cache-stats` and the bench perf records.
+  [[nodiscard]] const FeatureCache& cache() const noexcept { return cache_; }
+
  private:
   [[nodiscard]] std::string cache_key(const SampleSpec& spec, const char* kind) const;
 

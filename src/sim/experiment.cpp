@@ -1,9 +1,10 @@
 #include "sim/experiment.h"
 
 #include <atomic>
-#include <cstdio>
 #include <set>
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace headtalk::sim {
@@ -12,6 +13,7 @@ namespace {
 std::vector<OrientationSample> collect(const Collector& collector,
                                        std::span<const SampleSpec> specs, bool progress,
                                        bool liveness, unsigned jobs) {
+  obs::ScopedSpan span(liveness ? "sim.collect_liveness" : "sim.collect_orientation");
   // Pre-sized slots: worker i writes out[i] only, so the result is
   // bit-identical to the serial loop no matter how renders interleave.
   std::vector<OrientationSample> out(specs.size());
@@ -21,10 +23,11 @@ std::vector<OrientationSample> collect(const Collector& collector,
     out[i].features = liveness ? collector.liveness_features(specs[i])
                                : collector.orientation_features(specs[i]);
     const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Intermediate progress at debug (HEADTALK_LOG=debug), completion at
+    // info, so default runs print one line per collection, not hundreds.
     if (progress && (finished % 25 == 0 || finished == specs.size())) {
-      std::fprintf(stderr, "\r  [%zu/%zu samples]%s", finished, specs.size(),
-                   finished == specs.size() ? "\n" : "");
-      std::fflush(stderr);
+      obs::log(finished == specs.size() ? obs::LogLevel::kInfo : obs::LogLevel::kDebug,
+               "sim.collect.progress", {{"done", finished}, {"total", specs.size()}});
     }
   });
   return out;

@@ -8,12 +8,29 @@
 
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "sim/spec.h"
 
 namespace headtalk::sim {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x48544643;  // "HTFC"
+
+// Process-wide mirrors of the per-instance tallies: every harness binary's
+// perf record reports cache effectiveness from these, regardless of how
+// many Collector/FeatureCache instances the run created.
+obs::Counter& global_hits() {
+  static obs::Counter& c = obs::Registry::global().counter("sim.cache.hit");
+  return c;
+}
+obs::Counter& global_misses() {
+  static obs::Counter& c = obs::Registry::global().counter("sim.cache.miss");
+  return c;
+}
+obs::Counter& global_stores() {
+  static obs::Counter& c = obs::Registry::global().counter("sim.cache.store");
+  return c;
+}
 
 }  // namespace
 
@@ -36,24 +53,34 @@ std::filesystem::path FeatureCache::path_for(const std::string& key) const {
 
 std::optional<ml::FeatureVector> FeatureCache::load(const std::string& key) const {
   if (!enabled()) return std::nullopt;
-  std::ifstream in(path_for(key), std::ios::binary);
-  if (!in) return std::nullopt;
+  auto result = [&]() -> std::optional<ml::FeatureVector> {
+    std::ifstream in(path_for(key), std::ios::binary);
+    if (!in) return std::nullopt;
 
-  std::uint32_t magic = 0, key_len = 0;
-  std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  in.read(reinterpret_cast<char*>(&key_len), sizeof key_len);
-  if (!in || magic != kMagic || key_len > 4096) return std::nullopt;
-  std::string stored_key(key_len, '\0');
-  in.read(stored_key.data(), key_len);
-  in.read(reinterpret_cast<char*>(&count), sizeof count);
-  if (!in || stored_key != key || count > (1u << 24)) return std::nullopt;
+    std::uint32_t magic = 0, key_len = 0;
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+    in.read(reinterpret_cast<char*>(&key_len), sizeof key_len);
+    if (!in || magic != kMagic || key_len > 4096) return std::nullopt;
+    std::string stored_key(key_len, '\0');
+    in.read(stored_key.data(), key_len);
+    in.read(reinterpret_cast<char*>(&count), sizeof count);
+    if (!in || stored_key != key || count > (1u << 24)) return std::nullopt;
 
-  ml::FeatureVector features(count);
-  in.read(reinterpret_cast<char*>(features.data()),
-          static_cast<std::streamsize>(count * sizeof(double)));
-  if (!in) return std::nullopt;
-  return features;
+    ml::FeatureVector features(count);
+    in.read(reinterpret_cast<char*>(features.data()),
+            static_cast<std::streamsize>(count * sizeof(double)));
+    if (!in) return std::nullopt;
+    return features;
+  }();
+  if (result.has_value()) {
+    stats_->hits.fetch_add(1, std::memory_order_relaxed);
+    global_hits().increment();
+  } else {
+    stats_->misses.fetch_add(1, std::memory_order_relaxed);
+    global_misses().increment();
+  }
+  return result;
 }
 
 void FeatureCache::store(const std::string& key, const ml::FeatureVector& features) const {
@@ -77,6 +104,9 @@ void FeatureCache::store(const std::string& key, const ml::FeatureVector& featur
                     store_counter.fetch_add(1, std::memory_order_relaxed)));
   auto tmp_path = final_path;
   tmp_path += suffix;
+  const std::uint64_t entry_bytes = sizeof kMagic + sizeof(std::uint32_t) + key.size() +
+                                    sizeof(std::uint64_t) +
+                                    features.size() * sizeof(double);
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) return;
@@ -90,11 +120,27 @@ void FeatureCache::store(const std::string& key, const ml::FeatureVector& featur
               static_cast<std::streamsize>(features.size() * sizeof(double)));
     if (!out) {
       std::filesystem::remove(tmp_path, ec);
+      stats_->evicted_bytes.fetch_add(entry_bytes, std::memory_order_relaxed);
       return;
     }
   }
   std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) std::filesystem::remove(tmp_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    stats_->evicted_bytes.fetch_add(entry_bytes, std::memory_order_relaxed);
+    return;
+  }
+  stats_->stores.fetch_add(1, std::memory_order_relaxed);
+  global_stores().increment();
+}
+
+FeatureCacheStats FeatureCache::stats() const noexcept {
+  FeatureCacheStats out;
+  out.hits = stats_->hits.load(std::memory_order_relaxed);
+  out.misses = stats_->misses.load(std::memory_order_relaxed);
+  out.stores = stats_->stores.load(std::memory_order_relaxed);
+  out.evicted_bytes = stats_->evicted_bytes.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace headtalk::sim

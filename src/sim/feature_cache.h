@@ -6,13 +6,26 @@
 // benchmark binaries — the whole harness pays each render once.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "ml/dataset.h"
 
 namespace headtalk::sim {
+
+/// Point-in-time cache accounting. `evicted_bytes` counts the bytes of
+/// temp files discarded when a store fails mid-write or loses its rename
+/// (the cache never evicts committed entries).
+struct FeatureCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evicted_bytes = 0;
+};
 
 class FeatureCache {
  public:
@@ -37,10 +50,27 @@ class FeatureCache {
   /// Default cache location: $HEADTALK_CACHE or ".headtalk_cache".
   [[nodiscard]] static std::filesystem::path default_directory();
 
+  /// This cache's hit/miss/store accounting (also mirrored into the global
+  /// metrics registry as `sim.cache.*`). A disabled cache counts nothing.
+  [[nodiscard]] FeatureCacheStats stats() const noexcept;
+
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return directory_;
+  }
+
  private:
+  struct StatCounters {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> evicted_bytes{0};
+  };
+
   [[nodiscard]] std::filesystem::path path_for(const std::string& key) const;
 
   std::filesystem::path directory_;
+  // shared_ptr keeps FeatureCache copyable; copies share one tally.
+  std::shared_ptr<StatCounters> stats_ = std::make_shared<StatCounters>();
 };
 
 }  // namespace headtalk::sim

@@ -1,0 +1,329 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace headtalk::util {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const { throw JsonError(what, pos_); }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    JsonValue out;
+    switch (peek()) {
+      case '{':
+        out.value_ = parse_object(depth);
+        return out;
+      case '[':
+        out.value_ = parse_array(depth);
+        return out;
+      case '"':
+        out.value_ = parse_string();
+        return out;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        out.value_ = true;
+        return out;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        out.value_ = false;
+        return out;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        out.value_ = nullptr;
+        return out;
+      default:
+        out.value_ = parse_number();
+        return out;
+    }
+  }
+
+  JsonValue::Object parse_object(int depth) {
+    expect('{');
+    JsonValue::Object out;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      out.emplace(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return out;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue::Array parse_array(int depth) {
+    expect('[');
+    JsonValue::Array out;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      out.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return out;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          append_utf8(out, parse_hex4());
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code += static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code += static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape");
+      }
+    }
+    return code;
+  }
+
+  // BMP-only \u decoding (no surrogate-pair recombination); enough for the
+  // ASCII the observability layer emits.
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      fail("bad number");
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad number");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad number");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) fail("number out of range");
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+bool JsonValue::is_null() const noexcept {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+bool JsonValue::is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+bool JsonValue::is_number() const noexcept {
+  return std::holds_alternative<double>(value_);
+}
+bool JsonValue::is_string() const noexcept {
+  return std::holds_alternative<std::string>(value_);
+}
+bool JsonValue::is_array() const noexcept { return std::holds_alternative<Array>(value_); }
+bool JsonValue::is_object() const noexcept {
+  return std::holds_alternative<Object>(value_);
+}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw std::runtime_error("JsonValue: not a bool");
+  return std::get<bool>(value_);
+}
+double JsonValue::as_number() const {
+  if (!is_number()) throw std::runtime_error("JsonValue: not a number");
+  return std::get<double>(value_);
+}
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw std::runtime_error("JsonValue: not a string");
+  return std::get<std::string>(value_);
+}
+const JsonValue::Array& JsonValue::as_array() const {
+  if (!is_array()) throw std::runtime_error("JsonValue: not an array");
+  return std::get<Array>(value_);
+}
+const JsonValue::Object& JsonValue::as_object() const {
+  if (!is_object()) throw std::runtime_error("JsonValue: not an object");
+  return std::get<Object>(value_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto& object = std::get<Object>(value_);
+  const auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+}  // namespace headtalk::util

@@ -1,0 +1,67 @@
+// Minimal JSON: a string escaper for the observability writers and a
+// strict recursive-descent parser used to validate what they emit (trace
+// files, metrics dumps, bench perf records). Not a general JSON library —
+// no serialization DOM, no comments, no NaN/Infinity extensions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace headtalk::util {
+
+/// Escapes `text` for placement inside a double-quoted JSON string
+/// (quotes, backslashes, and control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  /// Parses exactly one JSON document (trailing whitespace allowed, any
+  /// other trailing content is an error). Throws JsonError on malformed
+  /// input, including non-finite number literals, which JSON forbids.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] bool is_null() const noexcept;
+  [[nodiscard]] bool is_bool() const noexcept;
+  [[nodiscard]] bool is_number() const noexcept;
+  [[nodiscard]] bool is_string() const noexcept;
+  [[nodiscard]] bool is_array() const noexcept;
+  [[nodiscard]] bool is_object() const noexcept;
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_{nullptr};
+};
+
+}  // namespace headtalk::util

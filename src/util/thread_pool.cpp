@@ -5,7 +5,24 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace headtalk::util {
+namespace {
+
+obs::Counter& tasks_executed() {
+  static obs::Counter& c = obs::Registry::global().counter("util.pool.tasks");
+  return c;
+}
+
+obs::Histogram& queue_wait_seconds() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("util.pool.queue_wait_seconds");
+  return h;
+}
+
+}  // namespace
 
 unsigned default_jobs() {
   if (const char* env = std::getenv("HEADTALK_JOBS"); env != nullptr && *env != '\0') {
@@ -41,7 +58,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
   task_ready_.notify_one();
@@ -54,7 +71,7 @@ void ThreadPool::wait() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -62,7 +79,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    queue_wait_seconds().observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - task.enqueued)
+            .count());
+    {
+      obs::ScopedSpan span("util.pool.task");
+      task.fn();
+    }
+    tasks_executed().increment();
     {
       std::lock_guard lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

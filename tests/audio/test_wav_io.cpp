@@ -5,8 +5,10 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 namespace headtalk::audio {
 namespace {
@@ -92,6 +94,78 @@ TEST_F(WavIoTest, ThrowsOnGarbageFile) {
 TEST_F(WavIoTest, ThrowsOnZeroChannels) {
   MultiBuffer empty;
   EXPECT_THROW(write_wav(path_, empty), std::runtime_error);
+}
+
+// A corrupt capture in a 10k-file corpus must be identifiable from the
+// exception message alone: every read error names the file and the byte
+// offset where parsing stopped.
+TEST_F(WavIoTest, ErrorMessagesNameTheFile) {
+  std::ofstream(path_) << "RIFFxxxxJUNK";
+  try {
+    (void)read_wav(path_);
+    FAIL() << "expected read_wav to throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(path_.string()), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset"), std::string::npos) << what;
+  }
+}
+
+TEST_F(WavIoTest, TruncatedHeaderErrorIncludesOffset) {
+  std::ofstream(path_, std::ios::binary) << "RI";  // shorter than one tag
+  try {
+    (void)read_wav(path_);
+    FAIL() << "expected read_wav to throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find(path_.string()), std::string::npos) << what;
+  }
+}
+
+TEST_F(WavIoTest, TruncatedDataChunkErrorNamesFile) {
+  // Write a valid capture, then chop the data chunk short.
+  write_wav(path_, make_test_signal(1, 480), WavEncoding::kPcm16);
+  const auto full_size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full_size - 100);
+  try {
+    (void)read_wav(path_);
+    FAIL() << "expected read_wav to throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("data chunk"), std::string::npos) << what;
+    EXPECT_NE(what.find(path_.string()), std::string::npos) << what;
+  }
+}
+
+TEST_F(WavIoTest, UnsupportedEncodingErrorNamesFormatAndFile) {
+  // 8-bit PCM: structurally valid WAV, unsupported sample format.
+  std::ofstream out(path_, std::ios::binary);
+  auto le16 = [&](std::uint16_t v) { out.write(reinterpret_cast<char*>(&v), 2); };
+  auto le32 = [&](std::uint32_t v) { out.write(reinterpret_cast<char*>(&v), 4); };
+  out.write("RIFF", 4);
+  le32(36);
+  out.write("WAVE", 4);
+  out.write("fmt ", 4);
+  le32(16);
+  le16(1);      // PCM
+  le16(1);      // mono
+  le32(8000);   // rate
+  le32(8000);   // byte rate
+  le16(1);      // block align
+  le16(8);      // 8-bit — unsupported
+  out.write("data", 4);
+  le32(0);
+  out.close();
+  try {
+    (void)read_wav(path_);
+    FAIL() << "expected read_wav to throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unsupported encoding"), std::string::npos) << what;
+    EXPECT_NE(what.find("8-bit"), std::string::npos) << what;
+    EXPECT_NE(what.find(path_.string()), std::string::npos) << what;
+  }
 }
 
 }  // namespace

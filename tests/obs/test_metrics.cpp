@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace headtalk::obs {
+namespace {
+
+TEST(MetricsCounter, ConcurrentIncrementsAreExact) {
+  // The whole point of a relaxed-atomic counter: hammering it from every
+  // worker must lose nothing. 8 lanes x 10k increments, checked exactly.
+  Registry registry;
+  Counter& counter = registry.counter("test.hits");
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 10000;
+  util::parallel_for(kThreads, kThreads, [&](std::size_t) {
+    for (int i = 0; i < kPerThread; ++i) counter.increment();
+  });
+  EXPECT_EQ(counter.value(), kThreads * static_cast<std::uint64_t>(kPerThread));
+}
+
+TEST(MetricsCounter, AddAndReset) {
+  Counter counter;
+  counter.add(41);
+  counter.increment();
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsGauge, SetAddAndConcurrentAddIsExact) {
+  Gauge gauge;
+  gauge.set(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  gauge.add(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+
+  // CAS-loop add must not lose updates either. Integral deltas keep the
+  // double sum exact.
+  gauge.reset();
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 1000;
+  util::parallel_for(kThreads, kThreads, [&](std::size_t) {
+    for (int i = 0; i < kPerThread; ++i) gauge.add(1.0);
+  });
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(MetricsHistogram, QuantilesOnKnownInputs) {
+  // Bounds every 10 up to 100; observing 1..100 puts exactly 10 samples in
+  // each bucket, making the interpolated quantiles exact round numbers.
+  Histogram histogram(std::vector<double>{10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) histogram.observe(static_cast<double>(v));
+
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.00), 100.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.00), 0.0);
+}
+
+TEST(MetricsHistogram, OverflowRankReportsLastBound) {
+  Histogram histogram(std::vector<double>{1.0, 2.0});
+  histogram.observe(0.5);
+  histogram.observe(100.0);  // overflow bucket
+  // p99 rank lands in the overflow bucket, which has no upper edge; the
+  // histogram reports its last finite bound rather than inventing one.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 2.0);
+  const auto counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts.back(), 1u);
+}
+
+TEST(MetricsHistogram, EmptyQuantileIsZeroAndBoundsValidated) {
+  Histogram histogram(std::vector<double>{1.0});
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsHistogram, ConcurrentObservationsCountExactly) {
+  Histogram histogram(Histogram::default_seconds_bounds());
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 5000;
+  util::parallel_for(kThreads, kThreads, [&](std::size_t t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      histogram.observe(1e-4 * static_cast<double>(t + 1));
+    }
+  });
+  EXPECT_EQ(histogram.count(), kThreads * static_cast<std::uint64_t>(kPerThread));
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  Registry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.increment();
+  EXPECT_EQ(b.value(), 1u);
+
+  Histogram& h1 = registry.histogram("h", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("h", {5.0});  // bounds fixed by first call
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlaceWithoutInvalidatingReferences) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  Gauge& gauge = registry.gauge("g");
+  Histogram& histogram = registry.histogram("h", {1.0});
+  counter.add(7);
+  gauge.set(3.0);
+  histogram.observe(0.5);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(MetricsRegistry, JsonDumpParsesAndRoundTripsValues) {
+  Registry registry;
+  registry.counter("requests").add(12);
+  registry.gauge("load").set(0.75);
+  Histogram& histogram = registry.histogram("latency", {10, 20, 30, 40, 50,
+                                                        60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) histogram.observe(static_cast<double>(v));
+
+  std::ostringstream out;
+  registry.write_json(out);
+  const auto doc = util::JsonValue::parse(out.str());
+  ASSERT_TRUE(doc.is_object());
+
+  const auto* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("requests")->as_number(), 12.0);
+
+  const auto* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("load")->as_number(), 0.75);
+
+  const auto* latency = doc.find("histograms")->find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->find("count")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(latency->find("p50")->as_number(), 50.0);
+  EXPECT_DOUBLE_EQ(latency->find("p95")->as_number(), 95.0);
+  EXPECT_DOUBLE_EQ(latency->find("p99")->as_number(), 99.0);
+  EXPECT_EQ(latency->find("buckets")->as_array().size(), 10u);
+  EXPECT_DOUBLE_EQ(latency->find("overflow")->as_number(), 0.0);
+}
+
+TEST(MetricsRegistry, TextDumpListsEveryInstrument) {
+  Registry registry;
+  registry.counter("c").add(3);
+  registry.gauge("g").set(1.0);
+  registry.histogram("h", {1.0}).observe(0.5);
+  std::ostringstream out;
+  registry.write_text(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("counter c 3"), std::string::npos);
+  EXPECT_NE(text.find("gauge g 1"), std::string::npos);
+  EXPECT_NE(text.find("histogram h count=1"), std::string::npos);
+}
+
+TEST(MetricsTimer, ReportsOnceAndReturnsRecordedSeconds) {
+  Histogram histogram(std::vector<double>{1.0, 10.0});
+  {
+    Timer timer(&histogram);
+    const double first = timer.stop();
+    EXPECT_GE(first, 0.0);
+    EXPECT_DOUBLE_EQ(timer.stop(), first);  // idempotent; same value back
+  }  // destructor must not observe a second time
+  EXPECT_EQ(histogram.count(), 1u);
+  Timer no_sink;  // null sink is fine
+  EXPECT_GE(no_sink.stop(), 0.0);
+}
+
+}  // namespace
+}  // namespace headtalk::obs

@@ -1,0 +1,137 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace headtalk::obs {
+namespace {
+
+// Tracing state is process-global; each test starts from a clean slate and
+// leaves tracing off so suites can run in any order.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(false);
+    Tracer::global().clear();
+  }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(tracing_enabled());
+  { ScopedSpan span("should.not.appear"); }
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+}
+
+TEST_F(TracerTest, EnabledSpanIsRecorded) {
+  set_tracing_enabled(true);
+  { ScopedSpan span("unit.span"); }
+  EXPECT_EQ(Tracer::global().span_count(), 1u);
+}
+
+TEST_F(TracerTest, ExportIsValidChromeTraceJson) {
+  set_tracing_enabled(true);
+  { ScopedSpan span("alpha"); }
+  { ScopedSpan span("beta"); }
+  set_tracing_enabled(false);
+
+  std::ostringstream out;
+  Tracer::global().write_chrome_trace(out);
+  const auto doc = util::JsonValue::parse(out.str());
+  ASSERT_TRUE(doc.is_object());
+
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), 2u);
+
+  std::set<std::string> names;
+  for (const auto& event : events->as_array()) {
+    // Complete ("X") events need name/cat/ph/ts/dur/pid/tid to render.
+    EXPECT_EQ(event.find("ph")->as_string(), "X");
+    EXPECT_EQ(event.find("cat")->as_string(), "headtalk");
+    EXPECT_TRUE(event.find("ts")->is_number());
+    EXPECT_TRUE(event.find("dur")->is_number());
+    EXPECT_TRUE(event.find("pid")->is_number());
+    EXPECT_TRUE(event.find("tid")->is_number());
+    EXPECT_GE(event.find("dur")->as_number(), 0.0);
+    names.insert(event.find("name")->as_string());
+  }
+  EXPECT_TRUE(names.contains("alpha"));
+  EXPECT_TRUE(names.contains("beta"));
+}
+
+TEST_F(TracerTest, SpansFromWorkerThreadsAllExport) {
+  set_tracing_enabled(true);
+  constexpr unsigned kThreads = 4;
+  constexpr int kPerThread = 50;
+  util::parallel_for(kThreads, kThreads, [&](std::size_t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ScopedSpan span("worker.span");
+    }
+  });
+  set_tracing_enabled(false);
+
+  // The pool instruments itself (util.pool.task spans), so count only this
+  // test's spans in the export rather than pinning the grand total.
+  EXPECT_GE(Tracer::global().span_count(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(Tracer::global().dropped_count(), 0u);
+
+  std::ostringstream out;
+  Tracer::global().write_chrome_trace(out);
+  const auto doc = util::JsonValue::parse(out.str());
+  std::size_t worker_spans = 0;
+  for (const auto& event : doc.find("traceEvents")->as_array()) {
+    if (event.find("name")->as_string() == "worker.span") ++worker_spans;
+  }
+  EXPECT_EQ(worker_spans, static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST_F(TracerTest, RingWrapsAndReportsDropped) {
+  set_tracing_enabled(true);
+  // One thread, more spans than one ring holds: the ring keeps the newest
+  // kRingCapacity (4096) and reports the rest as dropped.
+  constexpr int kSpans = 5000;
+  for (int i = 0; i < kSpans; ++i) {
+    Tracer::global().record("wrap.span", static_cast<std::uint64_t>(i), 1);
+  }
+  set_tracing_enabled(false);
+  EXPECT_EQ(Tracer::global().span_count(), 4096u);
+  EXPECT_EQ(Tracer::global().dropped_count(), static_cast<std::size_t>(kSpans) - 4096u);
+}
+
+TEST_F(TracerTest, ClearEmptiesEveryRing) {
+  set_tracing_enabled(true);
+  { ScopedSpan span("to.clear"); }
+  set_tracing_enabled(false);
+  ASSERT_EQ(Tracer::global().span_count(), 1u);
+  Tracer::global().clear();
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+  EXPECT_EQ(Tracer::global().dropped_count(), 0u);
+}
+
+TEST_F(TracerTest, EmptyTraceStillParses) {
+  std::ostringstream out;
+  Tracer::global().write_chrome_trace(out);
+  const auto doc = util::JsonValue::parse(out.str());
+  EXPECT_TRUE(doc.find("traceEvents")->as_array().empty());
+}
+
+TEST_F(TracerTest, NowMicrosIsMonotonic) {
+  const auto a = now_micros();
+  const auto b = now_micros();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace headtalk::obs

@@ -191,6 +191,65 @@ TEST_F(FeatureCacheTest, ConcurrentOverlappingStoresAndLoadsRoundTrip) {
   }
 }
 
+TEST_F(FeatureCacheTest, StatsCountHitsMissesAndStores) {
+  FeatureCache cache(dir_);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  cache.store("k", {1.0, 2.0});
+  EXPECT_EQ(cache.stats().stores, 1u);
+
+  (void)cache.load("k");
+  (void)cache.load("k");
+  (void)cache.load("absent");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.evicted_bytes, 0u);
+}
+
+TEST_F(FeatureCacheTest, StatsAreSharedAcrossCopies) {
+  FeatureCache cache(dir_);
+  FeatureCache copy = cache;  // collector copies share one tally
+  cache.store("k", {1.0});
+  (void)copy.load("k");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(copy.stats().stores, 1u);
+}
+
+TEST_F(FeatureCacheTest, DisabledCacheCountsNothing) {
+  FeatureCache cache{std::filesystem::path{}};
+  cache.store("k", {1.0});
+  (void)cache.load("k");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.stores, 0u);
+}
+
+TEST_F(FeatureCacheTest, CorruptEntryCountsAsMiss) {
+  FeatureCache cache(dir_);
+  cache.store("k", {1.0, 2.0});
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::filesystem::resize_file(entry.path(), 6);
+  }
+  (void)cache.load("k");
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_F(FeatureCacheTest, ConcurrentStatsAreExact) {
+  FeatureCache cache(dir_);
+  cache.store("shared", {1.0});
+  constexpr unsigned kThreads = 8;
+  constexpr int kLoads = 200;
+  util::parallel_for(kThreads, kThreads, [&](std::size_t) {
+    for (int i = 0; i < kLoads; ++i) (void)cache.load("shared");
+  });
+  EXPECT_EQ(cache.stats().hits, kThreads * static_cast<std::uint64_t>(kLoads));
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
 TEST_F(FeatureCacheTest, EmptyVectorRoundTrips) {
   FeatureCache cache(dir_);
   cache.store("empty", {});

@@ -19,6 +19,8 @@
 #include "core/orientation_classifier.h"
 #include "core/orientation_features.h"
 #include "core/preprocess.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 using namespace headtalk;
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
   args.add_flag("--wav", "capture(s) to classify (comma-separated for a batch)");
   args.add_flag("--device", "device the capture came from (aperture): D1|D2|D3", "D2");
   cli::add_jobs_flag(args);
+  cli::add_obs_flags(args);
 
   try {
     args.parse(argc, argv);
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
       std::fputs(args.usage().c_str(), stdout);
       return 0;
     }
+    cli::ObsSession obs_session(args);
 
     const std::filesystem::path model_dir = args.get("--models");
     const core::OrientationClassifier orientation = [&] {
@@ -74,20 +78,49 @@ int main(int argc, char** argv) {
     // Scoring a capture is independent work against const models; batches
     // fan out across --jobs workers and reports print in input order.
     std::vector<std::string> reports(wavs.size());
+    static obs::Histogram& capture_seconds =
+        obs::Registry::global().histogram("infer.capture_seconds");
     util::parallel_for(wavs.size(), cli::jobs_from(args), [&](std::size_t i) {
-      const auto raw = audio::read_wav(wavs[i]);
-      const auto clean = core::preprocess(raw);
+      obs::Timer timer(&capture_seconds);
+      const auto raw = [&] {
+        obs::ScopedSpan span("infer.read_wav");
+        return audio::read_wav(wavs[i]);
+      }();
+      const auto clean = [&] {
+        obs::ScopedSpan span("pipeline.preprocess");
+        return core::preprocess(raw);
+      }();
 
-      const double live_score = liveness.score(liveness_features.extract(clean.channel(0)));
+      const auto live_features = [&] {
+        obs::ScopedSpan span("pipeline.liveness_features");
+        return liveness_features.extract(clean.channel(0));
+      }();
+      const double live_score = [&] {
+        obs::ScopedSpan span("pipeline.liveness_score");
+        return liveness.score(live_features);
+      }();
       const bool live = live_score >= liveness.config().threshold;
 
-      const auto features = extractor.extract(clean);
-      const double orient_score = orientation.score(features);
-      const bool facing = orientation.is_facing(features);
+      const auto features = [&] {
+        obs::ScopedSpan span("pipeline.orientation_features");
+        return extractor.extract(clean);
+      }();
+      double orient_score = 0.0;
+      bool facing = false;
+      {
+        obs::ScopedSpan span("pipeline.orientation_score");
+        orient_score = orientation.score(features);
+        facing = orientation.is_facing(features);
+      }
 
       const char* decision = !live    ? "rejected-replay"
                              : facing ? "ACCEPTED"
                                       : "rejected-not-facing";
+      obs::Registry::global()
+          .counter(!live    ? "infer.decision.rejected_replay"
+                   : facing ? "infer.decision.accepted"
+                            : "infer.decision.rejected_not_facing")
+          .increment();
       char text[512];
       std::snprintf(text, sizeof text,
                     "capture: %zu channels, %.0f ms after trimming\n"

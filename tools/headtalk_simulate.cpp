@@ -17,6 +17,7 @@
 #include "audio/wav_io.h"
 #include "cli/args.h"
 #include "cli/names.h"
+#include "obs/trace.h"
 #include "sim/collector.h"
 #include "util/thread_pool.h"
 
@@ -50,7 +51,9 @@ int main(int argc, char** argv) {
   args.add_flag("--reps", "repetitions per angle per session", "1");
   args.add_flag("--loudness", "speech level, dB SPL", "70");
   args.add_flag("--user", "speaker identity (0 = enrolled user)", "0");
+  args.add_switch("--cache-stats", "print feature-cache hit/miss/store stats on exit");
   cli::add_jobs_flag(args);
+  cli::add_obs_flags(args);
 
   try {
     args.parse(argc, argv);
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
       std::fputs(args.usage().c_str(), stdout);
       return 0;
     }
+    cli::ObsSession obs_session(args);
 
     const std::filesystem::path out_dir = args.get("--out");
     std::filesystem::create_directories(out_dir);
@@ -110,7 +114,10 @@ int main(int argc, char** argv) {
     std::atomic<std::size_t> written{0};
     util::parallel_for(specs.size(), cli::jobs_from(args), [&](std::size_t i) {
       const auto capture = collector.capture(specs[i]);
-      audio::write_wav(out_dir / names[i], capture, audio::WavEncoding::kFloat32);
+      {
+        obs::ScopedSpan span("simulate.write_wav");
+        audio::write_wav(out_dir / names[i], capture, audio::WavEncoding::kFloat32);
+      }
       std::fprintf(stderr, "\r  %zu captures written",
                    written.fetch_add(1, std::memory_order_relaxed) + 1);
     });
@@ -122,6 +129,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "\n");
     std::printf("wrote %zu captures + manifest.tsv to %s\n", specs.size(),
                 out_dir.string().c_str());
+    if (args.get_switch("--cache-stats")) {
+      const auto stats = collector.cache().stats();
+      std::printf("feature cache (%s): hits %llu  misses %llu  stores %llu  "
+                  "evicted bytes %llu\n",
+                  collector.cache().enabled()
+                      ? collector.cache().directory().string().c_str()
+                      : "disabled: raw renders bypass the feature cache",
+                  static_cast<unsigned long long>(stats.hits),
+                  static_cast<unsigned long long>(stats.misses),
+                  static_cast<unsigned long long>(stats.stores),
+                  static_cast<unsigned long long>(stats.evicted_bytes));
+    }
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n\n%s", error.what(), args.usage().c_str());

@@ -20,6 +20,8 @@
 #include "core/orientation_classifier.h"
 #include "core/orientation_features.h"
 #include "core/preprocess.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 using namespace headtalk;
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
   args.add_flag("--out", "directory to write orientation.htm / liveness.htm");
   args.add_switch("--tune-svm", "grid-search the SVM (C, gamma) as in the paper");
   cli::add_jobs_flag(args);
+  cli::add_obs_flags(args);
 
   try {
     args.parse(argc, argv);
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
       std::fputs(args.usage().c_str(), stdout);
       return 0;
     }
+    cli::ObsSession obs_session(args);
 
     const std::filesystem::path data_dir = args.get("--data");
     const std::filesystem::path out_dir = args.get("--out");
@@ -88,7 +92,11 @@ int main(int argc, char** argv) {
     std::vector<Extracted> extracted(entries.size());
     const core::LivenessFeatureExtractor liveness_features;
     std::atomic<std::size_t> processed{0};
+    static obs::Histogram& extract_seconds =
+        obs::Registry::global().histogram("train.extract_seconds");
     util::parallel_for(entries.size(), cli::jobs_from(args), [&](std::size_t i) {
+      obs::ScopedSpan span("train.extract_capture");
+      obs::Timer timer(&extract_seconds);
       const auto& entry = entries[i];
       const auto raw = audio::read_wav(entry.file);
       const auto clean = core::preprocess(raw);
@@ -136,7 +144,10 @@ int main(int argc, char** argv) {
     core::OrientationClassifierConfig orientation_config;
     orientation_config.tune_svm = args.get_switch("--tune-svm");
     core::OrientationClassifier orientation(orientation_config);
-    orientation.train(orientation_data);
+    {
+      obs::ScopedSpan span("train.fit_orientation");
+      orientation.train(orientation_data);
+    }
     {
       std::ofstream out(out_dir / "orientation.htm", std::ios::binary);
       orientation.save(out);
@@ -144,7 +155,10 @@ int main(int argc, char** argv) {
 
     core::LivenessDetector liveness;
     if (liveness_data.distinct_labels().size() == 2) {
-      liveness.train(liveness_data);
+      {
+        obs::ScopedSpan span("train.fit_liveness");
+        liveness.train(liveness_data);
+      }
       std::ofstream out(out_dir / "liveness.htm", std::ios::binary);
       liveness.save(out);
     } else {

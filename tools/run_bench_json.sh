@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Runs the fast bench subset and validates the perf records they emit.
+#
+#   tools/run_bench_json.sh [build-dir]
+#
+# Each bench appends one JSON line to $HEADTALK_BENCH_OUT/BENCH_<id>.json
+# (see bench/bench_common.h PerfRecorder). This script points the records
+# at a scratch directory, runs the three cheapest benches (fig3 renders
+# nothing; fig5/fig6 render a handful of captures), and then checks every
+# record against the checked-in shape schema with validate_bench_json.
+# Wired into ctest as `bench_json_smoke` (label: bench-smoke).
+set -eu
+
+repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_dir/build"}
+schema="$repo_dir/bench/bench_record_schema.json"
+
+for bench in bench_fig3_spectra bench_fig5_forward_backward bench_fig6_gcc_srp; do
+  if [ ! -x "$build_dir/bench/$bench" ]; then
+    echo "run_bench_json.sh: $build_dir/bench/$bench not built" >&2
+    echo "  (build first: cmake --build $build_dir --target $bench)" >&2
+    exit 2
+  fi
+done
+
+out_dir="$build_dir/bench/out"
+rm -rf "$out_dir"
+mkdir -p "$out_dir"
+export HEADTALK_BENCH_OUT="$out_dir"
+
+for bench in bench_fig3_spectra bench_fig5_forward_backward bench_fig6_gcc_srp; do
+  echo "== $bench =="
+  "$build_dir/bench/$bench" > /dev/null
+done
+
+records=$(find "$out_dir" -name 'BENCH_*.json' | sort)
+if [ -z "$records" ]; then
+  echo "run_bench_json.sh: no BENCH_*.json records written to $out_dir" >&2
+  exit 1
+fi
+count=$(printf '%s\n' "$records" | wc -l)
+if [ "$count" -lt 3 ]; then
+  echo "run_bench_json.sh: expected >= 3 records, found $count:" >&2
+  printf '%s\n' "$records" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+"$build_dir/tools/validate_bench_json" "$schema" $records

@@ -18,11 +18,13 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DHEADTALK_BUILD_BENCHES=OFF \
   -DHEADTALK_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target tests_util tests_sim tests_integration
+  --target tests_util tests_obs tests_sim tests_integration
 
 # halt_on_error: a single data race fails the run instead of scrolling by.
+# The obs patterns cover the concurrent-counter exactness tests and the
+# per-thread trace rings (Metrics*, Tracer*).
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|Experiment\.|Collector|EndToEnd|WavPipeline'
+  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|Experiment\.|Collector|EndToEnd|WavPipeline|Metrics|Tracer'
 
 echo "TSan test subset passed with zero reported races."

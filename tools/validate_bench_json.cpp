@@ -1,0 +1,137 @@
+// validate_bench_json — checks bench perf records against a shape schema.
+//
+//   validate_bench_json <schema.json> <record.json> [<record.json> ...]
+//
+// Each record file holds one JSON object per line (JSONL; a bench appends
+// one line per run). The schema is a small checked-in JSON object:
+//
+//   { "required_keys": ["bench", ...], "numeric_keys": ["wall_seconds", ...],
+//     "string_keys": ["bench", ...] }
+//
+// Every line must parse as a JSON object, contain every required key,
+// and type-check: numeric_keys must be finite numbers (the parser already
+// rejects NaN/Infinity literals), string_keys must be non-empty strings.
+// Exit code 0 when every line of every file passes, 1 otherwise, with one
+// diagnostic line per failure.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+using headtalk::util::JsonError;
+using headtalk::util::JsonValue;
+
+namespace {
+
+std::vector<std::string> string_list(const JsonValue& schema, const char* key) {
+  std::vector<std::string> out;
+  if (const JsonValue* node = schema.find(key)) {
+    for (const auto& item : node->as_array()) out.push_back(item.as_string());
+  }
+  return out;
+}
+
+std::string read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(std::string("cannot read ") + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Returns the number of problems found in one record line (0 = clean).
+int check_record(const char* path, std::size_t line_no, const std::string& line,
+                 const std::vector<std::string>& required,
+                 const std::vector<std::string>& numeric,
+                 const std::vector<std::string>& strings) {
+  JsonValue record;
+  try {
+    record = JsonValue::parse(line);
+  } catch (const JsonError& error) {
+    std::fprintf(stderr, "%s:%zu: not valid JSON: %s\n", path, line_no, error.what());
+    return 1;
+  }
+  if (!record.is_object()) {
+    std::fprintf(stderr, "%s:%zu: record is not a JSON object\n", path, line_no);
+    return 1;
+  }
+  int problems = 0;
+  for (const auto& key : required) {
+    if (record.find(key) == nullptr) {
+      std::fprintf(stderr, "%s:%zu: missing required key \"%s\"\n", path, line_no,
+                   key.c_str());
+      ++problems;
+    }
+  }
+  for (const auto& key : numeric) {
+    const JsonValue* node = record.find(key);
+    if (node != nullptr && !node->is_number()) {
+      std::fprintf(stderr, "%s:%zu: key \"%s\" is not a number\n", path, line_no,
+                   key.c_str());
+      ++problems;
+    }
+  }
+  for (const auto& key : strings) {
+    const JsonValue* node = record.find(key);
+    if (node != nullptr && (!node->is_string() || node->as_string().empty())) {
+      std::fprintf(stderr, "%s:%zu: key \"%s\" is not a non-empty string\n", path,
+                   line_no, key.c_str());
+      ++problems;
+    }
+  }
+  return problems;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <schema.json> <record.json> [...]\n", argv[0]);
+    return 2;
+  }
+  try {
+    const JsonValue schema = JsonValue::parse(read_file(argv[1]));
+    const auto required = string_list(schema, "required_keys");
+    const auto numeric = string_list(schema, "numeric_keys");
+    const auto strings = string_list(schema, "string_keys");
+
+    int problems = 0;
+    std::size_t records = 0;
+    for (int i = 2; i < argc; ++i) {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+        ++problems;
+        continue;
+      }
+      std::string line;
+      std::size_t line_no = 0;
+      std::size_t file_records = 0;
+      while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        problems += check_record(argv[i], line_no, line, required, numeric, strings);
+        ++file_records;
+      }
+      if (file_records == 0) {
+        std::fprintf(stderr, "%s: no records\n", argv[i]);
+        ++problems;
+      }
+      records += file_records;
+    }
+    if (problems > 0) {
+      std::fprintf(stderr, "validate_bench_json: %d problem(s) in %zu record(s)\n",
+                   problems, records);
+      return 1;
+    }
+    std::printf("validate_bench_json: %zu record(s) across %d file(s) OK\n", records,
+                argc - 2);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "validate_bench_json: %s\n", error.what());
+    return 2;
+  }
+}
