@@ -20,6 +20,8 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -60,6 +62,19 @@ class PerfRecorder {
 
   void add_samples(std::size_t n) { samples_ += n; }
 
+  /// Adds (or overwrites) an extra numeric field in the perf record —
+  /// e.g. rps / p50_seconds for the serving bench. Keys must be plain
+  /// [a-z0-9_] identifiers; values must be finite.
+  void set_metric(const std::string& key, double value) {
+    for (auto& [existing, slot] : metrics_) {
+      if (existing == key) {
+        slot = value;
+        return;
+      }
+    }
+    metrics_.emplace_back(key, value);
+  }
+
   ~PerfRecorder() {
     if (!started_) return;
     const double wall_seconds =
@@ -83,14 +98,21 @@ class PerfRecorder {
     std::snprintf(line, sizeof line,
                   "{\"bench\":\"%s\",\"title\":\"%s\",\"wall_seconds\":%.6f,"
                   "\"samples\":%zu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
-                  "\"cache_stores\":%llu,\"jobs\":%u}",
+                  "\"cache_stores\":%llu,\"jobs\":%u",
                   util::json_escape(id_).c_str(), util::json_escape(title_).c_str(),
                   wall_seconds, samples_,
                   static_cast<unsigned long long>(cache_hits_->value()),
                   static_cast<unsigned long long>(cache_misses_->value()),
                   static_cast<unsigned long long>(cache_stores_->value()),
                   util::default_jobs());
-    out << line << '\n';
+    std::string record(line);
+    for (const auto& [key, value] : metrics_) {
+      std::snprintf(line, sizeof line, ",\"%s\":%.6f", util::json_escape(key).c_str(),
+                    value);
+      record += line;
+    }
+    record += '}';
+    out << record << '\n';
     obs::log_info("bench.record.written", {{"path", path.string()}});
   }
 
@@ -106,12 +128,14 @@ class PerfRecorder {
         cache_misses_(&obs::Registry::global().counter("sim.cache.miss")),
         cache_stores_(&obs::Registry::global().counter("sim.cache.store")) {}
 
-  /// "Fig. 5" -> "fig5", "Liveness (§IV-A1)" -> "livenessiva1".
+  /// "Fig. 5" -> "fig5", "serve_throughput" -> "serve_throughput".
+  /// Underscores survive so multi-word bench ids stay readable in their
+  /// BENCH_<id>.json filename (no pre-existing id contains one).
   static std::string sanitize_id(const char* id) {
     std::string out;
     for (const char* p = id; *p != '\0'; ++p) {
       const unsigned char c = static_cast<unsigned char>(*p);
-      if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
         out.push_back(static_cast<char>(c));
       } else if (c >= 'A' && c <= 'Z') {
         out.push_back(static_cast<char>(c - 'A' + 'a'));
@@ -127,6 +151,7 @@ class PerfRecorder {
   std::string id_;
   std::string title_;
   std::size_t samples_ = 0;
+  std::vector<std::pair<std::string, double>> metrics_;
   std::chrono::steady_clock::time_point start_{};
 };
 

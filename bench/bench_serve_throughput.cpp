@@ -1,0 +1,180 @@
+// Serving throughput: closed-loop clients against an in-process daemon.
+//
+// Spins up the serve::Server on a temp Unix socket with a trained (tiny,
+// synthetic) pipeline, drives it with concurrent closed-loop clients —
+// each connection scores its utterances back-to-back — and reports RPS
+// plus client-observed p50/p95/p99 latency. The perf record gains the
+// same four numbers (rps, p50_seconds, p95_seconds, p99_seconds), so CI
+// tracks serving regressions exactly like collection-cost regressions.
+//
+// Knobs: $HEADTALK_SERVE_BENCH_CLIENTS (default 8) and
+// $HEADTALK_SERVE_BENCH_UTTERANCES per client (default 3).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+using namespace headtalk;
+
+namespace {
+
+unsigned env_or(const char* name, unsigned fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  const long value = std::strtol(env, nullptr, 10);
+  return value > 0 ? static_cast<unsigned>(value) : fallback;
+}
+
+// Same synthetic-training shortcut as bench_runtime: scoring cost depends
+// on feature dimension and model size, not on how the models were fit.
+core::OrientationClassifier make_orientation() {
+  core::OrientationFeatureExtractor extractor;
+  const auto dim = extractor.dimension(4);
+  std::mt19937 rng(1);
+  std::normal_distribution<double> g(0.0, 1.0);
+  ml::Dataset data;
+  for (int i = 0; i < 80; ++i) {
+    ml::FeatureVector a(dim), b(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      a[j] = g(rng) + 1.0;
+      b[j] = g(rng) - 1.0;
+    }
+    data.add(std::move(a), core::kLabelFacing);
+    data.add(std::move(b), core::kLabelNonFacing);
+  }
+  core::OrientationClassifier clf;
+  clf.train(data);
+  return clf;
+}
+
+core::LivenessDetector make_liveness() {
+  core::LivenessFeatureExtractor extractor;
+  const auto dim = extractor.dimension();
+  std::mt19937 rng(2);
+  std::normal_distribution<double> g(0.0, 1.0);
+  ml::Dataset data;
+  for (int i = 0; i < 80; ++i) {
+    ml::FeatureVector a(dim), b(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      a[j] = g(rng) + 1.0;
+      b[j] = g(rng) - 1.0;
+    }
+    data.add(std::move(a), core::kLabelLive);
+    data.add(std::move(b), core::kLabelReplay);
+  }
+  core::LivenessDetector det;
+  det.train(data);
+  return det;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("serve_throughput",
+                     "inference daemon RPS and latency under concurrent clients");
+
+  const unsigned clients = env_or("HEADTALK_SERVE_BENCH_CLIENTS", 8);
+  const unsigned utterances = env_or("HEADTALK_SERVE_BENCH_UTTERANCES", 3);
+
+  // One rendered capture, replayed by every client: the server still does
+  // the full preprocess + feature + score work per utterance.
+  sim::CollectorConfig cfg;
+  cfg.cache_enabled = false;
+  const sim::Collector collector(cfg);
+  sim::SampleSpec spec;
+  spec.location = {sim::GridRadial::kMiddle, 3.0};
+  const audio::MultiBuffer capture = collector.capture(spec);
+
+  const core::HeadTalkPipeline pipeline(make_orientation(), make_liveness());
+
+  serve::ServerConfig config;
+  config.socket_path = std::filesystem::temp_directory_path() /
+                       ("headtalk_bench_serve_" + std::to_string(::getpid()) + ".sock");
+  config.max_pending = 2 * clients + 8;
+  config.request_deadline_ms = 120000;  // scoring on a loaded 1-CPU host is slow
+  serve::Server server(pipeline, config);
+  server.start();
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::string> failures(clients);
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (unsigned i = 0; i < clients; ++i) {
+      threads.emplace_back([&, i] {
+        try {
+          auto client = serve::BlockingClient::connect_unix(config.socket_path);
+          serve::Hello hello;
+          hello.sample_rate_hz = static_cast<std::uint32_t>(capture.sample_rate());
+          hello.channels = static_cast<std::uint16_t>(capture.channel_count());
+          (void)client.hello(hello);
+          for (unsigned u = 0; u < utterances; ++u) {
+            const auto start = std::chrono::steady_clock::now();
+            (void)client.score(capture);
+            latencies[i].push_back(
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                    .count());
+          }
+        } catch (const std::exception& error) {
+          failures[i] = error.what();
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  server.stop();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  for (unsigned i = 0; i < clients; ++i) {
+    if (!failures[i].empty()) {
+      std::fprintf(stderr, "client %u failed: %s\n", i, failures[i].c_str());
+    }
+  }
+  if (all.empty()) {
+    std::fprintf(stderr, "no decisions completed; not recording\n");
+    return 1;
+  }
+  const auto quantile = [&](double q) {
+    const auto rank = static_cast<std::size_t>(q * static_cast<double>(all.size() - 1));
+    return all[rank];
+  };
+  const double rps = static_cast<double>(all.size()) / wall;
+  const double p50 = quantile(0.50), p95 = quantile(0.95), p99 = quantile(0.99);
+
+  const auto stats = server.stats();
+  std::printf("clients %u  utterances/client %u  workers auto\n", clients, utterances);
+  std::printf("decisions %llu  wall %.2f s  RPS %.2f\n",
+              static_cast<unsigned long long>(stats.decisions), wall, rps);
+  std::printf("latency p50 %.1f ms  p95 %.1f ms  p99 %.1f ms\n", 1000.0 * p50,
+              1000.0 * p95, 1000.0 * p99);
+  bench::print_note(
+      "closed-loop clients over a Unix socket; latency includes framing, the\n"
+      "bounded queue, and the full preprocess+score path per utterance.");
+
+  bench::PerfRecorder::instance().add_samples(all.size());
+  bench::PerfRecorder::instance().set_metric("rps", rps);
+  bench::PerfRecorder::instance().set_metric("p50_seconds", p50);
+  bench::PerfRecorder::instance().set_metric("p95_seconds", p95);
+  bench::PerfRecorder::instance().set_metric("p99_seconds", p99);
+  const bool ok =
+      std::all_of(failures.begin(), failures.end(),
+                  [](const std::string& text) { return text.empty(); }) &&
+      stats.decisions ==
+          static_cast<std::uint64_t>(clients) * static_cast<std::uint64_t>(utterances);
+  return ok ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "cli/args.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -26,6 +27,43 @@ const ArgParser::Flag* ArgParser::find(const std::string& name) const {
   return nullptr;
 }
 
+namespace {
+
+/// Plain Levenshtein distance; flag names are short, so the quadratic
+/// rolling-row version is plenty.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string ArgParser::suggest(const std::string& name) const {
+  std::string best;
+  std::size_t best_distance = std::string::npos;
+  for (const auto& [flag_name, flag] : declarations_) {
+    const std::size_t distance = edit_distance(name, flag_name);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = flag_name;
+    }
+  }
+  // Only offer a close match: a typo is 1-2 edits, not a different word.
+  const std::size_t threshold = name.size() <= 5 ? 1 : 2;
+  if (!best.empty() && best_distance <= threshold) return best;
+  return {};
+}
+
 void ArgParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
@@ -43,7 +81,14 @@ void ArgParser::parse(int argc, const char* const* argv) {
       inline_value = token.substr(eq + 1);
     }
     const Flag* flag = find(name);
-    if (flag == nullptr) throw ArgsError("unknown flag '" + name + "'");
+    if (flag == nullptr) {
+      std::string message = "unknown flag '" + name + "'";
+      if (const std::string closest = suggest(name); !closest.empty()) {
+        message += " (did you mean '" + closest + "'?)";
+      }
+      message += "; run with --help for the flag list";
+      throw ArgsError(message);
+    }
     if (flag->is_switch) {
       if (inline_value) throw ArgsError("switch '" + name + "' takes no value");
       values_[name] = "1";

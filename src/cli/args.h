@@ -61,6 +61,9 @@ class ArgParser {
   bool help_requested_ = false;
 
   [[nodiscard]] const Flag* find(const std::string& name) const;
+  /// Closest declared flag name within a small edit distance ("" if none);
+  /// powers the did-you-mean hint on unknown-flag errors.
+  [[nodiscard]] std::string suggest(const std::string& name) const;
 };
 
 /// Declares the shared `--jobs` flag (default "0" = auto: $HEADTALK_JOBS,

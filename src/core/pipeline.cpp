@@ -82,23 +82,35 @@ void HeadTalkPipeline::set_mode(VaMode mode) noexcept {
 
 PipelineResult HeadTalkPipeline::evaluate(const audio::MultiBuffer& capture,
                                           bool followup) {
+  const PipelineResult result =
+      score_capture(capture, mode_, followup, session_active_);
+  session_active_ = result.session_open_after;
+  return result;
+}
+
+PipelineResult HeadTalkPipeline::score_capture(const audio::MultiBuffer& capture,
+                                               VaMode mode, bool followup,
+                                               bool session_active) const {
   obs::ScopedSpan span("pipeline.evaluate");
   static obs::Histogram& evaluate_seconds =
       obs::Registry::global().histogram("pipeline.evaluate_seconds");
   obs::Timer timer(&evaluate_seconds);
-  const PipelineResult result = evaluate_stages(capture, followup);
+  const PipelineResult result =
+      evaluate_stages(capture, mode, followup, session_active);
   count_decision(result.decision);
   return result;
 }
 
 PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& capture,
-                                                 bool followup) {
+                                                 VaMode mode, bool followup,
+                                                 bool session_active) const {
   PipelineResult result;
-  if (mode_ == VaMode::kMute) {
+  result.session_open_after = session_active;
+  if (mode == VaMode::kMute) {
     result.decision = Decision::kRejectedMuted;
     return result;
   }
-  if (mode_ == VaMode::kNormal) {
+  if (mode == VaMode::kNormal) {
     result.decision = Decision::kAccepted;
     return result;
   }
@@ -123,11 +135,11 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
   result.live = result.liveness_score >= liveness_.config().threshold;
   if (!result.live) {
     result.decision = Decision::kRejectedReplay;
-    session_active_ = false;
+    result.session_open_after = false;
     return result;
   }
 
-  if (followup && session_active_) {
+  if (followup && session_active) {
     result.via_open_session = true;
     result.decision = Decision::kAccepted;
     return result;
@@ -148,7 +160,7 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
     return result;
   }
   result.decision = Decision::kAccepted;
-  session_active_ = true;
+  result.session_open_after = true;
   return result;
 }
 

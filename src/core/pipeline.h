@@ -45,6 +45,9 @@ struct PipelineResult {
   double orientation_score = 0.0;
   /// True when the acceptance came from an already-open session.
   bool via_open_session = false;
+  /// Session state a caller should carry into the next utterance (an
+  /// accepted facing wake word opens it, a replay closes it).
+  bool session_open_after = false;
 };
 
 struct PipelineConfig {
@@ -75,6 +78,15 @@ class HeadTalkPipeline {
   /// wake word).
   [[nodiscard]] PipelineResult process_followup(const audio::MultiBuffer& capture);
 
+  /// Stateless, thread-safe scoring used by the serving layer: evaluates
+  /// one capture under `mode` with the caller's session flag instead of the
+  /// pipeline's own. The models and extractors are only read, so any number
+  /// of threads may score against one resident pipeline concurrently;
+  /// `result.session_open_after` is the state the caller carries forward.
+  [[nodiscard]] PipelineResult score_capture(const audio::MultiBuffer& capture,
+                                             VaMode mode, bool followup,
+                                             bool session_active) const;
+
   [[nodiscard]] const OrientationClassifier& orientation() const noexcept {
     return orientation_;
   }
@@ -85,7 +97,8 @@ class HeadTalkPipeline {
   [[nodiscard]] PipelineResult evaluate(const audio::MultiBuffer& capture,
                                         bool followup);
   [[nodiscard]] PipelineResult evaluate_stages(const audio::MultiBuffer& capture,
-                                               bool followup);
+                                               VaMode mode, bool followup,
+                                               bool session_active) const;
 
   OrientationClassifier orientation_;
   LivenessDetector liveness_;

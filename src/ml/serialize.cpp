@@ -1,6 +1,7 @@
 #include "ml/serialize.h"
 
 #include <bit>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 
@@ -71,15 +72,28 @@ void write_header(std::ostream& out, std::uint32_t magic, std::uint32_t version)
   write_u32(out, version);
 }
 
+namespace {
+
+std::string hex_u32(std::uint32_t value) {
+  char text[11];
+  std::snprintf(text, sizeof text, "0x%08x", value);
+  return text;
+}
+
+}  // namespace
+
 void expect_header(std::istream& in, std::uint32_t magic, std::uint32_t version,
                    const char* what) {
   const auto got_magic = read_u32(in);
   if (got_magic != magic) {
-    throw SerializationError(std::string(what) + ": wrong magic tag");
+    throw SerializationError(std::string(what) + ": wrong magic tag (got " +
+                             hex_u32(got_magic) + ", expected " + hex_u32(magic) + ")");
   }
   const auto got_version = read_u32(in);
   if (got_version != version) {
-    throw SerializationError(std::string(what) + ": unsupported format version");
+    throw SerializationError(std::string(what) + ": unsupported format version (got " +
+                             std::to_string(got_version) + ", expected " +
+                             std::to_string(version) + ")");
   }
 }
 

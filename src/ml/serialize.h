@@ -8,7 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -37,11 +38,31 @@ void write_string(std::ostream& out, const std::string& text);
                                                   std::size_t max_size = 1u << 26);
 [[nodiscard]] std::string read_string(std::istream& in, std::size_t max_size = 1u << 16);
 
-/// Writes/checks a model header: magic tag + format version.
+/// Writes/checks a model header: magic tag + format version. A mismatch
+/// reports both magic values in hex so a "loaded the wrong file" mistake is
+/// diagnosable from the message alone.
 void write_header(std::ostream& out, std::uint32_t magic, std::uint32_t version);
 void expect_header(std::istream& in, std::uint32_t magic, std::uint32_t version,
                    const char* what);
 
 }  // namespace io
+
+/// Loads a persisted model (any type with a static `load(std::istream&)`)
+/// from a file, turning every failure — missing file, wrong magic,
+/// truncated payload — into a SerializationError that names the offending
+/// path. Use this instead of hand-rolled ifstream + Model::load so error
+/// messages always say *which* file was bad.
+template <typename Model>
+[[nodiscard]] Model load_model_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("cannot open model file: " + path.string());
+  }
+  try {
+    return Model::load(in);
+  } catch (const SerializationError& error) {
+    throw SerializationError(path.string() + ": " + error.what());
+  }
+}
 
 }  // namespace headtalk::ml

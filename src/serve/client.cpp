@@ -1,0 +1,178 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace headtalk::serve {
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+BlockingClient BlockingClient::connect_unix(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string text = path.string();
+  if (text.empty() || text.size() >= sizeof(addr.sun_path)) {
+    throw ClientError("bad unix socket path '" + text + "'");
+  }
+  std::memcpy(addr.sun_path, text.c_str(), text.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw ClientError("socket() failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    close_quietly(fd);
+    throw ClientError("cannot connect to " + text + ": " + std::strerror(err));
+  }
+  return BlockingClient(fd);
+}
+
+BlockingClient BlockingClient::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw ClientError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    close_quietly(fd);
+    throw ClientError("cannot connect to 127.0.0.1:" + std::to_string(port) + ": " +
+                      std::strerror(err));
+  }
+  return BlockingClient(fd);
+}
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      channels_(other.channels_),
+      reader_(std::move(other.reader_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    channels_ = other.channels_;
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+BlockingClient::~BlockingClient() { close(); }
+
+void BlockingClient::close() noexcept {
+  close_quietly(fd_);
+  fd_ = -1;
+}
+
+void BlockingClient::send_bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError(std::string("send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Frame BlockingClient::read_frame(int timeout_ms) {
+  while (true) {
+    try {
+      if (auto frame = reader_.next()) return *std::move(frame);
+    } catch (const ProtocolError& error) {
+      throw ClientError(std::string("malformed server frame: ") + error.what());
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError(std::string("poll failed: ") + std::strerror(errno));
+    }
+    if (ready == 0) throw ClientError("timed out waiting for a server frame");
+    std::uint8_t buffer[1 << 16];
+    const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (n == 0) throw ClientError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    try {
+      reader_.feed(buffer, static_cast<std::size_t>(n));
+    } catch (const ProtocolError& error) {
+      throw ClientError(std::string("malformed server frame: ") + error.what());
+    }
+  }
+}
+
+namespace {
+
+[[noreturn]] void throw_server_reply(const Frame& frame) {
+  if (frame.type == FrameType::kBusy) {
+    throw ClientError("server is busy (BUSY frame)", /*busy=*/true);
+  }
+  if (frame.type == FrameType::kError) {
+    const ErrorFrame error = parse_error(frame);
+    throw ClientError(error.code, "server error (" +
+                                      std::string(error_code_name(error.code)) +
+                                      "): " + error.message);
+  }
+  throw ClientError("unexpected server frame: " +
+                    std::string(frame_type_name(frame.type)));
+}
+
+}  // namespace
+
+HelloOk BlockingClient::hello(const Hello& hello) {
+  const auto bytes = encode_hello(hello);
+  send_bytes(bytes.data(), bytes.size());
+  const Frame reply = read_frame();
+  if (reply.type != FrameType::kHelloOk) throw_server_reply(reply);
+  channels_ = hello.channels;
+  return parse_hello_ok(reply);
+}
+
+DecisionFrame BlockingClient::score(const audio::MultiBuffer& capture, bool followup,
+                                    std::size_t chunk_frames) {
+  if (channels_ == 0) throw ClientError("score() before hello()");
+  if (capture.channel_count() != channels_) {
+    throw ClientError("capture has " + std::to_string(capture.channel_count()) +
+                      " channels, HELLO announced " + std::to_string(channels_));
+  }
+  if (chunk_frames == 0) chunk_frames = 4800;
+
+  std::vector<float> interleaved;
+  for (std::size_t begin = 0; begin < capture.frames(); begin += chunk_frames) {
+    const std::size_t count = std::min(chunk_frames, capture.frames() - begin);
+    interleaved.resize(count * channels_);
+    for (std::size_t f = 0; f < count; ++f) {
+      for (std::uint16_t c = 0; c < channels_; ++c) {
+        interleaved[f * channels_ + c] =
+            static_cast<float>(capture.channel(c)[begin + f]);
+      }
+    }
+    const auto chunk = encode_audio_chunk(interleaved, channels_);
+    send_bytes(chunk.data(), chunk.size());
+  }
+  const auto end = encode_end_of_utterance(followup);
+  send_bytes(end.data(), end.size());
+
+  const Frame reply = read_frame();
+  if (reply.type != FrameType::kDecision) throw_server_reply(reply);
+  return parse_decision(reply);
+}
+
+}  // namespace headtalk::serve

@@ -1,0 +1,78 @@
+// Minimal blocking client for the inference daemon's wire protocol.
+//
+// Shared by headtalk_client, bench_serve_throughput, and the serve tests so
+// none of them hand-roll framing over raw sockets. One BlockingClient is
+// one connection; it is deliberately synchronous (connect, hello, then
+// score utterances one at a time) — concurrency comes from running many
+// clients, exactly as real load does.
+#pragma once
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "audio/sample_buffer.h"
+#include "serve/protocol.h"
+
+namespace headtalk::serve {
+
+/// Connection-level failure: refused/closed sockets, timeouts, or a
+/// server-sent ERROR/BUSY frame (see code()).
+class ClientError : public std::runtime_error {
+ public:
+  explicit ClientError(const std::string& what, bool busy = false)
+      : std::runtime_error(what), busy_(busy) {}
+  ClientError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code), has_code_(true) {}
+
+  /// True when the failure was a server-sent ERROR frame.
+  [[nodiscard]] bool has_code() const noexcept { return has_code_; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  /// True when the server answered BUSY (overloaded; retry later).
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kInternal;
+  bool has_code_ = false;
+  bool busy_ = false;
+};
+
+class BlockingClient {
+ public:
+  [[nodiscard]] static BlockingClient connect_unix(const std::filesystem::path& path);
+  [[nodiscard]] static BlockingClient connect_tcp(int port);  ///< 127.0.0.1 only
+
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  ~BlockingClient();
+
+  /// Sends HELLO and waits for HELLO_OK. Throws ClientError on ERROR or
+  /// BUSY (code() tells which) and on connection failures.
+  HelloOk hello(const Hello& hello = {});
+
+  /// Streams one capture as AUDIO_CHUNKs of `chunk_frames` frames,
+  /// sends END_OF_UTTERANCE, and waits for the DECISION. The capture's
+  /// channel count must match the HELLO.
+  DecisionFrame score(const audio::MultiBuffer& capture, bool followup = false,
+                      std::size_t chunk_frames = 4800);
+
+  // Low-level escape hatches for protocol tests.
+  void send_bytes(const void* data, std::size_t size);
+  /// Blocks up to `timeout_ms` (-1 = forever) for one complete frame.
+  /// Throws ClientError on timeout or when the server closes first.
+  [[nodiscard]] Frame read_frame(int timeout_ms = -1);
+
+  void close() noexcept;
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  explicit BlockingClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::uint16_t channels_ = 0;
+  FrameReader reader_;
+};
+
+}  // namespace headtalk::serve

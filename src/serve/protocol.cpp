@@ -1,0 +1,370 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace headtalk::serve {
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "the wire protocol assumes a little-endian host");
+static_assert(sizeof(float) == 4 && sizeof(double) == 8,
+              "the wire protocol assumes IEEE-754 float sizes");
+
+constexpr std::size_t kMaxErrorMessageBytes = 1024;
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), p, p + n);
+}
+
+void append_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  append_bytes(out, &v, sizeof v);
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  append_bytes(out, &v, sizeof v);
+}
+
+void append_f64(std::vector<std::uint8_t>& out, double v) {
+  append_bytes(out, &v, sizeof v);
+}
+
+/// Bounds-checked little-endian payload cursor; every read throws
+/// ProtocolError past the end, and finish() rejects trailing bytes.
+class ByteCursor {
+ public:
+  ByteCursor(const std::vector<std::uint8_t>& bytes, const char* what)
+      : bytes_(bytes), what_(what) {}
+
+  std::uint8_t read_u8() { return read_pod<std::uint8_t>(); }
+  std::uint16_t read_u16() { return read_pod<std::uint16_t>(); }
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  void read_f32_array(float* out, std::size_t count) {
+    require(count * sizeof(float));
+    std::memcpy(out, bytes_.data() + offset_, count * sizeof(float));
+    offset_ += count * sizeof(float);
+  }
+
+  std::string read_chars(std::size_t count) {
+    require(count);
+    std::string text(reinterpret_cast<const char*>(bytes_.data() + offset_), count);
+    offset_ += count;
+    return text;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+
+  void finish() {
+    if (offset_ != bytes_.size()) {
+      throw ProtocolError(std::string(what_) + ": trailing payload bytes");
+    }
+  }
+
+ private:
+  template <typename T>
+  T read_pod() {
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  void require(std::size_t n) {
+    if (bytes_.size() - offset_ < n) {
+      throw ProtocolError(std::string(what_) + ": payload truncated");
+    }
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  const char* what_;
+  std::size_t offset_ = 0;
+};
+
+/// Builds `header + payload` with the final length patched in.
+std::vector<std::uint8_t> finish_frame(FrameType type,
+                                       std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  append_u8(out, static_cast<std::uint8_t>(type));
+  append_u8(out, 0);   // flags
+  append_u16(out, 0);  // reserved
+  append_bytes(out, payload.data(), payload.size());
+  return out;
+}
+
+void expect_type(const Frame& frame, FrameType type, const char* what) {
+  if (frame.type != type) {
+    throw ProtocolError(std::string(what) + ": got " +
+                        std::string(frame_type_name(frame.type)) + " frame");
+  }
+}
+
+}  // namespace
+
+std::string_view frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kHelloOk:
+      return "HELLO_OK";
+    case FrameType::kAudioChunk:
+      return "AUDIO_CHUNK";
+    case FrameType::kEndOfUtterance:
+      return "END_OF_UTTERANCE";
+    case FrameType::kDecision:
+      return "DECISION";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kBusy:
+      return "BUSY";
+  }
+  return "?";
+}
+
+bool frame_type_known(std::uint8_t raw) noexcept {
+  return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kBusy);
+}
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest:
+      return "bad-request";
+    case ErrorCode::kUnsupportedVersion:
+      return "unsupported-version";
+    case ErrorCode::kTooLarge:
+      return "too-large";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kShuttingDown:
+      return "shutting-down";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_hello(const Hello& hello) {
+  std::vector<std::uint8_t> payload;
+  append_u32(payload, hello.protocol_version);
+  append_u32(payload, hello.sample_rate_hz);
+  append_u16(payload, hello.channels);
+  append_u16(payload, 0);  // reserved
+  return finish_frame(FrameType::kHello, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_hello_ok(const HelloOk& ok) {
+  std::vector<std::uint8_t> payload;
+  append_u32(payload, ok.protocol_version);
+  append_u32(payload, ok.max_chunk_frames);
+  append_u32(payload, ok.max_utterance_frames);
+  return finish_frame(FrameType::kHelloOk, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_audio_chunk(std::span<const float> interleaved,
+                                             std::uint16_t channels) {
+  if (channels == 0 || interleaved.empty() || interleaved.size() % channels != 0) {
+    throw ProtocolError("AUDIO_CHUNK: sample count must be a nonzero multiple "
+                        "of the channel count");
+  }
+  std::vector<std::uint8_t> payload;
+  payload.reserve(sizeof(std::uint32_t) + interleaved.size() * sizeof(float));
+  append_u32(payload, static_cast<std::uint32_t>(interleaved.size() / channels));
+  append_bytes(payload, interleaved.data(), interleaved.size() * sizeof(float));
+  if (payload.size() > kMaxPayloadBytes) {
+    throw ProtocolError("AUDIO_CHUNK: chunk larger than kMaxPayloadBytes");
+  }
+  return finish_frame(FrameType::kAudioChunk, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_end_of_utterance(bool followup) {
+  std::vector<std::uint8_t> payload;
+  append_u8(payload, followup ? 1 : 0);
+  append_u8(payload, 0);
+  append_u16(payload, 0);
+  return finish_frame(FrameType::kEndOfUtterance, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_decision(const DecisionFrame& decision) {
+  std::vector<std::uint8_t> payload;
+  append_u8(payload, decision.decision);
+  append_u8(payload, decision.live ? 1 : 0);
+  append_u8(payload, decision.facing ? 1 : 0);
+  append_u8(payload, decision.via_open_session ? 1 : 0);
+  append_f64(payload, decision.liveness_score);
+  append_f64(payload, decision.orientation_score);
+  append_f64(payload, decision.elapsed_seconds);
+  return finish_frame(FrameType::kDecision, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_error(ErrorCode code, std::string_view message) {
+  if (message.size() > kMaxErrorMessageBytes) {
+    message = message.substr(0, kMaxErrorMessageBytes);
+  }
+  std::vector<std::uint8_t> payload;
+  append_u32(payload, static_cast<std::uint32_t>(code));
+  append_u32(payload, static_cast<std::uint32_t>(message.size()));
+  append_bytes(payload, message.data(), message.size());
+  return finish_frame(FrameType::kError, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_busy() { return finish_frame(FrameType::kBusy, {}); }
+
+Hello parse_hello(const Frame& frame) {
+  expect_type(frame, FrameType::kHello, "HELLO");
+  ByteCursor in(frame.payload, "HELLO");
+  Hello hello;
+  hello.protocol_version = in.read_u32();
+  hello.sample_rate_hz = in.read_u32();
+  hello.channels = in.read_u16();
+  if (in.read_u16() != 0) throw ProtocolError("HELLO: reserved bits set");
+  in.finish();
+  if (hello.sample_rate_hz < 8000 || hello.sample_rate_hz > 192000) {
+    throw ProtocolError("HELLO: sample rate out of range [8000, 192000]");
+  }
+  if (hello.channels == 0 || hello.channels > 64) {
+    throw ProtocolError("HELLO: channel count out of range [1, 64]");
+  }
+  return hello;
+}
+
+HelloOk parse_hello_ok(const Frame& frame) {
+  expect_type(frame, FrameType::kHelloOk, "HELLO_OK");
+  ByteCursor in(frame.payload, "HELLO_OK");
+  HelloOk ok;
+  ok.protocol_version = in.read_u32();
+  ok.max_chunk_frames = in.read_u32();
+  ok.max_utterance_frames = in.read_u32();
+  in.finish();
+  return ok;
+}
+
+AudioChunk parse_audio_chunk(const Frame& frame, std::uint16_t channels) {
+  expect_type(frame, FrameType::kAudioChunk, "AUDIO_CHUNK");
+  if (channels == 0) throw ProtocolError("AUDIO_CHUNK: zero channel count");
+  ByteCursor in(frame.payload, "AUDIO_CHUNK");
+  AudioChunk chunk;
+  chunk.frames = in.read_u32();
+  if (chunk.frames == 0) throw ProtocolError("AUDIO_CHUNK: zero frames");
+  const std::size_t samples = static_cast<std::size_t>(chunk.frames) * channels;
+  if (in.remaining() != samples * sizeof(float)) {
+    throw ProtocolError("AUDIO_CHUNK: payload length does not match frames * "
+                        "channels");
+  }
+  chunk.interleaved.resize(samples);
+  in.read_f32_array(chunk.interleaved.data(), samples);
+  in.finish();
+  return chunk;
+}
+
+EndOfUtterance parse_end_of_utterance(const Frame& frame) {
+  expect_type(frame, FrameType::kEndOfUtterance, "END_OF_UTTERANCE");
+  ByteCursor in(frame.payload, "END_OF_UTTERANCE");
+  const std::uint8_t followup = in.read_u8();
+  if (followup > 1) throw ProtocolError("END_OF_UTTERANCE: bad followup flag");
+  if (in.read_u8() != 0 || in.read_u16() != 0) {
+    throw ProtocolError("END_OF_UTTERANCE: reserved bits set");
+  }
+  in.finish();
+  return EndOfUtterance{followup == 1};
+}
+
+DecisionFrame parse_decision(const Frame& frame) {
+  expect_type(frame, FrameType::kDecision, "DECISION");
+  ByteCursor in(frame.payload, "DECISION");
+  DecisionFrame decision;
+  decision.decision = in.read_u8();
+  if (decision.decision > 3) throw ProtocolError("DECISION: unknown decision code");
+  const std::uint8_t live = in.read_u8();
+  const std::uint8_t facing = in.read_u8();
+  const std::uint8_t via = in.read_u8();
+  if (live > 1 || facing > 1 || via > 1) {
+    throw ProtocolError("DECISION: bad boolean flag");
+  }
+  decision.live = live == 1;
+  decision.facing = facing == 1;
+  decision.via_open_session = via == 1;
+  decision.liveness_score = in.read_f64();
+  decision.orientation_score = in.read_f64();
+  decision.elapsed_seconds = in.read_f64();
+  in.finish();
+  return decision;
+}
+
+ErrorFrame parse_error(const Frame& frame) {
+  expect_type(frame, FrameType::kError, "ERROR");
+  ByteCursor in(frame.payload, "ERROR");
+  ErrorFrame error;
+  const std::uint32_t code = in.read_u32();
+  if (code < static_cast<std::uint32_t>(ErrorCode::kBadRequest) ||
+      code > static_cast<std::uint32_t>(ErrorCode::kInternal)) {
+    throw ProtocolError("ERROR: unknown error code");
+  }
+  error.code = static_cast<ErrorCode>(code);
+  const std::uint32_t length = in.read_u32();
+  if (length > kMaxErrorMessageBytes || length != in.remaining()) {
+    throw ProtocolError("ERROR: bad message length");
+  }
+  error.message = in.read_chars(length);
+  in.finish();
+  return error;
+}
+
+void FrameReader::feed(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+  check_header();
+}
+
+void FrameReader::check_header() {
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes) return;
+  const std::uint8_t* header = buffer_.data() + consumed_;
+  std::uint32_t payload_len;
+  std::memcpy(&payload_len, header, sizeof payload_len);
+  if (payload_len > max_payload_bytes_) {
+    throw ProtocolError("frame: payload length " + std::to_string(payload_len) +
+                        " exceeds limit " + std::to_string(max_payload_bytes_));
+  }
+  if (!frame_type_known(header[4])) {
+    throw ProtocolError("frame: unknown type " + std::to_string(header[4]));
+  }
+  if (header[5] != 0 || header[6] != 0 || header[7] != 0) {
+    throw ProtocolError("frame: reserved header bits set");
+  }
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* header = buffer_.data() + consumed_;
+  std::uint32_t payload_len;
+  std::memcpy(&payload_len, header, sizeof payload_len);
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes + payload_len) {
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[4]);
+  frame.payload.assign(header + kFrameHeaderBytes,
+                       header + kFrameHeaderBytes + payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  // Compact once the dead prefix dominates, keeping feed() amortized O(1).
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  // The next header (if complete) must validate before we hand back control,
+  // so garbage after a valid frame fails fast.
+  check_header();
+  return frame;
+}
+
+}  // namespace headtalk::serve

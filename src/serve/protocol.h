@@ -1,0 +1,159 @@
+// Wire protocol of the inference daemon (headtalk_serve).
+//
+// Every message is a length-prefixed binary frame so a stream socket can
+// carry interleaved audio without delimiters or escaping:
+//
+//   header (8 bytes, little-endian):
+//     u32 payload_len   (bounded; kMaxPayloadBytes)
+//     u8  type          (FrameType)
+//     u8  flags         (must be 0 in version 1)
+//     u16 reserved      (must be 0 in version 1)
+//   payload (payload_len bytes, layout per frame type)
+//
+// A request is HELLO → HELLO_OK, then any number of utterances, each
+// AUDIO_CHUNK* followed by END_OF_UTTERANCE and answered with exactly one
+// DECISION (or ERROR). An overloaded server answers a fresh connection
+// with BUSY and closes. Decoding is strict: unknown types, nonzero
+// reserved bits, oversized lengths, short payloads, and trailing payload
+// bytes all throw ProtocolError — a malformed client cannot put the
+// daemon into an undefined state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace headtalk::serve {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+/// Hard upper bound on any frame payload (audio chunks included).
+inline constexpr std::size_t kMaxPayloadBytes = 4u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,           ///< client→server: version + stream geometry
+  kHelloOk = 2,         ///< server→client: accepted config + limits
+  kAudioChunk = 3,      ///< client→server: interleaved float32 samples
+  kEndOfUtterance = 4,  ///< client→server: score what has been streamed
+  kDecision = 5,        ///< server→client: one verdict per utterance
+  kError = 6,           ///< server→client: fatal request error (closes)
+  kBusy = 7,            ///< server→client: overloaded, retry later (closes)
+};
+
+[[nodiscard]] std::string_view frame_type_name(FrameType type);
+[[nodiscard]] bool frame_type_known(std::uint8_t raw) noexcept;
+
+/// A decoded frame: validated header + raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- typed payloads -------------------------------------------------------
+
+struct Hello {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::uint32_t sample_rate_hz = 48000;
+  std::uint16_t channels = 4;
+};
+
+struct HelloOk {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::uint32_t max_chunk_frames = 0;
+  std::uint32_t max_utterance_frames = 0;
+};
+
+struct AudioChunk {
+  std::uint32_t frames = 0;
+  std::vector<float> interleaved;  ///< frames * channels samples
+};
+
+struct EndOfUtterance {
+  bool followup = false;  ///< score as an in-session follow-up command
+};
+
+struct DecisionFrame {
+  std::uint8_t decision = 0;  ///< core::Decision as integer
+  bool live = false;
+  bool facing = false;
+  bool via_open_session = false;
+  double liveness_score = 0.0;
+  double orientation_score = 0.0;
+  double elapsed_seconds = 0.0;  ///< server-side scoring time
+};
+
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,          ///< malformed frame or frame out of order
+  kUnsupportedVersion = 2,  ///< HELLO version the server does not speak
+  kTooLarge = 3,            ///< chunk/utterance beyond the advertised limits
+  kDeadlineExceeded = 4,    ///< request ran past the per-request deadline
+  kShuttingDown = 5,        ///< server is draining
+  kInternal = 6,            ///< scoring failed server-side
+};
+
+[[nodiscard]] std::string_view error_code_name(ErrorCode code);
+
+struct ErrorFrame {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+// ---- encode ---------------------------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const Hello& hello);
+[[nodiscard]] std::vector<std::uint8_t> encode_hello_ok(const HelloOk& ok);
+/// `interleaved.size()` must be a nonzero multiple of `channels`.
+[[nodiscard]] std::vector<std::uint8_t> encode_audio_chunk(
+    std::span<const float> interleaved, std::uint16_t channels);
+[[nodiscard]] std::vector<std::uint8_t> encode_end_of_utterance(bool followup);
+[[nodiscard]] std::vector<std::uint8_t> encode_decision(const DecisionFrame& decision);
+[[nodiscard]] std::vector<std::uint8_t> encode_error(ErrorCode code,
+                                                     std::string_view message);
+[[nodiscard]] std::vector<std::uint8_t> encode_busy();
+
+// ---- strict decode --------------------------------------------------------
+// Each parser requires the exact frame type and consumes the payload fully;
+// anything else throws ProtocolError.
+
+[[nodiscard]] Hello parse_hello(const Frame& frame);
+[[nodiscard]] HelloOk parse_hello_ok(const Frame& frame);
+/// `channels` comes from the session's HELLO; the chunk length must match.
+[[nodiscard]] AudioChunk parse_audio_chunk(const Frame& frame, std::uint16_t channels);
+[[nodiscard]] EndOfUtterance parse_end_of_utterance(const Frame& frame);
+[[nodiscard]] DecisionFrame parse_decision(const Frame& frame);
+[[nodiscard]] ErrorFrame parse_error(const Frame& frame);
+
+/// Incremental frame decoder for a byte stream. feed() accepts whatever
+/// the socket produced; next() yields completed frames in order. A
+/// malformed header or an oversized length throws ProtocolError from
+/// feed() — the stream is unrecoverable at that point.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload_bytes = kMaxPayloadBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  void feed(const void* data, std::size_t size);
+  [[nodiscard]] std::optional<Frame> next();
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  /// Validates the header at the current read position (if complete).
+  void check_header();
+
+  std::size_t max_payload_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace headtalk::serve

@@ -1,0 +1,369 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace headtalk::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Registry references are resolved once; the instruments live for the
+// process lifetime (see obs/metrics.h).
+obs::Counter& metric_connections() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.connections");
+  return c;
+}
+obs::Counter& metric_busy() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.busy");
+  return c;
+}
+obs::Gauge& metric_active() {
+  static obs::Gauge& g = obs::Registry::global().gauge("serve.active_connections");
+  return g;
+}
+obs::Histogram& metric_queue_depth() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "serve.queue_depth", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  return h;
+}
+obs::Histogram& metric_request_seconds() {
+  static obs::Histogram& h = obs::Registry::global().histogram("serve.request_seconds");
+  return h;
+}
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Sends the whole buffer, retrying short writes; false on a dead peer.
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort single-shot frame for connections we reject before a worker
+/// ever owns them (BUSY / shutting-down): one non-blocking send, then close.
+void send_and_close(int fd, const std::vector<std::uint8_t>& frame) {
+  (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+  close_quietly(fd);
+}
+
+int make_unix_listener(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string text = path.string();
+  if (text.empty() || text.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: bad unix socket path '" + text + "'");
+  }
+  std::memcpy(addr.sun_path, text.c_str(), text.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("serve: socket() failed");
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    close_quietly(fd);
+    throw std::runtime_error("serve: cannot bind " + text + ": " +
+                             std::strerror(err));
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    close_quietly(fd);
+    throw std::runtime_error("serve: listen() failed on " + text);
+  }
+  return fd;
+}
+
+int make_tcp_listener(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  // Loopback only: the daemon carries raw room audio; remote exposure is a
+  // deliberate deployment decision (front it with a real proxy), not a flag.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    close_quietly(fd);
+    throw std::runtime_error("serve: cannot bind 127.0.0.1:" + std::to_string(port) +
+                             ": " + std::strerror(err));
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    close_quietly(fd);
+    throw std::runtime_error("serve: listen() failed on port " + std::to_string(port));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Server::Server(const core::HeadTalkPipeline& pipeline, ServerConfig config)
+    : pipeline_(pipeline), config_(std::move(config)) {}
+
+Server::~Server() {
+  if (started_.load(std::memory_order_acquire)) stop();
+}
+
+void Server::start() {
+  if (started_.exchange(true, std::memory_order_acq_rel)) {
+    throw std::runtime_error("serve: start() called twice");
+  }
+  if (::pipe2(stop_pipe_, O_CLOEXEC | O_NONBLOCK) != 0) {
+    throw std::runtime_error("serve: pipe2() failed");
+  }
+  unix_fd_ = make_unix_listener(config_.socket_path);
+  if (config_.tcp_port > 0) tcp_fd_ = make_tcp_listener(config_.tcp_port);
+
+  const unsigned workers = util::resolve_jobs(config_.workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  obs::log_info("serve.started",
+                {{"socket", config_.socket_path.string()},
+                 {"tcp_port", config_.tcp_port},
+                 {"workers", workers},
+                 {"max_pending", static_cast<std::uint64_t>(config_.max_pending)}});
+}
+
+void Server::request_stop() noexcept {
+  stopping_.store(true, std::memory_order_release);
+  // One byte wakes the acceptor's poll and wait(); write() is
+  // async-signal-safe, and O_NONBLOCK means a full pipe is simply ignored.
+  if (stop_pipe_[1] >= 0) {
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], "x", 1);
+  }
+}
+
+void Server::wait() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{stop_pipe_[0], POLLIN, 0};
+    (void)::poll(&pfd, 1, 1000);
+  }
+  stop();
+}
+
+void Server::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  std::call_once(stop_once_, [this] {
+    request_stop();
+    if (acceptor_.joinable()) acceptor_.join();
+    // Wake every worker; they drain the queue, then exit on the stop flag.
+    queue_ready_.notify_all();
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    // Connections that were queued after the last worker exited (the
+    // acceptor may have raced the drain): reject them explicitly.
+    std::deque<int> leftover;
+    {
+      std::lock_guard lock(queue_mutex_);
+      leftover.swap(pending_);
+    }
+    const auto shutting_down =
+        encode_error(ErrorCode::kShuttingDown, "server is shutting down");
+    for (int fd : leftover) send_and_close(fd, shutting_down);
+
+    close_quietly(stop_pipe_[0]);
+    close_quietly(stop_pipe_[1]);
+    stop_pipe_[0] = stop_pipe_[1] = -1;
+    std::error_code ec;
+    std::filesystem::remove(config_.socket_path, ec);
+    stopped_.store(true, std::memory_order_release);
+    obs::log_info("serve.stopped",
+                  {{"connections", accepted_.load()},
+                   {"decisions", decisions_.load()},
+                   {"busy_rejections", busy_.load()}});
+  });
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  out.busy_rejections = busy_.load(std::memory_order_relaxed);
+  out.decisions = decisions_.load(std::memory_order_relaxed);
+  out.session_errors = errors_.load(std::memory_order_relaxed);
+  out.deadline_expirations = deadlines_.load(std::memory_order_relaxed);
+  out.active_connections = active_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Server::acceptor_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[3];
+    nfds_t count = 0;
+    fds[count++] = {stop_pipe_[0], POLLIN, 0};
+    fds[count++] = {unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[count++] = {tcp_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, count, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents != 0) break;  // stop requested
+    for (nfds_t i = 1; i < count; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int client = ::accept4(fds[i].fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (client < 0) continue;
+      if (stopping_.load(std::memory_order_acquire)) {
+        send_and_close(client,
+                       encode_error(ErrorCode::kShuttingDown, "server is draining"));
+        continue;
+      }
+      if (try_enqueue(client)) {
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        metric_connections().increment();
+      } else {
+        busy_.fetch_add(1, std::memory_order_relaxed);
+        metric_busy().increment();
+        send_and_close(client, encode_busy());
+      }
+    }
+  }
+  // Stop accepting: new connects now fail instead of queueing invisibly.
+  close_quietly(unix_fd_);
+  close_quietly(tcp_fd_);
+  unix_fd_ = tcp_fd_ = -1;
+}
+
+bool Server::try_enqueue(int fd) {
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (pending_.size() >= config_.max_pending) return false;
+    pending_.push_back(fd);
+    depth = pending_.size();
+  }
+  metric_queue_depth().observe(static_cast<double>(depth));
+  queue_ready_.notify_one();
+  return true;
+}
+
+int Server::pop_connection() {
+  std::unique_lock lock(queue_mutex_);
+  queue_ready_.wait(lock, [this] {
+    return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+  });
+  if (pending_.empty()) return -1;  // stopping and fully drained
+  const int fd = pending_.front();
+  pending_.pop_front();
+  return fd;
+}
+
+void Server::worker_loop() {
+  while (true) {
+    const int fd = pop_connection();
+    if (fd < 0) return;
+    active_.fetch_add(1, std::memory_order_relaxed);
+    metric_active().set(static_cast<double>(active_.load(std::memory_order_relaxed)));
+    handle_connection(fd);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    metric_active().set(static_cast<double>(active_.load(std::memory_order_relaxed)));
+  }
+}
+
+void Server::handle_connection(int fd) {
+  Session session(pipeline_, config_.session);
+  const auto deadline_budget = std::chrono::milliseconds(config_.request_deadline_ms);
+  Clock::time_point request_start = Clock::now();
+  Clock::time_point deadline = request_start + deadline_budget;
+  std::uint8_t buffer[1 << 16];
+  // Watch the stop pipe alongside the client so a drain is not held hostage
+  // by an idle connection waiting out its deadline. Once a drain is seen
+  // with an utterance in flight we stop watching (the pipe stays readable)
+  // and finish that utterance, bounded by the deadline.
+  bool watch_stop = true;
+
+  while (true) {
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      deadlines_.fetch_add(1, std::memory_order_relaxed);
+      const auto frame = encode_error(ErrorCode::kDeadlineExceeded,
+                                      "no complete request within the deadline");
+      (void)send_all(fd, frame.data(), frame.size());
+      break;
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const nfds_t pfd_count = watch_stop ? 2 : 1;
+    const int ready = ::poll(pfds, pfd_count, static_cast<int>(remaining.count()) + 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // deadline handled at the top of the loop
+    if (pfd_count == 2 && pfds[1].revents != 0 && (pfds[0].revents & POLLIN) == 0) {
+      // Drain requested and the client has nothing pending right now.
+      if (session.idle()) {
+        const auto frame =
+            encode_error(ErrorCode::kShuttingDown, "server is draining");
+        (void)send_all(fd, frame.data(), frame.size());
+        break;
+      }
+      watch_stop = false;
+      continue;
+    }
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n == 0) break;  // client closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    const std::size_t decisions_before = session.decisions_sent();
+    const bool alive = session.on_bytes(buffer, static_cast<std::size_t>(n));
+    const auto output = session.take_output();
+    if (!output.empty() && !send_all(fd, output.data(), output.size())) break;
+
+    const std::size_t new_decisions = session.decisions_sent() - decisions_before;
+    if (new_decisions > 0) {
+      decisions_.fetch_add(new_decisions, std::memory_order_relaxed);
+      metric_request_seconds().observe(
+          std::chrono::duration<double>(Clock::now() - request_start).count());
+      // A finished utterance resets the per-request clock.
+      request_start = Clock::now();
+      deadline = request_start + deadline_budget;
+      // During a drain, finish the utterance that is in flight but do not
+      // wait for the client's next one.
+      if (stopping_.load(std::memory_order_acquire)) break;
+    }
+    if (!alive) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  close_quietly(fd);
+}
+
+}  // namespace headtalk::serve

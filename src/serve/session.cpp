@@ -1,0 +1,207 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace headtalk::serve {
+
+void SampleRing::reset(std::uint16_t channels, std::size_t capacity_frames,
+                       double sample_rate) {
+  channels_ = channels;
+  capacity_ = capacity_frames;
+  sample_rate_ = sample_rate;
+  data_.assign(capacity_ * channels_, 0.0f);
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+void SampleRing::append(std::span<const float> interleaved) {
+  if (channels_ == 0 || capacity_ == 0) return;
+  const std::size_t frames = interleaved.size() / channels_;
+  // A single append larger than the whole ring keeps only its tail.
+  std::size_t start = 0;
+  if (frames > capacity_) {
+    start = frames - capacity_;
+    dropped_ += start;
+  }
+  for (std::size_t f = start; f < frames; ++f) {
+    const std::size_t slot = (head_ + size_) % capacity_;
+    std::copy_n(interleaved.data() + f * channels_, channels_,
+                data_.data() + slot * channels_);
+    if (size_ < capacity_) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % capacity_;  // overwrote the oldest frame
+      ++dropped_;
+    }
+  }
+}
+
+audio::MultiBuffer SampleRing::snapshot() const {
+  audio::MultiBuffer capture(channels_, size_, sample_rate_);
+  for (std::size_t f = 0; f < size_; ++f) {
+    const std::size_t slot = (head_ + f) % capacity_;
+    for (std::uint16_t c = 0; c < channels_; ++c) {
+      capture.channel(c)[f] = static_cast<audio::Sample>(data_[slot * channels_ + c]);
+    }
+  }
+  return capture;
+}
+
+void SampleRing::clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+Session::Session(const core::HeadTalkPipeline& pipeline, SessionLimits limits)
+    : pipeline_(pipeline), limits_(limits) {}
+
+bool Session::on_bytes(const void* data, std::size_t size) {
+  if (state_ == State::kFailed) return false;
+  try {
+    reader_.feed(data, size);
+    while (state_ != State::kFailed) {
+      const auto frame = reader_.next();
+      if (!frame) break;
+      handle_frame(*frame);
+    }
+  } catch (const ProtocolError& error) {
+    fail(ErrorCode::kBadRequest, error.what());
+  }
+  return state_ != State::kFailed;
+}
+
+std::vector<std::uint8_t> Session::take_output() {
+  std::vector<std::uint8_t> out;
+  out.swap(output_);
+  return out;
+}
+
+void Session::handle_frame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      handle_hello(frame);
+      return;
+    case FrameType::kAudioChunk:
+      handle_chunk(frame);
+      return;
+    case FrameType::kEndOfUtterance:
+      handle_end_of_utterance(frame);
+      return;
+    case FrameType::kHelloOk:
+    case FrameType::kDecision:
+    case FrameType::kError:
+    case FrameType::kBusy:
+      fail(ErrorCode::kBadRequest,
+           std::string("client sent a server-only frame: ") +
+               std::string(frame_type_name(frame.type)));
+      return;
+  }
+  fail(ErrorCode::kBadRequest, "unhandled frame type");
+}
+
+void Session::handle_hello(const Frame& frame) {
+  if (state_ != State::kAwaitHello) {
+    fail(ErrorCode::kBadRequest, "duplicate HELLO");
+    return;
+  }
+  const Hello hello = parse_hello(frame);
+  if (hello.protocol_version != kProtocolVersion) {
+    fail(ErrorCode::kUnsupportedVersion,
+         "server speaks protocol version " + std::to_string(kProtocolVersion) +
+             ", client sent " + std::to_string(hello.protocol_version));
+    return;
+  }
+  if (hello.channels > limits_.max_channels) {
+    fail(ErrorCode::kTooLarge,
+         "channel count " + std::to_string(hello.channels) + " exceeds limit " +
+             std::to_string(limits_.max_channels));
+    return;
+  }
+  channels_ = hello.channels;
+  ring_.reset(channels_, limits_.max_utterance_frames,
+              static_cast<double>(hello.sample_rate_hz));
+  state_ = State::kStreaming;
+
+  HelloOk ok;
+  ok.max_chunk_frames = limits_.max_chunk_frames;
+  ok.max_utterance_frames = limits_.max_utterance_frames;
+  const auto bytes = encode_hello_ok(ok);
+  output_.insert(output_.end(), bytes.begin(), bytes.end());
+}
+
+void Session::handle_chunk(const Frame& frame) {
+  if (state_ != State::kStreaming) {
+    fail(ErrorCode::kBadRequest, "AUDIO_CHUNK before HELLO");
+    return;
+  }
+  const AudioChunk chunk = parse_audio_chunk(frame, channels_);
+  if (chunk.frames > limits_.max_chunk_frames) {
+    fail(ErrorCode::kTooLarge,
+         "chunk of " + std::to_string(chunk.frames) + " frames exceeds limit " +
+             std::to_string(limits_.max_chunk_frames));
+    return;
+  }
+  ring_.append(chunk.interleaved);
+}
+
+void Session::handle_end_of_utterance(const Frame& frame) {
+  if (state_ != State::kStreaming) {
+    fail(ErrorCode::kBadRequest, "END_OF_UTTERANCE before HELLO");
+    return;
+  }
+  const EndOfUtterance end = parse_end_of_utterance(frame);
+  if (ring_.frames() == 0) {
+    fail(ErrorCode::kBadRequest, "END_OF_UTTERANCE with no audio streamed");
+    return;
+  }
+  if (ring_.dropped_frames() > 0) {
+    obs::log_warn("serve.session.ring_overflow",
+                  {{"dropped_frames", ring_.dropped_frames()},
+                   {"kept_frames", ring_.frames()}});
+  }
+
+  static obs::Histogram& score_seconds =
+      obs::Registry::global().histogram("serve.score_seconds");
+  DecisionFrame decision;
+  try {
+    obs::ScopedSpan span("serve.score_utterance");
+    obs::Timer timer(&score_seconds);
+    const audio::MultiBuffer capture = ring_.snapshot();
+    const core::PipelineResult result =
+        pipeline_.score_capture(capture, limits_.mode, end.followup, session_open_);
+    session_open_ = result.session_open_after;
+    decision.decision = static_cast<std::uint8_t>(result.decision);
+    decision.live = result.live;
+    decision.facing = result.facing;
+    decision.via_open_session = result.via_open_session;
+    decision.liveness_score = result.liveness_score;
+    decision.orientation_score = result.orientation_score;
+    decision.elapsed_seconds = timer.stop();
+  } catch (const std::exception& error) {
+    fail(ErrorCode::kInternal, std::string("scoring failed: ") + error.what());
+    return;
+  }
+  ring_.clear();
+  const auto bytes = encode_decision(decision);
+  output_.insert(output_.end(), bytes.begin(), bytes.end());
+  ++decisions_;
+}
+
+void Session::fail(ErrorCode code, const std::string& message) {
+  state_ = State::kFailed;
+  static obs::Counter& errors = obs::Registry::global().counter("serve.session.errors");
+  errors.increment();
+  obs::log_warn("serve.session.error",
+                {{"code", error_code_name(code)}, {"message", message}});
+  const auto bytes = encode_error(code, message);
+  output_.insert(output_.end(), bytes.begin(), bytes.end());
+}
+
+}  // namespace headtalk::serve

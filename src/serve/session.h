@@ -1,0 +1,112 @@
+// Per-connection session engine of the inference daemon.
+//
+// A Session is a pure state machine over the wire protocol: bytes from the
+// socket go in, response bytes come out, and all socket I/O stays in the
+// server core — which makes every transition unit-testable without a
+// network. Streamed audio accumulates in a bounded ring (oldest frames are
+// dropped once the utterance limit is reached; a wake word lives at the
+// *end* of a capture), and END_OF_UTTERANCE runs the shared resident
+// pipeline via its const, thread-safe scoring entry point while the
+// HeadTalk session flag (open session ⇒ follow-ups skip the orientation
+// check) stays per-connection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+#include "core/pipeline.h"
+#include "serve/protocol.h"
+
+namespace headtalk::serve {
+
+struct SessionLimits {
+  /// Largest single AUDIO_CHUNK accepted (frames per channel).
+  std::uint32_t max_chunk_frames = 1u << 16;
+  /// Utterance ring capacity (frames per channel); excess drops oldest.
+  std::uint32_t max_utterance_frames = 48000 * 8;
+  std::uint16_t max_channels = 16;
+  /// Mode the daemon scores under (HeadTalk in production).
+  core::VaMode mode = core::VaMode::kHeadTalk;
+};
+
+/// Fixed-capacity interleaved multichannel accumulator. Appends past the
+/// capacity overwrite the oldest frames (and are counted), so a client
+/// streaming more audio than the advertised utterance limit still gets the
+/// most recent — wake-word-bearing — span scored.
+class SampleRing {
+ public:
+  void reset(std::uint16_t channels, std::size_t capacity_frames, double sample_rate);
+
+  /// `interleaved.size()` must be a multiple of the channel count.
+  void append(std::span<const float> interleaved);
+
+  [[nodiscard]] std::size_t frames() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity_frames() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped_frames() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint16_t channels() const noexcept { return channels_; }
+
+  /// Deinterleaves the buffered frames, oldest first.
+  [[nodiscard]] audio::MultiBuffer snapshot() const;
+
+  /// Empties the ring (capacity and geometry are kept).
+  void clear() noexcept;
+
+ private:
+  std::vector<float> data_;  ///< capacity_ * channels_, ring-indexed by frame
+  std::uint16_t channels_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  ///< frame index of the oldest buffered frame
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  double sample_rate_ = audio::kDefaultSampleRate;
+};
+
+class Session {
+ public:
+  /// The pipeline outlives the session and is shared across sessions; only
+  /// its const scoring entry point is used.
+  Session(const core::HeadTalkPipeline& pipeline, SessionLimits limits = {});
+
+  /// Feeds bytes received from the client; any responses are appended to
+  /// the pending output (take_output()). Returns false once the session is
+  /// finished — a fatal ERROR frame was emitted and the connection should
+  /// be closed after flushing the output.
+  bool on_bytes(const void* data, std::size_t size);
+
+  /// Moves out the response bytes produced so far.
+  [[nodiscard]] std::vector<std::uint8_t> take_output();
+
+  [[nodiscard]] bool finished() const noexcept { return state_ == State::kFailed; }
+  [[nodiscard]] std::size_t decisions_sent() const noexcept { return decisions_; }
+  [[nodiscard]] bool hello_done() const noexcept { return state_ == State::kStreaming; }
+  /// True when no utterance is in flight: nothing buffered in the ring and
+  /// no partial frame pending. A drain may close an idle connection
+  /// immediately; a non-idle one is owed its DECISION first.
+  [[nodiscard]] bool idle() const noexcept {
+    return ring_.frames() == 0 && reader_.buffered_bytes() == 0;
+  }
+  [[nodiscard]] const SessionLimits& limits() const noexcept { return limits_; }
+
+ private:
+  enum class State { kAwaitHello, kStreaming, kFailed };
+
+  void handle_frame(const Frame& frame);
+  void handle_hello(const Frame& frame);
+  void handle_chunk(const Frame& frame);
+  void handle_end_of_utterance(const Frame& frame);
+  void fail(ErrorCode code, const std::string& message);
+
+  const core::HeadTalkPipeline& pipeline_;
+  SessionLimits limits_;
+  FrameReader reader_;
+  std::vector<std::uint8_t> output_;
+  SampleRing ring_;
+  State state_ = State::kAwaitHello;
+  std::uint16_t channels_ = 0;
+  bool session_open_ = false;  ///< HeadTalk open-session flag, per connection
+  std::size_t decisions_ = 0;
+};
+
+}  // namespace headtalk::serve

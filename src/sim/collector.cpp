@@ -25,7 +25,9 @@ std::uint32_t seed_of(std::string_view key, std::uint32_t base, std::uint32_t sa
 Collector::Collector(CollectorConfig config)
     : config_(std::move(config)),
       cache_(config_.cache_enabled ? FeatureCache::default_directory()
-                                   : std::filesystem::path{}) {}
+                                   : std::filesystem::path{},
+             config_.cache_limit_bytes != 0 ? config_.cache_limit_bytes
+                                            : FeatureCache::default_limit_bytes()) {}
 
 std::vector<std::size_t> Collector::channels_for(room::DeviceId device) const {
   if (!config_.channels.empty()) return config_.channels;

@@ -45,6 +45,9 @@ struct CollectorConfig {
   /// ablation: how much of HeadTalk's signal comes from this mechanism?
   double directivity_strength = 1.0;
   bool cache_enabled = true;
+  /// On-disk cache size cap in bytes; 0 defers to $HEADTALK_CACHE_LIMIT_MB
+  /// (unset → unlimited). See FeatureCache::default_limit_bytes().
+  std::uint64_t cache_limit_bytes = 0;
   core::PreprocessConfig preprocess{};
   core::LivenessFeatureConfig liveness{};
 };

@@ -1,10 +1,12 @@
 #include "sim/feature_cache.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <thread>
+#include <vector>
 
 #include <unistd.h>
 
@@ -31,17 +33,34 @@ obs::Counter& global_stores() {
   static obs::Counter& c = obs::Registry::global().counter("sim.cache.store");
   return c;
 }
+obs::Counter& global_evictions() {
+  static obs::Counter& c = obs::Registry::global().counter("sim.cache.evict");
+  return c;
+}
+
+/// An entry is re-checked for pruning every this many stores; keeps the
+/// directory scan off the per-store hot path.
+constexpr std::uint64_t kPruneEveryStores = 32;
 
 }  // namespace
 
-FeatureCache::FeatureCache(std::filesystem::path directory)
-    : directory_(std::move(directory)) {}
+FeatureCache::FeatureCache(std::filesystem::path directory, std::uint64_t limit_bytes)
+    : directory_(std::move(directory)), limit_bytes_(limit_bytes) {}
 
 std::filesystem::path FeatureCache::default_directory() {
   if (const char* env = std::getenv("HEADTALK_CACHE"); env != nullptr && *env != '\0') {
     return env;
   }
   return ".headtalk_cache";
+}
+
+std::uint64_t FeatureCache::default_limit_bytes() {
+  const char* env = std::getenv("HEADTALK_CACHE_LIMIT_MB");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long mebibytes = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<std::uint64_t>(mebibytes) << 20;
 }
 
 std::filesystem::path FeatureCache::path_for(const std::string& key) const {
@@ -76,6 +95,11 @@ std::optional<ml::FeatureVector> FeatureCache::load(const std::string& key) cons
   if (result.has_value()) {
     stats_->hits.fetch_add(1, std::memory_order_relaxed);
     global_hits().increment();
+    // Refresh the entry's mtime so LRU pruning keeps hot entries. Best
+    // effort; a racing prune just turns the next load into a miss.
+    std::error_code ec;
+    std::filesystem::last_write_time(path_for(key),
+                                     std::filesystem::file_time_type::clock::now(), ec);
   } else {
     stats_->misses.fetch_add(1, std::memory_order_relaxed);
     global_misses().increment();
@@ -132,6 +156,48 @@ void FeatureCache::store(const std::string& key, const ml::FeatureVector& featur
   }
   stats_->stores.fetch_add(1, std::memory_order_relaxed);
   global_stores().increment();
+  if (limit_bytes_ > 0 &&
+      stats_->stores_since_prune.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          kPruneEveryStores) {
+    stats_->stores_since_prune.store(0, std::memory_order_relaxed);
+    prune_now();
+  }
+}
+
+void FeatureCache::prune_now() const {
+  if (!enabled() || limit_bytes_ == 0) return;
+  struct Entry {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& item : std::filesystem::directory_iterator(directory_, ec)) {
+    if (!item.is_regular_file(ec)) continue;
+    if (item.path().extension() != ".bin") continue;  // leave in-flight temps alone
+    Entry entry;
+    entry.path = item.path();
+    entry.mtime = item.last_write_time(ec);
+    if (ec) continue;
+    entry.bytes = item.file_size(ec);
+    if (ec) continue;
+    total += entry.bytes;
+    entries.push_back(std::move(entry));
+  }
+  if (total <= limit_bytes_) return;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& entry : entries) {
+    if (total <= limit_bytes_) break;
+    if (!std::filesystem::remove(entry.path, ec) || ec) continue;
+    total -= entry.bytes;
+    stats_->evictions.fetch_add(1, std::memory_order_relaxed);
+    stats_->evicted_bytes.fetch_add(entry.bytes, std::memory_order_relaxed);
+    global_evictions().increment();
+  }
 }
 
 FeatureCacheStats FeatureCache::stats() const noexcept {
@@ -139,6 +205,7 @@ FeatureCacheStats FeatureCache::stats() const noexcept {
   out.hits = stats_->hits.load(std::memory_order_relaxed);
   out.misses = stats_->misses.load(std::memory_order_relaxed);
   out.stores = stats_->stores.load(std::memory_order_relaxed);
+  out.evictions = stats_->evictions.load(std::memory_order_relaxed);
   out.evicted_bytes = stats_->evicted_bytes.load(std::memory_order_relaxed);
   return out;
 }

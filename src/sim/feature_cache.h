@@ -17,21 +17,26 @@
 
 namespace headtalk::sim {
 
-/// Point-in-time cache accounting. `evicted_bytes` counts the bytes of
-/// temp files discarded when a store fails mid-write or loses its rename
-/// (the cache never evicts committed entries).
+/// Point-in-time cache accounting. `evictions` counts committed entries
+/// pruned by the size cap; `evicted_bytes` counts the bytes those entries
+/// held plus the bytes of temp files discarded when a store fails
+/// mid-write or loses its rename.
 struct FeatureCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
   std::uint64_t evicted_bytes = 0;
 };
 
 class FeatureCache {
  public:
   /// `directory` is created lazily on first store. An empty directory name
-  /// disables the cache (loads miss, stores are dropped).
-  explicit FeatureCache(std::filesystem::path directory);
+  /// disables the cache (loads miss, stores are dropped). `limit_bytes`
+  /// caps the on-disk size: once exceeded, the least-recently-used entries
+  /// (by mtime; hits refresh it) are pruned. 0 means unlimited.
+  explicit FeatureCache(std::filesystem::path directory,
+                        std::uint64_t limit_bytes = default_limit_bytes());
 
   [[nodiscard]] bool enabled() const noexcept { return !directory_.empty(); }
 
@@ -50,6 +55,19 @@ class FeatureCache {
   /// Default cache location: $HEADTALK_CACHE or ".headtalk_cache".
   [[nodiscard]] static std::filesystem::path default_directory();
 
+  /// Default size cap: $HEADTALK_CACHE_LIMIT_MB (mebibytes; invalid or
+  /// unset means 0 = unlimited).
+  [[nodiscard]] static std::uint64_t default_limit_bytes();
+
+  /// Prunes committed entries, oldest mtime first, until the directory is
+  /// within the size cap. Runs automatically (amortized, every 32nd store);
+  /// exposed for tests and for a final sweep at the end of a run. No-op
+  /// when disabled or unlimited. Safe against concurrent readers: a pruned
+  /// entry simply becomes a miss.
+  void prune_now() const;
+
+  [[nodiscard]] std::uint64_t limit_bytes() const noexcept { return limit_bytes_; }
+
   /// This cache's hit/miss/store accounting (also mirrored into the global
   /// metrics registry as `sim.cache.*`). A disabled cache counts nothing.
   [[nodiscard]] FeatureCacheStats stats() const noexcept;
@@ -63,12 +81,15 @@ class FeatureCache {
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> evictions{0};
     std::atomic<std::uint64_t> evicted_bytes{0};
+    std::atomic<std::uint64_t> stores_since_prune{0};
   };
 
   [[nodiscard]] std::filesystem::path path_for(const std::string& key) const;
 
   std::filesystem::path directory_;
+  std::uint64_t limit_bytes_ = 0;
   // shared_ptr keeps FeatureCache copyable; copies share one tally.
   std::shared_ptr<StatCounters> stats_ = std::make_shared<StatCounters>();
 };

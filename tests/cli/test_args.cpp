@@ -55,6 +55,33 @@ TEST(ArgParser, HelpShortCircuits) {
   EXPECT_NE(parser.usage().find("--count"), std::string::npos);
 }
 
+TEST(ArgParser, UnknownFlagSuggestsClosestDeclared) {
+  const auto message_for = [](std::initializer_list<const char*> tokens) {
+    auto parser = make_parser();
+    try {
+      parse(parser, tokens);
+    } catch (const ArgsError& error) {
+      return std::string(error.what());
+    }
+    ADD_FAILURE() << "expected ArgsError";
+    return std::string();
+  };
+
+  // One-edit typo: the misspelled flag earns a concrete suggestion.
+  const std::string typo = message_for({"--cuont", "7"});
+  EXPECT_NE(typo.find("unknown flag '--cuont'"), std::string::npos) << typo;
+  EXPECT_NE(typo.find("did you mean '--count'?"), std::string::npos) << typo;
+  EXPECT_NE(typo.find("--help"), std::string::npos) << typo;
+
+  const std::string dropped = message_for({"--verbos"});
+  EXPECT_NE(dropped.find("did you mean '--verbose'?"), std::string::npos) << dropped;
+
+  // Nothing close: no guess is offered, but --help is still pointed at.
+  const std::string far = message_for({"--zzzzzzzz", "x"});
+  EXPECT_EQ(far.find("did you mean"), std::string::npos) << far;
+  EXPECT_NE(far.find("--help"), std::string::npos) << far;
+}
+
 TEST(ArgParser, Errors) {
   {
     auto parser = make_parser();

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <random>
 #include <sstream>
+#include <string>
 
 #include "ml/metrics.h"
 #include "ml/mlp.h"
@@ -183,6 +188,77 @@ TEST(SerializeKnn, RoundTripPreservesNeighbours) {
     ASSERT_EQ(loaded.predict(row), knn.predict(row));
     ASSERT_DOUBLE_EQ(loaded.decision_value(row), knn.decision_value(row));
   }
+}
+
+// load_model_file wraps stream-level failures so the operator learns *which*
+// file on disk is missing or corrupt, not just that "a stream" broke.
+class SerializeLoadModelFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("headtalk_serialize_test_" + std::to_string(::getpid()) + ".htm");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void write_trained_svm() {
+    Svm svm;
+    svm.fit(blobs(30, 21));
+    std::ofstream out(path_, std::ios::binary);
+    svm.save(out);
+  }
+
+  static std::string error_from(const std::filesystem::path& path) {
+    try {
+      (void)load_model_file<Svm>(path);
+    } catch (const SerializationError& error) {
+      return error.what();
+    }
+    ADD_FAILURE() << "expected SerializationError for " << path;
+    return {};
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(SerializeLoadModelFile, RoundTripsThroughDisk) {
+  write_trained_svm();
+  const Svm loaded = load_model_file<Svm>(path_);
+  const auto test = blobs(20, 22);
+  Svm reference;
+  reference.fit(blobs(30, 21));
+  for (const auto& row : test.features) {
+    EXPECT_EQ(loaded.predict(row), reference.predict(row));
+  }
+}
+
+TEST_F(SerializeLoadModelFile, MissingFileNamesThePath) {
+  const std::string what = error_from(path_);
+  EXPECT_NE(what.find(path_.string()), std::string::npos) << what;
+  EXPECT_NE(what.find("cannot open"), std::string::npos) << what;
+}
+
+TEST_F(SerializeLoadModelFile, WrongMagicNamesFileAndBothTags) {
+  write_trained_svm();
+  {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    file.write("NOPE", 4);  // clobber the magic tag
+  }
+  const std::string what = error_from(path_);
+  EXPECT_NE(what.find(path_.string()), std::string::npos) << what;
+  EXPECT_NE(what.find("wrong magic tag"), std::string::npos) << what;
+  // Both observed and expected tags appear in hex for quick triage.
+  EXPECT_NE(what.find("got 0x"), std::string::npos) << what;
+  EXPECT_NE(what.find("expected 0x"), std::string::npos) << what;
+}
+
+TEST_F(SerializeLoadModelFile, TruncatedPayloadNamesThePath) {
+  write_trained_svm();
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full / 2);
+  const std::string what = error_from(path_);
+  EXPECT_NE(what.find(path_.string()), std::string::npos) << what;
+  EXPECT_NE(what.find("truncated"), std::string::npos) << what;
 }
 
 TEST(SerializeCrossModel, MagicTagsRejectWrongModelType) {

@@ -1,0 +1,243 @@
+// Wire-protocol round-trips and strict-decode rejection, including a
+// fuzz-ish corrupted-buffer loop: whatever bytes arrive, the decoder either
+// yields a validated frame or throws ProtocolError — never UB, never an
+// inconsistent frame.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+using namespace headtalk;
+using namespace headtalk::serve;
+
+namespace {
+
+Frame decode_one(const std::vector<std::uint8_t>& bytes) {
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  auto frame = reader.next();
+  if (!frame) throw ProtocolError("incomplete frame");
+  return *frame;
+}
+
+TEST(ServeProtocol, HelloRoundTrip) {
+  Hello hello;
+  hello.sample_rate_hz = 16000;
+  hello.channels = 6;
+  const Hello out = parse_hello(decode_one(encode_hello(hello)));
+  EXPECT_EQ(out.protocol_version, kProtocolVersion);
+  EXPECT_EQ(out.sample_rate_hz, 16000u);
+  EXPECT_EQ(out.channels, 6);
+}
+
+TEST(ServeProtocol, HelloOkRoundTrip) {
+  HelloOk ok;
+  ok.max_chunk_frames = 1234;
+  ok.max_utterance_frames = 99999;
+  const HelloOk out = parse_hello_ok(decode_one(encode_hello_ok(ok)));
+  EXPECT_EQ(out.max_chunk_frames, 1234u);
+  EXPECT_EQ(out.max_utterance_frames, 99999u);
+}
+
+TEST(ServeProtocol, AudioChunkRoundTrip) {
+  std::vector<float> interleaved(2 * 5);
+  for (std::size_t i = 0; i < interleaved.size(); ++i) {
+    interleaved[i] = 0.25f * static_cast<float>(i);
+  }
+  const AudioChunk out =
+      parse_audio_chunk(decode_one(encode_audio_chunk(interleaved, 2)), 2);
+  EXPECT_EQ(out.frames, 5u);
+  ASSERT_EQ(out.interleaved.size(), interleaved.size());
+  for (std::size_t i = 0; i < interleaved.size(); ++i) {
+    EXPECT_EQ(out.interleaved[i], interleaved[i]);
+  }
+}
+
+TEST(ServeProtocol, EndOfUtteranceRoundTrip) {
+  EXPECT_FALSE(parse_end_of_utterance(decode_one(encode_end_of_utterance(false))).followup);
+  EXPECT_TRUE(parse_end_of_utterance(decode_one(encode_end_of_utterance(true))).followup);
+}
+
+TEST(ServeProtocol, DecisionRoundTrip) {
+  DecisionFrame decision;
+  decision.decision = 3;
+  decision.live = true;
+  decision.facing = false;
+  decision.via_open_session = true;
+  decision.liveness_score = 0.75;
+  decision.orientation_score = -1.5;
+  decision.elapsed_seconds = 0.042;
+  const DecisionFrame out = parse_decision(decode_one(encode_decision(decision)));
+  EXPECT_EQ(out.decision, 3);
+  EXPECT_TRUE(out.live);
+  EXPECT_FALSE(out.facing);
+  EXPECT_TRUE(out.via_open_session);
+  EXPECT_DOUBLE_EQ(out.liveness_score, 0.75);
+  EXPECT_DOUBLE_EQ(out.orientation_score, -1.5);
+  EXPECT_DOUBLE_EQ(out.elapsed_seconds, 0.042);
+}
+
+TEST(ServeProtocol, ErrorRoundTrip) {
+  const ErrorFrame out = parse_error(
+      decode_one(encode_error(ErrorCode::kTooLarge, "chunk too big")));
+  EXPECT_EQ(out.code, ErrorCode::kTooLarge);
+  EXPECT_EQ(out.message, "chunk too big");
+}
+
+TEST(ServeProtocol, BusyRoundTrip) {
+  const Frame frame = decode_one(encode_busy());
+  EXPECT_EQ(frame.type, FrameType::kBusy);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(ServeProtocol, ReaderHandlesArbitrarySplitPoints) {
+  // Three frames fed one byte at a time must come out intact and in order.
+  std::vector<std::uint8_t> stream;
+  const auto add = [&](const std::vector<std::uint8_t>& bytes) {
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  };
+  add(encode_hello(Hello{}));
+  add(encode_audio_chunk(std::vector<float>(8, 0.5f), 4));
+  add(encode_end_of_utterance(false));
+
+  FrameReader reader;
+  std::vector<FrameType> seen;
+  for (std::uint8_t byte : stream) {
+    reader.feed(&byte, 1);
+    while (auto frame = reader.next()) seen.push_back(frame->type);
+  }
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], FrameType::kHello);
+  EXPECT_EQ(seen[1], FrameType::kAudioChunk);
+  EXPECT_EQ(seen[2], FrameType::kEndOfUtterance);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(ServeProtocol, RejectsUnknownFrameType) {
+  auto bytes = encode_busy();
+  bytes[4] = 0x7f;  // type byte
+  FrameReader reader;
+  EXPECT_THROW(reader.feed(bytes.data(), bytes.size()), ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsNonzeroReservedHeaderBits) {
+  auto bytes = encode_busy();
+  bytes[5] = 1;  // flags must be zero in version 1
+  FrameReader reader;
+  EXPECT_THROW(reader.feed(bytes.data(), bytes.size()), ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsOversizedPayloadLength) {
+  auto bytes = encode_busy();
+  const std::uint32_t huge = 64u << 20;
+  std::memcpy(bytes.data(), &huge, sizeof huge);
+  FrameReader reader;
+  EXPECT_THROW(reader.feed(bytes.data(), bytes.size()), ProtocolError);
+}
+
+TEST(ServeProtocol, TruncatedFrameStaysPending) {
+  const auto bytes = encode_hello(Hello{});
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size() - 1);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered_bytes(), bytes.size() - 1);
+}
+
+TEST(ServeProtocol, RejectsTruncatedPayloadOnParse) {
+  auto bytes = encode_hello(Hello{});
+  // Shrink the payload but fix up the declared length so the frame decodes,
+  // then the typed parser must reject the short payload.
+  bytes.pop_back();
+  const auto payload_len = static_cast<std::uint32_t>(bytes.size() - kFrameHeaderBytes);
+  std::memcpy(bytes.data(), &payload_len, sizeof payload_len);
+  EXPECT_THROW((void)parse_hello(decode_one(bytes)), ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsTrailingPayloadBytes) {
+  auto bytes = encode_end_of_utterance(true);
+  bytes.push_back(0);
+  const auto payload_len = static_cast<std::uint32_t>(bytes.size() - kFrameHeaderBytes);
+  std::memcpy(bytes.data(), &payload_len, sizeof payload_len);
+  EXPECT_THROW((void)parse_end_of_utterance(decode_one(bytes)), ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsWrongFrameTypeForParser) {
+  EXPECT_THROW((void)parse_hello(decode_one(encode_busy())), ProtocolError);
+  EXPECT_THROW((void)parse_decision(decode_one(encode_hello(Hello{}))), ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsBadFieldValues) {
+  Hello zero_channels;
+  zero_channels.channels = 0;
+  EXPECT_THROW((void)parse_hello(decode_one(encode_hello(zero_channels))),
+               ProtocolError);
+
+  Hello slow;
+  slow.sample_rate_hz = 100;  // below the 8 kHz floor
+  EXPECT_THROW((void)parse_hello(decode_one(encode_hello(slow))), ProtocolError);
+
+  // Chunk length must be frames * channels: parse with the wrong channel
+  // count and the length check fires.
+  const auto chunk = encode_audio_chunk(std::vector<float>(12, 0.0f), 4);
+  EXPECT_THROW((void)parse_audio_chunk(decode_one(chunk), 5), ProtocolError);
+}
+
+TEST(ServeProtocol, CorruptedBuffersNeverYieldUnvalidatedFrames) {
+  // Fuzz-ish loop: mutate valid encodings (bit flips, truncation, garbage
+  // prefixes) and decode. Every outcome must be either a clean parse or a
+  // ProtocolError — UB and silent misparses are what the strict decoder
+  // exists to rule out.
+  std::vector<std::vector<std::uint8_t>> seeds;
+  seeds.push_back(encode_hello(Hello{}));
+  seeds.push_back(encode_hello_ok(HelloOk{kProtocolVersion, 100, 1000}));
+  seeds.push_back(encode_audio_chunk(std::vector<float>(32, 0.25f), 4));
+  seeds.push_back(encode_end_of_utterance(true));
+  seeds.push_back(encode_decision(DecisionFrame{}));
+  seeds.push_back(encode_error(ErrorCode::kInternal, "x"));
+  seeds.push_back(encode_busy());
+
+  std::mt19937 rng(1234);
+  std::size_t parsed = 0, rejected = 0;
+  for (int round = 0; round < 2000; ++round) {
+    auto bytes = seeds[static_cast<std::size_t>(round) % seeds.size()];
+    const int mutations = 1 + static_cast<int>(rng() % 4);
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng() % 3) {
+        case 0:  // flip a random byte
+          if (!bytes.empty()) bytes[rng() % bytes.size()] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+          break;
+        case 1:  // truncate
+          if (!bytes.empty()) bytes.resize(rng() % bytes.size());
+          break;
+        default:  // append garbage
+          bytes.push_back(static_cast<std::uint8_t>(rng()));
+          break;
+      }
+    }
+    try {
+      FrameReader reader;
+      reader.feed(bytes.data(), bytes.size());
+      while (auto frame = reader.next()) {
+        switch (frame->type) {
+          case FrameType::kHello: (void)parse_hello(*frame); break;
+          case FrameType::kHelloOk: (void)parse_hello_ok(*frame); break;
+          case FrameType::kAudioChunk: (void)parse_audio_chunk(*frame, 4); break;
+          case FrameType::kEndOfUtterance: (void)parse_end_of_utterance(*frame); break;
+          case FrameType::kDecision: (void)parse_decision(*frame); break;
+          case FrameType::kError: (void)parse_error(*frame); break;
+          case FrameType::kBusy: break;
+        }
+        ++parsed;
+      }
+    } catch (const ProtocolError&) {
+      ++rejected;
+    }
+  }
+  // The loop is only meaningful if both outcomes actually occur.
+  EXPECT_GT(parsed, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+}  // namespace

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -256,6 +259,105 @@ TEST_F(FeatureCacheTest, EmptyVectorRoundTrips) {
   const auto loaded = cache.load("empty");
   ASSERT_TRUE(loaded.has_value());
   EXPECT_TRUE(loaded->empty());
+}
+
+/// Stores `key`, finds the entry file it created (new .bin in the
+/// directory), and back-dates its mtime by `age_minutes`.
+std::filesystem::path store_and_age(const FeatureCache& cache, const std::string& key,
+                                    const ml::FeatureVector& value, int age_minutes) {
+  std::vector<std::filesystem::path> before;
+  if (std::filesystem::exists(cache.directory())) {  // created lazily
+    for (const auto& entry : std::filesystem::directory_iterator(cache.directory())) {
+      before.push_back(entry.path());
+    }
+  }
+  cache.store(key, value);
+  for (const auto& entry : std::filesystem::directory_iterator(cache.directory())) {
+    if (std::find(before.begin(), before.end(), entry.path()) == before.end()) {
+      std::filesystem::last_write_time(
+          entry.path(), std::filesystem::file_time_type::clock::now() -
+                            std::chrono::minutes(age_minutes));
+      return entry.path();
+    }
+  }
+  ADD_FAILURE() << "store of '" << key << "' created no file";
+  return {};
+}
+
+TEST_F(FeatureCacheTest, SizeCapPrunesLeastRecentlyUsedFirst) {
+  const ml::FeatureVector value(8, 1.25);
+  // Build four equal-size entries (keys share a length; the key is stored
+  // in the file) with a known age order via an unlimited cache, so nothing
+  // prunes while we arrange the scene.
+  const FeatureCache unlimited(dir_, 0);
+  (void)store_and_age(unlimited, "age-40", value, 40);
+  (void)store_and_age(unlimited, "age-30", value, 30);
+  (void)store_and_age(unlimited, "age-20", value, 20);
+  (void)store_and_age(unlimited, "age-10", value, 10);
+
+  std::uintmax_t entry_bytes = 0, total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    entry_bytes = std::filesystem::file_size(entry.path());
+    total += entry_bytes;
+  }
+  ASSERT_EQ(total, 4 * entry_bytes);
+
+  // Cap at two entries: the two stalest must go, the two freshest stay.
+  const FeatureCache capped(dir_, 2 * entry_bytes);
+  capped.prune_now();
+  EXPECT_FALSE(capped.load("age-40").has_value());
+  EXPECT_FALSE(capped.load("age-30").has_value());
+  EXPECT_TRUE(capped.load("age-20").has_value());
+  EXPECT_TRUE(capped.load("age-10").has_value());
+  const auto stats = capped.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.evicted_bytes, 2 * entry_bytes);
+}
+
+TEST_F(FeatureCacheTest, HitRefreshesRecencySoPruneSparesIt) {
+  const ml::FeatureVector value(8, 0.5);
+  const FeatureCache unlimited(dir_, 0);
+  (void)store_and_age(unlimited, "aa-key", value, 60);  // stalest on disk...
+  (void)store_and_age(unlimited, "bb-key", value, 30);
+  const std::uintmax_t entry_bytes = std::filesystem::file_size(
+      std::filesystem::directory_iterator(dir_)->path());
+
+  // ...but a hit refreshes its mtime, flipping the LRU order.
+  ASSERT_TRUE(unlimited.load("aa-key").has_value());
+
+  const FeatureCache capped(dir_, entry_bytes);  // room for one entry
+  capped.prune_now();
+  EXPECT_TRUE(capped.load("aa-key").has_value());
+  EXPECT_FALSE(capped.load("bb-key").has_value());
+  EXPECT_EQ(capped.stats().evictions, 1u);
+}
+
+TEST_F(FeatureCacheTest, UnlimitedCacheNeverEvicts) {
+  FeatureCache cache(dir_, 0);
+  for (int i = 0; i < 8; ++i) {
+    cache.store("key-" + std::to_string(i), ml::FeatureVector(64, 1.0));
+  }
+  cache.prune_now();
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(cache.load("key-" + std::to_string(i)).has_value()) << i;
+  }
+}
+
+TEST_F(FeatureCacheTest, DefaultLimitReadsEnvironment) {
+  const char* saved = std::getenv("HEADTALK_CACHE_LIMIT_MB");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ::setenv("HEADTALK_CACHE_LIMIT_MB", "5", 1);
+  EXPECT_EQ(FeatureCache::default_limit_bytes(), 5ull << 20);
+  ::setenv("HEADTALK_CACHE_LIMIT_MB", "not-a-number", 1);
+  EXPECT_EQ(FeatureCache::default_limit_bytes(), 0u);
+  ::unsetenv("HEADTALK_CACHE_LIMIT_MB");
+  EXPECT_EQ(FeatureCache::default_limit_bytes(), 0u);
+
+  if (saved != nullptr) {
+    ::setenv("HEADTALK_CACHE_LIMIT_MB", restore.c_str(), 1);
+  }
 }
 
 }  // namespace

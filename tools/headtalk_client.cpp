@@ -1,0 +1,145 @@
+// headtalk_client — scores WAV captures against a running headtalk_serve.
+//
+//   headtalk_client --socket /tmp/headtalk.sock --wav capture.wav
+//   headtalk_client --socket /tmp/headtalk.sock --wav a.wav,b.wav --parallel 8
+//
+// Each connection sends HELLO, then streams every WAV as one utterance and
+// prints the DECISION. With --parallel N, N connections run concurrently
+// (each scoring the full WAV list) — a quick load generator and the
+// workhorse of the serve smoke test. Exit status is nonzero when any
+// utterance failed to produce a DECISION.
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audio/wav_io.h"
+#include "cli/args.h"
+#include "core/pipeline.h"
+#include "serve/client.h"
+
+using namespace headtalk;
+
+namespace {
+
+std::vector<std::filesystem::path> parse_wavs(const std::string& text) {
+  std::vector<std::filesystem::path> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.emplace_back(item);
+  }
+  if (out.empty()) throw cli::ArgsError("--wav: no capture given");
+  return out;
+}
+
+serve::BlockingClient connect(const cli::ArgParser& args) {
+  if (args.has("--socket")) {
+    return serve::BlockingClient::connect_unix(args.get("--socket"));
+  }
+  if (args.has("--tcp-port")) {
+    return serve::BlockingClient::connect_tcp(static_cast<int>(args.get_int("--tcp-port")));
+  }
+  throw cli::ArgsError("one of --socket or --tcp-port is required");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgParser args("headtalk_client", "score WAV captures against headtalk_serve");
+  args.add_flag("--socket", "Unix-domain socket the daemon listens on");
+  args.add_flag("--tcp-port", "connect to 127.0.0.1:<port> instead of --socket");
+  args.add_flag("--wav", "capture(s) to score (comma-separated; one utterance each)");
+  args.add_flag("--parallel", "concurrent connections, each scoring every WAV", "1");
+  args.add_flag("--chunk-frames", "frames per AUDIO_CHUNK", "4800");
+  args.add_switch("--followup", "send utterances after the first as follow-ups");
+
+  try {
+    args.parse(argc, argv);
+    if (args.help_requested()) {
+      std::fputs(args.usage().c_str(), stdout);
+      return 0;
+    }
+
+    const auto wavs = parse_wavs(args.get("--wav"));
+    const long parallel = args.get_int("--parallel");
+    const auto chunk_frames = static_cast<std::size_t>(args.get_int("--chunk-frames"));
+    const bool followup_rest = args.get_switch("--followup");
+    if (parallel < 1) throw cli::ArgsError("--parallel must be >= 1");
+
+    // Decode once; every connection replays the same captures.
+    std::vector<audio::MultiBuffer> captures;
+    captures.reserve(wavs.size());
+    for (const auto& wav : wavs) captures.push_back(audio::read_wav(wav));
+
+    struct Outcome {
+      std::vector<serve::DecisionFrame> decisions;
+      std::string error;
+    };
+    std::vector<Outcome> outcomes(static_cast<std::size_t>(parallel));
+
+    auto run_connection = [&](std::size_t index) {
+      Outcome& outcome = outcomes[index];
+      try {
+        serve::BlockingClient client = connect(args);
+        serve::Hello hello;
+        hello.sample_rate_hz = static_cast<std::uint32_t>(captures.front().sample_rate());
+        hello.channels = static_cast<std::uint16_t>(captures.front().channel_count());
+        (void)client.hello(hello);
+        for (std::size_t u = 0; u < captures.size(); ++u) {
+          const bool followup = followup_rest && u > 0;
+          outcome.decisions.push_back(
+              client.score(captures[u], followup, chunk_frames));
+        }
+      } catch (const std::exception& error) {
+        outcome.error = error.what();
+      }
+    };
+
+    if (parallel == 1) {
+      run_connection(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(parallel));
+      for (std::size_t i = 0; i < static_cast<std::size_t>(parallel); ++i) {
+        threads.emplace_back(run_connection, i);
+      }
+      for (auto& thread : threads) thread.join();
+    }
+
+    // One detailed report for the first connection; the rest tally up.
+    bool failed = false;
+    for (std::size_t u = 0; u < outcomes[0].decisions.size(); ++u) {
+      const auto& d = outcomes[0].decisions[u];
+      std::printf(
+          "%s: %s (liveness %.3f, orientation %+.3f%s, scored in %.1f ms)\n",
+          wavs[u].string().c_str(),
+          std::string(core::decision_name(static_cast<core::Decision>(d.decision)))
+              .c_str(),
+          d.liveness_score, d.orientation_score,
+          d.via_open_session ? ", via open session" : "", 1000.0 * d.elapsed_seconds);
+    }
+    std::size_t total_decisions = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      total_decisions += outcomes[i].decisions.size();
+      if (!outcomes[i].error.empty()) {
+        failed = true;
+        std::fprintf(stderr, "connection %zu: %s\n", i, outcomes[i].error.c_str());
+      } else if (outcomes[i].decisions.size() != captures.size()) {
+        failed = true;
+        std::fprintf(stderr, "connection %zu: %zu/%zu decisions\n", i,
+                     outcomes[i].decisions.size(), captures.size());
+      }
+    }
+    if (parallel > 1) {
+      std::printf("%ld connections, %zu/%zu decisions\n", parallel, total_decisions,
+                  captures.size() * static_cast<std::size_t>(parallel));
+    }
+    return failed ? 1 : 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n\n%s", error.what(), args.usage().c_str());
+    return 1;
+  }
+}

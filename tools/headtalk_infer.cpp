@@ -8,7 +8,6 @@
 // (comma-separated) are scored in parallel and reported in input order.
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "audio/wav_io.h"
@@ -19,6 +18,7 @@
 #include "core/orientation_classifier.h"
 #include "core/orientation_features.h"
 #include "core/preprocess.h"
+#include "ml/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -57,16 +57,10 @@ int main(int argc, char** argv) {
     cli::ObsSession obs_session(args);
 
     const std::filesystem::path model_dir = args.get("--models");
-    const core::OrientationClassifier orientation = [&] {
-      std::ifstream in(model_dir / "orientation.htm", std::ios::binary);
-      if (!in) throw std::runtime_error("cannot open orientation.htm");
-      return core::OrientationClassifier::load(in);
-    }();
-    const core::LivenessDetector liveness = [&] {
-      std::ifstream in(model_dir / "liveness.htm", std::ios::binary);
-      if (!in) throw std::runtime_error("cannot open liveness.htm");
-      return core::LivenessDetector::load(in);
-    }();
+    const auto orientation =
+        ml::load_model_file<core::OrientationClassifier>(model_dir / "orientation.htm");
+    const auto liveness =
+        ml::load_model_file<core::LivenessDetector>(model_dir / "liveness.htm");
 
     const auto wavs = parse_wavs(args.get("--wav"));
     const auto device = room::DeviceSpec::get(cli::parse_device(args.get("--device")));

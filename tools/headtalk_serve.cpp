@@ -1,0 +1,115 @@
+// headtalk_serve — the concurrent inference daemon.
+//
+//   headtalk_serve --models models --socket /tmp/headtalk.sock
+//   headtalk_serve --models models --socket /tmp/headtalk.sock \
+//       --tcp-port 7071 --jobs 4 --max-pending 128 --deadline-ms 5000
+//
+// Loads the persisted orientation + liveness models once, then scores
+// streamed multichannel captures for any number of concurrent clients over
+// a Unix-domain socket (and, with --tcp-port, a 127.0.0.1 TCP listener).
+// Overload is answered with BUSY frames; SIGINT/SIGTERM trigger a graceful
+// drain — queued and in-flight utterances still get their DECISIONs.
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+
+#include "cli/args.h"
+#include "cli/names.h"
+#include "core/pipeline.h"
+#include "ml/serialize.h"
+#include "room/mic_array.h"
+#include "serve/server.h"
+
+using namespace headtalk;
+
+namespace {
+
+serve::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+core::VaMode parse_mode(const std::string& text) {
+  if (text == "normal") return core::VaMode::kNormal;
+  if (text == "headtalk") return core::VaMode::kHeadTalk;
+  throw cli::ArgsError("--mode: expected normal|headtalk, got '" + text + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgParser args("headtalk_serve", "serve trained HeadTalk models over a socket");
+  args.add_flag("--models", "directory containing orientation.htm / liveness.htm");
+  args.add_flag("--socket", "Unix-domain socket path to listen on");
+  args.add_flag("--tcp-port", "also listen on 127.0.0.1:<port> (0 = off)", "0");
+  args.add_flag("--max-pending", "accepted connections allowed to queue", "64");
+  args.add_flag("--deadline-ms", "per-utterance deadline in milliseconds", "10000");
+  args.add_flag("--mode", "scoring mode: normal|headtalk", "headtalk");
+  args.add_flag("--device", "device the captures come from (aperture): D1|D2|D3", "D2");
+  cli::add_jobs_flag(args);
+  cli::add_obs_flags(args);
+
+  try {
+    args.parse(argc, argv);
+    if (args.help_requested()) {
+      std::fputs(args.usage().c_str(), stdout);
+      return 0;
+    }
+    cli::ObsSession obs_session(args);
+
+    const std::filesystem::path model_dir = args.get("--models");
+    auto orientation =
+        ml::load_model_file<core::OrientationClassifier>(model_dir / "orientation.htm");
+    auto liveness =
+        ml::load_model_file<core::LivenessDetector>(model_dir / "liveness.htm");
+
+    core::PipelineConfig pipeline_config;
+    const auto device = room::DeviceSpec::get(cli::parse_device(args.get("--device")));
+    pipeline_config.orientation_features.max_mic_distance_m =
+        device.max_pair_distance(device.default_channels);
+    const core::HeadTalkPipeline pipeline(std::move(orientation), std::move(liveness),
+                                          pipeline_config);
+
+    serve::ServerConfig config;
+    config.socket_path = args.get("--socket");
+    config.tcp_port = static_cast<int>(args.get_int("--tcp-port"));
+    config.workers = cli::jobs_from(args);
+    config.max_pending = static_cast<std::size_t>(args.get_int("--max-pending"));
+    config.request_deadline_ms = static_cast<int>(args.get_int("--deadline-ms"));
+    config.session.mode = parse_mode(args.get("--mode"));
+    if (config.max_pending == 0 || config.request_deadline_ms <= 0) {
+      throw cli::ArgsError("--max-pending and --deadline-ms must be positive");
+    }
+
+    serve::Server server(pipeline, config);
+    g_server = &server;
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+
+    server.start();
+    std::printf("headtalk_serve: listening on %s%s — SIGINT/SIGTERM to stop\n",
+                config.socket_path.string().c_str(),
+                config.tcp_port > 0
+                    ? (" and 127.0.0.1:" + std::to_string(config.tcp_port)).c_str()
+                    : "");
+    std::fflush(stdout);
+    server.wait();
+
+    const serve::ServerStats stats = server.stats();
+    g_server = nullptr;
+    std::printf(
+        "headtalk_serve: drained — %llu connections, %llu decisions, "
+        "%llu busy rejections, %llu session errors, %llu deadline expirations\n",
+        static_cast<unsigned long long>(stats.connections_accepted),
+        static_cast<unsigned long long>(stats.decisions),
+        static_cast<unsigned long long>(stats.busy_rejections),
+        static_cast<unsigned long long>(stats.session_errors),
+        static_cast<unsigned long long>(stats.deadline_expirations));
+    return 0;
+  } catch (const std::exception& error) {
+    g_server = nullptr;
+    std::fprintf(stderr, "error: %s\n\n%s", error.what(), args.usage().c_str());
+    return 1;
+  }
+}

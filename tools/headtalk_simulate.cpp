@@ -51,7 +51,12 @@ int main(int argc, char** argv) {
   args.add_flag("--reps", "repetitions per angle per session", "1");
   args.add_flag("--loudness", "speech level, dB SPL", "70");
   args.add_flag("--user", "speaker identity (0 = enrolled user)", "0");
-  args.add_switch("--cache-stats", "print feature-cache hit/miss/store stats on exit");
+  args.add_switch("--cache-stats",
+                  "print feature-cache hit/miss/store/eviction stats on exit");
+  args.add_flag("--cache-limit-mb",
+                "prune the shared feature cache to this size (MiB) on exit; "
+                "default $HEADTALK_CACHE_LIMIT_MB",
+                "");
   cli::add_jobs_flag(args);
   cli::add_obs_flags(args);
 
@@ -129,17 +134,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "\n");
     std::printf("wrote %zu captures + manifest.tsv to %s\n", specs.size(),
                 out_dir.string().c_str());
+    // Cap maintenance runs against the *shared* cache directory even though
+    // raw rendering bypasses it: simulate is the tool every corpus script
+    // already calls, so it is the natural place to keep the cache bounded.
+    const std::string limit_text = args.get("--cache-limit-mb");
+    const std::uint64_t limit_bytes =
+        limit_text.empty() ? sim::FeatureCache::default_limit_bytes()
+                           : static_cast<std::uint64_t>(args.get_int("--cache-limit-mb"))
+                                 << 20;
+    const sim::FeatureCache shared_cache(sim::FeatureCache::default_directory(),
+                                         limit_bytes);
+    if (limit_bytes > 0) shared_cache.prune_now();
     if (args.get_switch("--cache-stats")) {
       const auto stats = collector.cache().stats();
+      const auto pruned = shared_cache.stats();
       std::printf("feature cache (%s): hits %llu  misses %llu  stores %llu  "
-                  "evicted bytes %llu\n",
+                  "evictions %llu  evicted bytes %llu\n",
                   collector.cache().enabled()
                       ? collector.cache().directory().string().c_str()
                       : "disabled: raw renders bypass the feature cache",
                   static_cast<unsigned long long>(stats.hits),
                   static_cast<unsigned long long>(stats.misses),
                   static_cast<unsigned long long>(stats.stores),
-                  static_cast<unsigned long long>(stats.evicted_bytes));
+                  static_cast<unsigned long long>(stats.evictions + pruned.evictions),
+                  static_cast<unsigned long long>(stats.evicted_bytes +
+                                                  pruned.evicted_bytes));
+      if (limit_bytes > 0) {
+        std::printf("cache cap: %llu MiB on %s (pruned %llu entries)\n",
+                    static_cast<unsigned long long>(limit_bytes >> 20),
+                    shared_cache.directory().string().c_str(),
+                    static_cast<unsigned long long>(pruned.evictions));
+      }
     }
     return 0;
   } catch (const std::exception& error) {

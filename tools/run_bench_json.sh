@@ -5,8 +5,9 @@
 #
 # Each bench appends one JSON line to $HEADTALK_BENCH_OUT/BENCH_<id>.json
 # (see bench/bench_common.h PerfRecorder). This script points the records
-# at a scratch directory, runs the three cheapest benches (fig3 renders
-# nothing; fig5/fig6 render a handful of captures), and then checks every
+# at a scratch directory, runs the cheapest benches (fig3 renders nothing;
+# fig5/fig6 render a handful of captures; serve_throughput runs a small
+# daemon load with reduced client/utterance counts), and then checks every
 # record against the checked-in shape schema with validate_bench_json.
 # Wired into ctest as `bench_json_smoke` (label: bench-smoke).
 set -eu
@@ -15,7 +16,13 @@ repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_dir/build"}
 schema="$repo_dir/bench/bench_record_schema.json"
 
-for bench in bench_fig3_spectra bench_fig5_forward_backward bench_fig6_gcc_srp; do
+benches="bench_fig3_spectra bench_fig5_forward_backward bench_fig6_gcc_srp bench_serve_throughput"
+
+# Keep the serving bench smoke-sized (the nightly perf run raises these).
+export HEADTALK_SERVE_BENCH_CLIENTS=4
+export HEADTALK_SERVE_BENCH_UTTERANCES=2
+
+for bench in $benches; do
   if [ ! -x "$build_dir/bench/$bench" ]; then
     echo "run_bench_json.sh: $build_dir/bench/$bench not built" >&2
     echo "  (build first: cmake --build $build_dir --target $bench)" >&2
@@ -28,7 +35,7 @@ rm -rf "$out_dir"
 mkdir -p "$out_dir"
 export HEADTALK_BENCH_OUT="$out_dir"
 
-for bench in bench_fig3_spectra bench_fig5_forward_backward bench_fig6_gcc_srp; do
+for bench in $benches; do
   echo "== $bench =="
   "$build_dir/bench/$bench" > /dev/null
 done
@@ -39,8 +46,8 @@ if [ -z "$records" ]; then
   exit 1
 fi
 count=$(printf '%s\n' "$records" | wc -l)
-if [ "$count" -lt 3 ]; then
-  echo "run_bench_json.sh: expected >= 3 records, found $count:" >&2
+if [ "$count" -lt 4 ]; then
+  echo "run_bench_json.sh: expected >= 4 records, found $count:" >&2
   printf '%s\n' "$records" >&2
   exit 1
 fi
