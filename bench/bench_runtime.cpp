@@ -1,17 +1,32 @@
-// §IV-B15: runtime of the HeadTalk pipeline stages (google-benchmark).
+// §IV-B15: runtime of the HeadTalk pipeline stages.
 // Paper (PC, i7-2600): liveness ~42 ms, orientation ~136 ms per wake word;
 // the prototype ARM board needs 527 ms for orientation. The absolute
 // numbers depend on hardware; the shape claim is that orientation costs a
 // small multiple of liveness and both fit a VA's response budget.
+//
+// Two measurements share this binary:
+//  1. A cold-vs-warm comparison of the feature extractors: cold rebuilds
+//     FFT plans every call (FftPlanCache disabled) and allocates all
+//     scratch per call; warm reuses cached plans and a ScoringWorkspace.
+//     The per-utterance latencies, the speedup, and the plan-cache traffic
+//     land in the BENCH_runtime.json perf record; the run fails if cold
+//     and warm features are not bit-identical.
+//  2. The google-benchmark stage timings (skipped when
+//     $HEADTALK_RUNTIME_SKIP_GBENCH=1, e.g. in the bench-smoke ctest).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <random>
 
+#include "bench_common.h"
 #include "core/liveness_detector.h"
 #include "core/liveness_features.h"
 #include "core/orientation_classifier.h"
 #include "core/orientation_features.h"
 #include "core/preprocess.h"
+#include "core/scoring_workspace.h"
+#include "dsp/fft_plan.h"
 #include "sim/collector.h"
 
 using namespace headtalk;
@@ -128,6 +143,112 @@ void BM_FullHeadTalkDecision(benchmark::State& state) {
 }
 BENCHMARK(BM_FullHeadTalkDecision)->Unit(benchmark::kMillisecond);
 
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+template <typename Fn>
+double time_ms_per_iter(int iterations, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) fn();
+  const auto elapsed =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start);
+  return elapsed.count() / static_cast<double>(iterations);
+}
+
+/// Cold-vs-warm scoring-engine measurement; returns false when the
+/// determinism contract (cold features == warm features, bitwise) breaks.
+bool run_plan_cache_record() {
+  const int iters = env_int("HEADTALK_RUNTIME_BENCH_ITERS", 10);
+  auto& cache = dsp::FftPlanCache::global();
+  const core::OrientationFeatureExtractor orientation_extractor;
+  const core::LivenessFeatureExtractor liveness_extractor;
+  auto& recorder = bench::PerfRecorder::instance();
+
+  bench::print_note("\nScoring-engine warm-up effect (plan cache + workspace reuse):");
+
+  // --- Cold: every call rebuilds its FFT plans and scratch buffers ---
+  cache.set_enabled(false);
+  cache.clear();
+  const auto orientation_cold = orientation_extractor.extract(denoised());
+  const double orientation_cold_ms = time_ms_per_iter(iters, [&] {
+    benchmark::DoNotOptimize(orientation_extractor.extract(denoised()));
+  });
+  const auto liveness_cold = liveness_extractor.extract(denoised().channel(0));
+  const double liveness_cold_ms = time_ms_per_iter(iters, [&] {
+    benchmark::DoNotOptimize(liveness_extractor.extract(denoised().channel(0)));
+  });
+
+  // --- Warm: cached plans + per-thread workspace, one warm-up call ---
+  cache.set_enabled(true);
+  cache.clear();
+  const auto stats_before = cache.stats();
+  core::ScoringWorkspace workspace;
+  const auto orientation_warm = orientation_extractor.extract(denoised(), &workspace);
+  const double orientation_warm_ms = time_ms_per_iter(iters, [&] {
+    benchmark::DoNotOptimize(orientation_extractor.extract(denoised(), &workspace));
+  });
+  const auto liveness_warm = liveness_extractor.extract(denoised().channel(0), &workspace);
+  const double liveness_warm_ms = time_ms_per_iter(iters, [&] {
+    benchmark::DoNotOptimize(liveness_extractor.extract(denoised().channel(0), &workspace));
+  });
+  const auto stats_after = cache.stats();
+
+  const double orientation_speedup =
+      orientation_warm_ms > 0.0 ? orientation_cold_ms / orientation_warm_ms : 0.0;
+  const double liveness_speedup =
+      liveness_warm_ms > 0.0 ? liveness_cold_ms / liveness_warm_ms : 0.0;
+
+  std::printf("  orientation: cold %8.2f ms  warm %8.2f ms  speedup %.2fx  (paper: 136 ms)\n",
+              orientation_cold_ms, orientation_warm_ms, orientation_speedup);
+  std::printf("  liveness:    cold %8.2f ms  warm %8.2f ms  speedup %.2fx  (paper: 42 ms)\n",
+              liveness_cold_ms, liveness_warm_ms, liveness_speedup);
+  std::printf("  plan cache:  %llu hits / %llu misses over the warm phase; "
+              "workspace served %llu extractions\n",
+              static_cast<unsigned long long>(stats_after.hits - stats_before.hits),
+              static_cast<unsigned long long>(stats_after.misses - stats_before.misses),
+              static_cast<unsigned long long>(workspace.uses()));
+
+  recorder.add_samples(static_cast<std::size_t>(4 * iters + 4));
+  recorder.set_metric("orientation_cold_ms", orientation_cold_ms);
+  recorder.set_metric("orientation_warm_ms", orientation_warm_ms);
+  recorder.set_metric("orientation_speedup", orientation_speedup);
+  recorder.set_metric("liveness_cold_ms", liveness_cold_ms);
+  recorder.set_metric("liveness_warm_ms", liveness_warm_ms);
+  recorder.set_metric("liveness_speedup", liveness_speedup);
+  recorder.set_metric("plan_cache_hits",
+                      static_cast<double>(stats_after.hits - stats_before.hits));
+  recorder.set_metric("plan_cache_misses",
+                      static_cast<double>(stats_after.misses - stats_before.misses));
+
+  if (orientation_cold != orientation_warm || liveness_cold != liveness_warm) {
+    std::fprintf(stderr,
+                 "bench_runtime: cold and warm features are NOT bit-identical — "
+                 "the plan cache / workspace changed scoring results\n");
+    return false;
+  }
+  bench::print_note("  cold and warm features are bit-identical");
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  bench::print_title("runtime",
+                     "§IV-B15 stage runtime + scoring-engine warm-up (plan cache)");
+
+  const bool deterministic = run_plan_cache_record();
+
+  // The bench-smoke ctest sets this: the stage benchmarks repeat each stage
+  // until statistically stable, far too slow for a smoke gate.
+  if (env_int("HEADTALK_RUNTIME_SKIP_GBENCH", 0) == 0) {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return deterministic ? 0 : 1;
+}

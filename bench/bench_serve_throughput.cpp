@@ -18,6 +18,7 @@
 
 #include "bench_common.h"
 #include "core/pipeline.h"
+#include "core/scoring_workspace.h"
 #include "serve/client.h"
 #include "serve/server.h"
 
@@ -93,6 +94,24 @@ int main() {
   const audio::MultiBuffer capture = collector.capture(spec);
 
   const core::HeadTalkPipeline pipeline(make_orientation(), make_liveness());
+
+  // Local score_batch baseline: the same utterances scored in-process with a
+  // warm workspace, no socket. The gap to the daemon's per-decision wall time
+  // is the serving overhead (framing + queueing), not scoring cost.
+  {
+    const std::vector<audio::MultiBuffer> batch(utterances, capture);
+    core::ScoringWorkspace workspace;
+    (void)pipeline.score_batch(batch, core::VaMode::kHeadTalk, &workspace);  // warm-up
+    const auto batch_start = std::chrono::steady_clock::now();
+    const auto results = pipeline.score_batch(batch, core::VaMode::kHeadTalk, &workspace);
+    const double batch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - batch_start)
+            .count();
+    const double per_utt = batch_seconds / static_cast<double>(results.size());
+    std::printf("local score_batch baseline: %.1f ms/utterance (batch of %zu, warm)\n",
+                1000.0 * per_utt, results.size());
+    bench::PerfRecorder::instance().set_metric("local_batch_seconds_per_utt", per_utt);
+  }
 
   serve::ServerConfig config;
   config.socket_path = std::filesystem::temp_directory_path() /

@@ -1,19 +1,24 @@
 #include "core/liveness_features.h"
 
 #include "audio/resample.h"
+#include "core/scoring_workspace.h"
 #include "dsp/spectral.h"
 #include "dsp/stft.h"
 
 namespace headtalk::core {
 
-ml::FeatureVector LivenessFeatureExtractor::extract(const audio::Buffer& channel) const {
+ml::FeatureVector LivenessFeatureExtractor::extract(const audio::Buffer& channel,
+                                                    ScoringWorkspace* workspace) const {
   audio::Buffer x = audio::resample(channel, config_.model_sample_rate);
   audio::normalize_zero_mean_unit_variance(x);
 
   dsp::StftConfig stft_config;
   stft_config.frame_size = config_.stft_frame;
   stft_config.hop_size = config_.stft_hop;
-  const auto spectrogram = dsp::stft(x, stft_config);
+  dsp::FftScratch local_scratch;
+  if (workspace != nullptr) workspace->note_use();
+  const auto spectrogram = dsp::stft(
+      x, stft_config, workspace != nullptr ? workspace->fft() : local_scratch);
   const auto mean_mag = spectrogram.mean_magnitude();
   const double fs = config_.model_sample_rate;
   const std::size_t nfft = spectrogram.fft_size;

@@ -14,6 +14,8 @@
 
 namespace headtalk::core {
 
+class ScoringWorkspace;
+
 struct LivenessFeatureConfig {
   double model_sample_rate = audio::kLivenessSampleRate;  // 16 kHz
   std::size_t log_bands = 32;       ///< equal-width bands over [100, 7900] Hz
@@ -29,8 +31,10 @@ class LivenessFeatureExtractor {
       : config_(config) {}
 
   /// Extracts features from one channel of a capture (any sample rate; the
-  /// channel is resampled internally).
-  [[nodiscard]] ml::FeatureVector extract(const audio::Buffer& channel) const;
+  /// channel is resampled internally). `workspace` (optional) supplies
+  /// reusable FFT scratch for the STFT; it never changes the result.
+  [[nodiscard]] ml::FeatureVector extract(const audio::Buffer& channel,
+                                          ScoringWorkspace* workspace = nullptr) const;
 
   [[nodiscard]] std::size_t dimension() const noexcept {
     return config_.log_bands + 6;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/scoring_workspace.h"
 #include "dsp/fft.h"
 #include "dsp/spectral.h"
 #include "dsp/srp.h"
@@ -30,7 +31,7 @@ std::size_t OrientationFeatureExtractor::dimension(std::size_t channels) const {
 }
 
 ml::FeatureVector OrientationFeatureExtractor::extract(
-    const audio::MultiBuffer& capture) const {
+    const audio::MultiBuffer& capture, ScoringWorkspace* workspace) const {
   if (capture.channel_count() < 2) {
     throw std::invalid_argument("OrientationFeatureExtractor: need >= 2 channels");
   }
@@ -41,7 +42,19 @@ ml::FeatureVector OrientationFeatureExtractor::extract(
   features.reserve(dimension(capture.channel_count()));
 
   // --- Speech reverberation: SRP-PHAT + pairwise GCC-PHAT ---
-  const auto gcc = dsp::pairwise_gcc_phat(capture, max_lag);
+  // With a workspace the pair GCCs land in its reusable buffers (every
+  // element is rewritten per call, so results match the local path bit for
+  // bit); without one, fall back to per-call allocation.
+  dsp::PairwiseGcc local_gcc;
+  dsp::PairwiseGcc* gcc_out = &local_gcc;
+  if (workspace != nullptr) {
+    workspace->note_use();
+    gcc_out = &workspace->gcc();
+    dsp::pairwise_gcc_phat_into(capture, max_lag, *gcc_out, workspace->srp());
+  } else {
+    local_gcc = dsp::pairwise_gcc_phat(capture, max_lag);
+  }
+  const auto& gcc = *gcc_out;
   const auto srp = dsp::srp_phat(gcc);
 
   const auto peaks = dsp::top_peaks(srp.values, config_.srp_peaks);
@@ -68,7 +81,12 @@ ml::FeatureVector OrientationFeatureExtractor::extract(
   // utterance must not look like a different orientation than an 80 dB one.
   const auto mono = capture.mixdown();
   const std::size_t fft_size = dsp::next_pow2(mono.size());
-  auto magnitude = dsp::magnitude_spectrum(mono.samples(), fft_size);
+  std::vector<double> magnitude;
+  if (workspace != nullptr) {
+    dsp::magnitude_spectrum_into(mono.samples(), fft_size, magnitude, workspace->fft());
+  } else {
+    magnitude = dsp::magnitude_spectrum(mono.samples(), fft_size);
+  }
   const double reference = dsp::band_mean_magnitude(
       magnitude, fft_size, fs, config_.low_band_lo, config_.high_band_hi);
   if (reference > 0.0) {

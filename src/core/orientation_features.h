@@ -21,6 +21,8 @@
 
 namespace headtalk::core {
 
+class ScoringWorkspace;
+
 struct OrientationFeatureConfig {
   /// Lag window half-width in samples; 0 = derive from the mic spacing as
   /// ceil(d * fs / c) (§III-B3: ±12/13/10 samples for D1/D2/D3 at 48 kHz).
@@ -43,7 +45,12 @@ class OrientationFeatureExtractor {
   /// Extracts the feature vector from a preprocessed capture. The feature
   /// length depends only on the channel count and lag window, so captures
   /// from the same device configuration are mutually consistent.
-  [[nodiscard]] ml::FeatureVector extract(const audio::MultiBuffer& capture) const;
+  ///
+  /// `workspace` (optional) supplies reusable scratch buffers; passing one
+  /// makes repeated extractions allocation-free after warm-up and never
+  /// changes the result — features are bit-identical with or without it.
+  [[nodiscard]] ml::FeatureVector extract(const audio::MultiBuffer& capture,
+                                          ScoringWorkspace* workspace = nullptr) const;
 
   /// Feature dimension for a given channel count.
   [[nodiscard]] std::size_t dimension(std::size_t channels) const;

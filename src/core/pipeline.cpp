@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/scoring_workspace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -90,20 +91,39 @@ PipelineResult HeadTalkPipeline::evaluate(const audio::MultiBuffer& capture,
 
 PipelineResult HeadTalkPipeline::score_capture(const audio::MultiBuffer& capture,
                                                VaMode mode, bool followup,
-                                               bool session_active) const {
+                                               bool session_active,
+                                               ScoringWorkspace* workspace) const {
   obs::ScopedSpan span("pipeline.evaluate");
   static obs::Histogram& evaluate_seconds =
       obs::Registry::global().histogram("pipeline.evaluate_seconds");
   obs::Timer timer(&evaluate_seconds);
   const PipelineResult result =
-      evaluate_stages(capture, mode, followup, session_active);
+      evaluate_stages(capture, mode, followup, session_active, workspace);
   count_decision(result.decision);
   return result;
 }
 
+std::vector<PipelineResult> HeadTalkPipeline::score_batch(
+    std::span<const audio::MultiBuffer> captures, VaMode mode,
+    ScoringWorkspace* workspace) const {
+  // Every capture in a batch is an independent wake word; the shared
+  // workspace (caller's or a batch-local one) is what makes the batch
+  // cheaper than isolated calls, not any cross-capture state.
+  ScoringWorkspace local;
+  ScoringWorkspace* ws = workspace != nullptr ? workspace : &local;
+  std::vector<PipelineResult> results;
+  results.reserve(captures.size());
+  for (const auto& capture : captures) {
+    results.push_back(
+        score_capture(capture, mode, /*followup=*/false, /*session_active=*/false, ws));
+  }
+  return results;
+}
+
 PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& capture,
                                                  VaMode mode, bool followup,
-                                                 bool session_active) const {
+                                                 bool session_active,
+                                                 ScoringWorkspace* workspace) const {
   PipelineResult result;
   result.session_open_after = session_active;
   if (mode == VaMode::kMute) {
@@ -126,7 +146,7 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
   result.liveness_checked = true;
   const auto liveness_features = [&] {
     obs::ScopedSpan stage("pipeline.liveness_features");
-    return liveness_extractor_.extract(denoised.channel(0));
+    return liveness_extractor_.extract(denoised.channel(0), workspace);
   }();
   {
     obs::ScopedSpan stage("pipeline.liveness_score");
@@ -148,7 +168,7 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
   result.orientation_checked = true;
   const auto features = [&] {
     obs::ScopedSpan stage("pipeline.orientation_features");
-    return orientation_extractor_.extract(denoised);
+    return orientation_extractor_.extract(denoised, workspace);
   }();
   {
     obs::ScopedSpan stage("pipeline.orientation_score");

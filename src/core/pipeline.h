@@ -11,7 +11,9 @@
 //              for the remaining session").
 #pragma once
 
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "audio/sample_buffer.h"
 #include "core/liveness_detector.h"
@@ -83,9 +85,23 @@ class HeadTalkPipeline {
   /// pipeline's own. The models and extractors are only read, so any number
   /// of threads may score against one resident pipeline concurrently;
   /// `result.session_open_after` is the state the caller carries forward.
+  ///
+  /// `workspace` (optional) supplies per-thread scratch reused across
+  /// calls (see core/scoring_workspace.h); it never changes the result.
+  /// Each workspace must be used by at most one thread at a time.
   [[nodiscard]] PipelineResult score_capture(const audio::MultiBuffer& capture,
                                              VaMode mode, bool followup,
-                                             bool session_active) const;
+                                             bool session_active,
+                                             ScoringWorkspace* workspace = nullptr) const;
+
+  /// Scores a batch of independent wake-word captures (no follow-up or
+  /// session context) under `mode`, sharing one workspace across the whole
+  /// batch so every capture after the first reuses warm scratch buffers
+  /// and cached FFT plans. Results are index-aligned with `captures` and
+  /// identical to scoring each capture individually.
+  [[nodiscard]] std::vector<PipelineResult> score_batch(
+      std::span<const audio::MultiBuffer> captures, VaMode mode,
+      ScoringWorkspace* workspace = nullptr) const;
 
   [[nodiscard]] const OrientationClassifier& orientation() const noexcept {
     return orientation_;
@@ -98,7 +114,8 @@ class HeadTalkPipeline {
                                         bool followup);
   [[nodiscard]] PipelineResult evaluate_stages(const audio::MultiBuffer& capture,
                                                VaMode mode, bool followup,
-                                               bool session_active) const;
+                                               bool session_active,
+                                               ScoringWorkspace* workspace) const;
 
   OrientationClassifier orientation_;
   LivenessDetector liveness_;

@@ -1,0 +1,15 @@
+#include "core/scoring_workspace.h"
+
+#include "obs/metrics.h"
+
+namespace headtalk::core {
+
+void ScoringWorkspace::note_use() {
+  static obs::Counter& use = obs::Registry::global().counter("core.workspace.use");
+  static obs::Counter& reuse = obs::Registry::global().counter("core.workspace.reuse");
+  use.increment();
+  if (uses_ > 0) reuse.increment();
+  ++uses_;
+}
+
+}  // namespace headtalk::core

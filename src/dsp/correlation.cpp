@@ -11,33 +11,42 @@ namespace {
 
 // Shared core: computes IFFT( W(f) * X(f) * conj(Y(f)) ) and extracts the
 // symmetric lag window. `phat` selects phase-transform weighting.
-CorrelationSequence correlate_spectra(const HalfSpectrum& xs, const HalfSpectrum& ys,
-                                      int max_lag, bool phat, double epsilon) {
+void correlate_spectra_into(const HalfSpectrum& xs, const HalfSpectrum& ys,
+                            int max_lag, bool phat, double epsilon,
+                            CorrelationSequence& out, CorrelationWorkspace& ws) {
   if (max_lag < 0) throw std::invalid_argument("correlate: max_lag must be >= 0");
+  if (xs.fft_size != ys.fft_size || xs.bins.size() != ys.bins.size()) {
+    throw std::invalid_argument("correlate: fft-size mismatch");
+  }
   const std::size_t n = xs.fft_size;
-  HalfSpectrum cross;
-  cross.fft_size = n;
-  cross.bins.resize(xs.bins.size());
-  for (std::size_t i = 0; i < cross.bins.size(); ++i) {
+  const std::size_t window = 2 * static_cast<std::size_t>(max_lag) + 1;
+  // Negative lags wrap to index n - |lag| of the circular correlation; a
+  // transform shorter than the lag window would alias them into the
+  // positive-lag region, corrupting the output silently.
+  if (n < window) {
+    throw std::invalid_argument(
+        "correlate: fft_size must be >= 2*max_lag + 1 to cover the lag window");
+  }
+  ws.cross.fft_size = n;
+  ws.cross.bins.resize(xs.bins.size());
+  for (std::size_t i = 0; i < ws.cross.bins.size(); ++i) {
     Complex c = xs.bins[i] * std::conj(ys.bins[i]);
     if (phat) {
       const double mag = std::abs(c);
       c = mag > epsilon ? c / mag : Complex{0.0, 0.0};
     }
-    cross.bins[i] = c;
+    ws.cross.bins[i] = c;
   }
-  const auto r = irfft_half(cross);
+  irfft_half_into(ws.cross, 0, ws.inverse, ws.fft);
+  const auto& r = ws.inverse;
 
-  CorrelationSequence out;
   out.max_lag = max_lag;
-  out.values.resize(2 * static_cast<std::size_t>(max_lag) + 1);
+  out.values.resize(window);
   for (int lag = -max_lag; lag <= max_lag; ++lag) {
-    // Negative lags wrap to the tail of the circular correlation.
     const std::size_t idx = lag >= 0 ? static_cast<std::size_t>(lag)
                                      : n - static_cast<std::size_t>(-lag);
     out.values[static_cast<std::size_t>(lag + max_lag)] = idx < r.size() ? r[idx] : 0.0;
   }
-  return out;
 }
 
 CorrelationSequence correlate(std::span<const audio::Sample> x,
@@ -47,9 +56,17 @@ CorrelationSequence correlate(std::span<const audio::Sample> x,
   if (x.empty() || y.empty()) {
     return CorrelationSequence{std::vector<double>(2 * max_lag + 1, 0.0), max_lag};
   }
-  const std::size_t n = std::max<std::size_t>(
-      2, next_pow2(std::max(x.size(), y.size()) + static_cast<std::size_t>(max_lag) + 1));
-  return correlate_spectra(rfft_half(x, n), rfft_half(y, n), max_lag, phat, epsilon);
+  // The transform must cover both the linear-correlation padding and the
+  // full lag window (short signals with a wide window need the latter).
+  const std::size_t lag = static_cast<std::size_t>(max_lag);
+  const std::size_t needed =
+      std::max(std::max(x.size(), y.size()) + lag + 1, 2 * lag + 1);
+  const std::size_t n = std::max<std::size_t>(2, next_pow2(needed));
+  CorrelationSequence out;
+  CorrelationWorkspace ws;
+  correlate_spectra_into(rfft_half(x, n), rfft_half(y, n), max_lag, phat, epsilon,
+                         out, ws);
+  return out;
 }
 
 }  // namespace
@@ -78,10 +95,16 @@ CorrelationSequence gcc_phat(std::span<const audio::Sample> x,
 
 CorrelationSequence gcc_phat_from_spectra(const HalfSpectrum& x, const HalfSpectrum& y,
                                           int max_lag, double epsilon) {
-  if (x.fft_size != y.fft_size) {
-    throw std::invalid_argument("gcc_phat_from_spectra: fft-size mismatch");
-  }
-  return correlate_spectra(x, y, max_lag, /*phat=*/true, epsilon);
+  CorrelationSequence out;
+  CorrelationWorkspace ws;
+  gcc_phat_from_spectra_into(x, y, max_lag, out, ws, epsilon);
+  return out;
+}
+
+void gcc_phat_from_spectra_into(const HalfSpectrum& x, const HalfSpectrum& y,
+                                int max_lag, CorrelationSequence& out,
+                                CorrelationWorkspace& workspace, double epsilon) {
+  correlate_spectra_into(x, y, max_lag, /*phat=*/true, epsilon, out, workspace);
 }
 
 int tdoa_samples(std::span<const audio::Sample> x, std::span<const audio::Sample> y,

@@ -43,10 +43,30 @@ struct CorrelationSequence {
 /// GCC-PHAT from precomputed half-spectra (both at the same fft size, which
 /// must be >= signal length + max_lag + 1). Avoids recomputing channel FFTs
 /// when correlating many microphone pairs of the same capture.
+///
+/// Throws std::invalid_argument when fft_size < 2*max_lag + 1: negative
+/// lags wrap to index fft_size - |lag| of the circular correlation, so a
+/// shorter transform would silently alias them into the positive-lag
+/// region instead of reading real negative-lag values.
 [[nodiscard]] CorrelationSequence gcc_phat_from_spectra(const HalfSpectrum& x,
                                                         const HalfSpectrum& y,
                                                         int max_lag,
                                                         double epsilon = 1e-12);
+
+/// Reusable scratch for repeated spectrum-domain correlations (the cross
+/// spectrum, its inverse transform, and the FFT workspace). One per thread.
+struct CorrelationWorkspace {
+  HalfSpectrum cross;
+  std::vector<audio::Sample> inverse;
+  FftScratch fft;
+};
+
+/// gcc_phat_from_spectra writing into caller-owned output/scratch; results
+/// are bit-identical to the value-returning overload.
+void gcc_phat_from_spectra_into(const HalfSpectrum& x, const HalfSpectrum& y,
+                                int max_lag, CorrelationSequence& out,
+                                CorrelationWorkspace& workspace,
+                                double epsilon = 1e-12);
 
 /// TDoA estimate in samples: lag of the GCC-PHAT peak (positive means the
 /// signal reaches x after y).

@@ -1,42 +1,14 @@
 #include "dsp/fft.h"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
+
+#include "dsp/fft_plan.h"
 
 namespace headtalk::dsp {
 namespace {
 
 bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
-
-// Core iterative Cooley-Tukey butterfly; sign = -1 forward, +1 inverse.
-void transform(std::vector<Complex>& x, int sign) {
-  const std::size_t n = x.size();
-  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
-
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = x[i + k];
-        const Complex v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
 
 }  // namespace
 
@@ -46,13 +18,9 @@ std::size_t next_pow2(std::size_t n) noexcept {
   return p;
 }
 
-void fft(std::vector<Complex>& x) { transform(x, -1); }
+void fft(std::vector<Complex>& x) { FftPlanCache::global().get(x.size())->forward(x); }
 
-void ifft(std::vector<Complex>& x) {
-  transform(x, +1);
-  const double inv = 1.0 / static_cast<double>(x.size());
-  for (auto& v : x) v *= inv;
-}
+void ifft(std::vector<Complex>& x) { FftPlanCache::global().get(x.size())->inverse(x); }
 
 std::vector<Complex> rfft(std::span<const audio::Sample> x, std::size_t fft_size) {
   if (fft_size == 0) fft_size = next_pow2(x.size());
@@ -89,71 +57,96 @@ void HalfSpectrum::add_product(const HalfSpectrum& a, const HalfSpectrum& b) {
   for (std::size_t i = 0; i < bins.size(); ++i) bins[i] += a.bins[i] * b.bins[i];
 }
 
-HalfSpectrum rfft_half(std::span<const audio::Sample> x, std::size_t fft_size) {
+void rfft_half_into(std::span<const audio::Sample> x, std::size_t fft_size,
+                    HalfSpectrum& out, FftScratch& scratch) {
   if (fft_size == 0) fft_size = std::max<std::size_t>(2, next_pow2(x.size()));
   if (next_pow2(fft_size) != fft_size || fft_size < x.size() || fft_size < 2) {
     throw std::invalid_argument("rfft_half: fft_size must be a power of two >= max(2, input size)");
   }
   const std::size_t half = fft_size / 2;
+  const auto plan = FftPlanCache::global().get(half);
 
   // Pack even samples into the real part, odd into the imaginary part.
-  std::vector<Complex> z(half, Complex{});
+  auto& z = scratch.packed;
+  z.resize(half);  // every entry is written below
   for (std::size_t n = 0; n < half; ++n) {
     const double re = 2 * n < x.size() ? x[2 * n] : 0.0;
     const double im = 2 * n + 1 < x.size() ? x[2 * n + 1] : 0.0;
     z[n] = Complex(re, im);
   }
-  fft(z);
+  plan->forward(z);
 
-  HalfSpectrum out;
   out.fft_size = fft_size;
   out.bins.resize(half + 1);
-  const double step = -2.0 * std::numbers::pi / static_cast<double>(fft_size);
+  // Plan entry k for a packed transform of size `half` is exp(-i*pi*k/half)
+  // = exp(-2*pi*i*k/fft_size), exactly the unpack rotation needed here.
+  const auto w = plan->real_pack_twiddles();
   for (std::size_t k = 0; k <= half; ++k) {
     const Complex zk = k < half ? z[k] : z[0];
     const Complex zr = std::conj(z[(half - k) % half]);
     const Complex even = 0.5 * (zk + zr);
     const Complex odd = Complex(0.0, -0.5) * (zk - zr);
-    const Complex w = std::polar(1.0, step * static_cast<double>(k));
-    out.bins[k] = even + w * odd;
+    out.bins[k] = even + w[k] * odd;
   }
+}
+
+HalfSpectrum rfft_half(std::span<const audio::Sample> x, std::size_t fft_size) {
+  HalfSpectrum out;
+  FftScratch scratch;
+  rfft_half_into(x, fft_size, out, scratch);
   return out;
 }
 
-std::vector<audio::Sample> irfft_half(const HalfSpectrum& spectrum, std::size_t out_size) {
+void irfft_half_into(const HalfSpectrum& spectrum, std::size_t out_size,
+                     std::vector<audio::Sample>& out, FftScratch& scratch) {
   const std::size_t n = spectrum.fft_size;
   const std::size_t half = n / 2;
-  if (spectrum.bins.size() != half + 1) {
+  if (n < 2 || !is_pow2(n) || spectrum.bins.size() != half + 1) {
     throw std::invalid_argument("irfft_half: malformed spectrum");
   }
   if (out_size == 0) out_size = n;
 
   // Repack the one-sided spectrum into the half-size complex transform.
-  std::vector<Complex> z(half, Complex{});
-  const double step = 2.0 * std::numbers::pi / static_cast<double>(n);
+  const auto plan = FftPlanCache::global().get(half);
+  const auto w = plan->real_pack_twiddles();
+  auto& z = scratch.packed;
+  z.resize(half);
   for (std::size_t k = 0; k < half; ++k) {
     const Complex xk = spectrum.bins[k];
     const Complex xr = std::conj(spectrum.bins[half - k]);
     const Complex even = 0.5 * (xk + xr);
-    const Complex odd = 0.5 * (xk - xr) * std::polar(1.0, step * static_cast<double>(k));
+    const Complex odd = 0.5 * (xk - xr) * std::conj(w[k]);
     z[k] = even + Complex(0.0, 1.0) * odd;
   }
-  ifft(z);
+  plan->inverse(z);
 
-  std::vector<audio::Sample> out(out_size, 0.0);
+  out.assign(out_size, 0.0);
   for (std::size_t m = 0; m < out_size; ++m) {
     const std::size_t idx = m / 2;
     if (idx >= half) break;
     out[m] = (m % 2 == 0) ? z[idx].real() : z[idx].imag();
   }
+}
+
+std::vector<audio::Sample> irfft_half(const HalfSpectrum& spectrum, std::size_t out_size) {
+  std::vector<audio::Sample> out;
+  FftScratch scratch;
+  irfft_half_into(spectrum, out_size, out, scratch);
   return out;
+}
+
+void magnitude_spectrum_into(std::span<const audio::Sample> x, std::size_t fft_size,
+                             std::vector<double>& out, FftScratch& scratch) {
+  rfft_half_into(x, fft_size, scratch.half, scratch);
+  out.resize(scratch.half.bins.size());
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = std::abs(scratch.half.bins[k]);
 }
 
 std::vector<double> magnitude_spectrum(std::span<const audio::Sample> x,
                                        std::size_t fft_size) {
-  const auto spec = rfft_half(x, fft_size == 0 ? 0 : fft_size);
-  std::vector<double> mag(spec.bins.size());
-  for (std::size_t k = 0; k < mag.size(); ++k) mag[k] = std::abs(spec.bins[k]);
+  std::vector<double> mag;
+  FftScratch scratch;
+  magnitude_spectrum_into(x, fft_size, mag, scratch);
   return mag;
 }
 

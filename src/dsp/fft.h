@@ -1,8 +1,11 @@
 // Radix-2 iterative FFT and helpers.
 //
 // Everything downstream (GCC-PHAT, SRP-PHAT, spectra, fast convolution)
-// funnels through this module, so it is kept dependency-free and simple:
-// power-of-two complex transforms with a real-input convenience wrapper.
+// funnels through this module: power-of-two complex transforms with a
+// real-input convenience wrapper. All transforms run off cached plans
+// (precomputed twiddle/bit-reversal tables, see fft_plan.h); the *_into
+// variants additionally reuse caller-owned scratch so hot loops allocate
+// nothing after warm-up.
 #pragma once
 
 #include <complex>
@@ -58,9 +61,31 @@ struct HalfSpectrum {
 [[nodiscard]] std::vector<audio::Sample> irfft_half(const HalfSpectrum& spectrum,
                                                     std::size_t out_size = 0);
 
+/// Caller-owned scratch for the packed real transforms. Reusing one across
+/// calls keeps the hot path allocation-free once the buffers reach their
+/// steady-state sizes. Not thread-safe: one scratch per thread.
+struct FftScratch {
+  std::vector<Complex> packed;  ///< N/2 packed complex workspace
+  HalfSpectrum half;            ///< spectrum scratch for magnitude_spectrum_into
+};
+
+/// rfft_half writing into caller-owned output/scratch. Results are
+/// bit-identical to the value-returning overload.
+void rfft_half_into(std::span<const audio::Sample> x, std::size_t fft_size,
+                    HalfSpectrum& out, FftScratch& scratch);
+
+/// irfft_half writing into caller-owned output/scratch (out_size 0 = full
+/// fft length). Results are bit-identical to the value-returning overload.
+void irfft_half_into(const HalfSpectrum& spectrum, std::size_t out_size,
+                     std::vector<audio::Sample>& out, FftScratch& scratch);
+
 /// Magnitudes of the one-sided spectrum (bins 0 .. fft_size/2 inclusive).
 [[nodiscard]] std::vector<double> magnitude_spectrum(
     std::span<const audio::Sample> x, std::size_t fft_size = 0);
+
+/// magnitude_spectrum writing into caller-owned output/scratch.
+void magnitude_spectrum_into(std::span<const audio::Sample> x, std::size_t fft_size,
+                             std::vector<double>& out, FftScratch& scratch);
 
 /// Frequency in Hz of one-sided spectrum bin `k` at the given fft size/rate.
 [[nodiscard]] double bin_frequency(std::size_t k, std::size_t fft_size,

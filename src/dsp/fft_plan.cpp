@@ -1,0 +1,140 @@
+#include "dsp/fft_plan.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace headtalk::dsp {
+namespace {
+
+bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+obs::Counter& hit_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("dsp.fft_plan.hit");
+  return c;
+}
+
+obs::Counter& miss_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("dsp.fft_plan.miss");
+  return c;
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t size) : size_(size) {
+  if (!is_pow2(size)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+
+  bit_reverse_.resize(size);
+  bit_reverse_[0] = 0;
+  for (std::size_t i = 1, j = 0; i < size; ++i) {
+    std::size_t bit = size >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bit_reverse_[i] = static_cast<std::uint32_t>(j);
+  }
+
+  // Stage-packed butterflies: for each stage len the len/2 factors
+  // exp(-2*pi*i*k/len). Direct polar() per entry is more accurate than the
+  // incremental w *= wlen recurrence (error does not accumulate along k).
+  twiddles_.reserve(size > 1 ? size - 1 : 0);
+  for (std::size_t len = 2; len <= size; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      twiddles_.push_back(std::polar(1.0, angle * static_cast<double>(k)));
+    }
+  }
+
+  pack_twiddles_.resize(size + 1);
+  const double pack_step = -std::numbers::pi / static_cast<double>(size);
+  for (std::size_t k = 0; k <= size; ++k) {
+    pack_twiddles_[k] = std::polar(1.0, pack_step * static_cast<double>(k));
+  }
+}
+
+void FftPlan::transform(std::vector<Complex>& x, bool inverse) const {
+  if (x.size() != size_) {
+    throw std::invalid_argument("FftPlan: buffer size does not match plan size");
+  }
+  for (std::size_t i = 1; i < size_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  const Complex* stage = twiddles_.data();
+  for (std::size_t len = 2; len <= size_; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < size_; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex w = inverse ? std::conj(stage[k]) : stage[k];
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + half] * w;
+        x[i + k] = u + v;
+        x[i + k + half] = u - v;
+      }
+    }
+    stage += half;
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(size_);
+    for (auto& v : x) v *= scale;
+  }
+}
+
+void FftPlan::forward(std::vector<Complex>& x) const { transform(x, /*inverse=*/false); }
+
+void FftPlan::inverse(std::vector<Complex>& x) const { transform(x, /*inverse=*/true); }
+
+FftPlanCache& FftPlanCache::global() {
+  static FftPlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FftPlan> FftPlanCache::get(std::size_t size) {
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_counter().increment();
+    return std::make_shared<const FftPlan>(size);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = plans_.find(size); it != plans_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_counter().increment();
+    return it->second;
+  }
+  // Construct before insert so an invalid size never pollutes the map.
+  auto plan = std::make_shared<const FftPlan>(size);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter().increment();
+  plans_.emplace(size, plan);
+  return plan;
+}
+
+FftPlanCacheStats FftPlanCache::stats() const {
+  FftPlanCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.plans = plans_.size();
+  return out;
+}
+
+bool FftPlanCache::set_enabled(bool enabled) noexcept {
+  return enabled_.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool FftPlanCache::enabled() const noexcept {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+void FftPlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+}
+
+}  // namespace headtalk::dsp

@@ -1,0 +1,98 @@
+// Cached FFT plans: precomputed twiddle factors and bit-reversal tables.
+//
+// Building a radix-2 plan costs ~2N sin/cos evaluations — comparable to the
+// butterflies themselves — and every scoring path in the repo (GCC-PHAT,
+// SRP-PHAT, STFT, fast convolution) transforms the same handful of sizes
+// over and over. FftPlanCache interns one immutable plan per size behind a
+// mutex and hands out shared_ptrs, so concurrent serve workers share tables
+// without copying and a plan stays valid even if the cache is cleared while
+// a transform is in flight.
+//
+// Plans are pure lookup tables: forward()/inverse() keep all mutable state
+// in the caller's buffer, so one plan may be used from any number of
+// threads at once. Cache traffic is observable via the
+// `dsp.fft_plan.hit` / `dsp.fft_plan.miss` counters (obs registry) and the
+// local stats() snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace headtalk::dsp {
+
+/// An immutable radix-2 FFT plan for one power-of-two size.
+class FftPlan {
+ public:
+  /// Throws std::invalid_argument unless `size` is a power of two.
+  explicit FftPlan(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// In-place forward transform; `x.size()` must equal size().
+  void forward(std::vector<Complex>& x) const;
+  /// In-place inverse transform (includes the 1/N scaling).
+  void inverse(std::vector<Complex>& x) const;
+
+  /// Twiddles for the real-FFT pack/unpack step of a *packed* transform of
+  /// this plan's size: entry k = exp(-i*pi*k/size), k = 0..size inclusive.
+  /// rfft_half on fft_size N uses the plan of size N/2 and reads entry k
+  /// as exp(-2*pi*i*k/N); irfft_half uses the conjugate.
+  [[nodiscard]] std::span<const Complex> real_pack_twiddles() const noexcept {
+    return pack_twiddles_;
+  }
+
+ private:
+  void transform(std::vector<Complex>& x, bool inverse) const;
+
+  std::size_t size_;
+  std::vector<std::uint32_t> bit_reverse_;  ///< permutation, size entries
+  std::vector<Complex> twiddles_;  ///< forward stage tables, packed len=2..N
+  std::vector<Complex> pack_twiddles_;  ///< size+1 real-pack factors
+};
+
+/// Snapshot of cache traffic since process start (or the last clear() does
+/// not reset these — they are cumulative like the obs counters).
+struct FftPlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t plans = 0;  ///< currently interned plan count
+};
+
+/// Thread-safe interning cache, one plan per size. Use the process-global
+/// instance; tests may disable it to force cold (plan-per-call) behaviour.
+class FftPlanCache {
+ public:
+  static FftPlanCache& global();
+
+  /// Returns the interned plan for `size`, building it on first use.
+  /// When the cache is disabled, builds a fresh plan every call (counted
+  /// as a miss). Throws std::invalid_argument for non-power-of-two sizes.
+  [[nodiscard]] std::shared_ptr<const FftPlan> get(std::size_t size);
+
+  [[nodiscard]] FftPlanCacheStats stats() const;
+
+  /// Enables/disables interning; returns the previous setting. Disabling
+  /// does not drop already-interned plans (call clear() for that).
+  bool set_enabled(bool enabled) noexcept;
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Drops all interned plans. In-flight users keep theirs alive via the
+  /// shared_ptr; subsequent get() calls rebuild.
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> plans_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace headtalk::dsp

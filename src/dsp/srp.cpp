@@ -8,25 +8,40 @@ namespace headtalk::dsp {
 
 PairwiseGcc pairwise_gcc_phat(const audio::MultiBuffer& capture, int max_lag) {
   PairwiseGcc out;
+  SrpWorkspace workspace;
+  pairwise_gcc_phat_into(capture, max_lag, out, workspace);
+  return out;
+}
+
+void pairwise_gcc_phat_into(const audio::MultiBuffer& capture, int max_lag,
+                            PairwiseGcc& out, SrpWorkspace& workspace) {
+  if (max_lag < 0) throw std::invalid_argument("pairwise_gcc_phat: max_lag must be >= 0");
   out.max_lag = max_lag;
   const std::size_t n = capture.channel_count();
-  if (n == 0) return out;
+  out.pairs.resize(n >= 2 ? n * (n - 1) / 2 : 0);
+  if (n == 0) return;
 
-  // One forward FFT per channel, shared across all pairs.
+  // One forward FFT per channel, shared across all pairs. The transform
+  // must cover both the linear-correlation padding and the lag window
+  // itself (see correlation.cpp: negative lags wrap to the tail).
+  const std::size_t lag = static_cast<std::size_t>(max_lag);
   const std::size_t fft_size = std::max<std::size_t>(
-      2, next_pow2(capture.frames() + static_cast<std::size_t>(max_lag) + 1));
-  std::vector<HalfSpectrum> spectra;
-  spectra.reserve(n);
+      2, next_pow2(std::max(capture.frames() + lag + 1, 2 * lag + 1)));
+  auto& spectra = workspace.spectra;
+  if (spectra.size() < n) spectra.resize(n);
   for (std::size_t c = 0; c < n; ++c) {
-    spectra.push_back(rfft_half(capture.channel(c).samples(), fft_size));
+    rfft_half_into(capture.channel(c).samples(), fft_size, spectra[c], workspace.fft);
   }
+  std::size_t pair_idx = 0;
   for (std::size_t i = 0; i + 1 < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      out.pairs.push_back(PairwiseGcc::Pair{
-          i, j, gcc_phat_from_spectra(spectra[i], spectra[j], max_lag)});
+      auto& pair = out.pairs[pair_idx++];
+      pair.i = i;
+      pair.j = j;
+      gcc_phat_from_spectra_into(spectra[i], spectra[j], max_lag, pair.gcc,
+                                 workspace.correlation);
     }
   }
-  return out;
 }
 
 CorrelationSequence srp_phat(const PairwiseGcc& gcc) {
@@ -62,10 +77,10 @@ std::vector<double> top_peaks(const std::vector<double>& seq, std::size_t k,
     double value;
   };
   std::vector<Peak> peaks;
-  for (std::size_t i = 0; i < seq.size(); ++i) {
-    const bool left_ok = i == 0 || seq[i] >= seq[i - 1];
-    const bool right_ok = i + 1 == seq.size() || seq[i] > seq[i + 1];
-    if (left_ok && right_ok) peaks.push_back({i, seq[i]});
+  // Interior samples only: the first/last lag of a truncated correlation
+  // window carries boundary artifacts, not genuine response power.
+  for (std::size_t i = 1; i + 1 < seq.size(); ++i) {
+    if (seq[i] >= seq[i - 1] && seq[i] > seq[i + 1]) peaks.push_back({i, seq[i]});
   }
   std::sort(peaks.begin(), peaks.end(),
             [](const Peak& a, const Peak& b) { return a.value > b.value; });

@@ -31,6 +31,19 @@ struct PairwiseGcc {
 [[nodiscard]] PairwiseGcc pairwise_gcc_phat(const audio::MultiBuffer& capture,
                                             int max_lag);
 
+/// Reusable scratch for repeated pairwise GCC extraction: the per-channel
+/// spectra and the correlation workspace. One per thread.
+struct SrpWorkspace {
+  std::vector<HalfSpectrum> spectra;
+  CorrelationWorkspace correlation;
+  FftScratch fft;
+};
+
+/// pairwise_gcc_phat writing into caller-owned output/scratch; results are
+/// bit-identical to the value-returning overload.
+void pairwise_gcc_phat_into(const audio::MultiBuffer& capture, int max_lag,
+                            PairwiseGcc& out, SrpWorkspace& workspace);
+
 /// Weighted SRP-PHAT sequence (Eq. 6): element-wise sum of all pair GCCs.
 [[nodiscard]] CorrelationSequence srp_phat(const PairwiseGcc& gcc);
 
@@ -47,6 +60,12 @@ struct PairwiseGcc {
 /// Returns the values of the `k` largest local maxima of a sequence,
 /// descending, requiring `min_separation` samples between peaks (Fig. 6b
 /// shows 3-4 reverberation peaks; the top three are a feature).
+///
+/// A peak must be an *interior* sample that dominates both neighbours
+/// (>= left, > right). The first and last samples never qualify: the edges
+/// of a truncated correlation window routinely carry boundary artifacts,
+/// and counting them as maxima displaced true SRP peaks. A monotone ramp
+/// therefore has no peaks and yields `k` zero-padded values.
 [[nodiscard]] std::vector<double> top_peaks(const std::vector<double>& seq,
                                             std::size_t k,
                                             std::size_t min_separation = 2);

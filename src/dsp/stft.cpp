@@ -17,6 +17,12 @@ std::vector<double> Spectrogram::mean_magnitude() const {
 }
 
 Spectrogram stft(const audio::Buffer& x, const StftConfig& config) {
+  FftScratch scratch;
+  return stft(x, config, scratch);
+}
+
+Spectrogram stft(const audio::Buffer& x, const StftConfig& config,
+                 FftScratch& scratch) {
   if (config.hop_size == 0) throw std::invalid_argument("stft: hop_size must be > 0");
   if (next_pow2(config.frame_size) != config.frame_size) {
     throw std::invalid_argument("stft: frame_size must be a power of two");
@@ -26,14 +32,15 @@ Spectrogram stft(const audio::Buffer& x, const StftConfig& config) {
   out.sample_rate = x.sample_rate();
   if (x.empty()) return out;
 
-  const auto window = make_window(config.window, config.frame_size);
+  const auto& window = shared_window(config.window, config.frame_size);
   std::vector<audio::Sample> frame(config.frame_size);
   for (std::size_t start = 0; start < x.size(); start += config.hop_size) {
     for (std::size_t i = 0; i < config.frame_size; ++i) {
       const std::size_t src = start + i;
       frame[i] = src < x.size() ? x[src] * window[i] : 0.0;
     }
-    out.frames.push_back(magnitude_spectrum(frame, config.frame_size));
+    out.frames.emplace_back();
+    magnitude_spectrum_into(frame, config.frame_size, out.frames.back(), scratch);
     if (start + config.frame_size >= x.size()) break;
   }
   return out;

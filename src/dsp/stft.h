@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "audio/sample_buffer.h"
+#include "dsp/fft.h"
 #include "dsp/window.h"
 
 namespace headtalk::dsp {
@@ -33,5 +34,10 @@ struct Spectrogram {
 /// Computes the magnitude spectrogram of `x`. The final partial frame is
 /// zero-padded. Throws on a non-power-of-two frame size or zero hop.
 [[nodiscard]] Spectrogram stft(const audio::Buffer& x, const StftConfig& config = {});
+
+/// stft reusing caller-owned FFT scratch across frames (and across calls);
+/// results are bit-identical to the scratch-less overload.
+[[nodiscard]] Spectrogram stft(const audio::Buffer& x, const StftConfig& config,
+                               FftScratch& scratch);
 
 }  // namespace headtalk::dsp

@@ -1,8 +1,13 @@
 #include "dsp/window.h"
 
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
+#include <utility>
 
 namespace headtalk::dsp {
 
@@ -29,6 +34,23 @@ std::vector<double> make_window(WindowType type, std::size_t length) {
     }
   }
   return w;
+}
+
+const std::vector<double>& shared_window(WindowType type, std::size_t length) {
+  // Entries are never erased, so returned references stay valid forever.
+  static std::mutex mutex;
+  static std::map<std::pair<std::uint32_t, std::size_t>,
+                  std::unique_ptr<const std::vector<double>>>
+      cache;
+  const auto key = std::make_pair(static_cast<std::uint32_t>(type), length);
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<const std::vector<double>>(
+                                make_window(type, length)))
+             .first;
+  }
+  return *it->second;
 }
 
 void apply_window(std::span<audio::Sample> frame, std::span<const double> window) {

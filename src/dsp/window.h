@@ -20,6 +20,13 @@ enum class WindowType {
 /// suitable for STFT analysis).
 [[nodiscard]] std::vector<double> make_window(WindowType type, std::size_t length);
 
+/// Interned make_window: returns a reference to a process-lifetime table,
+/// built once per (type, length) behind a mutex. Thread-safe; the
+/// reference never dangles. Use in hot loops (STFT) to skip rebuilding
+/// the cosine table per call.
+[[nodiscard]] const std::vector<double>& shared_window(WindowType type,
+                                                       std::size_t length);
+
 /// Multiplies `frame` by `window` element-wise (sizes must match).
 void apply_window(std::span<audio::Sample> frame, std::span<const double> window);
 

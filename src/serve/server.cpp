@@ -13,6 +13,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/scoring_workspace.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/thread_pool.h"
@@ -279,19 +280,24 @@ int Server::pop_connection() {
 }
 
 void Server::worker_loop() {
+  // One workspace per worker thread, reused across every connection this
+  // worker handles: after the first utterance the scoring scratch and the
+  // cached FFT plans are warm for the rest of the worker's lifetime.
+  core::ScoringWorkspace workspace;
   while (true) {
     const int fd = pop_connection();
     if (fd < 0) return;
     active_.fetch_add(1, std::memory_order_relaxed);
     metric_active().set(static_cast<double>(active_.load(std::memory_order_relaxed)));
-    handle_connection(fd);
+    handle_connection(fd, workspace);
     active_.fetch_sub(1, std::memory_order_relaxed);
     metric_active().set(static_cast<double>(active_.load(std::memory_order_relaxed)));
   }
 }
 
-void Server::handle_connection(int fd) {
+void Server::handle_connection(int fd, core::ScoringWorkspace& workspace) {
   Session session(pipeline_, config_.session);
+  session.set_workspace(&workspace);
   const auto deadline_budget = std::chrono::milliseconds(config_.request_deadline_ms);
   Clock::time_point request_start = Clock::now();
   Clock::time_point deadline = request_start + deadline_budget;

@@ -89,7 +89,7 @@ class Server {
  private:
   void acceptor_loop();
   void worker_loop();
-  void handle_connection(int fd);
+  void handle_connection(int fd, core::ScoringWorkspace& workspace);
   /// True when the fd was queued; false when the queue was full (caller
   /// sends BUSY).
   bool try_enqueue(int fd);

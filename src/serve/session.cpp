@@ -175,7 +175,8 @@ void Session::handle_end_of_utterance(const Frame& frame) {
     obs::Timer timer(&score_seconds);
     const audio::MultiBuffer capture = ring_.snapshot();
     const core::PipelineResult result =
-        pipeline_.score_capture(capture, limits_.mode, end.followup, session_open_);
+        pipeline_.score_capture(capture, limits_.mode, end.followup, session_open_,
+                                workspace_);
     session_open_ = result.session_open_after;
     decision.decision = static_cast<std::uint8_t>(result.decision);
     decision.live = result.live;

@@ -69,6 +69,14 @@ class Session {
   /// its const scoring entry point is used.
   Session(const core::HeadTalkPipeline& pipeline, SessionLimits limits = {});
 
+  /// Attaches per-thread scoring scratch (owned by the serve worker, reused
+  /// across the consecutive connections that worker handles). Optional —
+  /// scoring without a workspace is identical, just allocation-heavier. The
+  /// workspace must outlive the session and belong to the driving thread.
+  void set_workspace(core::ScoringWorkspace* workspace) noexcept {
+    workspace_ = workspace;
+  }
+
   /// Feeds bytes received from the client; any responses are appended to
   /// the pending output (take_output()). Returns false once the session is
   /// finished — a fatal ERROR frame was emitted and the connection should
@@ -99,6 +107,7 @@ class Session {
   void fail(ErrorCode code, const std::string& message);
 
   const core::HeadTalkPipeline& pipeline_;
+  core::ScoringWorkspace* workspace_ = nullptr;  ///< not owned; may be null
   SessionLimits limits_;
   FrameReader reader_;
   std::vector<std::uint8_t> output_;

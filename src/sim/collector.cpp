@@ -209,28 +209,34 @@ std::string Collector::cache_key(const SampleSpec& spec, const char* kind) const
   if (spec.room == RoomId::kHome) {
     key += "|dyn=2";  // dynamic-clutter movable fraction revision
   }
-  key += "|v=6";  // bump to invalidate old cache entries on format changes
+  // v=7: plan-table FFT twiddles + interior-only top_peaks changed feature
+  // values at the last-ulp level, so pre-existing entries must not be mixed
+  // with freshly computed ones.
+  key += "|v=7";  // bump to invalidate old cache entries on format changes
   return key;
 }
 
-ml::FeatureVector Collector::orientation_features(const SampleSpec& spec) const {
+ml::FeatureVector Collector::orientation_features(
+    const SampleSpec& spec, core::ScoringWorkspace* workspace) const {
   obs::ScopedSpan span("sim.orientation_features");
   const auto key = cache_key(spec, "orient2");
   if (auto hit = cache_.load(key)) return *hit;
   const auto raw = capture(spec);
   const auto denoised = core::preprocess(raw, config_.preprocess);
-  const auto features = orientation_extractor(spec).extract(denoised);
+  const auto features = orientation_extractor(spec).extract(denoised, workspace);
   cache_.store(key, features);
   return features;
 }
 
-ml::FeatureVector Collector::liveness_features(const SampleSpec& spec) const {
+ml::FeatureVector Collector::liveness_features(const SampleSpec& spec,
+                                               core::ScoringWorkspace* workspace) const {
   obs::ScopedSpan span("sim.liveness_features");
   const auto key = cache_key(spec, "live");
   if (auto hit = cache_.load(key)) return *hit;
   const auto raw = capture(spec);
   const auto denoised = core::preprocess(raw.channel(0), config_.preprocess);
-  const auto features = core::LivenessFeatureExtractor(config_.liveness).extract(denoised);
+  const auto features =
+      core::LivenessFeatureExtractor(config_.liveness).extract(denoised, workspace);
   cache_.store(key, features);
   return features;
 }

@@ -61,10 +61,16 @@ class Collector {
   [[nodiscard]] audio::MultiBuffer capture(const SampleSpec& spec) const;
 
   /// Orientation feature vector (preprocess + extract; disk-cached).
-  [[nodiscard]] ml::FeatureVector orientation_features(const SampleSpec& spec) const;
+  /// `workspace` (optional) supplies per-thread scoring scratch for the
+  /// cache-miss path — the parallel collection engine passes one per lane;
+  /// features are bit-identical with or without it.
+  [[nodiscard]] ml::FeatureVector orientation_features(
+      const SampleSpec& spec, core::ScoringWorkspace* workspace = nullptr) const;
 
-  /// Liveness feature vector from channel 0 (disk-cached).
-  [[nodiscard]] ml::FeatureVector liveness_features(const SampleSpec& spec) const;
+  /// Liveness feature vector from channel 0 (disk-cached). `workspace` as
+  /// for orientation_features().
+  [[nodiscard]] ml::FeatureVector liveness_features(
+      const SampleSpec& spec, core::ScoringWorkspace* workspace = nullptr) const;
 
   /// Builds an orientation-feature extractor matched to the spec's device
   /// (lag window from the selected channels' aperture).

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <set>
 
+#include "core/scoring_workspace.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -19,9 +20,12 @@ std::vector<OrientationSample> collect(const Collector& collector,
   std::vector<OrientationSample> out(specs.size());
   std::atomic<std::size_t> done{0};
   util::parallel_for(specs.size(), util::resolve_jobs(jobs), [&](std::size_t i) {
+    // One scoring workspace per pool thread: cache-miss extractions reuse
+    // warm scratch buffers across specs (features stay bit-identical).
+    thread_local core::ScoringWorkspace workspace;
     out[i].spec = specs[i];
-    out[i].features = liveness ? collector.liveness_features(specs[i])
-                               : collector.orientation_features(specs[i]);
+    out[i].features = liveness ? collector.liveness_features(specs[i], &workspace)
+                               : collector.orientation_features(specs[i], &workspace);
     const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
     // Intermediate progress at debug (HEADTALK_LOG=debug), completion at
     // info, so default runs print one line per collection, not hundreds.

@@ -58,6 +58,17 @@ TEST(Resample, DownsampleRemovesAliasedContent) {
   EXPECT_LT(rms(y.samples()), 0.04);
 }
 
+TEST(Resample, StopbandAttenuationMatchesFilterOrder) {
+  // The anti-alias filter is a 10th-order Butterworth cut at 0.45x the
+  // target rate (7.2 kHz for 48 kHz -> 16 kHz); at 11 kHz that analog
+  // prototype is ~37 dB down. Require >= 30 dB to leave headroom for the
+  // bilinear-transform warp: a unit-amplitude 11 kHz tone (RMS 0.707)
+  // must come out below RMS 0.0224.
+  const auto x = make_tone(11000.0, 48000.0, 0.05);
+  const auto y = resample(x, 16000.0);
+  EXPECT_LT(rms(y.samples()), 1.0 / std::sqrt(2.0) * std::pow(10.0, -30.0 / 20.0));
+}
+
 TEST(Resample, NonIntegerRatioStillWorks) {
   // 48 kHz -> 22.05 kHz exercises the general windowed-sinc path.
   const auto x = make_tone(1000.0, 48000.0, 0.05);

@@ -106,6 +106,38 @@ TEST(GccPhat, FromSpectraMatchesDirect) {
   }
 }
 
+TEST(GccPhat, FromSpectraRejectsAliasingLagWindow) {
+  // Regression: with fft_size < 2*max_lag + 1 the circular correlation has
+  // no room for the negative-lag half, so at_lag(-k) would silently read the
+  // +-(n-k) bin (e.g. n=32, max_lag=16: lag -16 and +16 are the same index).
+  // The implementation must refuse instead of aliasing.
+  const auto x = random_signal(32, 8);
+  const auto y = delayed(x, 1);
+  const auto xs = rfft_half(x, 32);
+  const auto ys = rfft_half(y, 32);
+  EXPECT_THROW((void)gcc_phat_from_spectra(xs, ys, 16), std::invalid_argument);
+  // max_lag 15 fits (2*15+1 = 31 <= 32) and must keep working: y lags x,
+  // so gcc_phat(y, x) peaks at +1.
+  const auto r = gcc_phat_from_spectra(ys, xs, 15);
+  EXPECT_EQ(r.size(), 31u);
+  EXPECT_EQ(r.peak_lag(), 1);
+}
+
+TEST(GccPhat, LagWindowLargerThanSignalDoesNotAlias) {
+  // correlate() sizes its internal FFT itself; a lag window wider than the
+  // signal must widen the transform instead of tripping the guard above.
+  const auto x = random_signal(4, 9);
+  const auto r = cross_correlation(x, x, 100);
+  ASSERT_EQ(r.size(), 201u);
+  EXPECT_EQ(r.peak_lag(), 0);
+  // Linear correlation of 4-sample signals is zero beyond |lag| >= 4; a
+  // circular wraparound would leak energy into the far lags.
+  for (int lag = 4; lag <= 100; ++lag) {
+    EXPECT_NEAR(r.at_lag(lag), 0.0, 1e-9) << "lag " << lag;
+    EXPECT_NEAR(r.at_lag(-lag), 0.0, 1e-9) << "lag " << -lag;
+  }
+}
+
 TEST(GccPhat, RejectsNegativeMaxLag) {
   const auto x = random_signal(64, 7);
   EXPECT_THROW((void)gcc_phat(x, x, -1), std::invalid_argument);

@@ -96,11 +96,29 @@ TEST(TopPeaks, PadsWithZerosWhenFewPeaks) {
   EXPECT_DOUBLE_EQ(peaks[2], 0.0);
 }
 
-TEST(TopPeaks, EdgesCountAsPeaks) {
-  const std::vector<double> seq{5.0, 1.0, 0.0, 0.0, 4.0};
+TEST(TopPeaks, EdgesAreNotPeaks) {
+  // Large boundary values are window-edge artifacts, not local maxima: only
+  // interior samples that dominate both neighbours qualify.
+  const std::vector<double> seq{5.0, 1.0, 0.0, 2.0, 0.0, 0.0, 4.0};
   const auto peaks = top_peaks(seq, 2);
-  EXPECT_DOUBLE_EQ(peaks[0], 5.0);
-  EXPECT_DOUBLE_EQ(peaks[1], 4.0);
+  EXPECT_DOUBLE_EQ(peaks[0], 2.0);
+  EXPECT_DOUBLE_EQ(peaks[1], 0.0);  // no second interior peak -> zero pad
+}
+
+TEST(TopPeaks, MonotoneRampHasNoPeaks) {
+  const std::vector<double> ascending{0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> descending{5.0, 4.0, 3.0, 2.0, 1.0, 0.0};
+  for (const auto& seq : {ascending, descending}) {
+    const auto peaks = top_peaks(seq, 3);
+    ASSERT_EQ(peaks.size(), 3u);
+    for (double p : peaks) EXPECT_DOUBLE_EQ(p, 0.0);
+  }
+}
+
+TEST(TopPeaks, TinySequencesHaveNoPeaks) {
+  EXPECT_DOUBLE_EQ(top_peaks({}, 1)[0], 0.0);
+  EXPECT_DOUBLE_EQ(top_peaks({7.0}, 1)[0], 0.0);
+  EXPECT_DOUBLE_EQ(top_peaks({7.0, 3.0}, 1)[0], 0.0);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 // (each scoring the full WAV list) — a quick load generator and the
 // workhorse of the serve smoke test. Exit status is nonzero when any
 // utterance failed to produce a DECISION.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -98,6 +99,7 @@ int main(int argc, char** argv) {
       }
     };
 
+    const auto wall_start = std::chrono::steady_clock::now();
     if (parallel == 1) {
       run_connection(0);
     } else {
@@ -108,6 +110,9 @@ int main(int argc, char** argv) {
       }
       for (auto& thread : threads) thread.join();
     }
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
 
     // One detailed report for the first connection; the rest tally up.
     bool failed = false;
@@ -134,8 +139,14 @@ int main(int argc, char** argv) {
       }
     }
     if (parallel > 1) {
-      std::printf("%ld connections, %zu/%zu decisions\n", parallel, total_decisions,
-                  captures.size() * static_cast<std::size_t>(parallel));
+      // Aggregate throughput across the fleet: with the daemon's per-worker
+      // scoring workspaces warm, decisions/s is the serving-side number to
+      // compare against bench_serve_throughput's rps record.
+      std::printf("%ld connections, %zu/%zu decisions, %.2f s wall, %.1f decisions/s\n",
+                  parallel, total_decisions,
+                  captures.size() * static_cast<std::size_t>(parallel), wall_seconds,
+                  wall_seconds > 0.0 ? static_cast<double>(total_decisions) / wall_seconds
+                                     : 0.0);
     }
     return failed ? 1 : 0;
   } catch (const std::exception& error) {

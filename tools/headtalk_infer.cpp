@@ -18,6 +18,7 @@
 #include "core/orientation_classifier.h"
 #include "core/orientation_features.h"
 #include "core/preprocess.h"
+#include "core/scoring_workspace.h"
 #include "ml/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -75,6 +76,9 @@ int main(int argc, char** argv) {
     static obs::Histogram& capture_seconds =
         obs::Registry::global().histogram("infer.capture_seconds");
     util::parallel_for(wavs.size(), cli::jobs_from(args), [&](std::size_t i) {
+      // One workspace per --jobs lane: captures after a lane's first reuse
+      // its warm scoring scratch (scores are identical either way).
+      thread_local core::ScoringWorkspace workspace;
       obs::Timer timer(&capture_seconds);
       const auto raw = [&] {
         obs::ScopedSpan span("infer.read_wav");
@@ -87,7 +91,7 @@ int main(int argc, char** argv) {
 
       const auto live_features = [&] {
         obs::ScopedSpan span("pipeline.liveness_features");
-        return liveness_features.extract(clean.channel(0));
+        return liveness_features.extract(clean.channel(0), &workspace);
       }();
       const double live_score = [&] {
         obs::ScopedSpan span("pipeline.liveness_score");
@@ -97,7 +101,7 @@ int main(int argc, char** argv) {
 
       const auto features = [&] {
         obs::ScopedSpan span("pipeline.orientation_features");
-        return extractor.extract(clean);
+        return extractor.extract(clean, &workspace);
       }();
       double orient_score = 0.0;
       bool facing = false;

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the suite with ThreadSanitizer and runs the concurrency-relevant
-# tests (thread pool, sim harness incl. the FeatureCache stress test, the
-# serve daemon's multi-client stress, and the integration pipeline), so the
-# parallel collection engine and the inference server stay race-clean. Usage:
+# tests (thread pool, the shared FFT plan cache, sim harness incl. the
+# FeatureCache stress test, the serve daemon's multi-client stress, and the
+# integration pipeline), so the parallel collection engine and the inference
+# server stay race-clean. Usage:
 #
 #   tools/run_tsan_tests.sh [build-dir]     # default: build-tsan
 #
@@ -18,13 +19,13 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DHEADTALK_BUILD_BENCHES=OFF \
   -DHEADTALK_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target tests_util tests_obs tests_sim tests_serve tests_integration
+  --target tests_util tests_obs tests_dsp tests_sim tests_serve tests_integration
 
 # halt_on_error: a single data race fails the run instead of scrolling by.
 # The obs patterns cover the concurrent-counter exactness tests and the
 # per-thread trace rings (Metrics*, Tracer*).
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|Experiment\.|Collector|EndToEnd|WavPipeline|Metrics|Tracer|ServeServer'
+  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|FftPlan|Experiment\.|Collector|EndToEnd|WavPipeline|Metrics|Tracer|ServeServer'
 
 echo "TSan test subset passed with zero reported races."
