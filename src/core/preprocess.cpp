@@ -30,7 +30,7 @@ std::pair<std::size_t, std::size_t> active_span(const audio::MultiBuffer& captur
     envelope.push_back(std::sqrt(acc / static_cast<double>((end - start) * capture.channel_count())));
   }
   const double peak = *std::max_element(envelope.begin(), envelope.end());
-  if (peak <= 0.0) return {0, frames};
+  if (peak <= audio::db_to_amplitude(config.silence_floor_db)) return {0, frames};
   const double threshold = peak * audio::db_to_amplitude(config.trim_threshold_db);
 
   std::size_t first_frame = envelope.size(), last_frame = 0;
@@ -41,6 +41,11 @@ std::pair<std::size_t, std::size_t> active_span(const audio::MultiBuffer& captur
     }
   }
   if (first_frame > last_frame) return {0, frames};
+  const auto min_active_frames = static_cast<std::size_t>(
+      config.min_active_ms * capture.sample_rate() / 1000.0);
+  if ((last_frame - first_frame + 1) * frame_len < min_active_frames) {
+    return {0, frames};
+  }
 
   const auto pad =
       static_cast<std::size_t>(config.trim_pad_ms * capture.sample_rate() / 1000.0);

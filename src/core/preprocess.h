@@ -17,6 +17,15 @@ struct PreprocessConfig {
   double trim_frame_ms = 10.0;
   /// Padding kept around the detected utterance.
   double trim_pad_ms = 40.0;
+  /// Absolute silence floor (dBFS, frame RMS). When the loudest frame sits
+  /// below it the capture holds no utterance, and the relative threshold
+  /// would otherwise latch onto noise wiggle — the capture is returned
+  /// band-passed but untrimmed.
+  double silence_floor_db = -65.0;
+  /// Shortest detected span (ms, before padding) worth trimming to; a
+  /// narrower one is a noise blip, not speech — even the shortest wake
+  /// word syllable outlasts it — so no trimming happens.
+  double min_active_ms = 60.0;
 };
 
 /// Returns the denoised (band-passed, trimmed) capture. All channels are

@@ -175,4 +175,90 @@ DecisionFrame BlockingClient::score(const audio::MultiBuffer& capture, bool foll
   return parse_decision(reply);
 }
 
+std::optional<Frame> BlockingClient::try_read_frame() {
+  while (true) {
+    try {
+      if (auto frame = reader_.next()) return frame;
+    } catch (const ProtocolError& error) {
+      throw ClientError(std::string("malformed server frame: ") + error.what());
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 0);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError(std::string("poll failed: ") + std::strerror(errno));
+    }
+    if (ready == 0) return std::nullopt;
+    std::uint8_t buffer[1 << 16];
+    const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (n == 0) throw ClientError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    try {
+      reader_.feed(buffer, static_cast<std::size_t>(n));
+    } catch (const ProtocolError& error) {
+      throw ClientError(std::string("malformed server frame: ") + error.what());
+    }
+  }
+}
+
+StreamOk BlockingClient::start_stream() {
+  if (channels_ == 0) throw ClientError("start_stream() before hello()");
+  const auto bytes = encode_stream_start();
+  send_bytes(bytes.data(), bytes.size());
+  const Frame reply = read_frame();
+  if (reply.type != FrameType::kStreamOk) throw_server_reply(reply);
+  return parse_stream_ok(reply);
+}
+
+void BlockingClient::stream_audio(const audio::MultiBuffer& chunk,
+                                  std::vector<StreamDecisionFrame>& decisions,
+                                  std::size_t chunk_frames) {
+  if (channels_ == 0) throw ClientError("stream_audio() before hello()");
+  if (chunk.channel_count() != channels_) {
+    throw ClientError("chunk has " + std::to_string(chunk.channel_count()) +
+                      " channels, HELLO announced " + std::to_string(channels_));
+  }
+  if (chunk_frames == 0) chunk_frames = 4800;
+
+  std::vector<float> interleaved;
+  for (std::size_t begin = 0; begin < chunk.frames(); begin += chunk_frames) {
+    const std::size_t count = std::min(chunk_frames, chunk.frames() - begin);
+    interleaved.resize(count * channels_);
+    for (std::size_t f = 0; f < count; ++f) {
+      for (std::uint16_t c = 0; c < channels_; ++c) {
+        interleaved[f * channels_ + c] =
+            static_cast<float>(chunk.channel(c)[begin + f]);
+      }
+    }
+    const auto encoded = encode_audio_chunk(interleaved, channels_);
+    send_bytes(encoded.data(), encoded.size());
+    // Collect whatever the server has pushed back so far; a write-only
+    // loop would let decisions pile up in the socket buffer until it
+    // deadlocks against our own sends.
+    while (auto frame = try_read_frame()) {
+      if (frame->type != FrameType::kStreamDecision) throw_server_reply(*frame);
+      decisions.push_back(parse_stream_decision(*frame));
+    }
+  }
+}
+
+StreamSummary BlockingClient::end_stream(std::vector<StreamDecisionFrame>& decisions,
+                                         int timeout_ms) {
+  if (channels_ == 0) throw ClientError("end_stream() before hello()");
+  const auto bytes = encode_stream_end();
+  send_bytes(bytes.data(), bytes.size());
+  while (true) {
+    const Frame frame = read_frame(timeout_ms);
+    if (frame.type == FrameType::kStreamDecision) {
+      decisions.push_back(parse_stream_decision(frame));
+      continue;
+    }
+    if (frame.type == FrameType::kStreamSummary) return parse_stream_summary(frame);
+    throw_server_reply(frame);
+  }
+}
+
 }  // namespace headtalk::serve

@@ -58,6 +58,24 @@ class BlockingClient {
   DecisionFrame score(const audio::MultiBuffer& capture, bool followup = false,
                       std::size_t chunk_frames = 4800);
 
+  // ---- auto-endpoint streaming (server-side segmentation) ----
+
+  /// Enters streaming mode (STREAM_START → STREAM_OK): the server finds
+  /// the utterances itself; no END_OF_UTTERANCE is sent.
+  StreamOk start_stream();
+
+  /// Sends continuous audio as AUDIO_CHUNKs and appends any
+  /// STREAM_DECISIONs the server has pushed so far (without blocking for
+  /// more). Only valid between start_stream() and end_stream().
+  void stream_audio(const audio::MultiBuffer& chunk,
+                    std::vector<StreamDecisionFrame>& decisions,
+                    std::size_t chunk_frames = 4800);
+
+  /// Leaves streaming mode: sends STREAM_END, appends the remaining
+  /// STREAM_DECISIONs, and returns the STREAM_SUMMARY.
+  StreamSummary end_stream(std::vector<StreamDecisionFrame>& decisions,
+                           int timeout_ms = -1);
+
   // Low-level escape hatches for protocol tests.
   void send_bytes(const void* data, std::size_t size);
   /// Blocks up to `timeout_ms` (-1 = forever) for one complete frame.
@@ -69,6 +87,10 @@ class BlockingClient {
 
  private:
   explicit BlockingClient(int fd) : fd_(fd) {}
+
+  /// One complete frame if any is available right now, else nullopt
+  /// (never blocks). Throws ClientError on a closed/misbehaving server.
+  [[nodiscard]] std::optional<Frame> try_read_frame();
 
   int fd_ = -1;
   std::uint16_t channels_ = 0;

@@ -42,6 +42,7 @@ class ByteCursor {
   std::uint8_t read_u8() { return read_pod<std::uint8_t>(); }
   std::uint16_t read_u16() { return read_pod<std::uint16_t>(); }
   std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
   double read_f64() { return read_pod<double>(); }
 
   void read_f32_array(float* out, std::size_t count) {
@@ -126,13 +127,23 @@ std::string_view frame_type_name(FrameType type) {
       return "ERROR";
     case FrameType::kBusy:
       return "BUSY";
+    case FrameType::kStreamStart:
+      return "STREAM_START";
+    case FrameType::kStreamOk:
+      return "STREAM_OK";
+    case FrameType::kStreamDecision:
+      return "STREAM_DECISION";
+    case FrameType::kStreamEnd:
+      return "STREAM_END";
+    case FrameType::kStreamSummary:
+      return "STREAM_SUMMARY";
   }
   return "?";
 }
 
 bool frame_type_known(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kBusy);
+         raw <= static_cast<std::uint8_t>(FrameType::kStreamSummary);
 }
 
 std::string_view error_code_name(ErrorCode code) {
@@ -194,8 +205,12 @@ std::vector<std::uint8_t> encode_end_of_utterance(bool followup) {
   return finish_frame(FrameType::kEndOfUtterance, std::move(payload));
 }
 
-std::vector<std::uint8_t> encode_decision(const DecisionFrame& decision) {
-  std::vector<std::uint8_t> payload;
+namespace {
+
+// The DECISION field block is shared verbatim by STREAM_DECISION, so the
+// two frames cannot drift apart.
+void append_decision_fields(std::vector<std::uint8_t>& payload,
+                            const DecisionFrame& decision) {
   append_u8(payload, decision.decision);
   append_u8(payload, decision.live ? 1 : 0);
   append_u8(payload, decision.facing ? 1 : 0);
@@ -203,6 +218,34 @@ std::vector<std::uint8_t> encode_decision(const DecisionFrame& decision) {
   append_f64(payload, decision.liveness_score);
   append_f64(payload, decision.orientation_score);
   append_f64(payload, decision.elapsed_seconds);
+}
+
+DecisionFrame read_decision_fields(ByteCursor& in, const char* what) {
+  DecisionFrame decision;
+  decision.decision = in.read_u8();
+  if (decision.decision > 3) {
+    throw ProtocolError(std::string(what) + ": unknown decision code");
+  }
+  const std::uint8_t live = in.read_u8();
+  const std::uint8_t facing = in.read_u8();
+  const std::uint8_t via = in.read_u8();
+  if (live > 1 || facing > 1 || via > 1) {
+    throw ProtocolError(std::string(what) + ": bad boolean flag");
+  }
+  decision.live = live == 1;
+  decision.facing = facing == 1;
+  decision.via_open_session = via == 1;
+  decision.liveness_score = in.read_f64();
+  decision.orientation_score = in.read_f64();
+  decision.elapsed_seconds = in.read_f64();
+  return decision;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_decision(const DecisionFrame& decision) {
+  std::vector<std::uint8_t> payload;
+  append_decision_fields(payload, decision);
   return finish_frame(FrameType::kDecision, std::move(payload));
 }
 
@@ -218,6 +261,42 @@ std::vector<std::uint8_t> encode_error(ErrorCode code, std::string_view message)
 }
 
 std::vector<std::uint8_t> encode_busy() { return finish_frame(FrameType::kBusy, {}); }
+
+std::vector<std::uint8_t> encode_stream_start() {
+  return finish_frame(FrameType::kStreamStart, {});
+}
+
+std::vector<std::uint8_t> encode_stream_ok(const StreamOk& ok) {
+  std::vector<std::uint8_t> payload;
+  append_u32(payload, ok.vad_frame_length);
+  append_u32(payload, ok.max_segment_frames);
+  return finish_frame(FrameType::kStreamOk, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_stream_decision(const StreamDecisionFrame& decision) {
+  std::vector<std::uint8_t> payload;
+  append_decision_fields(payload, decision.decision);
+  append_f64(payload, decision.begin_seconds);
+  append_f64(payload, decision.end_seconds);
+  append_u8(payload, decision.force_closed ? 1 : 0);
+  append_u8(payload, 0);
+  append_u16(payload, 0);
+  return finish_frame(FrameType::kStreamDecision, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_stream_end() {
+  return finish_frame(FrameType::kStreamEnd, {});
+}
+
+std::vector<std::uint8_t> encode_stream_summary(const StreamSummary& summary) {
+  std::vector<std::uint8_t> payload;
+  append_bytes(payload, &summary.frames_streamed, sizeof summary.frames_streamed);
+  append_u32(payload, summary.segments);
+  append_u32(payload, summary.force_closed);
+  append_u32(payload, summary.discarded);
+  append_u32(payload, 0);  // reserved
+  return finish_frame(FrameType::kStreamSummary, std::move(payload));
+}
 
 Hello parse_hello(const Frame& frame) {
   expect_type(frame, FrameType::kHello, "HELLO");
@@ -281,21 +360,7 @@ EndOfUtterance parse_end_of_utterance(const Frame& frame) {
 DecisionFrame parse_decision(const Frame& frame) {
   expect_type(frame, FrameType::kDecision, "DECISION");
   ByteCursor in(frame.payload, "DECISION");
-  DecisionFrame decision;
-  decision.decision = in.read_u8();
-  if (decision.decision > 3) throw ProtocolError("DECISION: unknown decision code");
-  const std::uint8_t live = in.read_u8();
-  const std::uint8_t facing = in.read_u8();
-  const std::uint8_t via = in.read_u8();
-  if (live > 1 || facing > 1 || via > 1) {
-    throw ProtocolError("DECISION: bad boolean flag");
-  }
-  decision.live = live == 1;
-  decision.facing = facing == 1;
-  decision.via_open_session = via == 1;
-  decision.liveness_score = in.read_f64();
-  decision.orientation_score = in.read_f64();
-  decision.elapsed_seconds = in.read_f64();
+  const DecisionFrame decision = read_decision_fields(in, "DECISION");
   in.finish();
   return decision;
 }
@@ -317,6 +382,64 @@ ErrorFrame parse_error(const Frame& frame) {
   error.message = in.read_chars(length);
   in.finish();
   return error;
+}
+
+void parse_stream_start(const Frame& frame) {
+  expect_type(frame, FrameType::kStreamStart, "STREAM_START");
+  ByteCursor in(frame.payload, "STREAM_START");
+  in.finish();  // version-1 payload is empty
+}
+
+StreamOk parse_stream_ok(const Frame& frame) {
+  expect_type(frame, FrameType::kStreamOk, "STREAM_OK");
+  ByteCursor in(frame.payload, "STREAM_OK");
+  StreamOk ok;
+  ok.vad_frame_length = in.read_u32();
+  ok.max_segment_frames = in.read_u32();
+  in.finish();
+  if (ok.vad_frame_length == 0) {
+    throw ProtocolError("STREAM_OK: zero VAD frame length");
+  }
+  return ok;
+}
+
+StreamDecisionFrame parse_stream_decision(const Frame& frame) {
+  expect_type(frame, FrameType::kStreamDecision, "STREAM_DECISION");
+  ByteCursor in(frame.payload, "STREAM_DECISION");
+  StreamDecisionFrame decision;
+  decision.decision = read_decision_fields(in, "STREAM_DECISION");
+  decision.begin_seconds = in.read_f64();
+  decision.end_seconds = in.read_f64();
+  const std::uint8_t force = in.read_u8();
+  if (force > 1) throw ProtocolError("STREAM_DECISION: bad force_closed flag");
+  decision.force_closed = force == 1;
+  if (in.read_u8() != 0 || in.read_u16() != 0) {
+    throw ProtocolError("STREAM_DECISION: reserved bits set");
+  }
+  in.finish();
+  if (decision.end_seconds < decision.begin_seconds) {
+    throw ProtocolError("STREAM_DECISION: segment ends before it begins");
+  }
+  return decision;
+}
+
+void parse_stream_end(const Frame& frame) {
+  expect_type(frame, FrameType::kStreamEnd, "STREAM_END");
+  ByteCursor in(frame.payload, "STREAM_END");
+  in.finish();  // version-1 payload is empty
+}
+
+StreamSummary parse_stream_summary(const Frame& frame) {
+  expect_type(frame, FrameType::kStreamSummary, "STREAM_SUMMARY");
+  ByteCursor in(frame.payload, "STREAM_SUMMARY");
+  StreamSummary summary;
+  summary.frames_streamed = in.read_u64();
+  summary.segments = in.read_u32();
+  summary.force_closed = in.read_u32();
+  summary.discarded = in.read_u32();
+  if (in.read_u32() != 0) throw ProtocolError("STREAM_SUMMARY: reserved bits set");
+  in.finish();
+  return summary;
 }
 
 void FrameReader::feed(const void* data, std::size_t size) {

@@ -12,8 +12,12 @@
 //
 // A request is HELLO → HELLO_OK, then any number of utterances, each
 // AUDIO_CHUNK* followed by END_OF_UTTERANCE and answered with exactly one
-// DECISION (or ERROR). An overloaded server answers a fresh connection
-// with BUSY and closes. Decoding is strict: unknown types, nonzero
+// DECISION (or ERROR). Alternatively STREAM_START → STREAM_OK switches the
+// connection to auto-endpoint streaming: AUDIO_CHUNKs carry continuous
+// audio, the server segments it itself and pushes one STREAM_DECISION per
+// detected utterance until STREAM_END → STREAM_SUMMARY. An overloaded
+// server answers a fresh connection with BUSY and closes. Decoding is
+// strict: unknown types, nonzero
 // reserved bits, oversized lengths, short payloads, and trailing payload
 // bytes all throw ProtocolError — a malformed client cannot put the
 // daemon into an undefined state.
@@ -47,6 +51,16 @@ enum class FrameType : std::uint8_t {
   kDecision = 5,        ///< server→client: one verdict per utterance
   kError = 6,           ///< server→client: fatal request error (closes)
   kBusy = 7,            ///< server→client: overloaded, retry later (closes)
+  // Auto-endpoint streaming (the always-listening mode): after STREAM_START
+  // the server owns segmentation — AUDIO_CHUNKs carry continuous audio, the
+  // server's VAD/endpointer finds the utterances, and each one is answered
+  // with a STREAM_DECISION (no END_OF_UTTERANCE). STREAM_END returns the
+  // connection to per-utterance mode with a STREAM_SUMMARY.
+  kStreamStart = 8,     ///< client→server: enter auto-endpoint streaming
+  kStreamOk = 9,        ///< server→client: streaming accepted + geometry
+  kStreamDecision = 10, ///< server→client: one verdict per detected segment
+  kStreamEnd = 11,      ///< client→server: leave streaming, request summary
+  kStreamSummary = 12,  ///< server→client: stream totals
 };
 
 [[nodiscard]] std::string_view frame_type_name(FrameType type);
@@ -91,6 +105,32 @@ struct DecisionFrame {
   double elapsed_seconds = 0.0;  ///< server-side scoring time
 };
 
+/// Server acknowledgment of STREAM_START: the segmentation geometry the
+/// client can expect decisions to be quantized to.
+struct StreamOk {
+  /// Samples per VAD analysis frame (decision timestamps are multiples).
+  std::uint32_t vad_frame_length = 0;
+  /// Largest segment (sample frames) before a force-close.
+  std::uint32_t max_segment_frames = 0;
+};
+
+/// One auto-endpointed verdict: the DECISION fields plus where in the
+/// stream the segment sat and whether it was force-closed at max length.
+struct StreamDecisionFrame {
+  DecisionFrame decision;
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;
+  bool force_closed = false;
+};
+
+/// Totals for one streaming episode (STREAM_START .. STREAM_END).
+struct StreamSummary {
+  std::uint64_t frames_streamed = 0;
+  std::uint32_t segments = 0;
+  std::uint32_t force_closed = 0;
+  std::uint32_t discarded = 0;
+};
+
 enum class ErrorCode : std::uint32_t {
   kBadRequest = 1,          ///< malformed frame or frame out of order
   kUnsupportedVersion = 2,  ///< HELLO version the server does not speak
@@ -119,6 +159,13 @@ struct ErrorFrame {
 [[nodiscard]] std::vector<std::uint8_t> encode_error(ErrorCode code,
                                                      std::string_view message);
 [[nodiscard]] std::vector<std::uint8_t> encode_busy();
+[[nodiscard]] std::vector<std::uint8_t> encode_stream_start();
+[[nodiscard]] std::vector<std::uint8_t> encode_stream_ok(const StreamOk& ok);
+[[nodiscard]] std::vector<std::uint8_t> encode_stream_decision(
+    const StreamDecisionFrame& decision);
+[[nodiscard]] std::vector<std::uint8_t> encode_stream_end();
+[[nodiscard]] std::vector<std::uint8_t> encode_stream_summary(
+    const StreamSummary& summary);
 
 // ---- strict decode --------------------------------------------------------
 // Each parser requires the exact frame type and consumes the payload fully;
@@ -131,6 +178,11 @@ struct ErrorFrame {
 [[nodiscard]] EndOfUtterance parse_end_of_utterance(const Frame& frame);
 [[nodiscard]] DecisionFrame parse_decision(const Frame& frame);
 [[nodiscard]] ErrorFrame parse_error(const Frame& frame);
+void parse_stream_start(const Frame& frame);  ///< validates the empty payload
+[[nodiscard]] StreamOk parse_stream_ok(const Frame& frame);
+[[nodiscard]] StreamDecisionFrame parse_stream_decision(const Frame& frame);
+void parse_stream_end(const Frame& frame);  ///< validates the empty payload
+[[nodiscard]] StreamSummary parse_stream_summary(const Frame& frame);
 
 /// Incremental frame decoder for a byte stream. feed() accepts whatever
 /// the socket produced; next() yields completed frames in order. A

@@ -352,6 +352,15 @@ void Server::handle_connection(int fd, core::ScoringWorkspace& workspace) {
     const auto output = session.take_output();
     if (!output.empty() && !send_all(fd, output.data(), output.size())) break;
 
+    if (session.stream_mode()) {
+      // Auto-endpoint streaming: the server owns segmentation, so there is
+      // no "complete request" for the deadline to bound — a quiet room
+      // produces no decisions for minutes. Received audio proves the client
+      // is alive; the deadline degrades to a max inter-chunk silence.
+      request_start = Clock::now();
+      deadline = request_start + deadline_budget;
+    }
+
     const std::size_t new_decisions = session.decisions_sent() - decisions_before;
     if (new_decisions > 0) {
       decisions_.fetch_add(new_decisions, std::memory_order_relaxed);

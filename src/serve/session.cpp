@@ -94,10 +94,19 @@ void Session::handle_frame(const Frame& frame) {
     case FrameType::kEndOfUtterance:
       handle_end_of_utterance(frame);
       return;
+    case FrameType::kStreamStart:
+      handle_stream_start(frame);
+      return;
+    case FrameType::kStreamEnd:
+      handle_stream_end(frame);
+      return;
     case FrameType::kHelloOk:
     case FrameType::kDecision:
     case FrameType::kError:
     case FrameType::kBusy:
+    case FrameType::kStreamOk:
+    case FrameType::kStreamDecision:
+    case FrameType::kStreamSummary:
       fail(ErrorCode::kBadRequest,
            std::string("client sent a server-only frame: ") +
                std::string(frame_type_name(frame.type)));
@@ -125,8 +134,8 @@ void Session::handle_hello(const Frame& frame) {
     return;
   }
   channels_ = hello.channels;
-  ring_.reset(channels_, limits_.max_utterance_frames,
-              static_cast<double>(hello.sample_rate_hz));
+  sample_rate_ = static_cast<double>(hello.sample_rate_hz);
+  ring_.reset(channels_, limits_.max_utterance_frames, sample_rate_);
   state_ = State::kStreaming;
 
   HelloOk ok;
@@ -148,12 +157,28 @@ void Session::handle_chunk(const Frame& frame) {
              std::to_string(limits_.max_chunk_frames));
     return;
   }
+  if (stream_mode_) {
+    // Auto-endpoint path: the detector owns segmentation; a chunk may close
+    // zero or more segments, each answered with a STREAM_DECISION.
+    try {
+      const auto events = detector_->push_interleaved(chunk.interleaved);
+      for (const auto& event : events) emit_stream_decision(event);
+    } catch (const std::exception& error) {
+      fail(ErrorCode::kInternal, std::string("stream scoring failed: ") + error.what());
+    }
+    return;
+  }
   ring_.append(chunk.interleaved);
 }
 
 void Session::handle_end_of_utterance(const Frame& frame) {
   if (state_ != State::kStreaming) {
     fail(ErrorCode::kBadRequest, "END_OF_UTTERANCE before HELLO");
+    return;
+  }
+  if (stream_mode_) {
+    fail(ErrorCode::kBadRequest,
+         "END_OF_UTTERANCE in streaming mode (the server endpoints)");
     return;
   }
   const EndOfUtterance end = parse_end_of_utterance(frame);
@@ -191,6 +216,83 @@ void Session::handle_end_of_utterance(const Frame& frame) {
   }
   ring_.clear();
   const auto bytes = encode_decision(decision);
+  output_.insert(output_.end(), bytes.begin(), bytes.end());
+  ++decisions_;
+}
+
+void Session::handle_stream_start(const Frame& frame) {
+  if (state_ != State::kStreaming) {
+    fail(ErrorCode::kBadRequest, "STREAM_START before HELLO");
+    return;
+  }
+  parse_stream_start(frame);
+  if (stream_mode_) {
+    fail(ErrorCode::kBadRequest, "duplicate STREAM_START");
+    return;
+  }
+  if (ring_.frames() != 0) {
+    fail(ErrorCode::kBadRequest, "STREAM_START with a per-utterance capture buffered");
+    return;
+  }
+  stream::StreamingDetectorConfig config = limits_.stream;
+  config.mode = limits_.mode;  // one mode governs both scoring paths
+  detector_ = std::make_unique<stream::StreamingDetector>(pipeline_, channels_,
+                                                          sample_rate_, config);
+  detector_->set_workspace(workspace_);
+  stream_mode_ = true;
+
+  StreamOk ok;
+  ok.vad_frame_length = static_cast<std::uint32_t>(detector_->vad().frame_length());
+  ok.max_segment_frames = static_cast<std::uint32_t>(
+      config.endpoint.max_utterance_frames * detector_->vad().frame_length());
+  const auto bytes = encode_stream_ok(ok);
+  output_.insert(output_.end(), bytes.begin(), bytes.end());
+}
+
+void Session::handle_stream_end(const Frame& frame) {
+  if (state_ != State::kStreaming || !stream_mode_) {
+    fail(ErrorCode::kBadRequest, "STREAM_END outside streaming mode");
+    return;
+  }
+  parse_stream_end(frame);
+  try {
+    const auto events = detector_->flush();
+    for (const auto& event : events) emit_stream_decision(event);
+  } catch (const std::exception& error) {
+    fail(ErrorCode::kInternal, std::string("stream scoring failed: ") + error.what());
+    return;
+  }
+  StreamSummary summary;
+  summary.frames_streamed = detector_->frames_streamed();
+  summary.segments = static_cast<std::uint32_t>(detector_->segments());
+  summary.force_closed = static_cast<std::uint32_t>(detector_->force_closed());
+  summary.discarded = static_cast<std::uint32_t>(detector_->discarded());
+  const auto bytes = encode_stream_summary(summary);
+  output_.insert(output_.end(), bytes.begin(), bytes.end());
+  // Back to per-utterance mode; the HeadTalk session flag carries over.
+  stream_mode_ = false;
+  detector_.reset();
+}
+
+void Session::emit_stream_decision(const stream::DecisionEvent& event) {
+  StreamDecisionFrame decision;
+  decision.decision.decision = static_cast<std::uint8_t>(event.result.decision);
+  decision.decision.live = event.result.live;
+  decision.decision.facing = event.result.facing;
+  decision.decision.via_open_session = event.result.via_open_session;
+  decision.decision.liveness_score = event.result.liveness_score;
+  decision.decision.orientation_score = event.result.orientation_score;
+  decision.decision.elapsed_seconds = event.latency_seconds;
+  decision.begin_seconds = event.begin_seconds;
+  decision.end_seconds = event.end_seconds;
+  decision.force_closed = event.force_closed;
+  session_open_ = event.result.session_open_after;
+  if (event.truncated_frames > 0) {
+    obs::log_warn("serve.session.stream_truncated",
+                  {{"truncated_frames", event.truncated_frames},
+                   {"begin_seconds", event.begin_seconds}});
+  }
+  const auto bytes = encode_stream_decision(decision);
   output_.insert(output_.end(), bytes.begin(), bytes.end());
   ++decisions_;
 }

@@ -12,12 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "audio/sample_buffer.h"
 #include "core/pipeline.h"
 #include "serve/protocol.h"
+#include "stream/streaming_detector.h"
 
 namespace headtalk::serve {
 
@@ -29,6 +31,10 @@ struct SessionLimits {
   std::uint16_t max_channels = 16;
   /// Mode the daemon scores under (HeadTalk in production).
   core::VaMode mode = core::VaMode::kHeadTalk;
+  /// Segmentation config for the auto-endpoint streaming mode
+  /// (STREAM_START). `stream.mode` is ignored — `mode` above governs both
+  /// paths.
+  stream::StreamingDetectorConfig stream{};
 };
 
 /// Fixed-capacity interleaved multichannel accumulator. Appends past the
@@ -75,6 +81,7 @@ class Session {
   /// workspace must outlive the session and belong to the driving thread.
   void set_workspace(core::ScoringWorkspace* workspace) noexcept {
     workspace_ = workspace;
+    if (detector_) detector_->set_workspace(workspace);
   }
 
   /// Feeds bytes received from the client; any responses are appended to
@@ -89,12 +96,18 @@ class Session {
   [[nodiscard]] bool finished() const noexcept { return state_ == State::kFailed; }
   [[nodiscard]] std::size_t decisions_sent() const noexcept { return decisions_; }
   [[nodiscard]] bool hello_done() const noexcept { return state_ == State::kStreaming; }
-  /// True when no utterance is in flight: nothing buffered in the ring and
-  /// no partial frame pending. A drain may close an idle connection
-  /// immediately; a non-idle one is owed its DECISION first.
+  /// True when no utterance is in flight: nothing buffered in the ring, no
+  /// partial frame pending and — in streaming mode — no open segment. A
+  /// drain may close an idle connection immediately; a non-idle one is
+  /// owed its DECISION first.
   [[nodiscard]] bool idle() const noexcept {
+    if (stream_mode_ && detector_ && detector_->in_utterance()) return false;
     return ring_.frames() == 0 && reader_.buffered_bytes() == 0;
   }
+  /// True between STREAM_START and STREAM_END: the server owns
+  /// segmentation, so the connection may legitimately sit silent between
+  /// utterances (the server's deadline handling keys off this).
+  [[nodiscard]] bool stream_mode() const noexcept { return stream_mode_; }
   [[nodiscard]] const SessionLimits& limits() const noexcept { return limits_; }
 
  private:
@@ -104,6 +117,9 @@ class Session {
   void handle_hello(const Frame& frame);
   void handle_chunk(const Frame& frame);
   void handle_end_of_utterance(const Frame& frame);
+  void handle_stream_start(const Frame& frame);
+  void handle_stream_end(const Frame& frame);
+  void emit_stream_decision(const stream::DecisionEvent& event);
   void fail(ErrorCode code, const std::string& message);
 
   const core::HeadTalkPipeline& pipeline_;
@@ -112,8 +128,11 @@ class Session {
   FrameReader reader_;
   std::vector<std::uint8_t> output_;
   SampleRing ring_;
+  std::unique_ptr<stream::StreamingDetector> detector_;  ///< streaming mode only
   State state_ = State::kAwaitHello;
   std::uint16_t channels_ = 0;
+  double sample_rate_ = audio::kDefaultSampleRate;
+  bool stream_mode_ = false;
   bool session_open_ = false;  ///< HeadTalk open-session flag, per connection
   std::size_t decisions_ = 0;
 };

@@ -63,6 +63,11 @@ speech::SpeakerProfile Collector::speaker(unsigned user_id) const {
 }
 
 audio::MultiBuffer Collector::capture(const SampleSpec& spec) const {
+  return capture(spec, CaptureOptions{});
+}
+
+audio::MultiBuffer Collector::capture(const SampleSpec& spec,
+                                      const CaptureOptions& capture_options) const {
   obs::ScopedSpan span("sim.render");
   static obs::Histogram& render_seconds =
       obs::Registry::global().histogram("sim.render_seconds");
@@ -141,6 +146,8 @@ audio::MultiBuffer Collector::capture(const SampleSpec& spec) const {
   options.rir_length_s = config_.rir_length_s;
   options.noise_seed = seed_of(key, config_.base_seed, 0xC004);
   options.channels = channels_for(spec.device);
+  options.add_ambient = capture_options.ambient;
+  options.add_self_noise = capture_options.self_noise;
   if (spec.occlusion == OcclusionLevel::kPartial) {
     options.occlusion = room::Occlusion::partial();
   } else if (spec.occlusion == OcclusionLevel::kFull) {

@@ -52,6 +52,15 @@ struct CollectorConfig {
   core::LivenessFeatureConfig liveness{};
 };
 
+/// Per-call render toggles for capture(). The streaming scene composer
+/// renders utterances with both off and lays one continuous noise floor
+/// over the assembled stream, so utterance boundaries are not betrayed by
+/// per-render noise seams.
+struct CaptureOptions {
+  bool ambient = true;     ///< diffuse room-floor ambient noise
+  bool self_noise = true;  ///< microphone self-noise
+};
+
 class Collector {
  public:
   explicit Collector(CollectorConfig config = {});
@@ -59,6 +68,10 @@ class Collector {
   /// Full multichannel render of one trial (never cached; used by the
   /// pipeline-level examples and runtime benchmarks).
   [[nodiscard]] audio::MultiBuffer capture(const SampleSpec& spec) const;
+
+  /// As above with per-call render toggles.
+  [[nodiscard]] audio::MultiBuffer capture(const SampleSpec& spec,
+                                           const CaptureOptions& options) const;
 
   /// Orientation feature vector (preprocess + extract; disk-cached).
   /// `workspace` (optional) supplies per-thread scoring scratch for the

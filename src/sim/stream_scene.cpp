@@ -1,0 +1,66 @@
+#include "sim/stream_scene.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace headtalk::sim {
+
+StreamScene render_stream_scene(const Collector& collector,
+                                const std::vector<SampleSpec>& specs,
+                                const StreamSceneConfig& config) {
+  if (specs.empty()) throw std::invalid_argument("stream scene needs >= 1 spec");
+  if (config.lead_in_s < 0.0 || config.gap_s < 0.0 || config.tail_s < 0.0) {
+    throw std::invalid_argument("stream scene timings must be non-negative");
+  }
+
+  CaptureOptions render;
+  render.ambient = false;  // one continuous floor is laid over the assembly
+  render.self_noise = config.self_noise;
+
+  std::vector<audio::MultiBuffer> captures;
+  captures.reserve(specs.size());
+  for (const auto& spec : specs) {
+    captures.push_back(collector.capture(spec, render));
+    if (captures.back().channel_count() != captures.front().channel_count() ||
+        captures.back().sample_rate() != captures.front().sample_rate()) {
+      throw std::invalid_argument(
+          "stream scene specs must share one device/channel geometry");
+    }
+  }
+
+  const double fs = captures.front().sample_rate();
+  const std::size_t channels = captures.front().channel_count();
+  const auto to_frames = [fs](double seconds) {
+    return static_cast<std::size_t>(seconds * fs + 0.5);
+  };
+
+  std::size_t total = to_frames(config.lead_in_s) + to_frames(config.tail_s) +
+                      to_frames(config.gap_s) * (captures.size() - 1);
+  for (const auto& capture : captures) total += capture.frames();
+
+  StreamScene scene{audio::MultiBuffer(channels, total, fs), {}};
+  scene.utterances.reserve(specs.size());
+
+  std::size_t cursor = to_frames(config.lead_in_s);
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    const auto& capture = captures[i];
+    for (std::size_t c = 0; c < channels; ++c) {
+      std::copy_n(capture.channel(c).samples().data(), capture.frames(),
+                  scene.audio.channel(c).samples().data() + cursor);
+    }
+    StreamUtterance truth;
+    truth.spec = specs[i];
+    truth.begin_seconds = static_cast<double>(cursor) / fs;
+    truth.end_seconds = static_cast<double>(cursor + capture.frames()) / fs;
+    scene.utterances.push_back(truth);
+    cursor += capture.frames() + to_frames(config.gap_s);
+  }
+
+  if (config.ambient_spl_db >= 0.0) {
+    room::add_diffuse_noise(scene.audio, config.ambient_type,
+                            config.ambient_spl_db, config.noise_seed);
+  }
+  return scene;
+}
+
+}  // namespace headtalk::sim

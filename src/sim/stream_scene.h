@@ -1,0 +1,53 @@
+// Continuous multi-utterance scene composer for the streaming subsystem.
+//
+// A streaming scene is a single long multichannel capture: a silent
+// lead-in, each requested utterance rendered in the collector's simulated
+// room, silence gaps between them, and a tail — with one continuous
+// ambient-noise floor laid over the whole stream so utterance boundaries
+// are acoustically honest (no per-render noise seams the endpointer could
+// key on). The returned truth records where each utterance landed, which
+// is what bench_stream_latency scores segmentation recall against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+#include "room/noise.h"
+#include "sim/collector.h"
+#include "sim/spec.h"
+
+namespace headtalk::sim {
+
+struct StreamSceneConfig {
+  double lead_in_s = 1.0;  ///< silence before the first utterance
+  double gap_s = 0.8;      ///< silence between consecutive utterances
+  double tail_s = 0.8;     ///< silence after the last utterance
+  /// Continuous ambient floor over the whole stream; < 0 disables it.
+  double ambient_spl_db = 36.0;
+  room::NoiseType ambient_type = room::NoiseType::kWhite;
+  std::uint32_t noise_seed = 0x57AE;
+  /// Microphone self-noise on the per-utterance renders.
+  bool self_noise = true;
+};
+
+/// Ground truth for one utterance inside the composed stream.
+struct StreamUtterance {
+  SampleSpec spec;
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;  ///< exclusive
+};
+
+struct StreamScene {
+  audio::MultiBuffer audio;
+  std::vector<StreamUtterance> utterances;
+};
+
+/// Renders each spec through `collector.capture()` (ambient off — the floor
+/// is added once over the assembly) and splices them into one continuous
+/// capture. Specs must all target the same device/channel geometry.
+[[nodiscard]] StreamScene render_stream_scene(const Collector& collector,
+                                              const std::vector<SampleSpec>& specs,
+                                              const StreamSceneConfig& config = {});
+
+}  // namespace headtalk::sim

@@ -1,0 +1,112 @@
+#include "stream/endpointer.h"
+
+#include <algorithm>
+
+namespace headtalk::stream {
+
+Endpointer::Endpointer(EndpointerConfig config) : config_(config) {
+  // Degenerate configs collapse to the nearest sane machine rather than
+  // dividing time by zero: an onset needs at least one frame, a gap of at
+  // least one frame must be able to close, and the trailing context cannot
+  // exceed the gap that triggered the close.
+  config_.onset_frames = std::max<std::size_t>(1, config_.onset_frames);
+  config_.hangover_frames = std::max<std::size_t>(1, config_.hangover_frames);
+  config_.post_roll_frames = std::min(config_.post_roll_frames, config_.hangover_frames);
+  config_.max_utterance_frames = std::max<std::size_t>(1, config_.max_utterance_frames);
+}
+
+void Endpointer::reset() {
+  state_ = State::kIdle;
+  next_index_ = 0;
+  active_run_ = 0;
+  gap_run_ = 0;
+  last_end_ = 0;
+  segments_ = 0;
+  force_closed_ = 0;
+  discarded_ = 0;
+}
+
+std::optional<Segment> Endpointer::close(std::uint64_t end, bool force) {
+  state_ = State::kIdle;
+  gap_run_ = 0;
+  const Segment segment{begin_, end, force};
+  last_end_ = end;
+  if (segment.frames() < config_.min_utterance_frames) {
+    ++discarded_;
+    return std::nullopt;
+  }
+  ++segments_;
+  if (force) ++force_closed_;
+  return segment;
+}
+
+std::optional<Segment> Endpointer::on_frame(bool active) {
+  const std::uint64_t index = next_index_++;
+
+  if (state_ == State::kIdle) {
+    if (!active) return std::nullopt;
+    onset_start_ = index;
+    active_run_ = 0;
+    state_ = State::kOnset;
+    // fall through to the onset handling below for this same frame
+  }
+
+  if (state_ == State::kOnset) {
+    if (!active) {
+      state_ = State::kIdle;  // false start: too short to confirm
+      return std::nullopt;
+    }
+    ++active_run_;
+    if (active_run_ < config_.onset_frames) return std::nullopt;
+    // Onset confirmed: open the segment with pre-roll, clamped so segments
+    // never overlap each other or reach before the stream start.
+    const std::uint64_t pre = config_.pre_roll_frames;
+    begin_ = onset_start_ > pre ? onset_start_ - pre : 0;
+    begin_ = std::max(begin_, last_end_);
+    last_active_ = index;
+    state_ = State::kInUtterance;
+    if (index + 1 - begin_ >= config_.max_utterance_frames) return close(index + 1, true);
+    return std::nullopt;
+  }
+
+  if (state_ == State::kInUtterance) {
+    if (active) {
+      last_active_ = index;
+    } else {
+      gap_run_ = 1;
+      state_ = State::kHangover;
+    }
+    if (index + 1 - begin_ >= config_.max_utterance_frames) return close(index + 1, true);
+    return std::nullopt;
+  }
+
+  // State::kHangover
+  if (active) {
+    // Gap shorter than the hangover: same utterance continues.
+    last_active_ = index;
+    state_ = State::kInUtterance;
+    if (index + 1 - begin_ >= config_.max_utterance_frames) return close(index + 1, true);
+    return std::nullopt;
+  }
+  ++gap_run_;
+  if (gap_run_ >= config_.hangover_frames) {
+    const std::uint64_t end =
+        std::min<std::uint64_t>(index + 1, last_active_ + 1 + config_.post_roll_frames);
+    return close(end, false);
+  }
+  if (index + 1 - begin_ >= config_.max_utterance_frames) return close(index + 1, true);
+  return std::nullopt;
+}
+
+std::optional<Segment> Endpointer::flush() {
+  if (state_ == State::kIdle) return std::nullopt;
+  if (state_ == State::kOnset) {
+    state_ = State::kIdle;  // never confirmed; nothing to emit
+    return std::nullopt;
+  }
+  const std::uint64_t end =
+      std::min<std::uint64_t>(next_index_, last_active_ + 1 + config_.post_roll_frames);
+  return close(end, false);
+}
+
+}  // namespace headtalk::stream

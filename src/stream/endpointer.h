@@ -1,0 +1,88 @@
+// Utterance endpointing: VAD frame labels in, utterance segments out.
+//
+// A pure state machine (idle → onset → in-utterance → hangover) in units
+// of VAD frames, deliberately free of audio, clocks, and I/O so every
+// transition is unit-testable. Onset needs `onset_frames` consecutive
+// active frames before a segment opens (isolated clicks never reach the
+// scorer); the segment start then reaches back `pre_roll_frames` — clamped
+// to the stream start and to the previous segment's end, so utterances
+// never overlap. A gap shorter than `hangover_frames` stays inside one
+// segment; a longer one closes it with `post_roll_frames` of trailing
+// context. Segments that hit `max_utterance_frames` are force-closed (and
+// flagged) so a stuck-active VAD cannot grow an unbounded utterance, and
+// segments shorter than `min_utterance_frames` are discarded as glitches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace headtalk::stream {
+
+struct EndpointerConfig {
+  /// Context frames prepended before the confirmed onset (clamped to the
+  /// stream start / previous segment end).
+  std::size_t pre_roll_frames = 10;
+  /// Consecutive active frames required to confirm an onset.
+  std::size_t onset_frames = 2;
+  /// Inactive frames that close an open segment; shorter gaps merge.
+  std::size_t hangover_frames = 15;
+  /// Trailing inactive frames kept after the last active frame (≤ hangover).
+  std::size_t post_roll_frames = 5;
+  /// Segments shorter than this are discarded (counted, not emitted).
+  std::size_t min_utterance_frames = 10;
+  /// Segments reaching this length are force-closed mid-speech.
+  std::size_t max_utterance_frames = 400;
+};
+
+/// One closed utterance: [begin_frame, end_frame) in VAD frame indices.
+struct Segment {
+  std::uint64_t begin_frame = 0;
+  std::uint64_t end_frame = 0;
+  bool force_closed = false;
+
+  [[nodiscard]] std::uint64_t frames() const noexcept { return end_frame - begin_frame; }
+};
+
+class Endpointer {
+ public:
+  explicit Endpointer(EndpointerConfig config = {});
+
+  /// Consumes one VAD frame label; returns a segment when one just closed.
+  std::optional<Segment> on_frame(bool active);
+
+  /// Closes any open segment at the current stream position (end of input).
+  std::optional<Segment> flush();
+
+  void reset();
+
+  /// True while a confirmed (or tentative-onset) utterance is open — a
+  /// drain should wait for its decision.
+  [[nodiscard]] bool in_utterance() const noexcept { return state_ != State::kIdle; }
+
+  [[nodiscard]] std::uint64_t segments() const noexcept { return segments_; }
+  [[nodiscard]] std::uint64_t force_closed() const noexcept { return force_closed_; }
+  [[nodiscard]] std::uint64_t discarded() const noexcept { return discarded_; }
+  [[nodiscard]] std::uint64_t frames_seen() const noexcept { return next_index_; }
+  [[nodiscard]] const EndpointerConfig& config() const noexcept { return config_; }
+
+ private:
+  enum class State { kIdle, kOnset, kInUtterance, kHangover };
+
+  /// Closes the open segment at `end` (exclusive); empty when discarded.
+  std::optional<Segment> close(std::uint64_t end, bool force);
+
+  EndpointerConfig config_;
+  State state_ = State::kIdle;
+  std::uint64_t next_index_ = 0;    ///< index the next on_frame() will get
+  std::uint64_t onset_start_ = 0;   ///< first frame of the tentative onset run
+  std::uint64_t active_run_ = 0;    ///< consecutive active frames in kOnset
+  std::uint64_t begin_ = 0;         ///< open segment start (pre-roll applied)
+  std::uint64_t last_active_ = 0;   ///< most recent active frame index
+  std::uint64_t gap_run_ = 0;       ///< consecutive inactive frames in kHangover
+  std::uint64_t last_end_ = 0;      ///< previous segment's end (pre-roll clamp)
+  std::uint64_t segments_ = 0;
+  std::uint64_t force_closed_ = 0;
+  std::uint64_t discarded_ = 0;
+};
+
+}  // namespace headtalk::stream

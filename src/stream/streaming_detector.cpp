@@ -1,0 +1,187 @@
+#include "stream/streaming_detector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace headtalk::stream {
+namespace {
+
+obs::Gauge& metric_vad_active() {
+  static obs::Gauge& g = obs::Registry::global().gauge("stream.vad.active");
+  return g;
+}
+obs::Counter& metric_segments() {
+  static obs::Counter& c = obs::Registry::global().counter("stream.endpoint.segments");
+  return c;
+}
+obs::Counter& metric_force_closed() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("stream.endpoint.force_closed");
+  return c;
+}
+obs::Counter& metric_discarded() {
+  static obs::Counter& c = obs::Registry::global().counter("stream.endpoint.discarded");
+  return c;
+}
+obs::Histogram& metric_decision_latency() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("stream.decision_latency_seconds");
+  return h;
+}
+
+}  // namespace
+
+void StreamRing::reset(std::size_t channels, std::size_t capacity_frames,
+                       double sample_rate) {
+  channels_ = channels;
+  capacity_ = capacity_frames;
+  sample_rate_ = sample_rate;
+  data_.assign(capacity_ * channels_, 0.0);
+  total_ = 0;
+}
+
+void StreamRing::push(std::span<const float> interleaved) {
+  if (channels_ == 0 || capacity_ == 0) return;
+  const std::size_t frames = interleaved.size() / channels_;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t slot = static_cast<std::size_t>(total_ % capacity_);
+    for (std::size_t c = 0; c < channels_; ++c) {
+      data_[slot * channels_ + c] =
+          static_cast<audio::Sample>(interleaved[f * channels_ + c]);
+    }
+    ++total_;
+  }
+}
+
+void StreamRing::push(const audio::MultiBuffer& chunk) {
+  if (channels_ == 0 || capacity_ == 0) return;
+  for (std::size_t f = 0; f < chunk.frames(); ++f) {
+    const std::size_t slot = static_cast<std::size_t>(total_ % capacity_);
+    for (std::size_t c = 0; c < channels_; ++c) {
+      data_[slot * channels_ + c] = chunk.channel(c)[f];
+    }
+    ++total_;
+  }
+}
+
+audio::MultiBuffer StreamRing::extract(std::uint64_t begin, std::uint64_t end) const {
+  begin = std::max(begin, oldest_frame());
+  end = std::min<std::uint64_t>(end, total_);
+  if (begin > end) begin = end;
+  audio::MultiBuffer capture(channels_, static_cast<std::size_t>(end - begin),
+                             sample_rate_);
+  for (std::uint64_t f = begin; f < end; ++f) {
+    const std::size_t slot = static_cast<std::size_t>(f % capacity_);
+    for (std::size_t c = 0; c < channels_; ++c) {
+      capture.channel(c)[static_cast<std::size_t>(f - begin)] =
+          data_[slot * channels_ + c];
+    }
+  }
+  return capture;
+}
+
+StreamingDetector::StreamingDetector(const core::HeadTalkPipeline& pipeline,
+                                     std::size_t channels, double sample_rate,
+                                     StreamingDetectorConfig config)
+    : pipeline_(pipeline),
+      config_(config),
+      vad_(config.vad, sample_rate),
+      endpointer_(config.endpoint) {
+  if (channels == 0) throw std::invalid_argument("StreamingDetector: zero channels");
+  // Worst-case extraction span: a force-closed segment of max length (its
+  // pre-roll is inside that bound), plus the margin covering chunk lag.
+  const std::size_t capacity =
+      endpointer_.config().max_utterance_frames * vad_.frame_length() +
+      config_.ring_margin_frames;
+  ring_.reset(channels, capacity, sample_rate);
+}
+
+std::vector<DecisionEvent> StreamingDetector::push_interleaved(
+    std::span<const float> interleaved) {
+  if (ring_.channels() == 0 || interleaved.size() % ring_.channels() != 0) {
+    throw std::invalid_argument(
+        "StreamingDetector: sample count is not a multiple of the channel count");
+  }
+  ring_.push(interleaved);
+  const std::size_t frames = interleaved.size() / ring_.channels();
+  reference_.resize(frames);
+  for (std::size_t f = 0; f < frames; ++f) {
+    reference_[f] = static_cast<audio::Sample>(interleaved[f * ring_.channels()]);
+  }
+  std::vector<DecisionEvent> out;
+  advance(reference_, out);
+  return out;
+}
+
+std::vector<DecisionEvent> StreamingDetector::push(const audio::MultiBuffer& chunk) {
+  if (chunk.channel_count() != ring_.channels()) {
+    throw std::invalid_argument("StreamingDetector: chunk channel count mismatch");
+  }
+  if (chunk.sample_rate() != vad_.sample_rate()) {
+    throw std::invalid_argument("StreamingDetector: chunk sample rate mismatch");
+  }
+  ring_.push(chunk);
+  std::vector<DecisionEvent> out;
+  advance(chunk.channel(0).samples(), out);
+  return out;
+}
+
+std::vector<DecisionEvent> StreamingDetector::flush() {
+  std::vector<DecisionEvent> out;
+  if (const auto segment = endpointer_.flush()) {
+    metric_segments().increment();
+    out.push_back(score_segment(*segment));
+  }
+  metric_vad_active().set(0.0);
+  return out;
+}
+
+void StreamingDetector::advance(std::span<const audio::Sample> reference,
+                                std::vector<DecisionEvent>& out) {
+  const auto vad_frames = vad_.push(reference);
+  for (const VadFrame& frame : vad_frames) {
+    metric_vad_active().set(frame.active ? 1.0 : 0.0);
+    const auto segment = endpointer_.on_frame(frame.active);
+    if (!segment) continue;
+    if (segment->force_closed) metric_force_closed().increment();
+    metric_segments().increment();
+    out.push_back(score_segment(*segment));
+  }
+  // Discards happen inside the endpointer; mirror its counter into obs so
+  // dashboards see glitch rejections without polling the detector.
+  while (discards_reported_ < endpointer_.discarded()) {
+    metric_discarded().increment();
+    ++discards_reported_;
+  }
+}
+
+DecisionEvent StreamingDetector::score_segment(const Segment& segment) {
+  obs::ScopedSpan span("stream.score_segment");
+  obs::Timer timer(&metric_decision_latency());
+
+  DecisionEvent event;
+  event.begin_frame = segment.begin_frame * vad_.frame_length();
+  event.end_frame =
+      std::min<std::uint64_t>(segment.end_frame * vad_.frame_length(),
+                              ring_.total_frames());
+  event.force_closed = segment.force_closed;
+  const std::uint64_t oldest = ring_.oldest_frame();
+  if (event.begin_frame < oldest) {
+    event.truncated_frames = oldest - event.begin_frame;
+  }
+  const double fs = vad_.sample_rate();
+  event.begin_seconds = static_cast<double>(event.begin_frame) / fs;
+  event.end_seconds = static_cast<double>(event.end_frame) / fs;
+
+  const audio::MultiBuffer capture = ring_.extract(event.begin_frame, event.end_frame);
+  event.result = pipeline_.score_capture(capture, config_.mode, /*followup=*/false,
+                                         session_open_, workspace_);
+  session_open_ = event.result.session_open_after;
+  event.latency_seconds = timer.stop();
+  return event;
+}
+
+}  // namespace headtalk::stream

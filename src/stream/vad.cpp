@@ -1,0 +1,108 @@
+#include "stream/vad.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/spectral.h"
+
+namespace headtalk::stream {
+namespace {
+
+constexpr double kSilenceDb = -120.0;
+
+double rms_db(std::span<const audio::Sample> frame) {
+  double acc = 0.0;
+  for (const audio::Sample x : frame) acc += x * x;
+  const double rms = std::sqrt(acc / static_cast<double>(frame.size()));
+  if (rms <= 0.0) return kSilenceDb;
+  return std::max(kSilenceDb, 20.0 * std::log10(rms));
+}
+
+}  // namespace
+
+Vad::Vad(VadConfig config, double sample_rate)
+    : config_(config),
+      sample_rate_(sample_rate),
+      frame_length_(static_cast<std::size_t>(
+          std::max(1.0, config.frame_ms * sample_rate / 1000.0))),
+      fft_size_(dsp::next_pow2(frame_length_)),
+      noise_floor_db_(config.noise_floor_init_db) {
+  if (sample_rate <= 0.0) throw std::invalid_argument("Vad: bad sample rate");
+  if (config.frame_ms <= 0.0) throw std::invalid_argument("Vad: bad frame_ms");
+  pending_.reserve(frame_length_);
+}
+
+void Vad::reset() {
+  pending_.clear();
+  noise_floor_db_ = config_.noise_floor_init_db;
+  prev_active_ = false;
+  hangover_ = 0;
+  next_index_ = 0;
+}
+
+std::vector<VadFrame> Vad::push(std::span<const audio::Sample> samples) {
+  std::vector<VadFrame> out;
+  std::size_t consumed = 0;
+  // Top up a partial frame left by the previous push first.
+  if (!pending_.empty()) {
+    const std::size_t need = frame_length_ - pending_.size();
+    const std::size_t take = std::min(need, samples.size());
+    pending_.insert(pending_.end(), samples.begin(),
+                    samples.begin() + static_cast<std::ptrdiff_t>(take));
+    consumed = take;
+    if (pending_.size() < frame_length_) return out;
+    out.push_back(classify(pending_));
+    pending_.clear();
+  }
+  while (samples.size() - consumed >= frame_length_) {
+    out.push_back(classify(samples.subspan(consumed, frame_length_)));
+    consumed += frame_length_;
+  }
+  pending_.insert(pending_.end(), samples.begin() + static_cast<std::ptrdiff_t>(consumed),
+                  samples.end());
+  return out;
+}
+
+VadFrame Vad::classify(std::span<const audio::Sample> frame) {
+  VadFrame result;
+  result.index = next_index_++;
+  result.energy_db = rms_db(frame);
+
+  // The flatness FFT only matters near the decision boundary; frames far
+  // below the absolute gate skip it (the common case on an idle stream).
+  if (result.energy_db > config_.min_energy_db - 6.0) {
+    dsp::magnitude_spectrum_into(frame, fft_size_, magnitude_, fft_scratch_);
+    result.flatness =
+        dsp::spectral_flatness(magnitude_, fft_size_, sample_rate_,
+                               config_.flatness_low_hz, config_.flatness_high_hz);
+  }
+  result.noise_floor_db = noise_floor_db_;
+
+  const double snr_needed = prev_active_ ? config_.offset_snr_db : config_.onset_snr_db;
+  const bool energetic = result.energy_db >= config_.min_energy_db &&
+                         result.energy_db >= noise_floor_db_ + snr_needed;
+  const bool speech_like = result.flatness <= config_.flatness_max;
+  const bool raw_active = energetic && speech_like;
+  prev_active_ = raw_active;
+
+  // Asymmetric floor tracking. Raw-active frames are excluded entirely so a
+  // long utterance cannot become the floor; everything else adapts — up
+  // slowly (a loudening room), down fast (a quieting one).
+  if (!raw_active) {
+    const double rate = result.energy_db > noise_floor_db_ ? config_.noise_adapt_up
+                                                           : config_.noise_adapt_down;
+    noise_floor_db_ += rate * (result.energy_db - noise_floor_db_);
+  }
+
+  if (raw_active) {
+    hangover_ = config_.hangover_frames;
+    result.active = true;
+  } else if (hangover_ > 0) {
+    --hangover_;
+    result.active = true;  // tail hangover: keep weak endings attached
+  }
+  return result;
+}
+
+}  // namespace headtalk::stream

@@ -100,6 +100,44 @@ TEST(Preprocess, SilentInputSurvives) {
   EXPECT_EQ(y.frames(), 4800u);  // nothing to trim against
 }
 
+TEST(Preprocess, QuietCaptureBelowSilenceFloorIsNotTrimmed) {
+  // Regression: a capture whose loudest frame sits under the absolute
+  // silence floor used to be trimmed against its own noise wiggle (the
+  // threshold is relative to the peak), collapsing near-silence to a
+  // residual sliver. It must come back band-passed but full-length.
+  const std::size_t total = static_cast<std::size_t>(0.4 * kFs);
+  audio::MultiBuffer m(2, total, kFs);
+  const auto burst = tone(1000.0, static_cast<std::size_t>(0.1 * kFs));
+  const std::size_t off = static_cast<std::size_t>(0.15 * kFs);
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    // ~-80 dBFS: shaped like an utterance but far below the floor.
+    m.channel(0)[off + i] = 2e-4 * burst[i];
+    m.channel(1)[off + i] = 2e-4 * burst[i];
+  }
+  const auto y = preprocess(m);
+  EXPECT_EQ(y.frames(), total);
+
+  // The same shape at speech level still trims as before.
+  audio::MultiBuffer loud(2, total, kFs);
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    loud.channel(0)[off + i] = burst[i];
+    loud.channel(1)[off + i] = burst[i];
+  }
+  EXPECT_LT(preprocess(loud).frames(), total);
+}
+
+TEST(Preprocess, BriefClickDoesNotTriggerTrimming) {
+  // A loud blip shorter than min_active_ms is a glitch, not an utterance:
+  // trimming to it would throw away the whole capture.
+  const std::size_t total = static_cast<std::size_t>(0.4 * kFs);
+  audio::MultiBuffer m(1, total, kFs);
+  const auto blip = tone(1000.0, static_cast<std::size_t>(0.03 * kFs));  // 30 ms
+  const std::size_t off = static_cast<std::size_t>(0.2 * kFs);
+  for (std::size_t i = 0; i < blip.size(); ++i) m.channel(0)[off + i] = blip[i];
+  const auto y = preprocess(m);
+  EXPECT_EQ(y.frames(), total);
+}
+
 TEST(Preprocess, MonoOverload) {
   const auto y = preprocess(tone(1000.0, 4800));
   EXPECT_GT(y.size(), 0u);

@@ -184,6 +184,61 @@ TEST(ServeProtocol, RejectsBadFieldValues) {
   EXPECT_THROW((void)parse_audio_chunk(decode_one(chunk), 5), ProtocolError);
 }
 
+TEST(ServeProtocol, StreamFramesRoundTrip) {
+  parse_stream_start(decode_one(encode_stream_start()));
+  parse_stream_end(decode_one(encode_stream_end()));
+
+  const StreamOk ok = parse_stream_ok(decode_one(encode_stream_ok(StreamOk{960, 192000})));
+  EXPECT_EQ(ok.vad_frame_length, 960u);
+  EXPECT_EQ(ok.max_segment_frames, 192000u);
+
+  StreamDecisionFrame decision;
+  decision.decision.decision = 3;
+  decision.decision.live = true;
+  decision.decision.liveness_score = 0.75;
+  decision.decision.orientation_score = -0.5;
+  decision.decision.elapsed_seconds = 0.031;
+  decision.begin_seconds = 1.25;
+  decision.end_seconds = 2.5;
+  decision.force_closed = true;
+  const StreamDecisionFrame parsed =
+      parse_stream_decision(decode_one(encode_stream_decision(decision)));
+  EXPECT_EQ(parsed.decision.decision, 3);
+  EXPECT_TRUE(parsed.decision.live);
+  EXPECT_FALSE(parsed.decision.facing);
+  EXPECT_DOUBLE_EQ(parsed.decision.liveness_score, 0.75);
+  EXPECT_DOUBLE_EQ(parsed.decision.orientation_score, -0.5);
+  EXPECT_DOUBLE_EQ(parsed.begin_seconds, 1.25);
+  EXPECT_DOUBLE_EQ(parsed.end_seconds, 2.5);
+  EXPECT_TRUE(parsed.force_closed);
+
+  const StreamSummary summary =
+      parse_stream_summary(decode_one(encode_stream_summary(StreamSummary{480000, 3, 1, 2})));
+  EXPECT_EQ(summary.frames_streamed, 480000u);
+  EXPECT_EQ(summary.segments, 3u);
+  EXPECT_EQ(summary.force_closed, 1u);
+  EXPECT_EQ(summary.discarded, 2u);
+}
+
+TEST(ServeProtocol, StreamFramesRejectBadFields) {
+  // STREAM_START / STREAM_END carry no payload.
+  auto padded = encode_stream_start();
+  padded.push_back(0);
+  const auto payload_len = static_cast<std::uint32_t>(padded.size() - kFrameHeaderBytes);
+  std::memcpy(padded.data(), &payload_len, sizeof payload_len);
+  EXPECT_THROW(parse_stream_start(decode_one(padded)), ProtocolError);
+
+  EXPECT_THROW((void)parse_stream_ok(decode_one(encode_stream_ok(StreamOk{0, 100}))),
+               ProtocolError);
+
+  StreamDecisionFrame backwards;
+  backwards.begin_seconds = 2.0;
+  backwards.end_seconds = 1.0;
+  EXPECT_THROW(
+      (void)parse_stream_decision(decode_one(encode_stream_decision(backwards))),
+      ProtocolError);
+}
+
 TEST(ServeProtocol, CorruptedBuffersNeverYieldUnvalidatedFrames) {
   // Fuzz-ish loop: mutate valid encodings (bit flips, truncation, garbage
   // prefixes) and decode. Every outcome must be either a clean parse or a
@@ -197,6 +252,11 @@ TEST(ServeProtocol, CorruptedBuffersNeverYieldUnvalidatedFrames) {
   seeds.push_back(encode_decision(DecisionFrame{}));
   seeds.push_back(encode_error(ErrorCode::kInternal, "x"));
   seeds.push_back(encode_busy());
+  seeds.push_back(encode_stream_start());
+  seeds.push_back(encode_stream_ok(StreamOk{960, 192000}));
+  seeds.push_back(encode_stream_decision(StreamDecisionFrame{}));
+  seeds.push_back(encode_stream_end());
+  seeds.push_back(encode_stream_summary(StreamSummary{480000, 3, 1, 0}));
 
   std::mt19937 rng(1234);
   std::size_t parsed = 0, rejected = 0;
@@ -228,6 +288,11 @@ TEST(ServeProtocol, CorruptedBuffersNeverYieldUnvalidatedFrames) {
           case FrameType::kDecision: (void)parse_decision(*frame); break;
           case FrameType::kError: (void)parse_error(*frame); break;
           case FrameType::kBusy: break;
+          case FrameType::kStreamStart: parse_stream_start(*frame); break;
+          case FrameType::kStreamOk: (void)parse_stream_ok(*frame); break;
+          case FrameType::kStreamDecision: (void)parse_stream_decision(*frame); break;
+          case FrameType::kStreamEnd: parse_stream_end(*frame); break;
+          case FrameType::kStreamSummary: (void)parse_stream_summary(*frame); break;
         }
         ++parsed;
       }

@@ -84,6 +84,29 @@ TEST(ServeSampleRing, OversizedAppendKeepsTail) {
   EXPECT_DOUBLE_EQ(capture.channel(0)[2], 5.0);
 }
 
+TEST(ServeSampleRing, OversizedAppendAfterWrapAroundKeepsNewestCapacityFrames) {
+  // Regression: an oversized append landing on a ring whose head has
+  // already wrapped must still leave exactly the newest `capacity` frames,
+  // and dropped_frames() must count both the skipped chunk head and every
+  // overwritten resident frame.
+  SampleRing ring;
+  ring.reset(1, 3, 48000.0);
+  ring.append(std::vector<float>{1, 2});
+  ring.append(std::vector<float>{3, 4});  // wraps: keeps 2,3,4 and drops 1
+  EXPECT_EQ(ring.frames(), 3u);
+  EXPECT_EQ(ring.dropped_frames(), 1u);
+
+  ring.append(std::vector<float>{5, 6, 7, 8, 9});  // 5 frames into capacity 3
+  EXPECT_EQ(ring.frames(), 3u);
+  // 1 from before + 2 skipped at the chunk head (5,6) + 3 overwritten (2,3,4).
+  EXPECT_EQ(ring.dropped_frames(), 6u);
+  const auto capture = ring.snapshot();
+  ASSERT_EQ(capture.frames(), 3u);
+  EXPECT_DOUBLE_EQ(capture.channel(0)[0], 7.0);
+  EXPECT_DOUBLE_EQ(capture.channel(0)[1], 8.0);
+  EXPECT_DOUBLE_EQ(capture.channel(0)[2], 9.0);
+}
+
 TEST(ServeSession, HelloHandshakeAdvertisesLimits) {
   Session session(test_pipeline(), normal_mode_limits());
   EXPECT_FALSE(session.hello_done());

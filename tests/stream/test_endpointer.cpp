@@ -1,0 +1,162 @@
+// Endpointer state machine: onset confirmation, pre-roll clamping (stream
+// start AND previous segment), sub-hangover gap merging, max-length
+// force-close, minimum-length discards, and flush.
+#include "stream/endpointer.h"
+
+#include <gtest/gtest.h>
+
+using namespace headtalk::stream;
+
+namespace {
+
+EndpointerConfig small_config() {
+  EndpointerConfig config;
+  config.pre_roll_frames = 3;
+  config.onset_frames = 2;
+  config.hangover_frames = 3;
+  config.post_roll_frames = 2;
+  config.min_utterance_frames = 2;
+  config.max_utterance_frames = 100;
+  return config;
+}
+
+/// Drives the machine with a 0/1 pattern, collecting closed segments.
+std::vector<Segment> run(Endpointer& ep, const std::vector<int>& pattern) {
+  std::vector<Segment> out;
+  for (const int active : pattern) {
+    if (auto segment = ep.on_frame(active != 0)) out.push_back(*segment);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Endpointer, ConfirmsOnsetAndAppliesPreRollAndPostRoll) {
+  Endpointer ep(small_config());
+  // Frames:       0  1  2  3  4  5  6  7  8  9
+  const auto segments = run(ep, {0, 0, 0, 0, 0, 1, 1, 0, 0, 0});
+  ASSERT_EQ(segments.size(), 1u);
+  // Onset at 5, confirmed at 6; pre-roll of 3 reaches back to frame 2.
+  EXPECT_EQ(segments[0].begin_frame, 2u);
+  // Gap of 3 closes at frame 9; post-roll caps the end at last_active+1+2.
+  EXPECT_EQ(segments[0].end_frame, 9u);
+  EXPECT_FALSE(segments[0].force_closed);
+  EXPECT_EQ(ep.segments(), 1u);
+}
+
+TEST(Endpointer, UtteranceAtStreamStartHasNoPreRoll) {
+  // Satellite case: speech from frame 0 — the pre-roll must clamp to the
+  // stream start, not underflow.
+  Endpointer ep(small_config());
+  const auto segments = run(ep, {1, 1, 1, 1, 0, 0, 0});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].begin_frame, 0u);
+  EXPECT_EQ(segments[0].end_frame, 6u);  // last_active 3 + 1 + post-roll 2
+}
+
+TEST(Endpointer, SubHangoverGapMergesIntoOneUtterance) {
+  // Satellite case: a pause shorter than the hangover is the same
+  // utterance, not two.
+  Endpointer ep(small_config());
+  //                             gap of 2 < hangover 3
+  const auto segments = run(ep, {1, 1, 1, 0, 0, 1, 1, 0, 0, 0});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].begin_frame, 0u);
+  EXPECT_EQ(segments[0].end_frame, 9u);  // last_active 6 + 1 + post-roll 2
+  EXPECT_EQ(ep.segments(), 1u);
+}
+
+TEST(Endpointer, HangoverLengthGapSplitsAndSegmentsNeverOverlap) {
+  Endpointer ep(small_config());
+  // Two utterances with exactly hangover_frames of silence between them:
+  // the second's pre-roll would reach into the first — it must clamp to
+  // the first segment's end instead.
+  const auto segments = run(ep, {1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 0});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].begin_frame, 0u);
+  EXPECT_EQ(segments[0].end_frame, 5u);  // last_active 2 + 1 + post-roll 2
+  EXPECT_EQ(segments[1].begin_frame, 5u);  // pre-roll clamped to segment 0's end
+  EXPECT_GE(segments[1].begin_frame, segments[0].end_frame);
+  EXPECT_EQ(segments[1].end_frame, 10u);
+}
+
+TEST(Endpointer, MaxLengthForceCloses) {
+  // Satellite case: unbroken speech force-closes at max length; continuing
+  // speech re-onsets into the next segment.
+  EndpointerConfig config = small_config();
+  config.max_utterance_frames = 10;
+  config.pre_roll_frames = 0;
+  Endpointer ep(config);
+  const auto segments = run(ep, std::vector<int>(25, 1));
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].begin_frame, 0u);
+  EXPECT_EQ(segments[0].end_frame, 10u);
+  EXPECT_TRUE(segments[0].force_closed);
+  EXPECT_EQ(segments[1].end_frame - segments[1].begin_frame, 10u);
+  EXPECT_TRUE(segments[1].force_closed);
+  EXPECT_EQ(ep.force_closed(), 2u);
+  EXPECT_TRUE(ep.in_utterance());  // a third one is still open
+}
+
+TEST(Endpointer, FalseStartAndShortBurstAreDiscarded) {
+  EndpointerConfig config = small_config();
+  config.min_utterance_frames = 8;  // a 2-frame burst + rolls spans only 7
+  Endpointer ep(config);
+  // One active frame never confirms the onset (onset_frames = 2)...
+  auto segments = run(ep, {0, 1, 0, 0, 0, 0});
+  EXPECT_TRUE(segments.empty());
+  EXPECT_EQ(ep.discarded(), 0u);  // never opened, nothing to discard
+  // ...and a confirmed-but-short burst closes below min length: discarded.
+  segments = run(ep, {1, 1, 0, 0, 0});
+  EXPECT_TRUE(segments.empty());
+  EXPECT_EQ(ep.discarded(), 1u);
+  EXPECT_EQ(ep.segments(), 0u);
+}
+
+TEST(Endpointer, FlushClosesAnOpenUtterance) {
+  Endpointer ep(small_config());
+  (void)run(ep, {1, 1, 1, 1});
+  EXPECT_TRUE(ep.in_utterance());
+  const auto segment = ep.flush();
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_EQ(segment->begin_frame, 0u);
+  EXPECT_EQ(segment->end_frame, 4u);  // next_index caps the post-roll
+  EXPECT_FALSE(ep.in_utterance());
+}
+
+TEST(Endpointer, FlushWhenIdleOrUnconfirmedEmitsNothing) {
+  Endpointer idle(small_config());
+  EXPECT_FALSE(idle.flush().has_value());
+
+  Endpointer unconfirmed(small_config());
+  (void)unconfirmed.on_frame(true);  // onset never confirmed
+  EXPECT_FALSE(unconfirmed.flush().has_value());
+  EXPECT_FALSE(unconfirmed.in_utterance());
+}
+
+TEST(Endpointer, DegenerateConfigIsClamped) {
+  EndpointerConfig config;
+  config.onset_frames = 0;
+  config.hangover_frames = 0;
+  config.post_roll_frames = 99;
+  config.max_utterance_frames = 0;
+  Endpointer ep(config);
+  EXPECT_EQ(ep.config().onset_frames, 1u);
+  EXPECT_EQ(ep.config().hangover_frames, 1u);
+  EXPECT_LE(ep.config().post_roll_frames, ep.config().hangover_frames);
+  EXPECT_EQ(ep.config().max_utterance_frames, 1u);
+}
+
+TEST(Endpointer, ResetClearsCountersAndState) {
+  Endpointer ep(small_config());
+  (void)run(ep, {1, 1, 1, 0, 0, 0});
+  EXPECT_EQ(ep.segments(), 1u);
+  ep.reset();
+  EXPECT_EQ(ep.segments(), 0u);
+  EXPECT_EQ(ep.frames_seen(), 0u);
+  EXPECT_FALSE(ep.in_utterance());
+  // Pre-roll clamps to the stream start again, not the pre-reset last_end.
+  const auto segments = run(ep, {1, 1, 0, 0, 0});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].begin_frame, 0u);
+}

@@ -1,0 +1,164 @@
+// Frame-level VAD: framing/partial-frame carry, the energy and flatness
+// gates, hysteresis, the adaptive noise floor, and hangover.
+#include "stream/vad.h"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include <gtest/gtest.h>
+
+using namespace headtalk;
+using namespace headtalk::stream;
+
+namespace {
+
+/// Harmonic (speech-like: tonal, low spectral flatness) signal at a target
+/// frame RMS level in dBFS.
+std::vector<audio::Sample> tone(std::size_t samples, double rms_db,
+                                double sample_rate = audio::kDefaultSampleRate) {
+  // Four incoherent harmonics at amplitude amp/2 each sum to an RMS of
+  // amp/sqrt(2); solve for the target level.
+  const double rms = std::pow(10.0, rms_db / 20.0);
+  const double amp = rms * std::sqrt(2.0);
+  std::vector<audio::Sample> out(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / sample_rate;
+    double v = 0.0;
+    for (int h = 1; h <= 4; ++h) {
+      v += 0.5 * amp * std::sin(2.0 * std::numbers::pi * 220.0 * h * t);
+    }
+    out[i] = v;
+  }
+  return out;
+}
+
+std::vector<audio::Sample> white_noise(std::size_t samples, double sigma,
+                                       unsigned seed = 5) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> g(0.0, sigma);
+  std::vector<audio::Sample> out(samples);
+  for (auto& v : out) v = g(rng);
+  return out;
+}
+
+}  // namespace
+
+TEST(Vad, FrameLengthFollowsConfig) {
+  const Vad vad(VadConfig{}, 48000.0);
+  EXPECT_EQ(vad.frame_length(), 960u);  // 20 ms at 48 kHz
+
+  VadConfig ten_ms;
+  ten_ms.frame_ms = 10.0;
+  EXPECT_EQ(Vad(ten_ms, 16000.0).frame_length(), 160u);
+}
+
+TEST(Vad, RejectsDegenerateConfig) {
+  EXPECT_THROW(Vad(VadConfig{}, 0.0), std::invalid_argument);
+  VadConfig bad;
+  bad.frame_ms = 0.0;
+  EXPECT_THROW(Vad(bad, 48000.0), std::invalid_argument);
+}
+
+TEST(Vad, PartialFramesCarryAcrossPushes) {
+  Vad vad;
+  const auto signal = tone(vad.frame_length() * 2, -20.0);
+  const std::span<const audio::Sample> span(signal);
+
+  // 1.5 frames: one completed, half carried.
+  auto frames = vad.push(span.subspan(0, vad.frame_length() * 3 / 2));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].index, 0u);
+
+  // The remaining half completes frame 1.
+  frames = vad.push(span.subspan(vad.frame_length() * 3 / 2));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].index, 1u);
+  EXPECT_EQ(vad.frames_emitted(), 2u);
+}
+
+TEST(Vad, SilenceIsInactive) {
+  Vad vad;
+  const std::vector<audio::Sample> silence(vad.frame_length() * 10, 0.0);
+  for (const auto& frame : vad.push(silence)) {
+    EXPECT_FALSE(frame.active);
+    EXPECT_LE(frame.energy_db, -119.0);
+  }
+}
+
+TEST(Vad, TonalSpeechIsActiveWhiteNoiseIsNot) {
+  Vad vad;
+  const auto speech = vad.push(tone(vad.frame_length() * 10, -20.0));
+  ASSERT_EQ(speech.size(), 10u);
+  for (const auto& frame : speech) {
+    EXPECT_TRUE(frame.active) << "frame " << frame.index;
+    EXPECT_LT(frame.flatness, vad.config().flatness_max);
+  }
+
+  Vad vad2;
+  // Loud enough to clear every energy gate; only the flatness gate stands.
+  const auto noise = vad2.push(white_noise(vad2.frame_length() * 10, 0.05));
+  ASSERT_EQ(noise.size(), 10u);
+  for (const auto& frame : noise) {
+    EXPECT_FALSE(frame.active) << "frame " << frame.index
+                               << " flatness " << frame.flatness;
+    EXPECT_GT(frame.flatness, vad2.config().flatness_max);
+  }
+}
+
+TEST(Vad, HysteresisKeepsFadingSpeechAttached) {
+  // At floor + 6 dB (between offset 4 and onset 8) a frame stays active
+  // only if the previous raw decision was active.
+  VadConfig config;
+  config.hangover_frames = 0;  // isolate the hysteresis
+  const double fading_db = config.noise_floor_init_db + 6.0;
+
+  Vad fresh(config);
+  const auto cold = fresh.push(tone(fresh.frame_length(), fading_db));
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_FALSE(cold[0].active);  // never cleared the onset threshold
+
+  Vad warm(config);
+  (void)warm.push(tone(warm.frame_length() * 2, -20.0));  // clearly active
+  const auto warm_frames = warm.push(tone(warm.frame_length(), fading_db));
+  ASSERT_EQ(warm_frames.size(), 1u);
+  EXPECT_TRUE(warm_frames[0].active);  // above the offset threshold
+}
+
+TEST(Vad, NoiseFloorTracksQuietRoomFastAndLoudRoomSlowly) {
+  Vad vad;
+  const double init = vad.config().noise_floor_init_db;
+  (void)vad.push(std::vector<audio::Sample>(vad.frame_length() * 20, 0.0));
+  EXPECT_LT(vad.noise_floor_db(), init - 10.0);  // fell fast toward silence
+
+  Vad loudening;
+  // White noise well above the initial floor: inactive (flat), so the floor
+  // adapts — but upward only slowly.
+  (void)loudening.push(white_noise(loudening.frame_length() * 20, 0.05));
+  EXPECT_GT(loudening.noise_floor_db(), init);
+  EXPECT_LT(loudening.noise_floor_db(), init + 15.0);
+}
+
+TEST(Vad, HangoverExtendsUtteranceTail) {
+  VadConfig config;
+  config.hangover_frames = 2;
+  Vad vad(config);
+  (void)vad.push(tone(vad.frame_length() * 3, -20.0));
+  const auto tail = vad.push(std::vector<audio::Sample>(vad.frame_length() * 4, 0.0));
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_TRUE(tail[0].active);   // hangover frame 1
+  EXPECT_TRUE(tail[1].active);   // hangover frame 2
+  EXPECT_FALSE(tail[2].active);  // hangover spent
+  EXPECT_FALSE(tail[3].active);
+}
+
+TEST(Vad, ResetForgetsEverything) {
+  Vad vad;
+  (void)vad.push(tone(vad.frame_length() * 5 + 7, -20.0));
+  vad.reset();
+  EXPECT_EQ(vad.frames_emitted(), 0u);
+  EXPECT_DOUBLE_EQ(vad.noise_floor_db(), vad.config().noise_floor_init_db);
+  const auto frames = vad.push(tone(vad.frame_length(), -20.0));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].index, 0u);
+}

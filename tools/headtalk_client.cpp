@@ -56,6 +56,9 @@ int main(int argc, char** argv) {
   args.add_flag("--parallel", "concurrent connections, each scoring every WAV", "1");
   args.add_flag("--chunk-frames", "frames per AUDIO_CHUNK", "4800");
   args.add_switch("--followup", "send utterances after the first as follow-ups");
+  args.add_switch("--stream",
+                  "streaming mode: the server endpoints (STREAM_START; WAVs are "
+                  "continuous audio, not one utterance each)");
 
   try {
     args.parse(argc, argv);
@@ -68,7 +71,11 @@ int main(int argc, char** argv) {
     const long parallel = args.get_int("--parallel");
     const auto chunk_frames = static_cast<std::size_t>(args.get_int("--chunk-frames"));
     const bool followup_rest = args.get_switch("--followup");
+    const bool stream_mode = args.get_switch("--stream");
     if (parallel < 1) throw cli::ArgsError("--parallel must be >= 1");
+    if (stream_mode && followup_rest) {
+      throw cli::ArgsError("--followup has no meaning with --stream");
+    }
 
     // Decode once; every connection replays the same captures.
     std::vector<audio::MultiBuffer> captures;
@@ -77,6 +84,8 @@ int main(int argc, char** argv) {
 
     struct Outcome {
       std::vector<serve::DecisionFrame> decisions;
+      std::vector<serve::StreamDecisionFrame> stream_decisions;
+      serve::StreamSummary summary{};
       std::string error;
     };
     std::vector<Outcome> outcomes(static_cast<std::size_t>(parallel));
@@ -89,6 +98,14 @@ int main(int argc, char** argv) {
         hello.sample_rate_hz = static_cast<std::uint32_t>(captures.front().sample_rate());
         hello.channels = static_cast<std::uint16_t>(captures.front().channel_count());
         (void)client.hello(hello);
+        if (stream_mode) {
+          (void)client.start_stream();
+          for (const auto& capture : captures) {
+            client.stream_audio(capture, outcome.stream_decisions, chunk_frames);
+          }
+          outcome.summary = client.end_stream(outcome.stream_decisions);
+          return;
+        }
         for (std::size_t u = 0; u < captures.size(); ++u) {
           const bool followup = followup_rest && u > 0;
           outcome.decisions.push_back(
@@ -116,6 +133,33 @@ int main(int argc, char** argv) {
 
     // One detailed report for the first connection; the rest tally up.
     bool failed = false;
+    if (stream_mode) {
+      for (const auto& d : outcomes[0].stream_decisions) {
+        std::printf(
+            "[%7.3f .. %7.3f s] %s (liveness %.3f, orientation %+.3f%s%s, "
+            "scored in %.1f ms)\n",
+            d.begin_seconds, d.end_seconds,
+            std::string(core::decision_name(
+                            static_cast<core::Decision>(d.decision.decision)))
+                .c_str(),
+            d.decision.liveness_score, d.decision.orientation_score,
+            d.decision.via_open_session ? ", via open session" : "",
+            d.force_closed ? ", force-closed" : "",
+            1000.0 * d.decision.elapsed_seconds);
+      }
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].error.empty()) {
+          failed = true;
+          std::fprintf(stderr, "connection %zu: %s\n", i, outcomes[i].error.c_str());
+        }
+      }
+      const auto& s = outcomes[0].summary;
+      std::printf(
+          "stream summary: segments=%u force_closed=%u discarded=%u frames=%llu\n",
+          s.segments, s.force_closed, s.discarded,
+          static_cast<unsigned long long>(s.frames_streamed));
+      return failed ? 1 : 0;
+    }
     for (std::size_t u = 0; u < outcomes[0].decisions.size(); ++u) {
       const auto& d = outcomes[0].decisions[u];
       std::printf(

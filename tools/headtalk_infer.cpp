@@ -6,8 +6,10 @@
 // Prints, per capture, the liveness score, the orientation verdict, and the
 // decision the pipeline would take in HeadTalk mode. Multiple captures
 // (comma-separated) are scored in parallel and reported in input order.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 
 #include "audio/wav_io.h"
@@ -17,11 +19,13 @@
 #include "core/liveness_features.h"
 #include "core/orientation_classifier.h"
 #include "core/orientation_features.h"
+#include "core/pipeline.h"
 #include "core/preprocess.h"
 #include "core/scoring_workspace.h"
 #include "ml/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stream/streaming_detector.h"
 #include "util/thread_pool.h"
 
 using namespace headtalk;
@@ -46,6 +50,10 @@ int main(int argc, char** argv) {
   args.add_flag("--models", "directory containing orientation.htm / liveness.htm");
   args.add_flag("--wav", "capture(s) to classify (comma-separated for a batch)");
   args.add_flag("--device", "device the capture came from (aperture): D1|D2|D3", "D2");
+  args.add_switch("--stream",
+                  "treat the WAVs as one continuous stream: VAD + endpointing "
+                  "find the utterances, one decision each");
+  args.add_flag("--chunk-ms", "streaming push granularity (milliseconds)", "100");
   cli::add_jobs_flag(args);
   cli::add_obs_flags(args);
 
@@ -58,13 +66,71 @@ int main(int argc, char** argv) {
     cli::ObsSession obs_session(args);
 
     const std::filesystem::path model_dir = args.get("--models");
-    const auto orientation =
+    auto orientation =
         ml::load_model_file<core::OrientationClassifier>(model_dir / "orientation.htm");
-    const auto liveness =
+    auto liveness =
         ml::load_model_file<core::LivenessDetector>(model_dir / "liveness.htm");
 
     const auto wavs = parse_wavs(args.get("--wav"));
     const auto device = room::DeviceSpec::get(cli::parse_device(args.get("--device")));
+
+    if (args.get_switch("--stream")) {
+      // Continuous mode: the same resident-pipeline path headtalk_serve
+      // uses, minus the socket — VAD + endpointing segment the stream and
+      // each closed segment is scored in place.
+      const long chunk_ms = args.get_int("--chunk-ms");
+      if (chunk_ms < 1) throw cli::ArgsError("--chunk-ms must be >= 1");
+      core::PipelineConfig pipeline_config;
+      pipeline_config.orientation_features.max_mic_distance_m =
+          device.max_pair_distance(device.default_channels);
+      const core::HeadTalkPipeline pipeline(std::move(orientation),
+                                            std::move(liveness), pipeline_config);
+
+      core::ScoringWorkspace workspace;
+      std::unique_ptr<stream::StreamingDetector> detector;
+      std::vector<stream::DecisionEvent> events;
+      for (const auto& wav : wavs) {
+        const auto capture = audio::read_wav(wav);
+        if (!detector) {
+          detector = std::make_unique<stream::StreamingDetector>(
+              pipeline, capture.channel_count(), capture.sample_rate());
+          detector->set_workspace(&workspace);
+        }
+        const auto chunk_frames = static_cast<std::size_t>(
+            std::max(1.0, static_cast<double>(chunk_ms) * capture.sample_rate() /
+                              1000.0));
+        for (std::size_t begin = 0; begin < capture.frames();
+             begin += chunk_frames) {
+          const std::size_t count = std::min(chunk_frames, capture.frames() - begin);
+          audio::MultiBuffer chunk(capture.channel_count(), count,
+                                   capture.sample_rate());
+          for (std::size_t c = 0; c < capture.channel_count(); ++c) {
+            std::copy_n(capture.channel(c).samples().data() + begin, count,
+                        chunk.channel(c).samples().data());
+          }
+          auto closed = detector->push(chunk);
+          events.insert(events.end(), closed.begin(), closed.end());
+        }
+      }
+      auto closed = detector->flush();
+      events.insert(events.end(), closed.begin(), closed.end());
+
+      for (const auto& event : events) {
+        std::printf(
+            "[%7.3f .. %7.3f s] %s (liveness %.3f, orientation %+.3f%s, "
+            "scored in %.1f ms)\n",
+            event.begin_seconds, event.end_seconds,
+            std::string(core::decision_name(event.result.decision)).c_str(),
+            event.result.liveness_score, event.result.orientation_score,
+            event.force_closed ? ", force-closed" : "",
+            1000.0 * event.latency_seconds);
+      }
+      std::printf("stream summary: segments=%zu force_closed=%zu discarded=%zu\n",
+                  detector->segments(), detector->force_closed(),
+                  detector->discarded());
+      return 0;
+    }
+
     core::OrientationFeatureConfig config;
     config.max_mic_distance_m = device.max_pair_distance(device.default_channels);
     const core::OrientationFeatureExtractor extractor(config);

@@ -19,6 +19,7 @@
 #include "cli/names.h"
 #include "obs/trace.h"
 #include "sim/collector.h"
+#include "sim/stream_scene.h"
 #include "util/thread_pool.h"
 
 using namespace headtalk;
@@ -51,6 +52,16 @@ int main(int argc, char** argv) {
   args.add_flag("--reps", "repetitions per angle per session", "1");
   args.add_flag("--loudness", "speech level, dB SPL", "70");
   args.add_flag("--user", "speaker identity (0 = enrolled user)", "0");
+  args.add_flag("--stream-out",
+                "write ONE continuous multi-utterance scene WAV here (plus "
+                "<file>.truth.tsv) instead of per-capture files", "");
+  args.add_flag("--stream-script",
+                "utterances for --stream-out as <source>@<angle> items, e.g. "
+                "live@0,live@120,phone@0 (source: live|sony|phone|tv)",
+                "live@0,live@120,phone@0");
+  args.add_flag("--stream-gap-ms", "silence between stream utterances", "800");
+  args.add_flag("--stream-ambient-db",
+                "continuous ambient floor over the stream, dB SPL (<0 = off)", "36");
   args.add_switch("--cache-stats",
                   "print feature-cache hit/miss/store/eviction stats on exit");
   args.add_flag("--cache-limit-mb",
@@ -68,11 +79,6 @@ int main(int argc, char** argv) {
     }
     cli::ObsSession obs_session(args);
 
-    const std::filesystem::path out_dir = args.get("--out");
-    std::filesystem::create_directories(out_dir);
-    std::ofstream manifest(out_dir / "manifest.tsv", std::ios::app);
-    if (!manifest) throw std::runtime_error("cannot open manifest.tsv for writing");
-
     sim::CollectorConfig collector_config;
     collector_config.cache_enabled = false;  // we want the raw audio anyway
     sim::Collector collector(collector_config);
@@ -85,6 +91,58 @@ int main(int argc, char** argv) {
     base.location = cli::parse_location(args.get("--location"));
     base.loudness_db = args.get_double("--loudness");
     base.user_id = static_cast<unsigned>(args.get_int("--user"));
+
+    if (!args.get("--stream-out").empty()) {
+      // Continuous-scene mode: one long WAV with several utterances and
+      // silence gaps, the input the streaming detector is built for. Truth
+      // rows say where each utterance actually landed.
+      const std::filesystem::path stream_path = args.get("--stream-out");
+      std::vector<sim::SampleSpec> specs;
+      std::stringstream script(args.get("--stream-script"));
+      std::string item;
+      unsigned rep = 0;
+      while (std::getline(script, item, ',')) {
+        if (item.empty()) continue;
+        const auto at = item.find('@');
+        if (at == std::string::npos) {
+          throw cli::ArgsError("--stream-script: '" + item +
+                               "' is not <source>@<angle>");
+        }
+        sim::SampleSpec spec = base;
+        const std::string source = item.substr(0, at);
+        spec.replay = source == "live" ? sim::ReplaySource::kNone
+                                       : cli::parse_replay(source);
+        spec.angle_deg = std::stod(item.substr(at + 1));
+        spec.repetition = rep++;  // distinct renders for repeated items
+        specs.push_back(spec);
+      }
+      if (specs.empty()) throw cli::ArgsError("--stream-script: no utterances");
+
+      sim::StreamSceneConfig scene_config;
+      scene_config.gap_s = args.get_double("--stream-gap-ms") / 1000.0;
+      scene_config.ambient_spl_db = args.get_double("--stream-ambient-db");
+      const auto scene = sim::render_stream_scene(collector, specs, scene_config);
+      audio::write_wav(stream_path, scene.audio, audio::WavEncoding::kFloat32);
+
+      std::ofstream truth(stream_path.string() + ".truth.tsv");
+      if (!truth) throw std::runtime_error("cannot open truth TSV for writing");
+      truth << "begin_s\tend_s\treplay\tangle_deg\n";
+      for (const auto& utterance : scene.utterances) {
+        truth << utterance.begin_seconds << '\t' << utterance.end_seconds << '\t'
+              << sim::replay_source_name(utterance.spec.replay) << '\t'
+              << utterance.spec.angle_deg << '\n';
+      }
+      std::printf("wrote %.1f s stream with %zu utterances to %s (+ truth TSV)\n",
+                  static_cast<double>(scene.audio.frames()) /
+                      scene.audio.sample_rate(),
+                  scene.utterances.size(), stream_path.string().c_str());
+      return 0;
+    }
+
+    const std::filesystem::path out_dir = args.get("--out");
+    std::filesystem::create_directories(out_dir);
+    std::ofstream manifest(out_dir / "manifest.tsv", std::ios::app);
+    if (!manifest) throw std::runtime_error("cannot open manifest.tsv for writing");
 
     const auto angles = parse_angles(args.get("--angles"));
     const auto sessions = static_cast<unsigned>(args.get_int("--sessions"));

@@ -16,11 +16,14 @@ repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_dir/build"}
 schema="$repo_dir/bench/bench_record_schema.json"
 
-benches="bench_fig3_spectra bench_fig5_forward_backward bench_fig6_gcc_srp bench_serve_throughput bench_runtime"
+benches="bench_fig3_spectra bench_fig5_forward_backward bench_fig6_gcc_srp bench_serve_throughput bench_runtime bench_stream_latency"
 
 # Keep the serving bench smoke-sized (the nightly perf run raises these).
 export HEADTALK_SERVE_BENCH_CLIENTS=4
 export HEADTALK_SERVE_BENCH_UTTERANCES=2
+# bench_stream_latency: one 3-utterance scene, coarse chunks.
+export HEADTALK_STREAM_BENCH_ROUNDS=1
+export HEADTALK_STREAM_BENCH_CHUNK_MS=200
 # bench_runtime: record only the cold/warm plan-cache comparison; the
 # google-benchmark stage timings are far too slow for a smoke gate.
 export HEADTALK_RUNTIME_SKIP_GBENCH=1
@@ -50,8 +53,8 @@ if [ -z "$records" ]; then
   exit 1
 fi
 count=$(printf '%s\n' "$records" | wc -l)
-if [ "$count" -lt 5 ]; then
-  echo "run_bench_json.sh: expected >= 5 records, found $count:" >&2
+if [ "$count" -lt 6 ]; then
+  echo "run_bench_json.sh: expected >= 6 records, found $count:" >&2
   printf '%s\n' "$records" >&2
   exit 1
 fi

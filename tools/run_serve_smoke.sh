@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # End-to-end smoke test of the serving path: simulate a tiny corpus, train
 # models from it, start the inference daemon on a temp Unix socket, score
-# two canned utterances through headtalk_client, then SIGTERM the daemon
-# and require a clean drain (exit 0, socket file removed).
+# two canned utterances through headtalk_client, stream a continuous
+# three-utterance scene in auto-endpoint mode (one DECISION per utterance),
+# then SIGTERM the daemon and require a clean drain (exit 0, socket file
+# removed).
 #
 #   tools/run_serve_smoke.sh [build-dir]
 #
@@ -68,6 +70,18 @@ echo "== score two utterances =="
 wav_a=$(find "$corpus" -name '*.wav' | sort | head -n 1)
 wav_b=$(find "$corpus" -name '*.wav' | sort | tail -n 1)
 "$build_dir/tools/headtalk_client" --socket "$socket" --wav "$wav_a,$wav_b"
+
+echo "== stream a continuous multi-utterance scene =="
+scene="$work_dir/scene.wav"
+"$build_dir/tools/headtalk_simulate" --stream-out "$scene" \
+  --stream-script "live@0,live@120,phone@0"
+stream_report=$("$build_dir/tools/headtalk_client" --socket "$socket" \
+  --stream --wav "$scene")
+printf '%s\n' "$stream_report"
+if ! printf '%s\n' "$stream_report" | grep -q "segments=3"; then
+  echo "run_serve_smoke.sh: expected 3 endpointed segments in the stream" >&2
+  exit 1
+fi
 
 echo "== graceful shutdown =="
 kill -TERM "$serve_pid"
