@@ -19,6 +19,10 @@
 #include <cstdlib>
 #include <random>
 
+#include <algorithm>
+#include <cmath>
+#include <string>
+
 #include "bench_common.h"
 #include "core/liveness_detector.h"
 #include "core/liveness_features.h"
@@ -27,6 +31,7 @@
 #include "core/preprocess.h"
 #include "core/scoring_workspace.h"
 #include "dsp/fft_plan.h"
+#include "dsp/simd/dispatch.h"
 #include "sim/collector.h"
 
 using namespace headtalk;
@@ -233,6 +238,66 @@ bool run_plan_cache_record() {
   return true;
 }
 
+/// Warm orientation scoring swept across every SIMD dispatch level the
+/// host supports, enforcing the numerical contract of the kernel layer:
+/// per-feature deltas <= 1e-9 relative against the scalar reference and a
+/// bit-identical classifier verdict at every level. Returns false when the
+/// contract breaks.
+bool run_simd_level_record() {
+  const int iters = env_int("HEADTALK_RUNTIME_BENCH_ITERS", 10);
+  const core::OrientationFeatureExtractor extractor;
+  auto& classifier = trained_orientation();
+  auto& recorder = bench::PerfRecorder::instance();
+
+  const dsp::simd::Level original = dsp::simd::active_level();
+  bench::print_note("\nSIMD dispatch sweep (warm orientation scoring):");
+
+  dsp::simd::set_level(dsp::simd::Level::kScalar);
+  core::ScoringWorkspace reference_workspace;
+  const auto reference = extractor.extract(denoised(), &reference_workspace);
+  const int reference_verdict = classifier.predict(reference);
+
+  bool ok = true;
+  double max_delta = 0.0;
+  const int max_level = static_cast<int>(dsp::simd::max_supported_level());
+  for (int l = 0; l <= max_level; ++l) {
+    const auto level = static_cast<dsp::simd::Level>(l);
+    dsp::simd::set_level(level);
+    core::ScoringWorkspace workspace;
+    const auto features = extractor.extract(denoised(), &workspace);
+    const double warm_ms = time_ms_per_iter(iters, [&] {
+      benchmark::DoNotOptimize(extractor.extract(denoised(), &workspace));
+    });
+    double level_delta = 0.0;
+    for (std::size_t k = 0; k < features.size(); ++k) {
+      const double scale = std::max(1.0, std::abs(reference[k]));
+      level_delta = std::max(level_delta, std::abs(features[k] - reference[k]) / scale);
+    }
+    max_delta = std::max(max_delta, level_delta);
+    const int verdict = classifier.predict(features);
+    const char* name = dsp::simd::level_name(level);
+    std::printf("  %-6s warm %8.2f ms  max feature delta %.3g  verdict %s\n",
+                name, warm_ms, level_delta,
+                verdict == reference_verdict ? "identical" : "DIFFERS");
+    recorder.set_metric(std::string("orientation_warm_") + name + "_ms", warm_ms);
+    if (level_delta > 1e-9 || verdict != reference_verdict) ok = false;
+  }
+  dsp::simd::set_level(original);
+
+  recorder.add_samples(static_cast<std::size_t>((max_level + 1) * (iters + 1) + 1));
+  recorder.set_metric("simd_level", static_cast<double>(static_cast<int>(original)));
+  recorder.set_metric("simd_max_feature_delta", max_delta);
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "bench_runtime: SIMD levels disagree beyond the 1e-9 contract "
+                 "or flipped a verdict\n");
+  } else {
+    bench::print_note("  all levels within 1e-9 with identical verdicts");
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -242,7 +307,7 @@ int main(int argc, char** argv) {
   bench::print_title("runtime",
                      "§IV-B15 stage runtime + scoring-engine warm-up (plan cache)");
 
-  const bool deterministic = run_plan_cache_record();
+  const bool deterministic = run_plan_cache_record() && run_simd_level_record();
 
   // The bench-smoke ctest sets this: the stage benchmarks repeat each stage
   // until statistically stable, far too slow for a smoke gate.

@@ -45,14 +45,17 @@ ml::FeatureVector OrientationFeatureExtractor::extract(
   // With a workspace the pair GCCs land in its reusable buffers (every
   // element is rewritten per call, so results match the local path bit for
   // bit); without one, fall back to per-call allocation.
+  dsp::PairwiseGccOptions gcc_options;
+  gcc_options.coherence_floor = config_.coherence_floor;
   dsp::PairwiseGcc local_gcc;
   dsp::PairwiseGcc* gcc_out = &local_gcc;
   if (workspace != nullptr) {
     workspace->note_use();
     gcc_out = &workspace->gcc();
-    dsp::pairwise_gcc_phat_into(capture, max_lag, *gcc_out, workspace->srp());
+    dsp::pairwise_gcc_phat_into(capture, max_lag, *gcc_out, workspace->srp(),
+                                gcc_options);
   } else {
-    local_gcc = dsp::pairwise_gcc_phat(capture, max_lag);
+    local_gcc = dsp::pairwise_gcc_phat(capture, max_lag, gcc_options);
   }
   const auto& gcc = *gcc_out;
   const auto srp = dsp::srp_phat(gcc);
@@ -66,7 +69,9 @@ ml::FeatureVector OrientationFeatureExtractor::extract(
     features.insert(features.end(), pair.gcc.values.begin(), pair.gcc.values.end());
   }
   for (const auto& pair : gcc.pairs) {
-    features.push_back(static_cast<double>(pair.gcc.peak_lag()));
+    // A pruned pair's zeroed window has no meaningful argmax; report a
+    // neutral TDoA instead of the window edge max_element would pick.
+    features.push_back(pair.pruned ? 0.0 : static_cast<double>(pair.gcc.peak_lag()));
   }
   for (const auto& pair : gcc.pairs) {
     const auto stats = dsp::summary_statistics(pair.gcc.values);

@@ -35,6 +35,14 @@ struct OrientationFeatureConfig {
   std::size_t low_band_chunks = 20;
   /// Number of top SRP peaks kept.
   std::size_t srp_peaks = 3;
+  /// Mean cross-spectral coherence below which a microphone pair is pruned
+  /// from the GCC/SRP block (its sequence zeroed, its TDoA reported as 0).
+  /// A dead or disconnected capsule decorrelates against every live
+  /// channel (block coherence ~1/64 ≈ 0.016) while live reverberant pairs
+  /// measure 0.2-0.4 on rendered captures, so 0.05 rejects only pairs that
+  /// carry no directional information anyway. Set 0 to disable the
+  /// estimate entirely.
+  double coherence_floor = 0.05;
 };
 
 class OrientationFeatureExtractor {

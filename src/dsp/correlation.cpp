@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dsp/fft.h"
+#include "dsp/simd/dispatch.h"
 
 namespace headtalk::dsp {
 namespace {
@@ -29,24 +30,16 @@ void correlate_spectra_into(const HalfSpectrum& xs, const HalfSpectrum& ys,
   }
   ws.cross.fft_size = n;
   ws.cross.bins.resize(xs.bins.size());
-  for (std::size_t i = 0; i < ws.cross.bins.size(); ++i) {
-    Complex c = xs.bins[i] * std::conj(ys.bins[i]);
-    if (phat) {
-      const double mag = std::abs(c);
-      c = mag > epsilon ? c / mag : Complex{0.0, 0.0};
-    }
-    ws.cross.bins[i] = c;
-  }
-  irfft_half_into(ws.cross, 0, ws.inverse, ws.fft);
-  const auto& r = ws.inverse;
-
+  // Cross spectrum and PHAT weighting run through the dispatched kernel
+  // (the per-bin normalize is one of the three dominant scoring loops);
+  // the inverse transform computes only the ±max_lag window.
+  simd::kernels().cross_spectrum(
+      reinterpret_cast<const double*>(xs.bins.data()),
+      reinterpret_cast<const double*>(ys.bins.data()),
+      reinterpret_cast<double*>(ws.cross.bins.data()), ws.cross.bins.size(),
+      phat, epsilon);
   out.max_lag = max_lag;
-  out.values.resize(window);
-  for (int lag = -max_lag; lag <= max_lag; ++lag) {
-    const std::size_t idx = lag >= 0 ? static_cast<std::size_t>(lag)
-                                     : n - static_cast<std::size_t>(-lag);
-    out.values[static_cast<std::size_t>(lag + max_lag)] = idx < r.size() ? r[idx] : 0.0;
-  }
+  irfft_half_window_into(ws.cross, max_lag, out.values, ws.fft);
 }
 
 CorrelationSequence correlate(std::span<const audio::Sample> x,

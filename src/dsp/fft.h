@@ -79,6 +79,19 @@ void rfft_half_into(std::span<const audio::Sample> x, std::size_t fft_size,
 void irfft_half_into(const HalfSpectrum& spectrum, std::size_t out_size,
                      std::vector<audio::Sample>& out, FftScratch& scratch);
 
+/// Inverse of rfft_half evaluated only on the symmetric lag window
+/// [-max_lag, +max_lag] of the *circular* result: out[k] holds inverse
+/// sample (k - max_lag) mod fft_size, so out has 2*max_lag+1 entries in
+/// lag order. Uses an output-pruned inverse transform, so for windows much
+/// shorter than fft_size (the GCC-PHAT case: ±13 lags of a 16384-point
+/// transform) this skips over half of the butterfly work while computing
+/// the exact same butterflies as slicing a full irfft_half (bit-identical
+/// on scalar/SSE2; within 1 ulp on FMA builds, where compiler contraction
+/// of the scalar tail may differ between the two paths). Throws when
+/// fft_size < 2*max_lag + 1 (the window would alias).
+void irfft_half_window_into(const HalfSpectrum& spectrum, int max_lag,
+                            std::vector<double>& out, FftScratch& scratch);
+
 /// Magnitudes of the one-sided spectrum (bins 0 .. fft_size/2 inclusive).
 [[nodiscard]] std::vector<double> magnitude_spectrum(
     std::span<const audio::Sample> x, std::size_t fft_size = 0);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dsp/simd/dispatch.h"
 #include "obs/metrics.h"
 
 namespace headtalk::dsp {
@@ -65,25 +66,61 @@ void FftPlan::transform(std::vector<Complex>& x, bool inverse) const {
     if (i < j) std::swap(x[i], x[j]);
   }
 
-  const Complex* stage = twiddles_.data();
+  // std::complex guarantees the array layout is interleaved doubles, which
+  // is what the dispatched kernels operate on.
+  const auto& kernels = simd::kernels();
+  auto* data = reinterpret_cast<double*>(x.data());
+  const auto* stage = reinterpret_cast<const double*>(twiddles_.data());
   for (std::size_t len = 2; len <= size_; len <<= 1) {
     const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < size_; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const Complex w = inverse ? std::conj(stage[k]) : stage[k];
-        const Complex u = x[i + k];
-        const Complex v = x[i + k + half] * w;
-        x[i + k] = u + v;
-        x[i + k + half] = u - v;
-      }
-    }
-    stage += half;
+    kernels.butterfly_stage(data, size_, len, 0, half, stage, inverse);
+    stage += 2 * half;
   }
 
   if (inverse) {
-    const double scale = 1.0 / static_cast<double>(size_);
-    for (auto& v : x) v *= scale;
+    kernels.scale(data, 2 * size_, 1.0 / static_cast<double>(size_));
   }
+}
+
+void FftPlan::inverse_pruned(std::vector<Complex>& x, std::size_t front,
+                             std::size_t tail) const {
+  if (x.size() != size_) {
+    throw std::invalid_argument("FftPlan: buffer size does not match plan size");
+  }
+  if (front == 0 || tail == 0 || front + tail > size_) {
+    throw std::invalid_argument("FftPlan: bad pruning window");
+  }
+  for (std::size_t i = 1; i < size_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  // Output pruning by transform decomposition: the combine stage of size
+  // `len` computes outputs k and k+len/2 from butterfly k, so the needed
+  // output set {0..front-1} ∪ {size-tail..size-1} maps onto butterflies
+  // k in [0, front) ∪ [len/2 - tail, len/2) — and each half-size
+  // sub-transform needs exactly the same front/tail pattern of *its*
+  // outputs, recursively. Stages small enough that the two ranges overlap
+  // are computed in full; every skipped butterfly feeds only unneeded
+  // outputs, so the survivors are bit-identical to a full inverse.
+  const auto& kernels = simd::kernels();
+  auto* data = reinterpret_cast<double*>(x.data());
+  const auto* stage = reinterpret_cast<const double*>(twiddles_.data());
+  for (std::size_t len = 2; len <= size_; len <<= 1) {
+    const std::size_t half = len / 2;
+    if (front + tail >= half) {
+      kernels.butterfly_stage(data, size_, len, 0, half, stage, /*conjugate=*/true);
+    } else {
+      kernels.butterfly_stage(data, size_, len, 0, front, stage, /*conjugate=*/true);
+      kernels.butterfly_stage(data, size_, len, half - tail, half, stage,
+                              /*conjugate=*/true);
+    }
+    stage += 2 * half;
+  }
+
+  const double factor = 1.0 / static_cast<double>(size_);
+  kernels.scale(data, 2 * front, factor);
+  kernels.scale(data + 2 * (size_ - tail), 2 * tail, factor);
 }
 
 void FftPlan::forward(std::vector<Complex>& x) const { transform(x, /*inverse=*/false); }

@@ -40,6 +40,22 @@ class FftPlan {
   /// In-place inverse transform (includes the 1/N scaling).
   void inverse(std::vector<Complex>& x) const;
 
+  /// Output-pruned inverse transform: only outputs x[0..front) and
+  /// x[size-tail..size) are produced (including their 1/N scaling); every
+  /// other slot is left with unspecified garbage. The pruning is *exact* —
+  /// it computes the same butterflies as a full inverse(), so the outputs
+  /// match bit-for-bit whenever both paths compile with the same FP
+  /// contraction (on FMA builds without contraction they agree to 1 ulp) —
+  /// because the needed index set is self-similar across combine stages,
+  /// so whole butterfly ranges can be skipped without approximation. Used
+  /// by the
+  /// GCC lag-window inverse, which keeps only ±max_lag of the
+  /// cross-correlation: for a 16384-point packed transform and the
+  /// array's 13-sample lag span this skips ~55% of the butterfly work.
+  /// front + tail must be <= size; front, tail >= 1.
+  void inverse_pruned(std::vector<Complex>& x, std::size_t front,
+                      std::size_t tail) const;
+
   /// Twiddles for the real-FFT pack/unpack step of a *packed* transform of
   /// this plan's size: entry k = exp(-i*pi*k/size), k = 0..size inclusive.
   /// rfft_half on fft_size N uses the plan of size N/2 and reads entry k

@@ -1,0 +1,166 @@
+// Generic raw-double kernel bodies, included once per dispatch level with
+// HEADTALK_SIMD_NS set to the level's namespace. Every level runs these
+// exact algorithms; the TUs differ only in compiler ISA flags (and AVX2
+// overrides a few of them with intrinsics that compute the same formulas).
+// Keep the arithmetic here in plain double expressions — std::complex
+// operator* routes through the Annex-G __muldc3 helper, which costs ~2x
+// and defeats vectorization.
+//
+// Expects: <cstddef>, <cmath> already included; namespace
+// headtalk::dsp::simd open.
+
+namespace HEADTALK_SIMD_NS {
+
+inline void butterfly_stage_generic(double* x, std::size_t n, std::size_t len,
+                                    std::size_t k_begin, std::size_t k_end,
+                                    const double* twiddles, bool conjugate) {
+  const std::size_t half = len / 2;
+  // Conjugation folds into the twiddle imaginary part; multiplying by
+  // +/-1.0 is exact so both directions round identically.
+  const double sign = conjugate ? -1.0 : 1.0;
+  for (std::size_t i = 0; i < n; i += len) {
+    double* a = x + 2 * (i + k_begin);
+    double* b = x + 2 * (i + k_begin + half);
+    const double* t = twiddles + 2 * k_begin;
+    for (std::size_t k = k_begin; k < k_end; ++k) {
+      const double wr = t[0];
+      const double wi = sign * t[1];
+      const double br = b[0];
+      const double bi = b[1];
+      const double vr = br * wr - bi * wi;
+      const double vi = br * wi + bi * wr;
+      const double ur = a[0];
+      const double ui = a[1];
+      a[0] = ur + vr;
+      a[1] = ui + vi;
+      b[0] = ur - vr;
+      b[1] = ui - vi;
+      a += 2;
+      b += 2;
+      t += 2;
+    }
+  }
+}
+
+inline void scale_generic(double* values, std::size_t count, double factor) {
+  for (std::size_t i = 0; i < count; ++i) values[i] *= factor;
+}
+
+inline void accumulate_generic(double* acc, const double* src, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) acc[i] += src[i];
+}
+
+inline void cross_spectrum_generic(const double* x, const double* y, double* out,
+                                   std::size_t bins, bool phat, double epsilon) {
+  if (phat) {
+    for (std::size_t k = 0; k < bins; ++k) {
+      const double xr = x[2 * k];
+      const double xi = x[2 * k + 1];
+      const double yr = y[2 * k];
+      const double yi = y[2 * k + 1];
+      const double cr = xr * yr + xi * yi;
+      const double ci = xi * yr - xr * yi;
+      const double mag = std::sqrt(cr * cr + ci * ci);
+      if (mag > epsilon) {
+        out[2 * k] = cr / mag;
+        out[2 * k + 1] = ci / mag;
+      } else {
+        out[2 * k] = 0.0;
+        out[2 * k + 1] = 0.0;
+      }
+    }
+  } else {
+    for (std::size_t k = 0; k < bins; ++k) {
+      const double xr = x[2 * k];
+      const double xi = x[2 * k + 1];
+      const double yr = y[2 * k];
+      const double yi = y[2 * k + 1];
+      out[2 * k] = xr * yr + xi * yi;
+      out[2 * k + 1] = xi * yr - xr * yi;
+    }
+  }
+}
+
+inline void magnitudes_generic(const double* x, std::size_t bins, double* out) {
+  for (std::size_t k = 0; k < bins; ++k) {
+    const double re = x[2 * k];
+    const double im = x[2 * k + 1];
+    out[k] = std::sqrt(re * re + im * im);
+  }
+}
+
+inline double steered_sum_generic(const double* x, const double* rot,
+                                  std::size_t bins) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < bins; ++k) {
+    acc += x[2 * k] * rot[2 * k] - x[2 * k + 1] * rot[2 * k + 1];
+  }
+  return acc;
+}
+
+inline void rotation_table_generic(double* rot, std::size_t bins, double step_re,
+                                   double step_im) {
+  if (bins == 0) return;
+  // Seed the first four entries exactly, then run four independent
+  // stride-4 chains u[k] = u[k-4] * step^4 — independent chains keep the
+  // loop vectorizable and bound the recurrence error growth.
+  rot[0] = 1.0;
+  rot[1] = 0.0;
+  for (std::size_t k = 1; k < bins && k < 4; ++k) {
+    const double pr = rot[2 * (k - 1)];
+    const double pi = rot[2 * (k - 1) + 1];
+    rot[2 * k] = pr * step_re - pi * step_im;
+    rot[2 * k + 1] = pr * step_im + pi * step_re;
+  }
+  if (bins <= 4) return;
+  const double s2r = step_re * step_re - step_im * step_im;
+  const double s2i = 2.0 * step_re * step_im;
+  const double s4r = s2r * s2r - s2i * s2i;
+  const double s4i = 2.0 * s2r * s2i;
+  for (std::size_t k = 4; k < bins; ++k) {
+    const double pr = rot[2 * (k - 4)];
+    const double pi = rot[2 * (k - 4) + 1];
+    rot[2 * k] = pr * s4r - pi * s4i;
+    rot[2 * k + 1] = pr * s4i + pi * s4r;
+  }
+}
+
+inline void rfft_unpack_generic(const double* z, const double* w, double* out,
+                                std::size_t half) {
+  for (std::size_t k = 1; k < half; ++k) {
+    const double ar = z[2 * k];
+    const double ai = z[2 * k + 1];
+    const double br = z[2 * (half - k)];
+    const double bi = z[2 * (half - k) + 1];
+    const double er = 0.5 * (ar + br);
+    const double ei = 0.5 * (ai - bi);
+    const double odr = 0.5 * (ai + bi);
+    const double odi = -0.5 * (ar - br);
+    const double wr = w[2 * k];
+    const double wi = w[2 * k + 1];
+    out[2 * k] = er + odr * wr - odi * wi;
+    out[2 * k + 1] = ei + odr * wi + odi * wr;
+  }
+}
+
+inline void irfft_repack_generic(const double* bins_data, const double* w,
+                                 double* z, std::size_t half) {
+  for (std::size_t k = 0; k < half; ++k) {
+    const double ar = bins_data[2 * k];
+    const double ai = bins_data[2 * k + 1];
+    const double br = bins_data[2 * (half - k)];
+    const double bi = bins_data[2 * (half - k) + 1];
+    const double er = 0.5 * (ar + br);
+    const double ei = 0.5 * (ai - bi);
+    const double dr = 0.5 * (ar - br);
+    const double di = 0.5 * (ai + bi);
+    const double wr = w[2 * k];
+    const double wi = -w[2 * k + 1];  // conj(pack twiddle)
+    const double odr = dr * wr - di * wi;
+    const double odi = dr * wi + di * wr;
+    z[2 * k] = er - odi;
+    z[2 * k + 1] = ei + odr;
+  }
+}
+
+}  // namespace HEADTALK_SIMD_NS

@@ -9,16 +9,42 @@
 namespace headtalk::dsp {
 namespace {
 
-// Converts a frequency range to one-sided spectrum bin range [first, last).
+// Converts a frequency range to the one-sided spectrum bin range
+// [first, last) — half-open, so adjacent bands tile the spectrum: a bin
+// whose center frequency equals high_hz belongs to the *next* band.
+//
+// Both bounds subtract a small tolerance (in bins) before the ceil. Band
+// edges are routinely computed with floating-point arithmetic
+// (low_hz + width * c), so an edge that should coincide with a bin
+// frequency can land a few ulps above it; a bare ceil then shifts that
+// edge by a whole bin — the boundary bin gets double-counted by one
+// neighbouring band and dropped from the other, breaking band additivity.
+//
+// high_hz above the Nyquist frequency is an explicit clamp to the whole
+// remaining spectrum (every representable bin lies below it, including
+// the Nyquist bin). low_hz at or above Nyquist selects nothing that
+// exists and throws.
 std::pair<std::size_t, std::size_t> bin_range(std::size_t bins, std::size_t fft_size,
                                               double sample_rate, double low_hz,
                                               double high_hz) {
   if (low_hz < 0.0 || high_hz <= low_hz) {
     throw std::invalid_argument("spectral: bad frequency range");
   }
+  const double nyquist = sample_rate / 2.0;
+  if (low_hz >= nyquist) {
+    throw std::invalid_argument("spectral: low_hz at or above Nyquist");
+  }
   const double hz_per_bin = sample_rate / static_cast<double>(fft_size);
-  auto first = static_cast<std::size_t>(std::ceil(low_hz / hz_per_bin));
-  auto last = static_cast<std::size_t>(std::ceil(high_hz / hz_per_bin));
+  constexpr double kBinTolerance = 1e-9;  // fraction of a bin
+  auto first = static_cast<std::size_t>(
+      std::max(0.0, std::ceil(low_hz / hz_per_bin - kBinTolerance)));
+  std::size_t last;
+  if (high_hz > nyquist) {
+    last = bins;
+  } else {
+    last = static_cast<std::size_t>(
+        std::max(0.0, std::ceil(high_hz / hz_per_bin - kBinTolerance)));
+  }
   first = std::min(first, bins);
   last = std::min(last, bins);
   return {first, last};

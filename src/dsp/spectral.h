@@ -4,6 +4,13 @@
 // HLBR and the 20-chunk low-band statistics are orientation features
 // (§III-B3 "Speech Directivity"); the log-band/slope measures feed the
 // liveness detector (§III-A keys on the 4 kHz+ energy distribution).
+//
+// Every frequency band is half-open [low_hz, high_hz) over bin center
+// frequencies, with a small floating-point tolerance at the edges so
+// computed band boundaries that coincide with a bin frequency resolve the
+// same way regardless of rounding error. A high_hz above Nyquist is
+// clamped to the whole remaining spectrum; a low_hz at or above Nyquist
+// throws std::invalid_argument.
 #pragma once
 
 #include <cstddef>

@@ -2,42 +2,109 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 #include <stdexcept>
 
-namespace headtalk::dsp {
+#include "dsp/simd/dispatch.h"
+#include "obs/metrics.h"
 
-PairwiseGcc pairwise_gcc_phat(const audio::MultiBuffer& capture, int max_lag) {
+namespace headtalk::dsp {
+namespace {
+
+obs::Counter& pruned_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("dsp.srp.pairs_pruned");
+  return c;
+}
+
+// The shared transform sizing: covers the linear-correlation padding and
+// the full lag window (see correlation.cpp: negative lags wrap to the tail).
+std::size_t pairwise_fft_size(std::size_t frames, std::size_t lag) {
+  return std::max<std::size_t>(2, next_pow2(std::max(frames + lag + 1, 2 * lag + 1)));
+}
+
+// Block-averaged magnitude-squared coherence |sum XY*|^2/(sum|X|^2 sum|Y|^2),
+// sampled every `stride`-th bin, `block` samples per block. Single-bin
+// coherence is identically 1, so the averaging inside each block is what
+// makes this a detector: independent noise decorrelates to ~1/block while
+// genuinely coupled channels stay near 1.
+double pair_coherence(const HalfSpectrum& x, const HalfSpectrum& y,
+                      std::size_t stride, std::size_t block) {
+  const std::size_t bins = std::min(x.bins.size(), y.bins.size());
+  if (stride == 0) stride = 1;
+  if (block < 2) block = 2;
+  double total = 0.0;
+  std::size_t blocks = 0;
+  std::size_t k = 0;
+  while (k < bins) {
+    double cr = 0.0, ci = 0.0, px = 0.0, py = 0.0;
+    std::size_t count = 0;
+    for (; count < block && k < bins; k += stride, ++count) {
+      const double xr = x.bins[k].real();
+      const double xi = x.bins[k].imag();
+      const double yr = y.bins[k].real();
+      const double yi = y.bins[k].imag();
+      cr += xr * yr + xi * yi;
+      ci += xi * yr - xr * yi;
+      px += xr * xr + xi * xi;
+      py += yr * yr + yi * yi;
+    }
+    // A ragged tail block with too few samples would read as spuriously
+    // coherent; fold it away instead.
+    if (count < block / 2) break;
+    total += (cr * cr + ci * ci) / (px * py + 1e-300);
+    ++blocks;
+  }
+  return blocks > 0 ? total / static_cast<double>(blocks) : 1.0;
+}
+
+}  // namespace
+
+PairwiseGcc pairwise_gcc_phat(const audio::MultiBuffer& capture, int max_lag,
+                              const PairwiseGccOptions& options) {
   PairwiseGcc out;
   SrpWorkspace workspace;
-  pairwise_gcc_phat_into(capture, max_lag, out, workspace);
+  pairwise_gcc_phat_into(capture, max_lag, out, workspace, options);
   return out;
 }
 
 void pairwise_gcc_phat_into(const audio::MultiBuffer& capture, int max_lag,
-                            PairwiseGcc& out, SrpWorkspace& workspace) {
+                            PairwiseGcc& out, SrpWorkspace& workspace,
+                            const PairwiseGccOptions& options) {
   if (max_lag < 0) throw std::invalid_argument("pairwise_gcc_phat: max_lag must be >= 0");
   out.max_lag = max_lag;
   const std::size_t n = capture.channel_count();
   out.pairs.resize(n >= 2 ? n * (n - 1) / 2 : 0);
   if (n == 0) return;
 
-  // One forward FFT per channel, shared across all pairs. The transform
-  // must cover both the linear-correlation padding and the lag window
-  // itself (see correlation.cpp: negative lags wrap to the tail).
+  // One forward FFT per channel, shared across all pairs.
   const std::size_t lag = static_cast<std::size_t>(max_lag);
-  const std::size_t fft_size = std::max<std::size_t>(
-      2, next_pow2(std::max(capture.frames() + lag + 1, 2 * lag + 1)));
+  const std::size_t fft_size = pairwise_fft_size(capture.frames(), lag);
   auto& spectra = workspace.spectra;
   if (spectra.size() < n) spectra.resize(n);
   for (std::size_t c = 0; c < n; ++c) {
     rfft_half_into(capture.channel(c).samples(), fft_size, spectra[c], workspace.fft);
   }
+  const std::size_t window = 2 * lag + 1;
   std::size_t pair_idx = 0;
   for (std::size_t i = 0; i + 1 < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       auto& pair = out.pairs[pair_idx++];
       pair.i = i;
       pair.j = j;
+      pair.coherence = 1.0;
+      pair.pruned = false;
+      if (options.coherence_floor > 0.0) {
+        pair.coherence = pair_coherence(spectra[i], spectra[j],
+                                        options.coherence_stride,
+                                        options.coherence_block);
+        if (pair.coherence < options.coherence_floor) {
+          pair.pruned = true;
+          pair.gcc.max_lag = max_lag;
+          pair.gcc.values.assign(window, 0.0);
+          pruned_counter().increment();
+          continue;
+        }
+      }
       gcc_phat_from_spectra_into(spectra[i], spectra[j], max_lag, pair.gcc,
                                  workspace.correlation);
     }
@@ -48,16 +115,120 @@ CorrelationSequence srp_phat(const PairwiseGcc& gcc) {
   CorrelationSequence srp;
   srp.max_lag = gcc.max_lag;
   srp.values.assign(2 * static_cast<std::size_t>(gcc.max_lag) + 1, 0.0);
+  const auto& accumulate = simd::kernels().accumulate;
   for (const auto& pair : gcc.pairs) {
-    for (std::size_t k = 0; k < srp.values.size(); ++k) {
-      srp.values[k] += pair.gcc.values[k];
-    }
+    if (pair.pruned) continue;  // zeroed window; skip the pass entirely
+    accumulate(srp.values.data(), pair.gcc.values.data(), srp.values.size());
   }
   return srp;
 }
 
 CorrelationSequence srp_phat(const audio::MultiBuffer& capture, int max_lag) {
   return srp_phat(pairwise_gcc_phat(capture, max_lag));
+}
+
+SrpSearchResult srp_peak_search(const audio::MultiBuffer& capture,
+                                const SrpSearchConfig& config,
+                                SrpWorkspace& workspace) {
+  if (config.max_lag < 1) {
+    throw std::invalid_argument("srp_peak_search: max_lag must be >= 1");
+  }
+  if (config.coarse_stride < 1 || config.refine_radius < 0) {
+    throw std::invalid_argument("srp_peak_search: bad stride/radius");
+  }
+  SrpSearchResult result;
+  const std::size_t n = capture.channel_count();
+  if (n < 2 || capture.frames() == 0) return result;
+
+  const int max_lag = config.max_lag;
+  const std::size_t lag = static_cast<std::size_t>(max_lag);
+  const std::size_t fft_size = pairwise_fft_size(capture.frames(), lag);
+  const std::size_t half = fft_size / 2;
+
+  auto& spectra = workspace.spectra;
+  if (spectra.size() < n) spectra.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    rfft_half_into(capture.channel(c).samples(), fft_size, spectra[c], workspace.fft);
+  }
+
+  // Sum the PHAT-weighted cross spectra of all (unpruned) pairs once; by
+  // linearity the steered power of the sum equals the dense SRP sequence.
+  const auto& kernels = simd::kernels();
+  auto& combined = workspace.combined;
+  combined.fft_size = fft_size;
+  combined.bins.assign(half + 1, Complex{});
+  auto& cross = workspace.correlation.cross;
+  cross.fft_size = fft_size;
+  cross.bins.resize(half + 1);
+  const auto& opts = config.pair_options;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (opts.coherence_floor > 0.0 &&
+          pair_coherence(spectra[i], spectra[j], opts.coherence_stride,
+                         opts.coherence_block) < opts.coherence_floor) {
+        ++result.pairs_pruned;
+        pruned_counter().increment();
+        continue;
+      }
+      kernels.cross_spectrum(reinterpret_cast<const double*>(spectra[i].bins.data()),
+                             reinterpret_cast<const double*>(spectra[j].bins.data()),
+                             reinterpret_cast<double*>(cross.bins.data()),
+                             half + 1, /*phat=*/true, config.epsilon);
+      kernels.accumulate(reinterpret_cast<double*>(combined.bins.data()),
+                         reinterpret_cast<const double*>(cross.bins.data()),
+                         2 * (half + 1));
+    }
+  }
+
+  auto& rotation = workspace.rotation;
+  rotation.resize(half + 1);
+  const std::size_t window = 2 * lag + 1;
+  std::vector<char> seen(window, 0);
+  double best_value = 0.0;
+  int best_lag = 0;
+  bool any = false;
+  const double inv_n = 1.0 / static_cast<double>(fft_size);
+
+  const auto evaluate = [&](int tau) {
+    const std::size_t slot = static_cast<std::size_t>(tau + max_lag);
+    if (seen[slot]) return;
+    seen[slot] = 1;
+    ++result.evaluated;
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(tau) * inv_n;
+    kernels.rotation_table(reinterpret_cast<double*>(rotation.data()), half + 1,
+                           std::cos(angle), std::sin(angle));
+    double sum = combined.bins[0].real();
+    sum += (tau % 2 == 0 ? 1.0 : -1.0) * combined.bins[half].real();
+    if (half >= 2) {
+      sum += 2.0 * kernels.steered_sum(
+                       reinterpret_cast<const double*>(combined.bins.data()) + 2,
+                       reinterpret_cast<const double*>(rotation.data()) + 2,
+                       half - 1);
+    }
+    const double value = sum * inv_n;
+    if (!any || value > best_value) {
+      any = true;
+      best_value = value;
+      best_lag = tau;
+    }
+  };
+
+  // Coarse pass: every coarse_stride-th lag, endpoints always included.
+  for (int tau = -max_lag; tau <= max_lag; tau += config.coarse_stride) {
+    evaluate(tau);
+  }
+  evaluate(max_lag);
+  // Fine pass around the coarse winner.
+  const int center = best_lag;
+  for (int tau = std::max(-max_lag, center - config.refine_radius);
+       tau <= std::min(max_lag, center + config.refine_radius); ++tau) {
+    evaluate(tau);
+  }
+
+  result.peak_lag = best_lag;
+  result.peak_value = best_value;
+  return result;
 }
 
 int srp_max_lag(double max_mic_distance_m, double sample_rate, double speed_of_sound) {

@@ -21,28 +21,55 @@ struct PairwiseGcc {
   struct Pair {
     std::size_t i = 0, j = 0;
     CorrelationSequence gcc;
+    /// Mean cross-spectral coherence of the pair (1.0 when pruning is
+    /// disabled — the estimate is only computed when a floor is set).
+    double coherence = 1.0;
+    /// True when the pair fell below the coherence floor: its gcc window
+    /// is all zeros and it contributed nothing to SRP.
+    bool pruned = false;
   };
   std::vector<Pair> pairs;
   int max_lag = 0;
 };
 
+/// Options for pairwise GCC extraction. With `coherence_floor > 0`, each
+/// pair's mean magnitude-squared coherence is estimated from block-averaged
+/// cross spectra (|sum XY*|^2 / (sum|X|^2 sum|Y|^2) over blocks of
+/// `coherence_block` bins sampled every `coherence_stride`-th bin) and
+/// pairs below the floor skip PHAT weighting and the inverse transform
+/// entirely — their gcc window is zeroed and flagged. Independent noise
+/// between two channels averages ~1/coherence_block (~0.016); genuinely
+/// coupled channels sit near 1, so floors around 0.1–0.3 separate them
+/// with a wide margin. The default floor 0 disables the estimate (and its
+/// cost) completely.
+struct PairwiseGccOptions {
+  double coherence_floor = 0.0;
+  std::size_t coherence_block = 64;
+  std::size_t coherence_stride = 4;
+};
+
 /// Computes GCC-PHAT for all channel pairs of `capture` over
 /// [-max_lag, +max_lag] samples.
 [[nodiscard]] PairwiseGcc pairwise_gcc_phat(const audio::MultiBuffer& capture,
-                                            int max_lag);
+                                            int max_lag,
+                                            const PairwiseGccOptions& options = {});
 
-/// Reusable scratch for repeated pairwise GCC extraction: the per-channel
-/// spectra and the correlation workspace. One per thread.
+/// Reusable scratch for repeated pairwise GCC extraction and SRP peak
+/// search: per-channel spectra, correlation scratch, the summed cross
+/// spectrum, and the steering phasor table. One per thread.
 struct SrpWorkspace {
   std::vector<HalfSpectrum> spectra;
   CorrelationWorkspace correlation;
   FftScratch fft;
+  HalfSpectrum combined;          ///< summed PHAT cross spectrum (srp_peak_search)
+  std::vector<Complex> rotation;  ///< steering phasors e^(i*2*pi*k*tau/N)
 };
 
 /// pairwise_gcc_phat writing into caller-owned output/scratch; results are
 /// bit-identical to the value-returning overload.
 void pairwise_gcc_phat_into(const audio::MultiBuffer& capture, int max_lag,
-                            PairwiseGcc& out, SrpWorkspace& workspace);
+                            PairwiseGcc& out, SrpWorkspace& workspace,
+                            const PairwiseGccOptions& options = {});
 
 /// Weighted SRP-PHAT sequence (Eq. 6): element-wise sum of all pair GCCs.
 [[nodiscard]] CorrelationSequence srp_phat(const PairwiseGcc& gcc);
@@ -50,6 +77,38 @@ void pairwise_gcc_phat_into(const audio::MultiBuffer& capture, int max_lag,
 /// Convenience: SRP-PHAT directly from a capture.
 [[nodiscard]] CorrelationSequence srp_phat(const audio::MultiBuffer& capture,
                                            int max_lag);
+
+/// Coarse-to-fine SRP peak search. Instead of materializing every pair's
+/// GCC sequence and summing (dense srp_phat), the PHAT-weighted cross
+/// spectra of all pairs are summed once in the frequency domain and the
+/// SRP power is evaluated *per candidate lag* by steering-delay
+/// accumulation: P(tau) = (1/N) sum_k Re(C_k e^(i*2*pi*k*tau/N)). A sparse
+/// grid of every `coarse_stride`-th lag is scored first, then the
+/// ±`refine_radius` neighbourhood of the coarse winner — O((W/s + 2r)·N/2)
+/// instead of the dense O(P·N·logN), which wins as arrays grow and lag
+/// windows widen. By linearity P(tau) equals the dense SRP value at tau up
+/// to recurrence rounding (~1e-12 relative), so whenever the true peak
+/// lies within refine_radius of the best coarse sample — any peak whose
+/// main lobe spans a stride, i.e. every physical TDoA peak — the refined
+/// argmax matches the dense argmax exactly.
+struct SrpSearchConfig {
+  int max_lag = 1;
+  int coarse_stride = 4;
+  int refine_radius = 4;
+  double epsilon = 1e-12;  ///< PHAT regularizer, as in gcc_phat
+  PairwiseGccOptions pair_options{};
+};
+
+struct SrpSearchResult {
+  int peak_lag = 0;
+  double peak_value = 0.0;
+  std::size_t evaluated = 0;     ///< steered-power evaluations performed
+  std::size_t pairs_pruned = 0;  ///< pairs dropped by the coherence floor
+};
+
+[[nodiscard]] SrpSearchResult srp_peak_search(const audio::MultiBuffer& capture,
+                                              const SrpSearchConfig& config,
+                                              SrpWorkspace& workspace);
 
 /// The paper selects the SRP lag window from the array's maximum
 /// inter-microphone spacing: N = d*fs/c samples on each side.

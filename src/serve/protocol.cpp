@@ -6,12 +6,12 @@
 namespace headtalk::serve {
 namespace {
 
-static_assert(std::endian::native == std::endian::little,
-              "the wire protocol assumes a little-endian host");
 static_assert(sizeof(float) == 4 && sizeof(double) == 8,
               "the wire protocol assumes IEEE-754 float sizes");
 
 constexpr std::size_t kMaxErrorMessageBytes = 1024;
+
+constexpr bool kLittleEndianHost = std::endian::native == std::endian::little;
 
 void append_bytes(std::vector<std::uint8_t>& out, const void* data, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(data);
@@ -20,16 +20,42 @@ void append_bytes(std::vector<std::uint8_t>& out, const void* data, std::size_t 
 
 void append_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
 
-void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  append_bytes(out, &v, sizeof v);
+// All multi-byte fields are serialized least-significant byte first —
+// the shift/mask form is byte-order independent, so the wire format stays
+// little-endian even on a big-endian host (see protocol.h).
+template <typename T>
+void append_le(std::vector<std::uint8_t>& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
 }
 
-void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  append_bytes(out, &v, sizeof v);
-}
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) { append_le(out, v); }
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) { append_le(out, v); }
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) { append_le(out, v); }
 
 void append_f64(std::vector<std::uint8_t>& out, double v) {
-  append_bytes(out, &v, sizeof v);
+  append_le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void append_f32_array(std::vector<std::uint8_t>& out, std::span<const float> values) {
+  if constexpr (kLittleEndianHost) {
+    // The hot path (audio chunks): host layout already matches the wire.
+    append_bytes(out, values.data(), values.size() * sizeof(float));
+  } else {
+    for (const float v : values) append_le(out, std::bit_cast<std::uint32_t>(v));
+  }
+}
+
+template <typename T>
+T load_le(const std::uint8_t* p) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<T>(p[i]) << (8 * i));
+  }
+  return v;
 }
 
 /// Bounds-checked little-endian payload cursor; every read throws
@@ -39,15 +65,22 @@ class ByteCursor {
   ByteCursor(const std::vector<std::uint8_t>& bytes, const char* what)
       : bytes_(bytes), what_(what) {}
 
-  std::uint8_t read_u8() { return read_pod<std::uint8_t>(); }
-  std::uint16_t read_u16() { return read_pod<std::uint16_t>(); }
-  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
-  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
-  double read_f64() { return read_pod<double>(); }
+  std::uint8_t read_u8() { return read_le<std::uint8_t>(); }
+  std::uint16_t read_u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t read_u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_le<std::uint64_t>(); }
+  double read_f64() { return std::bit_cast<double>(read_le<std::uint64_t>()); }
 
   void read_f32_array(float* out, std::size_t count) {
     require(count * sizeof(float));
-    std::memcpy(out, bytes_.data() + offset_, count * sizeof(float));
+    if constexpr (kLittleEndianHost) {
+      std::memcpy(out, bytes_.data() + offset_, count * sizeof(float));
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = std::bit_cast<float>(
+            load_le<std::uint32_t>(bytes_.data() + offset_ + i * sizeof(float)));
+      }
+    }
     offset_ += count * sizeof(float);
   }
 
@@ -70,10 +103,9 @@ class ByteCursor {
 
  private:
   template <typename T>
-  T read_pod() {
+  T read_le() {
     require(sizeof(T));
-    T value;
-    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
+    const T value = load_le<T>(bytes_.data() + offset_);
     offset_ += sizeof(T);
     return value;
   }
@@ -190,7 +222,7 @@ std::vector<std::uint8_t> encode_audio_chunk(std::span<const float> interleaved,
   std::vector<std::uint8_t> payload;
   payload.reserve(sizeof(std::uint32_t) + interleaved.size() * sizeof(float));
   append_u32(payload, static_cast<std::uint32_t>(interleaved.size() / channels));
-  append_bytes(payload, interleaved.data(), interleaved.size() * sizeof(float));
+  append_f32_array(payload, interleaved);
   if (payload.size() > kMaxPayloadBytes) {
     throw ProtocolError("AUDIO_CHUNK: chunk larger than kMaxPayloadBytes");
   }
@@ -290,7 +322,7 @@ std::vector<std::uint8_t> encode_stream_end() {
 
 std::vector<std::uint8_t> encode_stream_summary(const StreamSummary& summary) {
   std::vector<std::uint8_t> payload;
-  append_bytes(payload, &summary.frames_streamed, sizeof summary.frames_streamed);
+  append_u64(payload, summary.frames_streamed);
   append_u32(payload, summary.segments);
   append_u32(payload, summary.force_closed);
   append_u32(payload, summary.discarded);
@@ -451,8 +483,7 @@ void FrameReader::feed(const void* data, std::size_t size) {
 void FrameReader::check_header() {
   if (buffer_.size() - consumed_ < kFrameHeaderBytes) return;
   const std::uint8_t* header = buffer_.data() + consumed_;
-  std::uint32_t payload_len;
-  std::memcpy(&payload_len, header, sizeof payload_len);
+  const std::uint32_t payload_len = load_le<std::uint32_t>(header);
   if (payload_len > max_payload_bytes_) {
     throw ProtocolError("frame: payload length " + std::to_string(payload_len) +
                         " exceeds limit " + std::to_string(max_payload_bytes_));
@@ -468,8 +499,7 @@ void FrameReader::check_header() {
 std::optional<Frame> FrameReader::next() {
   if (buffer_.size() - consumed_ < kFrameHeaderBytes) return std::nullopt;
   const std::uint8_t* header = buffer_.data() + consumed_;
-  std::uint32_t payload_len;
-  std::memcpy(&payload_len, header, sizeof payload_len);
+  const std::uint32_t payload_len = load_le<std::uint32_t>(header);
   if (buffer_.size() - consumed_ < kFrameHeaderBytes + payload_len) {
     return std::nullopt;
   }

@@ -3,12 +3,19 @@
 // Every message is a length-prefixed binary frame so a stream socket can
 // carry interleaved audio without delimiters or escaping:
 //
-//   header (8 bytes, little-endian):
+//   header (8 bytes):
 //     u32 payload_len   (bounded; kMaxPayloadBytes)
 //     u8  type          (FrameType)
 //     u8  flags         (must be 0 in version 1)
 //     u16 reserved      (must be 0 in version 1)
 //   payload (payload_len bytes, layout per frame type)
+//
+// Byte order: every multi-byte field — length prefixes, u16/u32/u64
+// integers, and IEEE-754 f32/f64 values (serialized via their bit
+// patterns) — is LITTLE-ENDIAN on the wire, independent of host byte
+// order. The codec byteswaps on big-endian hosts rather than assuming the
+// host layout, so captures recorded on one machine parse identically on
+// any other; tests pin the format against hand-built LE byte arrays.
 //
 // A request is HELLO → HELLO_OK, then any number of utterances, each
 // AUDIO_CHUNK* followed by END_OF_UTTERANCE and answered with exactly one

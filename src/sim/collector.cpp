@@ -216,10 +216,11 @@ std::string Collector::cache_key(const SampleSpec& spec, const char* kind) const
   if (spec.room == RoomId::kHome) {
     key += "|dyn=2";  // dynamic-clutter movable fraction revision
   }
-  // v=7: plan-table FFT twiddles + interior-only top_peaks changed feature
-  // values at the last-ulp level, so pre-existing entries must not be mixed
-  // with freshly computed ones.
-  key += "|v=7";  // bump to invalidate old cache entries on format changes
+  // v=8: SIMD-dispatched kernels (sqrt-based magnitudes instead of hypot,
+  // raw-double complex arithmetic) changed feature values at the last-ulp
+  // level, so pre-existing entries must not be mixed with freshly computed
+  // ones. (v=7 was the plan-table FFT + interior-only top_peaks revision.)
+  key += "|v=8";  // bump to invalidate old cache entries on format changes
   return key;
 }
 

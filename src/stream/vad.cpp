@@ -12,6 +12,7 @@ namespace {
 constexpr double kSilenceDb = -120.0;
 
 double rms_db(std::span<const audio::Sample> frame) {
+  if (frame.empty()) return kSilenceDb;  // no samples: silence, not 0/0 NaN
   double acc = 0.0;
   for (const audio::Sample x : frame) acc += x * x;
   const double rms = std::sqrt(acc / static_cast<double>(frame.size()));
@@ -70,7 +71,8 @@ VadFrame Vad::classify(std::span<const audio::Sample> frame) {
   result.energy_db = rms_db(frame);
 
   // The flatness FFT only matters near the decision boundary; frames far
-  // below the absolute gate skip it (the common case on an idle stream).
+  // below the absolute gate skip it (the common case on an idle stream)
+  // and keep the NaN "not measured" marker (see VadFrame::has_flatness).
   if (result.energy_db > config_.min_energy_db - 6.0) {
     dsp::magnitude_spectrum_into(frame, fft_size_, magnitude_, fft_scratch_);
     result.flatness =
@@ -82,7 +84,11 @@ VadFrame Vad::classify(std::span<const audio::Sample> frame) {
   const double snr_needed = prev_active_ ? config_.offset_snr_db : config_.onset_snr_db;
   const bool energetic = result.energy_db >= config_.min_energy_db &&
                          result.energy_db >= noise_floor_db_ + snr_needed;
-  const bool speech_like = result.flatness <= config_.flatness_max;
+  // An unmeasured flatness never counts as speech-like; such frames are at
+  // least 6 dB under the absolute gate, so they could not be active anyway
+  // and the overall decision is unchanged.
+  const bool speech_like =
+      result.has_flatness() && result.flatness <= config_.flatness_max;
   const bool raw_active = energetic && speech_like;
   prev_active_ = raw_active;
 

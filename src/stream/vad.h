@@ -15,7 +15,9 @@
 // Not thread-safe: one Vad per stream, driven from one thread.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -60,7 +62,13 @@ struct VadFrame {
   bool active = false;
   double energy_db = 0.0;
   double noise_floor_db = 0.0;
-  double flatness = 1.0;
+  /// Spectral flatness of the frame — only when it was actually measured.
+  /// Frames far below the energy gate skip the flatness FFT; they report
+  /// NaN here (check has_flatness()) instead of a fabricated value that
+  /// metrics/log consumers would mistake for a measurement.
+  double flatness = std::numeric_limits<double>::quiet_NaN();
+
+  [[nodiscard]] bool has_flatness() const noexcept { return !std::isnan(flatness); }
 };
 
 class Vad {

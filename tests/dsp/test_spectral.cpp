@@ -43,6 +43,57 @@ TEST(Spectral, BadRangeThrows) {
   EXPECT_THROW((void)band_energy(mag, kN, kFs, -5.0, 1000.0), std::invalid_argument);
 }
 
+TEST(Spectral, BandEdgesAreFloatingPointTolerant) {
+  // Band edges are routinely computed (low + width * c) and can land a few
+  // ulps off an exact bin frequency. 3000 Hz is exactly bin 256 at this
+  // geometry; nudging the edge one ulp either way must not move the bin
+  // boundary — with a bare ceil the upper bound gained a whole bin (the
+  // original bug) and additivity across a split broke.
+  const auto mag = tone_magnitude(2000.0);
+  const double above = std::nextafter(3000.0, 1e9);
+  const double below = std::nextafter(3000.0, 0.0);
+  // Upper edge: [100, 3000 ± ulp) selects exactly the same bins.
+  EXPECT_DOUBLE_EQ(band_energy(mag, kN, kFs, 100.0, above),
+                   band_energy(mag, kN, kFs, 100.0, 3000.0));
+  EXPECT_DOUBLE_EQ(band_energy(mag, kN, kFs, 100.0, below),
+                   band_energy(mag, kN, kFs, 100.0, 3000.0));
+  // Lower edge: [3000 ± ulp, 8000) keeps bin 256 in the band.
+  EXPECT_DOUBLE_EQ(band_energy(mag, kN, kFs, above, 8000.0),
+                   band_energy(mag, kN, kFs, 3000.0, 8000.0));
+  EXPECT_DOUBLE_EQ(band_energy(mag, kN, kFs, below, 8000.0),
+                   band_energy(mag, kN, kFs, 3000.0, 8000.0));
+}
+
+TEST(Spectral, BandEnergyAdditivityAtPerturbedSplit) {
+  // The half-open split stays additive when the shared edge carries
+  // floating-point error: no bin is counted twice or dropped.
+  const auto mag = tone_magnitude(2000.0);
+  const double whole = band_energy(mag, kN, kFs, 100.0, 8000.0);
+  const double edge = std::nextafter(3000.0, 1e9);
+  const double left = band_energy(mag, kN, kFs, 100.0, edge);
+  const double right = band_energy(mag, kN, kFs, edge, 8000.0);
+  EXPECT_NEAR(whole, left + right, 1e-9 * whole);
+}
+
+TEST(Spectral, SuperNyquistHighClampsToWholeSpectrum) {
+  // Asking past Nyquist means "the rest of the spectrum", Nyquist bin
+  // included; [*, 24000) itself is half-open and excludes the Nyquist bin.
+  const auto mag = tone_magnitude(2000.0);
+  const double everything = band_energy(mag, kN, kFs, 100.0, 1.0e9);
+  EXPECT_DOUBLE_EQ(everything, band_energy(mag, kN, kFs, 100.0, 48000.0));
+  const double nyquist_bin = mag.back() * mag.back();
+  EXPECT_DOUBLE_EQ(everything,
+                   band_energy(mag, kN, kFs, 100.0, 24000.0) + nyquist_bin);
+}
+
+TEST(Spectral, LowAtOrAboveNyquistThrows) {
+  const auto mag = tone_magnitude(2000.0);
+  EXPECT_THROW((void)band_energy(mag, kN, kFs, 24000.0, 25000.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)band_mean_magnitude(mag, kN, kFs, 30000.0, 40000.0),
+               std::invalid_argument);
+}
+
 TEST(Spectral, HlbrDistinguishesSpectralBalance) {
   // Low tone only -> HLBR near 0; with a strong high-band tone HLBR rises.
   std::vector<audio::Sample> low(kN), both(kN);

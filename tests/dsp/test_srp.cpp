@@ -58,6 +58,85 @@ TEST(SrpPhat, PeakAtCommonDelayStructure) {
   EXPECT_GE(srp.peak_lag(), -2);
 }
 
+TEST(PairwiseGcc, CoherenceFloorPrunesDecorrelatedPair) {
+  // Two coupled channels (one a delayed copy of the other) plus one
+  // independent noise channel: with a floor set, both pairs involving the
+  // noise channel measure block coherence near 1/block (~0.016) and are
+  // pruned; the coupled pair stays.
+  const auto base = random_buffer(2048, 3);
+  audio::MultiBuffer capture(std::vector<audio::Buffer>{
+      base,
+      audio::Buffer(fractional_delay(base.samples(), 2.0), 48000.0),
+      random_buffer(2048, 99)});
+  PairwiseGccOptions options;
+  options.coherence_floor = 0.2;
+  const auto gcc = pairwise_gcc_phat(capture, 13, options);
+  ASSERT_EQ(gcc.pairs.size(), 3u);
+  const auto& coupled = gcc.pairs[0];  // (0,1)
+  EXPECT_FALSE(coupled.pruned);
+  EXPECT_GT(coupled.coherence, 0.5);
+  EXPECT_EQ(coupled.gcc.peak_lag(), -2);  // channel 1 lags channel 0
+  for (std::size_t p : {std::size_t{1}, std::size_t{2}}) {  // (0,2), (1,2)
+    EXPECT_TRUE(gcc.pairs[p].pruned) << "pair " << p;
+    EXPECT_LT(gcc.pairs[p].coherence, 0.1) << "pair " << p;
+    for (double v : gcc.pairs[p].gcc.values) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+  // Pruned pairs contribute nothing: SRP equals the surviving pair alone.
+  const auto srp = srp_phat(gcc);
+  for (int lag = -13; lag <= 13; ++lag) {
+    EXPECT_DOUBLE_EQ(srp.at_lag(lag), coupled.gcc.at_lag(lag));
+  }
+}
+
+TEST(PairwiseGcc, ZeroFloorDisablesCoherenceEstimate) {
+  const auto base = random_buffer(2048, 4);
+  audio::MultiBuffer capture(
+      std::vector<audio::Buffer>{base, random_buffer(2048, 98)});
+  const auto gcc = pairwise_gcc_phat(capture, 13);  // default floor 0
+  ASSERT_EQ(gcc.pairs.size(), 1u);
+  EXPECT_FALSE(gcc.pairs[0].pruned);
+  EXPECT_DOUBLE_EQ(gcc.pairs[0].coherence, 1.0);  // never estimated
+}
+
+TEST(SrpPeakSearch, CountsPrunedPairs) {
+  const auto base = random_buffer(2048, 5);
+  audio::MultiBuffer capture(std::vector<audio::Buffer>{
+      base,
+      audio::Buffer(fractional_delay(base.samples(), 1.0), 48000.0),
+      random_buffer(2048, 97)});
+  SrpSearchConfig config;
+  config.max_lag = 13;
+  config.pair_options.coherence_floor = 0.2;
+  SrpWorkspace workspace;
+  const auto result = srp_peak_search(capture, config, workspace);
+  EXPECT_EQ(result.pairs_pruned, 2u);
+  EXPECT_EQ(result.peak_lag, -1);  // only the coupled pair steers the peak
+}
+
+TEST(SrpPeakSearch, RejectsBadConfig) {
+  const audio::MultiBuffer capture(2, 512, 48000.0);
+  SrpWorkspace workspace;
+  SrpSearchConfig bad;
+  bad.max_lag = 0;
+  EXPECT_THROW((void)srp_peak_search(capture, bad, workspace), std::invalid_argument);
+  bad = SrpSearchConfig{};
+  bad.coarse_stride = 0;
+  EXPECT_THROW((void)srp_peak_search(capture, bad, workspace), std::invalid_argument);
+  bad = SrpSearchConfig{};
+  bad.refine_radius = -1;
+  EXPECT_THROW((void)srp_peak_search(capture, bad, workspace), std::invalid_argument);
+}
+
+TEST(SrpPeakSearch, DegenerateCapturesGiveEmptyResult) {
+  SrpWorkspace workspace;
+  SrpSearchConfig config;
+  config.max_lag = 5;
+  const audio::MultiBuffer mono(1, 512, 48000.0);
+  const auto result = srp_peak_search(mono, config, workspace);
+  EXPECT_EQ(result.evaluated, 0u);
+  EXPECT_DOUBLE_EQ(result.peak_value, 0.0);
+}
+
 TEST(SrpMaxLag, MatchesPaperValues) {
   // §III-B3: D1 d=8.5 cm -> 12, D2 d=9 cm -> 13, D3 d=6.5 cm -> 10 at 48 kHz.
   EXPECT_EQ(srp_max_lag(0.085, 48000.0), 12);

@@ -92,6 +92,105 @@ TEST(ServeProtocol, BusyRoundTrip) {
   EXPECT_TRUE(frame.payload.empty());
 }
 
+// ---- wire-format pinning --------------------------------------------------
+// Hand-built little-endian byte arrays, compared byte-for-byte against the
+// encoder and fed raw through the decoder. These tests fail if the wire
+// format ever drifts — a field reordered, a width changed, or a build that
+// silently serializes host byte order on a big-endian machine.
+
+TEST(ServeProtocolWire, HelloBytesAreLittleEndian) {
+  const std::vector<std::uint8_t> expected{
+      0x0C, 0x00, 0x00, 0x00,  // payload_len = 12
+      0x01,                    // type = HELLO
+      0x00, 0x00, 0x00,        // flags + reserved
+      0x01, 0x00, 0x00, 0x00,  // protocol_version = 1
+      0x80, 0xBB, 0x00, 0x00,  // sample_rate_hz = 48000
+      0x04, 0x00,              // channels = 4
+      0x00, 0x00,              // reserved
+  };
+  Hello hello;
+  hello.sample_rate_hz = 48000;
+  hello.channels = 4;
+  EXPECT_EQ(encode_hello(hello), expected);
+
+  const Hello out = parse_hello(decode_one(expected));
+  EXPECT_EQ(out.protocol_version, 1u);
+  EXPECT_EQ(out.sample_rate_hz, 48000u);
+  EXPECT_EQ(out.channels, 4);
+}
+
+TEST(ServeProtocolWire, DecisionF64FieldsAreLittleEndianBitPatterns) {
+  // 1.5 = 0x3FF8000000000000, -2.0 = 0xC000000000000000, 0.0 = all zeros —
+  // IEEE-754 bit patterns serialized least-significant byte first.
+  const std::vector<std::uint8_t> expected{
+      0x1C, 0x00, 0x00, 0x00,  // payload_len = 28
+      0x05,                    // type = DECISION
+      0x00, 0x00, 0x00,        // flags + reserved
+      0x02, 0x01, 0x00, 0x01,  // decision=2, live, !facing, via_open_session
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,  // liveness = 1.5
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xC0,  // orientation = -2.0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // elapsed = 0.0
+  };
+  DecisionFrame decision;
+  decision.decision = 2;
+  decision.live = true;
+  decision.facing = false;
+  decision.via_open_session = true;
+  decision.liveness_score = 1.5;
+  decision.orientation_score = -2.0;
+  decision.elapsed_seconds = 0.0;
+  EXPECT_EQ(encode_decision(decision), expected);
+
+  const DecisionFrame out = parse_decision(decode_one(expected));
+  EXPECT_DOUBLE_EQ(out.liveness_score, 1.5);
+  EXPECT_DOUBLE_EQ(out.orientation_score, -2.0);
+  EXPECT_DOUBLE_EQ(out.elapsed_seconds, 0.0);
+  EXPECT_TRUE(out.live);
+  EXPECT_TRUE(out.via_open_session);
+}
+
+TEST(ServeProtocolWire, AudioChunkF32SamplesAreLittleEndianBitPatterns) {
+  // 1.0f = 0x3F800000, -2.0f = 0xC0000000.
+  const std::vector<std::uint8_t> expected{
+      0x0C, 0x00, 0x00, 0x00,  // payload_len = 12
+      0x03,                    // type = AUDIO_CHUNK
+      0x00, 0x00, 0x00,        // flags + reserved
+      0x02, 0x00, 0x00, 0x00,  // frames = 2
+      0x00, 0x00, 0x80, 0x3F,  // 1.0f
+      0x00, 0x00, 0x00, 0xC0,  // -2.0f
+  };
+  const std::vector<float> samples{1.0f, -2.0f};
+  EXPECT_EQ(encode_audio_chunk(samples, 1), expected);
+
+  const AudioChunk out = parse_audio_chunk(decode_one(expected), 1);
+  ASSERT_EQ(out.interleaved.size(), 2u);
+  EXPECT_EQ(out.interleaved[0], 1.0f);
+  EXPECT_EQ(out.interleaved[1], -2.0f);
+}
+
+TEST(ServeProtocolWire, StreamSummaryU64IsLittleEndian) {
+  const std::vector<std::uint8_t> expected{
+      0x18, 0x00, 0x00, 0x00,  // payload_len = 24
+      0x0C,                    // type = STREAM_SUMMARY
+      0x00, 0x00, 0x00,        // flags + reserved
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // frames_streamed
+      0x03, 0x00, 0x00, 0x00,  // segments = 3
+      0x01, 0x00, 0x00, 0x00,  // force_closed = 1
+      0x02, 0x00, 0x00, 0x00,  // discarded = 2
+      0x00, 0x00, 0x00, 0x00,  // reserved
+  };
+  StreamSummary summary;
+  summary.frames_streamed = 0x0102030405060708ull;
+  summary.segments = 3;
+  summary.force_closed = 1;
+  summary.discarded = 2;
+  EXPECT_EQ(encode_stream_summary(summary), expected);
+
+  const StreamSummary out = parse_stream_summary(decode_one(expected));
+  EXPECT_EQ(out.frames_streamed, 0x0102030405060708ull);
+  EXPECT_EQ(out.segments, 3u);
+}
+
 TEST(ServeProtocol, ReaderHandlesArbitrarySplitPoints) {
   // Three frames fed one byte at a time must come out intact and in order.
   std::vector<std::uint8_t> stream;

@@ -152,6 +152,47 @@ TEST(Vad, HangoverExtendsUtteranceTail) {
   EXPECT_FALSE(tail[3].active);
 }
 
+TEST(Vad, SkippedFlatnessIsMarkedUnmeasured) {
+  // Frames far under the energy gate skip the flatness FFT. They must
+  // report "not measured" (NaN + has_flatness() false), not the old
+  // fabricated default that metrics consumers mistook for a reading.
+  Vad vad;
+  const auto quiet = vad.push(std::vector<audio::Sample>(vad.frame_length() * 3, 0.0));
+  ASSERT_EQ(quiet.size(), 3u);
+  for (const auto& frame : quiet) {
+    EXPECT_FALSE(frame.has_flatness()) << "frame " << frame.index;
+    EXPECT_TRUE(std::isnan(frame.flatness)) << "frame " << frame.index;
+    EXPECT_FALSE(frame.active);
+  }
+
+  const auto loud = vad.push(tone(vad.frame_length(), -20.0));
+  ASSERT_EQ(loud.size(), 1u);
+  EXPECT_TRUE(loud[0].has_flatness());
+  EXPECT_FALSE(std::isnan(loud[0].flatness));
+}
+
+TEST(Vad, NearGateFramesStillMeasureFlatness) {
+  // The skip threshold sits 6 dB under the absolute gate: a frame between
+  // the two is inactive but must still carry a real flatness measurement.
+  Vad vad;
+  const double near_gate_db = vad.config().min_energy_db - 3.0;
+  const auto frames = vad.push(tone(vad.frame_length(), near_gate_db));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].has_flatness());
+  EXPECT_FALSE(frames[0].active);
+}
+
+TEST(Vad, EmptyAndZeroInputAreSafe) {
+  Vad vad;
+  EXPECT_TRUE(vad.push({}).empty());
+  EXPECT_EQ(vad.frames_emitted(), 0u);
+  // All-zero frames must produce the silence floor, never a NaN energy.
+  const auto frames = vad.push(std::vector<audio::Sample>(vad.frame_length(), 0.0));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_FALSE(std::isnan(frames[0].energy_db));
+  EXPECT_DOUBLE_EQ(frames[0].energy_db, -120.0);
+}
+
 TEST(Vad, ResetForgetsEverything) {
   Vad vad;
   (void)vad.push(tone(vad.frame_length() * 5 + 7, -20.0));

@@ -26,6 +26,6 @@ cmake --build "$build_dir" -j "$(nproc)" \
 # per-thread trace rings (Metrics*, Tracer*).
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|FftPlan|Experiment\.|Collector|EndToEnd|WavPipeline|Metrics|Tracer|ServeServer|ServeStreamMode|Vad\.|Endpointer\.|StreamingDetector|StreamRing'
+  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|FftPlan|Experiment\.|Collector|EndToEnd|WavPipeline|Metrics|Tracer|ServeServer|ServeStreamMode|Vad\.|Endpointer\.|StreamingDetector|StreamRing|Simd'
 
 echo "TSan test subset passed with zero reported races."
