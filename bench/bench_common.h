@@ -14,11 +14,13 @@
 // separately-measured "printed" number that can drift from the record.
 #pragma once
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -89,11 +91,6 @@ class PerfRecorder {
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
     const auto path = out_dir / ("BENCH_" + id_ + ".json");
-    std::ofstream out(path, std::ios::app);
-    if (!out) {
-      obs::log_warn("bench.record.write_failed", {{"path", path.string()}});
-      return;
-    }
     char line[1024];
     std::snprintf(line, sizeof line,
                   "{\"bench\":\"%s\",\"title\":\"%s\",\"wall_seconds\":%.6f,"
@@ -111,8 +108,23 @@ class PerfRecorder {
                     value);
       record += line;
     }
-    record += '}';
-    out << record << '\n';
+    record += "}\n";
+    // O_APPEND plus one write(2) of the whole line: POSIX appends are
+    // atomic with respect to each other, so concurrently-exiting bench
+    // processes (ctest -j) can share BENCH_<id>.json without interleaving
+    // half-records — buffered ofstream appends flush in chunks and can't
+    // promise that.
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    bool ok = fd >= 0;
+    if (ok) {
+      const ssize_t written = ::write(fd, record.data(), record.size());
+      ok = written == static_cast<ssize_t>(record.size());
+      ::close(fd);
+    }
+    if (!ok) {
+      obs::log_warn("bench.record.write_failed", {{"path", path.string()}});
+      return;
+    }
     obs::log_info("bench.record.written", {{"path", path.string()}});
   }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -189,7 +190,10 @@ ObsSession::~ObsSession() {
     }
   }
   if (!metrics_path_.empty()) {
-    if (obs::Registry::global().write_json_file(metrics_path_)) {
+    // The mergeable snapshot form (obs/export.h), not the quantile dump:
+    // a file written at exit and a live /metrics.json scrape are the same
+    // bytes, so shard aggregation can mix both sources.
+    if (obs::write_snapshot_json_file(metrics_path_, obs::snapshot())) {
       obs::log_info("obs.metrics.written", {{"path", metrics_path_}});
     }
   }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/scoring_workspace.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -35,6 +36,62 @@ void count_decision(Decision decision) {
       break;
   }
 }
+
+// Bucket bounds for the per-stage latency histograms: 25 µs .. ~3.3 s,
+// ×2 per bucket — fine enough that a 3 ms warm orientation stage moving
+// by ~20% lands in a different bucket (the default seconds bounds are ×3
+// and would smear that). Documented in README "Observability".
+std::vector<double> stage_bounds() {
+  std::vector<double> bounds;
+  for (double edge = 25e-6; edge < 4.0; edge *= 2.0) bounds.push_back(edge);
+  return bounds;
+}
+
+obs::Histogram& stage_histogram(const char* name) {
+  return obs::Registry::global().histogram(name, stage_bounds());
+}
+
+// Per-utterance stage record: every stage that ran, with start/duration in
+// trace microseconds. Thread-local so the const scoring path can fill it
+// without widening any signature; score_capture resets it per utterance
+// and offers it to the slow-utterance exemplar ring.
+struct StageRecord {
+  static constexpr std::size_t kMaxStages = 5;
+  obs::ExemplarSpan spans[kMaxStages];
+  std::size_t count = 0;
+
+  void add(const char* name, std::uint64_t start_us, std::uint64_t duration_us) {
+    if (count < kMaxStages) spans[count++] = {name, start_us, duration_us};
+  }
+  [[nodiscard]] std::span<const obs::ExemplarSpan> view() const {
+    return {spans, count};
+  }
+};
+
+thread_local StageRecord t_stages;
+
+/// Times one pipeline stage into (a) the span tracer, (b) the stage's
+/// live histogram, and (c) the thread's StageRecord — all three read the
+/// same clock interval, so the trace, the scrape, and the exemplar can
+/// never disagree about where the time went.
+class StageTimer {
+ public:
+  StageTimer(const char* name, obs::Histogram& sink) noexcept
+      : name_(name), sink_(sink), span_(name), start_us_(obs::now_micros()) {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() {
+    const std::uint64_t duration_us = obs::now_micros() - start_us_;
+    sink_.observe(static_cast<double>(duration_us) * 1e-6);
+    t_stages.add(name_, start_us_, duration_us);
+  }
+
+ private:
+  const char* name_;
+  obs::Histogram& sink_;
+  obs::ScopedSpan span_;
+  std::uint64_t start_us_;
+};
 
 }  // namespace
 
@@ -97,9 +154,17 @@ PipelineResult HeadTalkPipeline::score_capture(const audio::MultiBuffer& capture
   static obs::Histogram& evaluate_seconds =
       obs::Registry::global().histogram("pipeline.evaluate_seconds");
   obs::Timer timer(&evaluate_seconds);
+  t_stages.count = 0;
   const PipelineResult result =
       evaluate_stages(capture, mode, followup, session_active, workspace);
   count_decision(result.decision);
+  // Offer the utterance to the slow-exemplar ring (one relaxed load when
+  // it is not among the K slowest). Normal/Mute verdicts run no stages and
+  // would only dilute the ring, so they are not offered.
+  if (t_stages.count > 0) {
+    obs::SlowExemplarRing::global().offer(timer.stop(), decision_name(result.decision),
+                                          t_stages.view());
+  }
   return result;
 }
 
@@ -136,8 +201,11 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
   }
 
   // --- HeadTalk mode ---
+  // Each stage reports through StageTimer: span tracer + per-stage live
+  // histogram + the utterance's exemplar record, from one clock interval.
   const auto denoised = [&] {
-    obs::ScopedSpan stage("pipeline.preprocess");
+    static obs::Histogram& seconds = stage_histogram("pipeline.stage.preprocess_seconds");
+    StageTimer stage("pipeline.preprocess", seconds);
     return preprocess(capture, config_.preprocess);
   }();
 
@@ -145,11 +213,15 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
   // whether or not a session is open — a session belongs to a human.
   result.liveness_checked = true;
   const auto liveness_features = [&] {
-    obs::ScopedSpan stage("pipeline.liveness_features");
+    static obs::Histogram& seconds =
+        stage_histogram("pipeline.stage.liveness_features_seconds");
+    StageTimer stage("pipeline.liveness_features", seconds);
     return liveness_extractor_.extract(denoised.channel(0), workspace);
   }();
   {
-    obs::ScopedSpan stage("pipeline.liveness_score");
+    static obs::Histogram& seconds =
+        stage_histogram("pipeline.stage.liveness_score_seconds");
+    StageTimer stage("pipeline.liveness_score", seconds);
     result.liveness_score = liveness_.score(liveness_features);
   }
   result.live = result.liveness_score >= liveness_.config().threshold;
@@ -167,11 +239,15 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
 
   result.orientation_checked = true;
   const auto features = [&] {
-    obs::ScopedSpan stage("pipeline.orientation_features");
+    static obs::Histogram& seconds =
+        stage_histogram("pipeline.stage.orientation_features_seconds");
+    StageTimer stage("pipeline.orientation_features", seconds);
     return orientation_extractor_.extract(denoised, workspace);
   }();
   {
-    obs::ScopedSpan stage("pipeline.orientation_score");
+    static obs::Histogram& seconds =
+        stage_histogram("pipeline.stage.orientation_score_seconds");
+    StageTimer stage("pipeline.orientation_score", seconds);
     result.orientation_score = orientation_.score(features);
     result.facing = orientation_.is_facing(features);
   }

@@ -1,0 +1,87 @@
+#include "obs/exemplar.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace headtalk::obs {
+
+SlowExemplarRing::SlowExemplarRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  exemplars_.reserve(capacity_);
+}
+
+SlowExemplarRing& SlowExemplarRing::global() {
+  static SlowExemplarRing ring;
+  return ring;
+}
+
+void SlowExemplarRing::offer(double total_seconds, std::string_view label,
+                             std::span<const ExemplarSpan> spans) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  // Fast path: once the ring is full, anything at or below the fastest
+  // retained exemplar cannot be admitted — one relaxed load, no lock. The
+  // threshold may lag a concurrent admission; that only costs a lock, not
+  // correctness (re-checked below).
+  if (total_seconds <= threshold_.load(std::memory_order_relaxed)) return;
+
+  std::lock_guard lock(mutex_);
+  if (exemplars_.size() >= capacity_ &&
+      total_seconds <= exemplars_.back().total_seconds) {
+    return;
+  }
+  Exemplar exemplar;
+  exemplar.total_seconds = total_seconds;
+  exemplar.captured_us = now_micros();
+  exemplar.label = label;
+  exemplar.spans.reserve(spans.size());
+  for (const auto& span : spans) {
+    exemplar.spans.push_back({span.name, span.start_us, span.duration_us});
+  }
+  const auto at = std::upper_bound(
+      exemplars_.begin(), exemplars_.end(), total_seconds,
+      [](double value, const Exemplar& e) { return value > e.total_seconds; });
+  exemplars_.insert(at, std::move(exemplar));
+  if (exemplars_.size() > capacity_) exemplars_.pop_back();
+  if (exemplars_.size() >= capacity_) {
+    threshold_.store(exemplars_.back().total_seconds, std::memory_order_relaxed);
+  }
+}
+
+std::vector<Exemplar> SlowExemplarRing::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return exemplars_;
+}
+
+void SlowExemplarRing::write_json(std::ostream& out) const {
+  const auto exemplars = snapshot();
+  out << '[';
+  for (std::size_t i = 0; i < exemplars.size(); ++i) {
+    const Exemplar& e = exemplars[i];
+    out << (i == 0 ? "" : ",") << "{\"total_seconds\":" << e.total_seconds
+        << ",\"captured_us\":" << e.captured_us << ",\"label\":\""
+        << util::json_escape(e.label) << "\",\"spans\":[";
+    for (std::size_t s = 0; s < e.spans.size(); ++s) {
+      out << (s == 0 ? "" : ",") << "{\"name\":\"" << util::json_escape(e.spans[s].name)
+          << "\",\"ts\":" << e.spans[s].start_us << ",\"dur\":" << e.spans[s].duration_us
+          << '}';
+    }
+    out << "]}";
+  }
+  out << ']';
+}
+
+std::size_t SlowExemplarRing::size() const {
+  std::lock_guard lock(mutex_);
+  return exemplars_.size();
+}
+
+void SlowExemplarRing::clear() {
+  std::lock_guard lock(mutex_);
+  exemplars_.clear();
+  threshold_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace headtalk::obs

@@ -1,0 +1,87 @@
+// Slow-utterance exemplars: the Chrome-trace spans of the K slowest
+// utterances seen so far, retained for live dump via the admin plane's
+// /stats.json.
+//
+// Aggregate histograms (pipeline.stage.*_seconds) say *that* p99 moved;
+// an exemplar says *where the time went* inside one concrete slow
+// utterance — per-stage spans with real timestamps, loadable straight
+// into chrome://tracing. The ring keeps the K slowest by total seconds.
+//
+// Cost model: offer() first reads one relaxed atomic (the admission
+// threshold — the fastest retained total once the ring is full) and
+// returns immediately for the common fast utterance; only an utterance
+// slow enough to displace an exemplar takes the mutex. That keeps the
+// hot scoring path at one load per utterance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace headtalk::obs {
+
+/// One completed stage inside an utterance, in trace-event terms
+/// (microseconds on the steady clock, same epoch as obs::now_micros()).
+struct ExemplarSpan {
+  const char* name = "";  ///< string literal (pipeline stage name)
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+};
+
+/// A retained slow utterance.
+struct Exemplar {
+  double total_seconds = 0.0;
+  std::uint64_t captured_us = 0;  ///< end-of-utterance, steady-clock µs
+  std::string label;              ///< e.g. decision name or caller tag
+  struct Span {
+    std::string name;
+    std::uint64_t start_us = 0;
+    std::uint64_t duration_us = 0;
+  };
+  std::vector<Span> spans;
+};
+
+class SlowExemplarRing {
+ public:
+  explicit SlowExemplarRing(std::size_t capacity = 8);
+
+  /// Process-wide ring the pipeline reports into (capacity 8).
+  static SlowExemplarRing& global();
+
+  /// Offers one finished utterance; retained only while it ranks among the
+  /// K slowest. `spans` is copied on admission, never on rejection.
+  void offer(double total_seconds, std::string_view label,
+             std::span<const ExemplarSpan> spans);
+
+  /// Slowest-first copy of the retained exemplars.
+  [[nodiscard]] std::vector<Exemplar> snapshot() const;
+
+  /// JSON array of the retained exemplars, slowest first:
+  /// [{"total_seconds":..,"label":"..","captured_us":..,
+  ///   "spans":[{"name":"..","ts":..,"dur":..},...]},...]
+  /// Span "ts"/"dur" are Chrome trace-event microseconds.
+  void write_json(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  /// Utterances offered so far (admitted or not).
+  [[nodiscard]] std::uint64_t offered() const noexcept {
+    return offered_.load(std::memory_order_relaxed);
+  }
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  /// Admission gate: fastest retained total once full, else 0 (admit all).
+  std::atomic<double> threshold_{0.0};
+  std::atomic<std::uint64_t> offered_{0};
+  mutable std::mutex mutex_;
+  std::vector<Exemplar> exemplars_;  ///< sorted slowest-first, <= capacity_
+};
+
+}  // namespace headtalk::obs

@@ -123,6 +123,23 @@ Histogram& Registry::histogram(std::string_view name, std::vector<double> upper_
   return *it->second;
 }
 
+void Registry::visit(
+    const std::function<void(const std::string&, const Counter&)>& on_counter,
+    const std::function<void(const std::string&, const Gauge&)>& on_gauge,
+    const std::function<void(const std::string&, const Histogram&)>& on_histogram)
+    const {
+  std::lock_guard lock(mutex_);
+  if (on_counter) {
+    for (const auto& [name, counter] : counters_) on_counter(name, *counter);
+  }
+  if (on_gauge) {
+    for (const auto& [name, gauge] : gauges_) on_gauge(name, *gauge);
+  }
+  if (on_histogram) {
+    for (const auto& [name, histogram] : histograms_) on_histogram(name, *histogram);
+  }
+}
+
 void Registry::write_text(std::ostream& out) const {
   std::lock_guard lock(mutex_);
   for (const auto& [name, counter] : counters_) {

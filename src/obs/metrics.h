@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -101,6 +102,18 @@ class Registry {
   /// Empty `upper_bounds` selects Histogram::default_seconds_bounds().
   /// Bounds are fixed by the first call for a given name.
   Histogram& histogram(std::string_view name, std::vector<double> upper_bounds = {});
+
+  /// Calls the given callbacks for every registered instrument, in name
+  /// order, under the registry lock. Instrument values are read with
+  /// relaxed atomics, so a visit concurrent with writers sees a consistent
+  /// *set* of instruments and approximately-current values — exactly the
+  /// guarantee a live scrape needs. Callbacks must not re-enter the
+  /// registry (deadlock). Null callbacks skip that instrument kind.
+  void visit(
+      const std::function<void(const std::string&, const Counter&)>& on_counter,
+      const std::function<void(const std::string&, const Gauge&)>& on_gauge,
+      const std::function<void(const std::string&, const Histogram&)>& on_histogram)
+      const;
 
   /// One instrument per line: `counter <name> <value>` etc.
   void write_text(std::ostream& out) const;

@@ -206,6 +206,29 @@ void Server::stop() {
   });
 }
 
+std::vector<ConnectionInfo> Server::connections() const {
+  const auto now = Clock::now();
+  const auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now.time_since_epoch())
+                          .count();
+  std::vector<ConnectionInfo> out;
+  std::lock_guard lock(conn_mutex_);
+  out.reserve(conn_table_.size());
+  for (const auto& [id, slot] : conn_table_) {
+    ConnectionInfo info;
+    info.id = id;
+    info.stream_mode = slot->stream_mode.load(std::memory_order_relaxed);
+    info.decisions = slot->decisions.load(std::memory_order_relaxed);
+    info.age_seconds = std::chrono::duration<double>(now - slot->accepted_at).count();
+    const auto last = slot->last_activity_us.load(std::memory_order_relaxed);
+    info.idle_seconds = last > 0 && now_us > last
+                            ? static_cast<double>(now_us - last) * 1e-6
+                            : 0.0;
+    out.push_back(info);
+  }
+  return out;
+}
+
 ServerStats Server::stats() const {
   ServerStats out;
   out.connections_accepted = accepted_.load(std::memory_order_relaxed);
@@ -301,6 +324,32 @@ void Server::handle_connection(int fd, core::ScoringWorkspace& workspace) {
   const auto deadline_budget = std::chrono::milliseconds(config_.request_deadline_ms);
   Clock::time_point request_start = Clock::now();
   Clock::time_point deadline = request_start + deadline_budget;
+
+  // Register this connection's row in the admin table. The worker updates
+  // the row's atomics lock-free on every read; the mutex is touched only
+  // here and at teardown.
+  const auto steady_us = [] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  };
+  auto slot = std::make_shared<ConnectionSlot>();
+  slot->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  slot->accepted_at = request_start;
+  slot->last_activity_us.store(steady_us(), std::memory_order_relaxed);
+  {
+    std::lock_guard lock(conn_mutex_);
+    conn_table_.emplace(slot->id, slot);
+  }
+  struct SlotEraser {
+    Server* server;
+    std::uint64_t id;
+    ~SlotEraser() {
+      std::lock_guard lock(server->conn_mutex_);
+      server->conn_table_.erase(id);
+    }
+  } eraser{this, slot->id};
+
   std::uint8_t buffer[1 << 16];
   // Watch the stop pipe alongside the client so a drain is not held hostage
   // by an idle connection waiting out its deadline. Once a drain is seen
@@ -347,10 +396,14 @@ void Server::handle_connection(int fd, core::ScoringWorkspace& workspace) {
       break;
     }
 
+    slot->last_activity_us.store(steady_us(), std::memory_order_relaxed);
+
     const std::size_t decisions_before = session.decisions_sent();
     const bool alive = session.on_bytes(buffer, static_cast<std::size_t>(n));
     const auto output = session.take_output();
     if (!output.empty() && !send_all(fd, output.data(), output.size())) break;
+    slot->stream_mode.store(session.stream_mode(), std::memory_order_relaxed);
+    slot->decisions.store(session.decisions_sent(), std::memory_order_relaxed);
 
     if (session.stream_mode()) {
       // Auto-endpoint streaming: the server owns segmentation, so there is

@@ -13,10 +13,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <filesystem>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -52,6 +55,15 @@ struct ServerStats {
   std::size_t active_connections = 0;
 };
 
+/// One live connection as the admin plane's /stats.json reports it.
+struct ConnectionInfo {
+  std::uint64_t id = 0;        ///< accept-order id, unique per server run
+  bool stream_mode = false;    ///< between STREAM_START and STREAM_END
+  std::uint64_t decisions = 0;
+  double age_seconds = 0.0;    ///< since accept
+  double idle_seconds = 0.0;   ///< since the last bytes from the client
+};
+
 class Server {
  public:
   /// The pipeline must stay alive for the server's lifetime; workers only
@@ -83,10 +95,29 @@ class Server {
     return started_.load(std::memory_order_acquire) &&
            !stopped_.load(std::memory_order_acquire);
   }
+  /// True once a stop/drain has been requested — the admin plane's
+  /// /readyz flips to 503 on this, before in-flight utterances finish.
+  [[nodiscard]] bool draining() const noexcept {
+    return stopping_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] ServerStats stats() const;
+  /// Snapshot of the live per-connection table (worker threads update
+  /// their own rows with relaxed atomics; this never blocks scoring).
+  [[nodiscard]] std::vector<ConnectionInfo> connections() const;
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
 
  private:
+  /// Row in the live connection table. The owning worker writes the
+  /// atomics lock-free; the table mutex only guards insert/erase and the
+  /// admin snapshot.
+  struct ConnectionSlot {
+    std::uint64_t id = 0;
+    std::chrono::steady_clock::time_point accepted_at{};
+    std::atomic<bool> stream_mode{false};
+    std::atomic<std::uint64_t> decisions{0};
+    std::atomic<std::int64_t> last_activity_us{0};  ///< steady-clock µs
+  };
+
   void acceptor_loop();
   void worker_loop();
   void handle_connection(int fd, core::ScoringWorkspace& workspace);
@@ -113,6 +144,10 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
   std::once_flag stop_once_;
+
+  mutable std::mutex conn_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<ConnectionSlot>> conn_table_;
+  std::atomic<std::uint64_t> next_conn_id_{0};
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> busy_{0};

@@ -1,0 +1,135 @@
+// Slow-utterance exemplar ring (obs/exemplar.h): K-slowest retention,
+// the relaxed admission threshold, and the /stats.json dump format.
+#include "obs/exemplar.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace headtalk::obs {
+namespace {
+
+std::array<ExemplarSpan, 2> two_spans() {
+  return {ExemplarSpan{"pipeline.preprocess", 100, 40},
+          ExemplarSpan{"pipeline.liveness", 140, 60}};
+}
+
+TEST(SlowExemplarRingTest, KeepsTheKSlowest) {
+  SlowExemplarRing ring(3);
+  const auto spans = two_spans();
+  for (const double total : {0.010, 0.050, 0.020, 0.003, 0.040, 0.001}) {
+    ring.offer(total, "accepted", spans);
+  }
+  EXPECT_EQ(ring.offered(), 6u);
+  const std::vector<Exemplar> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept[0].total_seconds, 0.050);
+  EXPECT_DOUBLE_EQ(kept[1].total_seconds, 0.040);
+  EXPECT_DOUBLE_EQ(kept[2].total_seconds, 0.020);
+}
+
+TEST(SlowExemplarRingTest, RetainsLabelAndSpans) {
+  SlowExemplarRing ring(2);
+  ring.offer(0.5, "rejected_orientation", two_spans());
+  const std::vector<Exemplar> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].label, "rejected_orientation");
+  ASSERT_EQ(kept[0].spans.size(), 2u);
+  EXPECT_EQ(kept[0].spans[0].name, "pipeline.preprocess");
+  EXPECT_EQ(kept[0].spans[0].start_us, 100u);
+  EXPECT_EQ(kept[0].spans[0].duration_us, 40u);
+  EXPECT_EQ(kept[0].spans[1].name, "pipeline.liveness");
+  EXPECT_GT(kept[0].captured_us, 0u);
+}
+
+TEST(SlowExemplarRingTest, FastUtterancesAreRejectedOnceFull) {
+  SlowExemplarRing ring(2);
+  const auto spans = two_spans();
+  ring.offer(0.2, "a", spans);
+  ring.offer(0.3, "b", spans);
+  // Slower than nothing retained: rejected by the threshold, ring unchanged.
+  ring.offer(0.1, "c", spans);
+  const std::vector<Exemplar> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].total_seconds, 0.3);
+  EXPECT_DOUBLE_EQ(kept[1].total_seconds, 0.2);
+  // But a genuinely slower one displaces the fastest.
+  ring.offer(0.25, "d", spans);
+  const std::vector<Exemplar> after = ring.snapshot();
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_DOUBLE_EQ(after[0].total_seconds, 0.3);
+  EXPECT_DOUBLE_EQ(after[1].total_seconds, 0.25);
+}
+
+TEST(SlowExemplarRingTest, ClearEmptiesAndReopensAdmission) {
+  SlowExemplarRing ring(1);
+  ring.offer(1.0, "slow", two_spans());
+  ring.offer(0.5, "fast", two_spans());
+  ASSERT_EQ(ring.size(), 1u);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  // After clear the threshold is open again: a fast utterance is admitted.
+  ring.offer(0.001, "tiny", two_spans());
+  const std::vector<Exemplar> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].total_seconds, 0.001);
+}
+
+TEST(SlowExemplarRingTest, WriteJsonIsParseableAndSlowestFirst) {
+  SlowExemplarRing ring(4);
+  ring.offer(0.010, "accepted", two_spans());
+  ring.offer(0.030, "rejected_liveness", two_spans());
+  std::ostringstream out;
+  ring.write_json(out);
+  const util::JsonValue parsed = util::JsonValue::parse(out.str());
+  ASSERT_TRUE(parsed.is_array());
+  const auto& items = parsed.as_array();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_DOUBLE_EQ(items[0].find("total_seconds")->as_number(), 0.030);
+  EXPECT_EQ(items[0].find("label")->as_string(), "rejected_liveness");
+  const auto& spans = items[0].find("spans")->as_array();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].find("name")->as_string(), "pipeline.preprocess");
+  EXPECT_DOUBLE_EQ(spans[0].find("ts")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(spans[0].find("dur")->as_number(), 40.0);
+}
+
+TEST(SlowExemplarRingTest, EmptyRingDumpsEmptyArray) {
+  SlowExemplarRing ring(4);
+  std::ostringstream out;
+  ring.write_json(out);
+  EXPECT_EQ(out.str(), "[]");
+}
+
+TEST(SlowExemplarRingTest, ConcurrentOffersKeepInvariants) {
+  SlowExemplarRing ring(8);
+  const auto spans = two_spans();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        ring.offer(0.001 * static_cast<double>((t * 500 + i) % 97 + 1), "x", spans);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ring.offered(), 2000u);
+  const std::vector<Exemplar> kept = ring.snapshot();
+  ASSERT_LE(kept.size(), 8u);
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_GE(kept[i - 1].total_seconds, kept[i].total_seconds);
+  }
+  // Everything retained must rank among the slowest offered totals (the
+  // slowest possible total is 97 ms).
+  for (const auto& exemplar : kept) {
+    EXPECT_GT(exemplar.total_seconds, 0.080);
+  }
+}
+
+}  // namespace
+}  // namespace headtalk::obs

@@ -2,12 +2,21 @@
 //
 //   headtalk_client --socket /tmp/headtalk.sock --wav capture.wav
 //   headtalk_client --socket /tmp/headtalk.sock --wav a.wav,b.wav --parallel 8
+//   headtalk_client --admin-socket /tmp/headtalk-admin.sock --admin-get /metrics
+//   headtalk_client --admin-port 7072 --watch
 //
 // Each connection sends HELLO, then streams every WAV as one utterance and
 // prints the DECISION. With --parallel N, N connections run concurrently
 // (each scoring the full WAV list) — a quick load generator and the
 // workhorse of the serve smoke test. Exit status is nonzero when any
 // utterance failed to produce a DECISION.
+//
+// The admin modes talk to the daemon's telemetry plane instead of scoring:
+// --admin-get TARGET prints one response body (nonzero exit unless HTTP
+// 200), and --watch polls /metrics.json + /stats.json every --interval-ms,
+// rendering a refreshing per-stage latency / qps view.
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -19,7 +28,10 @@
 #include "audio/wav_io.h"
 #include "cli/args.h"
 #include "core/pipeline.h"
+#include "obs/export.h"
+#include "serve/admin.h"
 #include "serve/client.h"
+#include "util/json.h"
 
 using namespace headtalk;
 
@@ -46,6 +58,101 @@ serve::BlockingClient connect(const cli::ArgParser& args) {
   throw cli::ArgsError("one of --socket or --tcp-port is required");
 }
 
+serve::AdminFetch admin_fetch(const cli::ArgParser& args, std::string_view target) {
+  const std::string admin_socket = args.get("--admin-socket");
+  const long admin_port = args.get_int("--admin-port");
+  if (!admin_socket.empty()) return serve::admin_get_unix(admin_socket, target);
+  if (admin_port > 0) return serve::admin_get_tcp(static_cast<int>(admin_port), target);
+  throw cli::ArgsError("admin modes need --admin-socket or --admin-port");
+}
+
+std::uint64_t decision_total(const obs::MetricsSnapshot& snapshot) {
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind("pipeline.decision.", 0) == 0) total += value;
+  }
+  return total;
+}
+
+/// One --watch frame: a header line (uptime / rss / connections / qps from
+/// the decision-counter delta) and a per-stage latency table computed from
+/// the shipped histogram buckets.
+void render_watch_frame(const obs::MetricsSnapshot& snapshot,
+                        const util::JsonValue& stats, double qps) {
+  double uptime = 0.0, rss_mib = 0.0;
+  std::size_t connections = 0;
+  if (const auto* v = stats.find("uptime_seconds")) uptime = v->as_number();
+  if (const auto* v = stats.find("rss_bytes"); v != nullptr && v->as_number() > 0) {
+    rss_mib = v->as_number() / (1024.0 * 1024.0);
+  }
+  if (const auto* v = stats.find("connections"); v != nullptr && v->is_array()) {
+    connections = v->as_array().size();
+  }
+  std::printf(
+      "headtalk --watch   uptime %8.1f s   rss %7.1f MiB   conns %2zu   "
+      "decisions %llu   qps %6.1f\n\n",
+      uptime, rss_mib, connections,
+      static_cast<unsigned long long>(decision_total(snapshot)), qps);
+  std::printf("  %-22s %10s %10s %10s %10s\n", "stage", "count", "mean ms", "p50 ms",
+              "p95 ms");
+  constexpr std::string_view kPrefix = "pipeline.stage.";
+  constexpr std::string_view kSuffix = "_seconds";
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    std::string label = name.substr(kPrefix.size());
+    if (label.size() > kSuffix.size() &&
+        label.compare(label.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0) {
+      label.resize(label.size() - kSuffix.size());
+    }
+    const double mean_ms =
+        histogram.count > 0 ? 1e3 * histogram.sum / static_cast<double>(histogram.count)
+                            : 0.0;
+    std::printf("  %-22s %10llu %10.3f %10.3f %10.3f\n", label.c_str(),
+                static_cast<unsigned long long>(histogram.count), mean_ms,
+                1e3 * obs::snapshot_quantile(histogram, 0.5),
+                1e3 * obs::snapshot_quantile(histogram, 0.95));
+  }
+  std::fflush(stdout);
+}
+
+int run_watch(const cli::ArgParser& args) {
+  const long interval_ms = args.get_int("--interval-ms");
+  const long frame_limit = args.get_int("--watch-count");
+  if (interval_ms < 1) throw cli::ArgsError("--interval-ms must be >= 1");
+  if (frame_limit < 0) throw cli::ArgsError("--watch-count must be >= 0");
+  const bool tty = ::isatty(STDOUT_FILENO) == 1;
+  std::uint64_t previous_decisions = 0;
+  auto previous_time = std::chrono::steady_clock::now();
+  bool have_previous = false;
+  for (long frame = 0; frame_limit == 0 || frame < frame_limit; ++frame) {
+    if (frame > 0) std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const serve::AdminFetch metrics = admin_fetch(args, "/metrics.json");
+    const serve::AdminFetch stats = admin_fetch(args, "/stats.json");
+    if (metrics.status != 200 || stats.status != 200) {
+      std::fprintf(stderr, "watch: scrape failed (/metrics.json %d, /stats.json %d)\n",
+                   metrics.status, stats.status);
+      return 1;
+    }
+    const obs::MetricsSnapshot snapshot = obs::parse_snapshot_json(metrics.body);
+    const util::JsonValue stats_json = util::JsonValue::parse(stats.body);
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t decisions = decision_total(snapshot);
+    double qps = 0.0;
+    if (have_previous) {
+      const double dt = std::chrono::duration<double>(now - previous_time).count();
+      if (dt > 0.0 && decisions >= previous_decisions) {
+        qps = static_cast<double>(decisions - previous_decisions) / dt;
+      }
+    }
+    previous_decisions = decisions;
+    previous_time = now;
+    have_previous = true;
+    if (tty) std::fputs("\x1b[H\x1b[2J", stdout);
+    render_watch_frame(snapshot, stats_json, qps);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +166,15 @@ int main(int argc, char** argv) {
   args.add_switch("--stream",
                   "streaming mode: the server endpoints (STREAM_START; WAVs are "
                   "continuous audio, not one utterance each)");
+  args.add_flag("--admin-socket", "Unix socket of the daemon's admin plane", "");
+  args.add_flag("--admin-port", "admin plane on 127.0.0.1:<port>", "0");
+  args.add_flag("--admin-get",
+                "fetch one admin target (e.g. /metrics, /healthz, /stats.json), "
+                "print the body, exit nonzero unless HTTP 200",
+                "");
+  args.add_switch("--watch", "poll the admin plane and render a live stage/qps view");
+  args.add_flag("--interval-ms", "--watch poll interval", "1000");
+  args.add_flag("--watch-count", "--watch frames before exiting (0 = forever)", "0");
 
   try {
     args.parse(argc, argv);
@@ -66,6 +182,24 @@ int main(int argc, char** argv) {
       std::fputs(args.usage().c_str(), stdout);
       return 0;
     }
+
+    // Admin modes need no WAVs and no scoring connection.
+    const std::string admin_target = args.get("--admin-get");
+    if (!admin_target.empty() && args.get_switch("--watch")) {
+      throw cli::ArgsError("--admin-get and --watch are mutually exclusive");
+    }
+    if (!admin_target.empty()) {
+      const serve::AdminFetch fetch = admin_fetch(args, admin_target);
+      std::fwrite(fetch.body.data(), 1, fetch.body.size(), stdout);
+      if (!fetch.body.empty() && fetch.body.back() != '\n') std::fputc('\n', stdout);
+      if (fetch.status != 200) {
+        std::fprintf(stderr, "admin-get %s: HTTP %d\n", admin_target.c_str(),
+                     fetch.status);
+        return 1;
+      }
+      return 0;
+    }
+    if (args.get_switch("--watch")) return run_watch(args);
 
     const auto wavs = parse_wavs(args.get("--wav"));
     const long parallel = args.get_int("--parallel");

@@ -2,22 +2,33 @@
 //
 //   headtalk_serve --models models --socket /tmp/headtalk.sock
 //   headtalk_serve --models models --socket /tmp/headtalk.sock \
-//       --tcp-port 7071 --jobs 4 --max-pending 128 --deadline-ms 5000
+//       --tcp-port 7071 --jobs 4 --max-pending 128 --deadline-ms 5000 \
+//       --admin-socket /tmp/headtalk-admin.sock --admin-port 7072
 //
 // Loads the persisted orientation + liveness models once, then scores
 // streamed multichannel captures for any number of concurrent clients over
 // a Unix-domain socket (and, with --tcp-port, a 127.0.0.1 TCP listener).
 // Overload is answered with BUSY frames; SIGINT/SIGTERM trigger a graceful
 // drain — queued and in-flight utterances still get their DECISIONs.
+//
+// With --admin-socket/--admin-port a second listener serves the live
+// telemetry plane (serve/admin.h): GET /metrics (Prometheus text),
+// /metrics.json (mergeable snapshot), /healthz, /readyz (503 while
+// draining), /stats.json (uptime, rss/fd/cpu, per-connection table, slow-
+// utterance exemplars). Scoring threads are never involved in a scrape.
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
+#include <sstream>
 
 #include "cli/args.h"
 #include "cli/names.h"
 #include "core/pipeline.h"
 #include "ml/serialize.h"
+#include "obs/export.h"
 #include "room/mic_array.h"
+#include "serve/admin.h"
 #include "serve/server.h"
 
 using namespace headtalk;
@@ -47,6 +58,10 @@ int main(int argc, char** argv) {
   args.add_flag("--deadline-ms", "per-utterance deadline in milliseconds", "10000");
   args.add_flag("--mode", "scoring mode: normal|headtalk", "headtalk");
   args.add_flag("--device", "device the captures come from (aperture): D1|D2|D3", "D2");
+  args.add_flag("--admin-socket",
+                "Unix-domain socket for the admin/metrics plane (off if empty)", "");
+  args.add_flag("--admin-port",
+                "admin/metrics plane on 127.0.0.1:<port> (0 = off)", "0");
   cli::add_jobs_flag(args);
   cli::add_obs_flags(args);
 
@@ -88,6 +103,33 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handle_stop_signal);
 
     server.start();
+
+    serve::AdminConfig admin_config;
+    admin_config.socket_path = args.get("--admin-socket");
+    admin_config.tcp_port = static_cast<int>(args.get_int("--admin-port"));
+    std::unique_ptr<serve::AdminServer> admin;
+    if (!admin_config.socket_path.empty() || admin_config.tcp_port > 0) {
+      serve::AdminHooks hooks;
+      hooks.ready = [&server] { return server.running() && !server.draining(); };
+      hooks.connections = [&server] { return server.connections(); };
+      hooks.extra_stats = [&server, mode = args.get("--mode")] {
+        const serve::ServerStats stats = server.stats();
+        std::ostringstream extra;
+        extra << "\"mode\":\"" << mode << "\",\"decisions\":" << stats.decisions
+              << ",\"busy_rejections\":" << stats.busy_rejections
+              << ",\"connections_accepted\":" << stats.connections_accepted;
+        return extra.str();
+      };
+      admin = std::make_unique<serve::AdminServer>(admin_config, std::move(hooks));
+      admin->start();
+      std::printf("headtalk_serve: admin plane on %s%s\n",
+                  admin_config.socket_path.string().c_str(),
+                  admin_config.tcp_port > 0
+                      ? (" and 127.0.0.1:" + std::to_string(admin_config.tcp_port))
+                            .c_str()
+                      : "");
+    }
+
     std::printf("headtalk_serve: listening on %s%s — SIGINT/SIGTERM to stop\n",
                 config.socket_path.string().c_str(),
                 config.tcp_port > 0
@@ -95,6 +137,9 @@ int main(int argc, char** argv) {
                     : "");
     std::fflush(stdout);
     server.wait();
+    // Keep answering scrapes (reporting 503 /readyz) until the drain
+    // summary below is assembled, then shut the admin plane down.
+    if (admin) admin->stop();
 
     const serve::ServerStats stats = server.stats();
     g_server = nullptr;
@@ -106,6 +151,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.busy_rejections),
         static_cast<unsigned long long>(stats.session_errors),
         static_cast<unsigned long long>(stats.deadline_expirations));
+    // Final metrics snapshot through the exporter: the text form here for
+    // the operator's terminal, and — via ObsSession at scope exit — the
+    // same snapshot as mergeable JSON when --metrics-out was given.
+    std::fputs("headtalk_serve: final metrics snapshot\n", stdout);
+    std::fputs(obs::to_prometheus(obs::snapshot()).c_str(), stdout);
     return 0;
   } catch (const std::exception& error) {
     g_server = nullptr;

@@ -22,10 +22,12 @@ cmake --build "$build_dir" -j "$(nproc)" \
   --target tests_util tests_obs tests_dsp tests_sim tests_serve tests_stream tests_integration
 
 # halt_on_error: a single data race fails the run instead of scrolling by.
-# The obs patterns cover the concurrent-counter exactness tests and the
-# per-thread trace rings (Metrics*, Tracer*).
+# The obs patterns cover the concurrent-counter exactness tests, the
+# per-thread trace rings, the snapshot/export stress test (Metrics* also
+# matches MetricsExport*), the slow-exemplar ring, and the admin plane's
+# scrape-under-load paths.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|FftPlan|Experiment\.|Collector|EndToEnd|WavPipeline|Metrics|Tracer|ServeServer|ServeStreamMode|Vad\.|Endpointer\.|StreamingDetector|StreamRing|Simd'
+  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|FftPlan|Experiment\.|Collector|EndToEnd|WavPipeline|Metrics|Tracer|ServeServer|ServeStreamMode|Vad\.|Endpointer\.|StreamingDetector|StreamRing|Simd|Admin|SlowExemplar'
 
 echo "TSan test subset passed with zero reported races."
