@@ -149,14 +149,15 @@ PipelineResult HeadTalkPipeline::evaluate(const audio::MultiBuffer& capture,
 PipelineResult HeadTalkPipeline::score_capture(const audio::MultiBuffer& capture,
                                                VaMode mode, bool followup,
                                                bool session_active,
-                                               ScoringWorkspace* workspace) const {
+                                               ScoringWorkspace* workspace,
+                                               FeatureCapture* features_out) const {
   obs::ScopedSpan span("pipeline.evaluate");
   static obs::Histogram& evaluate_seconds =
       obs::Registry::global().histogram("pipeline.evaluate_seconds");
   obs::Timer timer(&evaluate_seconds);
   t_stages.count = 0;
   const PipelineResult result =
-      evaluate_stages(capture, mode, followup, session_active, workspace);
+      evaluate_stages(capture, mode, followup, session_active, workspace, features_out);
   count_decision(result.decision);
   // Offer the utterance to the slow-exemplar ring (one relaxed load when
   // it is not among the K slowest). Normal/Mute verdicts run no stages and
@@ -188,9 +189,14 @@ std::vector<PipelineResult> HeadTalkPipeline::score_batch(
 PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& capture,
                                                  VaMode mode, bool followup,
                                                  bool session_active,
-                                                 ScoringWorkspace* workspace) const {
+                                                 ScoringWorkspace* workspace,
+                                                 FeatureCapture* features_out) const {
   PipelineResult result;
   result.session_open_after = session_active;
+  if (features_out != nullptr) {
+    features_out->liveness.clear();
+    features_out->orientation.clear();
+  }
   if (mode == VaMode::kMute) {
     result.decision = Decision::kRejectedMuted;
     return result;
@@ -218,6 +224,7 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
     StageTimer stage("pipeline.liveness_features", seconds);
     return liveness_extractor_.extract(denoised.channel(0), workspace);
   }();
+  if (features_out != nullptr) features_out->liveness = liveness_features;
   {
     static obs::Histogram& seconds =
         stage_histogram("pipeline.stage.liveness_score_seconds");
@@ -244,6 +251,7 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
     StageTimer stage("pipeline.orientation_features", seconds);
     return orientation_extractor_.extract(denoised, workspace);
   }();
+  if (features_out != nullptr) features_out->orientation = features;
   {
     static obs::Histogram& seconds =
         stage_histogram("pipeline.stage.orientation_score_seconds");

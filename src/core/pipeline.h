@@ -58,6 +58,20 @@ struct PipelineConfig {
   LivenessFeatureConfig liveness_features{};
 };
 
+/// The feature vectors a scoring pass computed, exposed for layers that
+/// need them beyond the verdict (speaker-identity matching in tenant/).
+/// A vector is empty when its stage did not run — orientation is skipped
+/// for replays and for follow-ups accepted via an open session, and
+/// Normal/Mute verdicts run no stages at all.
+struct FeatureCapture {
+  std::vector<double> liveness;
+  std::vector<double> orientation;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return liveness.empty() && orientation.empty();
+  }
+};
+
 /// Owns the two trained detectors and applies the mode state machine.
 class HeadTalkPipeline {
  public:
@@ -89,10 +103,14 @@ class HeadTalkPipeline {
   /// `workspace` (optional) supplies per-thread scratch reused across
   /// calls (see core/scoring_workspace.h); it never changes the result.
   /// Each workspace must be used by at most one thread at a time.
+  ///
+  /// `features_out` (optional) receives copies of the feature vectors the
+  /// stages computed (see FeatureCapture); passing null costs nothing.
   [[nodiscard]] PipelineResult score_capture(const audio::MultiBuffer& capture,
                                              VaMode mode, bool followup,
                                              bool session_active,
-                                             ScoringWorkspace* workspace = nullptr) const;
+                                             ScoringWorkspace* workspace = nullptr,
+                                             FeatureCapture* features_out = nullptr) const;
 
   /// Scores a batch of independent wake-word captures (no follow-up or
   /// session context) under `mode`, sharing one workspace across the whole
@@ -115,7 +133,8 @@ class HeadTalkPipeline {
   [[nodiscard]] PipelineResult evaluate_stages(const audio::MultiBuffer& capture,
                                                VaMode mode, bool followup,
                                                bool session_active,
-                                               ScoringWorkspace* workspace) const;
+                                               ScoringWorkspace* workspace,
+                                               FeatureCapture* features_out) const;
 
   OrientationClassifier orientation_;
   LivenessDetector liveness_;

@@ -203,13 +203,41 @@ void AdminServer::stop() {
   }
 }
 
-AdminResponse AdminServer::handle(std::string_view target) const {
+AdminResponse AdminServer::handle(std::string_view target,
+                                  std::string_view method) const {
   requests_.fetch_add(1, std::memory_order_relaxed);
   // Strip any query string: /metrics?x=y scrapes like /metrics.
   if (const auto query = target.find('?'); query != std::string_view::npos) {
     target = target.substr(0, query);
   }
   AdminResponse response;
+  if (target == "/reload") {
+    // The only mutating endpoint: POST-only so that scrapers pointed at
+    // the wrong path cannot trigger model reloads.
+    if (method != "POST") {
+      response.status = 405;
+      response.body = "/reload requires POST\n";
+      return response;
+    }
+    if (!hooks_.reload) {
+      response.status = 404;
+      response.body = "reload not available (tenant store disabled)\n";
+      return response;
+    }
+    try {
+      response.content_type = "application/json";
+      response.body = hooks_.reload();
+    } catch (const std::exception& error) {
+      response = {500, "text/plain; charset=utf-8",
+                  std::string("reload failed: ") + error.what() + "\n"};
+    }
+    return response;
+  }
+  if (method != "GET") {
+    response.status = 405;
+    response.body = "method not allowed\n";
+    return response;
+  }
   if (target == "/metrics") {
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = obs::to_prometheus(obs::snapshot());
@@ -228,6 +256,16 @@ AdminResponse AdminServer::handle(std::string_view target) const {
     const bool ready = !hooks_.ready || hooks_.ready();
     response.status = ready ? 200 : 503;
     response.body = ready ? "ready\n" : "not ready\n";
+    return response;
+  }
+  if (target == "/tenants.json") {
+    if (!hooks_.tenants) {
+      response.status = 404;
+      response.body = "tenants not available (tenant store disabled)\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = hooks_.tenants();
     return response;
   }
   if (target == "/stats.json") {
@@ -321,16 +359,24 @@ void AdminServer::serve_one(int fd) const {
   AdminResponse response;
   const auto line_end = request.find_first_of("\r\n");
   const std::string line = request.substr(0, line_end);
+  std::string_view method;
   if (line.rfind("GET ", 0) == 0) {
-    const auto target_end = line.find(' ', 4);
+    method = "GET";
+  } else if (line.rfind("POST ", 0) == 0) {
+    method = "POST";
+  }
+  if (!method.empty()) {
+    const std::size_t target_begin = method.size() + 1;
+    const auto target_end = line.find(' ', target_begin);
     const std::string target =
-        line.substr(4, target_end == std::string::npos ? std::string::npos
-                                                       : target_end - 4);
-    response = handle(target);
+        line.substr(target_begin, target_end == std::string::npos
+                                      ? std::string::npos
+                                      : target_end - target_begin);
+    response = handle(target, method);
   } else if (line.empty()) {
     response = {400, "text/plain; charset=utf-8", "bad request\n"};
   } else {
-    response = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+    response = {405, "text/plain; charset=utf-8", "only GET and POST are supported\n"};
   }
 
   std::ostringstream head;
@@ -348,10 +394,11 @@ void AdminServer::serve_one(int fd) const {
 
 namespace {
 
-AdminFetch admin_get_fd(int fd, std::string_view target, int timeout_ms) {
+AdminFetch admin_fetch_fd(int fd, std::string_view method, std::string_view target,
+                          int timeout_ms) {
   AdminFetch out;
-  const std::string request =
-      "GET " + std::string(target) + " HTTP/1.0\r\nHost: admin\r\n\r\n";
+  const std::string request = std::string(method) + ' ' + std::string(target) +
+                              " HTTP/1.0\r\nHost: admin\r\nContent-Length: 0\r\n\r\n";
   if (!send_all(fd, request.data(), request.size(), timeout_ms)) {
     close_quietly(fd);
     throw std::runtime_error("admin client: send failed");
@@ -408,10 +455,7 @@ int connect_with_timeout(int fd, const sockaddr* addr, socklen_t len, int timeou
   return error == 0 ? 0 : -1;
 }
 
-}  // namespace
-
-AdminFetch admin_get_unix(const std::filesystem::path& socket_path,
-                          std::string_view target, int timeout_ms) {
+int connect_admin_unix(const std::filesystem::path& socket_path, int timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   const std::string text = socket_path.string();
@@ -426,10 +470,10 @@ AdminFetch admin_get_unix(const std::filesystem::path& socket_path,
     close_quietly(fd);
     throw std::runtime_error("admin client: cannot connect to " + text);
   }
-  return admin_get_fd(fd, target, timeout_ms);
+  return fd;
 }
 
-AdminFetch admin_get_tcp(int port, std::string_view target, int timeout_ms) {
+int connect_admin_tcp(int port, int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) throw std::runtime_error("admin client: socket() failed");
   sockaddr_in addr{};
@@ -442,7 +486,29 @@ AdminFetch admin_get_tcp(int port, std::string_view target, int timeout_ms) {
     throw std::runtime_error("admin client: cannot connect to 127.0.0.1:" +
                              std::to_string(port));
   }
-  return admin_get_fd(fd, target, timeout_ms);
+  return fd;
+}
+
+}  // namespace
+
+AdminFetch admin_get_unix(const std::filesystem::path& socket_path,
+                          std::string_view target, int timeout_ms) {
+  return admin_fetch_fd(connect_admin_unix(socket_path, timeout_ms), "GET", target,
+                        timeout_ms);
+}
+
+AdminFetch admin_get_tcp(int port, std::string_view target, int timeout_ms) {
+  return admin_fetch_fd(connect_admin_tcp(port, timeout_ms), "GET", target, timeout_ms);
+}
+
+AdminFetch admin_post_unix(const std::filesystem::path& socket_path,
+                           std::string_view target, int timeout_ms) {
+  return admin_fetch_fd(connect_admin_unix(socket_path, timeout_ms), "POST", target,
+                        timeout_ms);
+}
+
+AdminFetch admin_post_tcp(int port, std::string_view target, int timeout_ms) {
+  return admin_fetch_fd(connect_admin_tcp(port, timeout_ms), "POST", target, timeout_ms);
 }
 
 }  // namespace headtalk::serve

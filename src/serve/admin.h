@@ -15,12 +15,18 @@
 //   GET /stats.json    uptime, /proc self-stats (rss, fds, cpu), the live
 //                      per-connection table, and the slow-utterance
 //                      exemplars (obs/exemplar.h)
+//   GET /tenants.json  per-tenant model + decision-counter table (404 when
+//                      the daemon runs tenant-less)
+//   POST /reload       hot-reloads the tenant model store; the response
+//                      reports the new generation. GET answers 405 —
+//                      reloads mutate state and must not be scrapeable.
 //
 // The HTTP dialect is deliberately minimal: request line + headers are
-// read and ignored beyond `GET <target>`, every response carries
-// Content-Length and Connection: close, one request per connection —
-// enough for curl, Prometheus, and headtalk_client --watch, with no
-// dependency on an HTTP library.
+// read and ignored beyond `GET <target>` / `POST <target>` (request
+// bodies are ignored), every response carries Content-Length and
+// Connection: close, one request per connection — enough for curl,
+// Prometheus, and headtalk_client --watch, with no dependency on an HTTP
+// library.
 #pragma once
 
 #include <atomic>
@@ -53,6 +59,12 @@ struct AdminHooks {
   /// `"decisions":12,"mode":"headtalk"` (no surrounding braces). Null
   /// means none.
   std::function<std::string()> extra_stats;
+  /// Full JSON body for GET /tenants.json; null answers 404 (daemon runs
+  /// tenant-less).
+  std::function<std::string()> tenants;
+  /// POST /reload action; returns the JSON response body. Null answers
+  /// 404; a thrown exception answers 500 with the message.
+  std::function<std::string()> reload;
 };
 
 /// Process self-stats read from /proc (Linux); -1 fields when unavailable.
@@ -87,7 +99,8 @@ class AdminServer {
 
   /// Routes one request target to a response (no sockets involved); the
   /// serving thread and the tests share this exact function.
-  [[nodiscard]] AdminResponse handle(std::string_view target) const;
+  [[nodiscard]] AdminResponse handle(std::string_view target,
+                                     std::string_view method = "GET") const;
 
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return requests_.load(std::memory_order_relaxed);
@@ -121,5 +134,11 @@ struct AdminFetch {
                                         std::string_view target, int timeout_ms = 5000);
 [[nodiscard]] AdminFetch admin_get_tcp(int port, std::string_view target,
                                        int timeout_ms = 5000);
+/// Same wire shape with a POST request line — the trigger side of
+/// POST /reload (bodies are not sent; the admin plane ignores them).
+[[nodiscard]] AdminFetch admin_post_unix(const std::filesystem::path& socket_path,
+                                         std::string_view target, int timeout_ms = 5000);
+[[nodiscard]] AdminFetch admin_post_tcp(int port, std::string_view target,
+                                        int timeout_ms = 5000);
 
 }  // namespace headtalk::serve

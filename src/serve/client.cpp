@@ -145,6 +145,25 @@ HelloOk BlockingClient::hello(const Hello& hello) {
   return parse_hello_ok(reply);
 }
 
+BlockingClient::AuthResult BlockingClient::auth(std::string_view tenant_id) {
+  if (channels_ == 0) throw ClientError("auth() before hello()");
+  const auto bytes = encode_auth(tenant_id);
+  send_bytes(bytes.data(), bytes.size());
+  const Frame reply = read_frame();
+  AuthResult result;
+  if (reply.type == FrameType::kAuthOk) {
+    result.accepted = true;
+    result.ok = parse_auth_ok(reply);
+    return result;
+  }
+  if (reply.type == FrameType::kAuthReject) {
+    result.accepted = false;
+    result.reject = parse_auth_reject(reply);
+    return result;
+  }
+  throw_server_reply(reply);
+}
+
 DecisionFrame BlockingClient::score(const audio::MultiBuffer& capture, bool followup,
                                     std::size_t chunk_frames) {
   if (channels_ == 0) throw ClientError("score() before hello()");

@@ -52,6 +52,20 @@ class BlockingClient {
   /// BUSY (code() tells which) and on connection failures.
   HelloOk hello(const Hello& hello = {});
 
+  /// Outcome of auth(): exactly one of `ok`/`reject` is meaningful
+  /// (`accepted` tells which). An AUTH_REJECT is a non-fatal status — the
+  /// connection remains usable tenant-less — so it is returned, not thrown.
+  struct AuthResult {
+    bool accepted = false;
+    AuthOk ok;
+    AuthReject reject;
+  };
+
+  /// Binds the connection to a tenant (AUTH → AUTH_OK | AUTH_REJECT).
+  /// Call after hello() and before any streaming. Throws ClientError on
+  /// connection failures or a fatal server ERROR.
+  AuthResult auth(std::string_view tenant_id);
+
   /// Streams one capture as AUDIO_CHUNKs of `chunk_frames` frames,
   /// sends END_OF_UTTERANCE, and waits for the DECISION. The capture's
   /// channel count must match the HELLO.

@@ -169,13 +169,33 @@ std::string_view frame_type_name(FrameType type) {
       return "STREAM_END";
     case FrameType::kStreamSummary:
       return "STREAM_SUMMARY";
+    case FrameType::kAuth:
+      return "AUTH";
+    case FrameType::kAuthOk:
+      return "AUTH_OK";
+    case FrameType::kAuthReject:
+      return "AUTH_REJECT";
   }
   return "?";
 }
 
 bool frame_type_known(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kStreamSummary);
+         raw <= static_cast<std::uint8_t>(FrameType::kAuthReject);
+}
+
+std::string_view auth_reject_code_name(AuthRejectCode code) {
+  switch (code) {
+    case AuthRejectCode::kUnknownTenant:
+      return "unknown-tenant";
+    case AuthRejectCode::kAlreadyAuthenticated:
+      return "already-authenticated";
+    case AuthRejectCode::kStreamOpen:
+      return "stream-open";
+    case AuthRejectCode::kTenantsDisabled:
+      return "tenants-disabled";
+  }
+  return "?";
 }
 
 std::string_view error_code_name(ErrorCode code) {
@@ -250,6 +270,11 @@ void append_decision_fields(std::vector<std::uint8_t>& payload,
   append_f64(payload, decision.liveness_score);
   append_f64(payload, decision.orientation_score);
   append_f64(payload, decision.elapsed_seconds);
+  append_u8(payload, decision.policy_applied ? 1 : 0);
+  append_u8(payload, decision.policy_allowed ? 1 : 0);
+  append_u8(payload, decision.policy_reason);
+  append_u8(payload, 0);  // reserved
+  append_f64(payload, decision.match_score);
 }
 
 DecisionFrame read_decision_fields(ByteCursor& in, const char* what) {
@@ -270,6 +295,18 @@ DecisionFrame read_decision_fields(ByteCursor& in, const char* what) {
   decision.liveness_score = in.read_f64();
   decision.orientation_score = in.read_f64();
   decision.elapsed_seconds = in.read_f64();
+  const std::uint8_t applied = in.read_u8();
+  const std::uint8_t allowed = in.read_u8();
+  if (applied > 1 || allowed > 1) {
+    throw ProtocolError(std::string(what) + ": bad policy flag");
+  }
+  decision.policy_applied = applied == 1;
+  decision.policy_allowed = allowed == 1;
+  decision.policy_reason = in.read_u8();
+  if (in.read_u8() != 0) {
+    throw ProtocolError(std::string(what) + ": reserved policy bits set");
+  }
+  decision.match_score = in.read_f64();
   return decision;
 }
 
@@ -328,6 +365,40 @@ std::vector<std::uint8_t> encode_stream_summary(const StreamSummary& summary) {
   append_u32(payload, summary.discarded);
   append_u32(payload, 0);  // reserved
   return finish_frame(FrameType::kStreamSummary, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_auth(std::string_view tenant_id) {
+  if (tenant_id.empty() || tenant_id.size() > kMaxTenantIdBytes) {
+    throw ProtocolError("AUTH: tenant id length out of range [1, " +
+                        std::to_string(kMaxTenantIdBytes) + "]");
+  }
+  std::vector<std::uint8_t> payload;
+  append_u16(payload, static_cast<std::uint16_t>(tenant_id.size()));
+  append_u16(payload, 0);  // reserved
+  append_bytes(payload, tenant_id.data(), tenant_id.size());
+  return finish_frame(FrameType::kAuth, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_auth_ok(const AuthOk& ok) {
+  std::vector<std::uint8_t> payload;
+  append_u64(payload, ok.generation);
+  append_u8(payload, ok.policy_rule);
+  append_u8(payload, 0);   // reserved
+  append_u16(payload, 0);  // reserved
+  append_u32(payload, ok.quota_per_minute);
+  return finish_frame(FrameType::kAuthOk, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_auth_reject(AuthRejectCode code,
+                                             std::string_view message) {
+  if (message.size() > kMaxErrorMessageBytes) {
+    message = message.substr(0, kMaxErrorMessageBytes);
+  }
+  std::vector<std::uint8_t> payload;
+  append_u32(payload, static_cast<std::uint32_t>(code));
+  append_u32(payload, static_cast<std::uint32_t>(message.size()));
+  append_bytes(payload, message.data(), message.size());
+  return finish_frame(FrameType::kAuthReject, std::move(payload));
 }
 
 Hello parse_hello(const Frame& frame) {
@@ -472,6 +543,53 @@ StreamSummary parse_stream_summary(const Frame& frame) {
   if (in.read_u32() != 0) throw ProtocolError("STREAM_SUMMARY: reserved bits set");
   in.finish();
   return summary;
+}
+
+AuthFrame parse_auth(const Frame& frame) {
+  expect_type(frame, FrameType::kAuth, "AUTH");
+  ByteCursor in(frame.payload, "AUTH");
+  const std::uint16_t length = in.read_u16();
+  if (in.read_u16() != 0) throw ProtocolError("AUTH: reserved bits set");
+  if (length == 0 || length > kMaxTenantIdBytes || length != in.remaining()) {
+    throw ProtocolError("AUTH: bad tenant id length");
+  }
+  AuthFrame auth;
+  auth.tenant_id = in.read_chars(length);
+  in.finish();
+  return auth;
+}
+
+AuthOk parse_auth_ok(const Frame& frame) {
+  expect_type(frame, FrameType::kAuthOk, "AUTH_OK");
+  ByteCursor in(frame.payload, "AUTH_OK");
+  AuthOk ok;
+  ok.generation = in.read_u64();
+  ok.policy_rule = in.read_u8();
+  if (in.read_u8() != 0 || in.read_u16() != 0) {
+    throw ProtocolError("AUTH_OK: reserved bits set");
+  }
+  ok.quota_per_minute = in.read_u32();
+  in.finish();
+  return ok;
+}
+
+AuthReject parse_auth_reject(const Frame& frame) {
+  expect_type(frame, FrameType::kAuthReject, "AUTH_REJECT");
+  ByteCursor in(frame.payload, "AUTH_REJECT");
+  AuthReject reject;
+  const std::uint32_t code = in.read_u32();
+  if (code < static_cast<std::uint32_t>(AuthRejectCode::kUnknownTenant) ||
+      code > static_cast<std::uint32_t>(AuthRejectCode::kTenantsDisabled)) {
+    throw ProtocolError("AUTH_REJECT: unknown reject code");
+  }
+  reject.code = static_cast<AuthRejectCode>(code);
+  const std::uint32_t length = in.read_u32();
+  if (length > kMaxErrorMessageBytes || length != in.remaining()) {
+    throw ProtocolError("AUTH_REJECT: bad message length");
+  }
+  reject.message = in.read_chars(length);
+  in.finish();
+  return reject;
 }
 
 void FrameReader::feed(const void* data, std::size_t size) {

@@ -68,6 +68,15 @@ enum class FrameType : std::uint8_t {
   kStreamDecision = 10, ///< server→client: one verdict per detected segment
   kStreamEnd = 11,      ///< client→server: leave streaming, request summary
   kStreamSummary = 12,  ///< server→client: stream totals
+  // Tenant-scoped serving: after HELLO_OK a client may bind the
+  // connection to a tenant with AUTH. The server answers AUTH_OK (profile
+  // generation + policy) or AUTH_REJECT — a *non-fatal* typed status
+  // (unknown tenant, duplicate AUTH, AUTH mid-stream, tenants disabled);
+  // the connection continues tenant-less so clients can distinguish "not
+  // enrolled" from a dropped/busy connection.
+  kAuth = 13,           ///< client→server: bind the connection to a tenant
+  kAuthOk = 14,         ///< server→client: tenant resolved + policy echo
+  kAuthReject = 15,     ///< server→client: AUTH declined (non-fatal)
 };
 
 [[nodiscard]] std::string_view frame_type_name(FrameType type);
@@ -110,6 +119,15 @@ struct DecisionFrame {
   double liveness_score = 0.0;
   double orientation_score = 0.0;
   double elapsed_seconds = 0.0;  ///< server-side scoring time
+  // Tenant policy verdict. On a tenant-less connection policy_applied is
+  // false and policy_allowed simply mirrors the pipeline acceptance; on an
+  // AUTH'd connection the policy engine fills all three (policy_reason is
+  // a tenant::PolicyReason byte — the wire layer stays tenant-agnostic).
+  bool policy_applied = false;
+  bool policy_allowed = false;
+  std::uint8_t policy_reason = 0;
+  /// Speaker-identity match score (0 when no match was evaluated).
+  double match_score = 0.0;
 };
 
 /// Server acknowledgment of STREAM_START: the segmentation geometry the
@@ -136,6 +154,38 @@ struct StreamSummary {
   std::uint32_t segments = 0;
   std::uint32_t force_closed = 0;
   std::uint32_t discarded = 0;
+};
+
+/// Longest tenant id the AUTH frame carries (matches
+/// tenant::is_valid_tenant_id's bound).
+inline constexpr std::size_t kMaxTenantIdBytes = 64;
+
+struct AuthFrame {
+  std::string tenant_id;
+};
+
+/// AUTH accepted: the tenant's profile generation and effective policy at
+/// bind time (later hot reloads may move the generation — /tenants.json
+/// shows the live one).
+struct AuthOk {
+  std::uint64_t generation = 0;
+  std::uint8_t policy_rule = 0;  ///< tenant::PolicyRule byte
+  std::uint32_t quota_per_minute = 0;
+};
+
+enum class AuthRejectCode : std::uint32_t {
+  kUnknownTenant = 1,         ///< no such tenant in the store ("not enrolled")
+  kAlreadyAuthenticated = 2,  ///< double AUTH on one connection
+  kStreamOpen = 3,            ///< AUTH after a stream/utterance is open
+  kTenantsDisabled = 4,       ///< server runs without a tenant store
+};
+
+[[nodiscard]] std::string_view auth_reject_code_name(AuthRejectCode code);
+
+/// Non-fatal AUTH refusal: the connection stays usable (tenant-less).
+struct AuthReject {
+  AuthRejectCode code = AuthRejectCode::kUnknownTenant;
+  std::string message;
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -173,6 +223,10 @@ struct ErrorFrame {
 [[nodiscard]] std::vector<std::uint8_t> encode_stream_end();
 [[nodiscard]] std::vector<std::uint8_t> encode_stream_summary(
     const StreamSummary& summary);
+[[nodiscard]] std::vector<std::uint8_t> encode_auth(std::string_view tenant_id);
+[[nodiscard]] std::vector<std::uint8_t> encode_auth_ok(const AuthOk& ok);
+[[nodiscard]] std::vector<std::uint8_t> encode_auth_reject(AuthRejectCode code,
+                                                           std::string_view message);
 
 // ---- strict decode --------------------------------------------------------
 // Each parser requires the exact frame type and consumes the payload fully;
@@ -190,6 +244,9 @@ void parse_stream_start(const Frame& frame);  ///< validates the empty payload
 [[nodiscard]] StreamDecisionFrame parse_stream_decision(const Frame& frame);
 void parse_stream_end(const Frame& frame);  ///< validates the empty payload
 [[nodiscard]] StreamSummary parse_stream_summary(const Frame& frame);
+[[nodiscard]] AuthFrame parse_auth(const Frame& frame);
+[[nodiscard]] AuthOk parse_auth_ok(const Frame& frame);
+[[nodiscard]] AuthReject parse_auth_reject(const Frame& frame);
 
 /// Incremental frame decoder for a byte stream. feed() accepts whatever
 /// the socket produced; next() yields completed frames in order. A

@@ -6,6 +6,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tenant/service.h"
 
 namespace headtalk::serve {
 
@@ -88,6 +89,9 @@ void Session::handle_frame(const Frame& frame) {
     case FrameType::kHello:
       handle_hello(frame);
       return;
+    case FrameType::kAuth:
+      handle_auth(frame);
+      return;
     case FrameType::kAudioChunk:
       handle_chunk(frame);
       return;
@@ -107,6 +111,8 @@ void Session::handle_frame(const Frame& frame) {
     case FrameType::kStreamOk:
     case FrameType::kStreamDecision:
     case FrameType::kStreamSummary:
+    case FrameType::kAuthOk:
+    case FrameType::kAuthReject:
       fail(ErrorCode::kBadRequest,
            std::string("client sent a server-only frame: ") +
                std::string(frame_type_name(frame.type)));
@@ -143,6 +149,82 @@ void Session::handle_hello(const Frame& frame) {
   ok.max_utterance_frames = limits_.max_utterance_frames;
   const auto bytes = encode_hello_ok(ok);
   output_.insert(output_.end(), bytes.begin(), bytes.end());
+}
+
+void Session::handle_auth(const Frame& frame) {
+  if (state_ != State::kStreaming) {
+    // Before HELLO the connection has no negotiated protocol state at all;
+    // this stays a hard protocol error like every other pre-HELLO frame.
+    fail(ErrorCode::kBadRequest, "AUTH before HELLO");
+    return;
+  }
+  const AuthFrame auth = parse_auth(frame);
+  // Everything below is a *non-fatal* refusal: the protocol-hardening
+  // contract is that a misplaced or unresolvable AUTH answers a typed
+  // AUTH_REJECT and the connection continues tenant-less.
+  if (stream_mode_) {
+    reject_auth(AuthRejectCode::kStreamOpen, "AUTH while a stream is open");
+    return;
+  }
+  if (ring_.frames() != 0) {
+    reject_auth(AuthRejectCode::kStreamOpen, "AUTH with an utterance in flight");
+    return;
+  }
+  if (!tenant_id_.empty()) {
+    reject_auth(AuthRejectCode::kAlreadyAuthenticated,
+                "connection already bound to tenant '" + tenant_id_ + "'");
+    return;
+  }
+  if (limits_.tenants == nullptr) {
+    reject_auth(AuthRejectCode::kTenantsDisabled,
+                "server is running without a tenant store");
+    return;
+  }
+  const auto info = limits_.tenants->authenticate(auth.tenant_id);
+  if (!info) {
+    reject_auth(AuthRejectCode::kUnknownTenant,
+                "tenant '" + auth.tenant_id + "' is not enrolled");
+    return;
+  }
+  tenant_id_ = auth.tenant_id;
+  static obs::Counter& auths =
+      obs::Registry::global().counter("serve.session.auth_ok");
+  auths.increment();
+
+  AuthOk ok;
+  ok.generation = info->generation;
+  ok.policy_rule = static_cast<std::uint8_t>(info->rule);
+  ok.quota_per_minute = info->quota_per_minute;
+  const auto bytes = encode_auth_ok(ok);
+  output_.insert(output_.end(), bytes.begin(), bytes.end());
+}
+
+void Session::reject_auth(AuthRejectCode code, const std::string& message) {
+  static obs::Counter& rejects =
+      obs::Registry::global().counter("serve.session.auth_rejected");
+  rejects.increment();
+  obs::log_warn("serve.session.auth_reject",
+                {{"code", auth_reject_code_name(code)}, {"message", message}});
+  const auto bytes = encode_auth_reject(code, message);
+  output_.insert(output_.end(), bytes.begin(), bytes.end());
+}
+
+void Session::apply_policy(DecisionFrame& decision, const core::PipelineResult& result,
+                           const core::FeatureCapture& features) {
+  if (tenant_id_.empty() || limits_.tenants == nullptr) {
+    decision.policy_applied = false;
+    decision.policy_allowed = result.decision == core::Decision::kAccepted;
+    return;
+  }
+  const tenant::PolicyDecision policy =
+      limits_.tenants->decide(tenant_id_, result, features);
+  decision.policy_applied = true;
+  decision.policy_allowed = policy.allowed;
+  decision.policy_reason = static_cast<std::uint8_t>(policy.reason);
+  decision.match_score = policy.match_score;
+  // A policy denial must not leave a HeadTalk session open: a mismatched
+  // or over-quota speaker does not get hands-free follow-ups.
+  if (!policy.allowed) session_open_ = false;
 }
 
 void Session::handle_chunk(const Frame& frame) {
@@ -199,9 +281,11 @@ void Session::handle_end_of_utterance(const Frame& frame) {
     obs::ScopedSpan span("serve.score_utterance");
     obs::Timer timer(&score_seconds);
     const audio::MultiBuffer capture = ring_.snapshot();
+    core::FeatureCapture features;
+    const bool want_features = !tenant_id_.empty();
     const core::PipelineResult result =
         pipeline_.score_capture(capture, limits_.mode, end.followup, session_open_,
-                                workspace_);
+                                workspace_, want_features ? &features : nullptr);
     session_open_ = result.session_open_after;
     decision.decision = static_cast<std::uint8_t>(result.decision);
     decision.live = result.live;
@@ -209,6 +293,7 @@ void Session::handle_end_of_utterance(const Frame& frame) {
     decision.via_open_session = result.via_open_session;
     decision.liveness_score = result.liveness_score;
     decision.orientation_score = result.orientation_score;
+    apply_policy(decision, result, features);
     decision.elapsed_seconds = timer.stop();
   } catch (const std::exception& error) {
     fail(ErrorCode::kInternal, std::string("scoring failed: ") + error.what());
@@ -236,6 +321,9 @@ void Session::handle_stream_start(const Frame& frame) {
   }
   stream::StreamingDetectorConfig config = limits_.stream;
   config.mode = limits_.mode;  // one mode governs both scoring paths
+  // An AUTH'd stream needs each segment's feature vectors for the
+  // speaker-identity match.
+  config.capture_features = !tenant_id_.empty();
   detector_ = std::make_unique<stream::StreamingDetector>(pipeline_, channels_,
                                                           sample_rate_, config);
   detector_->set_workspace(workspace_);
@@ -286,7 +374,10 @@ void Session::emit_stream_decision(const stream::DecisionEvent& event) {
   decision.begin_seconds = event.begin_seconds;
   decision.end_seconds = event.end_seconds;
   decision.force_closed = event.force_closed;
+  // Carry the pipeline's session flag first; a policy denial then clears
+  // it (a mismatched speaker earns no hands-free follow-ups).
   session_open_ = event.result.session_open_after;
+  apply_policy(decision.decision, event.result, event.features);
   if (event.truncated_frames > 0) {
     obs::log_warn("serve.session.stream_truncated",
                   {{"truncated_frames", event.truncated_frames},

@@ -16,10 +16,16 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "audio/sample_buffer.h"
 #include "core/pipeline.h"
 #include "serve/protocol.h"
 #include "stream/streaming_detector.h"
+
+namespace headtalk::tenant {
+class TenantService;
+}
 
 namespace headtalk::serve {
 
@@ -35,6 +41,10 @@ struct SessionLimits {
   /// (STREAM_START). `stream.mode` is ignored — `mode` above governs both
   /// paths.
   stream::StreamingDetectorConfig stream{};
+  /// Tenant-scoped serving (AUTH frames). Null runs the daemon tenant-less
+  /// (AUTH answers AUTH_REJECT/tenants-disabled). Not owned; must outlive
+  /// every session.
+  tenant::TenantService* tenants = nullptr;
 };
 
 /// Fixed-capacity interleaved multichannel accumulator. Appends past the
@@ -109,17 +119,26 @@ class Session {
   /// utterances (the server's deadline handling keys off this).
   [[nodiscard]] bool stream_mode() const noexcept { return stream_mode_; }
   [[nodiscard]] const SessionLimits& limits() const noexcept { return limits_; }
+  /// Tenant this connection AUTH'd as (empty = tenant-less).
+  [[nodiscard]] const std::string& tenant_id() const noexcept { return tenant_id_; }
+  [[nodiscard]] bool authenticated() const noexcept { return !tenant_id_.empty(); }
 
  private:
   enum class State { kAwaitHello, kStreaming, kFailed };
 
   void handle_frame(const Frame& frame);
   void handle_hello(const Frame& frame);
+  void handle_auth(const Frame& frame);
   void handle_chunk(const Frame& frame);
   void handle_end_of_utterance(const Frame& frame);
   void handle_stream_start(const Frame& frame);
   void handle_stream_end(const Frame& frame);
   void emit_stream_decision(const stream::DecisionEvent& event);
+  /// Fills the DECISION policy fields: the tenant's policy engine on an
+  /// AUTH'd connection, a mirror of the pipeline verdict otherwise.
+  void apply_policy(DecisionFrame& decision, const core::PipelineResult& result,
+                    const core::FeatureCapture& features);
+  void reject_auth(AuthRejectCode code, const std::string& message);
   void fail(ErrorCode code, const std::string& message);
 
   const core::HeadTalkPipeline& pipeline_;
@@ -135,6 +154,10 @@ class Session {
   bool stream_mode_ = false;
   bool session_open_ = false;  ///< HeadTalk open-session flag, per connection
   std::size_t decisions_ = 0;
+  /// AUTH state: the id only — the profile is re-resolved per decision
+  /// from the service's live snapshot, so a hot reload takes effect for
+  /// this connection's next utterance without dropping it.
+  std::string tenant_id_;
 };
 
 }  // namespace headtalk::serve

@@ -178,7 +178,9 @@ DecisionEvent StreamingDetector::score_segment(const Segment& segment) {
 
   const audio::MultiBuffer capture = ring_.extract(event.begin_frame, event.end_frame);
   event.result = pipeline_.score_capture(capture, config_.mode, /*followup=*/false,
-                                         session_open_, workspace_);
+                                         session_open_, workspace_,
+                                         config_.capture_features ? &event.features
+                                                                  : nullptr);
   session_open_ = event.result.session_open_after;
   event.latency_seconds = timer.stop();
   return event;

@@ -36,6 +36,9 @@ struct StreamingDetectorConfig {
   /// VAD frames being classified. Chunks larger than this margin can cost
   /// a closing segment its oldest samples (counted as truncated_frames).
   std::size_t ring_margin_frames = 48000;
+  /// Copy each segment's feature vectors into DecisionEvent::features
+  /// (needed by tenant-scoped serving for speaker-identity matching).
+  bool capture_features = false;
 };
 
 /// One scored utterance detected in the stream.
@@ -51,6 +54,9 @@ struct DecisionEvent {
   std::uint64_t truncated_frames = 0;
   /// Endpoint close → decision available (extraction + scoring).
   double latency_seconds = 0.0;
+  /// Feature vectors of the scoring pass; only filled when the detector's
+  /// config sets capture_features (empty vectors otherwise).
+  core::FeatureCapture features;
 };
 
 /// Absolute-indexed multichannel sample ring: frame `n` of the stream

@@ -1,0 +1,40 @@
+#include "tenant/metrics.h"
+
+namespace headtalk::tenant {
+
+TenantMetrics::TenantMetrics(std::size_t max_tracked_tenants, obs::Registry* registry)
+    : max_tracked_(max_tracked_tenants), registry_(registry) {
+  overflow_.allowed = &registry_->counter("tenant._overflow.decisions_allowed");
+  overflow_.rejected = &registry_->counter("tenant._overflow.decisions_rejected");
+  tracked_gauge_ = &registry_->gauge("tenant.tracked");
+  overflowed_gauge_ = &registry_->gauge("tenant.overflowed");
+}
+
+void TenantMetrics::record(std::string_view tenant_id, bool allowed) {
+  Pair pair;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = series_.find(std::string(tenant_id));
+    if (it != series_.end()) {
+      pair = it->second;
+    } else if (series_.size() < max_tracked_) {
+      const std::string prefix = "tenant." + std::string(tenant_id);
+      pair.allowed = &registry_->counter(prefix + ".decisions_allowed");
+      pair.rejected = &registry_->counter(prefix + ".decisions_rejected");
+      series_.emplace(std::string(tenant_id), pair);
+      tracked_gauge_->set(static_cast<double>(series_.size()));
+    } else {
+      pair = overflow_;
+      overflow_seen_.insert(std::string(tenant_id));
+      overflowed_gauge_->set(static_cast<double>(overflow_seen_.size()));
+    }
+  }
+  (allowed ? pair.allowed : pair.rejected)->increment();
+}
+
+std::size_t TenantMetrics::tracked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+}  // namespace headtalk::tenant

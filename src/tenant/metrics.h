@@ -1,0 +1,50 @@
+// Per-tenant decision counters with a hard cap on metric-series count.
+//
+// /metrics must stay scrape-able with thousands of tenants loaded, so at
+// most `max_tracked_tenants` tenants (first-seen wins — in practice the
+// hot set) get their own `tenant.<id>.decisions_{allowed,rejected}` pair;
+// every further tenant lands in the shared `tenant._overflow.*` pair, and
+// `tenant.tracked` / `tenant.overflowed` gauges say how much of the
+// tail the overflow bucket is hiding. Exact per-tenant counts (uncapped)
+// live in the TenantService's own table and surface via /tenants.json.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/metrics.h"
+
+namespace headtalk::tenant {
+
+class TenantMetrics {
+ public:
+  explicit TenantMetrics(std::size_t max_tracked_tenants = 32,
+                         obs::Registry* registry = &obs::Registry::global());
+
+  /// Bumps the tenant's allowed/rejected counter (or the overflow pair).
+  void record(std::string_view tenant_id, bool allowed);
+
+  [[nodiscard]] std::size_t tracked() const;
+  [[nodiscard]] std::size_t max_tracked() const noexcept { return max_tracked_; }
+
+ private:
+  struct Pair {
+    obs::Counter* allowed = nullptr;
+    obs::Counter* rejected = nullptr;
+  };
+
+  std::size_t max_tracked_;
+  obs::Registry* registry_;
+  Pair overflow_;
+  obs::Gauge* tracked_gauge_;
+  obs::Gauge* overflowed_gauge_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Pair> series_;
+  std::unordered_set<std::string> overflow_seen_;
+};
+
+}  // namespace headtalk::tenant

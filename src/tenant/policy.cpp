@@ -1,0 +1,110 @@
+#include "tenant/policy.h"
+
+#include <chrono>
+
+namespace headtalk::tenant {
+
+std::string_view policy_reason_name(PolicyReason reason) {
+  switch (reason) {
+    case PolicyReason::kPipelineVerdict:
+      return "pipeline_verdict";
+    case PolicyReason::kSpeakerMismatch:
+      return "speaker_mismatch";
+    case PolicyReason::kQuotaExceeded:
+      return "quota_exceeded";
+    case PolicyReason::kTenantMissing:
+      return "tenant_missing";
+  }
+  return "?";
+}
+
+PolicyReason policy_reason_from_byte(std::uint8_t raw) noexcept {
+  return raw <= static_cast<std::uint8_t>(PolicyReason::kTenantMissing)
+             ? static_cast<PolicyReason>(raw)
+             : PolicyReason::kPipelineVerdict;
+}
+
+PolicyDecision PolicyEngine::decide(const SpeakerProfile& profile,
+                                    const core::PipelineResult& result,
+                                    const core::FeatureCapture& features,
+                                    std::int64_t now_seconds) {
+  PolicyDecision decision;
+  switch (profile.rule) {
+    case PolicyRule::kAny:
+      decision.allowed = true;
+      break;
+    case PolicyRule::kLiveFacing:
+      decision.allowed = result.decision == core::Decision::kAccepted;
+      break;
+    case PolicyRule::kEnrolledLiveFacing:
+      decision.allowed = result.decision == core::Decision::kAccepted;
+      if (decision.allowed) {
+        // A follow-up accepted via an open session carries liveness
+        // features only; match() scores whatever families overlap.
+        decision.match_evaluated = profile.can_match(features);
+        decision.match_score = decision.match_evaluated ? profile.match(features) : 0.0;
+        if (!decision.match_evaluated || decision.match_score < profile.threshold) {
+          decision.allowed = false;
+          decision.reason = PolicyReason::kSpeakerMismatch;
+        }
+      }
+      break;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantState& state = states_[profile.tenant_id];
+  if (decision.allowed && profile.quota_per_minute > 0) {
+    const std::int64_t window = now_seconds / 60;
+    if (state.window_start != window) {
+      state.window_start = window;
+      state.used = 0;
+    }
+    if (state.used >= profile.quota_per_minute) {
+      decision.allowed = false;
+      decision.reason = PolicyReason::kQuotaExceeded;
+    } else {
+      ++state.used;
+    }
+  }
+  if (decision.allowed) {
+    ++state.counters.allowed;
+  } else {
+    switch (decision.reason) {
+      case PolicyReason::kSpeakerMismatch:
+        ++state.counters.rejected_mismatch;
+        break;
+      case PolicyReason::kQuotaExceeded:
+        ++state.counters.rejected_quota;
+        break;
+      default:
+        ++state.counters.rejected_pipeline;
+        break;
+    }
+  }
+  return decision;
+}
+
+PolicyDecision PolicyEngine::decide(const SpeakerProfile& profile,
+                                    const core::PipelineResult& result,
+                                    const core::FeatureCapture& features) {
+  const auto now = std::chrono::duration_cast<std::chrono::seconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  return decide(profile, result, features, static_cast<std::int64_t>(now));
+}
+
+TenantCounters PolicyEngine::counters(std::string_view tenant_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = states_.find(std::string(tenant_id));
+  return it == states_.end() ? TenantCounters{} : it->second.counters;
+}
+
+std::unordered_map<std::string, TenantCounters> PolicyEngine::all_counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unordered_map<std::string, TenantCounters> out;
+  out.reserve(states_.size());
+  for (const auto& [id, state] : states_) out.emplace(id, state.counters);
+  return out;
+}
+
+}  // namespace headtalk::tenant

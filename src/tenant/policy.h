@@ -1,0 +1,83 @@
+// Policy engine: per-tenant rules + quotas over pipeline verdicts.
+//
+// The pipeline answers "was this utterance live human speech, facing the
+// device?". The policy engine turns that into the tenant's final answer:
+// does the utterance un-mute *for this user*, given the tenant's rule
+// (enrolled+live+facing / live+facing / any), the speaker-identity match
+// against the tenant's SpeakerProfile, and the tenant's per-minute
+// utterance quota. The PolicyDecision and its reason code travel back to
+// the client inside the DECISION frame (serve/protocol.h carries the
+// reason as a raw byte so the wire layer stays tenant-agnostic).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/pipeline.h"
+#include "tenant/profile.h"
+
+namespace headtalk::tenant {
+
+enum class PolicyReason : std::uint8_t {
+  kPipelineVerdict = 0,  ///< the pipeline verdict decided (either way)
+  kSpeakerMismatch = 1,  ///< pipeline accepted, speaker did not match
+  kQuotaExceeded = 2,    ///< allowed by rule, over the per-minute quota
+  kTenantMissing = 3,    ///< tenant vanished from the store mid-session
+};
+
+[[nodiscard]] std::string_view policy_reason_name(PolicyReason reason);
+/// Maps a wire byte back to a reason (unknown bytes -> kPipelineVerdict).
+[[nodiscard]] PolicyReason policy_reason_from_byte(std::uint8_t raw) noexcept;
+
+struct PolicyDecision {
+  bool allowed = false;
+  PolicyReason reason = PolicyReason::kPipelineVerdict;
+  /// Speaker-identity match score; meaningful only when match_evaluated.
+  double match_score = 0.0;
+  bool match_evaluated = false;
+};
+
+/// Cumulative per-tenant outcome counts (exact, uncapped — the admin
+/// /tenants.json source; obs exposition is separately capped by
+/// TenantMetrics).
+struct TenantCounters {
+  std::uint64_t allowed = 0;
+  std::uint64_t rejected_pipeline = 0;
+  std::uint64_t rejected_mismatch = 0;
+  std::uint64_t rejected_quota = 0;
+};
+
+class PolicyEngine {
+ public:
+  /// Applies `profile`'s rule + quota to one scored utterance.
+  /// `now_seconds` drives the quota window (steady wall seconds; pass a
+  /// fake clock in tests). Thread-safe.
+  [[nodiscard]] PolicyDecision decide(const SpeakerProfile& profile,
+                                      const core::PipelineResult& result,
+                                      const core::FeatureCapture& features,
+                                      std::int64_t now_seconds);
+
+  /// Convenience: decide() with the real clock.
+  [[nodiscard]] PolicyDecision decide(const SpeakerProfile& profile,
+                                      const core::PipelineResult& result,
+                                      const core::FeatureCapture& features);
+
+  [[nodiscard]] TenantCounters counters(std::string_view tenant_id) const;
+  [[nodiscard]] std::unordered_map<std::string, TenantCounters> all_counters() const;
+
+ private:
+  struct TenantState {
+    std::int64_t window_start = 0;  ///< quota window begin (seconds)
+    std::uint32_t used = 0;         ///< allowed utterances in the window
+    TenantCounters counters;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, TenantState> states_;
+};
+
+}  // namespace headtalk::tenant

@@ -1,0 +1,172 @@
+#include "tenant/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/serialize.h"
+
+namespace headtalk::tenant {
+namespace {
+
+// 'HTSP' — HeadTalk Speaker Profile.
+constexpr std::uint32_t kProfileMagic = 0x48545350;
+constexpr std::uint32_t kProfileVersion = 1;
+
+void check_stats(const FeatureStats& stats, const char* family) {
+  if (stats.centroid.size() != stats.spread.size()) {
+    throw ml::SerializationError(std::string("speaker profile: ") + family +
+                                 " centroid/spread dimension mismatch");
+  }
+  for (const double s : stats.spread) {
+    if (!(s > 0.0) || !std::isfinite(s)) {
+      throw ml::SerializationError(std::string("speaker profile: ") + family +
+                                   " spread must be positive and finite");
+    }
+  }
+}
+
+void write_stats(std::ostream& out, const FeatureStats& stats) {
+  ml::io::write_f64_vector(out, stats.centroid);
+  ml::io::write_f64_vector(out, stats.spread);
+}
+
+FeatureStats read_stats(std::istream& in, const char* family) {
+  FeatureStats stats;
+  stats.centroid = ml::io::read_f64_vector(in);
+  stats.spread = ml::io::read_f64_vector(in);
+  check_stats(stats, family);
+  return stats;
+}
+
+bool dimensions_match(const FeatureStats& stats, std::span<const double> x) {
+  return !stats.empty() && !x.empty() && stats.centroid.size() == x.size();
+}
+
+}  // namespace
+
+std::string_view policy_rule_name(PolicyRule rule) {
+  switch (rule) {
+    case PolicyRule::kEnrolledLiveFacing:
+      return "enrolled_live_facing";
+    case PolicyRule::kLiveFacing:
+      return "live_facing";
+    case PolicyRule::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+PolicyRule parse_policy_rule(std::string_view text) {
+  if (text == "enrolled_live_facing") return PolicyRule::kEnrolledLiveFacing;
+  if (text == "live_facing") return PolicyRule::kLiveFacing;
+  if (text == "any") return PolicyRule::kAny;
+  throw std::invalid_argument("unknown policy rule '" + std::string(text) +
+                              "' (want enrolled_live_facing | live_facing | any)");
+}
+
+bool is_valid_tenant_id(std::string_view id) noexcept {
+  if (id.empty() || id.size() > 64 || id.front() == '.') return false;
+  return std::all_of(id.begin(), id.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '.' || c == '_' || c == '-';
+  });
+}
+
+double mean_squared_z(const FeatureStats& stats, std::span<const double> x) {
+  if (!dimensions_match(stats, x)) {
+    throw std::invalid_argument("mean_squared_z: dimension mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double z = (x[i] - stats.centroid[i]) / stats.spread[i];
+    sum += z * z;
+  }
+  return sum / static_cast<double>(x.size());
+}
+
+double cosine_similarity(const FeatureStats& stats, std::span<const double> x) {
+  if (!dimensions_match(stats, x)) {
+    throw std::invalid_argument("cosine_similarity: dimension mismatch");
+  }
+  double dot = 0.0, nx = 0.0, nc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    dot += x[i] * stats.centroid[i];
+    nx += x[i] * x[i];
+    nc += stats.centroid[i] * stats.centroid[i];
+  }
+  const double denom = std::sqrt(nx) * std::sqrt(nc);
+  if (denom < 1e-12) return 0.0;
+  return std::clamp(dot / denom, -1.0, 1.0);
+}
+
+double block_match_score(const FeatureStats& stats, std::span<const double> x) {
+  const double proximity = 1.0 / (1.0 + mean_squared_z(stats, x));
+  const double cosine = 0.5 * (cosine_similarity(stats, x) + 1.0);
+  return 0.5 * proximity + 0.5 * cosine;
+}
+
+double SpeakerProfile::match(const core::FeatureCapture& features) const {
+  double sum = 0.0;
+  int blocks = 0;
+  if (dimensions_match(orientation, features.orientation)) {
+    sum += block_match_score(orientation, features.orientation);
+    ++blocks;
+  }
+  if (dimensions_match(liveness, features.liveness)) {
+    sum += block_match_score(liveness, features.liveness);
+    ++blocks;
+  }
+  return blocks == 0 ? 0.0 : sum / blocks;
+}
+
+bool SpeakerProfile::can_match(const core::FeatureCapture& features) const {
+  return dimensions_match(orientation, features.orientation) ||
+         dimensions_match(liveness, features.liveness);
+}
+
+void SpeakerProfile::save(std::ostream& out) const {
+  if (!is_valid_tenant_id(tenant_id)) {
+    throw ml::SerializationError("speaker profile: invalid tenant id '" + tenant_id +
+                                 "'");
+  }
+  check_stats(orientation, "orientation");
+  check_stats(liveness, "liveness");
+  ml::io::write_header(out, kProfileMagic, kProfileVersion);
+  ml::io::write_string(out, tenant_id);
+  ml::io::write_u32(out, static_cast<std::uint32_t>(rule));
+  ml::io::write_u32(out, quota_per_minute);
+  ml::io::write_f64(out, threshold);
+  ml::io::write_u32(out, enrolled_captures);
+  ml::io::write_i64(out, static_cast<std::int64_t>(generation));
+  write_stats(out, orientation);
+  write_stats(out, liveness);
+}
+
+SpeakerProfile SpeakerProfile::load(std::istream& in) {
+  ml::io::expect_header(in, kProfileMagic, kProfileVersion, "speaker profile");
+  SpeakerProfile profile;
+  profile.tenant_id = ml::io::read_string(in);
+  if (!is_valid_tenant_id(profile.tenant_id)) {
+    throw ml::SerializationError("speaker profile: invalid tenant id '" +
+                                 profile.tenant_id + "'");
+  }
+  const std::uint32_t raw_rule = ml::io::read_u32(in);
+  if (raw_rule > static_cast<std::uint32_t>(PolicyRule::kAny)) {
+    throw ml::SerializationError("speaker profile: unknown policy rule " +
+                                 std::to_string(raw_rule));
+  }
+  profile.rule = static_cast<PolicyRule>(raw_rule);
+  profile.quota_per_minute = ml::io::read_u32(in);
+  profile.threshold = ml::io::read_f64(in);
+  if (!std::isfinite(profile.threshold)) {
+    throw ml::SerializationError("speaker profile: non-finite threshold");
+  }
+  profile.enrolled_captures = ml::io::read_u32(in);
+  profile.generation = static_cast<std::uint64_t>(ml::io::read_i64(in));
+  profile.orientation = read_stats(in, "orientation");
+  profile.liveness = read_stats(in, "liveness");
+  return profile;
+}
+
+}  // namespace headtalk::tenant

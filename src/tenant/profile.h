@@ -1,0 +1,93 @@
+// Per-user speaker profiles for the multi-tenant identity layer.
+//
+// "Your Microphone Array Retains Your Identity" (PAPERS.md) shows the
+// multichannel features this pipeline already extracts carry per-speaker
+// identity. A SpeakerProfile summarizes a user's enrollment captures as a
+// per-dimension Gaussian (centroid + sigma-floored spread) over each
+// feature family the pipeline computes — orientation and liveness — and
+// scores a fresh capture against that summary with a blend of a diagonal
+// Mahalanobis proximity and cosine similarity, thresholded at a value
+// calibrated from the enrollment set itself (see tenant/enrollment.h).
+//
+// Profiles serialize through the same ml/serialize.h primitives as the
+// trained models: magic + version header, little-endian scalars, length-
+// prefixed vectors, validated on load.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace headtalk::tenant {
+
+/// What a tenant's utterances must satisfy to un-mute the device.
+enum class PolicyRule : std::uint8_t {
+  kEnrolledLiveFacing = 0,  ///< pipeline accept AND speaker matches profile
+  kLiveFacing = 1,          ///< pipeline accept (source-paper behaviour)
+  kAny = 2,                 ///< every utterance passes (stock VA behaviour)
+};
+
+[[nodiscard]] std::string_view policy_rule_name(PolicyRule rule);
+/// Parses "enrolled_live_facing" | "live_facing" | "any"; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] PolicyRule parse_policy_rule(std::string_view text);
+
+/// Tenant ids double as store filenames and metric-name segments, so the
+/// charset is strict: 1..64 chars of [A-Za-z0-9._-], not starting with '.'.
+[[nodiscard]] bool is_valid_tenant_id(std::string_view id) noexcept;
+
+/// Per-dimension Gaussian summary of one feature family. `spread` holds
+/// standard deviations, floored at enrollment so no dimension divides by
+/// ~0. Both vectors are empty when the family was not enrolled.
+struct FeatureStats {
+  std::vector<double> centroid;
+  std::vector<double> spread;
+
+  [[nodiscard]] bool empty() const noexcept { return centroid.empty(); }
+};
+
+/// Mean squared per-dimension z-score of `x` against the stats (diagonal
+/// Mahalanobis distance², normalized by dimension). Requires matching
+/// non-zero dimensions.
+[[nodiscard]] double mean_squared_z(const FeatureStats& stats, std::span<const double> x);
+/// Cosine similarity between `x` and the centroid, in [-1, 1] (0 when
+/// either vector is ~zero).
+[[nodiscard]] double cosine_similarity(const FeatureStats& stats,
+                                       std::span<const double> x);
+/// Blended per-family match score in [0, 1]: proximity 1/(1+z²) and
+/// shifted cosine (cos+1)/2, weighted equally.
+[[nodiscard]] double block_match_score(const FeatureStats& stats,
+                                       std::span<const double> x);
+
+struct SpeakerProfile {
+  std::string tenant_id;
+  PolicyRule rule = PolicyRule::kEnrolledLiveFacing;
+  /// Allowed utterances per minute; 0 = unlimited.
+  std::uint32_t quota_per_minute = 0;
+  /// Accept the speaker when match() >= threshold.
+  double threshold = 0.5;
+  std::uint32_t enrolled_captures = 0;
+  /// Store generation at publish (0 before the profile is published).
+  std::uint64_t generation = 0;
+  FeatureStats orientation;
+  FeatureStats liveness;
+
+  /// Match score in [0, 1] over the feature families present in *both*
+  /// the profile and the capture (dimension-matched), averaged. Returns 0
+  /// when no family overlaps — an un-scorable capture never matches.
+  [[nodiscard]] double match(const core::FeatureCapture& features) const;
+
+  /// True when the capture carries at least one feature family this
+  /// profile can score (same family enrolled, same dimension).
+  [[nodiscard]] bool can_match(const core::FeatureCapture& features) const;
+
+  void save(std::ostream& out) const;
+  [[nodiscard]] static SpeakerProfile load(std::istream& in);
+};
+
+}  // namespace headtalk::tenant

@@ -1,0 +1,92 @@
+#include "tenant/service.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace headtalk::tenant {
+
+TenantService::TenantService(std::filesystem::path store_directory,
+                             TenantServiceConfig config)
+    : config_(config),
+      store_(std::move(store_directory)),
+      metrics_(config.max_metric_tenants) {
+  const std::size_t loaded = store_.reload();
+  obs::log_info("tenant.service.loaded",
+                {{"directory", store_.directory().string()},
+                 {"tenants", loaded},
+                 {"generation", store_.generation()}});
+}
+
+std::optional<AuthInfo> TenantService::authenticate(std::string_view tenant_id) const {
+  if (!is_valid_tenant_id(tenant_id)) return std::nullopt;
+  auto profile = store_.lookup(tenant_id);
+  if (profile == nullptr) return std::nullopt;
+  AuthInfo info;
+  info.generation = profile->generation;
+  info.rule = profile->rule;
+  info.quota_per_minute = profile->quota_per_minute;
+  info.profile = std::move(profile);
+  return info;
+}
+
+PolicyDecision TenantService::decide(std::string_view tenant_id,
+                                     const core::PipelineResult& result,
+                                     const core::FeatureCapture& features) {
+  const auto profile = store_.lookup(tenant_id);
+  PolicyDecision decision;
+  if (profile == nullptr) {
+    decision.allowed = false;
+    decision.reason = PolicyReason::kTenantMissing;
+  } else {
+    decision = policy_.decide(*profile, result, features);
+  }
+  metrics_.record(tenant_id, decision.allowed);
+  return decision;
+}
+
+std::size_t TenantService::reload() {
+  const std::size_t loaded = store_.reload();
+  obs::log_info("tenant.service.reloaded",
+                {{"tenants", loaded}, {"generation", store_.generation()}});
+  return loaded;
+}
+
+std::string TenantService::tenants_json() const {
+  const auto snapshot = store_.snapshot();
+  const auto counters = policy_.all_counters();
+
+  // Sorted ids so the view is stable across scrapes.
+  std::vector<std::string_view> ids;
+  ids.reserve(snapshot->profiles.size());
+  for (const auto& [id, profile] : snapshot->profiles) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::ostringstream body;
+  body << "{\"store_generation\":" << snapshot->generation
+       << ",\"tenant_count\":" << snapshot->profiles.size() << ",\"tenants\":[";
+  bool first = true;
+  for (const auto id : ids) {
+    const auto& profile = *snapshot->profiles.find(id)->second;
+    TenantCounters c;
+    if (const auto it = counters.find(std::string(id)); it != counters.end()) {
+      c = it->second;
+    }
+    body << (first ? "" : ",") << "{\"id\":\"" << id << "\",\"generation\":"
+         << profile.generation << ",\"rule\":\"" << policy_rule_name(profile.rule)
+         << "\",\"quota_per_minute\":" << profile.quota_per_minute
+         << ",\"threshold\":" << profile.threshold
+         << ",\"enrolled_captures\":" << profile.enrolled_captures
+         << ",\"allowed\":" << c.allowed
+         << ",\"rejected_pipeline\":" << c.rejected_pipeline
+         << ",\"rejected_mismatch\":" << c.rejected_mismatch
+         << ",\"rejected_quota\":" << c.rejected_quota << '}';
+    first = false;
+  }
+  body << "]}";
+  return body.str();
+}
+
+}  // namespace headtalk::tenant

@@ -1,0 +1,78 @@
+// TenantService: the one object the serving layer holds for everything
+// tenant-scoped — AUTH resolution, per-utterance policy decisions, hot
+// reload, and the /tenants.json admin view. It composes the versioned
+// ModelStore (lock-free snapshot lookups), the PolicyEngine (rules +
+// quotas + exact per-tenant counters), and TenantMetrics (capped obs
+// exposition).
+//
+// Thread-safety: authenticate()/decide() are called from scoring threads
+// concurrently with reload() on an admin or signal thread; all of that is
+// safe. A profile is re-resolved from the live snapshot on every decide(),
+// so a reload takes effect for open streams on their next utterance
+// without dropping the connection.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/pipeline.h"
+#include "tenant/metrics.h"
+#include "tenant/policy.h"
+#include "tenant/store.h"
+
+namespace headtalk::tenant {
+
+struct TenantServiceConfig {
+  /// Cap on per-tenant metric series in the obs registry (TenantMetrics).
+  std::size_t max_metric_tenants = 32;
+};
+
+/// What AUTH resolution hands back to the session (and the AUTH_OK frame).
+struct AuthInfo {
+  std::shared_ptr<const SpeakerProfile> profile;
+  std::uint64_t generation = 0;
+  PolicyRule rule = PolicyRule::kEnrolledLiveFacing;
+  std::uint32_t quota_per_minute = 0;
+};
+
+class TenantService {
+ public:
+  /// Opens (creating if needed) the store directory and loads it.
+  explicit TenantService(std::filesystem::path store_directory,
+                         TenantServiceConfig config = {});
+
+  /// Lock-free profile resolution; nullopt for unknown/invalid ids.
+  [[nodiscard]] std::optional<AuthInfo> authenticate(std::string_view tenant_id) const;
+
+  /// Applies the tenant's current policy to one scored utterance. The
+  /// profile is re-resolved from the live snapshot (hot-reload semantics);
+  /// a tenant deleted since AUTH yields kTenantMissing.
+  [[nodiscard]] PolicyDecision decide(std::string_view tenant_id,
+                                      const core::PipelineResult& result,
+                                      const core::FeatureCapture& features);
+
+  /// Re-reads the store from disk (thread-safe; serving continues on the
+  /// old snapshot until the swap). Returns the number of tenants live.
+  std::size_t reload();
+
+  [[nodiscard]] ModelStore& store() noexcept { return store_; }
+  [[nodiscard]] const ModelStore& store() const noexcept { return store_; }
+  [[nodiscard]] std::uint64_t generation() const { return store_.generation(); }
+  [[nodiscard]] std::size_t tenant_count() const { return store_.size(); }
+
+  /// Full /tenants.json body: store generation + one row per tenant with
+  /// its profile metadata and exact decision counters.
+  [[nodiscard]] std::string tenants_json() const;
+
+ private:
+  TenantServiceConfig config_;
+  ModelStore store_;
+  PolicyEngine policy_;
+  TenantMetrics metrics_;
+};
+
+}  // namespace headtalk::tenant

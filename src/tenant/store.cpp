@@ -1,0 +1,204 @@
+#include "tenant/store.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "ml/serialize.h"
+#include "obs/log.h"
+
+namespace headtalk::tenant {
+namespace {
+
+// 'HTTM' — HeadTalk Tenant Manifest.
+constexpr std::uint32_t kManifestMagic = 0x4854544D;
+constexpr std::uint32_t kManifestVersion = 1;
+
+constexpr std::string_view kManifestName = "manifest.htm";
+constexpr std::string_view kBlobSuffix = ".prof";
+constexpr std::string_view kTempPrefix = ".tmp-";
+
+void rename_into_place(const std::filesystem::path& from,
+                       const std::filesystem::path& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) {
+    std::filesystem::remove(from, ec);
+    throw ml::SerializationError("model store: cannot rename " + from.string() +
+                                 " -> " + to.string());
+  }
+}
+
+}  // namespace
+
+ModelStore::ModelStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+  live_.store(std::make_shared<const StoreSnapshot>());
+}
+
+std::filesystem::path ModelStore::manifest_path(const std::filesystem::path& directory) {
+  return directory / kManifestName;
+}
+
+std::filesystem::path ModelStore::blob_path(std::string_view tenant_id) const {
+  return directory_ / (std::string(tenant_id) + std::string(kBlobSuffix));
+}
+
+std::filesystem::path ModelStore::temp_path(std::string_view stem) {
+  // pid + per-store sequence: unique among live writers, recognizable as
+  // a leftover after a crash.
+  return directory_ / (std::string(kTempPrefix) + std::to_string(::getpid()) + "-" +
+                       std::to_string(++temp_sequence_) + "-" + std::string(stem));
+}
+
+std::uint64_t ModelStore::clean_temp_files() {
+  std::uint64_t cleaned = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kTempPrefix, 0) == 0) {
+      std::error_code remove_ec;
+      if (std::filesystem::remove(entry.path(), remove_ec)) ++cleaned;
+    }
+  }
+  if (cleaned > 0) {
+    temp_cleaned_.fetch_add(cleaned, std::memory_order_relaxed);
+    obs::log_warn("tenant.store.temp_cleaned",
+                  {{"directory", directory_.string()},
+                   {"files", cleaned}});
+  }
+  return cleaned;
+}
+
+std::size_t ModelStore::reload() {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  clean_temp_files();
+
+  auto snapshot = std::make_shared<StoreSnapshot>();
+  const auto manifest = manifest_path(directory_);
+  if (std::filesystem::exists(manifest)) {
+    std::ifstream in(manifest, std::ios::binary);
+    if (!in) {
+      throw ml::SerializationError("model store: cannot open " + manifest.string());
+    }
+    try {
+      ml::io::expect_header(in, kManifestMagic, kManifestVersion, "tenant manifest");
+      snapshot->generation = static_cast<std::uint64_t>(ml::io::read_i64(in));
+      const std::uint32_t count = ml::io::read_u32(in);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::string id = ml::io::read_string(in);
+        const std::string filename = ml::io::read_string(in);
+        const auto manifest_generation =
+            static_cast<std::uint64_t>(ml::io::read_i64(in));
+        if (!is_valid_tenant_id(id) ||
+            filename.find('/') != std::string::npos ||
+            filename.rfind(kTempPrefix, 0) == 0) {
+          throw ml::SerializationError("tenant manifest: bad entry '" + id + "' -> '" +
+                                       filename + "'");
+        }
+        auto profile = std::make_shared<SpeakerProfile>(
+            ml::load_model_file<SpeakerProfile>(directory_ / filename));
+        if (profile->tenant_id != id) {
+          throw ml::SerializationError("tenant manifest: blob " + filename +
+                                       " belongs to '" + profile->tenant_id +
+                                       "', manifest says '" + id + "'");
+        }
+        profile->generation = manifest_generation;
+        snapshot->profiles.emplace(id, std::move(profile));
+      }
+    } catch (const ml::SerializationError& error) {
+      throw ml::SerializationError(manifest.string() + ": " + error.what());
+    }
+  }
+  const std::size_t size = snapshot->profiles.size();
+  live_.store(std::shared_ptr<const StoreSnapshot>(std::move(snapshot)));
+  return size;
+}
+
+void ModelStore::write_blob(const SpeakerProfile& profile) {
+  const auto temp = temp_path(profile.tenant_id);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw ml::SerializationError("model store: cannot write " + temp.string());
+    }
+    profile.save(out);
+    out.flush();
+    if (!out) {
+      throw ml::SerializationError("model store: short write to " + temp.string());
+    }
+  }
+  rename_into_place(temp, blob_path(profile.tenant_id));
+}
+
+void ModelStore::write_manifest_locked(const StoreSnapshot& snapshot) {
+  const auto temp = temp_path("manifest");
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw ml::SerializationError("model store: cannot write " + temp.string());
+    }
+    ml::io::write_header(out, kManifestMagic, kManifestVersion);
+    ml::io::write_i64(out, static_cast<std::int64_t>(snapshot.generation));
+    ml::io::write_u32(out, static_cast<std::uint32_t>(snapshot.profiles.size()));
+    for (const auto& [id, profile] : snapshot.profiles) {
+      ml::io::write_string(out, id);
+      ml::io::write_string(out, id + std::string(kBlobSuffix));
+      ml::io::write_i64(out, static_cast<std::int64_t>(profile->generation));
+    }
+    out.flush();
+    if (!out) {
+      throw ml::SerializationError("model store: short write to " + temp.string());
+    }
+  }
+  rename_into_place(temp, manifest_path(directory_));
+}
+
+std::uint64_t ModelStore::publish(const SpeakerProfile& profile) {
+  return publish_many({&profile, 1});
+}
+
+std::uint64_t ModelStore::publish_many(std::span<const SpeakerProfile> profiles) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  const auto current = live_.load();
+  auto next = std::make_shared<StoreSnapshot>(*current);
+  next->generation = current->generation + 1;
+  for (const SpeakerProfile& profile : profiles) {
+    if (!is_valid_tenant_id(profile.tenant_id)) {
+      throw ml::SerializationError("model store: invalid tenant id '" +
+                                   profile.tenant_id + "'");
+    }
+    auto stored = std::make_shared<SpeakerProfile>(profile);
+    stored->generation = next->generation;
+    write_blob(*stored);
+    next->profiles[stored->tenant_id] = std::move(stored);
+  }
+  write_manifest_locked(*next);
+  const std::uint64_t generation = next->generation;
+  live_.store(std::shared_ptr<const StoreSnapshot>(std::move(next)));
+  return generation;
+}
+
+std::shared_ptr<const SpeakerProfile> ModelStore::lookup(
+    std::string_view tenant_id) const {
+  const auto snapshot = live_.load();
+  const auto it = snapshot->profiles.find(tenant_id);
+  return it == snapshot->profiles.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const StoreSnapshot> ModelStore::snapshot() const {
+  return live_.load();
+}
+
+std::uint64_t ModelStore::generation() const {
+  return live_.load()->generation;
+}
+
+std::size_t ModelStore::size() const {
+  return live_.load()->profiles.size();
+}
+
+}  // namespace headtalk::tenant

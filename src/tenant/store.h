@@ -1,0 +1,150 @@
+// Versioned on-disk model store + lock-free in-memory tenant registry.
+//
+// Layout (one directory):
+//
+//   manifest.htm        magic/version header, store generation, and one
+//                       (tenant id, blob filename, profile generation)
+//                       entry per tenant
+//   <tenant-id>.prof    one serialized SpeakerProfile per tenant
+//   .tmp-*              in-flight writes (crash leftovers are ignored and
+//                       cleaned on the next reload)
+//
+// Every publish writes blobs and a fresh manifest to temp files and
+// renames them into place — readers of the directory never observe a torn
+// file — then bumps the store generation and swaps the in-memory snapshot.
+//
+// The in-memory side is an atomic shared_ptr to an immutable Snapshot
+// (id -> shared_ptr<const SpeakerProfile>), so scoring threads get O(1)
+// lock-free lookups, a reload/publish never blocks them, and a profile a
+// stream resolved before a reload stays valid for as long as the stream
+// holds the shared_ptr — hot reload without dropping streams. Writers
+// (publish/reload) serialize on a mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "tenant/profile.h"
+
+namespace headtalk::tenant {
+
+/// Heterogeneous-lookup hash so snapshot lookups take string_view without
+/// materializing a std::string per request.
+struct TransparentStringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view text) const noexcept {
+    return std::hash<std::string_view>{}(text);
+  }
+};
+
+/// Immutable view of the store at one generation.
+struct StoreSnapshot {
+  std::uint64_t generation = 0;
+  std::unordered_map<std::string, std::shared_ptr<const SpeakerProfile>,
+                     TransparentStringHash, std::equal_to<>>
+      profiles;
+};
+
+/// Atomically swappable shared_ptr slot. This is the same pointer-under-a-
+/// spin-bit scheme libstdc++ uses for std::atomic<std::shared_ptr>, except
+/// the read path unlocks with release ordering: libstdc++'s load() unlocks
+/// relaxed, which leaves no happens-before edge between a reader's pointer
+/// read and the next writer's swap — ThreadSanitizer (correctly, per the
+/// letter of the memory model) reports that as a data race. The critical
+/// section is a refcount bump, so readers only ever spin for the few
+/// nanoseconds a concurrent swap is in flight.
+class SnapshotSlot {
+ public:
+  [[nodiscard]] std::shared_ptr<const StoreSnapshot> load() const noexcept {
+    lock();
+    auto copy = value_;
+    unlock();
+    return copy;
+  }
+
+  void store(std::shared_ptr<const StoreSnapshot> next) noexcept {
+    lock();
+    value_.swap(next);
+    unlock();
+    // `next` now holds the previous snapshot; it releases (and possibly
+    // destroys) outside the critical section.
+  }
+
+ private:
+  void lock() const noexcept {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void unlock() const noexcept {
+    locked_.store(false, std::memory_order_release);
+  }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<const StoreSnapshot> value_;
+};
+
+class ModelStore {
+ public:
+  /// Creates the directory if missing. Does NOT read the disk — call
+  /// reload() to populate the snapshot.
+  explicit ModelStore(std::filesystem::path directory);
+
+  /// Re-reads manifest + blobs into a fresh snapshot and swaps it in.
+  /// A missing manifest is an empty store (generation preserved from the
+  /// manifest when present, 0 otherwise); a corrupt or version-skewed
+  /// manifest/blob throws ml::SerializationError and leaves the previous
+  /// snapshot serving. Leftover .tmp-* files are deleted and counted.
+  /// Returns the number of profiles now live.
+  std::size_t reload();
+
+  /// Atomically publishes one profile (write-temp + rename blob, then
+  /// manifest) and swaps the updated snapshot in. The stored profile's
+  /// generation is set to the new store generation, which is returned.
+  std::uint64_t publish(const SpeakerProfile& profile);
+
+  /// Publishes a batch under one generation bump and one manifest write.
+  std::uint64_t publish_many(std::span<const SpeakerProfile> profiles);
+
+  /// Lock-free O(1): the profile at the current snapshot, or null for an
+  /// unknown tenant. The returned pointer stays valid across reloads.
+  [[nodiscard]] std::shared_ptr<const SpeakerProfile> lookup(
+      std::string_view tenant_id) const;
+
+  /// Lock-free: the whole current snapshot (for admin views/iteration).
+  [[nodiscard]] std::shared_ptr<const StoreSnapshot> snapshot() const;
+
+  [[nodiscard]] std::uint64_t generation() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return directory_;
+  }
+  /// Crash-leftover temp files removed by reload() so far.
+  [[nodiscard]] std::uint64_t temp_files_cleaned() const noexcept {
+    return temp_cleaned_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::filesystem::path manifest_path(
+      const std::filesystem::path& directory);
+
+ private:
+  std::filesystem::path blob_path(std::string_view tenant_id) const;
+  std::filesystem::path temp_path(std::string_view stem);
+  void write_manifest_locked(const StoreSnapshot& snapshot);
+  void write_blob(const SpeakerProfile& profile);
+  std::uint64_t clean_temp_files();
+
+  std::filesystem::path directory_;
+  SnapshotSlot live_;
+  std::mutex publish_mutex_;  ///< serializes publish()/reload() writers
+  std::uint64_t temp_sequence_ = 0;  ///< under publish_mutex_
+  std::atomic<std::uint64_t> temp_cleaned_{0};
+};
+
+}  // namespace headtalk::tenant

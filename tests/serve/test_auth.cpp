@@ -1,0 +1,333 @@
+// Tenant-scoped serving: AUTH frame round trips, the session's AUTH state
+// machine (typed non-fatal rejections — protocol hardening), per-tenant
+// policy on DECISION frames, and hot reload visibility on open
+// connections.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "serve_test_util.h"
+#include "tenant/enrollment.h"
+#include "tenant/policy.h"
+#include "tenant/service.h"
+
+using namespace headtalk;
+using namespace headtalk::serve;
+
+namespace {
+
+const core::HeadTalkPipeline& test_pipeline() {
+  static const core::HeadTalkPipeline pipeline = serve_test::make_test_pipeline();
+  return pipeline;
+}
+
+void feed(Session& session, const std::vector<std::uint8_t>& bytes, bool expect_alive) {
+  EXPECT_EQ(session.on_bytes(bytes.data(), bytes.size()), expect_alive);
+}
+
+std::vector<Frame> drain(Session& session) {
+  const auto bytes = session.take_output();
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  std::vector<Frame> frames;
+  while (auto frame = reader.next()) frames.push_back(*std::move(frame));
+  return frames;
+}
+
+tenant::SpeakerProfile make_profile(const std::string& tenant_id,
+                                    tenant::PolicyRule rule,
+                                    std::uint32_t quota = 0) {
+  std::mt19937 rng(7);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<core::FeatureCapture> features(3);
+  for (auto& capture : features) {
+    capture.liveness.resize(6);
+    for (auto& v : capture.liveness) v = g(rng) + 2.0;
+  }
+  tenant::EnrollmentConfig config;
+  config.rule = rule;
+  config.quota_per_minute = quota;
+  return tenant::enroll_from_features(features, tenant_id, config);
+}
+
+/// Fresh TenantService over a scratch store directory.
+struct ServiceFixture {
+  explicit ServiceFixture(const char* name)
+      : dir(std::filesystem::path(::testing::TempDir()) / name) {
+    std::filesystem::remove_all(dir);
+    service.emplace(dir);
+  }
+
+  std::filesystem::path dir;
+  std::optional<tenant::TenantService> service;
+};
+
+/// kNormal-mode limits bound to a tenant service. kNormal skips the DSP
+/// stages entirely: every utterance scores kAccepted with an *empty*
+/// FeatureCapture, which makes policy outcomes deterministic (kAny always
+/// allows; kEnrolledLiveFacing always rejects as a speaker mismatch).
+SessionLimits tenant_limits(tenant::TenantService* service) {
+  SessionLimits limits;
+  limits.mode = core::VaMode::kNormal;
+  limits.tenants = service;
+  return limits;
+}
+
+/// One scored utterance on an already-HELLO'd 4-channel session.
+DecisionFrame score_once(Session& session) {
+  feed(session, encode_audio_chunk(std::vector<float>(480 * 4, 0.1f), 4), true);
+  feed(session, encode_end_of_utterance(false), true);
+  const auto frames = drain(session);
+  EXPECT_EQ(frames.size(), 1u);
+  return parse_decision(frames.at(0));
+}
+
+AuthReject expect_reject(Session& session, const std::vector<std::uint8_t>& auth) {
+  feed(session, auth, true);  // non-fatal: the connection stays alive
+  const auto frames = drain(session);
+  EXPECT_EQ(frames.size(), 1u);
+  return parse_auth_reject(frames.at(0));
+}
+
+}  // namespace
+
+TEST(ServeAuthProtocol, AuthFramesRoundTrip) {
+  FrameReader reader;
+  const auto bytes = encode_auth("team-a.user_1");
+  reader.feed(bytes.data(), bytes.size());
+  auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kAuth);
+  EXPECT_EQ(parse_auth(*frame).tenant_id, "team-a.user_1");
+
+  AuthOk ok;
+  ok.generation = 77;
+  ok.policy_rule = 1;
+  ok.quota_per_minute = 12;
+  const auto ok_bytes = encode_auth_ok(ok);
+  reader.feed(ok_bytes.data(), ok_bytes.size());
+  frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  const AuthOk parsed = parse_auth_ok(*frame);
+  EXPECT_EQ(parsed.generation, 77u);
+  EXPECT_EQ(parsed.policy_rule, 1);
+  EXPECT_EQ(parsed.quota_per_minute, 12u);
+
+  const auto reject_bytes =
+      encode_auth_reject(AuthRejectCode::kUnknownTenant, "who?");
+  reader.feed(reject_bytes.data(), reject_bytes.size());
+  frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  const AuthReject reject = parse_auth_reject(*frame);
+  EXPECT_EQ(reject.code, AuthRejectCode::kUnknownTenant);
+  EXPECT_EQ(reject.message, "who?");
+}
+
+TEST(ServeAuthProtocol, EncodeAndParseRejectBadInputs) {
+  EXPECT_THROW((void)encode_auth(""), ProtocolError);
+  EXPECT_THROW((void)encode_auth(std::string(kMaxTenantIdBytes + 1, 'a')),
+               ProtocolError);
+  EXPECT_NO_THROW((void)encode_auth(std::string(kMaxTenantIdBytes, 'a')));
+
+  // A reject code outside the defined range must not parse.
+  Frame frame;
+  frame.type = FrameType::kAuthReject;
+  frame.payload = {0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  EXPECT_THROW((void)parse_auth_reject(frame), ProtocolError);
+}
+
+TEST(ServeAuthSession, AuthBeforeHelloIsFatal) {
+  // Pre-HELLO there is no protocol state to continue from, so — unlike
+  // every post-HELLO AUTH problem — this is a hard error.
+  ServiceFixture fixture("auth_before_hello");
+  Session session(test_pipeline(), tenant_limits(&*fixture.service));
+  feed(session, encode_auth("alice"), false);
+  const auto frames = drain(session);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(parse_error(frames[0]).code, ErrorCode::kBadRequest);
+  EXPECT_TRUE(session.finished());
+}
+
+TEST(ServeAuthSession, TenantLessServerRejectsTypedAndKeepsServing) {
+  SessionLimits limits;
+  limits.mode = core::VaMode::kNormal;  // tenants stays null
+  Session session(test_pipeline(), limits);
+  feed(session, encode_hello(Hello{}), true);
+  (void)drain(session);
+
+  const AuthReject reject = expect_reject(session, encode_auth("alice"));
+  EXPECT_EQ(reject.code, AuthRejectCode::kTenantsDisabled);
+  EXPECT_FALSE(session.authenticated());
+
+  // The connection is still perfectly usable tenant-less.
+  const DecisionFrame decision = score_once(session);
+  EXPECT_FALSE(decision.policy_applied);
+  EXPECT_TRUE(decision.policy_allowed);
+  EXPECT_FALSE(session.finished());
+}
+
+TEST(ServeAuthSession, UnknownTenantThenSuccessfulAuthOnSameConnection) {
+  ServiceFixture fixture("auth_unknown");
+  fixture.service->store().publish(make_profile("anna", tenant::PolicyRule::kAny, 5));
+  Session session(test_pipeline(), tenant_limits(&*fixture.service));
+  feed(session, encode_hello(Hello{}), true);
+  (void)drain(session);
+
+  const AuthReject reject = expect_reject(session, encode_auth("ghost"));
+  EXPECT_EQ(reject.code, AuthRejectCode::kUnknownTenant);
+  EXPECT_FALSE(session.authenticated());
+
+  // The rejection was advisory; a correct AUTH still binds.
+  feed(session, encode_auth("anna"), true);
+  const auto frames = drain(session);
+  ASSERT_EQ(frames.size(), 1u);
+  const AuthOk ok = parse_auth_ok(frames[0]);
+  EXPECT_EQ(ok.generation, 1u);
+  EXPECT_EQ(ok.policy_rule, static_cast<std::uint8_t>(tenant::PolicyRule::kAny));
+  EXPECT_EQ(ok.quota_per_minute, 5u);
+  EXPECT_TRUE(session.authenticated());
+  EXPECT_EQ(session.tenant_id(), "anna");
+}
+
+TEST(ServeAuthSession, DoubleAuthRejectedButBindingSurvives) {
+  ServiceFixture fixture("auth_double");
+  fixture.service->store().publish(make_profile("anna", tenant::PolicyRule::kAny));
+  Session session(test_pipeline(), tenant_limits(&*fixture.service));
+  feed(session, encode_hello(Hello{}), true);
+  feed(session, encode_auth("anna"), true);
+  (void)drain(session);
+
+  const AuthReject reject = expect_reject(session, encode_auth("anna"));
+  EXPECT_EQ(reject.code, AuthRejectCode::kAlreadyAuthenticated);
+
+  // The original binding is intact: decisions keep the policy verdict.
+  const DecisionFrame decision = score_once(session);
+  EXPECT_TRUE(decision.policy_applied);
+  EXPECT_TRUE(decision.policy_allowed);
+  EXPECT_EQ(session.tenant_id(), "anna");
+}
+
+TEST(ServeAuthSession, AuthDuringOpenStreamOrUtteranceRejected) {
+  ServiceFixture fixture("auth_mid_stream");
+  fixture.service->store().publish(make_profile("anna", tenant::PolicyRule::kAny));
+  {
+    Session session(test_pipeline(), tenant_limits(&*fixture.service));
+    feed(session, encode_hello(Hello{}), true);
+    feed(session, encode_stream_start(), true);
+    (void)drain(session);
+    const AuthReject reject = expect_reject(session, encode_auth("anna"));
+    EXPECT_EQ(reject.code, AuthRejectCode::kStreamOpen);
+    EXPECT_FALSE(session.finished());
+  }
+  {
+    // Same refusal with a request/response utterance already buffering.
+    Session session(test_pipeline(), tenant_limits(&*fixture.service));
+    feed(session, encode_hello(Hello{}), true);
+    feed(session, encode_audio_chunk(std::vector<float>(480 * 4, 0.1f), 4), true);
+    (void)drain(session);
+    const AuthReject reject = expect_reject(session, encode_auth("anna"));
+    EXPECT_EQ(reject.code, AuthRejectCode::kStreamOpen);
+    // The buffered utterance still scores normally afterwards.
+    feed(session, encode_end_of_utterance(false), true);
+    const auto frames = drain(session);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_FALSE(parse_decision(frames[0]).policy_applied);
+  }
+}
+
+TEST(ServeAuthSession, EnrolledRuleRejectsUnmatchableCapture) {
+  // kNormal mode produces an empty FeatureCapture, so a tenant requiring
+  // enrolled+live+facing must fail closed with a speaker mismatch.
+  ServiceFixture fixture("auth_enrolled");
+  fixture.service->store().publish(
+      make_profile("erin", tenant::PolicyRule::kEnrolledLiveFacing));
+  Session session(test_pipeline(), tenant_limits(&*fixture.service));
+  feed(session, encode_hello(Hello{}), true);
+  feed(session, encode_auth("erin"), true);
+  (void)drain(session);
+
+  const DecisionFrame decision = score_once(session);
+  EXPECT_EQ(decision.decision, static_cast<std::uint8_t>(core::Decision::kAccepted));
+  EXPECT_TRUE(decision.policy_applied);
+  EXPECT_FALSE(decision.policy_allowed);
+  EXPECT_EQ(tenant::policy_reason_from_byte(decision.policy_reason),
+            tenant::PolicyReason::kSpeakerMismatch);
+}
+
+TEST(ServeAuthSession, QuotaRejectionsSurfaceOnTheWire) {
+  ServiceFixture fixture("auth_quota");
+  fixture.service->store().publish(
+      make_profile("quinn", tenant::PolicyRule::kAny, /*quota=*/1));
+  Session session(test_pipeline(), tenant_limits(&*fixture.service));
+  feed(session, encode_hello(Hello{}), true);
+  feed(session, encode_auth("quinn"), true);
+  (void)drain(session);
+
+  // The real clock drives the quota window, so a minute boundary may fall
+  // between utterances; over three back-to-back utterances a quota of 1
+  // still rejects at least one.
+  int rejected_quota = 0;
+  for (int i = 0; i < 3; ++i) {
+    const DecisionFrame decision = score_once(session);
+    EXPECT_TRUE(decision.policy_applied);
+    if (!decision.policy_allowed) {
+      EXPECT_EQ(tenant::policy_reason_from_byte(decision.policy_reason),
+                tenant::PolicyReason::kQuotaExceeded);
+      ++rejected_quota;
+    }
+  }
+  EXPECT_GE(rejected_quota, 1);
+  EXPECT_FALSE(session.finished());
+}
+
+TEST(ServeAuthSession, HotReloadChangesOpenConnectionPolicy) {
+  ServiceFixture fixture("auth_reload");
+  fixture.service->store().publish(make_profile("anna", tenant::PolicyRule::kAny));
+  Session session(test_pipeline(), tenant_limits(&*fixture.service));
+  feed(session, encode_hello(Hello{}), true);
+  feed(session, encode_auth("anna"), true);
+  (void)drain(session);
+  EXPECT_TRUE(score_once(session).policy_allowed);
+
+  // An external writer republishes anna under a stricter rule, then the
+  // service hot-reloads — exactly the SIGHUP / POST /reload path.
+  {
+    tenant::ModelStore writer(fixture.dir);
+    writer.reload();
+    writer.publish(make_profile("anna", tenant::PolicyRule::kEnrolledLiveFacing));
+  }
+  EXPECT_EQ(fixture.service->reload(), 1u);
+  EXPECT_EQ(fixture.service->generation(), 2u);
+
+  // Same connection, no drop: the next utterance is judged under the new
+  // profile (kNormal's empty features can't match -> mismatch).
+  const DecisionFrame decision = score_once(session);
+  EXPECT_TRUE(decision.policy_applied);
+  EXPECT_FALSE(decision.policy_allowed);
+  EXPECT_EQ(tenant::policy_reason_from_byte(decision.policy_reason),
+            tenant::PolicyReason::kSpeakerMismatch);
+  EXPECT_FALSE(session.finished());
+}
+
+TEST(ServeAuthSession, TenantDeletedMidSessionReportsTenantMissing) {
+  ServiceFixture fixture("auth_deleted");
+  fixture.service->store().publish(make_profile("anna", tenant::PolicyRule::kAny));
+  Session session(test_pipeline(), tenant_limits(&*fixture.service));
+  feed(session, encode_hello(Hello{}), true);
+  feed(session, encode_auth("anna"), true);
+  (void)drain(session);
+
+  // Wipe the store on disk and reload: the binding's tenant is gone.
+  std::filesystem::remove(tenant::ModelStore::manifest_path(fixture.dir));
+  EXPECT_EQ(fixture.service->reload(), 0u);
+
+  const DecisionFrame decision = score_once(session);
+  EXPECT_TRUE(decision.policy_applied);
+  EXPECT_FALSE(decision.policy_allowed);
+  EXPECT_EQ(tenant::policy_reason_from_byte(decision.policy_reason),
+            tenant::PolicyReason::kTenantMissing);
+  EXPECT_FALSE(session.finished());
+}

@@ -120,16 +120,19 @@ TEST(ServeProtocolWire, HelloBytesAreLittleEndian) {
 }
 
 TEST(ServeProtocolWire, DecisionF64FieldsAreLittleEndianBitPatterns) {
-  // 1.5 = 0x3FF8000000000000, -2.0 = 0xC000000000000000, 0.0 = all zeros —
-  // IEEE-754 bit patterns serialized least-significant byte first.
+  // 1.5 = 0x3FF8000000000000, -2.0 = 0xC000000000000000, 0.5 =
+  // 0x3FE0000000000000, 0.0 = all zeros — IEEE-754 bit patterns serialized
+  // least-significant byte first.
   const std::vector<std::uint8_t> expected{
-      0x1C, 0x00, 0x00, 0x00,  // payload_len = 28
+      0x28, 0x00, 0x00, 0x00,  // payload_len = 40
       0x05,                    // type = DECISION
       0x00, 0x00, 0x00,        // flags + reserved
       0x02, 0x01, 0x00, 0x01,  // decision=2, live, !facing, via_open_session
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,  // liveness = 1.5
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xC0,  // orientation = -2.0
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // elapsed = 0.0
+      0x01, 0x00, 0x01, 0x00,  // policy applied, !allowed, reason=1, reserved
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F,  // match = 0.5
   };
   DecisionFrame decision;
   decision.decision = 2;
@@ -139,6 +142,10 @@ TEST(ServeProtocolWire, DecisionF64FieldsAreLittleEndianBitPatterns) {
   decision.liveness_score = 1.5;
   decision.orientation_score = -2.0;
   decision.elapsed_seconds = 0.0;
+  decision.policy_applied = true;
+  decision.policy_allowed = false;
+  decision.policy_reason = 1;
+  decision.match_score = 0.5;
   EXPECT_EQ(encode_decision(decision), expected);
 
   const DecisionFrame out = parse_decision(decode_one(expected));
@@ -147,6 +154,10 @@ TEST(ServeProtocolWire, DecisionF64FieldsAreLittleEndianBitPatterns) {
   EXPECT_DOUBLE_EQ(out.elapsed_seconds, 0.0);
   EXPECT_TRUE(out.live);
   EXPECT_TRUE(out.via_open_session);
+  EXPECT_TRUE(out.policy_applied);
+  EXPECT_FALSE(out.policy_allowed);
+  EXPECT_EQ(out.policy_reason, 1);
+  EXPECT_DOUBLE_EQ(out.match_score, 0.5);
 }
 
 TEST(ServeProtocolWire, AudioChunkF32SamplesAreLittleEndianBitPatterns) {

@@ -1,0 +1,195 @@
+// PolicyEngine rules + quota windows (driven with a fake clock) and the
+// TenantMetrics series cap.
+#include "tenant/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "obs/metrics.h"
+#include "tenant/enrollment.h"
+#include "tenant/metrics.h"
+
+using namespace headtalk;
+using namespace headtalk::tenant;
+
+namespace {
+
+SpeakerProfile make_profile(const std::string& tenant_id, PolicyRule rule,
+                            std::uint32_t quota = 0) {
+  std::mt19937 rng(11);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<core::FeatureCapture> features(3);
+  for (auto& capture : features) {
+    capture.liveness.resize(6);
+    for (auto& v : capture.liveness) v = g(rng) + 3.0;
+  }
+  EnrollmentConfig config;
+  config.rule = rule;
+  config.quota_per_minute = quota;
+  return enroll_from_features(features, tenant_id, config);
+}
+
+core::PipelineResult accepted_result() {
+  core::PipelineResult result;
+  result.decision = core::Decision::kAccepted;
+  return result;
+}
+
+core::PipelineResult rejected_result() {
+  core::PipelineResult result;
+  result.decision = core::Decision::kRejectedNotFacing;
+  return result;
+}
+
+/// A capture sitting on the profile's own centroid — the strongest
+/// possible self-match.
+core::FeatureCapture centroid_capture(const SpeakerProfile& profile) {
+  core::FeatureCapture capture;
+  capture.liveness = profile.liveness.centroid;
+  return capture;
+}
+
+}  // namespace
+
+TEST(TenantPolicy, ReasonNamesRoundTripThroughWireByte) {
+  for (const PolicyReason reason :
+       {PolicyReason::kPipelineVerdict, PolicyReason::kSpeakerMismatch,
+        PolicyReason::kQuotaExceeded, PolicyReason::kTenantMissing}) {
+    EXPECT_EQ(policy_reason_from_byte(static_cast<std::uint8_t>(reason)), reason);
+  }
+  EXPECT_EQ(policy_reason_from_byte(0xFF), PolicyReason::kPipelineVerdict);
+}
+
+TEST(TenantPolicy, AnyRuleAllowsEvenPipelineRejections) {
+  PolicyEngine engine;
+  const SpeakerProfile profile = make_profile("alice", PolicyRule::kAny);
+  const auto decision = engine.decide(profile, rejected_result(), {}, 0);
+  EXPECT_TRUE(decision.allowed);
+  EXPECT_EQ(decision.reason, PolicyReason::kPipelineVerdict);
+  EXPECT_FALSE(decision.match_evaluated);
+}
+
+TEST(TenantPolicy, LiveFacingRuleMirrorsPipelineVerdict) {
+  PolicyEngine engine;
+  const SpeakerProfile profile = make_profile("alice", PolicyRule::kLiveFacing);
+  EXPECT_TRUE(engine.decide(profile, accepted_result(), {}, 0).allowed);
+  const auto rejected = engine.decide(profile, rejected_result(), {}, 0);
+  EXPECT_FALSE(rejected.allowed);
+  EXPECT_EQ(rejected.reason, PolicyReason::kPipelineVerdict);
+}
+
+TEST(TenantPolicy, EnrolledRuleRequiresSpeakerMatch) {
+  PolicyEngine engine;
+  const SpeakerProfile profile = make_profile("alice", PolicyRule::kEnrolledLiveFacing);
+
+  const auto matched = engine.decide(profile, accepted_result(),
+                                     centroid_capture(profile), 0);
+  EXPECT_TRUE(matched.allowed);
+  EXPECT_TRUE(matched.match_evaluated);
+  EXPECT_GE(matched.match_score, profile.threshold);
+
+  // No scorable features (e.g. a capture the pipeline never featurized)
+  // must fail closed as a speaker mismatch, not pass open.
+  const auto featureless = engine.decide(profile, accepted_result(), {}, 0);
+  EXPECT_FALSE(featureless.allowed);
+  EXPECT_EQ(featureless.reason, PolicyReason::kSpeakerMismatch);
+  EXPECT_FALSE(featureless.match_evaluated);
+
+  // A far-away speaker is rejected with the match evaluated.
+  core::FeatureCapture stranger;
+  stranger.liveness.assign(profile.liveness.centroid.size(), -50.0);
+  const auto mismatch = engine.decide(profile, accepted_result(), stranger, 0);
+  EXPECT_FALSE(mismatch.allowed);
+  EXPECT_EQ(mismatch.reason, PolicyReason::kSpeakerMismatch);
+  EXPECT_TRUE(mismatch.match_evaluated);
+  EXPECT_LT(mismatch.match_score, profile.threshold);
+
+  // Pipeline rejection short-circuits before any matching.
+  const auto rejected = engine.decide(profile, rejected_result(),
+                                      centroid_capture(profile), 0);
+  EXPECT_FALSE(rejected.allowed);
+  EXPECT_EQ(rejected.reason, PolicyReason::kPipelineVerdict);
+}
+
+TEST(TenantPolicy, QuotaWindowsResetEveryMinute) {
+  PolicyEngine engine;
+  const SpeakerProfile profile = make_profile("alice", PolicyRule::kAny, /*quota=*/2);
+
+  EXPECT_TRUE(engine.decide(profile, accepted_result(), {}, 10).allowed);
+  EXPECT_TRUE(engine.decide(profile, accepted_result(), {}, 20).allowed);
+  const auto third = engine.decide(profile, accepted_result(), {}, 30);
+  EXPECT_FALSE(third.allowed);
+  EXPECT_EQ(third.reason, PolicyReason::kQuotaExceeded);
+
+  // The next minute opens a fresh window.
+  EXPECT_TRUE(engine.decide(profile, accepted_result(), {}, 65).allowed);
+  EXPECT_TRUE(engine.decide(profile, accepted_result(), {}, 70).allowed);
+  EXPECT_FALSE(engine.decide(profile, accepted_result(), {}, 75).allowed);
+}
+
+TEST(TenantPolicy, QuotaOnlyCountsAllowedUtterances) {
+  PolicyEngine engine;
+  const SpeakerProfile profile =
+      make_profile("alice", PolicyRule::kLiveFacing, /*quota=*/1);
+  // Pipeline rejections never consume quota.
+  EXPECT_FALSE(engine.decide(profile, rejected_result(), {}, 0).allowed);
+  EXPECT_FALSE(engine.decide(profile, rejected_result(), {}, 1).allowed);
+  EXPECT_TRUE(engine.decide(profile, accepted_result(), {}, 2).allowed);
+  EXPECT_FALSE(engine.decide(profile, accepted_result(), {}, 3).allowed);
+}
+
+TEST(TenantPolicy, CountersTallyPerReason) {
+  PolicyEngine engine;
+  const SpeakerProfile alice =
+      make_profile("alice", PolicyRule::kEnrolledLiveFacing, /*quota=*/1);
+
+  (void)engine.decide(alice, accepted_result(), centroid_capture(alice), 0);  // allowed
+  (void)engine.decide(alice, accepted_result(), centroid_capture(alice), 1);  // quota
+  (void)engine.decide(alice, accepted_result(), {}, 2);                       // mismatch
+  (void)engine.decide(alice, rejected_result(), {}, 3);                       // pipeline
+
+  const TenantCounters counters = engine.counters("alice");
+  EXPECT_EQ(counters.allowed, 1u);
+  EXPECT_EQ(counters.rejected_quota, 1u);
+  EXPECT_EQ(counters.rejected_mismatch, 1u);
+  EXPECT_EQ(counters.rejected_pipeline, 1u);
+  EXPECT_EQ(engine.counters("unknown").allowed, 0u);
+
+  const auto all = engine.all_counters();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all.at("alice").allowed, 1u);
+}
+
+TEST(TenantMetrics, SeriesCountIsCappedWithOverflowBucket) {
+  // A daemon with thousands of tenants must not mint thousands of metric
+  // series: only the first `max_tracked` tenants get their own pair, the
+  // rest aggregate into tenant._overflow.*.
+  obs::Registry registry;
+  TenantMetrics metrics(/*max_tracked_tenants=*/2, &registry);
+
+  metrics.record("a", true);
+  metrics.record("b", false);
+  metrics.record("c", true);   // over the cap -> overflow
+  metrics.record("d", false);  // over the cap -> overflow
+  metrics.record("c", false);  // still overflow, not a new series
+  metrics.record("a", true);   // tracked tenants keep their own series
+
+  EXPECT_EQ(metrics.tracked(), 2u);
+  EXPECT_EQ(registry.counter("tenant.a.decisions_allowed").value(), 2u);
+  EXPECT_EQ(registry.counter("tenant.b.decisions_rejected").value(), 1u);
+  EXPECT_EQ(registry.counter("tenant._overflow.decisions_allowed").value(), 1u);
+  EXPECT_EQ(registry.counter("tenant._overflow.decisions_rejected").value(), 2u);
+  EXPECT_DOUBLE_EQ(registry.gauge("tenant.tracked").value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("tenant.overflowed").value(), 2.0);
+
+  // No per-tenant series were minted for the overflowed ids: the registry
+  // holds exactly the 2 tracked pairs + the overflow pair.
+  std::size_t tenant_counters = 0;
+  registry.visit(
+      [&tenant_counters](const std::string& name, const obs::Counter&) {
+        if (name.rfind("tenant.", 0) == 0) ++tenant_counters;
+      },
+      nullptr, nullptr);
+  EXPECT_EQ(tenant_counters, 6u);
+}

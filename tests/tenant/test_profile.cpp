@@ -1,0 +1,169 @@
+// SpeakerProfile: matching math, enrollment calibration, and the
+// magic/version-guarded serialization.
+#include "tenant/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "ml/serialize.h"
+#include "tenant/enrollment.h"
+
+using namespace headtalk;
+using namespace headtalk::tenant;
+
+namespace {
+
+/// N feature captures drawn around a per-speaker base vector: same-speaker
+/// captures cluster, a different seed lands far away.
+std::vector<core::FeatureCapture> make_features(unsigned seed, std::size_t count,
+                                                std::size_t liveness_dim = 8,
+                                                std::size_t orientation_dim = 12) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> base(0.0, 2.0);
+  std::normal_distribution<double> jitter(0.0, 0.05);
+  std::vector<double> live_base(liveness_dim), orient_base(orientation_dim);
+  for (auto& v : live_base) v = base(rng);
+  for (auto& v : orient_base) v = base(rng);
+
+  std::vector<core::FeatureCapture> out(count);
+  for (auto& capture : out) {
+    capture.liveness.resize(liveness_dim);
+    capture.orientation.resize(orientation_dim);
+    for (std::size_t i = 0; i < liveness_dim; ++i) {
+      capture.liveness[i] = live_base[i] + jitter(rng);
+    }
+    for (std::size_t i = 0; i < orientation_dim; ++i) {
+      capture.orientation[i] = orient_base[i] + jitter(rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(TenantPolicyRule, NamesRoundTrip) {
+  for (const PolicyRule rule : {PolicyRule::kEnrolledLiveFacing, PolicyRule::kLiveFacing,
+                                PolicyRule::kAny}) {
+    EXPECT_EQ(parse_policy_rule(policy_rule_name(rule)), rule);
+  }
+  EXPECT_THROW((void)parse_policy_rule("strict"), std::invalid_argument);
+  EXPECT_THROW((void)parse_policy_rule(""), std::invalid_argument);
+}
+
+TEST(TenantId, ValidationIsStrict) {
+  EXPECT_TRUE(is_valid_tenant_id("alice"));
+  EXPECT_TRUE(is_valid_tenant_id("team-a.user_1"));
+  EXPECT_TRUE(is_valid_tenant_id("A"));
+  EXPECT_FALSE(is_valid_tenant_id(""));
+  EXPECT_FALSE(is_valid_tenant_id(".hidden"));  // would hide the blob file
+  EXPECT_FALSE(is_valid_tenant_id("has space"));
+  EXPECT_FALSE(is_valid_tenant_id("slash/attack"));
+  EXPECT_FALSE(is_valid_tenant_id("dot..dot/../escape"));
+  EXPECT_FALSE(is_valid_tenant_id(std::string(65, 'a')));
+  EXPECT_TRUE(is_valid_tenant_id(std::string(64, 'a')));
+}
+
+TEST(TenantEnrollment, SelfMatchesAboveThresholdStrangerBelow) {
+  const auto own = make_features(/*seed=*/1, /*count=*/5);
+  const SpeakerProfile profile = enroll_from_features(own, "alice");
+
+  EXPECT_EQ(profile.tenant_id, "alice");
+  EXPECT_EQ(profile.enrolled_captures, 5u);
+  EXPECT_GE(profile.threshold, 0.3);
+  for (const auto& capture : own) {
+    EXPECT_TRUE(profile.can_match(capture));
+    EXPECT_GE(profile.match(capture), profile.threshold);
+  }
+
+  // A different speaker's features sit far from the centroid relative to
+  // the tight enrollment spread.
+  const auto stranger = make_features(/*seed=*/99, /*count=*/3);
+  for (const auto& capture : stranger) {
+    EXPECT_LT(profile.match(capture), profile.threshold);
+  }
+}
+
+TEST(TenantEnrollment, ValidatesInputs) {
+  const auto features = make_features(1, 3);
+  EXPECT_THROW((void)enroll_from_features(features, "bad id!"), EnrollmentError);
+  EXPECT_THROW(
+      (void)enroll_from_features(std::span(features.data(), 1), "alice"),
+      EnrollmentError);
+
+  // A capture missing a family the first capture carries is inconsistent.
+  auto mixed = make_features(1, 3);
+  mixed[1].orientation.clear();
+  EXPECT_THROW((void)enroll_from_features(mixed, "alice"), EnrollmentError);
+
+  std::vector<core::FeatureCapture> empty_features(3);
+  EXPECT_THROW((void)enroll_from_features(empty_features, "alice"), EnrollmentError);
+}
+
+TEST(TenantProfile, NoOverlappingFamilyNeverMatches) {
+  auto liveness_only = make_features(1, 3);
+  for (auto& capture : liveness_only) capture.orientation.clear();
+  const SpeakerProfile profile = enroll_from_features(liveness_only, "alice");
+
+  core::FeatureCapture orientation_only;
+  orientation_only.orientation.assign(12, 1.0);
+  EXPECT_FALSE(profile.can_match(orientation_only));
+  EXPECT_EQ(profile.match(orientation_only), 0.0);
+
+  // Dimension mismatch within a family also fails to overlap.
+  core::FeatureCapture wrong_dim;
+  wrong_dim.liveness.assign(profile.liveness.centroid.size() + 1, 1.0);
+  EXPECT_FALSE(profile.can_match(wrong_dim));
+}
+
+TEST(TenantProfile, SerializationRoundTrips) {
+  EnrollmentConfig config;
+  config.rule = PolicyRule::kLiveFacing;
+  config.quota_per_minute = 7;
+  SpeakerProfile profile = enroll_from_features(make_features(3, 4), "bob", config);
+  profile.generation = 42;
+
+  std::stringstream stream;
+  profile.save(stream);
+  const SpeakerProfile loaded = SpeakerProfile::load(stream);
+
+  EXPECT_EQ(loaded.tenant_id, "bob");
+  EXPECT_EQ(loaded.rule, PolicyRule::kLiveFacing);
+  EXPECT_EQ(loaded.quota_per_minute, 7u);
+  EXPECT_DOUBLE_EQ(loaded.threshold, profile.threshold);
+  EXPECT_EQ(loaded.enrolled_captures, 4u);
+  EXPECT_EQ(loaded.generation, 42u);
+  EXPECT_EQ(loaded.orientation.centroid, profile.orientation.centroid);
+  EXPECT_EQ(loaded.orientation.spread, profile.orientation.spread);
+  EXPECT_EQ(loaded.liveness.centroid, profile.liveness.centroid);
+  EXPECT_EQ(loaded.liveness.spread, profile.liveness.spread);
+
+  // The loaded profile scores identically.
+  const auto probe = make_features(3, 1);
+  EXPECT_DOUBLE_EQ(loaded.match(probe.front()), profile.match(probe.front()));
+}
+
+TEST(TenantProfile, LoadRejectsBadMagicVersionAndTruncation) {
+  const SpeakerProfile profile = enroll_from_features(make_features(5, 3), "carol");
+  std::stringstream stream;
+  profile.save(stream);
+  const std::string bytes = stream.str();
+
+  {
+    std::string corrupt = bytes;
+    corrupt[0] ^= 0xFF;  // magic
+    std::stringstream in(corrupt);
+    EXPECT_THROW((void)SpeakerProfile::load(in), ml::SerializationError);
+  }
+  {
+    std::string skewed = bytes;
+    skewed[4] ^= 0x02;  // version (u32 after the magic)
+    std::stringstream in(skewed);
+    EXPECT_THROW((void)SpeakerProfile::load(in), ml::SerializationError);
+  }
+  {
+    std::stringstream in(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW((void)SpeakerProfile::load(in), ml::SerializationError);
+  }
+}

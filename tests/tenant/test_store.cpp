@@ -1,0 +1,218 @@
+// ModelStore: atomic publish, hot reload, crash-leftover cleanup, version
+// skew, and the reload-vs-lookup race (run under TSan via
+// tools/run_tsan_tests.sh).
+#include "tenant/store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <thread>
+
+#include "ml/serialize.h"
+#include "tenant/enrollment.h"
+
+using namespace headtalk;
+using namespace headtalk::tenant;
+
+namespace {
+
+std::filesystem::path fresh_dir(const char* name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+SpeakerProfile make_profile(const std::string& tenant_id, unsigned seed = 1) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<core::FeatureCapture> features(3);
+  for (auto& capture : features) {
+    capture.liveness.resize(6);
+    capture.orientation.resize(8);
+    for (auto& v : capture.liveness) v = g(rng);
+    for (auto& v : capture.orientation) v = g(rng);
+  }
+  return enroll_from_features(features, tenant_id);
+}
+
+}  // namespace
+
+TEST(TenantStore, PublishLookupAndReloadFromDisk) {
+  const auto dir = fresh_dir("store_basic");
+  ModelStore store(dir);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.generation(), 0u);
+  EXPECT_EQ(store.lookup("alice"), nullptr);
+
+  EXPECT_EQ(store.publish(make_profile("alice")), 1u);
+  EXPECT_EQ(store.publish(make_profile("bob", 2)), 2u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.generation(), 2u);
+
+  const auto alice = store.lookup("alice");
+  ASSERT_NE(alice, nullptr);
+  EXPECT_EQ(alice->tenant_id, "alice");
+  EXPECT_EQ(alice->generation, 1u);
+
+  // A second store on the same directory reloads the published state.
+  ModelStore reopened(dir);
+  EXPECT_EQ(reopened.reload(), 2u);
+  EXPECT_EQ(reopened.generation(), 2u);
+  const auto bob = reopened.lookup("bob");
+  ASSERT_NE(bob, nullptr);
+  EXPECT_EQ(bob->tenant_id, "bob");
+  EXPECT_EQ(bob->generation, 2u);
+}
+
+TEST(TenantStore, PublishManyBumpsGenerationOnce) {
+  const auto dir = fresh_dir("store_many");
+  ModelStore store(dir);
+  std::vector<SpeakerProfile> batch;
+  for (int i = 0; i < 5; ++i) batch.push_back(make_profile("t" + std::to_string(i), i + 1));
+  EXPECT_EQ(store.publish_many(batch), 1u);
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.generation(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    const auto profile = store.lookup("t" + std::to_string(i));
+    ASSERT_NE(profile, nullptr);
+    EXPECT_EQ(profile->generation, 1u);
+  }
+}
+
+TEST(TenantStore, RepublishReplacesProfileAndOldPointerStaysValid) {
+  const auto dir = fresh_dir("store_republish");
+  ModelStore store(dir);
+  store.publish(make_profile("alice", 1));
+  const auto before = store.lookup("alice");
+  ASSERT_NE(before, nullptr);
+
+  SpeakerProfile updated = make_profile("alice", 2);
+  updated.quota_per_minute = 9;
+  store.publish(updated);
+  EXPECT_EQ(store.size(), 1u);
+
+  const auto after = store.lookup("alice");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->quota_per_minute, 9u);
+  EXPECT_EQ(after->generation, 2u);
+  // The pre-reload pointer is immutable and still readable — a stream
+  // holding it across a publish never observes a change.
+  EXPECT_EQ(before->generation, 1u);
+  EXPECT_NE(before->quota_per_minute, 9u);
+}
+
+TEST(TenantStore, CrashLeftoverTempFilesAreIgnoredAndCleaned) {
+  const auto dir = fresh_dir("store_crash");
+  ModelStore store(dir);
+  store.publish(make_profile("alice"));
+
+  // Simulate a publish that died mid-write: temp files litter the dir.
+  const auto leftover_blob = dir / ".tmp-999-0-dead.prof";
+  const auto leftover_manifest = dir / ".tmp-999-1-manifest.htm";
+  std::ofstream(leftover_blob) << "half-written garbage";
+  std::ofstream(leftover_manifest) << "torn";
+  ASSERT_TRUE(std::filesystem::exists(leftover_blob));
+
+  ModelStore reopened(dir);
+  EXPECT_EQ(reopened.reload(), 1u);  // garbage neither loaded nor fatal
+  EXPECT_GE(reopened.temp_files_cleaned(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(leftover_blob));
+  EXPECT_FALSE(std::filesystem::exists(leftover_manifest));
+  ASSERT_NE(reopened.lookup("alice"), nullptr);
+}
+
+TEST(TenantStore, ManifestVersionSkewRejectedAndOldSnapshotKept) {
+  const auto dir = fresh_dir("store_skew");
+  ModelStore store(dir);
+  store.publish(make_profile("alice"));
+  store.publish(make_profile("bob", 2));
+
+  // Corrupt the manifest's version field (u32 after the u32 magic).
+  const auto manifest = ModelStore::manifest_path(dir);
+  {
+    std::fstream file(manifest, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(4);
+    const char bad[4] = {0x7F, 0x00, 0x00, 0x00};
+    file.write(bad, 4);
+  }
+
+  EXPECT_THROW((void)store.reload(), ml::SerializationError);
+  // The in-memory snapshot keeps serving the last good state.
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_NE(store.lookup("alice"), nullptr);
+
+  ModelStore reopened(dir);
+  EXPECT_THROW((void)reopened.reload(), ml::SerializationError);
+  EXPECT_EQ(reopened.size(), 0u);
+}
+
+TEST(TenantStore, MissingManifestIsAnEmptyStore) {
+  const auto dir = fresh_dir("store_empty");
+  ModelStore store(dir);
+  EXPECT_EQ(store.reload(), 0u);
+  EXPECT_EQ(store.generation(), 0u);
+}
+
+TEST(TenantStore, ConcurrentReloadsAndLookupsAreRaceFree) {
+  // 8 threads hammering the same store — half reloading, half looking up
+  // and reading through the returned profiles — must neither crash nor
+  // trip TSan. Snapshot swaps are atomic; profiles are immutable.
+  const auto dir = fresh_dir("store_race");
+  ModelStore store(dir);
+  std::vector<SpeakerProfile> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(make_profile("t" + std::to_string(i), i + 1));
+  store.publish_many(batch);
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 50;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &failed, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        if (t % 2 == 0) {
+          if (store.reload() != 8u) failed.store(true);
+        } else {
+          const auto profile = store.lookup("t" + std::to_string(i % 8));
+          if (profile == nullptr || profile->liveness.centroid.empty()) {
+            failed.store(true);
+            continue;
+          }
+          const auto snapshot = store.snapshot();
+          if (snapshot == nullptr || snapshot->profiles.size() != 8u) {
+            failed.store(true);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(store.size(), 8u);
+}
+
+TEST(TenantStore, ConcurrentPublishAndLookup) {
+  const auto dir = fresh_dir("store_pub_race");
+  ModelStore store(dir);
+  store.publish(make_profile("base"));
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&store, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto profile = store.lookup("base");
+      ASSERT_NE(profile, nullptr);
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    store.publish(make_profile("extra" + std::to_string(i), i + 2));
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(store.size(), 21u);
+  EXPECT_EQ(store.generation(), 21u);
+}

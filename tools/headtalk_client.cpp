@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -31,6 +32,7 @@
 #include "obs/export.h"
 #include "serve/admin.h"
 #include "serve/client.h"
+#include "tenant/policy.h"
 #include "util/json.h"
 
 using namespace headtalk;
@@ -66,6 +68,28 @@ serve::AdminFetch admin_fetch(const cli::ArgParser& args, std::string_view targe
   throw cli::ArgsError("admin modes need --admin-socket or --admin-port");
 }
 
+serve::AdminFetch admin_post(const cli::ArgParser& args, std::string_view target) {
+  const std::string admin_socket = args.get("--admin-socket");
+  const long admin_port = args.get_int("--admin-port");
+  if (!admin_socket.empty()) return serve::admin_post_unix(admin_socket, target);
+  if (admin_port > 0) return serve::admin_post_tcp(static_cast<int>(admin_port), target);
+  throw cli::ArgsError("admin modes need --admin-socket or --admin-port");
+}
+
+/// Report suffix for a decision's tenant-policy fields; empty on a
+/// tenant-less connection (policy_applied false).
+std::string policy_suffix(const serve::DecisionFrame& d) {
+  if (!d.policy_applied) return "";
+  char text[96];
+  std::snprintf(text, sizeof text, ", policy %s (%s, match %.3f)",
+                d.policy_allowed ? "allowed" : "rejected",
+                std::string(tenant::policy_reason_name(
+                                tenant::policy_reason_from_byte(d.policy_reason)))
+                    .c_str(),
+                d.match_score);
+  return text;
+}
+
 std::uint64_t decision_total(const obs::MetricsSnapshot& snapshot) {
   std::uint64_t total = 0;
   for (const auto& [name, value] : snapshot.counters) {
@@ -78,7 +102,7 @@ std::uint64_t decision_total(const obs::MetricsSnapshot& snapshot) {
 /// the decision-counter delta) and a per-stage latency table computed from
 /// the shipped histogram buckets.
 void render_watch_frame(const obs::MetricsSnapshot& snapshot,
-                        const util::JsonValue& stats, double qps) {
+                        const util::JsonValue& stats, std::optional<double> qps) {
   double uptime = 0.0, rss_mib = 0.0;
   std::size_t connections = 0;
   if (const auto* v = stats.find("uptime_seconds")) uptime = v->as_number();
@@ -88,11 +112,19 @@ void render_watch_frame(const obs::MetricsSnapshot& snapshot,
   if (const auto* v = stats.find("connections"); v != nullptr && v->is_array()) {
     connections = v->as_array().size();
   }
+  // qps is a delta between two scrapes: the first frame has only one
+  // sample, so it renders as "-" instead of a made-up number.
+  char qps_text[32];
+  if (qps.has_value()) {
+    std::snprintf(qps_text, sizeof qps_text, "%6.1f", *qps);
+  } else {
+    std::snprintf(qps_text, sizeof qps_text, "%6s", "-");
+  }
   std::printf(
       "headtalk --watch   uptime %8.1f s   rss %7.1f MiB   conns %2zu   "
-      "decisions %llu   qps %6.1f\n\n",
+      "decisions %llu   qps %s\n\n",
       uptime, rss_mib, connections,
-      static_cast<unsigned long long>(decision_total(snapshot)), qps);
+      static_cast<unsigned long long>(decision_total(snapshot)), qps_text);
   std::printf("  %-22s %10s %10s %10s %10s\n", "stage", "count", "mean ms", "p50 ms",
               "p95 ms");
   constexpr std::string_view kPrefix = "pipeline.stage.";
@@ -137,11 +169,15 @@ int run_watch(const cli::ArgParser& args) {
     const util::JsonValue stats_json = util::JsonValue::parse(stats.body);
     const auto now = std::chrono::steady_clock::now();
     const std::uint64_t decisions = decision_total(snapshot);
-    double qps = 0.0;
+    std::optional<double> qps;
     if (have_previous) {
       const double dt = std::chrono::duration<double>(now - previous_time).count();
+      // A counter that went backwards (daemon restarted between scrapes)
+      // clamps to 0 rather than printing a huge unsigned wraparound.
       if (dt > 0.0 && decisions >= previous_decisions) {
         qps = static_cast<double>(decisions - previous_decisions) / dt;
+      } else {
+        qps = 0.0;
       }
     }
     previous_decisions = decisions;
@@ -172,6 +208,14 @@ int main(int argc, char** argv) {
                 "fetch one admin target (e.g. /metrics, /healthz, /stats.json), "
                 "print the body, exit nonzero unless HTTP 200",
                 "");
+  args.add_flag("--admin-post",
+                "POST one admin target (e.g. /reload), print the body, exit "
+                "nonzero unless HTTP 200",
+                "");
+  args.add_flag("--tenant",
+                "AUTH as this tenant after HELLO (exit 3 if the server rejects "
+                "the AUTH)",
+                "");
   args.add_switch("--watch", "poll the admin plane and render a live stage/qps view");
   args.add_flag("--interval-ms", "--watch poll interval", "1000");
   args.add_flag("--watch-count", "--watch frames before exiting (0 = forever)", "0");
@@ -185,16 +229,21 @@ int main(int argc, char** argv) {
 
     // Admin modes need no WAVs and no scoring connection.
     const std::string admin_target = args.get("--admin-get");
-    if (!admin_target.empty() && args.get_switch("--watch")) {
-      throw cli::ArgsError("--admin-get and --watch are mutually exclusive");
+    const std::string admin_post_target = args.get("--admin-post");
+    if ((!admin_target.empty() || !admin_post_target.empty()) &&
+        args.get_switch("--watch")) {
+      throw cli::ArgsError("--admin-get/--admin-post and --watch are mutually exclusive");
     }
-    if (!admin_target.empty()) {
-      const serve::AdminFetch fetch = admin_fetch(args, admin_target);
+    if (!admin_target.empty() || !admin_post_target.empty()) {
+      const bool is_post = !admin_post_target.empty();
+      const std::string& target = is_post ? admin_post_target : admin_target;
+      const serve::AdminFetch fetch =
+          is_post ? admin_post(args, target) : admin_fetch(args, target);
       std::fwrite(fetch.body.data(), 1, fetch.body.size(), stdout);
       if (!fetch.body.empty() && fetch.body.back() != '\n') std::fputc('\n', stdout);
       if (fetch.status != 200) {
-        std::fprintf(stderr, "admin-get %s: HTTP %d\n", admin_target.c_str(),
-                     fetch.status);
+        std::fprintf(stderr, "admin-%s %s: HTTP %d\n", is_post ? "post" : "get",
+                     target.c_str(), fetch.status);
         return 1;
       }
       return 0;
@@ -221,8 +270,10 @@ int main(int argc, char** argv) {
       std::vector<serve::StreamDecisionFrame> stream_decisions;
       serve::StreamSummary summary{};
       std::string error;
+      bool auth_rejected = false;
     };
     std::vector<Outcome> outcomes(static_cast<std::size_t>(parallel));
+    const std::string tenant_id = args.get("--tenant");
 
     auto run_connection = [&](std::size_t index) {
       Outcome& outcome = outcomes[index];
@@ -232,6 +283,22 @@ int main(int argc, char** argv) {
         hello.sample_rate_hz = static_cast<std::uint32_t>(captures.front().sample_rate());
         hello.channels = static_cast<std::uint16_t>(captures.front().channel_count());
         (void)client.hello(hello);
+        if (!tenant_id.empty()) {
+          const auto auth = client.auth(tenant_id);
+          if (!auth.accepted) {
+            outcome.auth_rejected = true;
+            outcome.error = "AUTH rejected (" +
+                            std::string(serve::auth_reject_code_name(auth.reject.code)) +
+                            "): " + auth.reject.message;
+            return;
+          }
+          if (index == 0) {
+            std::printf("authenticated as '%s' (generation %llu, quota %u/min)\n",
+                        tenant_id.c_str(),
+                        static_cast<unsigned long long>(auth.ok.generation),
+                        auth.ok.quota_per_minute);
+          }
+        }
         if (stream_mode) {
           (void)client.start_stream();
           for (const auto& capture : captures) {
@@ -270,7 +337,7 @@ int main(int argc, char** argv) {
     if (stream_mode) {
       for (const auto& d : outcomes[0].stream_decisions) {
         std::printf(
-            "[%7.3f .. %7.3f s] %s (liveness %.3f, orientation %+.3f%s%s, "
+            "[%7.3f .. %7.3f s] %s (liveness %.3f, orientation %+.3f%s%s%s, "
             "scored in %.1f ms)\n",
             d.begin_seconds, d.end_seconds,
             std::string(core::decision_name(
@@ -279,6 +346,7 @@ int main(int argc, char** argv) {
             d.decision.liveness_score, d.decision.orientation_score,
             d.decision.via_open_session ? ", via open session" : "",
             d.force_closed ? ", force-closed" : "",
+            policy_suffix(d.decision).c_str(),
             1000.0 * d.decision.elapsed_seconds);
       }
       for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -292,17 +360,21 @@ int main(int argc, char** argv) {
           "stream summary: segments=%u force_closed=%u discarded=%u frames=%llu\n",
           s.segments, s.force_closed, s.discarded,
           static_cast<unsigned long long>(s.frames_streamed));
+      for (const auto& outcome : outcomes) {
+        if (outcome.auth_rejected) return 3;
+      }
       return failed ? 1 : 0;
     }
     for (std::size_t u = 0; u < outcomes[0].decisions.size(); ++u) {
       const auto& d = outcomes[0].decisions[u];
       std::printf(
-          "%s: %s (liveness %.3f, orientation %+.3f%s, scored in %.1f ms)\n",
+          "%s: %s (liveness %.3f, orientation %+.3f%s%s, scored in %.1f ms)\n",
           wavs[u].string().c_str(),
           std::string(core::decision_name(static_cast<core::Decision>(d.decision)))
               .c_str(),
           d.liveness_score, d.orientation_score,
-          d.via_open_session ? ", via open session" : "", 1000.0 * d.elapsed_seconds);
+          d.via_open_session ? ", via open session" : "", policy_suffix(d).c_str(),
+          1000.0 * d.elapsed_seconds);
     }
     std::size_t total_decisions = 0;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -325,6 +397,11 @@ int main(int argc, char** argv) {
                   captures.size() * static_cast<std::size_t>(parallel), wall_seconds,
                   wall_seconds > 0.0 ? static_cast<double>(total_decisions) / wall_seconds
                                      : 0.0);
+    }
+    // AUTH rejection gets its own status so scripts can tell "not
+    // enrolled" from a scoring failure.
+    for (const auto& outcome : outcomes) {
+      if (outcome.auth_rejected) return 3;
     }
     return failed ? 1 : 0;
   } catch (const std::exception& error) {

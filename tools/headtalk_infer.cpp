@@ -26,6 +26,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stream/streaming_detector.h"
+#include "tenant/policy.h"
+#include "tenant/store.h"
 #include "util/thread_pool.h"
 
 using namespace headtalk;
@@ -54,6 +56,9 @@ int main(int argc, char** argv) {
                   "treat the WAVs as one continuous stream: VAD + endpointing "
                   "find the utterances, one decision each");
   args.add_flag("--chunk-ms", "streaming push granularity (milliseconds)", "100");
+  args.add_flag("--store", "tenant model store directory (with --tenant)", "");
+  args.add_flag("--tenant",
+                "score against this tenant's profile + policy (needs --store)", "");
   cli::add_jobs_flag(args);
   cli::add_obs_flags(args);
 
@@ -73,6 +78,24 @@ int main(int argc, char** argv) {
 
     const auto wavs = parse_wavs(args.get("--wav"));
     const auto device = room::DeviceSpec::get(cli::parse_device(args.get("--device")));
+
+    // Optional tenant-scoped scoring: resolve the profile once, match each
+    // capture's features against it, and run the same policy engine the
+    // daemon uses (locally, so no server is needed to test an enrollment).
+    std::shared_ptr<const tenant::SpeakerProfile> profile;
+    const std::string tenant_id = args.get("--tenant");
+    if (!tenant_id.empty()) {
+      if (args.get("--store").empty()) throw cli::ArgsError("--tenant needs --store");
+      if (args.get_switch("--stream")) {
+        throw cli::ArgsError("--tenant is not supported with --stream");
+      }
+      tenant::ModelStore store(args.get("--store"));
+      profile = store.lookup(tenant_id);
+      if (!profile) {
+        throw std::runtime_error("tenant '" + tenant_id + "' is not enrolled in " +
+                                 args.get("--store"));
+      }
+    }
 
     if (args.get_switch("--stream")) {
       // Continuous mode: the same resident-pipeline path headtalk_serve
@@ -138,6 +161,7 @@ int main(int argc, char** argv) {
 
     // Scoring a capture is independent work against const models; batches
     // fan out across --jobs workers and reports print in input order.
+    tenant::PolicyEngine policy;
     std::vector<std::string> reports(wavs.size());
     static obs::Histogram& capture_seconds =
         obs::Registry::global().histogram("infer.capture_seconds");
@@ -196,6 +220,27 @@ int main(int argc, char** argv) {
                     live_score, live ? "live human" : "mechanical speaker",
                     orient_score, facing ? "facing" : "not facing", decision);
       reports[i] = text;
+
+      if (profile) {
+        core::FeatureCapture capture_features;
+        capture_features.liveness = live_features;
+        capture_features.orientation = features;
+        core::PipelineResult result;
+        result.decision = !live    ? core::Decision::kRejectedReplay
+                          : facing ? core::Decision::kAccepted
+                                   : core::Decision::kRejectedNotFacing;
+        const tenant::PolicyDecision verdict =
+            policy.decide(*profile, result, capture_features);
+        std::snprintf(text, sizeof text,
+                      "tenant '%s' (%s): match %.3f vs threshold %.3f -> policy %s "
+                      "(%s)\n",
+                      profile->tenant_id.c_str(),
+                      std::string(tenant::policy_rule_name(profile->rule)).c_str(),
+                      verdict.match_score, profile->threshold,
+                      verdict.allowed ? "ALLOWED" : "rejected",
+                      std::string(tenant::policy_reason_name(verdict.reason)).c_str());
+        reports[i] += text;
+      }
     });
 
     for (std::size_t i = 0; i < wavs.size(); ++i) {

@@ -16,29 +16,54 @@
 // /metrics.json (mergeable snapshot), /healthz, /readyz (503 while
 // draining), /stats.json (uptime, rss/fd/cpu, per-connection table, slow-
 // utterance exemplars). Scoring threads are never involved in a scrape.
+//
+// With --store DIR the daemon serves tenant-scoped: clients AUTH as an
+// enrolled tenant and every decision passes through that tenant's policy
+// (speaker match, quota). SIGHUP or POST /reload on the admin plane
+// hot-reloads the store without dropping connections; GET /tenants.json
+// lists the live tenants.
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "cli/args.h"
 #include "cli/names.h"
 #include "core/pipeline.h"
 #include "ml/serialize.h"
 #include "obs/export.h"
+#include "obs/log.h"
 #include "room/mic_array.h"
 #include "serve/admin.h"
 #include "serve/server.h"
+#include "tenant/service.h"
 
 using namespace headtalk;
 
 namespace {
 
 serve::Server* g_server = nullptr;
+std::atomic<bool> g_reload_requested{false};
 
 extern "C" void handle_stop_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
+}
+
+extern "C" void handle_reload_signal(int) {
+  // Async-signal-safe: just flag it; the reload thread does the disk I/O.
+  g_reload_requested.store(true, std::memory_order_relaxed);
+}
+
+std::string reload_json(tenant::TenantService& service) {
+  const std::size_t count = service.reload();
+  std::ostringstream body;
+  body << "{\"reloaded\":true,\"tenants\":" << count
+       << ",\"generation\":" << service.generation() << "}\n";
+  return body.str();
 }
 
 core::VaMode parse_mode(const std::string& text) {
@@ -62,6 +87,14 @@ int main(int argc, char** argv) {
                 "Unix-domain socket for the admin/metrics plane (off if empty)", "");
   args.add_flag("--admin-port",
                 "admin/metrics plane on 127.0.0.1:<port> (0 = off)", "0");
+  args.add_flag("--store",
+                "tenant model store directory (enables AUTH-scoped serving; "
+                "SIGHUP or POST /reload hot-reloads it)",
+                "");
+  args.add_flag("--max-metric-tenants",
+                "per-tenant metric series kept in the registry (rest aggregate "
+                "into tenant._overflow)",
+                "32");
   cli::add_jobs_flag(args);
   cli::add_obs_flags(args);
 
@@ -97,12 +130,46 @@ int main(int argc, char** argv) {
       throw cli::ArgsError("--max-pending and --deadline-ms must be positive");
     }
 
+    std::unique_ptr<tenant::TenantService> tenants;
+    const std::string store_dir = args.get("--store");
+    if (!store_dir.empty()) {
+      tenant::TenantServiceConfig tenant_config;
+      tenant_config.max_metric_tenants =
+          static_cast<std::size_t>(args.get_int("--max-metric-tenants"));
+      tenants = std::make_unique<tenant::TenantService>(store_dir, tenant_config);
+      config.session.tenants = tenants.get();
+      std::printf("headtalk_serve: tenant store %s — %zu tenants, generation %llu\n",
+                  store_dir.c_str(), tenants->tenant_count(),
+                  static_cast<unsigned long long>(tenants->generation()));
+    }
+
     serve::Server server(pipeline, config);
     g_server = &server;
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
+    if (tenants) std::signal(SIGHUP, handle_reload_signal);
 
     server.start();
+
+    // SIGHUP watcher: the handler only flags, this thread does the store
+    // re-read so no filesystem work happens in signal context.
+    std::thread reload_thread;
+    std::atomic<bool> reload_thread_stop{false};
+    if (tenants) {
+      reload_thread = std::thread([&tenants, &reload_thread_stop] {
+        while (!reload_thread_stop.load(std::memory_order_acquire)) {
+          if (g_reload_requested.exchange(false, std::memory_order_relaxed)) {
+            try {
+              const std::size_t count = tenants->reload();
+              obs::log_info("serve.sighup_reload", {{"tenants", count}});
+            } catch (const std::exception& error) {
+              obs::log_warn("serve.sighup_reload_failed", {{"error", error.what()}});
+            }
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+      });
+    }
 
     serve::AdminConfig admin_config;
     admin_config.socket_path = args.get("--admin-socket");
@@ -120,6 +187,11 @@ int main(int argc, char** argv) {
               << ",\"connections_accepted\":" << stats.connections_accepted;
         return extra.str();
       };
+      if (tenants) {
+        tenant::TenantService* service = tenants.get();
+        hooks.tenants = [service] { return service->tenants_json(); };
+        hooks.reload = [service] { return reload_json(*service); };
+      }
       admin = std::make_unique<serve::AdminServer>(admin_config, std::move(hooks));
       admin->start();
       std::printf("headtalk_serve: admin plane on %s%s\n",
@@ -137,6 +209,10 @@ int main(int argc, char** argv) {
                     : "");
     std::fflush(stdout);
     server.wait();
+    if (reload_thread.joinable()) {
+      reload_thread_stop.store(true, std::memory_order_release);
+      reload_thread.join();
+    }
     // Keep answering scrapes (reporting 503 /readyz) until the drain
     // summary below is assembled, then shut the admin plane down.
     if (admin) admin->stop();

@@ -5,6 +5,14 @@
 // hand-recorded corpora can use the same format), extracts features, trains
 // the orientation SVM (Definition-4 facing arcs) and the liveness network,
 // and saves both models to the output directory.
+//
+// With --enroll the tool instead enrolls a speaker into a tenant model
+// store: the listed WAVs are run through the same preprocessing + feature
+// extractors the scoring pipeline uses, summarized into a SpeakerProfile
+// (tenant/enrollment.h), and published atomically into --store:
+//
+//   headtalk_train --enroll --tenant alice --store store \
+//       --wavs a.wav,b.wav,c.wav --policy enrolled_live_facing --quota 0
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -19,9 +27,12 @@
 #include "core/liveness_features.h"
 #include "core/orientation_classifier.h"
 #include "core/orientation_features.h"
+#include "core/pipeline.h"
 #include "core/preprocess.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tenant/enrollment.h"
+#include "tenant/store.h"
 #include "util/thread_pool.h"
 
 using namespace headtalk;
@@ -55,13 +66,73 @@ std::vector<ManifestEntry> read_manifest(const std::filesystem::path& dir) {
   return entries;
 }
 
+std::vector<std::filesystem::path> split_paths(const std::string& list) {
+  std::vector<std::filesystem::path> out;
+  std::stringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.emplace_back(item);
+  }
+  return out;
+}
+
+int run_enroll(const cli::ArgParser& args) {
+  const std::string tenant_id = args.get("--tenant");
+  const std::filesystem::path store_dir = args.get("--store");
+  const auto wav_paths = split_paths(args.get("--wavs"));
+  if (wav_paths.empty()) {
+    throw cli::ArgsError("--enroll needs --wavs a.wav,b.wav,... (>= 2 captures)");
+  }
+
+  tenant::EnrollmentConfig config;
+  config.rule = tenant::parse_policy_rule(args.get("--policy"));
+  const long quota = args.get_int("--quota");
+  if (quota < 0) throw cli::ArgsError("--quota must be >= 0 (0 = unlimited)");
+  config.quota_per_minute = static_cast<std::uint32_t>(quota);
+
+  core::PipelineConfig pipeline_config;
+  const auto device = room::DeviceSpec::get(cli::parse_device(args.get("--device")));
+  pipeline_config.orientation_features.max_mic_distance_m =
+      device.max_pair_distance(device.default_channels);
+
+  std::vector<audio::MultiBuffer> captures;
+  captures.reserve(wav_paths.size());
+  for (const auto& path : wav_paths) captures.push_back(audio::read_wav(path));
+
+  const tenant::SpeakerProfile profile =
+      tenant::enroll_profile(pipeline_config, captures, tenant_id, config);
+  tenant::ModelStore store(store_dir);
+  // Load what's already enrolled first: the manifest rewrite on publish
+  // covers the whole snapshot, so skipping this would clobber every
+  // previously enrolled tenant.
+  (void)store.reload();
+  store.publish(profile);
+  std::printf(
+      "enrolled '%s' from %zu captures into %s — policy %s, quota %u/min, "
+      "threshold %.3f, store generation %llu (%zu tenants)\n",
+      tenant_id.c_str(), captures.size(), store_dir.string().c_str(),
+      std::string(tenant::policy_rule_name(profile.rule)).c_str(),
+      profile.quota_per_minute,
+      profile.threshold, static_cast<unsigned long long>(store.generation()),
+      store.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cli::ArgParser args("headtalk_train", "train HeadTalk detectors from a WAV corpus");
-  args.add_flag("--data", "corpus directory containing manifest.tsv");
-  args.add_flag("--out", "directory to write orientation.htm / liveness.htm");
+  args.add_flag("--data", "corpus directory containing manifest.tsv", "");
+  args.add_flag("--out", "directory to write orientation.htm / liveness.htm", "");
   args.add_switch("--tune-svm", "grid-search the SVM (C, gamma) as in the paper");
+  args.add_switch("--enroll", "enroll a speaker into a tenant store instead of training");
+  args.add_flag("--tenant", "tenant id to enroll (--enroll)", "");
+  args.add_flag("--store", "tenant model store directory (--enroll)", "");
+  args.add_flag("--wavs", "comma-separated enrollment WAVs (--enroll)", "");
+  args.add_flag("--policy", "policy rule: enrolled_live_facing|live_facing|any",
+                "enrolled_live_facing");
+  args.add_flag("--quota", "per-minute decision quota, 0 = unlimited (--enroll)", "0");
+  args.add_flag("--device", "device the captures come from: D1|D2|D3 (--enroll)", "D2");
   cli::add_jobs_flag(args);
   cli::add_obs_flags(args);
 
@@ -72,6 +143,16 @@ int main(int argc, char** argv) {
       return 0;
     }
     cli::ObsSession obs_session(args);
+
+    if (args.get_switch("--enroll")) {
+      if (args.get("--tenant").empty() || args.get("--store").empty()) {
+        throw cli::ArgsError("--enroll needs --tenant and --store");
+      }
+      return run_enroll(args);
+    }
+    if (args.get("--data").empty() || args.get("--out").empty()) {
+      throw cli::ArgsError("training needs --data and --out");
+    }
 
     const std::filesystem::path data_dir = args.get("--data");
     const std::filesystem::path out_dir = args.get("--out");

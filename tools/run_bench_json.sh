@@ -16,11 +16,18 @@ repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_dir/build"}
 schema="$repo_dir/bench/bench_record_schema.json"
 
-benches="bench_fig3_spectra bench_fig5_forward_backward bench_fig6_gcc_srp bench_serve_throughput bench_runtime bench_stream_latency"
+benches="bench_fig3_spectra bench_fig5_forward_backward bench_fig6_gcc_srp bench_serve_throughput bench_runtime bench_stream_latency bench_tenant_serve"
 
 # Keep the serving bench smoke-sized (the nightly perf run raises these).
 export HEADTALK_SERVE_BENCH_CLIENTS=4
 export HEADTALK_SERVE_BENCH_UTTERANCES=2
+# bench_tenant_serve: a small tenant fleet still exercises publish/load/
+# lookup/AUTH/reload end to end; the nightly run uses the 1000-tenant
+# default.
+export HEADTALK_TENANT_BENCH_TENANTS=64
+export HEADTALK_TENANT_BENCH_CLIENTS=4
+export HEADTALK_TENANT_BENCH_UTTERANCES=2
+export HEADTALK_TENANT_BENCH_LOOKUPS=20000
 # bench_stream_latency: one 3-utterance scene, coarse chunks.
 export HEADTALK_STREAM_BENCH_ROUNDS=1
 export HEADTALK_STREAM_BENCH_CHUNK_MS=200
@@ -53,8 +60,8 @@ if [ -z "$records" ]; then
   exit 1
 fi
 count=$(printf '%s\n' "$records" | wc -l)
-if [ "$count" -lt 6 ]; then
-  echo "run_bench_json.sh: expected >= 6 records, found $count:" >&2
+if [ "$count" -lt 7 ]; then
+  echo "run_bench_json.sh: expected >= 7 records, found $count:" >&2
   printf '%s\n' "$records" >&2
   exit 1
 fi

@@ -1,0 +1,186 @@
+#!/usr/bin/env sh
+# End-to-end smoke test of multi-tenant serving: simulate a tiny corpus,
+# train models, enroll two tenants into a model store (one with a
+# per-minute quota), start the daemon with the store and an admin plane,
+# then check the full tenant surface:
+#
+#   - AUTH'd scoring (decisions carry the tenant policy verdict)
+#   - unknown tenant -> typed AUTH_REJECT, client exit code 3
+#   - /tenants.json admin view (store generation + per-tenant rows)
+#   - hot reload while a stream is open: enroll a third tenant, POST
+#     /reload, and require the open stream to finish cleanly (zero drops)
+#     with the store generation flipped
+#   - quota rejection surfacing on the wire
+#
+#   tools/run_tenant_smoke.sh [build-dir]
+#
+# Wired into ctest as `tenant_smoke` (label: tenant-smoke).
+set -eu
+
+repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_dir/build"}
+
+for tool in headtalk_simulate headtalk_train headtalk_serve headtalk_client; do
+  if [ ! -x "$build_dir/tools/$tool" ]; then
+    echo "run_tenant_smoke.sh: $build_dir/tools/$tool not built" >&2
+    echo "  (build first: cmake --build $build_dir --target $tool)" >&2
+    exit 2
+  fi
+done
+
+work_dir=$(mktemp -d "${TMPDIR:-/tmp}/headtalk_tenant_smoke.XXXXXX")
+serve_pid=""
+cleanup() {
+  if [ -n "$serve_pid" ] && kill -0 "$serve_pid" 2> /dev/null; then
+    kill -KILL "$serve_pid" 2> /dev/null || true
+  fi
+  rm -rf "$work_dir"
+}
+trap cleanup EXIT INT TERM
+
+export HEADTALK_CACHE="$work_dir/cache"
+
+corpus="$work_dir/corpus"
+models="$work_dir/models"
+store="$work_dir/tenants"
+socket="$work_dir/serve.sock"
+admin="$work_dir/admin.sock"
+
+echo "== simulate a tiny corpus =="
+"$build_dir/tools/headtalk_simulate" --out "$corpus" \
+  --angles 0,30,120,180 --reps 1
+"$build_dir/tools/headtalk_simulate" --out "$corpus" \
+  --replay phone --angles 0,120 --reps 1
+
+echo "== train models =="
+"$build_dir/tools/headtalk_train" --data "$corpus" --out "$models"
+
+echo "== enroll two tenants =="
+wavs=$(find "$corpus" -name '*.wav' | sort | head -n 3 | paste -sd, -)
+"$build_dir/tools/headtalk_train" --enroll --tenant alice --store "$store" \
+  --wavs "$wavs" --policy any
+"$build_dir/tools/headtalk_train" --enroll --tenant bob --store "$store" \
+  --wavs "$wavs" --policy any --quota 1
+
+echo "== start the daemon with the tenant store =="
+"$build_dir/tools/headtalk_serve" --models "$models" --socket "$socket" \
+  --store "$store" --admin-socket "$admin" &
+serve_pid=$!
+
+tries=0
+while [ ! -S "$socket" ] || [ ! -S "$admin" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "run_tenant_smoke.sh: daemon never bound its sockets" >&2
+    exit 1
+  fi
+  if ! kill -0 "$serve_pid" 2> /dev/null; then
+    echo "run_tenant_smoke.sh: daemon exited before binding" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+wav_a=$(find "$corpus" -name '*.wav' | sort | head -n 1)
+wav_b=$(find "$corpus" -name '*.wav' | sort | tail -n 1)
+
+echo "== AUTH'd scoring as alice =="
+alice_report=$("$build_dir/tools/headtalk_client" --socket "$socket" \
+  --tenant alice --wav "$wav_a")
+printf '%s\n' "$alice_report"
+if ! printf '%s\n' "$alice_report" | grep -q "authenticated as 'alice'"; then
+  echo "run_tenant_smoke.sh: client did not report the AUTH binding" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$alice_report" | grep -q "policy "; then
+  echo "run_tenant_smoke.sh: decision carried no policy verdict" >&2
+  exit 1
+fi
+
+echo "== unknown tenant is a typed rejection (exit 3) =="
+ghost_status=0
+"$build_dir/tools/headtalk_client" --socket "$socket" \
+  --tenant ghost --wav "$wav_a" || ghost_status=$?
+if [ "$ghost_status" -ne 3 ]; then
+  echo "run_tenant_smoke.sh: expected exit 3 for an unknown tenant, got $ghost_status" >&2
+  exit 1
+fi
+
+echo "== /tenants.json lists the fleet =="
+tenants_before=$("$build_dir/tools/headtalk_client" --admin-socket "$admin" \
+  --admin-get /tenants.json)
+printf '%s\n' "$tenants_before"
+for needle in '"id":"alice"' '"id":"bob"' '"store_generation"'; do
+  if ! printf '%s\n' "$tenants_before" | grep -q "$needle"; then
+    echo "run_tenant_smoke.sh: /tenants.json missing $needle" >&2
+    exit 1
+  fi
+done
+gen_before=$(printf '%s\n' "$tenants_before" | sed -n 's/.*"store_generation":\([0-9]*\).*/\1/p')
+
+echo "== hot reload while a stream is open =="
+scene="$work_dir/scene.wav"
+"$build_dir/tools/headtalk_simulate" --stream-out "$scene" \
+  --stream-script "live@0,live@120,phone@0"
+stream_out="$work_dir/stream_report.txt"
+"$build_dir/tools/headtalk_client" --socket "$socket" --tenant alice \
+  --stream --wav "$scene" > "$stream_out" &
+stream_pid=$!
+
+# While the stream is in flight: enroll a third tenant and hot-reload.
+"$build_dir/tools/headtalk_train" --enroll --tenant carol --store "$store" \
+  --wavs "$wavs" --policy live_facing
+reload_reply=$("$build_dir/tools/headtalk_client" --admin-socket "$admin" \
+  --admin-post /reload)
+printf '%s\n' "$reload_reply"
+if ! printf '%s\n' "$reload_reply" | grep -q '"reloaded":true'; then
+  echo "run_tenant_smoke.sh: POST /reload did not confirm" >&2
+  exit 1
+fi
+
+stream_status=0
+wait "$stream_pid" || stream_status=$?
+cat "$stream_out"
+if [ "$stream_status" -ne 0 ]; then
+  echo "run_tenant_smoke.sh: stream client dropped during hot reload (exit $stream_status)" >&2
+  exit 1
+fi
+if ! grep -q "segments=3" "$stream_out"; then
+  echo "run_tenant_smoke.sh: expected 3 endpointed segments in the stream" >&2
+  exit 1
+fi
+
+tenants_after=$("$build_dir/tools/headtalk_client" --admin-socket "$admin" \
+  --admin-get /tenants.json)
+gen_after=$(printf '%s\n' "$tenants_after" | sed -n 's/.*"store_generation":\([0-9]*\).*/\1/p')
+if ! printf '%s\n' "$tenants_after" | grep -q '"id":"carol"'; then
+  echo "run_tenant_smoke.sh: carol missing from /tenants.json after reload" >&2
+  exit 1
+fi
+if [ "$gen_after" -le "$gen_before" ]; then
+  echo "run_tenant_smoke.sh: store generation did not advance ($gen_before -> $gen_after)" >&2
+  exit 1
+fi
+
+echo "== quota rejection surfaces on the wire =="
+# bob's quota is 1/minute; three back-to-back utterances must trip it at
+# least once even if a minute boundary falls inside the run.
+bob_report=$("$build_dir/tools/headtalk_client" --socket "$socket" \
+  --tenant bob --wav "$wav_a,$wav_b,$wav_a")
+printf '%s\n' "$bob_report"
+if ! printf '%s\n' "$bob_report" | grep -q "policy rejected (quota_exceeded"; then
+  echo "run_tenant_smoke.sh: quota rejection never surfaced for bob" >&2
+  exit 1
+fi
+
+echo "== graceful shutdown =="
+kill -TERM "$serve_pid"
+serve_status=0
+wait "$serve_pid" || serve_status=$?
+serve_pid=""
+if [ "$serve_status" -ne 0 ]; then
+  echo "run_tenant_smoke.sh: daemon exited $serve_status after SIGTERM" >&2
+  exit 1
+fi
+
+echo "tenant smoke passed: enrolled, AUTH'd, reloaded hot, quota enforced."
