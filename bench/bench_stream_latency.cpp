@@ -188,8 +188,9 @@ int main() {
   std::printf("decision latency p50 %.1f ms  p95 %.1f ms  p99 %.1f ms\n",
               1000.0 * p50, 1000.0 * p95, 1000.0 * p99);
   bench::print_note(
-      "latency is endpoint-to-decision: ring extraction plus the full\n"
-      "preprocess+score path, measured per closed segment.");
+      "latency is endpoint-to-decision: features accumulate incrementally\n"
+      "while the segment is open, so close pays only the residual frame\n"
+      "feed plus the O(1) finalize+score, measured per closed segment.");
 
   bench::PerfRecorder::instance().add_samples(events.size());
   bench::PerfRecorder::instance().set_metric("segmentation_recall", recall);

@@ -1,0 +1,634 @@
+#include "core/incremental_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "audio/gain.h"
+#include "audio/resample.h"
+#include "dsp/simd/dispatch.h"
+#include "dsp/spectral.h"
+#include "dsp/srp.h"
+#include "dsp/stats.h"
+#include "dsp/stft.h"
+#include "obs/metrics.h"
+
+namespace headtalk::core {
+namespace {
+
+// Same PHAT regularizer as gcc_phat's default; the coherence sampling
+// parameters match PairwiseGccOptions' defaults (the batch extractor only
+// ever overrode the floor).
+constexpr double kPhatEpsilon = 1e-12;
+constexpr std::size_t kCoherenceStride = 4;
+constexpr std::size_t kCoherenceBlock = 64;
+
+// Sliding directivity analysis window: ~85 ms of mixdown history per
+// block (4096 samples at 48 kHz → 11.7 Hz bins, comfortably finer than
+// the 15 Hz chunks of the 20-band low-band statistics).
+constexpr double kDirectivityWindowSeconds = 0.08;
+
+obs::Counter& pruned_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("dsp.srp.pairs_pruned");
+  return c;
+}
+
+// Mirrors the block count pair_coherence produces for a given bin count:
+// sampled every stride-th bin in groups of `block`, ragged tails shorter
+// than block/2 folded away.
+std::size_t coherence_block_count(std::size_t bins) {
+  std::size_t blocks = 0;
+  std::size_t k = 0;
+  while (k < bins) {
+    std::size_t count = 0;
+    for (; count < kCoherenceBlock && k < bins; k += kCoherenceStride, ++count) {
+    }
+    if (count < kCoherenceBlock / 2) break;
+    ++blocks;
+  }
+  return blocks;
+}
+
+// First-maximum argmax over the lag window, as CorrelationSequence::peak_lag.
+int window_peak_lag(std::span<const double> values, int max_lag) {
+  if (values.empty()) return 0;
+  const auto it = std::max_element(values.begin(), values.end());
+  return static_cast<int>(std::distance(values.begin(), it)) - max_lag;
+}
+
+}  // namespace
+
+void IncrementalExtractor::begin(const IncrementalExtractorConfig& config,
+                                 std::size_t channels, double sample_rate) {
+  if (channels == 0) {
+    throw std::invalid_argument("IncrementalExtractor: need at least one channel");
+  }
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("IncrementalExtractor: bad sample rate");
+  }
+  config_ = config;
+  channels_ = channels;
+  sample_rate_ = sample_rate;
+  open_ = true;
+  finalized_ = false;
+  pushed_ = 0;
+
+  // Preprocessing: the same band-pass design as core::preprocess, realized
+  // as per-channel stateful cascades so chunks filter continuously.
+  const double high = std::min(config_.preprocess.high_hz, 0.45 * sample_rate);
+  bandpass_.clear();
+  bandpass_.reserve(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    bandpass_.push_back(dsp::butterworth_bandpass(config_.preprocess.filter_order,
+                                                  config_.preprocess.low_hz, high,
+                                                  sample_rate));
+  }
+  block_len_ = static_cast<std::size_t>(
+      std::max(1.0, config_.block_ms * sample_rate / 1000.0));
+
+  orientation_on_ = config_.enable_orientation && channels >= 2;
+  max_lag_ = 0;
+  pair_count_ = 0;
+  std::size_t block_fft = std::max<std::size_t>(2, dsp::next_pow2(block_len_));
+  if (orientation_on_) {
+    max_lag_ = config_.orientation.max_lag > 0
+                   ? config_.orientation.max_lag
+                   : dsp::srp_max_lag(config_.orientation.max_mic_distance_m,
+                                      sample_rate, config_.orientation.speed_of_sound);
+    pair_count_ = channels * (channels - 1) / 2;
+    // The per-block transform needs the linear-correlation padding and the
+    // full lag window, exactly like the batch pairwise FFT sizing.
+    const auto lag = static_cast<std::size_t>(max_lag_);
+    block_fft = std::max<std::size_t>(
+        2, dsp::next_pow2(std::max(block_len_ + lag + 1, 2 * lag + 1)));
+  }
+
+  dsp::RollingStft::Config blocks;
+  blocks.channels = channels;
+  blocks.frame_size = block_len_;
+  blocks.hop_size = block_len_;
+  blocks.fft_size = block_fft;
+  blocks.window = dsp::WindowType::kRectangular;
+  blocks_.reset(blocks);
+
+  envelope_.clear();
+  active_begin_ = active_end_ = 0;
+
+  coherence_blocks_ = orientation_on_ ? coherence_block_count(block_fft / 2 + 1) : 0;
+  gcc_blocks_.clear();
+  coherence_partials_.clear();
+  cross_.fft_size = block_fft;
+  cross_.bins.assign(block_fft / 2 + 1, dsp::Complex{});
+
+  dir_fft_ = std::max<std::size_t>(
+      2, dsp::next_pow2(static_cast<std::size_t>(sample_rate * kDirectivityWindowSeconds)));
+  const double top_hz =
+      std::max(config_.orientation.high_band_hi, config_.orientation.low_band_hi);
+  dir_bins_ = std::min(dir_fft_ / 2 + 1,
+                       static_cast<std::size_t>(
+                           std::ceil(top_hz * static_cast<double>(dir_fft_) / sample_rate)) +
+                           2);
+  mix_history_.clear();
+  dir_blocks_.clear();
+
+  // Liveness: pick the resampling path once per stream. Integer decimation
+  // (the pipeline's 48 kHz → 16 kHz hop) and the passthrough stream
+  // sample-by-sample; exotic ratios fall back to buffering the filtered
+  // channel and resampling once at finalize.
+  liveness_path_ = LivenessPath::kOff;
+  decimate_step_ = 1;
+  decimate_phase_ = 0;
+  live_sum_ = live_sum_sq_ = 0.0;
+  live_count_ = 0;
+  live_spectra_.clear();
+  live_valid_.clear();
+  resampled_upto_.clear();
+  live_cum_sum_.clear();
+  live_cum_sum_sq_.clear();
+  live_raw_.clear();
+  if (config_.enable_liveness) {
+    const double target = config_.liveness.model_sample_rate;
+    if (target <= 0.0) {
+      throw std::invalid_argument("IncrementalExtractor: bad liveness sample rate");
+    }
+    const double factor = sample_rate / target;
+    const double rounded = std::round(factor);
+    if (sample_rate == target) {
+      liveness_path_ = LivenessPath::kPassthrough;
+    } else if (factor > 1.0 && std::abs(factor - rounded) < 1e-9) {
+      liveness_path_ = LivenessPath::kDecimate;
+      decimate_step_ = static_cast<std::size_t>(rounded);
+      antialias_ = dsp::butterworth_lowpass(10, 0.45 * target, sample_rate);
+    } else {
+      liveness_path_ = LivenessPath::kBuffered;
+    }
+    if (liveness_path_ != LivenessPath::kBuffered) {
+      dsp::RollingStft::Config stft;
+      stft.channels = 1;
+      stft.frame_size = config_.liveness.stft_frame;
+      stft.hop_size = config_.liveness.stft_hop;
+      stft.window = dsp::WindowType::kHann;
+      live_stft_.reset(stft);
+      live_bins_ = live_stft_.fft_size() / 2 + 1;
+      // FFT of the analysis window itself: finalize subtracts the segment
+      // mean from every stored frame spectrum as mu * W(f) (linearity), so
+      // normalization can happen after the fact without reprocessing.
+      live_window_spectrum_ = dsp::rfft_half(
+          dsp::shared_window(dsp::WindowType::kHann, config_.liveness.stft_frame),
+          live_stft_.fft_size());
+    }
+  }
+}
+
+void IncrementalExtractor::push(const audio::MultiBuffer& chunk) {
+  if (!open_) throw std::logic_error("IncrementalExtractor: push before begin");
+  if (finalized_) throw std::logic_error("IncrementalExtractor: push after finalize");
+  if (chunk.channel_count() == 0 && chunk.frames() == 0) return;
+  if (chunk.channel_count() != channels_) {
+    throw std::invalid_argument("IncrementalExtractor: channel count mismatch");
+  }
+  if (chunk.frames() == 0) return;
+  if (chunk.sample_rate() != sample_rate_) {
+    throw std::invalid_argument("IncrementalExtractor: sample rate mismatch");
+  }
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const auto samples = chunk.channel(c).samples();
+    filter_scratch_.assign(samples.begin(), samples.end());
+    bandpass_[c].process(filter_scratch_);
+    blocks_.push(c, filter_scratch_);
+  }
+  pushed_ += chunk.frames();
+  dsp::RollingStftFrame frame;
+  while (blocks_.pop(frame)) process_block(frame);
+}
+
+void IncrementalExtractor::accumulate_pair_block(const dsp::HalfSpectrum& x,
+                                                 const dsp::HalfSpectrum& y,
+                                                 double* coherence_acc) {
+  // Partial sums of the block-averaged coherence estimate, in exactly the
+  // bin grouping of pair_coherence; finalize forms |Σxy*|²/(Σ|x|²Σ|y|²)
+  // from the per-segment sums so the estimate is Welch-averaged over the
+  // selected blocks.
+  const std::size_t bins = std::min(x.bins.size(), y.bins.size());
+  std::size_t k = 0;
+  std::size_t cb = 0;
+  while (k < bins && cb < coherence_blocks_) {
+    double cr = 0.0, ci = 0.0, px = 0.0, py = 0.0;
+    std::size_t count = 0;
+    for (; count < kCoherenceBlock && k < bins; k += kCoherenceStride, ++count) {
+      const double xr = x.bins[k].real();
+      const double xi = x.bins[k].imag();
+      const double yr = y.bins[k].real();
+      const double yi = y.bins[k].imag();
+      cr += xr * yr + xi * yi;
+      ci += xi * yr - xr * yi;
+      px += xr * xr + xi * xi;
+      py += yr * yr + yi * yi;
+    }
+    if (count < kCoherenceBlock / 2) break;
+    double* acc = coherence_acc + cb * 4;
+    acc[0] += cr;
+    acc[1] += ci;
+    acc[2] += px;
+    acc[3] += py;
+    ++cb;
+  }
+}
+
+void IncrementalExtractor::process_block(const dsp::RollingStftFrame& frame) {
+  const std::size_t valid = frame.valid;
+
+  // Block RMS envelope across channels, as preprocess's active_span frames
+  // (the block framer's rectangular window leaves the samples untouched).
+  double acc = 0.0;
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const auto& samples = frame.windowed[c];
+    for (std::size_t i = 0; i < valid; ++i) acc += samples[i] * samples[i];
+  }
+  envelope_.push_back(
+      std::sqrt(acc / static_cast<double>(std::max<std::size_t>(1, valid) * channels_)));
+
+  if (orientation_on_) {
+    const std::size_t window = 2 * static_cast<std::size_t>(max_lag_) + 1;
+    const std::size_t bins = cross_.bins.size();
+    const std::size_t coh_stride = coherence_blocks_ * 4;
+    const std::size_t coh_base = coherence_partials_.size();
+    coherence_partials_.resize(coh_base + pair_count_ * coh_stride, 0.0);
+    const auto& kernels = dsp::simd::kernels();
+    std::size_t pair = 0;
+    for (std::size_t i = 0; i + 1 < channels_; ++i) {
+      for (std::size_t j = i + 1; j < channels_; ++j, ++pair) {
+        accumulate_pair_block(frame.spectra[i], frame.spectra[j],
+                              coherence_partials_.data() + coh_base + pair * coh_stride);
+        kernels.cross_spectrum(
+            reinterpret_cast<const double*>(frame.spectra[i].bins.data()),
+            reinterpret_cast<const double*>(frame.spectra[j].bins.data()),
+            reinterpret_cast<double*>(cross_.bins.data()), bins,
+            /*phat=*/true, kPhatEpsilon);
+        dsp::irfft_half_window_into(cross_, max_lag_, lag_window_, fft_scratch_);
+        gcc_blocks_.insert(gcc_blocks_.end(), lag_window_.begin(),
+                           lag_window_.begin() + static_cast<std::ptrdiff_t>(window));
+      }
+    }
+
+    // Directivity: the truncated spectrum of the sliding mixdown window.
+    // Only the bins the HLBR/banded features read are stored per block.
+    for (std::size_t i = 0; i < valid; ++i) {
+      double mix = 0.0;
+      for (std::size_t c = 0; c < channels_; ++c) mix += frame.windowed[c][i];
+      mix_history_.push_back(mix / static_cast<double>(channels_));
+    }
+    if (mix_history_.size() > dir_fft_) {
+      mix_history_.erase(mix_history_.begin(),
+                         mix_history_.begin() + static_cast<std::ptrdiff_t>(
+                                                    mix_history_.size() - dir_fft_));
+    }
+    dsp::rfft_half_into(mix_history_, dir_fft_, dir_spectrum_, fft_scratch_);
+    for (std::size_t k = 0; k < dir_bins_; ++k) {
+      dir_blocks_.push_back(std::abs(dir_spectrum_.bins[k]));
+    }
+  }
+
+  if (liveness_path_ != LivenessPath::kOff) {
+    feed_liveness({frame.windowed[0].data(), valid});
+    if (liveness_path_ != LivenessPath::kBuffered) {
+      resampled_upto_.push_back(live_count_);
+      live_cum_sum_.push_back(live_sum_);
+      live_cum_sum_sq_.push_back(live_sum_sq_);
+    }
+  }
+}
+
+void IncrementalExtractor::feed_liveness(std::span<const audio::Sample> samples) {
+  switch (liveness_path_) {
+    case LivenessPath::kOff:
+      return;
+    case LivenessPath::kBuffered:
+      live_raw_.insert(live_raw_.end(), samples.begin(), samples.end());
+      return;
+    case LivenessPath::kPassthrough:
+      for (const double x : samples) {
+        live_sum_ += x;
+        live_sum_sq_ += x * x;
+      }
+      live_count_ += samples.size();
+      live_stft_.push(0, samples);
+      break;
+    case LivenessPath::kDecimate: {
+      // Streaming form of the batch fast path: stateful anti-alias cascade
+      // followed by phase-0 sample keeping (out[m] = filtered[m*step]).
+      std::vector<audio::Sample> emitted;
+      emitted.reserve(samples.size() / decimate_step_ + 1);
+      for (const double x : samples) {
+        const double y = antialias_.process(x);
+        if (decimate_phase_ == 0) {
+          emitted.push_back(y);
+          live_sum_ += y;
+          live_sum_sq_ += y * y;
+        }
+        decimate_phase_ = (decimate_phase_ + 1) % decimate_step_;
+      }
+      live_count_ += emitted.size();
+      live_stft_.push(0, emitted);
+      break;
+    }
+  }
+  drain_liveness_frames();
+}
+
+void IncrementalExtractor::drain_liveness_frames() {
+  dsp::RollingStftFrame frame;
+  while (live_stft_.pop(frame)) {
+    const auto& bins = frame.spectra[0].bins;
+    live_spectra_.insert(live_spectra_.end(), bins.begin(), bins.end());
+    live_valid_.push_back(frame.valid);
+  }
+}
+
+void IncrementalExtractor::finalize_shared() {
+  if (finalized_) return;
+  if (!open_) throw std::logic_error("IncrementalExtractor: finalize before begin");
+  blocks_.finish();
+  dsp::RollingStftFrame frame;
+  while (blocks_.pop(frame)) process_block(frame);
+  if (liveness_path_ == LivenessPath::kPassthrough ||
+      liveness_path_ == LivenessPath::kDecimate) {
+    live_stft_.finish();
+    drain_liveness_frames();
+  }
+  select_active_blocks();
+  finalized_ = true;
+}
+
+void IncrementalExtractor::select_active_blocks() {
+  // Block-granular form of preprocess's active_span: same relative
+  // threshold, silence floor, minimum span, and padding rules — applied
+  // to the per-block envelope instead of 10 ms frames.
+  const std::size_t blocks = envelope_.size();
+  active_begin_ = 0;
+  active_end_ = blocks;
+  if (blocks == 0 || config_.preprocess.trim_threshold_db <= -120.0) return;
+  const double peak = *std::max_element(envelope_.begin(), envelope_.end());
+  if (peak <= audio::db_to_amplitude(config_.preprocess.silence_floor_db)) return;
+  const double threshold =
+      peak * audio::db_to_amplitude(config_.preprocess.trim_threshold_db);
+  std::size_t first = blocks, last = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (envelope_[b] >= threshold) {
+      first = std::min(first, b);
+      last = b;
+    }
+  }
+  if (first > last) return;
+  const auto min_active_samples = static_cast<std::size_t>(
+      config_.preprocess.min_active_ms * sample_rate_ / 1000.0);
+  if ((last - first + 1) * block_len_ < min_active_samples) return;
+  const auto pad_samples = static_cast<std::size_t>(
+      config_.preprocess.trim_pad_ms * sample_rate_ / 1000.0);
+  const std::size_t pad_blocks = (pad_samples + block_len_ - 1) / block_len_;
+  active_begin_ = first > pad_blocks ? first - pad_blocks : 0;
+  active_end_ = std::min(blocks, last + 1 + pad_blocks);
+}
+
+ml::FeatureVector IncrementalExtractor::finalize_orientation() {
+  finalize_shared();
+  if (channels_ < 2) {
+    throw std::invalid_argument("IncrementalExtractor: need >= 2 channels");
+  }
+  if (!orientation_on_) {
+    throw std::logic_error("IncrementalExtractor: orientation stage disabled");
+  }
+  const std::size_t window = 2 * static_cast<std::size_t>(max_lag_) + 1;
+  const std::size_t count = active_end_ - active_begin_;
+
+  ml::FeatureVector features;
+
+  // Mean lag window per pair over the selected blocks, then the segment
+  // coherence from the summed cross/power partials. A segment with no
+  // selected blocks carries no pairwise evidence: its coherence reads 0,
+  // so with a floor set every pair prunes to the neutral zero window.
+  std::vector<std::vector<double>> pair_windows(pair_count_,
+                                                std::vector<double>(window, 0.0));
+  std::vector<bool> pruned(pair_count_, false);
+  const std::size_t coh_stride = coherence_blocks_ * 4;
+  for (std::size_t p = 0; p < pair_count_; ++p) {
+    auto& values = pair_windows[p];
+    for (std::size_t b = active_begin_; b < active_end_; ++b) {
+      const double* src = gcc_blocks_.data() + (b * pair_count_ + p) * window;
+      for (std::size_t k = 0; k < window; ++k) values[k] += src[k];
+    }
+    if (count > 0) {
+      const double inv = 1.0 / static_cast<double>(count);
+      for (auto& v : values) v *= inv;
+    }
+    if (config_.orientation.coherence_floor > 0.0) {
+      double total = 0.0;
+      std::size_t cblocks = 0;
+      if (count > 0) {
+        for (std::size_t cb = 0; cb < coherence_blocks_; ++cb) {
+          double cr = 0.0, ci = 0.0, px = 0.0, py = 0.0;
+          for (std::size_t b = active_begin_; b < active_end_; ++b) {
+            const double* acc =
+                coherence_partials_.data() + b * pair_count_ * coh_stride + p * coh_stride + cb * 4;
+            cr += acc[0];
+            ci += acc[1];
+            px += acc[2];
+            py += acc[3];
+          }
+          total += (cr * cr + ci * ci) / (px * py + 1e-300);
+          ++cblocks;
+        }
+      }
+      const double coherence =
+          count == 0 ? 0.0
+                     : (cblocks > 0 ? total / static_cast<double>(cblocks) : 1.0);
+      if (coherence < config_.orientation.coherence_floor) {
+        pruned[p] = true;
+        std::fill(values.begin(), values.end(), 0.0);
+        pruned_counter().increment();
+      }
+    }
+  }
+
+  std::vector<double> srp(window, 0.0);
+  const auto& accumulate = dsp::simd::kernels().accumulate;
+  for (std::size_t p = 0; p < pair_count_; ++p) {
+    if (pruned[p]) continue;
+    accumulate(srp.data(), pair_windows[p].data(), window);
+  }
+
+  const auto peaks = dsp::top_peaks(srp, config_.orientation.srp_peaks);
+  features.insert(features.end(), peaks.begin(), peaks.end());
+  const auto srp_stats = dsp::summary_statistics(srp);
+  features.insert(features.end(), srp_stats.begin(), srp_stats.end());
+
+  for (const auto& values : pair_windows) {
+    features.insert(features.end(), values.begin(), values.end());
+  }
+  for (std::size_t p = 0; p < pair_count_; ++p) {
+    features.push_back(pruned[p] ? 0.0
+                                 : static_cast<double>(
+                                       window_peak_lag(pair_windows[p], max_lag_)));
+  }
+  for (const auto& values : pair_windows) {
+    const auto stats = dsp::summary_statistics(values);
+    features.insert(features.end(), stats.begin(), stats.end());
+  }
+
+  // Directivity from the mean of the per-block sliding-window spectra,
+  // normalized to the speech-band mean level exactly as the batch path.
+  std::vector<double> magnitude(dir_fft_ / 2 + 1, 0.0);
+  if (count > 0) {
+    for (std::size_t b = active_begin_; b < active_end_; ++b) {
+      const double* src = dir_blocks_.data() + b * dir_bins_;
+      for (std::size_t k = 0; k < dir_bins_; ++k) magnitude[k] += src[k];
+    }
+    const double inv = 1.0 / static_cast<double>(count);
+    for (std::size_t k = 0; k < dir_bins_; ++k) magnitude[k] *= inv;
+  }
+  const double reference =
+      dsp::band_mean_magnitude(magnitude, dir_fft_, sample_rate_,
+                               config_.orientation.low_band_lo,
+                               config_.orientation.high_band_hi);
+  if (reference > 0.0) {
+    for (auto& m : magnitude) m /= reference;
+  }
+  features.push_back(dsp::high_low_band_ratio(
+      magnitude, dir_fft_, sample_rate_, config_.orientation.low_band_lo,
+      config_.orientation.low_band_hi, config_.orientation.high_band_lo,
+      config_.orientation.high_band_hi));
+  const auto banded = dsp::banded_statistics(
+      magnitude, dir_fft_, sample_rate_, config_.orientation.low_band_lo,
+      config_.orientation.low_band_hi, config_.orientation.low_band_chunks);
+  features.insert(features.end(), banded.begin(), banded.end());
+
+  return features;
+}
+
+ml::FeatureVector IncrementalExtractor::finalize_liveness() {
+  finalize_shared();
+  if (liveness_path_ == LivenessPath::kOff) {
+    throw std::logic_error("IncrementalExtractor: liveness stage disabled");
+  }
+  return liveness_path_ == LivenessPath::kBuffered ? liveness_from_buffered()
+                                                   : liveness_from_streamed();
+}
+
+ml::FeatureVector IncrementalExtractor::liveness_from_streamed() const {
+  const std::size_t bins = live_bins_;
+  std::vector<double> mean_mag(bins, 0.0);
+
+  const std::size_t b0 = active_begin_, b1 = active_end_;
+  const std::size_t r0 = b0 == 0 ? 0 : resampled_upto_[b0 - 1];
+  const std::size_t r1 = b1 == 0 ? 0 : resampled_upto_[b1 - 1];
+  const std::size_t total = live_count_;
+  const std::size_t n = r1 - r0;
+  const double sum =
+      (b1 ? live_cum_sum_[b1 - 1] : 0.0) - (b0 ? live_cum_sum_[b0 - 1] : 0.0);
+  const double sum_sq =
+      (b1 ? live_cum_sum_sq_[b1 - 1] : 0.0) - (b0 ? live_cum_sum_sq_[b0 - 1] : 0.0);
+
+  if (n > 0) {
+    const double mu = sum / static_cast<double>(n);
+    const double var = sum_sq / static_cast<double>(n) - mu * mu;
+    // var <= 0 keeps the zero spectrum, matching the batch convention of
+    // zeroing a constant signal in normalize_zero_mean_unit_variance.
+    if (var > 0.0) {
+      const double inv_sigma = 1.0 / std::sqrt(var);
+      const std::size_t frame = live_stft_.frame_size();
+      const std::size_t hop = live_stft_.hop_size();
+      // Frames fully inside the trimmed span; the zero-padded tail frames
+      // only count when the span runs to the stream end (where the batch
+      // framing would have produced them too).
+      std::vector<std::size_t> selected;
+      for (std::size_t f = 0; f < live_valid_.size(); ++f) {
+        const std::size_t start = f * hop;
+        if (start >= r0 && start < r1 && (start + frame <= r1 || r1 == total)) {
+          selected.push_back(f);
+        }
+      }
+      if (selected.empty()) {
+        for (std::size_t f = 0; f < live_valid_.size(); ++f) selected.push_back(f);
+      }
+      if (!selected.empty()) {
+        for (const std::size_t f : selected) {
+          const dsp::Complex* spec = live_spectra_.data() + f * bins;
+          // Mean removal by linearity: FFT(w·(x−mu)) = FFT(w·x) − mu·W,
+          // where W is the window's own spectrum (truncated for padded
+          // tail frames, whose valid region is shorter than the window).
+          dsp::HalfSpectrum truncated;
+          const dsp::HalfSpectrum* w = &live_window_spectrum_;
+          if (live_valid_[f] < frame) {
+            const auto& coeffs =
+                dsp::shared_window(dsp::WindowType::kHann, frame);
+            const std::vector<audio::Sample> head(
+                coeffs.begin(),
+                coeffs.begin() + static_cast<std::ptrdiff_t>(live_valid_[f]));
+            truncated = dsp::rfft_half(head, live_stft_.fft_size());
+            w = &truncated;
+          }
+          for (std::size_t k = 0; k < bins; ++k) {
+            const double re = spec[k].real() - mu * w->bins[k].real();
+            const double im = spec[k].imag() - mu * w->bins[k].imag();
+            mean_mag[k] += std::sqrt(re * re + im * im) * inv_sigma;
+          }
+        }
+        const double inv = 1.0 / static_cast<double>(selected.size());
+        for (auto& m : mean_mag) m *= inv;
+      }
+    }
+  }
+
+  ml::FeatureVector features;
+  liveness_features_from(mean_mag, live_stft_.fft_size(), features);
+  return features;
+}
+
+ml::FeatureVector IncrementalExtractor::liveness_from_buffered() const {
+  // Non-integer resampling ratios have no streaming decimator; the
+  // filtered channel was buffered, so finalize runs the batch-style chain
+  // on the trimmed span in one shot. Chunk invariance still holds — the
+  // buffer contents never depend on push() boundaries.
+  const std::size_t t0 = std::min(live_raw_.size(), active_begin_ * block_len_);
+  const std::size_t t1 = std::min(live_raw_.size(), active_end_ * block_len_);
+  audio::Buffer segment(
+      std::vector<audio::Sample>(live_raw_.begin() + static_cast<std::ptrdiff_t>(t0),
+                                 live_raw_.begin() + static_cast<std::ptrdiff_t>(t1)),
+      sample_rate_);
+  audio::Buffer x = audio::resample(segment, config_.liveness.model_sample_rate);
+  audio::normalize_zero_mean_unit_variance(x);
+  dsp::StftConfig stft_config;
+  stft_config.frame_size = config_.liveness.stft_frame;
+  stft_config.hop_size = config_.liveness.stft_hop;
+  const auto spectrogram = dsp::stft(x, stft_config);
+  auto mean_mag = spectrogram.mean_magnitude();
+  const std::size_t nfft =
+      spectrogram.fft_size != 0
+          ? spectrogram.fft_size
+          : std::max<std::size_t>(2, dsp::next_pow2(config_.liveness.stft_frame));
+  if (mean_mag.size() != nfft / 2 + 1) mean_mag.assign(nfft / 2 + 1, 0.0);
+  ml::FeatureVector features;
+  liveness_features_from(mean_mag, nfft, features);
+  return features;
+}
+
+void IncrementalExtractor::liveness_features_from(std::span<const double> mean_magnitude,
+                                                  std::size_t fft_size,
+                                                  ml::FeatureVector& out) const {
+  const double fs = config_.liveness.model_sample_rate;
+  out.reserve(config_.liveness.log_bands + 6);
+  const auto bands =
+      dsp::log_band_energies(mean_magnitude, fft_size, fs, config_.liveness.band_lo,
+                             config_.liveness.band_hi, config_.liveness.log_bands);
+  out.insert(out.end(), bands.begin(), bands.end());
+  out.push_back(dsp::spectral_slope_db_per_khz(mean_magnitude, fft_size, fs, 2000.0, 7900.0));
+  out.push_back(dsp::spectral_slope_db_per_khz(mean_magnitude, fft_size, fs, 500.0, 4000.0));
+  out.push_back(dsp::spectral_centroid(mean_magnitude, fft_size, fs));
+  out.push_back(dsp::spectral_flatness(mean_magnitude, fft_size, fs, 4000.0, 7900.0));
+  out.push_back(dsp::spectral_rolloff(mean_magnitude, fft_size, fs, 0.95));
+  const double low = dsp::band_energy(mean_magnitude, fft_size, fs, 100.0, 4000.0);
+  const double high = dsp::band_energy(mean_magnitude, fft_size, fs, 4000.0, 7900.0);
+  out.push_back(low > 0.0 ? high / low : 0.0);
+}
+
+}  // namespace headtalk::core

@@ -1,0 +1,165 @@
+// Frame-incremental feature extraction: the streaming form of the
+// preprocess + orientation + liveness feature chain.
+//
+// The batch extractors see a finished segment and recompute everything
+// from scratch — O(segment) work after the endpointer closes. This
+// operator instead consumes audio in arbitrary chunks as it arrives and
+// folds each hop-aligned analysis block into running accumulators:
+//
+//   * band-pass biquad state carried per channel (the Fig. 2 preprocessing
+//     filter, applied sample-by-sample);
+//   * per-block GCC-PHAT lag windows and cross-spectral coherence partial
+//     sums for every microphone pair (SRP and the pair features are means
+//     over the selected blocks at finalize);
+//   * per-block directivity spectra of a sliding mixdown window (HLBR and
+//     the banded low-band statistics);
+//   * a streaming 16 kHz decimator feeding a rolling STFT plus running
+//     Σx/Σx² for the liveness normalization.
+//
+// Silence trimming happens lazily: every block also records its RMS
+// envelope, and finalize selects the active block span with the same
+// threshold rules as core::preprocess (at block rather than 10 ms
+// granularity). Pre-roll blocks may therefore be accumulated before the
+// utterance is confirmed and post-roll blocks after it ends — the trim
+// keeps the decision independent of how generously the endpointer fed.
+//
+// The block sequence — and hence every finalized feature — is invariant
+// to push() chunking: state transitions depend only on cumulative sample
+// counts. The batch extractors delegate to this operator, so streamed and
+// pre-segmented scoring agree bit for bit by construction.
+//
+// Lifecycle: begin() → push()* → finalize_*() (either order, idempotent)
+// → begin() again. Not thread-safe; one operator per stream/thread.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "audio/sample_buffer.h"
+#include "core/liveness_features.h"
+#include "core/orientation_features.h"
+#include "core/preprocess.h"
+#include "dsp/biquad.h"
+#include "dsp/fft.h"
+#include "dsp/rolling_stft.h"
+#include "ml/dataset.h"
+
+namespace headtalk::core {
+
+struct IncrementalExtractorConfig {
+  PreprocessConfig preprocess{};
+  OrientationFeatureConfig orientation{};
+  LivenessFeatureConfig liveness{};
+  /// Disable a stage to skip its per-block work and storage entirely
+  /// (the single-feature wrapper extractors each enable only their own).
+  bool enable_orientation = true;
+  bool enable_liveness = true;
+  /// Analysis block length (ms): the envelope/trim granularity and the
+  /// update cadence of every accumulator. 20 ms matches the streaming
+  /// VAD frame, so one endpointer frame is one accumulator update.
+  double block_ms = 20.0;
+};
+
+class IncrementalExtractor {
+ public:
+  IncrementalExtractor() = default;
+
+  /// Starts a new segment. Resets all accumulators and filter state.
+  void begin(const IncrementalExtractorConfig& config, std::size_t channels,
+             double sample_rate);
+
+  /// Feeds the next chunk of the segment (any length, including empty).
+  /// Channel count and sample rate must match begin().
+  void push(const audio::MultiBuffer& chunk);
+
+  /// Finalizes and returns the liveness feature vector (layout identical
+  /// to LivenessFeatureExtractor::dimension()). Constant-time in the
+  /// segment length up to the trim scan and the per-block reductions.
+  [[nodiscard]] ml::FeatureVector finalize_liveness();
+
+  /// Finalizes and returns the orientation feature vector (layout
+  /// identical to OrientationFeatureExtractor::dimension(channels)).
+  /// Throws std::invalid_argument when begun with fewer than 2 channels.
+  [[nodiscard]] ml::FeatureVector finalize_orientation();
+
+  [[nodiscard]] bool open() const noexcept { return open_; }
+  [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
+  [[nodiscard]] double sample_rate() const noexcept { return sample_rate_; }
+  /// Samples accepted per channel since begin().
+  [[nodiscard]] std::size_t samples_pushed() const noexcept { return pushed_; }
+  /// Analysis blocks fully accumulated so far.
+  [[nodiscard]] std::size_t blocks_accumulated() const noexcept {
+    return envelope_.size();
+  }
+  [[nodiscard]] const IncrementalExtractorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  enum class LivenessPath { kOff, kPassthrough, kDecimate, kBuffered };
+
+  void process_block(const dsp::RollingStftFrame& frame);
+  void accumulate_pair_block(const dsp::HalfSpectrum& x, const dsp::HalfSpectrum& y,
+                             double* coherence_acc);
+  void feed_liveness(std::span<const audio::Sample> samples);
+  void drain_liveness_frames();
+  void finalize_shared();
+  void select_active_blocks();
+  [[nodiscard]] ml::FeatureVector liveness_from_streamed() const;
+  [[nodiscard]] ml::FeatureVector liveness_from_buffered() const;
+  void liveness_features_from(std::span<const double> mean_magnitude,
+                              std::size_t fft_size, ml::FeatureVector& out) const;
+
+  IncrementalExtractorConfig config_{};
+  std::size_t channels_ = 0;
+  double sample_rate_ = 0.0;
+  bool open_ = false;
+  bool finalized_ = false;
+
+  // Preprocessing: per-channel band-pass state and the block framer.
+  std::vector<dsp::BiquadCascade> bandpass_;
+  std::vector<audio::Sample> filter_scratch_;
+  dsp::RollingStft blocks_;
+  std::size_t block_len_ = 0;
+  std::size_t pushed_ = 0;
+
+  // Per-block envelope (RMS across channels), for the lazy trim.
+  std::vector<double> envelope_;
+  std::size_t active_begin_ = 0, active_end_ = 0;  ///< selected [b0, b1)
+
+  // Orientation accumulators.
+  bool orientation_on_ = false;
+  int max_lag_ = 0;
+  std::size_t pair_count_ = 0;
+  std::size_t coherence_blocks_ = 0;  ///< sampled-bin blocks per pair_coherence pass
+  std::vector<double> gcc_blocks_;    ///< [block][pair][2*max_lag+1]
+  std::vector<double> coherence_partials_;  ///< [block][pair][cblock][cr,ci,px,py]
+  dsp::HalfSpectrum cross_;
+  std::vector<double> lag_window_;
+  dsp::FftScratch fft_scratch_;
+
+  // Directivity: sliding mixdown window → per-block truncated spectrum.
+  std::size_t dir_fft_ = 0;
+  std::size_t dir_bins_ = 0;  ///< bins stored per block (covers the feature bands)
+  std::vector<audio::Sample> mix_history_;
+  dsp::HalfSpectrum dir_spectrum_;
+  std::vector<double> dir_blocks_;  ///< [block][dir_bins_]
+
+  // Liveness accumulators.
+  LivenessPath liveness_path_ = LivenessPath::kOff;
+  dsp::BiquadCascade antialias_;
+  std::size_t decimate_step_ = 1;
+  std::size_t decimate_phase_ = 0;
+  dsp::RollingStft live_stft_;
+  std::size_t live_bins_ = 0;
+  std::vector<dsp::Complex> live_spectra_;  ///< [frame][live_bins_]
+  std::vector<std::size_t> live_valid_;     ///< valid samples per stored frame
+  double live_sum_ = 0.0, live_sum_sq_ = 0.0;
+  std::size_t live_count_ = 0;  ///< resampled samples emitted so far
+  std::vector<std::size_t> resampled_upto_;  ///< cumulative live_count_ per block
+  std::vector<double> live_cum_sum_, live_cum_sum_sq_;  ///< cumulative per block
+  std::vector<audio::Sample> live_raw_;  ///< kBuffered: filtered channel 0
+  dsp::HalfSpectrum live_window_spectrum_;  ///< FFT of the full analysis window
+};
+
+}  // namespace headtalk::core

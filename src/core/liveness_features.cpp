@@ -1,47 +1,35 @@
 #include "core/liveness_features.h"
 
-#include "audio/resample.h"
+#include "core/incremental_extractor.h"
 #include "core/scoring_workspace.h"
-#include "dsp/spectral.h"
-#include "dsp/stft.h"
 
 namespace headtalk::core {
 
 ml::FeatureVector LivenessFeatureExtractor::extract(const audio::Buffer& channel,
                                                     ScoringWorkspace* workspace) const {
-  audio::Buffer x = audio::resample(channel, config_.model_sample_rate);
-  audio::normalize_zero_mean_unit_variance(x);
+  return extract(channel, PreprocessConfig{}, workspace);
+}
 
-  dsp::StftConfig stft_config;
-  stft_config.frame_size = config_.stft_frame;
-  stft_config.hop_size = config_.stft_hop;
-  dsp::FftScratch local_scratch;
-  if (workspace != nullptr) workspace->note_use();
-  const auto spectrogram = dsp::stft(
-      x, stft_config, workspace != nullptr ? workspace->fft() : local_scratch);
-  const auto mean_mag = spectrogram.mean_magnitude();
-  const double fs = config_.model_sample_rate;
-  const std::size_t nfft = spectrogram.fft_size;
-
-  ml::FeatureVector features;
-  features.reserve(dimension());
-
-  const auto bands = dsp::log_band_energies(mean_mag, nfft, fs, config_.band_lo,
-                                            config_.band_hi, config_.log_bands);
-  features.insert(features.end(), bands.begin(), bands.end());
-
-  // Spectral shape: the >4 kHz decay signature plus noise-likeness of the
-  // high band (distortion products are noise-like).
-  features.push_back(dsp::spectral_slope_db_per_khz(mean_mag, nfft, fs, 2000.0, 7900.0));
-  features.push_back(dsp::spectral_slope_db_per_khz(mean_mag, nfft, fs, 500.0, 4000.0));
-  features.push_back(dsp::spectral_centroid(mean_mag, nfft, fs));
-  features.push_back(dsp::spectral_flatness(mean_mag, nfft, fs, 4000.0, 7900.0));
-  features.push_back(dsp::spectral_rolloff(mean_mag, nfft, fs, 0.95));
-  const double low = dsp::band_energy(mean_mag, nfft, fs, 100.0, 4000.0);
-  const double high = dsp::band_energy(mean_mag, nfft, fs, 4000.0, 7900.0);
-  features.push_back(low > 0.0 ? high / low : 0.0);
-
-  return features;
+ml::FeatureVector LivenessFeatureExtractor::extract(const audio::Buffer& channel,
+                                                    const PreprocessConfig& preprocess,
+                                                    ScoringWorkspace* workspace) const {
+  // One definition for batch and streamed extraction: the whole channel
+  // goes through the incremental operator in a single push (chunk
+  // invariance makes this bit-identical to frame-by-frame streaming).
+  IncrementalExtractorConfig op_config;
+  op_config.preprocess = preprocess;
+  op_config.liveness = config_;
+  op_config.enable_orientation = false;
+  IncrementalExtractor local;
+  IncrementalExtractor* op = &local;
+  if (workspace != nullptr) {
+    workspace->note_use();
+    op = &workspace->incremental();
+  }
+  audio::MultiBuffer wrapped(std::vector<audio::Buffer>{channel});
+  op->begin(op_config, 1, channel.sample_rate());
+  op->push(wrapped);
+  return op->finalize_liveness();
 }
 
 }  // namespace headtalk::core

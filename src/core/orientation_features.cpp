@@ -1,13 +1,10 @@
 #include "core/orientation_features.h"
 
-#include <cmath>
 #include <stdexcept>
 
+#include "core/incremental_extractor.h"
 #include "core/scoring_workspace.h"
-#include "dsp/fft.h"
-#include "dsp/spectral.h"
 #include "dsp/srp.h"
-#include "dsp/stats.h"
 
 namespace headtalk::core {
 
@@ -32,80 +29,31 @@ std::size_t OrientationFeatureExtractor::dimension(std::size_t channels) const {
 
 ml::FeatureVector OrientationFeatureExtractor::extract(
     const audio::MultiBuffer& capture, ScoringWorkspace* workspace) const {
+  return extract(capture, PreprocessConfig{}, workspace);
+}
+
+ml::FeatureVector OrientationFeatureExtractor::extract(
+    const audio::MultiBuffer& capture, const PreprocessConfig& preprocess,
+    ScoringWorkspace* workspace) const {
   if (capture.channel_count() < 2) {
     throw std::invalid_argument("OrientationFeatureExtractor: need >= 2 channels");
   }
-  const double fs = capture.sample_rate();
-  const int max_lag = effective_max_lag(fs);
-
-  ml::FeatureVector features;
-  features.reserve(dimension(capture.channel_count()));
-
-  // --- Speech reverberation: SRP-PHAT + pairwise GCC-PHAT ---
-  // With a workspace the pair GCCs land in its reusable buffers (every
-  // element is rewritten per call, so results match the local path bit for
-  // bit); without one, fall back to per-call allocation.
-  dsp::PairwiseGccOptions gcc_options;
-  gcc_options.coherence_floor = config_.coherence_floor;
-  dsp::PairwiseGcc local_gcc;
-  dsp::PairwiseGcc* gcc_out = &local_gcc;
+  // One definition for batch and streamed extraction: run the whole
+  // capture through the incremental operator in a single push. Chunk
+  // invariance makes this bit-identical to frame-by-frame streaming.
+  IncrementalExtractorConfig op_config;
+  op_config.preprocess = preprocess;
+  op_config.orientation = config_;
+  op_config.enable_liveness = false;
+  IncrementalExtractor local;
+  IncrementalExtractor* op = &local;
   if (workspace != nullptr) {
     workspace->note_use();
-    gcc_out = &workspace->gcc();
-    dsp::pairwise_gcc_phat_into(capture, max_lag, *gcc_out, workspace->srp(),
-                                gcc_options);
-  } else {
-    local_gcc = dsp::pairwise_gcc_phat(capture, max_lag, gcc_options);
+    op = &workspace->incremental();
   }
-  const auto& gcc = *gcc_out;
-  const auto srp = dsp::srp_phat(gcc);
-
-  const auto peaks = dsp::top_peaks(srp.values, config_.srp_peaks);
-  features.insert(features.end(), peaks.begin(), peaks.end());
-  const auto srp_stats = dsp::summary_statistics(srp.values);
-  features.insert(features.end(), srp_stats.begin(), srp_stats.end());
-
-  for (const auto& pair : gcc.pairs) {
-    features.insert(features.end(), pair.gcc.values.begin(), pair.gcc.values.end());
-  }
-  for (const auto& pair : gcc.pairs) {
-    // A pruned pair's zeroed window has no meaningful argmax; report a
-    // neutral TDoA instead of the window edge max_element would pick.
-    features.push_back(pair.pruned ? 0.0 : static_cast<double>(pair.gcc.peak_lag()));
-  }
-  for (const auto& pair : gcc.pairs) {
-    const auto stats = dsp::summary_statistics(pair.gcc.values);
-    features.insert(features.end(), stats.begin(), stats.end());
-  }
-
-  // --- Speech directivity: HLBR + banded low-band statistics ---
-  // The spectrum is normalized to the speech-band mean level (as in the
-  // paper's Fig. 5, "the spectrum was normalized"): the GCC/SRP block is
-  // already scale-invariant through the PHAT weighting, and un-normalized
-  // band magnitudes would make the classifier level-dependent — a 60 dB
-  // utterance must not look like a different orientation than an 80 dB one.
-  const auto mono = capture.mixdown();
-  const std::size_t fft_size = dsp::next_pow2(mono.size());
-  std::vector<double> magnitude;
-  if (workspace != nullptr) {
-    dsp::magnitude_spectrum_into(mono.samples(), fft_size, magnitude, workspace->fft());
-  } else {
-    magnitude = dsp::magnitude_spectrum(mono.samples(), fft_size);
-  }
-  const double reference = dsp::band_mean_magnitude(
-      magnitude, fft_size, fs, config_.low_band_lo, config_.high_band_hi);
-  if (reference > 0.0) {
-    for (auto& m : magnitude) m /= reference;
-  }
-  features.push_back(dsp::high_low_band_ratio(magnitude, fft_size, fs,
-                                              config_.low_band_lo, config_.low_band_hi,
-                                              config_.high_band_lo, config_.high_band_hi));
-  const auto banded =
-      dsp::banded_statistics(magnitude, fft_size, fs, config_.low_band_lo,
-                             config_.low_band_hi, config_.low_band_chunks);
-  features.insert(features.end(), banded.begin(), banded.end());
-
-  return features;
+  op->begin(op_config, capture.channel_count(), capture.sample_rate());
+  op->push(capture);
+  return op->finalize_orientation();
 }
 
 }  // namespace headtalk::core

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "audio/sample_buffer.h"
+#include "core/preprocess.h"
 #include "ml/dataset.h"
 
 namespace headtalk::core {
@@ -50,7 +51,10 @@ class OrientationFeatureExtractor {
   explicit OrientationFeatureExtractor(OrientationFeatureConfig config = {})
       : config_(config) {}
 
-  /// Extracts the feature vector from a preprocessed capture. The feature
+  /// Extracts the feature vector from a capture. The capture is band-passed
+  /// and silence-trimmed internally (default PreprocessConfig) by the
+  /// incremental operator this call delegates to, so the result is
+  /// identical to streaming the same capture frame by frame. The feature
   /// length depends only on the channel count and lag window, so captures
   /// from the same device configuration are mutually consistent.
   ///
@@ -58,6 +62,13 @@ class OrientationFeatureExtractor {
   /// makes repeated extractions allocation-free after warm-up and never
   /// changes the result — features are bit-identical with or without it.
   [[nodiscard]] ml::FeatureVector extract(const audio::MultiBuffer& capture,
+                                          ScoringWorkspace* workspace = nullptr) const;
+
+  /// extract() with explicit preprocessing parameters (filter band and
+  /// trim rules) — what the pipeline and trainers use so batch and
+  /// streamed scoring share one preprocessing definition.
+  [[nodiscard]] ml::FeatureVector extract(const audio::MultiBuffer& capture,
+                                          const PreprocessConfig& preprocess,
                                           ScoringWorkspace* workspace = nullptr) const;
 
   /// Feature dimension for a given channel count.

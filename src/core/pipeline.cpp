@@ -125,12 +125,13 @@ HeadTalkPipeline::HeadTalkPipeline(OrientationClassifier orientation,
                                    LivenessDetector liveness, PipelineConfig config)
     : orientation_(std::move(orientation)),
       liveness_(std::move(liveness)),
-      config_(std::move(config)),
-      orientation_extractor_(config_.orientation_features),
-      liveness_extractor_(config_.liveness_features) {
+      config_(std::move(config)) {
   if (!orientation_.trained() || !liveness_.trained()) {
     throw std::invalid_argument("HeadTalkPipeline: both detectors must be trained");
   }
+  incremental_config_.preprocess = config_.preprocess;
+  incremental_config_.orientation = config_.orientation_features;
+  incremental_config_.liveness = config_.liveness_features;
 }
 
 void HeadTalkPipeline::set_mode(VaMode mode) noexcept {
@@ -191,6 +192,47 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
                                                  bool session_active,
                                                  ScoringWorkspace* workspace,
                                                  FeatureCapture* features_out) const {
+  if (mode != VaMode::kHeadTalk) {
+    // Normal/Mute verdicts run no stages; skip the accumulation entirely.
+    PipelineResult result;
+    result.session_open_after = session_active;
+    if (features_out != nullptr) {
+      features_out->liveness.clear();
+      features_out->orientation.clear();
+    }
+    result.decision =
+        mode == VaMode::kMute ? Decision::kRejectedMuted : Decision::kAccepted;
+    return result;
+  }
+
+  // --- HeadTalk mode ---
+  // The capture runs through the same incremental operator the streaming
+  // layer feeds frame by frame (here in one push); the decision then comes
+  // from the shared finalize ladder, so batch and streamed scoring cannot
+  // diverge. Each stage reports through StageTimer: span tracer +
+  // per-stage live histogram + the utterance's exemplar record, from one
+  // clock interval.
+  IncrementalExtractor local;
+  IncrementalExtractor& extractor = [&]() -> IncrementalExtractor& {
+    if (workspace == nullptr) return local;
+    workspace->note_use();
+    return workspace->incremental();
+  }();
+  {
+    static obs::Histogram& seconds =
+        stage_histogram("pipeline.stage.incremental_accumulate_seconds");
+    StageTimer stage("pipeline.incremental_accumulate", seconds);
+    extractor.begin(incremental_config_, capture.channel_count(),
+                    capture.sample_rate());
+    extractor.push(capture);
+  }
+  return finalize_stages(extractor, mode, followup, session_active, features_out);
+}
+
+PipelineResult HeadTalkPipeline::finalize_stages(IncrementalExtractor& extractor,
+                                                 VaMode mode, bool followup,
+                                                 bool session_active,
+                                                 FeatureCapture* features_out) const {
   PipelineResult result;
   result.session_open_after = session_active;
   if (features_out != nullptr) {
@@ -206,15 +248,6 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
     return result;
   }
 
-  // --- HeadTalk mode ---
-  // Each stage reports through StageTimer: span tracer + per-stage live
-  // histogram + the utterance's exemplar record, from one clock interval.
-  const auto denoised = [&] {
-    static obs::Histogram& seconds = stage_histogram("pipeline.stage.preprocess_seconds");
-    StageTimer stage("pipeline.preprocess", seconds);
-    return preprocess(capture, config_.preprocess);
-  }();
-
   // Liveness first (Fig. 2): a replayed wake word is rejected outright,
   // whether or not a session is open — a session belongs to a human.
   result.liveness_checked = true;
@@ -222,7 +255,7 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
     static obs::Histogram& seconds =
         stage_histogram("pipeline.stage.liveness_features_seconds");
     StageTimer stage("pipeline.liveness_features", seconds);
-    return liveness_extractor_.extract(denoised.channel(0), workspace);
+    return extractor.finalize_liveness();
   }();
   if (features_out != nullptr) features_out->liveness = liveness_features;
   {
@@ -249,7 +282,7 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
     static obs::Histogram& seconds =
         stage_histogram("pipeline.stage.orientation_features_seconds");
     StageTimer stage("pipeline.orientation_features", seconds);
-    return orientation_extractor_.extract(denoised, workspace);
+    return extractor.finalize_orientation();
   }();
   if (features_out != nullptr) features_out->orientation = features;
   {
@@ -266,6 +299,29 @@ PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& captu
   result.decision = Decision::kAccepted;
   result.session_open_after = true;
   return result;
+}
+
+PipelineResult HeadTalkPipeline::finalize_segment(IncrementalExtractor& extractor,
+                                                  VaMode mode, bool followup,
+                                                  bool session_active,
+                                                  FeatureCapture* features_out) const {
+  obs::ScopedSpan span("pipeline.finalize");
+  static obs::Histogram& finalize_seconds =
+      obs::Registry::global().histogram("pipeline.finalize_seconds");
+  obs::Timer timer(&finalize_seconds);
+  t_stages.count = 0;
+  const PipelineResult result =
+      finalize_stages(extractor, mode, followup, session_active, features_out);
+  count_decision(result.decision);
+  if (t_stages.count > 0) {
+    obs::SlowExemplarRing::global().offer(timer.stop(), decision_name(result.decision),
+                                          t_stages.view());
+  }
+  return result;
+}
+
+obs::Histogram& pipeline_stage_histogram(const char* name) {
+  return stage_histogram(name);
 }
 
 PipelineResult HeadTalkPipeline::process_wake_word(const audio::MultiBuffer& capture) {

@@ -16,11 +16,16 @@
 #include <vector>
 
 #include "audio/sample_buffer.h"
+#include "core/incremental_extractor.h"
 #include "core/liveness_detector.h"
 #include "core/liveness_features.h"
 #include "core/orientation_classifier.h"
 #include "core/orientation_features.h"
 #include "core/preprocess.h"
+
+namespace headtalk::obs {
+class Histogram;
+}
 
 namespace headtalk::core {
 
@@ -121,6 +126,25 @@ class HeadTalkPipeline {
       std::span<const audio::MultiBuffer> captures, VaMode mode,
       ScoringWorkspace* workspace = nullptr) const;
 
+  /// Streaming entry point, the counterpart of score_capture for audio
+  /// that was already fed through an IncrementalExtractor frame by frame:
+  /// runs only the finalize + classify ladder on the accumulated state, so
+  /// the post-endpoint cost is O(1) in the segment length. The extractor
+  /// must have been begun with incremental_config() (or an equivalent
+  /// config) and fed the segment's samples. Stateless with respect to the
+  /// pipeline, exactly like score_capture.
+  [[nodiscard]] PipelineResult finalize_segment(IncrementalExtractor& extractor,
+                                                VaMode mode, bool followup,
+                                                bool session_active,
+                                                FeatureCapture* features_out = nullptr) const;
+
+  /// The extractor configuration score_capture itself accumulates with —
+  /// feed an IncrementalExtractor with this and finalize_segment() agrees
+  /// with score_capture() on the same samples bit for bit.
+  [[nodiscard]] const IncrementalExtractorConfig& incremental_config() const noexcept {
+    return incremental_config_;
+  }
+
   [[nodiscard]] const OrientationClassifier& orientation() const noexcept {
     return orientation_;
   }
@@ -135,14 +159,24 @@ class HeadTalkPipeline {
                                                bool session_active,
                                                ScoringWorkspace* workspace,
                                                FeatureCapture* features_out) const;
+  [[nodiscard]] PipelineResult finalize_stages(IncrementalExtractor& extractor,
+                                               VaMode mode, bool followup,
+                                               bool session_active,
+                                               FeatureCapture* features_out) const;
 
   OrientationClassifier orientation_;
   LivenessDetector liveness_;
   PipelineConfig config_;
-  OrientationFeatureExtractor orientation_extractor_;
-  LivenessFeatureExtractor liveness_extractor_;
+  IncrementalExtractorConfig incremental_config_;
   VaMode mode_ = VaMode::kNormal;
   bool session_active_ = false;
 };
+
+/// Stage-latency histogram registered under `name` with the pipeline's
+/// shared stage bucket bounds (25 µs – ~3.3 s, ×2 per bucket). The
+/// streaming layer times its per-frame incremental accumulation into
+/// "pipeline.stage.incremental_accumulate_seconds" through this, so batch
+/// and streamed accumulation share one instrument.
+[[nodiscard]] obs::Histogram& pipeline_stage_histogram(const char* name);
 
 }  // namespace headtalk::core

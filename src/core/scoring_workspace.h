@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "core/incremental_extractor.h"
 #include "dsp/srp.h"
 
 namespace headtalk::core {
@@ -34,11 +35,16 @@ class ScoringWorkspace {
   [[nodiscard]] dsp::SrpWorkspace& srp() noexcept { return srp_; }
   [[nodiscard]] dsp::PairwiseGcc& gcc() noexcept { return gcc_; }
   [[nodiscard]] dsp::FftScratch& fft() noexcept { return fft_; }
+  /// The incremental extractor state (see core/incremental_extractor.h);
+  /// the pipeline and the wrapper extractors begin()/finalize it per
+  /// capture, so its internal buffers stay warm across utterances.
+  [[nodiscard]] IncrementalExtractor& incremental() noexcept { return incremental_; }
 
  private:
   dsp::SrpWorkspace srp_;
   dsp::PairwiseGcc gcc_;
   dsp::FftScratch fft_;
+  IncrementalExtractor incremental_;
   std::uint64_t uses_ = 0;
 };
 

@@ -1,0 +1,106 @@
+#include "dsp/rolling_stft.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace headtalk::dsp {
+
+void RollingStft::reset(const Config& config) {
+  if (config.channels == 0) {
+    throw std::invalid_argument("RollingStft: need at least one channel");
+  }
+  if (config.frame_size == 0 || config.hop_size == 0) {
+    throw std::invalid_argument("RollingStft: frame and hop must be positive");
+  }
+  const std::size_t fft_size =
+      config.fft_size != 0 ? config.fft_size
+                           : std::max<std::size_t>(2, next_pow2(config.frame_size));
+  if (fft_size < config.frame_size) {
+    throw std::invalid_argument("RollingStft: fft_size must cover the frame");
+  }
+  config_ = config;
+  fft_size_ = fft_size;
+  buffers_.assign(config.channels, {});
+  base_ = 0;
+  emitted_ = 0;
+  finished_ = false;
+  window_ = &shared_window(config.window, config.frame_size);
+  windowed_.assign(config.channels, std::vector<audio::Sample>(config.frame_size, 0.0));
+  spectra_.resize(config.channels);
+}
+
+void RollingStft::push(std::size_t channel, std::span<const audio::Sample> samples) {
+  if (channel >= buffers_.size()) {
+    throw std::out_of_range("RollingStft: channel out of range");
+  }
+  if (finished_) {
+    throw std::logic_error("RollingStft: push after finish");
+  }
+  auto& buffer = buffers_[channel];
+  buffer.insert(buffer.end(), samples.begin(), samples.end());
+}
+
+void RollingStft::finish() { finished_ = true; }
+
+std::size_t RollingStft::samples_pushed() const noexcept {
+  std::size_t least = buffers_.empty() ? 0 : buffers_.front().size();
+  for (const auto& buffer : buffers_) least = std::min(least, buffer.size());
+  return base_ + least;
+}
+
+bool RollingStft::pop(RollingStftFrame& frame) {
+  const std::size_t start = emitted_ * config_.hop_size;
+  const std::size_t avail = samples_pushed();
+  if (!finished_) {
+    // Eagerly emit only fully-populated frames; a frame the batch framing
+    // rule would have stopped before cannot be fully populated (the break
+    // fires when start + frame_size reaches the signal end), so the eager
+    // sequence is always a prefix of the batch sequence.
+    if (avail < start + config_.frame_size) return false;
+  } else {
+    // Replicate dsp::stft exactly: frames are emitted at every hop while
+    // start < size, stopping after the first frame whose window reaches
+    // the signal end.
+    if (avail == 0 || start >= avail) return false;
+    if (emitted_ > 0 && (emitted_ - 1) * config_.hop_size + config_.frame_size >= avail) {
+      return false;
+    }
+  }
+
+  const std::size_t valid = std::min(config_.frame_size, avail - start);
+  const auto& window = *window_;
+  for (std::size_t c = 0; c < config_.channels; ++c) {
+    const auto& buffer = buffers_[c];
+    auto& out = windowed_[c];
+    const std::size_t offset = start - base_;
+    for (std::size_t i = 0; i < valid; ++i) out[i] = buffer[offset + i] * window[i];
+    std::fill(out.begin() + static_cast<std::ptrdiff_t>(valid), out.end(), 0.0);
+    rfft_half_into(out, fft_size_, spectra_[c], fft_scratch_);
+  }
+
+  frame.index = emitted_;
+  frame.valid = valid;
+  frame.windowed = {windowed_.data(), windowed_.size()};
+  frame.spectra = {spectra_.data(), spectra_.size()};
+  ++emitted_;
+  compact();
+  return true;
+}
+
+void RollingStft::compact() {
+  // Drop samples no future frame can read. Deferred until the dead prefix
+  // is a few frames long so steady state is one memmove per ~4 frames,
+  // not per pop.
+  const std::size_t next_start = emitted_ * config_.hop_size;
+  if (next_start <= base_) return;
+  std::size_t drop = next_start - base_;
+  if (drop < 4 * config_.frame_size) return;
+  for (const auto& buffer : buffers_) drop = std::min(drop, buffer.size());
+  if (drop == 0) return;
+  for (auto& buffer : buffers_) {
+    buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  base_ += drop;
+}
+
+}  // namespace headtalk::dsp

@@ -216,11 +216,12 @@ std::string Collector::cache_key(const SampleSpec& spec, const char* kind) const
   if (spec.room == RoomId::kHome) {
     key += "|dyn=2";  // dynamic-clutter movable fraction revision
   }
-  // v=8: SIMD-dispatched kernels (sqrt-based magnitudes instead of hypot,
-  // raw-double complex arithmetic) changed feature values at the last-ulp
-  // level, so pre-existing entries must not be mixed with freshly computed
-  // ones. (v=7 was the plan-table FFT + interior-only top_peaks revision.)
-  key += "|v=8";  // bump to invalidate old cache entries on format changes
+  // v=9: feature extraction moved into the frame-incremental operator —
+  // stateful per-channel band-pass cascades and block-granular silence
+  // trim replace the one-shot preprocess, which shifts values at the
+  // last-ulp-to-block-boundary level; cached entries from the batch
+  // definition must not be mixed in. (v=8 was the SIMD kernel revision.)
+  key += "|v=9";  // bump to invalidate old cache entries on format changes
   return key;
 }
 
@@ -230,8 +231,10 @@ ml::FeatureVector Collector::orientation_features(
   const auto key = cache_key(spec, "orient2");
   if (auto hit = cache_.load(key)) return *hit;
   const auto raw = capture(spec);
-  const auto denoised = core::preprocess(raw, config_.preprocess);
-  const auto features = orientation_extractor(spec).extract(denoised, workspace);
+  // The extractor preprocesses internally (same config), so training
+  // features share one definition with streamed scoring.
+  const auto features =
+      orientation_extractor(spec).extract(raw, config_.preprocess, workspace);
   cache_.store(key, features);
   return features;
 }
@@ -242,9 +245,8 @@ ml::FeatureVector Collector::liveness_features(const SampleSpec& spec,
   const auto key = cache_key(spec, "live");
   if (auto hit = cache_.load(key)) return *hit;
   const auto raw = capture(spec);
-  const auto denoised = core::preprocess(raw.channel(0), config_.preprocess);
-  const auto features =
-      core::LivenessFeatureExtractor(config_.liveness).extract(denoised, workspace);
+  const auto features = core::LivenessFeatureExtractor(config_.liveness)
+                            .extract(raw.channel(0), config_.preprocess, workspace);
   cache_.store(key, features);
   return features;
 }

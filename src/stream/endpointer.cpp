@@ -59,7 +59,12 @@ std::optional<Segment> Endpointer::on_frame(bool active) {
     ++active_run_;
     if (active_run_ < config_.onset_frames) return std::nullopt;
     // Onset confirmed: open the segment with pre-roll, clamped so segments
-    // never overlap each other or reach before the stream start.
+    // never overlap each other or reach before the stream start. The clamp
+    // is against last_end_, which close() records as the *post-rolled* end
+    // (last_active + 1 + post_roll, or the force-close boundary) — not the
+    // last active frame — so a pre-roll reaching into the previous
+    // segment's post-roll tail is cut at the tail's end, never before it.
+    // Back-to-back utterances therefore tile: next begin >= previous end.
     const std::uint64_t pre = config_.pre_roll_frames;
     begin_ = onset_start_ > pre ? onset_start_ - pre : 0;
     begin_ = std::max(begin_, last_end_);

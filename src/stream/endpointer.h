@@ -59,6 +59,23 @@ class Endpointer {
   /// drain should wait for its decision.
   [[nodiscard]] bool in_utterance() const noexcept { return state_ != State::kIdle; }
 
+  /// True while a *confirmed* segment is open (onset already promoted, so
+  /// open_begin()/last_active() are meaningful). Tentative onsets — which
+  /// may still evaporate without a segment — report false; incremental
+  /// consumers that start work on segment_open() never work on a false
+  /// start.
+  [[nodiscard]] bool segment_open() const noexcept {
+    return state_ == State::kInUtterance || state_ == State::kHangover;
+  }
+  /// Start frame of the open segment (pre-roll applied; only meaningful
+  /// while segment_open()).
+  [[nodiscard]] std::uint64_t open_begin() const noexcept { return begin_; }
+  /// Most recent active frame index of the open segment (only meaningful
+  /// while segment_open()). The eventual close end is bounded by
+  /// last_active() + 1 + post_roll_frames, which is what lets a streaming
+  /// consumer feed ahead of the close without overshooting the segment.
+  [[nodiscard]] std::uint64_t last_active() const noexcept { return last_active_; }
+
   [[nodiscard]] std::uint64_t segments() const noexcept { return segments_; }
   [[nodiscard]] std::uint64_t force_closed() const noexcept { return force_closed_; }
   [[nodiscard]] std::uint64_t discarded() const noexcept { return discarded_; }

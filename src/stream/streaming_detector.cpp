@@ -31,6 +31,14 @@ obs::Histogram& metric_decision_latency() {
       obs::Registry::global().histogram("stream.decision_latency_seconds");
   return h;
 }
+obs::Histogram& metric_accumulate() {
+  // Shared with the batch pipeline's accumulation stage: one instrument
+  // for "time spent pushing samples through the incremental extractor",
+  // however the samples arrived.
+  static obs::Histogram& h =
+      core::pipeline_stage_histogram("pipeline.stage.incremental_accumulate_seconds");
+  return h;
+}
 
 }  // namespace
 
@@ -41,6 +49,15 @@ void StreamRing::reset(std::size_t channels, std::size_t capacity_frames,
   sample_rate_ = sample_rate;
   data_.assign(capacity_ * channels_, 0.0);
   total_ = 0;
+  first_ = 0;
+}
+
+void StreamRing::seek(std::uint64_t frame) {
+  if (total_ != first_) {
+    throw std::logic_error("StreamRing: seek on a non-empty ring");
+  }
+  total_ = frame;
+  first_ = frame;
 }
 
 void StreamRing::push(std::span<const float> interleaved) {
@@ -68,19 +85,29 @@ void StreamRing::push(const audio::MultiBuffer& chunk) {
 }
 
 audio::MultiBuffer StreamRing::extract(std::uint64_t begin, std::uint64_t end) const {
+  audio::MultiBuffer capture;
+  extract_into(begin, end, capture);
+  return capture;
+}
+
+void StreamRing::extract_into(std::uint64_t begin, std::uint64_t end,
+                              audio::MultiBuffer& out) const {
   begin = std::max(begin, oldest_frame());
   end = std::min<std::uint64_t>(end, total_);
   if (begin > end) begin = end;
-  audio::MultiBuffer capture(channels_, static_cast<std::size_t>(end - begin),
-                             sample_rate_);
+  const auto frames = static_cast<std::size_t>(end - begin);
+  if (out.channel_count() != channels_ || out.sample_rate() != sample_rate_) {
+    out = audio::MultiBuffer(channels_, frames, sample_rate_);
+  } else {
+    for (std::size_t c = 0; c < channels_; ++c) out.channel(c).resize(frames);
+  }
   for (std::uint64_t f = begin; f < end; ++f) {
     const std::size_t slot = static_cast<std::size_t>(f % capacity_);
     for (std::size_t c = 0; c < channels_; ++c) {
-      capture.channel(c)[static_cast<std::size_t>(f - begin)] =
+      out.channel(c)[static_cast<std::size_t>(f - begin)] =
           data_[slot * channels_ + c];
     }
   }
-  return capture;
 }
 
 StreamingDetector::StreamingDetector(const core::HeadTalkPipeline& pipeline,
@@ -97,6 +124,7 @@ StreamingDetector::StreamingDetector(const core::HeadTalkPipeline& pipeline,
       endpointer_.config().max_utterance_frames * vad_.frame_length() +
       config_.ring_margin_frames;
   ring_.reset(channels, capacity, sample_rate);
+  ring_.seek(config_.start_frame);
 }
 
 std::vector<DecisionEvent> StreamingDetector::push_interleaved(
@@ -145,10 +173,30 @@ void StreamingDetector::advance(std::span<const audio::Sample> reference,
   for (const VadFrame& frame : vad_frames) {
     metric_vad_active().set(frame.active ? 1.0 : 0.0);
     const auto segment = endpointer_.on_frame(frame.active);
-    if (!segment) continue;
-    if (segment->force_closed) metric_force_closed().increment();
-    metric_segments().increment();
-    out.push_back(score_segment(*segment));
+    if (segment) {
+      if (segment->force_closed) metric_force_closed().increment();
+      metric_segments().increment();
+      out.push_back(score_segment(*segment));
+      continue;
+    }
+    if (config_.mode != core::VaMode::kHeadTalk) continue;
+    if (endpointer_.segment_open()) {
+      // Incremental accumulation: push this frame's worth of final segment
+      // audio through the extractor now, so the eventual close pays only
+      // the residual feed plus the O(1) finalize.
+      obs::Timer accumulate(&metric_accumulate());
+      if (!op_open_) {
+        open_op(config_.start_frame +
+                endpointer_.open_begin() *
+                    static_cast<std::uint64_t>(vad_.frame_length()));
+      }
+      feed_op_to(feed_target());
+    } else if (op_open_ && !endpointer_.in_utterance()) {
+      // The open segment was discarded as a glitch (no close emitted):
+      // abandon the accumulated state. begin() re-arms the op fully, so
+      // nothing else needs unwinding.
+      op_open_ = false;
+    }
   }
   // Discards happen inside the endpointer; mirror its counter into obs so
   // dashboards see glitch rejections without polling the detector.
@@ -158,29 +206,87 @@ void StreamingDetector::advance(std::span<const audio::Sample> reference,
   }
 }
 
+std::uint64_t StreamingDetector::feed_target() const {
+  const auto frame_len = static_cast<std::uint64_t>(vad_.frame_length());
+  // The close end is bounded by last_active + 1 + post_roll whatever
+  // happens next (a later active frame only moves the bound forward), so
+  // audio before that bound is certainly part of the segment.
+  const std::uint64_t bound =
+      endpointer_.last_active() + 1 + endpointer_.config().post_roll_frames;
+  const std::uint64_t frames = std::min<std::uint64_t>(endpointer_.frames_seen(), bound);
+  return std::min<std::uint64_t>(config_.start_frame + frames * frame_len,
+                                 ring_.total_frames());
+}
+
+void StreamingDetector::open_op(std::uint64_t begin) {
+  op_.begin(pipeline_.incremental_config(), ring_.channels(), vad_.sample_rate());
+  op_open_ = true;
+  op_truncated_ = 0;
+  op_fed_end_ = begin;
+  const std::uint64_t oldest = ring_.oldest_frame();
+  if (op_fed_end_ < oldest) {
+    op_truncated_ = oldest - op_fed_end_;
+    op_fed_end_ = oldest;
+  }
+}
+
+void StreamingDetector::feed_op_to(std::uint64_t target) {
+  if (!op_open_) return;
+  const std::uint64_t oldest = ring_.oldest_frame();
+  if (op_fed_end_ < oldest) {
+    // Samples between the last feed and now were overwritten (a chunk far
+    // larger than the ring margin); count them and continue from the
+    // oldest survivor, exactly like the batch extraction clamp.
+    op_truncated_ += oldest - op_fed_end_;
+    op_fed_end_ = oldest;
+  }
+  if (target <= op_fed_end_) return;
+  ring_.extract_into(op_fed_end_, target, feed_buffer_);
+  op_.push(feed_buffer_);
+  op_fed_end_ = target;
+}
+
 DecisionEvent StreamingDetector::score_segment(const Segment& segment) {
   obs::ScopedSpan span("stream.score_segment");
   obs::Timer timer(&metric_decision_latency());
 
+  const auto frame_len = static_cast<std::uint64_t>(vad_.frame_length());
   DecisionEvent event;
-  event.begin_frame = segment.begin_frame * vad_.frame_length();
+  event.begin_frame = config_.start_frame + segment.begin_frame * frame_len;
   event.end_frame =
-      std::min<std::uint64_t>(segment.end_frame * vad_.frame_length(),
+      std::min<std::uint64_t>(config_.start_frame + segment.end_frame * frame_len,
                               ring_.total_frames());
   event.force_closed = segment.force_closed;
-  const std::uint64_t oldest = ring_.oldest_frame();
-  if (event.begin_frame < oldest) {
-    event.truncated_frames = oldest - event.begin_frame;
-  }
   const double fs = vad_.sample_rate();
   event.begin_seconds = static_cast<double>(event.begin_frame) / fs;
   event.end_seconds = static_cast<double>(event.end_frame) / fs;
 
-  const audio::MultiBuffer capture = ring_.extract(event.begin_frame, event.end_frame);
-  event.result = pipeline_.score_capture(capture, config_.mode, /*followup=*/false,
-                                         session_open_, workspace_,
-                                         config_.capture_features ? &event.features
-                                                                  : nullptr);
+  if (config_.mode == core::VaMode::kHeadTalk) {
+    // Streaming path: the segment's audio is (mostly) already inside the
+    // incremental extractor; feed whatever the close added beyond the last
+    // per-frame target and run the finalize ladder. The decision latency
+    // this timer measures is that residual work — O(1) in segment length.
+    if (!op_open_) open_op(event.begin_frame);
+    feed_op_to(event.end_frame);
+    event.truncated_frames = op_truncated_;
+    event.result = pipeline_.finalize_segment(op_, config_.mode, /*followup=*/false,
+                                              session_open_,
+                                              config_.capture_features
+                                                  ? &event.features
+                                                  : nullptr);
+    op_open_ = false;
+  } else {
+    const std::uint64_t oldest = ring_.oldest_frame();
+    if (event.begin_frame < oldest) {
+      event.truncated_frames = oldest - event.begin_frame;
+    }
+    const audio::MultiBuffer capture =
+        ring_.extract(event.begin_frame, event.end_frame);
+    event.result = pipeline_.score_capture(capture, config_.mode, /*followup=*/false,
+                                           session_open_, workspace_,
+                                           config_.capture_features ? &event.features
+                                                                    : nullptr);
+  }
   session_open_ = event.result.session_open_after;
   event.latency_seconds = timer.stop();
   return event;

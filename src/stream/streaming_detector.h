@@ -39,6 +39,12 @@ struct StreamingDetectorConfig {
   /// Copy each segment's feature vectors into DecisionEvent::features
   /// (needed by tenant-scoped serving for speaker-identity matching).
   bool capture_features = false;
+  /// Absolute sample-frame index of the first frame this detector will be
+  /// fed — a resumed or sharded stream keeps globally consistent event
+  /// timestamps by passing its offset here. All DecisionEvent frame fields
+  /// (and seconds, computed from them) are absolute under this origin; the
+  /// arithmetic is 64-bit throughout, so origins past 2^32 are exact.
+  std::uint64_t start_frame = 0;
 };
 
 /// One scored utterance detected in the stream.
@@ -67,6 +73,10 @@ class StreamRing {
  public:
   void reset(std::size_t channels, std::size_t capacity_frames, double sample_rate);
 
+  /// Re-origins an empty ring: the next pushed frame gets absolute index
+  /// `frame`. Only valid before any push (or straight after reset).
+  void seek(std::uint64_t frame);
+
   /// `interleaved.size()` must be a multiple of the channel count.
   void push(std::span<const float> interleaved);
   void push(const audio::MultiBuffer& chunk);
@@ -75,9 +85,15 @@ class StreamRing {
   /// oldest retained frame (the caller sees the loss via oldest_frame()).
   [[nodiscard]] audio::MultiBuffer extract(std::uint64_t begin, std::uint64_t end) const;
 
+  /// extract() into a caller-owned capture, reusing its channel storage —
+  /// the streaming feed path calls this once per VAD frame, so the steady
+  /// state is allocation-free.
+  void extract_into(std::uint64_t begin, std::uint64_t end,
+                    audio::MultiBuffer& out) const;
+
   [[nodiscard]] std::uint64_t total_frames() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t oldest_frame() const noexcept {
-    return total_ > capacity_ ? total_ - capacity_ : 0;
+    return total_ > first_ + capacity_ ? total_ - capacity_ : first_;
   }
   [[nodiscard]] std::size_t capacity_frames() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
@@ -86,7 +102,8 @@ class StreamRing {
   std::vector<audio::Sample> data_;  ///< capacity_ * channels_, interleaved
   std::size_t channels_ = 0;
   std::size_t capacity_ = 0;
-  std::uint64_t total_ = 0;  ///< absolute frames pushed so far
+  std::uint64_t total_ = 0;  ///< absolute index one past the newest frame
+  std::uint64_t first_ = 0;  ///< absolute index of the first frame ever pushed
   double sample_rate_ = audio::kDefaultSampleRate;
 };
 
@@ -135,10 +152,23 @@ class StreamingDetector {
 
  private:
   /// Runs VAD + endpointing over reference-channel samples already pushed
-  /// to the ring, scoring every segment that closes.
+  /// to the ring, scoring every segment that closes. In HeadTalk mode the
+  /// open segment's samples are fed to the incremental extractor once per
+  /// VAD frame, so a close only pays the residual feed + finalize.
   void advance(std::span<const audio::Sample> reference,
                std::vector<DecisionEvent>& out);
   [[nodiscard]] DecisionEvent score_segment(const Segment& segment);
+
+  /// Opens the incremental extractor for a segment starting at absolute
+  /// sample frame `begin` (clamped to the ring's oldest retained frame;
+  /// the loss accumulates in op_truncated_).
+  void open_op(std::uint64_t begin);
+  /// Feeds ring samples [fed_end_, target) to the open extractor.
+  void feed_op_to(std::uint64_t target);
+  /// Absolute sample frame up to which the open segment may be fed now:
+  /// the close end can never exceed last_active + 1 + post_roll frames, so
+  /// everything before that bound is final segment audio already.
+  [[nodiscard]] std::uint64_t feed_target() const;
 
   const core::HeadTalkPipeline& pipeline_;
   core::ScoringWorkspace* workspace_ = nullptr;  ///< not owned; may be null
@@ -149,6 +179,15 @@ class StreamingDetector {
   std::vector<audio::Sample> reference_;  ///< channel-0 scratch for one chunk
   std::uint64_t discards_reported_ = 0;   ///< endpointer discards mirrored to obs
   bool session_open_ = false;
+  /// Incremental per-segment extraction state (HeadTalk mode). The op is
+  /// begun when the endpointer confirms a segment, fed frame by frame
+  /// while the segment is open, finalized (or abandoned, on a discard)
+  /// when it ends.
+  core::IncrementalExtractor op_;
+  bool op_open_ = false;
+  std::uint64_t op_fed_end_ = 0;     ///< absolute sample frame fed so far
+  std::uint64_t op_truncated_ = 0;   ///< frames the open segment lost to overwrite
+  audio::MultiBuffer feed_buffer_;   ///< reused per-frame extraction scratch
 };
 
 }  // namespace headtalk::stream

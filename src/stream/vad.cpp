@@ -92,12 +92,23 @@ VadFrame Vad::classify(std::span<const audio::Sample> frame) {
   const bool raw_active = energetic && speech_like;
   prev_active_ = raw_active;
 
-  // Asymmetric floor tracking. Raw-active frames are excluded entirely so a
-  // long utterance cannot become the floor; everything else adapts — up
-  // slowly (a loudening room), down fast (a quieting one).
-  if (!raw_active) {
-    const double rate = result.energy_db > noise_floor_db_ ? config_.noise_adapt_up
-                                                           : config_.noise_adapt_down;
+  // Asymmetric floor tracking. Every *reported*-active frame — raw-active
+  // or hangover tail — is excluded, not just raw-active ones: hangover
+  // frames are inter-word dips and utterance tails whose energy is still
+  // mostly speech, and adapting on them let a long utterance ratchet the
+  // floor up word by word until its own offsets stopped clearing the SNR
+  // margin and the segment broke apart. Inactive frames adapt — up slowly
+  // (a loudening room; damped further when the frame is onset-loud, see
+  // noise_adapt_up_speech_damping), down fast (a quieting one).
+  const bool reported_active = raw_active || hangover_ > 0;
+  if (!reported_active) {
+    double rate = config_.noise_adapt_down;
+    if (result.energy_db > noise_floor_db_) {
+      rate = config_.noise_adapt_up;
+      if (result.energy_db >= noise_floor_db_ + config_.onset_snr_db) {
+        rate *= config_.noise_adapt_up_speech_damping;
+      }
+    }
     noise_floor_db_ += rate * (result.energy_db - noise_floor_db_);
   }
 

@@ -51,6 +51,12 @@ struct VadConfig {
   /// followed within a few frames.
   double noise_adapt_up = 0.02;
   double noise_adapt_down = 0.2;
+  /// Extra damping on the up-adapt for frames loud enough to have fired an
+  /// onset (energy >= floor + onset_snr_db) but rejected by the speech
+  /// gates — at that level the energy is more likely speech leaking past
+  /// the flatness test than a genuinely louder room, so the floor follows
+  /// it at noise_adapt_up * this instead of full rate.
+  double noise_adapt_up_speech_damping = 0.1;
   /// Raw-inactive frames still reported active after speech (tail hangover).
   std::size_t hangover_frames = 2;
 };

@@ -114,14 +114,16 @@ SpeakerProfile enroll_profile(const core::PipelineConfig& pipeline_config,
     if (capture.channel_count() != channels) {
       throw EnrollmentError("enrollment: channel count varies across captures");
     }
-    const audio::MultiBuffer denoised =
-        core::preprocess(capture, pipeline_config.preprocess);
+    // The extractors preprocess internally with the pipeline's config, so
+    // enrolled profiles match what streamed scoring computes at match time.
     core::FeatureCapture extracted;
-    extracted.liveness = liveness_extractor.extract(denoised.channel(0));
+    extracted.liveness =
+        liveness_extractor.extract(capture.channel(0), pipeline_config.preprocess);
     // Orientation needs inter-channel structure; a single-channel capture
     // enrolls on liveness features alone.
     if (channels > 1) {
-      extracted.orientation = orientation_extractor.extract(denoised);
+      extracted.orientation =
+          orientation_extractor.extract(capture, pipeline_config.preprocess);
     }
     features.push_back(std::move(extracted));
   }

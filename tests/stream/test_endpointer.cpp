@@ -134,6 +134,40 @@ TEST(Endpointer, FlushWhenIdleOrUnconfirmedEmitsNothing) {
   EXPECT_FALSE(unconfirmed.in_utterance());
 }
 
+TEST(Endpointer, BackToBackPreRollClampsToThePostRolledEnd) {
+  // Regression guard: the overlap clamp must be against the previous
+  // segment's *post-rolled* end, not its last active frame. Onset at 7
+  // with pre-roll 3 reaches back to frame 4 — after the first segment's
+  // last active frame (2) but inside its post-roll tail [3, 5) — and must
+  // be cut at 5, the tail's end, so back-to-back utterances tile without
+  // double-consuming the tail.
+  Endpointer ep(small_config());
+  //                             0  1  2  3  4  5  6  7  8  9 10 11
+  const auto segments = run(ep, {1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 0, 0});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].end_frame, 5u);    // last_active 2 + 1 + post-roll 2
+  EXPECT_EQ(segments[1].begin_frame, 5u);  // pre-roll 7-3=4 clamped past the tail
+  EXPECT_GE(segments[1].begin_frame, segments[0].end_frame);
+  EXPECT_EQ(segments[1].end_frame, 11u);   // last_active 8 + 1 + post-roll 2
+}
+
+TEST(Endpointer, OpenSegmentAccessorsTrackTheConfirmedSegment) {
+  Endpointer ep(small_config());
+  EXPECT_FALSE(ep.segment_open());
+  (void)ep.on_frame(true);  // tentative onset: open for in_utterance()…
+  EXPECT_TRUE(ep.in_utterance());
+  EXPECT_FALSE(ep.segment_open());  // …but not confirmed yet
+  (void)ep.on_frame(true);  // onset_frames = 2: confirmed
+  EXPECT_TRUE(ep.segment_open());
+  EXPECT_EQ(ep.open_begin(), 0u);
+  EXPECT_EQ(ep.last_active(), 1u);
+  (void)ep.on_frame(true);
+  EXPECT_EQ(ep.last_active(), 2u);
+  (void)ep.on_frame(false);  // hangover: segment still open, last_active frozen
+  EXPECT_TRUE(ep.segment_open());
+  EXPECT_EQ(ep.last_active(), 2u);
+}
+
 TEST(Endpointer, DegenerateConfigIsClamped) {
   EndpointerConfig config;
   config.onset_frames = 0;

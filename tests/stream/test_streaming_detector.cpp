@@ -173,6 +173,82 @@ TEST(StreamingDetector, EmitsOneDecisionPerBurstMatchingOfflineScoring) {
   EXPECT_EQ(detector.session_open(), session_open);
 }
 
+TEST(StreamingDetector, StartFrameOffsetsEventsExactlyEvenPast32Bits) {
+  // Satellite: a resumed/sharded stream passes its absolute origin via
+  // start_frame. Events must shift by exactly that origin — with every
+  // product kept in 64 bits, so an origin near 2^32 (where a truncated
+  // frame*length multiply would wrap) stays exact — and the second
+  // timestamps must be derived from the exact 64-bit frame indices.
+  const std::uint64_t start = (std::uint64_t{1} << 32) - 1000;
+  auto config = test_config();
+  StreamingDetector baseline(test_pipeline(), 4, audio::kDefaultSampleRate, config);
+  config.start_frame = start;
+  StreamingDetector offset(test_pipeline(), 4, audio::kDefaultSampleRate, config);
+  const std::size_t frame_len = baseline.vad().frame_length();
+
+  std::vector<float> stream;
+  append_silence(stream, 5 * frame_len, 4);
+  append_tone(stream, 12 * frame_len, 4);
+  append_silence(stream, 10 * frame_len, 4);
+
+  const auto base_events = stream_in_chunks(baseline, stream, frame_len + 37);
+  const auto off_events = stream_in_chunks(offset, stream, frame_len + 37);
+  ASSERT_EQ(base_events.size(), 1u);
+  ASSERT_EQ(off_events.size(), 1u);
+  EXPECT_EQ(off_events[0].begin_frame, base_events[0].begin_frame + start);
+  EXPECT_EQ(off_events[0].end_frame, base_events[0].end_frame + start);
+  EXPECT_GT(off_events[0].end_frame, std::uint64_t{1} << 32);  // really crossed
+  EXPECT_DOUBLE_EQ(
+      off_events[0].begin_seconds,
+      static_cast<double>(off_events[0].begin_frame) / audio::kDefaultSampleRate);
+  EXPECT_DOUBLE_EQ(
+      off_events[0].end_seconds,
+      static_cast<double>(off_events[0].end_frame) / audio::kDefaultSampleRate);
+  EXPECT_EQ(off_events[0].truncated_frames, 0u);
+  EXPECT_EQ(off_events[0].result.decision, base_events[0].result.decision);
+  EXPECT_EQ(offset.frames_streamed(), baseline.frames_streamed() + start);
+}
+
+TEST(StreamingDetector, HeadTalkStreamedDecisionMatchesBatchScoring) {
+  // Tentpole equivalence at the decision level: in HeadTalk mode the
+  // detector accumulates each open segment frame by frame and only
+  // finalizes at the close. The verdict and both scores must equal
+  // score_capture() on the same sample span — chunk invariance makes the
+  // features bit-identical, so exact equality is the bar, not a tolerance.
+  const auto config = [] {
+    auto c = test_config();
+    c.mode = core::VaMode::kHeadTalk;
+    return c;
+  }();
+  StreamingDetector detector(test_pipeline(), 4, audio::kDefaultSampleRate, config);
+  const std::size_t frame_len = detector.vad().frame_length();
+
+  std::vector<float> stream;
+  append_silence(stream, 5 * frame_len, 4);
+  for (int burst = 0; burst < 2; ++burst) {
+    append_tone(stream, 12 * frame_len, 4);
+    append_silence(stream, 10 * frame_len, 4);
+  }
+
+  auto events = stream_in_chunks(detector, stream, frame_len + 37);
+  const auto tail = detector.flush();
+  events.insert(events.end(), tail.begin(), tail.end());
+  ASSERT_EQ(events.size(), 2u);
+
+  bool session_open = false;
+  for (const auto& event : events) {
+    const auto capture = slice(stream, 4, event.begin_frame, event.end_frame);
+    const auto offline = test_pipeline().score_capture(capture, config.mode,
+                                                       /*followup=*/false, session_open);
+    EXPECT_EQ(event.result.decision, offline.decision);
+    EXPECT_DOUBLE_EQ(event.result.liveness_score, offline.liveness_score);
+    EXPECT_DOUBLE_EQ(event.result.orientation_score, offline.orientation_score);
+    EXPECT_EQ(event.result.session_open_after, offline.session_open_after);
+    session_open = offline.session_open_after;
+  }
+  EXPECT_EQ(detector.session_open(), session_open);
+}
+
 TEST(StreamingDetector, FlushClosesATrailingUtterance) {
   StreamingDetector detector(test_pipeline(), 4, audio::kDefaultSampleRate,
                              test_config());

@@ -139,6 +139,47 @@ TEST(Vad, NoiseFloorTracksQuietRoomFastAndLoudRoomSlowly) {
   EXPECT_LT(loudening.noise_floor_db(), init + 15.0);
 }
 
+TEST(Vad, NoiseFloorIsFrozenThroughALongUtterance) {
+  // Regression: inter-word dips are raw-inactive (the flatness gate
+  // rejects them) but still reported active through the hangover — and
+  // their energy is speech spill, not room noise. The floor used to adapt
+  // upward on every such frame, so a long utterance ratcheted it word by
+  // word until its own offsets stopped clearing the SNR margin. Reported-
+  // active frames must leave the floor exactly where it was.
+  Vad vad;
+  const std::size_t len = vad.frame_length();
+  (void)vad.push(std::vector<audio::Sample>(len * 20, 0.0));  // settle on silence
+  const double floor_before = vad.noise_floor_db();
+
+  // 4 s of "speech": three tonal frames, then a two-frame breathy dip that
+  // rides the hangover (hangover_frames = 2), repeated.
+  std::vector<audio::Sample> utterance;
+  for (unsigned rep = 0; rep < 40; ++rep) {
+    const auto word = tone(len * 3, -20.0);
+    const auto dip = white_noise(len * 2, 0.02, /*seed=*/100 + rep);
+    utterance.insert(utterance.end(), word.begin(), word.end());
+    utterance.insert(utterance.end(), dip.begin(), dip.end());
+  }
+  const auto frames = vad.push(utterance);
+  ASSERT_EQ(frames.size(), 200u);
+  for (const auto& frame : frames) {
+    EXPECT_TRUE(frame.active) << "frame " << frame.index;
+  }
+  EXPECT_DOUBLE_EQ(vad.noise_floor_db(), floor_before);
+}
+
+TEST(Vad, OnsetLoudNonSpeechAdaptsOnlyDamped) {
+  // A frame loud enough to have fired an onset but rejected by the speech
+  // gates follows the floor at the damped rate: the floor still moves (a
+  // genuinely louder room is eventually tracked) but a burst cannot yank
+  // it up.
+  Vad vad;
+  const double init = vad.config().noise_floor_init_db;
+  (void)vad.push(white_noise(vad.frame_length() * 10, 0.05));  // ~-26 dBFS, flat
+  EXPECT_GT(vad.noise_floor_db(), init);
+  EXPECT_LT(vad.noise_floor_db(), init + 2.0);  // undamped would be ~+5 dB here
+}
+
 TEST(Vad, HangoverExtendsUtteranceTail) {
   VadConfig config;
   config.hangover_frames = 2;

@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <optional>
 #include <sstream>
@@ -189,6 +190,39 @@ int run_watch(const cli::ArgParser& args) {
   return 0;
 }
 
+/// --assert-p95 "name:seconds": scrape /metrics.json once and exit 0 only
+/// if the named histogram has samples and its p95 is at or under the
+/// threshold. Built for CI smoke scripts that gate on serving latency.
+int run_assert_p95(const cli::ArgParser& args, const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw cli::ArgsError("--assert-p95 wants <histogram>:<seconds>");
+  }
+  const std::string name = spec.substr(0, colon);
+  const double threshold = std::strtod(spec.c_str() + colon + 1, nullptr);
+  if (!(threshold > 0.0)) throw cli::ArgsError("--assert-p95 threshold must be > 0");
+
+  const serve::AdminFetch metrics = admin_fetch(args, "/metrics.json");
+  if (metrics.status != 200) {
+    std::fprintf(stderr, "assert-p95: /metrics.json returned HTTP %d\n",
+                 metrics.status);
+    return 1;
+  }
+  const obs::MetricsSnapshot snapshot = obs::parse_snapshot_json(metrics.body);
+  const auto found = snapshot.histograms.find(name);
+  if (found == snapshot.histograms.end() || found->second.count == 0) {
+    std::fprintf(stderr, "assert-p95: histogram '%s' has no samples\n", name.c_str());
+    return 1;
+  }
+  const double p95 = obs::snapshot_quantile(found->second, 0.95);
+  const bool ok = p95 <= threshold;
+  std::printf("assert-p95: %s p95 %.3f ms (%llu samples) %s threshold %.3f ms\n",
+              name.c_str(), 1e3 * p95,
+              static_cast<unsigned long long>(found->second.count),
+              ok ? "<=" : "EXCEEDS", 1e3 * threshold);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +249,11 @@ int main(int argc, char** argv) {
   args.add_flag("--tenant",
                 "AUTH as this tenant after HELLO (exit 3 if the server rejects "
                 "the AUTH)",
+                "");
+  args.add_flag("--assert-p95",
+                "scrape /metrics.json once and exit nonzero unless the named "
+                "histogram's p95 is at or under the threshold, e.g. "
+                "stream.decision_latency_seconds:0.005",
                 "");
   args.add_switch("--watch", "poll the admin plane and render a live stage/qps view");
   args.add_flag("--interval-ms", "--watch poll interval", "1000");
@@ -247,6 +286,9 @@ int main(int argc, char** argv) {
         return 1;
       }
       return 0;
+    }
+    if (!args.get("--assert-p95").empty()) {
+      return run_assert_p95(args, args.get("--assert-p95"));
     }
     if (args.get_switch("--watch")) return run_watch(args);
 

@@ -174,14 +174,12 @@ int main(int argc, char** argv) {
         obs::ScopedSpan span("infer.read_wav");
         return audio::read_wav(wavs[i]);
       }();
-      const auto clean = [&] {
-        obs::ScopedSpan span("pipeline.preprocess");
-        return core::preprocess(raw);
-      }();
-
+      // Preprocessing happens inside the extractors (incremental operator),
+      // matching the pipeline's streamed scoring definition exactly.
       const auto live_features = [&] {
         obs::ScopedSpan span("pipeline.liveness_features");
-        return liveness_features.extract(clean.channel(0), &workspace);
+        return liveness_features.extract(raw.channel(0), core::PreprocessConfig{},
+                                         &workspace);
       }();
       const double live_score = [&] {
         obs::ScopedSpan span("pipeline.liveness_score");
@@ -191,7 +189,7 @@ int main(int argc, char** argv) {
 
       const auto features = [&] {
         obs::ScopedSpan span("pipeline.orientation_features");
-        return extractor.extract(clean, &workspace);
+        return extractor.extract(raw, core::PreprocessConfig{}, &workspace);
       }();
       double orient_score = 0.0;
       bool facing = false;
@@ -211,12 +209,12 @@ int main(int argc, char** argv) {
           .increment();
       char text[512];
       std::snprintf(text, sizeof text,
-                    "capture: %zu channels, %.0f ms after trimming\n"
+                    "capture: %zu channels, %.0f ms\n"
                     "liveness:    score %.3f -> %s\n"
                     "orientation: score %+.3f -> %s\n"
                     "headtalk decision: %s\n",
-                    clean.channel_count(),
-                    1000.0 * static_cast<double>(clean.frames()) / clean.sample_rate(),
+                    raw.channel_count(),
+                    1000.0 * static_cast<double>(raw.frames()) / raw.sample_rate(),
                     live_score, live ? "live human" : "mechanical speaker",
                     orient_score, facing ? "facing" : "not facing", decision);
       reports[i] = text;

@@ -180,10 +180,11 @@ int main(int argc, char** argv) {
       obs::Timer timer(&extract_seconds);
       const auto& entry = entries[i];
       const auto raw = audio::read_wav(entry.file);
-      const auto clean = core::preprocess(raw);
-
+      // The extractors preprocess internally (default config — the same
+      // one the pipeline scores with), keeping the training definition
+      // identical to streamed inference.
       auto& out = extracted[i];
-      out.liveness = liveness_features.extract(clean.channel(0));
+      out.liveness = liveness_features.extract(raw.channel(0), core::PreprocessConfig{});
       out.liveness_label = entry.source == sim::ReplaySource::kNone ? core::kLabelLive
                                                                     : core::kLabelReplay;
       if (entry.source == sim::ReplaySource::kNone) {
@@ -193,11 +194,11 @@ int main(int argc, char** argv) {
         const core::OrientationFeatureExtractor extractor(config);
         switch (core::training_arc(core::FacingDefinition::kDefinition4, entry.angle_deg)) {
           case core::TrainingArc::kFacing:
-            out.orientation = extractor.extract(clean);
+            out.orientation = extractor.extract(raw, core::PreprocessConfig{});
             out.orientation_label = core::kLabelFacing;
             break;
           case core::TrainingArc::kNonFacing:
-            out.orientation = extractor.extract(clean);
+            out.orientation = extractor.extract(raw, core::PreprocessConfig{});
             out.orientation_label = core::kLabelNonFacing;
             break;
           case core::TrainingArc::kExcluded:

@@ -114,7 +114,7 @@ if [ "$counted" -ne "$expected" ]; then
   printf '%s\n' "$metrics" | grep '^pipeline_decision' >&2 || true
   exit 1
 fi
-for stage in preprocess liveness_features liveness_score; do
+for stage in incremental_accumulate liveness_features liveness_score; do
   if ! printf '%s\n' "$metrics" | grep -q "^pipeline_stage_${stage}_seconds_count "; then
     echo "run_obs_smoke.sh: /metrics lacks the ${stage} stage histogram" >&2
     exit 1
@@ -128,7 +128,7 @@ grep -q '"snapshot_version":1' "$work_dir/scrape.json" \
 watch_out=$("$build_dir/tools/headtalk_client" --admin-socket "$admin" \
   --watch --watch-count 1 --interval-ms 50)
 printf '%s\n' "$watch_out"
-printf '%s\n' "$watch_out" | grep -q "preprocess" \
+printf '%s\n' "$watch_out" | grep -q "incremental_accumulate" \
   || { echo "run_obs_smoke.sh: --watch frame lacks the stage table" >&2; exit 1; }
 
 echo "== /stats.json carries process + connection data =="

@@ -19,7 +19,7 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DHEADTALK_BUILD_BENCHES=OFF \
   -DHEADTALK_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target tests_util tests_obs tests_dsp tests_sim tests_serve tests_stream tests_tenant tests_integration
+  --target tests_util tests_obs tests_dsp tests_core tests_sim tests_serve tests_stream tests_tenant tests_integration
 
 # halt_on_error: a single data race fails the run instead of scrolling by.
 # The obs patterns cover the concurrent-counter exactness tests, the
@@ -28,6 +28,6 @@ cmake --build "$build_dir" -j "$(nproc)" \
 # scrape-under-load paths.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|FftPlan|Experiment\.|Collector|EndToEnd|WavPipeline|Metrics|Tracer|ServeServer|ServeStreamMode|ServeAuth|TenantStore|TenantPolicy|Vad\.|Endpointer\.|StreamingDetector|StreamRing|Simd|Admin|SlowExemplar'
+  -R 'ThreadPool|ParallelFor|Jobs\.|FeatureCacheTest|FftPlan|Experiment\.|Collector|EndToEnd|WavPipeline|Metrics|Tracer|ServeServer|ServeStreamMode|ServeAuth|TenantStore|TenantPolicy|Vad\.|Endpointer\.|StreamingDetector|StreamRing|Simd|Admin|SlowExemplar|IncrementalEquivalence'
 
 echo "TSan test subset passed with zero reported races."
