@@ -187,6 +187,23 @@ std::vector<PipelineResult> HeadTalkPipeline::score_batch(
   return results;
 }
 
+std::vector<HeadTalkPipeline::BatchOutcome> HeadTalkPipeline::score_batch(
+    std::span<const BatchRequest> requests, VaMode mode,
+    ScoringWorkspace* workspace) const {
+  ScoringWorkspace local;
+  ScoringWorkspace* ws = workspace != nullptr ? workspace : &local;
+  std::vector<BatchOutcome> outcomes;
+  outcomes.reserve(requests.size());
+  for (const auto& request : requests) {
+    BatchOutcome outcome;
+    outcome.result =
+        score_capture(*request.capture, mode, request.followup, request.session_active,
+                      ws, request.want_features ? &outcome.features : nullptr);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
 PipelineResult HeadTalkPipeline::evaluate_stages(const audio::MultiBuffer& capture,
                                                  VaMode mode, bool followup,
                                                  bool session_active,

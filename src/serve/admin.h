@@ -30,14 +30,16 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
-#include "serve/server.h"
+#include "serve/engine.h"
 
 namespace headtalk::serve {
 

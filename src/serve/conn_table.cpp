@@ -1,0 +1,61 @@
+#include "serve/conn_table.h"
+
+namespace headtalk::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t steady_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void ConnectionTable::Slot::touch() noexcept {
+  last_activity_us.store(steady_us(), std::memory_order_relaxed);
+}
+
+std::shared_ptr<ConnectionTable::Slot> ConnectionTable::insert() {
+  auto slot = std::make_shared<Slot>();
+  slot->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  slot->accepted_at = Clock::now();
+  slot->touch();
+  std::lock_guard lock(mutex_);
+  slots_.emplace(slot->id, slot);
+  return slot;
+}
+
+void ConnectionTable::erase(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  slots_.erase(id);
+}
+
+std::size_t ConnectionTable::size() const {
+  std::lock_guard lock(mutex_);
+  return slots_.size();
+}
+
+std::vector<ConnectionInfo> ConnectionTable::snapshot() const {
+  const auto now = Clock::now();
+  const auto now_us = steady_us();
+  std::vector<ConnectionInfo> out;
+  std::lock_guard lock(mutex_);
+  out.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) {
+    ConnectionInfo info;
+    info.id = id;
+    info.stream_mode = slot->stream_mode.load(std::memory_order_relaxed);
+    info.decisions = slot->decisions.load(std::memory_order_relaxed);
+    info.age_seconds = std::chrono::duration<double>(now - slot->accepted_at).count();
+    const auto last = slot->last_activity_us.load(std::memory_order_relaxed);
+    info.idle_seconds =
+        last > 0 && now_us > last ? static_cast<double>(now_us - last) * 1e-6 : 0.0;
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace headtalk::serve

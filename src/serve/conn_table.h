@@ -1,0 +1,54 @@
+// Live per-connection bookkeeping shared by both serving engines.
+//
+// The threaded Server and the EventLoopServer both feed one of these so
+// the admin plane's /stats.json connection table (and headtalk_client
+// --watch's conns column) report identically whichever engine is running.
+// Each row's hot fields are relaxed atomics written lock-free by the
+// thread that owns the connection (a worker thread or a loop thread); the
+// table mutex guards only insert/erase and the admin snapshot.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/engine.h"
+
+namespace headtalk::serve {
+
+class ConnectionTable {
+ public:
+  /// Row in the live connection table. The owning thread writes the
+  /// atomics lock-free; the table mutex only guards insert/erase and the
+  /// admin snapshot.
+  struct Slot {
+    std::uint64_t id = 0;
+    std::chrono::steady_clock::time_point accepted_at{};
+    std::atomic<bool> stream_mode{false};
+    std::atomic<std::uint64_t> decisions{0};
+    std::atomic<std::int64_t> last_activity_us{0};  ///< steady-clock µs
+
+    /// Stamps last_activity_us with "now" (bytes arrived from the client).
+    void touch() noexcept;
+  };
+
+  /// Registers a new connection; the returned slot stays valid until
+  /// erase(). Ids are unique per table for the process lifetime.
+  [[nodiscard]] std::shared_ptr<Slot> insert();
+  void erase(std::uint64_t id);
+
+  [[nodiscard]] std::size_t size() const;
+  /// Admin snapshot of every live row (ConnectionInfo shape).
+  [[nodiscard]] std::vector<ConnectionInfo> snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> next_id_{0};
+};
+
+}  // namespace headtalk::serve

@@ -1,0 +1,190 @@
+#include "serve/eventloop/batch_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "core/scoring_workspace.h"
+#include "obs/metrics.h"
+
+namespace headtalk::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+obs::Histogram& occupancy_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "serve.batch.occupancy", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  return h;
+}
+
+obs::Histogram& batch_score_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("serve.batch.score_seconds");
+  return h;
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(const core::HeadTalkPipeline& pipeline,
+                               BatchSchedulerConfig config)
+    : pipeline_(pipeline), config_(config) {
+  config_.threads = std::max<std::size_t>(1, config_.threads);
+  config_.batch_max = std::max<std::size_t>(1, config_.batch_max);
+  threads_.reserve(config_.threads);
+  for (std::size_t i = 0; i < config_.threads; ++i) {
+    threads_.emplace_back([this] { worker(); });
+  }
+}
+
+BatchScheduler::~BatchScheduler() { stop(); }
+
+bool BatchScheduler::submit(Job&& job) {
+  job.enqueued = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void BatchScheduler::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+}
+
+void BatchScheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Already stopping; fall through to join below (idempotent).
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+}
+
+std::uint64_t BatchScheduler::batches_scored() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+std::uint64_t BatchScheduler::utterances_scored() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scored_;
+}
+
+void BatchScheduler::worker() {
+  const auto window = std::chrono::microseconds(config_.window_us);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Gather: wait for the batch to fill or the window (measured from the
+    // first job this worker saw) to lapse. A drain or stop closes the
+    // batch at whatever occupancy it reached — timely answers beat
+    // batching efficiency once the server is going away.
+    const auto deadline = Clock::now() + window;
+    while (!stopping_ && !draining_ && queue_.size() < config_.batch_max) {
+      if (cv_.wait_until(lock, deadline, [this] {
+            return stopping_ || draining_ || queue_.size() >= config_.batch_max;
+          })) {
+        break;
+      }
+      break;  // window lapsed
+    }
+    // A sibling worker may have drained the queue while this one gathered
+    // (both are notified for the same submission); go back to waiting
+    // rather than scoring an empty batch.
+    if (queue_.empty()) continue;
+    std::vector<Job> jobs;
+    const std::size_t take = std::min(queue_.size(), config_.batch_max);
+    jobs.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      jobs.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    batches_ += 1;
+    scored_ += jobs.size();
+    lock.unlock();
+    run_batch(std::move(jobs));
+    lock.lock();
+  }
+}
+
+void BatchScheduler::run_batch(std::vector<Job>&& jobs) {
+  // One warm workspace per scoring thread, reused across every batch it
+  // runs (thread_local: worker threads die only at scheduler stop).
+  thread_local core::ScoringWorkspace workspace;
+
+  if (jobs.empty()) return;
+  occupancy_histogram().observe(static_cast<double>(jobs.size()));
+
+  std::vector<core::HeadTalkPipeline::BatchRequest> requests;
+  requests.reserve(jobs.size());
+  for (const Job& job : jobs) {
+    core::HeadTalkPipeline::BatchRequest request;
+    request.capture = &job.utterance.capture;
+    request.followup = job.utterance.followup;
+    request.session_active = job.utterance.session_open;
+    request.want_features = job.utterance.want_features;
+    requests.push_back(request);
+  }
+
+  // All jobs in one batch share the daemon mode (the engine submits with
+  // its configured mode), but score per-mode groups defensively anyway:
+  // score_batch takes one mode for the whole span.
+  const auto start = Clock::now();
+  std::vector<core::HeadTalkPipeline::BatchOutcome> outcomes;
+  std::string batch_error;
+  try {
+    outcomes = pipeline_.score_batch(requests, jobs.front().mode, &workspace);
+  } catch (const std::exception& ex) {
+    batch_error = ex.what();
+  }
+  const auto scored_at = Clock::now();
+  batch_score_histogram().observe(
+      std::chrono::duration<double>(scored_at - start).count());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Outcome outcome;
+    outcome.batch_size = jobs.size();
+    outcome.elapsed_seconds =
+        std::chrono::duration<double>(scored_at - jobs[i].enqueued).count();
+    if (batch_error.empty()) {
+      outcome.ok = true;
+      outcome.result = outcomes[i].result;
+      outcome.features = std::move(outcomes[i].features);
+    } else {
+      // The whole batch failed; retry this job alone so one poisoned
+      // capture cannot take its batch-mates down with it.
+      try {
+        core::HeadTalkPipeline::BatchRequest solo = requests[i];
+        auto redo = pipeline_.score_batch({&solo, 1}, jobs[i].mode, &workspace);
+        outcome.ok = true;
+        outcome.result = redo.front().result;
+        outcome.features = std::move(redo.front().features);
+      } catch (const std::exception& ex) {
+        outcome.ok = false;
+        outcome.error = ex.what();
+      }
+    }
+    if (jobs[i].done) jobs[i].done(std::move(outcome));
+  }
+}
+
+}  // namespace headtalk::serve

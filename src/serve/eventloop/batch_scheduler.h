@@ -1,0 +1,113 @@
+// Micro-batch scoring pool for the event-loop engine.
+//
+// Loop threads parse frames and submit ready utterances here instead of
+// scoring inline; a small pool of scoring threads gathers submissions into
+// batches and drives HeadTalkPipeline::score_batch over one warm per-thread
+// workspace. Batching trades a bounded queueing delay for cache-warm
+// back-to-back scoring:
+//
+//   * a batch closes when it reaches `batch_max` jobs, or `window_us`
+//     after its FIRST job was enqueued — an idle server still answers a
+//     lone utterance within one window;
+//   * completions are delivered by calling the job's `done` callback from
+//     the scoring thread. The engine passes a closure that enqueues onto
+//     the owning loop's completion queue and wakes it, so Session state is
+//     only ever touched on loop threads.
+//
+// stop() is a drain, not an abort: every submitted job is scored (stop
+// skips the gather window) before the threads exit, which is what lets a
+// SIGTERM drain answer utterances already parked in the batch queue.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "serve/session.h"
+
+namespace headtalk::serve {
+
+struct BatchSchedulerConfig {
+  /// Scoring threads. One is right for a single-core host; more overlap
+  /// scoring with parsing on bigger machines.
+  std::size_t threads = 1;
+  /// Largest batch handed to score_batch in one call.
+  std::size_t batch_max = 8;
+  /// Gather window measured from the first job of the forming batch.
+  std::uint32_t window_us = 500;
+};
+
+class BatchScheduler {
+ public:
+  /// One scored utterance coming back. `ok == false` means the pipeline
+  /// threw; `error` carries the message and result/features are unset.
+  struct Outcome {
+    bool ok = false;
+    core::PipelineResult result{};
+    core::FeatureCapture features{};
+    /// Wall time from submit to scored (what the DECISION latency field
+    /// reports — includes the gather wait, which the client experiences).
+    double elapsed_seconds = 0.0;
+    /// Jobs in the batch this one was scored with (occupancy telemetry).
+    std::size_t batch_size = 0;
+    std::string error;
+  };
+
+  struct Job {
+    PendingUtterance utterance;
+    core::VaMode mode = core::VaMode::kHeadTalk;
+    /// Invoked exactly once from a scoring thread.
+    std::function<void(Outcome&&)> done;
+    /// Stamped by submit(); used for the elapsed_seconds report.
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  BatchScheduler(const core::HeadTalkPipeline& pipeline, BatchSchedulerConfig config);
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Thread-safe. Returns false (job untouched, `done` not called) after
+  /// stop() began — callers fail the session instead.
+  bool submit(Job&& job);
+
+  /// Enters drain mode: gather windows close immediately (current and
+  /// future), so parked utterances score right away instead of waiting out
+  /// `window_us`. Submissions stay open — a SIGTERM drain still accepts
+  /// the in-flight utterances it is owed. Thread-safe, idempotent.
+  void begin_drain();
+
+  /// Scores everything still queued, then joins the pool. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint64_t batches_scored() const noexcept;
+  [[nodiscard]] std::uint64_t utterances_scored() const noexcept;
+
+ private:
+  void worker();
+  void run_batch(std::vector<Job>&& jobs);
+
+  const core::HeadTalkPipeline& pipeline_;
+  BatchSchedulerConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  bool draining_ = false;
+  std::uint64_t batches_ = 0;
+  std::uint64_t scored_ = 0;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace headtalk::serve

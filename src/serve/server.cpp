@@ -1,11 +1,8 @@
 #include "serve/server.h"
 
-#include <arpa/inet.h>
 #include <fcntl.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -16,6 +13,7 @@
 #include "core/scoring_workspace.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "serve/listener.h"
 #include "util/thread_pool.h"
 
 namespace headtalk::serve {
@@ -47,81 +45,6 @@ obs::Histogram& metric_request_seconds() {
   return h;
 }
 
-void close_quietly(int fd) {
-  if (fd >= 0) ::close(fd);
-}
-
-/// Sends the whole buffer, retrying short writes; false on a dead peer.
-bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Best-effort single-shot frame for connections we reject before a worker
-/// ever owns them (BUSY / shutting-down): one non-blocking send, then close.
-void send_and_close(int fd, const std::vector<std::uint8_t>& frame) {
-  (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
-  close_quietly(fd);
-}
-
-int make_unix_listener(const std::filesystem::path& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  const std::string text = path.string();
-  if (text.empty() || text.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("serve: bad unix socket path '" + text + "'");
-  }
-  std::memcpy(addr.sun_path, text.c_str(), text.size() + 1);
-
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) throw std::runtime_error("serve: socket() failed");
-  std::error_code ec;
-  std::filesystem::remove(path, ec);  // replace a stale socket file
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    const int err = errno;
-    close_quietly(fd);
-    throw std::runtime_error("serve: cannot bind " + text + ": " +
-                             std::strerror(err));
-  }
-  if (::listen(fd, SOMAXCONN) != 0) {
-    close_quietly(fd);
-    throw std::runtime_error("serve: listen() failed on " + text);
-  }
-  return fd;
-}
-
-int make_tcp_listener(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) throw std::runtime_error("serve: socket() failed");
-  const int one = 1;
-  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  // Loopback only: the daemon carries raw room audio; remote exposure is a
-  // deliberate deployment decision (front it with a real proxy), not a flag.
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    const int err = errno;
-    close_quietly(fd);
-    throw std::runtime_error("serve: cannot bind 127.0.0.1:" + std::to_string(port) +
-                             ": " + std::strerror(err));
-  }
-  if (::listen(fd, SOMAXCONN) != 0) {
-    close_quietly(fd);
-    throw std::runtime_error("serve: listen() failed on port " + std::to_string(port));
-  }
-  return fd;
-}
-
 }  // namespace
 
 Server::Server(const core::HeadTalkPipeline& pipeline, ServerConfig config)
@@ -139,7 +62,7 @@ void Server::start() {
     throw std::runtime_error("serve: pipe2() failed");
   }
   unix_fd_ = make_unix_listener(config_.socket_path);
-  if (config_.tcp_port > 0) tcp_fd_ = make_tcp_listener(config_.tcp_port);
+  if (config_.tcp_port > 0) tcp_fd_ = make_tcp_listener(config_.tcp_port, config_.reuseport);
 
   const unsigned workers = util::resolve_jobs(config_.workers);
   workers_.reserve(workers);
@@ -207,26 +130,7 @@ void Server::stop() {
 }
 
 std::vector<ConnectionInfo> Server::connections() const {
-  const auto now = Clock::now();
-  const auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                          now.time_since_epoch())
-                          .count();
-  std::vector<ConnectionInfo> out;
-  std::lock_guard lock(conn_mutex_);
-  out.reserve(conn_table_.size());
-  for (const auto& [id, slot] : conn_table_) {
-    ConnectionInfo info;
-    info.id = id;
-    info.stream_mode = slot->stream_mode.load(std::memory_order_relaxed);
-    info.decisions = slot->decisions.load(std::memory_order_relaxed);
-    info.age_seconds = std::chrono::duration<double>(now - slot->accepted_at).count();
-    const auto last = slot->last_activity_us.load(std::memory_order_relaxed);
-    info.idle_seconds = last > 0 && now_us > last
-                            ? static_cast<double>(now_us - last) * 1e-6
-                            : 0.0;
-    out.push_back(info);
-  }
-  return out;
+  return conn_table_.snapshot();
 }
 
 ServerStats Server::stats() const {
@@ -238,6 +142,26 @@ ServerStats Server::stats() const {
   out.deadline_expirations = deadlines_.load(std::memory_order_relaxed);
   out.active_connections = active_.load(std::memory_order_relaxed);
   return out;
+}
+
+void Server::adopt_connection(int fd) {
+  if (fd < 0) return;
+  if (!running() || stopping_.load(std::memory_order_acquire)) {
+    send_and_close(fd, encode_error(ErrorCode::kShuttingDown, "server is draining"));
+    return;
+  }
+  // The worker I/O model is blocking-with-timeout; fds handed over from a
+  // nonblocking front must shed O_NONBLOCK.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  if (try_enqueue(fd)) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    metric_connections().increment();
+  } else {
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    metric_busy().increment();
+    send_and_close(fd, encode_busy());
+  }
 }
 
 void Server::acceptor_loop() {
@@ -325,30 +249,17 @@ void Server::handle_connection(int fd, core::ScoringWorkspace& workspace) {
   Clock::time_point request_start = Clock::now();
   Clock::time_point deadline = request_start + deadline_budget;
 
-  // Register this connection's row in the admin table. The worker updates
-  // the row's atomics lock-free on every read; the mutex is touched only
-  // here and at teardown.
-  const auto steady_us = [] {
-    return std::chrono::duration_cast<std::chrono::microseconds>(
-               Clock::now().time_since_epoch())
-        .count();
-  };
-  auto slot = std::make_shared<ConnectionSlot>();
-  slot->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  // Register this connection's row in the shared admin table. The worker
+  // updates the row's atomics lock-free on every read; the table mutex is
+  // touched only here and at teardown.
+  auto slot = conn_table_.insert();
   slot->accepted_at = request_start;
-  slot->last_activity_us.store(steady_us(), std::memory_order_relaxed);
-  {
-    std::lock_guard lock(conn_mutex_);
-    conn_table_.emplace(slot->id, slot);
-  }
+  slot->touch();
   struct SlotEraser {
-    Server* server;
+    ConnectionTable* table;
     std::uint64_t id;
-    ~SlotEraser() {
-      std::lock_guard lock(server->conn_mutex_);
-      server->conn_table_.erase(id);
-    }
-  } eraser{this, slot->id};
+    ~SlotEraser() { table->erase(id); }
+  } eraser{&conn_table_, slot->id};
 
   std::uint8_t buffer[1 << 16];
   // Watch the stop pipe alongside the client so a drain is not held hostage
@@ -396,7 +307,7 @@ void Server::handle_connection(int fd, core::ScoringWorkspace& workspace) {
       break;
     }
 
-    slot->last_activity_us.store(steady_us(), std::memory_order_relaxed);
+    slot->touch();
 
     const std::size_t decisions_before = session.decisions_sent();
     const bool alive = session.on_bytes(buffer, static_cast<std::size_t>(n));

@@ -1,4 +1,4 @@
-// Server core of the inference daemon.
+// Thread-per-connection serving core of the inference daemon.
 //
 // One acceptor thread listens on a Unix-domain socket (and, optionally, a
 // TCP loopback port) and pushes accepted connections into a *bounded*
@@ -10,21 +10,23 @@
 // plus one pipe write) triggers a graceful drain: the listeners close, the
 // already-accepted queue is served to completion, in-flight utterances get
 // their DECISIONs, then the workers exit.
+//
+// This is one of two interchangeable ServerEngine implementations (see
+// serve/engine.h); the epoll reactor in serve/eventloop/ is the other.
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <filesystem>
-#include <map>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "serve/conn_table.h"
+#include "serve/engine.h"
 #include "serve/session.h"
 
 namespace headtalk::serve {
@@ -42,82 +44,56 @@ struct ServerConfig {
   /// Per-utterance deadline: from the previous response (or accept) to the
   /// DECISION. Expiry sends ERROR deadline-exceeded and closes.
   int request_deadline_ms = 10000;
+  /// Bind the TCP listener SO_REUSEPORT (shard processes sharing a port).
+  bool reuseport = false;
   SessionLimits session{};
 };
 
-/// Point-in-time counters for tests and the daemon's exit summary.
-struct ServerStats {
-  std::uint64_t connections_accepted = 0;
-  std::uint64_t busy_rejections = 0;
-  std::uint64_t decisions = 0;
-  std::uint64_t session_errors = 0;
-  std::uint64_t deadline_expirations = 0;
-  std::size_t active_connections = 0;
-};
-
-/// One live connection as the admin plane's /stats.json reports it.
-struct ConnectionInfo {
-  std::uint64_t id = 0;        ///< accept-order id, unique per server run
-  bool stream_mode = false;    ///< between STREAM_START and STREAM_END
-  std::uint64_t decisions = 0;
-  double age_seconds = 0.0;    ///< since accept
-  double idle_seconds = 0.0;   ///< since the last bytes from the client
-};
-
-class Server {
+class Server final : public ServerEngine {
  public:
   /// The pipeline must stay alive for the server's lifetime; workers only
   /// use its const scoring entry point.
   Server(const core::HeadTalkPipeline& pipeline, ServerConfig config);
-  ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
   /// Binds the listeners and spawns the acceptor + worker threads. Throws
   /// std::runtime_error when a socket cannot be bound.
-  void start();
+  void start() override;
 
   /// Async-signal-safe stop trigger (callable from a SIGINT/SIGTERM
   /// handler): marks the server stopping and wakes the acceptor.
-  void request_stop() noexcept;
+  void request_stop() noexcept override;
 
   /// Blocks until request_stop() has been called (from any thread or a
   /// signal handler), then drains and joins everything. Idempotent.
-  void wait();
+  void wait() override;
 
   /// Graceful shutdown: stop accepting, serve the queued and in-flight
   /// connections to completion, join all threads. Idempotent; implies
   /// request_stop().
-  void stop();
+  void stop() override;
 
-  [[nodiscard]] bool running() const noexcept {
+  [[nodiscard]] bool running() const noexcept override {
     return started_.load(std::memory_order_acquire) &&
            !stopped_.load(std::memory_order_acquire);
   }
-  /// True once a stop/drain has been requested — the admin plane's
-  /// /readyz flips to 503 on this, before in-flight utterances finish.
-  [[nodiscard]] bool draining() const noexcept {
+  [[nodiscard]] bool draining() const noexcept override {
     return stopping_.load(std::memory_order_acquire);
   }
-  [[nodiscard]] ServerStats stats() const;
-  /// Snapshot of the live per-connection table (worker threads update
-  /// their own rows with relaxed atomics; this never blocks scoring).
-  [[nodiscard]] std::vector<ConnectionInfo> connections() const;
+  [[nodiscard]] ServerStats stats() const override;
+  [[nodiscard]] std::vector<ConnectionInfo> connections() const override;
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
 
- private:
-  /// Row in the live connection table. The owning worker writes the
-  /// atomics lock-free; the table mutex only guards insert/erase and the
-  /// admin snapshot.
-  struct ConnectionSlot {
-    std::uint64_t id = 0;
-    std::chrono::steady_clock::time_point accepted_at{};
-    std::atomic<bool> stream_mode{false};
-    std::atomic<std::uint64_t> decisions{0};
-    std::atomic<std::int64_t> last_activity_us{0};  ///< steady-clock µs
-  };
+  /// Queues an externally-accepted fd (the shard front's SCM_RIGHTS path)
+  /// exactly like a locally-accepted connection: BUSY when the pending
+  /// queue is full, shutting-down when draining. The fd is made blocking
+  /// first — the worker I/O model expects it.
+  void adopt_connection(int fd) override;
 
+ private:
   void acceptor_loop();
   void worker_loop();
   void handle_connection(int fd, core::ScoringWorkspace& workspace);
@@ -145,9 +121,7 @@ class Server {
   std::atomic<bool> stopped_{false};
   std::once_flag stop_once_;
 
-  mutable std::mutex conn_mutex_;
-  std::map<std::uint64_t, std::shared_ptr<ConnectionSlot>> conn_table_;
-  std::atomic<std::uint64_t> next_conn_id_{0};
+  ConnectionTable conn_table_;
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> busy_{0};
